@@ -1,0 +1,236 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not in the paper -- these quantify the fidelity switches and extraction
+choices this reproduction had to make:
+
+- children aggregation: best-match-per-source-child (our default) vs the
+  literal Figure 3 pseudo-code (all above-threshold pairs);
+- leaf level mode: Eq. 2's constant vs Section 2.1's computed level axis;
+- the child-match threshold (Figure 3's ``threshold value``);
+- correspondence selection strategy (flat greedy vs parent-context
+  hierarchical vs stable marriage);
+- axis weights (paper's Table 2 vs uniform vs single-axis-heavy).
+"""
+
+import pytest
+
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.core.weights import AxisWeights, PAPER_WEIGHTS, UNIFORM_WEIGHTS
+from repro.datasets import registry
+from repro.evaluation.metrics import evaluate_against_gold
+
+from conftest import write_result
+from repro.evaluation.harness import render_table
+
+FAST_TASKS = ("PO", "Book", "DCMD")
+
+
+def run_quality(task_name, config=None, strategy=None):
+    task = registry.task(task_name)
+    matcher = QMatchMatcher(config=config)
+    result = matcher.match(task.source, task.target, strategy=strategy)
+    return evaluate_against_gold(result.pairs, task.gold), result
+
+
+class TestChildrenAggregation:
+    def test_aggregation_modes(self, benchmark):
+        def measure():
+            rows = []
+            for task_name in FAST_TASKS:
+                per_mode = {}
+                for mode in ("best_match", "all_pairs"):
+                    quality, result = run_quality(
+                        task_name,
+                        config=QMatchConfig(children_aggregation=mode),
+                    )
+                    per_mode[mode] = (quality.overall, result.tree_qom)
+                rows.append((
+                    task_name,
+                    per_mode["best_match"][0], per_mode["best_match"][1],
+                    per_mode["all_pairs"][0], per_mode["all_pairs"][1],
+                ))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        write_result(
+            "ablation_children_aggregation",
+            "Ablation: children aggregation (best-match vs literal "
+            "pseudo-code)",
+            render_table(
+                ["task", "best overall", "best tree QoM",
+                 "all-pairs overall", "all-pairs tree QoM"],
+                rows,
+            ),
+        )
+        # The two readings of Eq. 3 disagree on tree QoM (the literal
+        # mode double-counts but lacks the best-match mode's nesting
+        # absorption) yet land on the same extracted match quality on
+        # the paper's pairs -- the fidelity switch is score-cosmetic.
+        for row in rows:
+            task_name, best_overall, best_qom, literal_overall, literal_qom = row
+            assert abs(best_overall - literal_overall) <= 0.3, task_name
+            assert abs(best_qom - literal_qom) <= 0.2, task_name
+
+
+class TestLeafLevelMode:
+    def test_leaf_level_modes(self, benchmark):
+        def measure():
+            rows = []
+            for task_name in FAST_TASKS:
+                per_mode = {}
+                for mode in ("constant", "computed"):
+                    quality, result = run_quality(
+                        task_name, config=QMatchConfig(leaf_level_mode=mode)
+                    )
+                    per_mode[mode] = (quality.overall, result.tree_qom)
+                rows.append((
+                    task_name,
+                    per_mode["constant"][0], per_mode["constant"][1],
+                    per_mode["computed"][0], per_mode["computed"][1],
+                ))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        write_result(
+            "ablation_leaf_level",
+            "Ablation: leaf level mode (Eq. 2 constant vs Section 2.1 "
+            "computed)",
+            render_table(
+                ["task", "constant overall", "constant tree QoM",
+                 "computed overall", "computed tree QoM"],
+                rows,
+            ),
+        )
+        # The computed mode can only lower leaf QoMs (level credit is no
+        # longer free), so the tree QoM never increases.
+        for row in rows:
+            assert row[4] <= row[2] + 1e-9, row[0]
+
+
+class TestThreshold:
+    THRESHOLDS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+    def test_threshold_sweep(self, benchmark):
+        def measure():
+            rows = []
+            for threshold in self.THRESHOLDS:
+                row = [threshold]
+                for task_name in FAST_TASKS:
+                    task = registry.task(task_name)
+                    matcher = QMatchMatcher(
+                        config=QMatchConfig(threshold=threshold)
+                    )
+                    result = matcher.match(
+                        task.source, task.target, threshold=threshold
+                    )
+                    quality = evaluate_against_gold(result.pairs, task.gold)
+                    row.append(quality.overall)
+                rows.append(tuple(row))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        write_result(
+            "ablation_threshold",
+            "Ablation: match threshold sweep (Overall per task)",
+            render_table(["threshold", *FAST_TASKS], rows),
+        )
+        # The default threshold (0.5) is on the plateau: no other
+        # threshold beats it by a wide margin on the summed overall.
+        sums = {row[0]: sum(row[1:]) for row in rows}
+        assert sums[0.5] >= max(sums.values()) - 0.6
+
+
+class TestSelectionStrategy:
+    STRATEGIES = ("greedy", "hierarchical", "stable")
+
+    def test_strategies(self, benchmark):
+        def measure():
+            rows = []
+            for task_name in FAST_TASKS:
+                per_strategy = {}
+                for strategy in self.STRATEGIES:
+                    quality, _ = run_quality(task_name, strategy=strategy)
+                    per_strategy[strategy] = quality.overall
+                rows.append((task_name, *[per_strategy[s] for s in self.STRATEGIES]))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        write_result(
+            "ablation_selection",
+            "Ablation: correspondence selection strategy (Overall per task)",
+            render_table(["task", *self.STRATEGIES], rows),
+        )
+        # Parent-context selection never loses to flat greedy here.
+        for row in rows:
+            task_name, greedy, hierarchical, _stable = row
+            assert hierarchical >= greedy - 1e-9, task_name
+
+
+class TestWeights:
+    VARIANTS = {
+        "paper (.3/.2/.1/.4)": PAPER_WEIGHTS,
+        "uniform": UNIFORM_WEIGHTS,
+        "label-heavy": AxisWeights(0.7, 0.1, 0.1, 0.1),
+        "children-heavy": AxisWeights(0.1, 0.1, 0.1, 0.7),
+    }
+
+    def test_weight_variants(self, benchmark):
+        def measure():
+            rows = []
+            for name, weights in self.VARIANTS.items():
+                row = [name]
+                for task_name in FAST_TASKS:
+                    quality, _ = run_quality(
+                        task_name, config=QMatchConfig(weights=weights)
+                    )
+                    row.append(quality.overall)
+                rows.append(tuple(row))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        write_result(
+            "ablation_weights",
+            "Ablation: axis weights (Overall per task)",
+            render_table(["weights", *FAST_TASKS], rows),
+        )
+        by_name = {row[0]: sum(row[1:]) for row in rows}
+        # The paper's tuned weights beat the degenerate variants in
+        # aggregate.
+        assert by_name["paper (.3/.2/.1/.4)"] >= by_name["label-heavy"] - 1e-9
+        assert by_name["paper (.3/.2/.1/.4)"] >= by_name["children-heavy"] - 1e-9
+
+
+class TestThresholdCrossValidation:
+    def test_leave_one_task_out(self, benchmark):
+        """Honest threshold selection: the cross-validated Overall stays
+        close to the tuned-on-everything oracle, i.e. the default
+        threshold generalizes across domains."""
+        from repro.evaluation.crossval import cross_validate_threshold
+
+        tasks = [registry.task(name)
+                 for name in (*FAST_TASKS, "Inventory")]
+
+        result = benchmark.pedantic(
+            lambda: cross_validate_threshold(QMatchMatcher(), tasks),
+            rounds=1, iterations=1,
+        )
+        rows = [
+            (fold.held_out, fold.chosen_threshold,
+             fold.train_overall, fold.test_overall)
+            for fold in result.folds
+        ]
+        rows.append(("MEAN (held-out)", "-", "-", result.mean_test_overall))
+        rows.append(("oracle", result.oracle_threshold, "-",
+                     result.oracle_overall))
+        write_result(
+            "ablation_crossval",
+            "Ablation: leave-one-task-out threshold cross-validation",
+            render_table(
+                ["held-out task", "chosen threshold", "train overall",
+                 "test overall"],
+                rows,
+            ),
+        )
+        assert result.overfit_gap <= 0.25
+        assert result.mean_test_overall > 0.4

@@ -1,0 +1,101 @@
+"""Figure 5: overall measure of match quality per domain.
+
+The paper compares ``Overall = Recall * (2 - 1/Precision)`` for the
+linguistic, structural and hybrid algorithms on four domain pairs (PO,
+Book, DCMD, Protein), with the hybrid winning every domain.  This module
+regenerates those series against our gold mappings and asserts the
+winner shape: hybrid strictly best on every domain.
+
+Absolute values differ from the paper's bars (different gold mappings --
+the originals are not archived); the ordering is the reproduction
+target.  Note our structural baseline goes *negative* on Book/DCMD
+(more false than true matches); the paper's bars stay positive, see
+EXPERIMENTS.md for the discussion.
+"""
+
+import pytest
+
+from repro.datasets import registry
+from repro.evaluation.metrics import evaluate_against_gold
+
+from conftest import ALGORITHMS, cached_match, write_result
+from repro.evaluation.harness import render_table
+
+DOMAINS = ("PO", "Book", "DCMD", "Protein")
+
+#: domain -> {algorithm: overall}, filled as tests run.
+RESULTS = {}
+
+
+def quality_of(task_name, algorithm):
+    task = registry.task(task_name)
+    result = cached_match(task_name, algorithm)
+    return evaluate_against_gold(result.pairs, task.gold)
+
+
+@pytest.mark.parametrize("task_name", DOMAINS)
+def test_fig5_domain(benchmark, task_name):
+    qualities = benchmark.pedantic(
+        lambda: {a: quality_of(task_name, a) for a in ALGORITHMS},
+        rounds=1, iterations=1,
+    )
+    overall = {a: q.overall for a, q in qualities.items()}
+    RESULTS[task_name] = overall
+
+    # The paper's headline: the hybrid wins every domain.
+    assert overall["qmatch"] > overall["linguistic"], task_name
+    assert overall["qmatch"] > overall["structural"], task_name
+
+    if task_name == DOMAINS[-1]:
+        rows = [
+            (domain,
+             RESULTS[domain]["linguistic"],
+             RESULTS[domain]["structural"],
+             RESULTS[domain]["qmatch"])
+            for domain in DOMAINS if domain in RESULTS
+        ]
+        write_result(
+            "fig5",
+            "Figure 5: Overall Measure of Match Quality "
+            "(Overall = Recall * (2 - 1/Precision))",
+            render_table(
+                ["domain", "linguistic", "structural", "hybrid"], rows
+            ),
+        )
+
+
+def test_fig5_significance(benchmark):
+    """Paired bootstrap over the gold pairs: the hybrid's Figure 5 wins
+    are not small-sample noise.  Reported as win rates (fraction of
+    resampled references on which the hybrid strictly beats the
+    baseline)."""
+    from repro.evaluation.significance import compare_algorithms
+
+    def measure():
+        rows = []
+        for task_name in ("PO", "Book", "DCMD"):
+            task = registry.task(task_name)
+            hybrid = cached_match(task_name, "qmatch").pairs
+            for baseline in ("linguistic", "structural"):
+                comparison = compare_algorithms(
+                    hybrid, cached_match(task_name, baseline).pairs,
+                    task.gold, replicates=2000,
+                )
+                rows.append((
+                    task_name, f"hybrid vs {baseline}",
+                    f"{comparison.delta:+.3f} "
+                    f"[{comparison.delta_low:+.3f}, {comparison.delta_high:+.3f}]",
+                    comparison.win_rate,
+                ))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result(
+        "fig5_significance",
+        "Figure 5 significance: paired bootstrap over gold pairs "
+        "(Overall delta with 95% interval, hybrid win rate)",
+        render_table(["task", "comparison", "delta overall", "win rate"],
+                     rows),
+    )
+    for task_name, comparison, _delta, win_rate in rows:
+        assert win_rate >= 0.8, (task_name, comparison)

@@ -1,0 +1,80 @@
+"""Table 2: weights for the different axes.
+
+Reproduces the tuning methodology of Section 5.1: sweep axis-weight
+combinations, compare QMatch's overall match value against manually
+determined expected values, and report the best combination plus the
+per-axis ranges that stay within tolerance of it.  The paper found
+label 0.25-0.4, properties/level 0.1-0.2, children 0.3-0.5 and picked
+(0.3, 0.2, 0.1, 0.4).
+"""
+
+import pytest
+
+from repro.core.weights import PAPER_WEIGHTS
+from repro.datasets import registry
+from repro.evaluation.tuning import TuningCase, sweep_weights
+
+from conftest import write_result
+from repro.evaluation.harness import render_table
+
+#: Manually determined expected overall match values for the tuning
+#: pairs (the paper's "expected match values that were manually
+#: determined prior to the experiments").  PO1/PO2 describe the same
+#: document in two layouts -> near-total match; Article/Book share core
+#: bibliographic fields -> strong partial match; the DCMD pair overlaps
+#: only in the embedded item description -> middling match.
+EXPECTED = {
+    "PO": 0.90,
+    "Book": 0.70,
+    "DCMD": 0.45,
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_result(benchmark_disabled=None):
+    cases = [
+        TuningCase(name, registry.task(name).source,
+                   registry.task(name).target, expected)
+        for name, expected in EXPECTED.items()
+    ]
+    return sweep_weights(cases, step=0.1, tolerance=0.05)
+
+
+def test_table2_weight_sweep(benchmark, sweep_result):
+    result = benchmark.pedantic(lambda: sweep_result, rounds=1, iterations=1)
+    best = result.best.weights
+
+    rows = [
+        ("label", "0.25 - 0.4", _fmt(result.range_of("label")), 0.3, best.label),
+        ("properties", "0.1 - 0.2", _fmt(result.range_of("properties")),
+         0.2, best.properties),
+        ("level", "0.1 - 0.2", _fmt(result.range_of("level")), 0.1, best.level),
+        ("children", "0.3 - 0.5", _fmt(result.range_of("children")),
+         0.4, best.children),
+    ]
+    write_result(
+        "table2", "Table 2: Weights for the Different Axes",
+        render_table(
+            ["axis", "good range (paper)", "good range (ours)",
+             "chosen (paper)", "best (ours)"],
+            rows,
+        ) + f"\nbest mean abs error: {result.best.mean_absolute_error:.4f}",
+    )
+
+    # Shape assertions: the children axis carries the most weight and the
+    # level axis the least, as in the paper's Table 2.
+    assert best.children >= best.level
+    assert best.children >= 0.2
+    # The paper's chosen combination performs within tolerance of the
+    # best grid point.
+    paper_point = next(
+        p for p in result.points
+        if p.weights.as_tuple() == pytest.approx(PAPER_WEIGHTS.as_tuple())
+    )
+    assert paper_point.mean_absolute_error <= \
+        result.best.mean_absolute_error + 0.15
+
+
+def _fmt(bounds):
+    low, high = bounds
+    return f"{low:.2f} - {high:.2f}"

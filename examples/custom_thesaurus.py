@@ -1,0 +1,89 @@
+"""Plugging in a custom domain thesaurus.
+
+The paper's linguistic component is replaceable ("the linguistic and
+structural algorithms used here can be easily replaced").  This example
+matches two medical-billing schemas -- a domain the bundled thesaurus
+does not cover -- first with an empty thesaurus, then with a small
+domain thesaurus supplied at runtime, and shows the quality jump.
+
+Run with::
+
+    python examples/custom_thesaurus.py
+"""
+
+from repro import LinguisticMatcher, QMatchMatcher, Thesaurus
+from repro.evaluation import GoldMapping, evaluate_against_gold
+from repro.xsd.builder import TreeBuilder
+
+MEDICAL_THESAURUS = """\
+syn\tphysician\tdoctor\tprovider
+syn\tpatient\tsubscriber
+syn\tdiagnosis\tcondition
+abbr\tdx\tdiagnosis
+abbr\trx\tprescription
+abbr\tdob\tbirthdate
+acr\tnpi\tnational provider identifier
+hyp\tcopay\tpayment
+hyp\tdeductible\tpayment
+syn\tvisit\tencounter
+"""
+
+
+def clinic_schema():
+    builder = TreeBuilder("Encounter")
+    builder.leaf("PatientName", type_name="string")
+    builder.leaf("Birthdate", type_name="date")
+    builder.leaf("ProviderNPI", type_name="string")
+    with builder.node("Diagnoses"):
+        builder.leaf("Diagnosis", type_name="string", max_occurs=-1)
+    builder.leaf("Copay", type_name="decimal")
+    return builder.build(name="Clinic", domain="medical")
+
+
+def insurer_schema():
+    builder = TreeBuilder("Visit")
+    builder.leaf("SubscriberName", type_name="string")
+    builder.leaf("DOB", type_name="date")
+    builder.leaf("NationalProviderIdentifier", type_name="string")
+    with builder.node("Conditions"):
+        builder.leaf("Dx", type_name="string", max_occurs=-1)
+    builder.leaf("PatientPayment", type_name="decimal")
+    return builder.build(name="Insurer", domain="medical")
+
+
+GOLD = GoldMapping([
+    ("Encounter", "Visit"),
+    ("Encounter/PatientName", "Visit/SubscriberName"),
+    ("Encounter/Birthdate", "Visit/DOB"),
+    ("Encounter/ProviderNPI", "Visit/NationalProviderIdentifier"),
+    ("Encounter/Diagnoses", "Visit/Conditions"),
+    ("Encounter/Diagnoses/Diagnosis", "Visit/Conditions/Dx"),
+    ("Encounter/Copay", "Visit/PatientPayment"),
+])
+
+
+def run(label, thesaurus):
+    matcher = QMatchMatcher(linguistic=LinguisticMatcher(thesaurus=thesaurus))
+    result = matcher.match(clinic_schema(), insurer_schema())
+    quality = evaluate_against_gold(result.pairs, GOLD)
+    print(f"\n--- {label}")
+    print(f"tree QoM {result.tree_qom:.3f} | {quality}")
+    for correspondence in result.correspondences:
+        marker = "+" if correspondence.as_tuple() in GOLD.pairs else " "
+        print(f"  {marker} {correspondence}")
+    return quality
+
+
+def main():
+    without = run("without domain knowledge (empty thesaurus)",
+                  Thesaurus.empty())
+    custom = Thesaurus().loads(MEDICAL_THESAURUS, source="medical")
+    with_thesaurus = run("with the medical thesaurus", custom)
+
+    print(f"\nrecall without: {without.recall:.2f}  ->  "
+          f"with: {with_thesaurus.recall:.2f}")
+    assert with_thesaurus.recall >= without.recall
+
+
+if __name__ == "__main__":
+    main()

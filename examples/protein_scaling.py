@@ -1,0 +1,74 @@
+"""Scaling study: match quality and runtime as schemas grow.
+
+A miniature of the paper's protein experiment (Figure 4/5 at 3984
+elements): generate source schemas of increasing size, derive a mutated
+target with a known gold mapping, and chart how the three algorithms'
+runtime and accuracy evolve.  The full-size PIR/PDB pair is available in
+``repro.datasets.protein``; this example keeps sizes small enough to
+finish in seconds.
+
+Run with::
+
+    python examples/protein_scaling.py
+"""
+
+import time
+
+import repro
+from repro.datasets.protein import PROTEIN_TYPE_POOL, PROTEIN_VOCABULARY, _thesaurus_rename
+from repro.evaluation import GoldMapping, evaluate_against_gold
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+from repro.xsd.mutations import MutationConfig, SchemaMutator
+
+SIZES = (30, 60, 120, 240, 480)
+ALGORITHMS = ("linguistic", "structural", "qmatch")
+
+
+def build_pair(n_nodes, seed=7):
+    """A protein-flavoured schema and a renamed/shuffled derivative."""
+    generator = SchemaGenerator(GeneratorConfig(
+        n_nodes=n_nodes,
+        max_depth=min(6, max(2, n_nodes // 12)),
+        seed=seed,
+        vocabulary=PROTEIN_VOCABULARY,
+        type_pool=PROTEIN_TYPE_POOL,
+        root_name="ProteinEntry",
+        domain="protein",
+    ))
+    source = generator.generate()
+    mutator = SchemaMutator(
+        MutationConfig(seed=seed, rename_probability=0.35,
+                       shuffle_probability=0.15, retype_probability=0.05),
+        rename=_thesaurus_rename,
+        type_pool=PROTEIN_TYPE_POOL,
+    )
+    target, gold_pairs = mutator.mutate(source)
+    return source, target, GoldMapping(gold_pairs)
+
+
+def main():
+    header = f"{'nodes':>6s}"
+    for algorithm in ALGORITHMS:
+        header += f"  {algorithm + ' s':>12s} {algorithm + ' F1':>12s}"
+    print(header)
+
+    for n_nodes in SIZES:
+        source, target, gold = build_pair(n_nodes)
+        line = f"{source.size + target.size:6d}"
+        for algorithm in ALGORITHMS:
+            started = time.perf_counter()
+            result = repro.match(source, target, algorithm=algorithm)
+            elapsed = time.perf_counter() - started
+            quality = evaluate_against_gold(result.pairs, gold)
+            line += f"  {elapsed:12.3f} {quality.f1:12.3f}"
+        print(line)
+
+    print(
+        "\nExpected shape (paper Figures 4-5): runtime grows with n*m and"
+        "\nthe hybrid is the slowest but the most accurate; the structural"
+        "\nbaseline degrades fastest as same-typed leaves multiply."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""The integrator's loop: match, review, refine, diff, extend.
+
+Real matching is interactive.  This example walks the full workflow the
+library supports around the core algorithm:
+
+1. match two inventory schemas with QMatch;
+2. review the proposal list with per-pair runner-up candidates;
+3. apply reviewer feedback (accept a missed pair, reject a false one)
+   and re-select without recomputing the matrix;
+4. diff the refined result against the original run;
+5. scan for complex (1:n) splits the one-to-one mapping cannot express.
+
+Run with::
+
+    python examples/refinement_workflow.py
+"""
+
+from repro import QMatchMatcher
+from repro.datasets import gold_inventory, store, warehouse
+from repro.matching.complex import find_complex_correspondences
+from repro.matching.io import diff_results
+from repro.matching.refine import refine
+
+
+def main():
+    source, target = warehouse(), store()
+    gold = gold_inventory()
+    matcher = QMatchMatcher()
+    result = matcher.match(source, target)
+
+    print(f"initial run: {len(result.correspondences)} correspondences, "
+          f"tree QoM {result.tree_qom:.3f}\n")
+    for correspondence in result.correspondences:
+        marker = "+" if correspondence.as_tuple() in gold.pairs else "?"
+        print(f"  {marker} {correspondence}")
+
+    # Review one pairing: what were the alternatives?
+    source_path = "Warehouse/WarehouseId"
+    print(f"\nrunner-up candidates for {source_path}:")
+    for target_path, score in result.matrix.top_candidates(source_path, k=3):
+        print(f"  {score:.3f}  {target_path}")
+
+    # The reviewer corrects the result: WarehouseId really maps to
+    # StoreNo, and the Supplier container should not grab Vendor (the
+    # reviewer prefers the supplier *name* leaf there).
+    refined = refine(
+        result,
+        accepted=[("Warehouse/WarehouseId", "Store/StoreNo")],
+        rejected=[(
+            "Warehouse/StockItems/StockItem/Supplier",
+            "Store/Products/Product/Vendor",
+        )],
+    )
+    print(f"\nafter feedback ({refined.algorithm}):")
+    diff = diff_results(result, refined)
+    print(diff.render())
+
+    proposals = find_complex_correspondences(refined)
+    if proposals:
+        print("\npossible 1:n splits to review:")
+        for proposal in proposals[:3]:
+            print(f"  {proposal}")
+
+    missed = gold.pairs - refined.pairs
+    print(f"\nremaining gold pairs not yet mapped: {len(missed)}")
+    for pair in sorted(missed):
+        print(f"  {pair[0]} -> {pair[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Weight tuning: reproduce the Table 2 methodology interactively.
+
+Sweeps axis-weight combinations against manually determined expected
+match values (Section 5.1 of the paper) and prints the best grid point,
+the per-axis "good" ranges, and how the paper's chosen weights
+(0.3 / 0.2 / 0.1 / 0.4) rank.
+
+Run with::
+
+    python examples/weight_tuning.py
+"""
+
+from repro.core.weights import PAPER_WEIGHTS
+from repro.datasets import registry
+from repro.evaluation.tuning import TuningCase, sweep_weights
+
+EXPECTED = {"PO": 0.90, "Book": 0.70, "DCMD": 0.45}
+
+
+def main():
+    cases = []
+    for name, expected in EXPECTED.items():
+        task = registry.task(name)
+        cases.append(TuningCase(name, task.source, task.target, expected))
+        print(f"tuning case {name}: expected overall QoM {expected:.2f}")
+
+    print("\nsweeping the weight grid (step 0.1) ...")
+    result = sweep_weights(cases, step=0.1, tolerance=0.05)
+
+    best = result.best
+    print(f"\nbest weights : {best.weights}")
+    print(f"mean abs err : {best.mean_absolute_error:.4f}")
+
+    print("\nper-axis ranges within tolerance of the best:")
+    for axis in ("label", "properties", "level", "children"):
+        low, high = result.range_of(axis)
+        print(f"  {axis:10s} {low:.2f} - {high:.2f}")
+
+    paper_point = next(
+        p for p in result.points
+        if abs(p.weights.label - PAPER_WEIGHTS.label) < 1e-9
+        and abs(p.weights.children - PAPER_WEIGHTS.children) < 1e-9
+        and abs(p.weights.properties - PAPER_WEIGHTS.properties) < 1e-9
+    )
+    rank = result.points.index(paper_point) + 1
+    print(f"\npaper weights ({PAPER_WEIGHTS}) rank {rank} of "
+          f"{len(result.points)} grid points "
+          f"(error {paper_point.mean_absolute_error:.4f})")
+
+    print("\ntop five grid points:")
+    for point in result.points[:5]:
+        print(f"  {point.weights}  err={point.mean_absolute_error:.4f}")
+
+
+if __name__ == "__main__":
+    main()

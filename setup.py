@@ -1,0 +1,7 @@
+"""Shim so `python setup.py develop` works in offline environments
+where pip's PEP 660 editable path is unavailable (no `wheel` package).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""QMatch: a hybrid match algorithm for XML Schemas (ICDE 2005 reproduction).
+
+Quickstart::
+
+    from repro import match, parse_xsd_file
+
+    source = parse_xsd_file("a.xsd")
+    target = parse_xsd_file("b.xsd")
+    result = match(source, target)           # hybrid QMatch
+    print(result.tree_qom)                   # overall schema QoM
+    for correspondence in result.correspondences:
+        print(correspondence)                 # node pairs + category
+
+Main entry points:
+
+- :func:`match` / :func:`make_matcher` -- run any of the three
+  algorithms (``"qmatch"``, ``"linguistic"``, ``"structural"``, plus the
+  ``"tree-edit"`` extra baseline);
+- :class:`QMatchMatcher`, :class:`QMatchConfig`, :class:`AxisWeights` --
+  the configurable hybrid algorithm;
+- :func:`parse_xsd` / :func:`parse_xsd_file` and the builder helpers --
+  getting schema trees in;
+- :mod:`repro.datasets` -- the paper's evaluation schemas;
+- :mod:`repro.evaluation` -- precision / recall / overall harness.
+"""
+
+from repro.composite.combine import CompositeMatcher
+from repro.core.config import QMatchConfig
+from repro.cupid.matcher import CupidConfig, CupidMatcher
+from repro.core.qmatch import AxisBreakdown, QMatchMatcher
+from repro.core.taxonomy import CoverageLevel, MatchCategory
+from repro.core.weights import PAPER_WEIGHTS, AxisWeights
+from repro.linguistic.matcher import LinguisticConfig, LinguisticMatcher
+from repro.linguistic.thesaurus import Thesaurus
+from repro.matching.base import Matcher
+from repro.matching.result import Correspondence, MatchResult, ScoreMatrix
+from repro.matching.selection import DEFAULT_THRESHOLD
+from repro.structural.matcher import StructuralConfig, StructuralMatcher
+from repro.structural.flooding import SimilarityFloodingMatcher
+from repro.structural.tree_edit import TreeEditMatcher, tree_edit_distance
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.dtd import parse_dtd, parse_dtd_file
+from repro.xsd.model import NodeKind, SchemaNode, SchemaTree
+from repro.xsd.parser import parse_xsd, parse_xsd_file
+from repro.xsd.stats import SchemaStats, schema_stats
+from repro.xsd.serializer import to_compact_text, to_xsd
+
+__version__ = "1.0.0"
+
+#: Registered algorithm names for :func:`make_matcher` / the CLI.
+ALGORITHMS = (
+    "qmatch", "linguistic", "structural", "tree-edit", "cupid", "flooding",
+)
+
+
+def make_matcher(algorithm: str = "qmatch", **kwargs) -> Matcher:
+    """Instantiate a matcher by algorithm name.
+
+    ``kwargs`` are forwarded to the matcher constructor (e.g.
+    ``config=QMatchConfig(...)`` or ``thesaurus=...``).
+    """
+    if algorithm == "qmatch":
+        return QMatchMatcher(**kwargs)
+    if algorithm == "linguistic":
+        return LinguisticMatcher(**kwargs)
+    if algorithm == "structural":
+        return StructuralMatcher(**kwargs)
+    if algorithm == "tree-edit":
+        return TreeEditMatcher(**kwargs)
+    if algorithm == "cupid":
+        return CupidMatcher(**kwargs)
+    if algorithm == "flooding":
+        return SimilarityFloodingMatcher(**kwargs)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    )
+
+
+def match(source: SchemaTree, target: SchemaTree, algorithm: str = "qmatch",
+          threshold: float = DEFAULT_THRESHOLD, strategy: str = None,
+          **kwargs) -> MatchResult:
+    """Match two schema trees end to end.
+
+    The one-call API: builds the requested matcher, scores every node
+    pair, selects one-to-one correspondences above ``threshold`` and
+    returns the full :class:`MatchResult`.
+    """
+    return make_matcher(algorithm, **kwargs).match(
+        source, target, threshold=threshold, strategy=strategy
+    )
+
+
+__all__ = [
+    "ALGORITHMS",
+    "AxisBreakdown",
+    "CompositeMatcher",
+    "CupidConfig",
+    "CupidMatcher",
+    "SimilarityFloodingMatcher",
+    "AxisWeights",
+    "Correspondence",
+    "CoverageLevel",
+    "DEFAULT_THRESHOLD",
+    "LinguisticConfig",
+    "LinguisticMatcher",
+    "MatchCategory",
+    "MatchResult",
+    "Matcher",
+    "NodeKind",
+    "PAPER_WEIGHTS",
+    "QMatchConfig",
+    "QMatchMatcher",
+    "SchemaNode",
+    "SchemaTree",
+    "ScoreMatrix",
+    "StructuralConfig",
+    "StructuralMatcher",
+    "Thesaurus",
+    "TreeBuilder",
+    "TreeEditMatcher",
+    "attribute",
+    "element",
+    "SchemaStats",
+    "make_matcher",
+    "match",
+    "parse_dtd",
+    "parse_dtd_file",
+    "parse_xsd",
+    "parse_xsd_file",
+    "schema_stats",
+    "to_compact_text",
+    "to_xsd",
+    "tree",
+    "tree_edit_distance",
+]

@@ -1,0 +1,323 @@
+"""Command-line front end.
+
+Subcommands::
+
+    qmatch match a.xsd b.xsd [--algorithm qmatch] [--threshold 0.5]
+                             [--weights 0.3,0.2,0.1,0.4]
+                             [--format text|tsv|json] [--save out.json]
+    qmatch show a.xsd [--properties]
+    qmatch stats a.xsd
+    qmatch evaluate [--task PO Book DCMD Inventory] [--format markdown]
+    qmatch generate a.xsd [--seed N]
+    qmatch translate a.xsd b.xsd [doc.xml]
+    qmatch diff old.json new.json
+    qmatch sdiff old.xsd new.xsd
+
+``match`` matches two XSD files and prints the correspondences and the
+overall schema QoM; ``show`` / ``stats`` inspect one schema;
+``evaluate`` runs the three paper algorithms on the built-in evaluation
+pairs; ``generate`` emits a sample document; ``translate`` matches two
+schemas and reshapes a document from one into the other; ``diff``
+compares two saved match results; ``sdiff`` diffs two versions of a
+schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import ALGORITHMS, make_matcher
+from repro.core.config import QMatchConfig
+from repro.core.weights import AxisWeights
+from repro.evaluation.harness import evaluate_all, render_quality_rows
+from repro.xsd.parser import parse_xsd_file
+from repro.xsd.serializer import to_compact_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qmatch",
+        description="QMatch: hybrid XML-Schema matching (ICDE 2005).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    match_parser = subparsers.add_parser(
+        "match", help="match two XSD files and print the correspondences"
+    )
+    match_parser.add_argument("source", help="source XSD file")
+    match_parser.add_argument("target", help="target XSD file")
+    match_parser.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="qmatch",
+        help="matching algorithm (default: qmatch)",
+    )
+    match_parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="correspondence acceptance threshold (default: 0.5)",
+    )
+    match_parser.add_argument(
+        "--strategy", choices=("greedy", "hierarchical", "stable", "all"),
+        default=None,
+        help="correspondence selection strategy "
+             "(default: the algorithm's own)",
+    )
+    match_parser.add_argument(
+        "--weights", metavar="L,P,H,C",
+        help="QMatch axis weights as four comma-separated numbers "
+             "(label, properties, level, children); normalized to sum 1",
+    )
+    match_parser.add_argument(
+        "--format", choices=("text", "tsv", "json"), default="text",
+        dest="output_format", help="output format (default: text)",
+    )
+    match_parser.add_argument(
+        "--save", metavar="FILE",
+        help="also write the result as JSON (for later `qmatch diff`)",
+    )
+    match_parser.add_argument(
+        "--complex", action="store_true", dest="find_complex",
+        help="also scan for 1:n / n:1 split correspondences",
+    )
+
+    show_parser = subparsers.add_parser(
+        "show", help="parse an XSD file and print the schema tree"
+    )
+    show_parser.add_argument("schema", help="XSD file to show")
+    show_parser.add_argument(
+        "--properties", action="store_true",
+        help="include non-default properties on each line",
+    )
+
+    evaluate_parser = subparsers.add_parser(
+        "evaluate",
+        help="run all algorithms on the built-in paper evaluation pairs",
+    )
+    evaluate_parser.add_argument(
+        "--task", nargs="*", default=["PO", "Book", "DCMD", "Inventory"],
+        help="tasks to run: PO Book DCMD Inventory Protein "
+             "(default: the fast four)",
+    )
+    evaluate_parser.add_argument("--threshold", type=float, default=0.5)
+    evaluate_parser.add_argument(
+        "--format", choices=("text", "markdown"), default="text",
+        dest="output_format", help="report format (default: text)",
+    )
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="generate a sample XML document for a schema"
+    )
+    generate_parser.add_argument("schema", help="XSD file")
+    generate_parser.add_argument("--seed", type=int, default=0)
+
+    translate_parser = subparsers.add_parser(
+        "translate",
+        help="match two schemas, then translate a source document into "
+             "the target layout",
+    )
+    translate_parser.add_argument("source", help="source XSD file")
+    translate_parser.add_argument("target", help="target XSD file")
+    translate_parser.add_argument(
+        "document", nargs="?",
+        help="XML document conforming to the source schema "
+             "(default: a generated sample)",
+    )
+    translate_parser.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="qmatch",
+    )
+    translate_parser.add_argument("--threshold", type=float, default=0.5)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="profile a schema (counts, depths, fan-out, types)"
+    )
+    stats_parser.add_argument("schema", help="XSD file")
+
+    diff_parser = subparsers.add_parser(
+        "diff", help="compare two saved match results (see `match --save`)"
+    )
+    diff_parser.add_argument("old", help="baseline result JSON")
+    diff_parser.add_argument("new", help="new result JSON")
+
+    sdiff_parser = subparsers.add_parser(
+        "sdiff", help="diff two versions of a schema (adds/removes/renames)"
+    )
+    sdiff_parser.add_argument("old", help="old-version XSD file")
+    sdiff_parser.add_argument("new", help="new-version XSD file")
+    return parser
+
+
+def _parse_weights(text: str) -> AxisWeights:
+    try:
+        values = [float(part) for part in text.split(",")]
+    except ValueError:
+        raise SystemExit(f"invalid --weights {text!r}: expected four numbers")
+    if len(values) != 4:
+        raise SystemExit(
+            f"invalid --weights {text!r}: expected exactly four numbers "
+            "(label, properties, level, children)"
+        )
+    return AxisWeights.normalized(*values)
+
+
+def _command_match(args) -> int:
+    source = parse_xsd_file(args.source)
+    target = parse_xsd_file(args.target)
+    kwargs = {}
+    if args.weights:
+        if args.algorithm != "qmatch":
+            raise SystemExit("--weights only applies to the qmatch algorithm")
+        kwargs["config"] = QMatchConfig(weights=_parse_weights(args.weights))
+    matcher = make_matcher(args.algorithm, **kwargs)
+    result = matcher.match(
+        source, target, threshold=args.threshold, strategy=args.strategy
+    )
+    if args.save:
+        from pathlib import Path
+
+        from repro.matching.io import result_to_json
+
+        Path(args.save).write_text(result_to_json(result), encoding="utf-8")
+        print(f"saved result to {args.save}", file=sys.stderr)
+    if args.output_format == "text":
+        print(result.summary())
+    elif args.output_format == "tsv":
+        for c in result.correspondences:
+            category = c.category or ""
+            print(f"{c.source_path}\t{c.target_path}\t{c.score:.4f}\t{category}")
+    else:
+        payload = {
+            "algorithm": result.algorithm,
+            "tree_qom": result.tree_qom,
+            "correspondences": [
+                {
+                    "source": c.source_path,
+                    "target": c.target_path,
+                    "score": c.score,
+                    "category": c.category,
+                }
+                for c in result.correspondences
+            ],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    if args.find_complex:
+        from repro.matching.complex import find_complex_correspondences
+
+        proposals = find_complex_correspondences(result)
+        if proposals:
+            print("\ncomplex (1:n) proposals:")
+            for proposal in proposals:
+                print(f"  {proposal}")
+        else:
+            print("\nno complex (1:n) proposals found")
+    return 0
+
+
+def _command_show(args) -> int:
+    schema = parse_xsd_file(args.schema)
+    print(f"# {schema.name}: {schema.size} nodes, max depth {schema.max_depth}")
+    print(to_compact_text(schema, show_properties=args.properties))
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    from repro.datasets import registry  # heavy import kept local
+
+    tasks = [registry.task(name) for name in args.task]
+    matchers = [
+        make_matcher("linguistic"),
+        make_matcher("structural"),
+        make_matcher("qmatch"),
+    ]
+    rows = evaluate_all(tasks, matchers, threshold=args.threshold)
+    if args.output_format == "markdown":
+        from repro.evaluation.report import render_markdown_report
+
+        print(render_markdown_report(rows))
+    else:
+        print(render_quality_rows(rows))
+    return 0
+
+
+def _command_generate(args) -> int:
+    from repro.xsd.instances import InstanceConfig, generate_instance_text
+
+    schema = parse_xsd_file(args.schema)
+    print(generate_instance_text(schema, InstanceConfig(seed=args.seed)))
+    return 0
+
+
+def _command_translate(args) -> int:
+    import xml.etree.ElementTree as ET
+
+    from repro.mapping import Mapping, translate_instance_text
+    from repro.xsd.instances import generate_instance, validate_instance
+
+    source = parse_xsd_file(args.source)
+    target = parse_xsd_file(args.target)
+    if args.document:
+        document = ET.parse(args.document).getroot()
+        problems = validate_instance(source, document)
+        if problems:
+            print("warning: document does not fully conform to the source "
+                  "schema:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+    else:
+        document = generate_instance(source)
+        print("(no document given -- translating a generated sample)",
+              file=sys.stderr)
+    matcher = make_matcher(args.algorithm)
+    result = matcher.match(source, target, threshold=args.threshold)
+    mapping = Mapping.from_result(result)
+    print(translate_instance_text(document, source, target, mapping))
+    return 0
+
+
+def _command_stats(args) -> int:
+    from repro.xsd.stats import schema_stats
+
+    schema = parse_xsd_file(args.schema)
+    print(schema_stats(schema).render())
+    return 0
+
+
+def _command_diff(args) -> int:
+    from pathlib import Path
+
+    from repro.matching.io import diff_results, result_from_json
+
+    old = result_from_json(Path(args.old).read_text(encoding="utf-8"))
+    new = result_from_json(Path(args.new).read_text(encoding="utf-8"))
+    diff = diff_results(old, new)
+    print(diff.render())
+    return 0 if diff.is_empty else 1
+
+
+def _command_sdiff(args) -> int:
+    from repro.xsd.diff import diff_schemas
+
+    old = parse_xsd_file(args.old)
+    new = parse_xsd_file(args.new)
+    diff = diff_schemas(old, new)
+    print(diff.render())
+    return 0 if diff.is_empty else 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "match": _command_match,
+        "show": _command_show,
+        "evaluate": _command_evaluate,
+        "generate": _command_generate,
+        "translate": _command_translate,
+        "stats": _command_stats,
+        "diff": _command_diff,
+        "sdiff": _command_sdiff,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""COMA-style composite matching (Do & Rahm, VLDB 2002).
+
+The second comparator named in the QMatch paper's ongoing work.  COMA's
+idea is a *library* of elementary matchers whose similarity matrices are
+combined by an aggregation strategy, rather than one monolithic hybrid:
+
+- :mod:`repro.composite.elementary` -- cheap single-evidence matchers in
+  COMA's style (Name, NamePath, Type) that complement the library's
+  full matchers (linguistic, structural, tree-edit, qmatch, cupid);
+- :mod:`repro.composite.combine` -- the :class:`CompositeMatcher` that
+  runs any set of matchers and aggregates their matrices per pair
+  (max / min / average / weighted), plus the named-strategy registry.
+"""
+
+from repro.composite.combine import (
+    AGGREGATIONS,
+    CompositeMatcher,
+    aggregate_scores,
+)
+from repro.composite.reuse import compose_mappings, compose_results
+from repro.composite.elementary import (
+    NameMatcher,
+    NamePathMatcher,
+    TypeMatcher,
+)
+
+__all__ = [
+    "AGGREGATIONS",
+    "CompositeMatcher",
+    "NameMatcher",
+    "NamePathMatcher",
+    "TypeMatcher",
+    "aggregate_scores",
+    "compose_mappings",
+    "compose_results",
+]

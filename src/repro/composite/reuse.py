@@ -1,0 +1,57 @@
+"""Mapping reuse: transitive composition of stored match results.
+
+COMA's signature trick: when A-to-B and B-to-C mappings already exist,
+derive A-to-C *without matching* by composing through the shared schema.
+Scores multiply along the composition path (both links must be strong
+for the derived link to be), and where several B-nodes bridge the same
+(A, C) pair the strongest bridge wins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.matching.result import Correspondence
+
+
+def compose_mappings(first: Iterable[Correspondence],
+                     second: Iterable[Correspondence],
+                     min_score: float = 0.0) -> list[Correspondence]:
+    """Compose A->B and B->C correspondences into A->C.
+
+    ``first`` maps schema A to schema B, ``second`` maps B to C; the
+    result maps A to C with ``score = score_AB * score_BC`` (strongest
+    bridge per (A, C) pair).  Pairs below ``min_score`` are dropped.
+    Categories do not survive composition (the axes were judged against
+    different schemas), so derived correspondences carry ``None``.
+    """
+    second_by_source: dict[str, list[Correspondence]] = {}
+    for correspondence in second:
+        second_by_source.setdefault(
+            correspondence.source_path, []
+        ).append(correspondence)
+
+    best: dict[tuple[str, str], float] = {}
+    for left in first:
+        for right in second_by_source.get(left.target_path, ()):
+            pair = (left.source_path, right.target_path)
+            score = left.score * right.score
+            if score >= min_score and score > best.get(pair, -1.0):
+                best[pair] = score
+
+    composed = [
+        Correspondence(source_path, target_path, score)
+        for (source_path, target_path), score in best.items()
+    ]
+    composed.sort(key=lambda c: (-c.score, c.source_path, c.target_path))
+    return composed
+
+
+def compose_results(first_result, second_result,
+                    min_score: float = 0.0) -> list[Correspondence]:
+    """Compose two results' correspondences (``MatchResult`` or
+    :class:`~repro.matching.io.StoredResult`)."""
+    return compose_mappings(
+        first_result.correspondences, second_result.correspondences,
+        min_score=min_score,
+    )

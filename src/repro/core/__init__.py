@@ -1,0 +1,38 @@
+"""QMatch core: the paper's primary contribution.
+
+- :mod:`repro.core.taxonomy` -- the XML match taxonomy (Section 2);
+- :mod:`repro.core.weights` -- axis weights of the match model
+  (Section 3, Table 2);
+- :mod:`repro.core.config` -- algorithm configuration, including the
+  fidelity switches discussed in DESIGN.md;
+- :mod:`repro.core.qmatch` -- the hybrid QMatch algorithm (Section 4).
+"""
+
+from repro.core.config import (
+    CHILDREN_AGGREGATION_MODES,
+    LEAF_LEVEL_MODES,
+    QMatchConfig,
+)
+from repro.core.qmatch import AxisBreakdown, QMatchMatcher
+from repro.core.taxonomy import (
+    CoverageLevel,
+    MatchCategory,
+    classify_leaf,
+    classify_subtree,
+)
+from repro.core.weights import PAPER_WEIGHTS, UNIFORM_WEIGHTS, AxisWeights
+
+__all__ = [
+    "AxisBreakdown",
+    "AxisWeights",
+    "CHILDREN_AGGREGATION_MODES",
+    "CoverageLevel",
+    "LEAF_LEVEL_MODES",
+    "MatchCategory",
+    "PAPER_WEIGHTS",
+    "QMatchConfig",
+    "QMatchMatcher",
+    "UNIFORM_WEIGHTS",
+    "classify_leaf",
+    "classify_subtree",
+]

@@ -1,0 +1,88 @@
+"""QMatch configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.weights import AxisWeights, PAPER_WEIGHTS
+
+#: How the children axis aggregates child-pair QoM values.
+#:
+#: - ``best_match``: each source child contributes its best-matching
+#:   target child when that best QoM clears the threshold (the intended
+#:   reading of Eq. 3's "normalized sum"; keeps QoM_C in [0, 1]).
+#: - ``all_pairs``: the literal Figure 3 pseudo-code -- every
+#:   above-threshold (source child, target child) pair contributes, so a
+#:   source child matching several target children counts repeatedly and
+#:   QoM_C is clamped at 1.  Kept for fidelity experiments (DESIGN.md).
+CHILDREN_AGGREGATION_MODES = ("best_match", "all_pairs")
+
+#: How leaves handle the level axis.
+#:
+#: - ``constant``: Eq. 2's constant C -- leaves get full credit on the
+#:   children and level axes ("exact match by default").
+#: - ``computed``: Section 2.1's behaviour -- the level axis of a leaf
+#:   pair is compared like any other node's.
+LEAF_LEVEL_MODES = ("constant", "computed")
+
+
+@dataclass(frozen=True)
+class QMatchConfig:
+    """Everything tunable about the QMatch algorithm.
+
+    Attributes
+    ----------
+    weights:
+        The axis weights of the match model (defaults to the paper's
+        Table 2 values).
+    threshold:
+        The child-match threshold of Figure 3: a child pair only counts
+        toward the children axis when its QoM reaches this value.
+    children_aggregation / leaf_level_mode:
+        Fidelity switches documented above and in DESIGN.md.
+    record_categories:
+        Whether to compute and keep the qualitative taxonomy category of
+        every pair (cheap for paper-sized schemas; can be disabled for
+        the thousands-of-nodes protein runs).
+    """
+
+    weights: AxisWeights = PAPER_WEIGHTS
+    threshold: float = 0.5
+    children_aggregation: str = "best_match"
+    leaf_level_mode: str = "constant"
+    record_categories: bool = True
+    #: Secondary gate for the children axis: a child pair with *no*
+    #: label evidence still counts as matched when its properties axis
+    #: scores at least this high (identical type, order, occurrence and
+    #: kind).  This is what lets structurally-identical-but-
+    #: linguistically-disjoint schemas (the paper's Figures 7-9) keep a
+    #: strong children axis while arbitrary unrelated leaves -- which
+    #: Eq. 2's constant would otherwise push over the threshold -- do
+    #: not.
+    structural_child_gate: float = 0.95
+    #: Use ``xs:annotation/xs:documentation`` text as secondary label
+    #: evidence (Cupid consults schema comments the same way).  When two
+    #: nodes both carry documentation, its linguistic similarity can
+    #: rescue a label axis the names alone would fail, discounted by
+    #: ``documentation_discount``.
+    use_documentation: bool = False
+    documentation_discount: float = 0.9
+
+    def __post_init__(self):
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+        if not 0.0 <= self.structural_child_gate <= 1.0:
+            raise ValueError(
+                "structural_child_gate must be in [0, 1], "
+                f"got {self.structural_child_gate}"
+            )
+        if self.children_aggregation not in CHILDREN_AGGREGATION_MODES:
+            raise ValueError(
+                f"children_aggregation must be one of "
+                f"{CHILDREN_AGGREGATION_MODES}, got {self.children_aggregation!r}"
+            )
+        if self.leaf_level_mode not in LEAF_LEVEL_MODES:
+            raise ValueError(
+                f"leaf_level_mode must be one of {LEAF_LEVEL_MODES}, "
+                f"got {self.leaf_level_mode!r}"
+            )

@@ -1,0 +1,370 @@
+"""The QMatch hybrid algorithm (paper Section 4, Figure 3).
+
+QMatch computes a quality-of-match (QoM) value for every (source node,
+target node) pair by combining four axes::
+
+    QoM(s, t) = WL*QoM_L + WP*QoM_P + WH*QoM_H + WC*QoM_C
+
+- ``QoM_L`` comes from the linguistic matcher (the label axis);
+- ``QoM_P`` from the property matcher (type, order, occurrences, kind);
+- ``QoM_H`` is 1 when the nodes sit at the same nesting level, else 0;
+- ``QoM_C`` is the children axis: ``(Rw + Rs) / 2`` where ``Rw`` is the
+  normalized sum of the above-threshold child-pair QoMs and ``Rs`` the
+  fraction of source children with a match (Eqs. 3-5).
+
+The paper's Figure 3 presents this as a recursion from the roots; here
+it is computed as an equivalent bottom-up dynamic program over the
+postorder x postorder pair grid, so *every* subtree pair gets a QoM (the
+paper's tree-match step "match the sub-tree rooted at PurchaseInfo with
+all sub-trees in the Purchase Order schema" falls out for free) and the
+total cost is the O(n*m) the paper claims.
+
+Alongside the numeric matrix, the matcher classifies every pair with the
+Section 2 taxonomy (leaf-exact ... partial-relaxed), which is reported
+per correspondence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import QMatchConfig
+from repro.core.taxonomy import (
+    CoverageLevel,
+    MatchCategory,
+    classify_leaf,
+    classify_subtree,
+)
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.matching.base import Matcher
+from repro.matching.classes import MatchStrength
+from repro.matching.result import ScoreMatrix
+from repro.properties.matcher import PropertyMatcher
+from repro.xsd.model import SchemaNode, SchemaTree
+
+
+@dataclass(frozen=True)
+class AxisBreakdown:
+    """Per-axis detail of one pair's QoM -- what ``explain`` returns."""
+
+    source_path: str
+    target_path: str
+    qom: float
+    category: MatchCategory
+    label_score: float
+    label_strength: MatchStrength
+    label_mechanism: str
+    properties_score: float
+    properties_strength: MatchStrength
+    level_score: float
+    children_score: float
+    coverage: CoverageLevel
+    matched_children: int
+    total_children: int
+
+    def __str__(self):
+        lines = [
+            f"{self.source_path} <-> {self.target_path}",
+            f"  QoM      : {self.qom:.4f}  [{self.category}]",
+            f"  label    : {self.label_score:.3f} ({self.label_strength}, "
+            f"{self.label_mechanism})",
+            f"  props    : {self.properties_score:.3f} ({self.properties_strength})",
+            f"  level    : {self.level_score:.1f}",
+            f"  children : {self.children_score:.3f} ({self.coverage}, "
+            f"{self.matched_children}/{self.total_children} matched)",
+        ]
+        return "\n".join(lines)
+
+
+class QMatchMatcher(Matcher):
+    """The hybrid QMatch algorithm."""
+
+    name = "qmatch"
+    #: QMatch is a tree algorithm: correspondence extraction uses the
+    #: parent-context-aware strategy by default.
+    default_strategy = "hierarchical"
+
+    def __init__(self, config=None, linguistic=None, property_matcher=None,
+                 thesaurus=None):
+        """Create a QMatch instance.
+
+        ``linguistic`` / ``property_matcher`` default to fresh instances;
+        ``thesaurus`` is a convenience forwarded to the default
+        linguistic matcher (ignored when ``linguistic`` is given).
+        """
+        self.config = config or QMatchConfig()
+        self.linguistic = linguistic or LinguisticMatcher(thesaurus=thesaurus)
+        self.property_matcher = property_matcher or PropertyMatcher()
+
+    # ------------------------------------------------------------------
+    # Matcher protocol
+    # ------------------------------------------------------------------
+
+    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
+        matrix = ScoreMatrix(source, target)
+        categories: Optional[dict] = (
+            {} if self.config.record_categories else None
+        )
+        t_nodes = list(target.root.iter_postorder())
+        for s_node in source.root.iter_postorder():
+            for t_node in t_nodes:
+                qom, category = self._pair_qom(s_node, t_node, matrix, categories)
+                matrix.set(s_node, t_node, qom)
+                if categories is not None:
+                    categories[(s_node.path, t_node.path)] = category.value
+        matrix.categories = categories
+        return matrix
+
+    def categories(self, matrix: ScoreMatrix):
+        return getattr(matrix, "categories", None)
+
+    # ------------------------------------------------------------------
+    # The QoM model
+    # ------------------------------------------------------------------
+
+    def _pair_qom(self, s_node: SchemaNode, t_node: SchemaNode,
+                  matrix: ScoreMatrix, categories):
+        """QoM and taxonomy category of one pair.
+
+        Child pairs are guaranteed to be in ``matrix`` already because
+        both trees are iterated in postorder.
+        """
+        weights = self.config.weights
+        label = self._label_evidence(s_node, t_node)
+        props = self.property_matcher.compare(s_node, t_node)
+        level_strength = (
+            MatchStrength.EXACT if s_node.level == t_node.level
+            else MatchStrength.NONE
+        )
+        level_score = 1.0 if level_strength is MatchStrength.EXACT else 0.0
+
+        if s_node.is_leaf and t_node.is_leaf:
+            if self.config.leaf_level_mode == "constant":
+                # Eq. 2: children and level exact by default for leaves.
+                effective_level = 1.0
+            else:
+                effective_level = level_score
+            qom = (
+                weights.label * label.score
+                + weights.properties * props.score
+                + weights.level * effective_level
+                + weights.children * 1.0
+            )
+            category = classify_leaf(label.strength, props.strength)
+            return qom, category
+
+        if s_node.is_leaf != t_node.is_leaf:
+            # Leaf vs interior: no children-axis credit (footnote 1 of
+            # the paper -- comparable by altering the level axis).
+            qom = (
+                weights.label * label.score
+                + weights.properties * props.score
+                + weights.level * level_score
+            )
+            category = classify_subtree(
+                label.strength, props.strength, level_strength,
+                CoverageLevel.NONE, MatchStrength.NONE,
+            )
+            return qom, category
+
+        children_score, coverage, matched, children_strength = (
+            self._children_axis(s_node, t_node, matrix, categories)
+        )
+        qom = (
+            weights.label * label.score
+            + weights.properties * props.score
+            + weights.level * level_score
+            + weights.children * children_score
+        )
+        category = classify_subtree(
+            label.strength, props.strength, level_strength,
+            coverage, children_strength,
+        )
+        return qom, category
+
+    def _label_evidence(self, s_node, t_node):
+        """Label-axis evidence: names, optionally backed by documentation.
+
+        With ``use_documentation`` on and both nodes carrying
+        ``xs:documentation`` text, the documentation's linguistic
+        similarity (discounted) can lift a label axis the names alone
+        would fail -- it never lowers the name-based score, and
+        doc-mediated evidence is at best relaxed.
+        """
+        label = self.linguistic.compare_labels(s_node.name, t_node.name)
+        if not self.config.use_documentation:
+            return label
+        s_doc = s_node.properties.get("documentation")
+        t_doc = t_node.properties.get("documentation")
+        if not s_doc or not t_doc:
+            return label
+        doc = self.linguistic.compare_labels(s_doc, t_doc)
+        doc_score = doc.score * self.config.documentation_discount
+        if doc_score <= label.score:
+            return label
+        from repro.linguistic.matcher import LabelComparison
+
+        strength = label.strength
+        if strength is MatchStrength.NONE and doc.strength.is_match:
+            strength = MatchStrength.RELAXED
+        return LabelComparison(doc_score, strength, "documentation")
+
+    def _children_axis(self, s_node, t_node, matrix, categories):
+        """Eqs. 3-5: (QoM_C, coverage, matched count, children strength).
+
+        A child pair only counts when it is a genuine match: its label
+        axis matched at least relaxed, *or* its properties axis agrees
+        near-perfectly (the ``structural_child_gate`` -- what keeps the
+        Figure 7-9 structurally-identical case strong).  Without any
+        gate, Eq. 2's constant (WH + WC for every leaf pair) would push
+        arbitrary unrelated leaves over any threshold <= 0.5 and the
+        coverage measure would stop discriminating.
+
+        In ``best_match`` mode the candidate set for a source child also
+        includes the target node *itself*: the paper's tree-match
+        walk-through matches ``PurchaseInfo`` (a child of ``PO``) against
+        ``Purchase Order`` (the root), absorbing one level of nesting
+        difference.
+        """
+        threshold = self.config.threshold
+        s_children = s_node.children
+        t_children = t_node.children
+        total = len(s_children)
+
+        matched = 0
+        qom_sum = 0.0
+        children_all_exact = True
+
+        def is_child_match(s_child, t_child):
+            label = self.linguistic.compare_labels(s_child.name, t_child.name)
+            if label.strength is not MatchStrength.NONE:
+                return True
+            props = self.property_matcher.compare(s_child, t_child)
+            return props.score >= self.config.structural_child_gate
+
+        if self.config.children_aggregation == "best_match":
+            candidates = list(t_children) + [t_node]
+            for s_child in s_children:
+                best_qom = 0.0
+                best_target = None
+                for t_child in candidates:
+                    if t_child is t_node and s_child.is_leaf:
+                        # Absorption only makes sense for subtrees.
+                        continue
+                    child_qom = matrix.get(s_child, t_child)
+                    if child_qom > best_qom and is_child_match(s_child, t_child):
+                        best_qom = child_qom
+                        best_target = t_child
+                if best_qom >= threshold:
+                    matched += 1
+                    qom_sum += best_qom
+                    if categories is not None and best_target is not None:
+                        child_category = categories.get(
+                            (s_child.path, best_target.path)
+                        )
+                        if child_category is None or not MatchCategory(
+                            child_category
+                        ).is_exact:
+                            children_all_exact = False
+                    elif best_qom < 1.0:
+                        children_all_exact = False
+                else:
+                    children_all_exact = False
+        else:  # all_pairs -- the literal Figure 3 pseudo-code.
+            matched_sources = set()
+            for s_child in s_children:
+                for t_child in t_children:
+                    child_qom = matrix.get(s_child, t_child)
+                    if child_qom >= threshold and is_child_match(
+                        s_child, t_child
+                    ):
+                        qom_sum += child_qom
+                        matched_sources.add(id(s_child))
+                        if child_qom < 1.0:
+                            children_all_exact = False
+            matched = len(matched_sources)
+            if matched < total:
+                children_all_exact = False
+
+        subtree_weight = qom_sum / total  # Rw, Eq. 3
+        cardinality_ratio = matched / total  # Rs, Eq. 4
+        children_score = (subtree_weight + cardinality_ratio) / 2  # Eq. 5
+        children_score = min(children_score, 1.0)
+
+        if matched == total:
+            coverage = CoverageLevel.TOTAL
+        elif matched > 0:
+            coverage = CoverageLevel.PARTIAL
+        else:
+            coverage = CoverageLevel.NONE
+        children_strength = (
+            MatchStrength.EXACT
+            if matched and children_all_exact
+            else (MatchStrength.RELAXED if matched else MatchStrength.NONE)
+        )
+        return children_score, coverage, matched, children_strength
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+
+    def explain(self, source: SchemaTree, target: SchemaTree,
+                source_path: str, target_path: str,
+                matrix: Optional[ScoreMatrix] = None) -> AxisBreakdown:
+        """Full per-axis breakdown for one pair.
+
+        When ``matrix`` is omitted the matcher recomputes it (fine for
+        paper-sized schemas; pass the matrix from a previous
+        :meth:`match` for large ones).
+        """
+        s_node = source.find(source_path)
+        t_node = target.find(target_path)
+        if s_node is None:
+            raise KeyError(f"no node {source_path!r} in source schema")
+        if t_node is None:
+            raise KeyError(f"no node {target_path!r} in target schema")
+        if matrix is None:
+            matrix = self.score_matrix(source, target)
+        categories = getattr(matrix, "categories", None)
+
+        label = self._label_evidence(s_node, t_node)
+        props = self.property_matcher.compare(s_node, t_node)
+        level_score = 1.0 if s_node.level == t_node.level else 0.0
+        if s_node.is_leaf and t_node.is_leaf:
+            children_score, coverage = 1.0, CoverageLevel.TOTAL
+            matched, total = 0, 0
+            if self.config.leaf_level_mode == "constant":
+                level_score = 1.0
+        elif s_node.is_leaf != t_node.is_leaf:
+            children_score, coverage = 0.0, CoverageLevel.NONE
+            matched, total = 0, len(s_node.children)
+        else:
+            children_score, coverage, matched, _ = self._children_axis(
+                s_node, t_node, matrix, categories
+            )
+            total = len(s_node.children)
+        qom = matrix.get(s_node, t_node)
+        category_value = (
+            categories.get((s_node.path, t_node.path)) if categories else None
+        )
+        if category_value is not None:
+            category = MatchCategory(category_value)
+        else:
+            _, category = self._pair_qom(s_node, t_node, matrix, None)
+        return AxisBreakdown(
+            source_path=s_node.path,
+            target_path=t_node.path,
+            qom=qom,
+            category=category,
+            label_score=label.score,
+            label_strength=label.strength,
+            label_mechanism=label.mechanism,
+            properties_score=props.score,
+            properties_strength=props.strength,
+            level_score=level_score,
+            children_score=children_score,
+            coverage=coverage,
+            matched_children=matched,
+            total_children=total,
+        )

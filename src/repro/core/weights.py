@@ -1,0 +1,93 @@
+"""Axis weights for the weight-based match model (paper Section 3).
+
+``QoM = WL*QoM_L + WP*QoM_P + WH*QoM_H + WC*QoM_C`` -- the four weights
+express how much each information axis contributes to the final QoM.
+The paper's tuning experiment (Table 2) selected ``label=0.3``,
+``properties=0.2``, ``level=0.1``, ``children=0.4``; those are the
+defaults here and are exposed as :data:`PAPER_WEIGHTS`.
+
+Weights must be non-negative and sum to 1 so that a total-exact match
+always yields ``QoM = 1`` (the paper's normalization invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sum tolerance when validating weights.
+_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class AxisWeights:
+    """The four axis weights (label, properties, level, children)."""
+
+    label: float = 0.3
+    properties: float = 0.2
+    level: float = 0.1
+    children: float = 0.4
+
+    def __post_init__(self):
+        for axis_name, value in self.as_dict().items():
+            if value < 0:
+                raise ValueError(f"weight {axis_name} must be >= 0, got {value}")
+        total = self.total
+        if abs(total - 1.0) > _SUM_TOLERANCE:
+            raise ValueError(
+                f"axis weights must sum to 1, got {total} "
+                f"({self.as_dict()}); use AxisWeights.normalized(...) to rescale"
+            )
+
+    @property
+    def total(self) -> float:
+        return self.label + self.properties + self.level + self.children
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "properties": self.properties,
+            "level": self.level,
+            "children": self.children,
+        }
+
+    def as_tuple(self) -> tuple:
+        return (self.label, self.properties, self.level, self.children)
+
+    @classmethod
+    def normalized(cls, label, properties, level, children) -> "AxisWeights":
+        """Build weights from arbitrary non-negative magnitudes, rescaled
+        to sum to 1."""
+        total = label + properties + level + children
+        if total <= 0:
+            raise ValueError("at least one axis weight must be positive")
+        return cls(
+            label=label / total,
+            properties=properties / total,
+            level=level / total,
+            children=children / total,
+        )
+
+    @classmethod
+    def from_sequence(cls, values) -> "AxisWeights":
+        """Build from a 4-sequence in (label, properties, level, children)
+        order -- the order the paper's Table 2 uses."""
+        values = tuple(values)
+        if len(values) != 4:
+            raise ValueError(
+                f"need exactly 4 weights (label, properties, level, "
+                f"children), got {len(values)}"
+            )
+        return cls(*values)
+
+    def __str__(self):
+        return (
+            f"L={self.label:g} P={self.properties:g} "
+            f"H={self.level:g} C={self.children:g}"
+        )
+
+
+#: The weights the paper selected (Table 2).
+PAPER_WEIGHTS = AxisWeights(label=0.3, properties=0.2, level=0.1, children=0.4)
+
+#: Equal weighting -- Equation 7's unweighted sum, normalized.
+UNIFORM_WEIGHTS = AxisWeights(label=0.25, properties=0.25, level=0.25, children=0.25)

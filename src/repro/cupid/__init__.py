@@ -1,0 +1,15 @@
+"""Cupid (Madhavan, Bernstein, Rahm -- VLDB 2001), the paper's comparator.
+
+The QMatch paper's Section 7 names its ongoing work as "evaluating the
+quality of match and the performance of QMatch with other hybrid and
+composite algorithms such as CUPID and COMA".  This package provides the
+Cupid side of that comparison: a faithful implementation of Cupid's
+TreeMatch -- linguistic similarity blended with a bottom-up structural
+similarity over leaf sets, plus the characteristic leaf-similarity
+propagation (boost the leaves under strongly matching internal nodes,
+dampen those under weak ones).
+"""
+
+from repro.cupid.matcher import CupidConfig, CupidMatcher
+
+__all__ = ["CupidConfig", "CupidMatcher"]

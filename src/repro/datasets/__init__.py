@@ -1,0 +1,61 @@
+"""Reconstructed evaluation datasets (paper Section 5, Table 1).
+
+Every schema the paper evaluates on, rebuilt from its figures, prose and
+Table 1 characteristics -- see each submodule's docstring and DESIGN.md
+for the reconstruction notes:
+
+- :mod:`repro.datasets.po` -- PO1 / PO2 (Figures 1-2);
+- :mod:`repro.datasets.bibliographic` -- Article / Book;
+- :mod:`repro.datasets.dcmd` -- the XBench DC/MD item and order schemas;
+- :mod:`repro.datasets.protein` -- PIR / PDB scale substitutes;
+- :mod:`repro.datasets.extreme` -- Library / Human (Figures 7-8);
+- :mod:`repro.datasets.registry` -- everything by name, plus the ready
+  evaluation tasks for each figure.
+"""
+
+from repro.datasets.bibliographic import article, book, gold_article_book
+from repro.datasets.dcmd import dcmd_item, dcmd_order, gold_dcmd
+from repro.datasets.extreme import human, library
+from repro.datasets.inventory import gold_inventory, store, warehouse
+from repro.datasets.po import gold_po, po1, po2
+from repro.datasets.protein import pdb, pdb_with_gold, pir
+from repro.datasets.registry import (
+    TABLE1_NAMES,
+    TABLE1_PAPER,
+    domain_tasks,
+    extreme_task,
+    figure6_tasks,
+    load_schema,
+    schema_names,
+    table1_schemas,
+    task,
+)
+
+__all__ = [
+    "TABLE1_NAMES",
+    "TABLE1_PAPER",
+    "article",
+    "book",
+    "dcmd_item",
+    "dcmd_order",
+    "domain_tasks",
+    "extreme_task",
+    "figure6_tasks",
+    "gold_article_book",
+    "gold_dcmd",
+    "gold_inventory",
+    "gold_po",
+    "human",
+    "library",
+    "load_schema",
+    "pdb",
+    "pdb_with_gold",
+    "pir",
+    "po1",
+    "po2",
+    "schema_names",
+    "store",
+    "table1_schemas",
+    "task",
+    "warehouse",
+]

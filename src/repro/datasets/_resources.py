@@ -1,0 +1,17 @@
+"""Access to the data files bundled with :mod:`repro.datasets`."""
+
+from __future__ import annotations
+
+from importlib import resources
+
+
+def read_xsd(filename: str) -> str:
+    return (resources.files("repro.datasets") / "xsd" / filename).read_text(
+        encoding="utf-8"
+    )
+
+
+def read_gold(filename: str) -> str:
+    return (resources.files("repro.datasets") / "gold" / filename).read_text(
+        encoding="utf-8"
+    )

@@ -1,0 +1,33 @@
+"""The bibliographic schemas (Table 1: Article, 18 elements / Book, 6).
+
+Both are parsed from bundled XSD documents.  The reconstruction follows
+the obvious bibliographic reading (the thesis with the full listings is
+not archived); the gold mapping keeps only the information the two
+schemas genuinely share.
+"""
+
+from __future__ import annotations
+
+from repro.datasets._resources import read_gold, read_xsd
+from repro.evaluation.gold import GoldMapping
+from repro.xsd.model import SchemaTree
+from repro.xsd.parser import parse_xsd
+
+DOMAIN = "bibliographic"
+
+
+def article() -> SchemaTree:
+    """The Article schema (18 elements, depth 3)."""
+    return parse_xsd(read_xsd("article.xsd"), name="Article", domain=DOMAIN)
+
+
+def book() -> SchemaTree:
+    """The Book schema (6 elements, depth 2)."""
+    return parse_xsd(read_xsd("book.xsd"), name="Book", domain=DOMAIN)
+
+
+def gold_article_book() -> GoldMapping:
+    """The manually determined real matches between Article and Book."""
+    return GoldMapping.loads(
+        read_gold("article_book.tsv"), source="article_book.tsv"
+    )

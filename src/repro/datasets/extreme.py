@@ -1,0 +1,37 @@
+"""The Figure 7/8 extreme-case schemas: Library and Human.
+
+Two trees with *identical structure* (same shape, same leaf types, same
+occurrence constraints) but *disjoint vocabulary*.  The linguistic
+matcher scores them near zero, the structural matcher near one, and
+Figure 9's point is that QMatch's hybrid score gravitates toward the
+higher (structural) value rather than averaging the two.
+"""
+
+from __future__ import annotations
+
+from repro.xsd.builder import TreeBuilder
+from repro.xsd.model import SchemaTree
+
+DOMAIN = "extreme"
+
+
+def library() -> SchemaTree:
+    """Figure 7: the Library schema."""
+    builder = TreeBuilder("Library")
+    builder.leaf("number", type_name="string")
+    with builder.node("Book"):
+        builder.leaf("Title", type_name="string")
+        builder.leaf("character", type_name="string")
+        builder.leaf("Writer", type_name="string")
+    return builder.build(name="Library", domain=DOMAIN)
+
+
+def human() -> SchemaTree:
+    """Figure 8: the Human schema (structurally identical to Library)."""
+    builder = TreeBuilder("human")
+    builder.leaf("body", type_name="string")
+    with builder.node("man"):
+        builder.leaf("hands", type_name="string")
+        builder.leaf("head", type_name="string")
+        builder.leaf("legs", type_name="string")
+    return builder.build(name="Human", domain=DOMAIN)

@@ -1,0 +1,129 @@
+"""Dataset registry: every paper schema and match task by name.
+
+The benchmarks and the CLI address datasets through this module:
+
+- :func:`load_schema` -- one schema by its Table 1 name;
+- :func:`table1_schemas` -- all eight, in the paper's column order;
+- :func:`domain_tasks` -- the four evaluation pairs of Figure 5
+  (PO, Book, DCMD, Protein) as ready :class:`MatchTask` objects;
+- :func:`figure6_tasks` -- the three pairs Figure 6 plots (the protein
+  pair is excluded there, as in the paper);
+- :func:`extreme_task` -- the Library/Human pair of Figures 7-9.
+
+Protein-pair construction costs a few seconds (3753-element generation),
+so tasks are built lazily and cached.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.datasets import bibliographic, dcmd, extreme, inventory, po, protein
+from repro.evaluation.harness import MatchTask
+
+#: Table 1 column order.
+TABLE1_NAMES = (
+    "PO1", "PO2", "Article", "Book", "DCMDItem", "DCMDOrd", "PIR", "PDB",
+)
+
+#: Paper-reported Table 1 characteristics: name -> (elements, max depth).
+TABLE1_PAPER = {
+    "PO1": (10, 3),
+    "PO2": (9, 3),
+    "Article": (18, 3),
+    "Book": (6, 2),
+    "DCMDItem": (38, 2),
+    "DCMDOrd": (53, 3),
+    "PIR": (231, 6),
+    "PDB": (3753, 7),
+}
+
+_FACTORIES = {
+    "PO1": po.po1,
+    "PO2": po.po2,
+    "Article": bibliographic.article,
+    "Book": bibliographic.book,
+    "DCMDItem": dcmd.dcmd_item,
+    "DCMDOrd": dcmd.dcmd_order,
+    "PIR": protein.pir,
+    "PDB": protein.pdb,
+    "Library": extreme.library,
+    "Human": extreme.human,
+    "WarehouseInventory": inventory.warehouse,
+    "StoreInventory": inventory.store,
+}
+
+
+def schema_names() -> tuple:
+    """All registered schema names."""
+    return tuple(_FACTORIES)
+
+
+def load_schema(name: str):
+    """Build one registered schema by name (fresh instance)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown schema {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def table1_schemas() -> list:
+    """The eight Table 1 schemas, in the paper's order."""
+    return [load_schema(name) for name in TABLE1_NAMES]
+
+
+@functools.lru_cache(maxsize=None)
+def _protein_pair():
+    source = protein.pir()
+    target, gold = protein.pdb_with_gold()
+    return source, target, gold
+
+
+@functools.lru_cache(maxsize=None)
+def _task(name: str) -> MatchTask:
+    if name == "PO":
+        return MatchTask("PO", po.po1(), po.po2(), po.gold_po())
+    if name == "Book":
+        return MatchTask(
+            "Book", bibliographic.article(), bibliographic.book(),
+            bibliographic.gold_article_book(),
+        )
+    if name == "DCMD":
+        return MatchTask(
+            "DCMD", dcmd.dcmd_item(), dcmd.dcmd_order(), dcmd.gold_dcmd()
+        )
+    if name == "Protein":
+        source, target, gold = _protein_pair()
+        return MatchTask("Protein", source, target, gold)
+    if name == "Inventory":
+        return MatchTask(
+            "Inventory", inventory.warehouse(), inventory.store(),
+            inventory.gold_inventory(),
+        )
+    if name == "Extreme":
+        return MatchTask("Extreme", extreme.library(), extreme.human(), None)
+    raise KeyError(f"unknown task {name!r}")
+
+
+def task(name: str) -> MatchTask:
+    """One named match task (cached -- the protein pair is expensive)."""
+    return _task(name)
+
+
+def domain_tasks() -> list:
+    """The four Figure 5 domains: PO, Book, DCMD, Protein."""
+    return [task("PO"), task("Book"), task("DCMD"), task("Protein")]
+
+
+def figure6_tasks() -> list:
+    """The three Figure 6 pairs (protein excluded, as in the paper)."""
+    return [task("PO"), task("Book"), task("DCMD")]
+
+
+def extreme_task() -> MatchTask:
+    """The Library/Human pair of Figures 7-9 (no gold: the paper reports
+    only overall QoM values for it)."""
+    return task("Extreme")

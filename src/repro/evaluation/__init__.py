@@ -1,0 +1,66 @@
+"""Evaluation substrate: metrics, gold mappings, harness and tuning.
+
+Implements the paper's Section 5 methodology: precision / recall /
+overall against manually determined real matches, a harness driving any
+matcher over match tasks, and the weight-tuning sweep behind Table 2.
+"""
+
+from repro.evaluation.gold import GoldMapping, GoldMappingError
+from repro.evaluation.harness import (
+    EvaluationRow,
+    MatchTask,
+    evaluate_all,
+    evaluate_matcher,
+    render_quality_rows,
+    render_table,
+)
+from repro.evaluation.crossval import CrossValidationResult, FoldResult, cross_validate_threshold
+from repro.evaluation.report import render_markdown_report, render_markdown_table
+from repro.evaluation.significance import (
+    BootstrapSummary,
+    PairedComparison,
+    bootstrap_overall,
+    compare_algorithms,
+)
+from repro.evaluation.metrics import (
+    MatchQuality,
+    evaluate_against_gold,
+    evaluate_pairs,
+    overall_from_precision_recall,
+)
+from repro.evaluation.tuning import (
+    SweepPoint,
+    SweepResult,
+    TuningCase,
+    sweep_weights,
+    weight_grid,
+)
+
+__all__ = [
+    "BootstrapSummary",
+    "EvaluationRow",
+    "GoldMapping",
+    "GoldMappingError",
+    "MatchQuality",
+    "MatchTask",
+    "PairedComparison",
+    "SweepPoint",
+    "SweepResult",
+    "CrossValidationResult",
+    "FoldResult",
+    "TuningCase",
+    "bootstrap_overall",
+    "compare_algorithms",
+    "cross_validate_threshold",
+    "evaluate_all",
+    "evaluate_against_gold",
+    "evaluate_matcher",
+    "evaluate_pairs",
+    "overall_from_precision_recall",
+    "render_markdown_report",
+    "render_markdown_table",
+    "render_quality_rows",
+    "render_table",
+    "sweep_weights",
+    "weight_grid",
+]

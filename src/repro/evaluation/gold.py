@@ -1,0 +1,167 @@
+"""Gold-standard mappings (the paper's "manually determined real matches").
+
+A :class:`GoldMapping` is a set of primary ``(source_path, target_path)``
+pairs, optionally accompanied by *alternates*: different-but-equally-
+defensible correspondences that, when predicted, count as covering a
+primary pair (the paper's own walk-through matches ``PurchaseInfo`` to
+``Purchase Order`` even though the cleaner manual pair is ``PO`` to
+``Purchase Order``).  Evaluation semantics live in
+:func:`repro.evaluation.metrics.evaluate_against_gold`.
+
+TSV persistence.  A primary pair is two tab-separated label paths; an
+alternate line is ``alt`` followed by the alternate pair and the primary
+pair it stands in for; ``#`` whole-line comments allowed::
+
+    # PO1 -> PO2
+    PO/OrderNo	PurchaseOrder/OrderNo
+    PO	PurchaseOrder
+    alt	PO/PurchaseInfo	PurchaseOrder	PO	PurchaseOrder
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.xsd.model import SchemaTree
+
+
+class GoldMappingError(ValueError):
+    """Raised for malformed gold files or pairs referencing missing nodes."""
+
+
+class GoldMapping:
+    """An immutable-ish set of real correspondences between two schemas."""
+
+    def __init__(self, pairs: Iterable[tuple] = ()):
+        self._pairs: set[tuple[str, str]] = set()
+        #: alternate pair -> the primary pair it stands in for.
+        self._alternates: dict[tuple[str, str], tuple[str, str]] = {}
+        for source_path, target_path in pairs:
+            self.add(source_path, target_path)
+
+    def add(self, source_path: str, target_path: str):
+        if not source_path or not target_path:
+            raise GoldMappingError(
+                f"empty path in gold pair ({source_path!r}, {target_path!r})"
+            )
+        self._pairs.add((source_path, target_path))
+        return self
+
+    def add_alternate(self, alternate: tuple, primary: tuple):
+        """Register ``alternate`` as equally acceptable for ``primary``.
+
+        ``primary`` must already be a primary pair of this mapping.
+        """
+        alternate = tuple(alternate)
+        primary = tuple(primary)
+        if primary not in self._pairs:
+            raise GoldMappingError(
+                f"alternate {alternate} references unknown primary {primary}"
+            )
+        if alternate in self._pairs:
+            raise GoldMappingError(
+                f"alternate {alternate} is already a primary pair"
+            )
+        self._alternates[alternate] = primary
+        return self
+
+    @property
+    def alternates(self) -> dict:
+        """Alternate pair -> primary pair."""
+        return dict(self._alternates)
+
+    @property
+    def pairs(self) -> set[tuple[str, str]]:
+        return set(self._pairs)
+
+    def __len__(self):
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(sorted(self._pairs))
+
+    def __contains__(self, pair):
+        return tuple(pair) in self._pairs
+
+    def source_paths(self) -> set[str]:
+        return {source for source, _ in self._pairs}
+
+    def target_paths(self) -> set[str]:
+        return {target for _, target in self._pairs}
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def verify_against(self, source: SchemaTree, target: SchemaTree):
+        """Check every referenced path exists; raises with the full list
+        of dangling paths (catches gold/dataset drift in tests)."""
+        missing = []
+        referenced = sorted(self._pairs) + sorted(self._alternates)
+        for source_path, target_path in referenced:
+            if source.find(source_path) is None:
+                missing.append(f"source: {source_path}")
+            if target.find(target_path) is None:
+                missing.append(f"target: {target_path}")
+        if missing:
+            raise GoldMappingError(
+                "gold mapping references missing nodes:\n  "
+                + "\n  ".join(missing)
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def loads(cls, text: str, source: str = "<string>") -> "GoldMapping":
+        mapping = cls()
+        alternates = []  # deferred so alt lines may precede their primary
+        for line_number, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.rstrip()
+            # Only whole-line comments: '#' is legal inside labels (the
+            # paper's Item# element).
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            fields = [field.strip() for field in line.split("\t")]
+            if fields[0] == "alt":
+                if len(fields) != 5:
+                    raise GoldMappingError(
+                        f"{source}:{line_number}: alt lines need "
+                        "'alt<TAB>src<TAB>tgt<TAB>primary_src<TAB>primary_tgt'"
+                    )
+                alternates.append(
+                    (line_number, (fields[1], fields[2]), (fields[3], fields[4]))
+                )
+            elif len(fields) == 2:
+                mapping.add(fields[0], fields[1])
+            else:
+                raise GoldMappingError(
+                    f"{source}:{line_number}: expected two tab-separated "
+                    f"paths, got {len(fields)} fields"
+                )
+        for line_number, alternate, primary in alternates:
+            try:
+                mapping.add_alternate(alternate, primary)
+            except GoldMappingError as exc:
+                raise GoldMappingError(f"{source}:{line_number}: {exc}") from None
+        return mapping
+
+    @classmethod
+    def load(cls, path) -> "GoldMapping":
+        path = Path(path)
+        return cls.loads(path.read_text(encoding="utf-8"), source=str(path))
+
+    def dumps(self) -> str:
+        lines = [f"{s}\t{t}" for s, t in self]
+        lines.extend(
+            f"alt\t{a[0]}\t{a[1]}\t{p[0]}\t{p[1]}"
+            for a, p in sorted(self._alternates.items())
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path):
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+        return self

@@ -1,0 +1,139 @@
+"""Evaluation harness: run matchers on schema pairs and score them.
+
+Drives any set of :class:`repro.matching.Matcher` implementations over a
+match task (source schema, target schema, gold mapping), producing the
+precision / recall / overall numbers of the paper's Section 5 plus simple
+ASCII tables for reports and benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.evaluation.gold import GoldMapping
+from repro.evaluation.metrics import MatchQuality, evaluate_against_gold
+from repro.matching.base import Matcher
+from repro.matching.result import MatchResult
+from repro.matching.selection import DEFAULT_THRESHOLD
+from repro.xsd.model import SchemaTree
+
+
+@dataclass(frozen=True)
+class MatchTask:
+    """One evaluation unit: a schema pair, its gold mapping, a label."""
+
+    name: str
+    source: SchemaTree
+    target: SchemaTree
+    gold: Optional[GoldMapping] = None
+
+    @property
+    def total_elements(self) -> int:
+        """Combined element count -- the x-axis of the paper's Figure 4."""
+        return self.source.size + self.target.size
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """One (task, algorithm) outcome."""
+
+    task: str
+    algorithm: str
+    quality: Optional[MatchQuality]
+    found: int
+    tree_qom: float
+    elapsed_seconds: float
+
+    @property
+    def precision(self):
+        return self.quality.precision if self.quality else None
+
+    @property
+    def recall(self):
+        return self.quality.recall if self.quality else None
+
+    @property
+    def overall(self):
+        return self.quality.overall if self.quality else None
+
+
+def evaluate_matcher(task: MatchTask, matcher: Matcher,
+                     threshold=DEFAULT_THRESHOLD,
+                     strategy=None) -> tuple[EvaluationRow, MatchResult]:
+    """Run one matcher on one task; returns the row and the raw result."""
+    started = time.perf_counter()
+    result = matcher.match(
+        task.source, task.target, threshold=threshold, strategy=strategy
+    )
+    elapsed = time.perf_counter() - started
+    quality = None
+    if task.gold is not None:
+        quality = evaluate_against_gold(result.pairs, task.gold)
+    row = EvaluationRow(
+        task=task.name,
+        algorithm=matcher.name,
+        quality=quality,
+        found=len(result.correspondences),
+        tree_qom=result.tree_qom,
+        elapsed_seconds=elapsed,
+    )
+    return row, result
+
+
+def evaluate_all(tasks: Iterable[MatchTask], matchers: Sequence[Matcher],
+                 threshold=DEFAULT_THRESHOLD,
+                 strategy=None) -> list[EvaluationRow]:
+    """Full cross product of tasks x matchers."""
+    rows = []
+    for task in tasks:
+        for matcher in matchers:
+            row, _ = evaluate_matcher(
+                task, matcher, threshold=threshold, strategy=strategy
+            )
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Minimal fixed-width ASCII table used by benchmarks and the CLI."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_quality_rows(rows: Iterable[EvaluationRow]) -> str:
+    """Standard quality report: one line per (task, algorithm)."""
+    return render_table(
+        ["task", "algorithm", "precision", "recall", "overall", "found",
+         "tree QoM", "seconds"],
+        [
+            (
+                row.task, row.algorithm, row.precision, row.recall,
+                row.overall, row.found, row.tree_qom, row.elapsed_seconds,
+            )
+            for row in rows
+        ],
+    )

@@ -1,0 +1,128 @@
+"""Match-quality metrics (paper Section 5, "Algorithm Quality").
+
+Given the manually determined real matches ``R`` and the predicted
+matches ``P`` of an algorithm, with true positives ``I = P & R``, false
+positives ``F = P - I`` and missed matches ``M = R - I``:
+
+- ``Precision = |I| / |P|``
+- ``Recall    = |I| / |R|``
+- ``Overall   = 1 - (|F| + |M|) / |R| = Recall * (2 - 1/Precision)``
+
+Overall is the combined measure the paper plots in Figures 5 and 9; it
+accounts for the post-match effort of removing false matches and adding
+missed ones, and goes *negative* when more than half the predictions are
+wrong.  F1 is included as a modern convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision / recall / overall / F1 plus the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def predicted(self) -> int:
+        return self.true_positives + self.false_positives
+
+    @property
+    def real(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def precision(self) -> float:
+        if self.predicted == 0:
+            return 0.0
+        return self.true_positives / self.predicted
+
+    @property
+    def recall(self) -> float:
+        if self.real == 0:
+            return 0.0
+        return self.true_positives / self.real
+
+    @property
+    def overall(self) -> float:
+        """``1 - (|F| + |M|) / |R|``; can be negative (paper Section 5)."""
+        if self.real == 0:
+            return 0.0
+        return 1.0 - (self.false_positives + self.false_negatives) / self.real
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def __str__(self):
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} "
+            f"Overall={self.overall:.3f} F1={self.f1:.3f} "
+            f"(TP={self.true_positives} FP={self.false_positives} "
+            f"FN={self.false_negatives})"
+        )
+
+
+def evaluate_pairs(predicted: Iterable[tuple], real: Iterable[tuple]) -> MatchQuality:
+    """Score a predicted pair set against the gold pair set.
+
+    Both arguments are iterables of ``(source_path, target_path)``
+    tuples; duplicates are ignored.
+    """
+    predicted_set = set(predicted)
+    real_set = set(real)
+    true_positives = len(predicted_set & real_set)
+    return MatchQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_set) - true_positives,
+        false_negatives=len(real_set) - true_positives,
+    )
+
+
+def evaluate_against_gold(predicted: Iterable[tuple], gold) -> MatchQuality:
+    """Score predictions against a :class:`~repro.evaluation.gold.GoldMapping`.
+
+    Alternate-aware: a predicted alternate pair covers its primary pair.
+
+    - TP: primary pairs covered by a predicted primary or a predicted
+      alternate (each primary counted once);
+    - FP: predictions that are neither a primary nor a registered
+      alternate (a redundant second prediction for an already-covered
+      primary is ignored rather than penalized);
+    - FN: primaries left uncovered.
+    """
+    predicted_set = set(tuple(pair) for pair in predicted)
+    primaries = gold.pairs
+    alternates = gold.alternates
+    covered = set()
+    false_positives = 0
+    for pair in predicted_set:
+        if pair in primaries:
+            covered.add(pair)
+        elif pair in alternates:
+            covered.add(alternates[pair])
+        else:
+            false_positives += 1
+    return MatchQuality(
+        true_positives=len(covered),
+        false_positives=false_positives,
+        false_negatives=len(primaries) - len(covered),
+    )
+
+
+def overall_from_precision_recall(precision: float, recall: float) -> float:
+    """The paper's identity ``Overall = Recall * (2 - 1/Precision)``.
+
+    Provided for the identity test; undefined (0) at zero precision.
+    """
+    if precision == 0:
+        return 0.0
+    return recall * (2 - 1 / precision)

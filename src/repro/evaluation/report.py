@@ -1,0 +1,78 @@
+"""Markdown report rendering for evaluation runs.
+
+``render_quality_rows`` (ASCII) serves terminals; this module produces
+the markdown equivalent plus a per-task comparative summary, so an
+evaluation run can be pasted straight into a PR description or an
+EXPERIMENTS-style document (``qmatch evaluate --format markdown``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.evaluation.harness import EvaluationRow
+
+
+def render_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence]) -> str:
+    """A GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_markdown_report(rows: Sequence[EvaluationRow],
+                           title: str = "Match-quality evaluation") -> str:
+    """Full markdown report: the rows table plus per-task winners."""
+    body = [f"## {title}", ""]
+    body.append(render_markdown_table(
+        ["task", "algorithm", "precision", "recall", "overall", "found",
+         "tree QoM", "seconds"],
+        [
+            (row.task, row.algorithm, row.precision, row.recall,
+             row.overall, row.found, row.tree_qom, row.elapsed_seconds)
+            for row in rows
+        ],
+    ))
+
+    by_task: dict[str, list[EvaluationRow]] = {}
+    for row in rows:
+        by_task.setdefault(row.task, []).append(row)
+    summary_lines = []
+    for task_name, task_rows in by_task.items():
+        scored = [row for row in task_rows if row.overall is not None]
+        if not scored:
+            continue
+        winner = max(scored, key=lambda row: row.overall)
+        runners = sorted(
+            (row for row in scored if row is not winner),
+            key=lambda row: -row.overall,
+        )
+        if runners:
+            margin = winner.overall - runners[0].overall
+            summary_lines.append(
+                f"- **{task_name}**: `{winner.algorithm}` wins "
+                f"(overall {winner.overall:.3f}, +{margin:.3f} over "
+                f"`{runners[0].algorithm}`)"
+            )
+        else:
+            summary_lines.append(
+                f"- **{task_name}**: `{winner.algorithm}` "
+                f"(overall {winner.overall:.3f})"
+            )
+    if summary_lines:
+        body.extend(["", "### Winners", ""])
+        body.extend(summary_lines)
+    return "\n".join(body)

@@ -1,0 +1,159 @@
+"""Bootstrap confidence intervals for match-quality comparisons.
+
+"Hybrid beats baseline by 0.1 Overall" means little when the gold
+mapping has nine pairs.  This module quantifies that uncertainty by
+bootstrap resampling the gold pairs: each replicate draws |R| primaries
+with replacement and re-scores every algorithm's *fixed* predictions
+against the resampled reference.  Besides per-algorithm confidence
+intervals, :func:`compare_algorithms` reports how often one algorithm
+beats another across replicates -- a paired bootstrap, since both are
+scored against the same resample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.evaluation.gold import GoldMapping
+
+
+@dataclass(frozen=True)
+class BootstrapSummary:
+    """One algorithm's Overall under gold resampling."""
+
+    point_estimate: float
+    low: float
+    high: float
+    replicates: int
+
+    def __str__(self):
+        return (
+            f"{self.point_estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] ({self.replicates} reps)"
+        )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired bootstrap of two algorithms on one task."""
+
+    first: BootstrapSummary
+    second: BootstrapSummary
+    #: Fraction of replicates where the first algorithm's Overall
+    #: strictly exceeds the second's.
+    win_rate: float
+    #: Mean Overall difference (first - second) with its interval.
+    delta: float
+    delta_low: float
+    delta_high: float
+
+
+def _overall_against(predicted: set, reference: Sequence[tuple],
+                     full_primaries: set, alternates: dict) -> float:
+    """Overall of fixed predictions vs a resampled reference multiset.
+
+    Duplicated reference pairs (bootstrap draws with replacement) count
+    once covered / once missed each, keeping |R| constant.  False
+    positives are judged against the *full* gold (a prediction of a real
+    pair that merely missed this resample is not an error), so the
+    resampling varies the coverage term only.
+    """
+    covered = 0
+    for pair in reference:
+        if pair in predicted:
+            covered += 1
+        else:
+            for alternate, primary in alternates.items():
+                if primary == pair and alternate in predicted:
+                    covered += 1
+                    break
+    real = len(reference)
+    false_positives = sum(
+        1 for pair in predicted
+        if pair not in full_primaries and pair not in alternates
+    )
+    if real == 0:
+        return 0.0
+    return 1.0 - (false_positives + (real - covered)) / real
+
+
+def bootstrap_overall(predicted: set, gold: GoldMapping,
+                      replicates: int = 1000, seed: int = 0,
+                      confidence: float = 0.95) -> BootstrapSummary:
+    """Percentile bootstrap interval for one algorithm's Overall."""
+    primaries = sorted(gold.pairs)
+    if not primaries:
+        raise ValueError("gold mapping is empty")
+    primary_set = set(primaries)
+    alternates = gold.alternates
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(replicates):
+        reference = [
+            primaries[rng.randrange(len(primaries))]
+            for _ in range(len(primaries))
+        ]
+        samples.append(_overall_against(predicted, reference, primary_set,
+                                        alternates))
+    samples.sort()
+    tail = (1.0 - confidence) / 2
+    low_index = int(tail * replicates)
+    high_index = min(replicates - 1, int((1.0 - tail) * replicates))
+    return BootstrapSummary(
+        point_estimate=_overall_against(predicted, primaries, primary_set,
+                                        alternates),
+        low=samples[low_index],
+        high=samples[high_index],
+        replicates=replicates,
+    )
+
+
+def compare_algorithms(first_predicted: set, second_predicted: set,
+                       gold: GoldMapping, replicates: int = 1000,
+                       seed: int = 0,
+                       confidence: float = 0.95) -> PairedComparison:
+    """Paired bootstrap: both prediction sets against the same resamples."""
+    primaries = sorted(gold.pairs)
+    if not primaries:
+        raise ValueError("gold mapping is empty")
+    primary_set = set(primaries)
+    alternates = gold.alternates
+    rng = random.Random(seed)
+    first_samples, second_samples, deltas = [], [], []
+    for _ in range(replicates):
+        reference = [
+            primaries[rng.randrange(len(primaries))]
+            for _ in range(len(primaries))
+        ]
+        first_overall = _overall_against(first_predicted, reference,
+                                         primary_set, alternates)
+        second_overall = _overall_against(second_predicted, reference,
+                                          primary_set, alternates)
+        first_samples.append(first_overall)
+        second_samples.append(second_overall)
+        deltas.append(first_overall - second_overall)
+    deltas.sort()
+    tail = (1.0 - confidence) / 2
+    low_index = int(tail * replicates)
+    high_index = min(replicates - 1, int((1.0 - tail) * replicates))
+
+    def summarize(samples, predicted):
+        ordered = sorted(samples)
+        return BootstrapSummary(
+            point_estimate=_overall_against(predicted, primaries,
+                                            primary_set, alternates),
+            low=ordered[low_index],
+            high=ordered[high_index],
+            replicates=replicates,
+        )
+
+    return PairedComparison(
+        first=summarize(first_samples, first_predicted),
+        second=summarize(second_samples, second_predicted),
+        win_rate=sum(1 for delta in deltas if delta > 0) / replicates,
+        delta=sum(deltas) / replicates,
+        delta_low=deltas[low_index],
+        delta_high=deltas[high_index],
+    )

@@ -1,0 +1,126 @@
+"""Weight tuning (the paper's Table 2 experiment).
+
+"To determine optimal values for the different weights, we conducted a
+set of experiments that computed the match values for two randomly
+selected schemas, for different weight values.  The overall match values
+... were compared against expected match values that were manually
+determined prior to the experiments."
+
+:func:`sweep_weights` reproduces that methodology: given tuning cases
+(schema pair + the expected overall QoM), it grid-searches normalized
+weight combinations, scoring each by mean absolute error of the QMatch
+root QoM against the expectation, and reports the best combination plus
+the per-axis ranges within tolerance of the best (the paper reports such
+ranges: label 0.25-0.4, properties/level 0.1-0.2, children 0.3-0.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.core.weights import AxisWeights
+from repro.xsd.model import SchemaTree
+
+
+@dataclass(frozen=True)
+class TuningCase:
+    """A schema pair with a manually determined expected overall QoM."""
+
+    name: str
+    source: SchemaTree
+    target: SchemaTree
+    expected_qom: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.expected_qom <= 1.0:
+            raise ValueError(
+                f"expected_qom must be in [0, 1], got {self.expected_qom}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's weights and error."""
+
+    weights: AxisWeights
+    mean_absolute_error: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Full sweep outcome."""
+
+    best: SweepPoint
+    points: tuple
+    #: Per-axis (min, max) over grid points within ``tolerance`` of the
+    #: best error -- the "ideal ranges" of the paper's discussion.
+    good_ranges: dict
+
+    def range_of(self, axis: str) -> tuple:
+        return self.good_ranges[axis]
+
+
+def weight_grid(step: float = 0.1) -> list[AxisWeights]:
+    """All axis-weight combinations on a simplex grid with ``step``.
+
+    Every returned combination has positive label and children weights
+    (a hybrid matcher without either axis is degenerate) and sums to 1.
+    """
+    if not 0.0 < step <= 0.5:
+        raise ValueError(f"step must be in (0, 0.5], got {step}")
+    divisions = round(1.0 / step)
+    grid = []
+    for label_ticks in range(1, divisions + 1):
+        for properties_ticks in range(0, divisions + 1 - label_ticks):
+            for level_ticks in range(
+                0, divisions + 1 - label_ticks - properties_ticks
+            ):
+                children_ticks = (
+                    divisions - label_ticks - properties_ticks - level_ticks
+                )
+                if children_ticks < 1:
+                    continue
+                grid.append(AxisWeights.normalized(
+                    label_ticks, properties_ticks, level_ticks, children_ticks
+                ))
+    return grid
+
+
+def sweep_weights(cases: Sequence[TuningCase], step: float = 0.1,
+                  tolerance: float = 0.05,
+                  linguistic=None, property_matcher=None) -> SweepResult:
+    """Grid-search axis weights against expected overall match values."""
+    if not cases:
+        raise ValueError("need at least one tuning case")
+    points = []
+    for weights in weight_grid(step):
+        matcher = QMatchMatcher(
+            config=QMatchConfig(weights=weights, record_categories=False),
+            linguistic=linguistic,
+            property_matcher=property_matcher,
+        )
+        error_sum = 0.0
+        for case in cases:
+            matrix = matcher.score_matrix(case.source, case.target)
+            root_qom = matrix.get(case.source.root, case.target.root)
+            error_sum += abs(root_qom - case.expected_qom)
+        points.append(SweepPoint(
+            weights=weights,
+            mean_absolute_error=error_sum / len(cases),
+        ))
+    points.sort(key=lambda p: (p.mean_absolute_error, p.weights.as_tuple()))
+    best = points[0]
+    cutoff = best.mean_absolute_error + tolerance
+    good = [p for p in points if p.mean_absolute_error <= cutoff]
+    good_ranges = {
+        axis: (
+            min(getattr(p.weights, axis) for p in good),
+            max(getattr(p.weights, axis) for p in good),
+        )
+        for axis in ("label", "properties", "level", "children")
+    }
+    return SweepResult(best=best, points=tuple(points), good_ranges=good_ranges)

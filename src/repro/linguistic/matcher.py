@@ -1,0 +1,294 @@
+"""Cupid-style linguistic matcher.
+
+Compares two schema labels and produces both a similarity in ``[0, 1]``
+and the qualitative classification the QMatch taxonomy needs
+(Section 2.1 of the paper):
+
+- **exact** -- identical normalized strings, or thesaurus synonyms;
+- **relaxed** -- related through an acronym, abbreviation or hypernym,
+  or sufficiently similar token-by-token;
+- **none** -- below the relaxed threshold.
+
+The comparison pipeline per label pair:
+
+1. normalized string equality -> exact / 1.0;
+2. whole-label synonym lookup -> exact / 1.0;
+3. tokenization (camelCase, delimiters, digits), acronym expansion of
+   acronym-shaped tokens, stop-word removal;
+4. greedy one-to-one token alignment, each token pair scored through
+   (in priority order) exact/stem equality, synonymy, abbreviation,
+   hypernymy, then a string-metric blend;
+5. coverage-weighted aggregation (Cupid-style: sum of matched-token
+   scores from both sides over total token count).
+
+Used standalone it is the paper's *linguistic algorithm* baseline; QMatch
+calls the same :meth:`LinguisticMatcher.compare_labels` internally for
+its label axis, exactly as the paper prescribes ("we use the same
+linguistic and structural algorithms internally within the QMatch
+algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linguistic import string_metrics
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tokenizer import (
+    initials,
+    is_acronym_shaped,
+    normalize,
+    stem,
+    tokenize,
+)
+from repro.matching.base import Matcher
+from repro.matching.classes import MatchStrength
+from repro.matching.result import ScoreMatrix
+from repro.xsd.model import SchemaTree
+
+#: Tokens ignored during alignment when other tokens exist.
+DEFAULT_STOPWORDS = frozenset(
+    {"of", "the", "a", "an", "to", "for", "in", "on", "by", "and", "or"}
+)
+
+
+@dataclass(frozen=True)
+class LinguisticConfig:
+    """Tunable knobs of the linguistic matcher.
+
+    ``relaxed_threshold`` is the minimum blended similarity for a pair to
+    classify as a relaxed label match; scores below it classify as NONE
+    (the numeric score is still reported).
+    """
+
+    relaxed_threshold: float = 0.5
+    synonym_score: float = 1.0
+    abbreviation_score: float = 0.9
+    acronym_score: float = 0.9
+    hypernym_score: float = 0.8
+    hypernym_decay: float = 0.15
+    max_hypernym_distance: int = 2
+    use_stemming: bool = True
+    keep_numbers: bool = True
+    stopwords: frozenset = DEFAULT_STOPWORDS
+
+
+@dataclass(frozen=True)
+class LabelComparison:
+    """Outcome of comparing two labels.
+
+    ``mechanism`` names the dominant evidence ("string", "synonym",
+    "acronym", "abbreviation", "hypernym", "tokens") -- useful in reports
+    and asserted on by the taxonomy tests.
+    """
+
+    score: float
+    strength: MatchStrength
+    mechanism: str
+
+    @property
+    def is_exact(self):
+        return self.strength is MatchStrength.EXACT
+
+    @property
+    def is_relaxed(self):
+        return self.strength is MatchStrength.RELAXED
+
+
+class LinguisticMatcher(Matcher):
+    """The linguistic algorithm: label-axis similarity for all node pairs."""
+
+    name = "linguistic"
+
+    def __init__(self, thesaurus=None, config=None):
+        self.thesaurus = thesaurus if thesaurus is not None else Thesaurus.default()
+        self.config = config or LinguisticConfig()
+        self._cache: dict[tuple[str, str], LabelComparison] = {}
+        # Token-level caches: schema vocabularies are small, so both the
+        # per-label token preparation and the pairwise token similarity
+        # are heavily reused across the n*m label comparisons.
+        self._token_cache: dict[tuple[str, str], tuple[float, str]] = {}
+        self._prepared_cache: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Matcher protocol
+    # ------------------------------------------------------------------
+
+    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
+        matrix = ScoreMatrix(source, target)
+        target_nodes = list(target.root.iter_preorder())
+        for source_node in source.root.iter_preorder():
+            for target_node in target_nodes:
+                comparison = self.compare_labels(source_node.name, target_node.name)
+                matrix.set(source_node, target_node, comparison.score)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Label comparison
+    # ------------------------------------------------------------------
+
+    def compare_labels(self, left: str, right: str) -> LabelComparison:
+        """Compare two labels; results are cached per label pair."""
+        key = (left, right)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._compare_uncached(left, right)
+            self._cache[key] = cached
+            self._cache[(right, left)] = cached  # symmetric
+        return cached
+
+    def _compare_uncached(self, left, right) -> LabelComparison:
+        config = self.config
+        left_norm, right_norm = normalize(left), normalize(right)
+        if not left_norm or not right_norm:
+            return LabelComparison(0.0, MatchStrength.NONE, "empty")
+        if left_norm == right_norm:
+            return LabelComparison(1.0, MatchStrength.EXACT, "string")
+        if self.thesaurus.are_synonyms(left_norm, right_norm,
+                                       expand_abbreviations=False):
+            return LabelComparison(1.0, MatchStrength.EXACT, "synonym")
+
+        left_tokens = self._prepare_tokens(left)
+        right_tokens = self._prepare_tokens(right)
+        left_expanded, left_acronym = self._expand_acronyms(left_tokens)
+        right_expanded, right_acronym = self._expand_acronyms(right_tokens)
+        used_acronym = left_acronym or right_acronym
+
+        score, all_exact, full_coverage = self._align_tokens(
+            left_expanded, right_expanded
+        )
+        if used_acronym:
+            # An acronym-mediated match is at best relaxed (paper 2.1).
+            score = min(score, config.acronym_score)
+            if score >= config.relaxed_threshold:
+                return LabelComparison(score, MatchStrength.RELAXED, "acronym")
+            return LabelComparison(score, MatchStrength.NONE, "acronym")
+        if all_exact and full_coverage:
+            return LabelComparison(1.0, MatchStrength.EXACT, "tokens")
+        if score >= config.relaxed_threshold:
+            return LabelComparison(score, MatchStrength.RELAXED, "tokens")
+        return LabelComparison(score, MatchStrength.NONE, "tokens")
+
+    # ------------------------------------------------------------------
+    # Token machinery
+    # ------------------------------------------------------------------
+
+    def _prepare_tokens(self, label):
+        tokens = self._prepared_cache.get(label)
+        if tokens is None:
+            tokens = tokenize(label, keep_numbers=self.config.keep_numbers)
+            if len(tokens) > 1:
+                filtered = [t for t in tokens if t not in self.config.stopwords]
+                if filtered:
+                    tokens = filtered
+            self._prepared_cache[label] = tokens
+        return tokens
+
+    def _expand_acronyms(self, tokens):
+        """Replace acronym tokens with their expansions.
+
+        Returns ``(expanded_tokens, any_expansion_happened)``.  A
+        thesaurus acronym entry is sufficient evidence on its own (the
+        token has already been lower-cased, so shape heuristics no
+        longer apply).
+        """
+        expanded = []
+        used = False
+        for token in tokens:
+            expansion = self.thesaurus.expand_acronym(token)
+            if expansion is not None:
+                filtered = [w for w in expansion if w not in self.config.stopwords]
+                expanded.extend(filtered or expansion)
+                used = True
+            else:
+                expanded.append(token)
+        return expanded, used
+
+    def _align_tokens(self, left_tokens, right_tokens):
+        """Greedy one-to-one alignment; returns (score, all_exact, full_coverage).
+
+        Score is Cupid-flavoured coverage: matched pairs contribute their
+        similarity from *both* sides, normalized by the total token count
+        of both labels, so unmatched tokens on either side dilute it.
+        """
+        if not left_tokens or not right_tokens:
+            return 0.0, False, False
+        candidates = []
+        for i, left_token in enumerate(left_tokens):
+            for j, right_token in enumerate(right_tokens):
+                pair_score, mechanism = self._token_similarity(left_token, right_token)
+                if pair_score > 0:
+                    candidates.append((pair_score, i, j, mechanism))
+        candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+        taken_left, taken_right = set(), set()
+        matched_sum = 0.0
+        matched_pairs = 0
+        all_exact = True
+        for pair_score, i, j, mechanism in candidates:
+            if i in taken_left or j in taken_right:
+                continue
+            taken_left.add(i)
+            taken_right.add(j)
+            matched_sum += pair_score
+            matched_pairs += 1
+            if mechanism not in ("exact", "synonym") or pair_score < 1.0:
+                all_exact = False
+        total_tokens = len(left_tokens) + len(right_tokens)
+        score = 2.0 * matched_sum / total_tokens
+        full_coverage = (
+            matched_pairs == len(left_tokens) == len(right_tokens)
+        )
+        return score, all_exact and matched_pairs > 0, full_coverage
+
+    def _token_similarity(self, left, right):
+        """Score one token pair; returns ``(score, mechanism)``.  Cached."""
+        key = (left, right)
+        cached = self._token_cache.get(key)
+        if cached is None:
+            cached = self._token_similarity_uncached(left, right)
+            self._token_cache[key] = cached
+            self._token_cache[(right, left)] = cached
+        return cached
+
+    def _token_similarity_uncached(self, left, right):
+        config = self.config
+        if left == right:
+            return 1.0, "exact"
+        if left.isdigit() or right.isdigit():
+            # Numeric tokens only ever match exactly.
+            return 0.0, "numeric"
+        left_stem = stem(left) if config.use_stemming else left
+        right_stem = stem(right) if config.use_stemming else right
+        if left_stem == right_stem:
+            return 1.0, "exact"
+        if self.thesaurus.are_synonyms(left_stem, right_stem,
+                                       expand_abbreviations=False):
+            return config.synonym_score, "synonym"
+        if self._abbreviation_related(left, right, left_stem, right_stem):
+            return config.abbreviation_score, "abbreviation"
+        distance = self.thesaurus.hypernym_distance(
+            left_stem, right_stem, max_distance=config.max_hypernym_distance
+        )
+        if distance is not None:
+            score = config.hypernym_score - config.hypernym_decay * (distance - 1)
+            return max(score, 0.0), "hypernym"
+        blended = string_metrics.blended_similarity(left_stem, right_stem)
+        # Cap string-only evidence below thesaurus-backed evidence.
+        return min(blended, config.abbreviation_score), "string"
+
+    def _abbreviation_related(self, left, right, left_stem, right_stem):
+        expansion_left = self.thesaurus.expand_abbreviation(left)
+        expansion_right = self.thesaurus.expand_abbreviation(right)
+        if expansion_left and (
+            expansion_left == right
+            or expansion_left == right_stem
+            or self.thesaurus.are_synonyms(expansion_left, right_stem)
+        ):
+            return True
+        if expansion_right and (
+            expansion_right == left
+            or expansion_right == left_stem
+            or self.thesaurus.are_synonyms(expansion_right, left_stem)
+        ):
+            return True
+        return False

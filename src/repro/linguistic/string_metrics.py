@@ -1,0 +1,184 @@
+"""String similarity metrics.
+
+Pure-Python implementations of the metrics the linguistic matcher blends
+when no thesaurus relationship exists between two tokens.  All
+``*_similarity`` functions return values in ``[0, 1]`` with 1 meaning
+identical; they are symmetric, and return 1.0 for two empty strings.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(left, right) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            substitution = previous[j - 1] + (left_char != right_char)
+            current.append(min(previous[j] + 1, current[j - 1] + 1, substitution))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left, right) -> float:
+    """1 - normalized edit distance."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def jaro_similarity(left, right) -> float:
+    """Jaro similarity (match window = half the longer string - 1)."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        stop = min(i + window + 1, len(right))
+        for j in range(start, stop):
+            if right_matched[j] or right[j] != char:
+                continue
+            left_matched[i] = right_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, char in enumerate(left):
+        if not left_matched[i]:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if char != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(left)
+        + matches / len(right)
+        + (matches - transpositions) / matches
+    ) / 3
+
+
+def jaro_winkler_similarity(left, right, prefix_scale=0.1, max_prefix=4) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix."""
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for l_char, r_char in zip(left, right):
+        if l_char != r_char or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1 - jaro)
+
+
+def ngram_similarity(left, right, n=2) -> float:
+    """Dice coefficient over character n-grams (default bigrams).
+
+    Strings shorter than ``n`` are padded conceptually by comparing the
+    whole strings directly.
+    """
+    if left == right:
+        return 1.0
+    if len(left) < n or len(right) < n:
+        return levenshtein_similarity(left, right)
+    left_grams = _ngrams(left, n)
+    right_grams = _ngrams(right, n)
+    overlap = 0
+    remaining = dict(right_grams)
+    for gram, count in left_grams.items():
+        if gram in remaining:
+            overlap += min(count, remaining[gram])
+    total = sum(left_grams.values()) + sum(right_grams.values())
+    return 2 * overlap / total
+
+
+def _ngrams(text, n):
+    grams: dict[str, int] = {}
+    for i in range(len(text) - n + 1):
+        gram = text[i:i + n]
+        grams[gram] = grams.get(gram, 0) + 1
+    return grams
+
+
+def longest_common_subsequence(left, right) -> int:
+    """Length of the LCS (order-preserving, non-contiguous)."""
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    for left_char in left:
+        current = [0]
+        for j, right_char in enumerate(right, start=1):
+            if left_char == right_char:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def lcs_similarity(left, right) -> float:
+    """LCS length normalized by the longer string."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return longest_common_subsequence(left, right) / longest
+
+
+def common_prefix_length(left, right) -> int:
+    length = 0
+    for l_char, r_char in zip(left, right):
+        if l_char != r_char:
+            break
+        length += 1
+    return length
+
+
+def is_abbreviation_of(short, long) -> bool:
+    """Heuristic abbreviation test: ``qty`` ~ ``quantity``.
+
+    True when ``short`` is strictly shorter, shares the first letter and
+    is an ordered subsequence of ``long``.  Both arguments are expected
+    lower-case.
+    """
+    if not short or not long or len(short) >= len(long):
+        return False
+    if short[0] != long[0]:
+        return False
+    position = 0
+    for char in short:
+        position = long.find(char, position)
+        if position < 0:
+            return False
+        position += 1
+    return True
+
+
+def blended_similarity(left, right) -> float:
+    """The default string-metric blend for token comparison.
+
+    Average of Jaro-Winkler and bigram Dice, with an abbreviation bonus:
+    if one token abbreviates the other, the score is floored at 0.75 --
+    high enough to classify as a relaxed label match, low enough to stay
+    below thesaurus-backed matches.
+    """
+    score = (jaro_winkler_similarity(left, right) + ngram_similarity(left, right)) / 2
+    if is_abbreviation_of(left, right) or is_abbreviation_of(right, left):
+        score = max(score, 0.75)
+    return score

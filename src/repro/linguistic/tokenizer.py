@@ -1,0 +1,127 @@
+"""Label tokenization.
+
+Schema labels mix naming conventions freely -- ``PurchaseOrder``,
+``purchase_order``, ``Unit Of Measure``, ``Item#``, ``UOMCode``, ``PO1``.
+The linguistic matcher compares labels token-by-token, so tokenization
+must split all of these consistently:
+
+- delimiter splits: space, ``_``, ``-``, ``.``, ``/``, ``#``, ``:``;
+- camelCase boundaries, including acronym runs (``UOMCode`` -> ``uom``,
+  ``code``; ``parseXMLDocument`` -> ``parse``, ``xml``, ``document``);
+- letter/digit boundaries (``PO1`` -> ``po``, ``1``).
+
+Tokens are lower-cased.  Numeric tokens are kept by default (they carry
+signal -- ``PO1`` vs ``PO2``) but can be dropped.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DELIMITERS = re.compile(r"[\s_\-./#:,;()\[\]{}@&+']+")
+# Boundaries inside a single word:
+#   lower|digit -> Upper        (purchaseOrder)
+#   UPPER+ -> Upper lower       (UOMCode -> UOM | Code)
+#   letter <-> digit            (PO1 -> PO | 1)
+_CAMEL_BOUNDARY = re.compile(
+    r"(?<=[a-z0-9])(?=[A-Z])"
+    r"|(?<=[A-Z])(?=[A-Z][a-z])"
+    r"|(?<=[A-Za-z])(?=[0-9])"
+    r"|(?<=[0-9])(?=[A-Za-z])"
+)
+
+
+def tokenize(label, keep_numbers=True) -> list[str]:
+    """Split a schema label into lower-case tokens.
+
+    >>> tokenize("PurchaseOrder")
+    ['purchase', 'order']
+    >>> tokenize("Unit Of Measure")
+    ['unit', 'of', 'measure']
+    >>> tokenize("UOMCode")
+    ['uom', 'code']
+    >>> tokenize("Item#")
+    ['item']
+    >>> tokenize("PO1")
+    ['po', '1']
+    >>> tokenize("PO1", keep_numbers=False)
+    ['po']
+    """
+    if not label:
+        return []
+    tokens = []
+    for chunk in _DELIMITERS.split(label):
+        if not chunk:
+            continue
+        for piece in _CAMEL_BOUNDARY.split(chunk):
+            if not piece:
+                continue
+            if piece.isdigit() and not keep_numbers:
+                continue
+            tokens.append(piece.lower())
+    return tokens
+
+
+def normalize(label) -> str:
+    """Canonical single-string form: tokens joined without separators.
+
+    Two labels with the same normalization ("PurchaseOrder",
+    "purchase_order", "Purchase Order") are exact string matches for the
+    label axis.
+    """
+    return "".join(tokenize(label))
+
+
+def is_acronym_shaped(label) -> bool:
+    """Heuristic: does the label look like an acronym (``UOM``, ``PO``)?
+
+    True for short all-consonant-or-upper tokens of 2-5 letters.
+    """
+    stripped = "".join(ch for ch in label if ch.isalpha())
+    if not 2 <= len(stripped) <= 5:
+        return False
+    if label.isupper():
+        return True
+    vowels = sum(1 for ch in stripped.lower() if ch in "aeiou")
+    return vowels == 0
+
+
+def stem(token) -> str:
+    """Very light stemming: strip regular plural / gerund suffixes.
+
+    Enough to make ``lines`` ~ ``line`` and ``billing`` ~ ``bill`` without
+    a full stemmer.  Applied symmetrically by the matcher, never shown to
+    users.
+
+    >>> stem("lines")
+    'line'
+    >>> stem("items")
+    'item'
+    >>> stem("addresses")
+    'address'
+    >>> stem("billing")
+    'bill'
+    >>> stem("class")
+    'class'
+    """
+    if len(token) > 4 and token.endswith("ing"):
+        base = token[:-3]
+        if len(base) >= 3:
+            # Collapse gerund consonant doubling (shipping -> ship,
+            # running -> run) except letters legitimately doubled in
+            # English stems (bill, press, staff, buzz).
+            if base[-1] == base[-2] and base[-1] not in "lsfz":
+                base = base[:-1]
+            return base
+    if len(token) > 3 and token.endswith("ies"):
+        return token[:-3] + "y"
+    if len(token) > 4 and token.endswith("es") and token[-3] in "sxz":
+        return token[:-2]
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def initials(tokens) -> str:
+    """The acronym a token sequence would produce (``unit of measure`` -> ``uom``)."""
+    return "".join(token[0] for token in tokens if token and token[0].isalpha())

@@ -1,0 +1,94 @@
+"""Thesaurus tooling: serialization, merging and bootstrap mining.
+
+Adapting the matcher to a new domain means building a thesaurus (see
+``examples/custom_thesaurus.py``).  This module makes that workable at
+scale:
+
+- :func:`thesaurus_to_tsv` -- serialize a thesaurus back to the TSV
+  format :meth:`~repro.linguistic.thesaurus.Thesaurus.loads` reads, so
+  programmatically-built knowledge can be committed as data files;
+- :func:`merge_thesauri` -- combine several thesauri into a fresh one;
+- :func:`suggest_abbreviations` -- mine candidate abbreviation pairs
+  from the labels of the schemas about to be matched (tokens where one
+  looks like an abbreviation of the other), giving a reviewed-by-a-human
+  starting point instead of a blank file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.linguistic.string_metrics import is_abbreviation_of
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tokenizer import tokenize
+from repro.xsd.model import SchemaTree
+
+#: Token length below which abbreviation candidates are too noisy.
+_MIN_SHORT_LENGTH = 2
+#: The long side must be this much longer than the short side.
+_MIN_LENGTH_GAP = 2
+
+
+def thesaurus_to_tsv(thesaurus: Thesaurus) -> str:
+    """Serialize a thesaurus to the TSV format :meth:`Thesaurus.loads`
+    accepts (synonym sets, hypernym edges, abbreviations, acronyms)."""
+    lines = []
+    # Synonym classes: group all words ever unioned by their root.
+    classes: dict[str, list[str]] = {}
+    for word in sorted(thesaurus._synonyms._parent):
+        classes.setdefault(thesaurus._synonyms.find(word), []).append(word)
+    for members in sorted(classes.values()):
+        if len(members) >= 2:
+            lines.append("syn\t" + "\t".join(members))
+    for hyponym in sorted(thesaurus._hypernyms):
+        for hypernym in sorted(thesaurus._hypernyms[hyponym]):
+            lines.append(f"hyp\t{hyponym}\t{hypernym}")
+    for short in sorted(thesaurus._abbreviations):
+        lines.append(f"abbr\t{short}\t{thesaurus._abbreviations[short]}")
+    for acronym in sorted(thesaurus._acronyms):
+        expansion = " ".join(thesaurus._acronyms[acronym])
+        lines.append(f"acr\t{acronym}\t{expansion}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_thesauri(thesauri: Iterable[Thesaurus]) -> Thesaurus:
+    """Combine several thesauri into one fresh instance."""
+    merged = Thesaurus()
+    for thesaurus in thesauri:
+        merged.loads(thesaurus_to_tsv(thesaurus), source="<merge>")
+    return merged
+
+
+def suggest_abbreviations(trees: Iterable[SchemaTree],
+                          known: Thesaurus = None) -> list[tuple[str, str]]:
+    """Mine candidate ``(short, long)`` abbreviation pairs from labels.
+
+    Collects every token across the given schemas, pairs tokens where
+    the shorter is a heuristic abbreviation of the longer
+    (first-letter-anchored subsequence with a length gap), and drops
+    pairs the ``known`` thesaurus already covers.  The output is a
+    *suggestion list* for human review -- mining is deliberately
+    conservative but still needs eyes.
+    """
+    tokens: set[str] = set()
+    for tree in trees:
+        for node in tree:
+            tokens.update(
+                token for token in tokenize(node.name)
+                if token.isalpha() and len(token) >= _MIN_SHORT_LENGTH
+            )
+    suggestions = []
+    ordered = sorted(tokens)
+    for short in ordered:
+        for long in ordered:
+            if len(long) - len(short) < _MIN_LENGTH_GAP:
+                continue
+            if not is_abbreviation_of(short, long):
+                continue
+            if known is not None and (
+                known.expand_abbreviation(short) is not None
+                or known.are_synonyms(short, long)
+            ):
+                continue
+            suggestions.append((short, long))
+    return suggestions

@@ -1,0 +1,18 @@
+"""Mapping execution: from correspondences to document translation.
+
+The paper's introduction motivates schema matching with querying and
+integrating heterogeneous XML documents.  This package closes that loop:
+take the correspondences a matcher discovered, and use them to *translate*
+an XML document conforming to the source schema into the target schema's
+layout.
+
+- :class:`Mapping` -- a validated, bidirectional view over a set of
+  correspondences;
+- :func:`translate_instance` -- schema-directed translation of an
+  element tree.
+"""
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.translate import translate_instance, translate_instance_text
+
+__all__ = ["Mapping", "translate_instance", "translate_instance_text"]

@@ -1,0 +1,63 @@
+"""The :class:`Mapping` view over a correspondence set."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.matching.result import MatchResult
+
+
+class MappingError(ValueError):
+    """Raised for malformed mappings."""
+
+
+class Mapping:
+    """A one-to-one source-path <-> target-path mapping.
+
+    Built from a :class:`~repro.matching.result.MatchResult` (the usual
+    route) or from raw pairs.  One-to-one-ness is enforced at
+    construction: translation needs an unambiguous value source per
+    target node.
+    """
+
+    def __init__(self, pairs: Iterable[tuple]):
+        self._target_for: dict[str, str] = {}
+        self._source_for: dict[str, str] = {}
+        for source_path, target_path in pairs:
+            if source_path in self._target_for:
+                raise MappingError(
+                    f"source {source_path!r} mapped twice "
+                    f"({self._target_for[source_path]!r} and {target_path!r})"
+                )
+            if target_path in self._source_for:
+                raise MappingError(
+                    f"target {target_path!r} mapped twice "
+                    f"({self._source_for[target_path]!r} and {source_path!r})"
+                )
+            self._target_for[source_path] = target_path
+            self._source_for[target_path] = source_path
+
+    @classmethod
+    def from_result(cls, result: MatchResult) -> "Mapping":
+        return cls(c.as_tuple() for c in result.correspondences)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._target_for)
+
+    def __iter__(self):
+        return iter(sorted(self._target_for.items()))
+
+    def target_for(self, source_path: str) -> Optional[str]:
+        return self._target_for.get(source_path)
+
+    def source_for(self, target_path: str) -> Optional[str]:
+        return self._source_for.get(target_path)
+
+    @property
+    def pairs(self) -> set[tuple[str, str]]:
+        return set(self._target_for.items())
+
+    def __repr__(self):
+        return f"<Mapping {len(self)} pairs>"

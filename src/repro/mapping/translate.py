@@ -1,0 +1,199 @@
+"""Schema-directed document translation.
+
+Given a document conforming to the source schema, the source and target
+schema trees, and a :class:`~repro.mapping.mapping.Mapping` between
+them, build a document in the target schema's layout:
+
+- the target schema drives the output structure (the translated document
+  validates against the target tree, modulo unmapped required content);
+- every mapped target node pulls its values from the corresponding
+  source occurrences, **scoped**: once an interior target node is bound
+  to a source occurrence (one ``Lines`` record, say), its descendants
+  resolve within that occurrence -- so repeated records translate
+  record-by-record instead of flattening;
+- unmapped optional target nodes are omitted; unmapped *required* leaves
+  are emitted empty so the gap is visible downstream.
+
+Values are copied verbatim (no type coercion): matching decided the
+pairs are compatible, and lossless copying keeps the translation
+auditable.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.mapping.mapping import Mapping
+from repro.xsd.model import SchemaNode, SchemaTree, UNBOUNDED, xml_name
+
+
+class _SourceIndex:
+    """The source document annotated with schema paths and parents."""
+
+    def __init__(self, tree: SchemaTree, document: ET.Element):
+        #: schema path -> list of Occurrence
+        self.by_path: dict[str, list["_Occurrence"]] = {}
+        self._ancestors: dict[int, set[int]] = {}
+        if document.tag == xml_name(tree.root.name):
+            self._walk(tree.root, document, ancestor_ids=set())
+
+    def _walk(self, node: SchemaNode, element: ET.Element, ancestor_ids):
+        occurrence = _Occurrence(node.path, element, value=None)
+        self.by_path.setdefault(node.path, []).append(occurrence)
+        self._ancestors[id(occurrence)] = set(ancestor_ids)
+
+        attributes = {
+            xml_name(c.name): c for c in node.children if c.is_attribute
+        }
+        for attr_name, value in element.attrib.items():
+            attr_node = attributes.get(attr_name)
+            if attr_node is None:
+                continue
+            attr_occurrence = _Occurrence(attr_node.path, element, value=value)
+            self.by_path.setdefault(attr_node.path, []).append(attr_occurrence)
+            self._ancestors[id(attr_occurrence)] = (
+                ancestor_ids | {id(occurrence)}
+            )
+
+        children = {
+            xml_name(c.name): c for c in node.children if not c.is_attribute
+        }
+        child_ancestors = ancestor_ids | {id(occurrence)}
+        for child_element in element:
+            child_node = children.get(child_element.tag)
+            if child_node is not None:
+                self._walk(child_node, child_element, child_ancestors)
+
+    def occurrences(self, path: str,
+                    scope: Optional["_Occurrence"]) -> list["_Occurrence"]:
+        """All occurrences of ``path``, restricted to ``scope``'s subtree."""
+        found = self.by_path.get(path, [])
+        if scope is None:
+            return found
+        return [
+            occurrence for occurrence in found
+            if occurrence is scope
+            or id(scope) in self._ancestors[id(occurrence)]
+        ]
+
+
+class _Occurrence:
+    """One occurrence of a schema node in the source document."""
+
+    __slots__ = ("path", "element", "value")
+
+    def __init__(self, path, element, value):
+        self.path = path
+        self.element = element
+        self.value = value  # attribute value; None for elements
+
+    @property
+    def text(self) -> str:
+        if self.value is not None:
+            return self.value
+        return (self.element.text or "").strip()
+
+
+def translate_instance(document: ET.Element, source: SchemaTree,
+                       target: SchemaTree, mapping: Mapping) -> ET.Element:
+    """Translate ``document`` (conforming to ``source``) into ``target``'s
+    layout using ``mapping``.  Returns the new root element."""
+    index = _SourceIndex(source, document)
+    root = ET.Element(xml_name(target.root.name))
+    scope = None
+    mapped_root = mapping.source_for(target.root.path)
+    if mapped_root is not None:
+        occurrences = index.occurrences(mapped_root, None)
+        if occurrences:
+            scope = occurrences[0]
+    _fill_children(target.root, root, index, mapping, scope)
+    return root
+
+
+def translate_instance_text(document: ET.Element, source: SchemaTree,
+                            target: SchemaTree, mapping: Mapping) -> str:
+    """The translated document as an indented XML string."""
+    element = translate_instance(document, source, target, mapping)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _fill_children(target_node: SchemaNode, target_element: ET.Element,
+                   index: _SourceIndex, mapping: Mapping,
+                   scope: Optional[_Occurrence]):
+    for child in target_node.children:
+        if child.is_attribute:
+            _fill_attribute(child, target_element, index, mapping, scope)
+        else:
+            _fill_element(child, target_element, index, mapping, scope)
+
+
+def _fill_attribute(attr_node, target_element, index, mapping, scope):
+    source_path = mapping.source_for(attr_node.path)
+    if source_path is None:
+        return
+    occurrences = index.occurrences(source_path, scope)
+    if occurrences:
+        target_element.set(xml_name(attr_node.name), occurrences[0].text)
+    elif attr_node.properties.get("use") == "required":
+        target_element.set(xml_name(attr_node.name), "")
+
+
+def _fill_element(node: SchemaNode, parent: ET.Element, index, mapping,
+                  scope: Optional[_Occurrence]):
+    source_path = mapping.source_for(node.path)
+    if source_path is not None:
+        occurrences = index.occurrences(source_path, scope)
+        occurrences = _cap_occurrences(node, occurrences)
+        if not occurrences and node.min_occurs > 0:
+            _emit_unmapped(node, parent, index, mapping, scope)
+            return
+        has_element_children = any(
+            not child.is_attribute for child in node.children
+        )
+        for occurrence in occurrences:
+            element = ET.SubElement(parent, xml_name(node.name))
+            # Bind descendants to this occurrence's subtree when the
+            # occurrence is an element (attributes cannot scope).
+            inner_scope = occurrence if occurrence.value is None else scope
+            if node.children:
+                _fill_children(node, element, index, mapping, inner_scope)
+            if not has_element_children:
+                # Text-carrying node (a pure leaf, or attributes-only).
+                element.text = occurrence.text
+        return
+    _emit_unmapped(node, parent, index, mapping, scope)
+
+
+def _emit_unmapped(node: SchemaNode, parent, index, mapping, scope):
+    """Handle a target node with no (usable) source counterpart.
+
+    Interior nodes are still emitted when any descendant is mapped (the
+    structure differs but the content exists); required leaves are
+    emitted empty; optional unmapped nodes are dropped.
+    """
+    if node.is_leaf:
+        if node.min_occurs > 0:
+            ET.SubElement(parent, xml_name(node.name))
+        return
+    if node.min_occurs > 0 or _any_descendant_mapped(node, mapping):
+        element = ET.SubElement(parent, xml_name(node.name))
+        _fill_children(node, element, index, mapping, scope)
+        if len(element) == 0 and not element.attrib and node.min_occurs == 0:
+            parent.remove(element)
+
+
+def _any_descendant_mapped(node: SchemaNode, mapping: Mapping) -> bool:
+    return any(
+        mapping.source_for(descendant.path) is not None
+        for descendant in node.iter_preorder()
+        if descendant is not node
+    )
+
+
+def _cap_occurrences(node: SchemaNode, occurrences):
+    maximum = node.max_occurs
+    if maximum == UNBOUNDED:
+        return occurrences
+    return occurrences[:max(maximum, 0)]

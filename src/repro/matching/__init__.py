@@ -1,0 +1,51 @@
+"""Shared matching infrastructure.
+
+Every matcher in the library (linguistic baseline, structural baseline
+and the hybrid QMatch) produces the same artefacts:
+
+- a **score matrix**: a similarity in ``[0, 1]`` for every
+  (source node, target node) pair -- :class:`ScoreMatrix`;
+- a set of **correspondences**: the one-to-one node pairs the matcher
+  actually proposes, extracted from the matrix by a selection strategy --
+  :class:`Correspondence` / :class:`MatchResult`.
+
+Keeping these in one substrate package means the evaluation harness and
+the CLI treat all matchers uniformly, and the baselines do not depend on
+the QMatch core.
+"""
+
+from repro.matching.base import Matcher
+from repro.matching.clustering import cluster_schemas, representatives, similarity_graph
+from repro.matching.io import diff_results, result_from_json, result_to_json
+from repro.matching.refine import RefinementError, refine
+from repro.matching.classes import MatchStrength, consensus
+from repro.matching.result import Correspondence, MatchResult, ScoreMatrix
+from repro.matching.selection import (
+    greedy_one_to_one,
+    hierarchical_greedy,
+    select_correspondences,
+    stable_marriage,
+    threshold_all_pairs,
+)
+
+__all__ = [
+    "Correspondence",
+    "MatchResult",
+    "MatchStrength",
+    "Matcher",
+    "RefinementError",
+    "ScoreMatrix",
+    "cluster_schemas",
+    "consensus",
+    "diff_results",
+    "greedy_one_to_one",
+    "hierarchical_greedy",
+    "refine",
+    "representatives",
+    "result_from_json",
+    "result_to_json",
+    "select_correspondences",
+    "similarity_graph",
+    "stable_marriage",
+    "threshold_all_pairs",
+]

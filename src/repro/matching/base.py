@@ -1,0 +1,58 @@
+"""The matcher protocol all algorithms implement."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.matching.result import MatchResult, ScoreMatrix
+from repro.matching.selection import DEFAULT_THRESHOLD, select_correspondences
+from repro.xsd.model import SchemaTree
+
+
+class Matcher(abc.ABC):
+    """Common shape of the linguistic, structural and QMatch matchers.
+
+    Subclasses implement :meth:`score_matrix`; :meth:`match` adds the
+    shared correspondence-selection step so the evaluation harness, the
+    benchmarks and the CLI can drive any matcher identically.
+    """
+
+    #: Short algorithm name used in reports ("linguistic", "qmatch", ...).
+    name = "matcher"
+
+    #: Selection strategy used when :meth:`match` gets ``strategy=None``.
+    #: Flat greedy for the baselines; QMatch overrides this with
+    #: "hierarchical" (it is a tree algorithm -- parent context is part
+    #: of its contribution, and must not leak into the baselines).
+    default_strategy = "greedy"
+
+    @abc.abstractmethod
+    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
+        """Score every (source node, target node) pair."""
+
+    def categories(self, matrix: ScoreMatrix):
+        """Qualitative taxonomy labels per pair; ``None`` for baselines."""
+        return None
+
+    def match(self, source: SchemaTree, target: SchemaTree,
+              threshold=DEFAULT_THRESHOLD, strategy=None) -> MatchResult:
+        """Run the matcher end to end and return a :class:`MatchResult`.
+
+        ``strategy=None`` (the default) uses the matcher's own
+        :attr:`default_strategy`.
+        """
+        matrix = self.score_matrix(source, target)
+        strategy = strategy or self.default_strategy
+        correspondences = select_correspondences(
+            matrix,
+            strategy=strategy,
+            threshold=threshold,
+            categories=self.categories(matrix),
+        )
+        return MatchResult(
+            algorithm=self.name,
+            matrix=matrix,
+            correspondences=correspondences,
+            tree_qom=matrix.get(source.root, target.root),
+            strategy=strategy,
+        )

@@ -1,0 +1,51 @@
+"""Qualitative match strength shared across axes and matchers.
+
+The paper classifies a match along each atomic axis (label, properties,
+level) as *exact* or *relaxed*; "no match" is the implicit third value.
+:class:`MatchStrength` encodes that three-way outcome with an ordering
+(EXACT > RELAXED > NONE) so consensus rules ("relaxed if the consensus of
+the individual property matches is relaxed") are simple ``min``s.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+
+@functools.total_ordering
+class MatchStrength(enum.Enum):
+    """Exact / relaxed / none, ordered by goodness."""
+
+    NONE = 0
+    RELAXED = 1
+    EXACT = 2
+
+    def __lt__(self, other):
+        if not isinstance(other, MatchStrength):
+            return NotImplemented
+        return self.value < other.value
+
+    def __str__(self):
+        return self.name.lower()
+
+    @property
+    def is_match(self) -> bool:
+        """True for EXACT and RELAXED."""
+        return self is not MatchStrength.NONE
+
+
+def consensus(strengths) -> MatchStrength:
+    """Combine per-item strengths into an axis strength.
+
+    The paper's rule for the properties axis: exact iff *all* items are
+    exact; relaxed if all items at least match but some are relaxed; none
+    as soon as any item fails to match.  An empty collection is exact
+    (nothing to disagree about).
+    """
+    result = MatchStrength.EXACT
+    for strength in strengths:
+        if strength is MatchStrength.NONE:
+            return MatchStrength.NONE
+        result = min(result, strength)
+    return result

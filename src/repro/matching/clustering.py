@@ -1,0 +1,103 @@
+"""Schema clustering: group many schemas by pairwise match quality.
+
+The paper's introduction motivates matching with querying "the Web as a
+database": before matching a query schema against thousands of document
+schemas one-by-one, group the corpus by similarity so a query is only
+matched against representatives.  This module builds that grouping:
+
+- :func:`similarity_graph` -- a weighted :mod:`networkx` graph whose
+  nodes are schemas and whose edge weights are pairwise tree QoM values
+  (the overall schema match value QMatch reports to the user);
+- :func:`cluster_schemas` -- connected components of the graph after
+  dropping edges below a threshold: schemas land in one cluster when a
+  chain of sufficiently-strong matches connects them;
+- :func:`representatives` -- one schema per cluster (the medoid: the
+  member with the highest total similarity to its cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.matching.base import Matcher
+from repro.xsd.model import SchemaTree
+
+
+def similarity_graph(schemas: Sequence[SchemaTree],
+                     matcher: Optional[Matcher] = None) -> "nx.Graph":
+    """Pairwise tree-QoM graph over ``schemas``.
+
+    Schema names must be unique (they become the node keys).  The
+    matcher defaults to QMatch; the tree QoM is made symmetric by
+    averaging the two directions (Rs normalizes by the source side, so
+    QoM(a, b) != QoM(b, a) in general).
+    """
+    names = [schema.name for schema in schemas]
+    if len(set(names)) != len(names):
+        raise ValueError(f"schema names must be unique, got {names}")
+    if matcher is None:
+        from repro.core.qmatch import QMatchMatcher
+
+        matcher = QMatchMatcher()
+    graph = nx.Graph()
+    for schema in schemas:
+        graph.add_node(schema.name, schema=schema)
+    for i, left in enumerate(schemas):
+        for right in schemas[i + 1:]:
+            forward = matcher.score_matrix(left, right).get(
+                left.root, right.root
+            )
+            backward = matcher.score_matrix(right, left).get(
+                right.root, left.root
+            )
+            graph.add_edge(
+                left.name, right.name, weight=(forward + backward) / 2
+            )
+    return graph
+
+
+def cluster_schemas(schemas: Sequence[SchemaTree], threshold: float = 0.5,
+                    matcher: Optional[Matcher] = None,
+                    graph: Optional["nx.Graph"] = None) -> list[list[str]]:
+    """Group schemas whose pairwise QoM chains exceed ``threshold``.
+
+    Returns clusters as sorted lists of schema names, largest first.
+    Pass a precomputed ``graph`` to re-cluster at several thresholds
+    without re-matching.
+    """
+    if graph is None:
+        graph = similarity_graph(schemas, matcher=matcher)
+    kept = nx.Graph()
+    kept.add_nodes_from(graph.nodes)
+    kept.add_edges_from(
+        (left, right)
+        for left, right, data in graph.edges(data=True)
+        if data["weight"] >= threshold
+    )
+    clusters = [sorted(component) for component in nx.connected_components(kept)]
+    clusters.sort(key=lambda names: (-len(names), names))
+    return clusters
+
+
+def representatives(graph: "nx.Graph", clusters: list[list[str]]) -> dict:
+    """Pick each cluster's medoid: the member with the highest summed
+    similarity to the rest of its cluster (singletons represent
+    themselves).  Returns ``{representative_name: cluster}``."""
+    chosen = {}
+    for cluster in clusters:
+        if len(cluster) == 1:
+            chosen[cluster[0]] = cluster
+            continue
+        best_name, best_total = None, -1.0
+        for candidate in cluster:
+            total = sum(
+                graph[candidate][other]["weight"]
+                for other in cluster
+                if other != candidate and graph.has_edge(candidate, other)
+            )
+            if total > best_total:
+                best_name, best_total = candidate, total
+        chosen[best_name] = cluster
+    return chosen

@@ -1,0 +1,118 @@
+"""Complex (1:n) correspondence detection.
+
+One-to-one matching misses a common reality: one schema stores an
+``Address`` string where the other stores ``street`` / ``city`` /
+``zip`` fields.  The signature of such a split is *several leaf children
+of one parent all relating to the same node on the other side* -- each
+field name is a facet (usually a hyponym or component term) of the
+combined field's name.
+
+After the one-to-one pass, this module scans for that signature:
+
+- for every source leaf, every target parent is checked for leaf
+  children whose label similarity to the source clears
+  ``member_threshold``;
+- members must be unmatched in the one-to-one result *or* be the source
+  leaf's own current match (a 1:1 pairing with one fragment upgrades to
+  the full 1:n split);
+- two or more qualifying members make a proposal, scored by the mean
+  member similarity; the symmetric n:1 scan runs with roles swapped.
+
+The output is advisory -- :class:`ComplexCorrespondence` records the
+evidence and is reported alongside the one-to-one mapping, never merged
+into it silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.matching.result import MatchResult
+from repro.xsd.model import SchemaTree
+
+#: Largest group reported (splits beyond 4 fields are rare and noisy).
+MAX_GROUP_SIZE = 4
+
+
+@dataclass(frozen=True)
+class ComplexCorrespondence:
+    """One proposed 1:n (or n:1) correspondence."""
+
+    source_paths: tuple
+    target_paths: tuple
+    score: float
+
+    @property
+    def kind(self) -> str:
+        return f"{len(self.source_paths)}:{len(self.target_paths)}"
+
+    def __str__(self):
+        sources = " + ".join(self.source_paths)
+        targets = " + ".join(self.target_paths)
+        return f"{sources} <-> {targets} ({self.score:.3f}) [{self.kind}]"
+
+
+def find_complex_correspondences(
+    result: MatchResult,
+    linguistic: Optional[LinguisticMatcher] = None,
+    member_threshold: float = 0.55,
+    max_group_size: int = MAX_GROUP_SIZE,
+) -> list[ComplexCorrespondence]:
+    """Scan a one-to-one result for 1:n and n:1 splits."""
+    linguistic = linguistic or LinguisticMatcher()
+    source, target = result.matrix.source, result.matrix.target
+
+    forward_match = {c.source_path: c.target_path
+                     for c in result.correspondences}
+    backward_match = {c.target_path: c.source_path
+                      for c in result.correspondences}
+    matched_targets = set(backward_match)
+    matched_sources = set(forward_match)
+
+    proposals = list(_one_to_many(
+        source, target, forward_match, matched_targets,
+        linguistic, member_threshold, max_group_size, flip=False,
+    ))
+    proposals.extend(_one_to_many(
+        target, source, backward_match, matched_sources,
+        linguistic, member_threshold, max_group_size, flip=True,
+    ))
+    proposals.sort(
+        key=lambda c: (-c.score, c.source_paths, c.target_paths)
+    )
+    return proposals
+
+
+def _one_to_many(one_side: SchemaTree, many_side: SchemaTree,
+                 own_match: dict, taken_on_many_side: set,
+                 linguistic, member_threshold, max_group_size, flip):
+    for one_node in one_side:
+        if not one_node.is_leaf:
+            continue
+        current = own_match.get(one_node.path)
+        for parent in many_side:
+            members = []
+            for child in parent.children:
+                if not child.is_leaf:
+                    continue
+                # Free, or this leaf's own 1:1 match (upgrade case).
+                if child.path in taken_on_many_side and child.path != current:
+                    continue
+                score = linguistic.compare_labels(
+                    one_node.name, child.name
+                ).score
+                if score >= member_threshold:
+                    members.append((child, score))
+            if len(members) < 2:
+                continue
+            members.sort(key=lambda item: (-item[1], item[0].path))
+            members = members[:max_group_size]
+            mean_score = sum(score for _, score in members) / len(members)
+            one_paths = (one_node.path,)
+            many_paths = tuple(sorted(child.path for child, _ in members))
+            if flip:
+                yield ComplexCorrespondence(many_paths, one_paths, mean_score)
+            else:
+                yield ComplexCorrespondence(one_paths, many_paths, mean_score)

@@ -1,0 +1,131 @@
+"""Match-result persistence and diffing.
+
+Matching real schemas is iterative: tune the thesaurus, re-run, compare.
+This module supports that loop:
+
+- :func:`result_to_json` / :func:`result_from_json` -- serialize a
+  :class:`~repro.matching.result.MatchResult`'s correspondences and
+  metadata (the full score matrix is intentionally not persisted --
+  it is cheap to recompute and large to store);
+- :func:`diff_results` -- what changed between two runs: added, removed
+  and rescored correspondences.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.matching.result import Correspondence, MatchResult
+
+_FORMAT_VERSION = 1
+
+
+def result_to_json(result: MatchResult, indent: Optional[int] = 2) -> str:
+    """Serialize a match result's correspondences to JSON text."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "tree_qom": result.tree_qom,
+        "source_schema": result.matrix.source.name,
+        "target_schema": result.matrix.target.name,
+        "correspondences": [
+            {
+                "source": c.source_path,
+                "target": c.target_path,
+                "score": c.score,
+                "category": c.category,
+            }
+            for c in result.correspondences
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """A deserialized match result (no score matrix)."""
+
+    algorithm: str
+    tree_qom: float
+    source_schema: str
+    target_schema: str
+    correspondences: tuple
+
+    @property
+    def pairs(self) -> set:
+        return {c.as_tuple() for c in self.correspondences}
+
+
+def result_from_json(text: str) -> StoredResult:
+    """Load a result previously written by :func:`result_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported match-result format version {version!r} "
+            f"(this library writes {_FORMAT_VERSION})"
+        )
+    correspondences = tuple(
+        Correspondence(
+            entry["source"], entry["target"], entry["score"],
+            category=entry.get("category"),
+        )
+        for entry in payload["correspondences"]
+    )
+    return StoredResult(
+        algorithm=payload["algorithm"],
+        tree_qom=payload["tree_qom"],
+        source_schema=payload.get("source_schema", ""),
+        target_schema=payload.get("target_schema", ""),
+        correspondences=correspondences,
+    )
+
+
+@dataclass(frozen=True)
+class ResultDiff:
+    """The difference between two match runs."""
+
+    added: tuple
+    removed: tuple
+    #: pairs present in both runs whose score changed by > tolerance:
+    #: (pair, old score, new score)
+    rescored: tuple
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.rescored)
+
+    def render(self) -> str:
+        if self.is_empty:
+            return "no differences"
+        lines = []
+        for correspondence in self.added:
+            lines.append(f"+ {correspondence}")
+        for correspondence in self.removed:
+            lines.append(f"- {correspondence}")
+        for pair, old, new in self.rescored:
+            lines.append(f"~ {pair[0]} <-> {pair[1]}: {old:.3f} -> {new:.3f}")
+        return "\n".join(lines)
+
+
+def diff_results(old, new, score_tolerance: float = 1e-6) -> ResultDiff:
+    """Compare two results (``MatchResult`` or ``StoredResult``)."""
+    old_by_pair = {c.as_tuple(): c for c in old.correspondences}
+    new_by_pair = {c.as_tuple(): c for c in new.correspondences}
+    added = tuple(
+        new_by_pair[pair]
+        for pair in sorted(new_by_pair.keys() - old_by_pair.keys())
+    )
+    removed = tuple(
+        old_by_pair[pair]
+        for pair in sorted(old_by_pair.keys() - new_by_pair.keys())
+    )
+    rescored = tuple(
+        (pair, old_by_pair[pair].score, new_by_pair[pair].score)
+        for pair in sorted(old_by_pair.keys() & new_by_pair.keys())
+        if abs(old_by_pair[pair].score - new_by_pair[pair].score)
+        > score_tolerance
+    )
+    return ResultDiff(added=added, removed=removed, rescored=rescored)

@@ -1,0 +1,123 @@
+"""Interactive refinement: re-select under user accept/reject feedback.
+
+Automatic matchers propose; integrators dispose.  After reviewing a
+match result, a user typically *accepts* some correspondences (they must
+appear in the final mapping), *rejects* others (they must not, nor may
+the rejected pairing be re-proposed), and wants the matcher to re-derive
+the rest — the workflow LSD/COMA built whole systems around.
+
+:func:`refine` re-runs correspondence selection over an existing score
+matrix under those constraints, so no matrix recomputation is needed:
+
+- accepted pairs are seated first (even below the threshold, and even if
+  the matcher classified them no-match — the user outranks the model);
+- rejected pairs are excluded from selection;
+- the remaining nodes are matched by the usual strategy over whatever
+  endpoints are still free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.matching.result import Correspondence, MatchResult, ScoreMatrix
+from repro.matching.selection import DEFAULT_THRESHOLD, select_correspondences
+
+
+class RefinementError(ValueError):
+    """Raised for inconsistent feedback."""
+
+
+def refine(result: MatchResult,
+           accepted: Iterable[tuple] = (),
+           rejected: Iterable[tuple] = (),
+           threshold: float = DEFAULT_THRESHOLD,
+           strategy: Optional[str] = None) -> MatchResult:
+    """Re-select correspondences under accept/reject constraints.
+
+    Returns a new :class:`MatchResult` sharing the original's matrix.
+    ``accepted`` and ``rejected`` are iterables of
+    ``(source_path, target_path)`` pairs; a pair in both is an error, as
+    are two accepted pairs sharing an endpoint.  ``strategy`` defaults to
+    whatever strategy produced ``result``.
+    """
+    strategy = strategy or result.strategy
+    matrix = result.matrix
+    accepted = [tuple(pair) for pair in accepted]
+    rejected_set = {tuple(pair) for pair in rejected}
+
+    overlap = set(accepted) & rejected_set
+    if overlap:
+        raise RefinementError(
+            f"pairs both accepted and rejected: {sorted(overlap)}"
+        )
+    seen_sources: set[str] = set()
+    seen_targets: set[str] = set()
+    for source_path, target_path in accepted:
+        if source_path in seen_sources:
+            raise RefinementError(
+                f"two accepted pairs share source {source_path!r}"
+            )
+        if target_path in seen_targets:
+            raise RefinementError(
+                f"two accepted pairs share target {target_path!r}"
+            )
+        seen_sources.add(source_path)
+        seen_targets.add(target_path)
+
+    categories = getattr(matrix, "categories", None)
+    forced = [
+        Correspondence(
+            source_path, target_path,
+            matrix.get_by_path(source_path, target_path),
+            category=(categories or {}).get((source_path, target_path)),
+        )
+        for source_path, target_path in accepted
+    ]
+
+    # Select over the remaining free endpoints with rejected pairs (and
+    # all pairs touching an accepted endpoint) masked out.
+    masked = _MaskedMatrix(matrix, seen_sources, seen_targets, rejected_set)
+    remaining = select_correspondences(
+        masked, strategy=strategy, threshold=threshold, categories=categories
+    )
+    correspondences = sorted(
+        forced + list(remaining),
+        key=lambda c: (-c.score, c.source_path, c.target_path),
+    )
+    return MatchResult(
+        algorithm=f"{result.algorithm}+feedback",
+        matrix=matrix,
+        correspondences=correspondences,
+        tree_qom=result.tree_qom,
+        strategy=strategy,
+    )
+
+
+class _MaskedMatrix:
+    """Read-only ScoreMatrix view hiding constrained pairs.
+
+    Implements the pieces selection strategies use (``items``,
+    ``get_by_path``, ``source``/``target``) by delegation.
+    """
+
+    def __init__(self, matrix: ScoreMatrix, taken_sources, taken_targets,
+                 rejected):
+        self._matrix = matrix
+        self._taken_sources = taken_sources
+        self._taken_targets = taken_targets
+        self._rejected = rejected
+        self.source = matrix.source
+        self.target = matrix.target
+        self.categories = getattr(matrix, "categories", None)
+
+    def items(self):
+        for (s_path, t_path), score in self._matrix.items():
+            if s_path in self._taken_sources or t_path in self._taken_targets:
+                continue
+            if (s_path, t_path) in self._rejected:
+                continue
+            yield (s_path, t_path), score
+
+    def get_by_path(self, source_path, target_path, default=0.0):
+        return self._matrix.get_by_path(source_path, target_path, default)

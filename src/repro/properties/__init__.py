@@ -1,0 +1,36 @@
+"""Property-axis substrate: XSD type lattice and property matcher.
+
+The QMatch properties axis (paper Section 2.1) compares each property of
+two nodes individually -- ``type``, ``order``, ``minOccurs``,
+``maxOccurs``, plus whatever else the schema declares -- and classifies
+each as exact, relaxed (generalization / specialization) or none.  The
+axis-level outcome is the consensus of the per-property outcomes.
+
+- :mod:`repro.properties.types` -- the XSD built-in type derivation
+  lattice used to decide when one type generalizes another;
+- :mod:`repro.properties.matcher` -- the property matcher itself.
+"""
+
+from repro.properties.matcher import (
+    PropertyComparison,
+    PropertyConfig,
+    PropertyMatcher,
+)
+from repro.properties.types import (
+    TYPE_FAMILIES,
+    type_distance,
+    type_family,
+    type_similarity,
+    type_strength,
+)
+
+__all__ = [
+    "PropertyComparison",
+    "PropertyConfig",
+    "PropertyMatcher",
+    "TYPE_FAMILIES",
+    "type_distance",
+    "type_family",
+    "type_similarity",
+    "type_strength",
+]

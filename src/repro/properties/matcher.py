@@ -1,0 +1,188 @@
+"""The property matcher (the QoM properties axis).
+
+Implements Section 2.1's properties-axis rules:
+
+- each property is compared individually;
+- the axis is **exact** when every compared property matches exactly;
+- **relaxed** when the consensus of the individual matches is relaxed --
+  e.g. a differing ``order``, or a ``minOccurs``/``maxOccurs``/``type``
+  generalization or specialization;
+- **none** as soon as an individual property has no match at all.
+
+Besides the classification, the matcher produces a numeric axis score
+(QoM_P): a weighted mean of per-property scores where an exact property
+contributes 1.0, a relaxed one its partial credit, a failed one 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+from repro.matching.classes import MatchStrength, consensus
+from repro.properties.types import type_similarity, type_strength
+from repro.xsd.model import UNBOUNDED, SchemaNode
+
+#: Default per-property weights.  ``type`` dominates (it is the one
+#: property matchers traditionally trust most); the remaining weight is
+#: split over occurrence constraints, sibling order and node kind.
+DEFAULT_PROPERTY_WEIGHTS = MappingProxyType({
+    "type": 0.45,
+    "order": 0.15,
+    "min_occurs": 0.15,
+    "max_occurs": 0.15,
+    "kind": 0.10,
+})
+
+
+@dataclass(frozen=True)
+class PropertyConfig:
+    """Knobs of the property matcher.
+
+    ``relaxed_credit`` is the numeric score a relaxed property match
+    contributes; ``compare_order`` may be disabled for matchers that do
+    not trust sibling order (order is the piece of XML-specific
+    information the paper highlights, so it defaults to on).
+    """
+
+    weights: MappingProxyType = field(
+        default_factory=lambda: DEFAULT_PROPERTY_WEIGHTS
+    )
+    relaxed_credit: float = 0.5
+    compare_order: bool = True
+
+
+@dataclass(frozen=True)
+class PropertyComparison:
+    """Outcome of comparing two property sets.
+
+    ``per_property`` maps each compared property name to its
+    :class:`MatchStrength`; ``strength`` is their consensus, ``score``
+    the weighted numeric QoM_P.
+    """
+
+    score: float
+    strength: MatchStrength
+    per_property: dict = field(default_factory=dict)
+
+    @property
+    def is_exact(self):
+        return self.strength is MatchStrength.EXACT
+
+
+class PropertyMatcher:
+    """Compares the property sets of two schema nodes.
+
+    Comparisons depend only on a small signature (type, order,
+    occurrences, kind) of each node, so results are cached per signature
+    pair -- the QMatch inner loop calls this for every node pair.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or PropertyConfig()
+        self._cache: dict = {}
+
+    @staticmethod
+    def _signature(node: SchemaNode):
+        return (
+            node.type_name, node.order, node.min_occurs, node.max_occurs,
+            node.kind,
+        )
+
+    def compare(self, source: SchemaNode, target: SchemaNode) -> PropertyComparison:
+        """Compare ``source`` and ``target`` along the properties axis."""
+        key = (self._signature(source), self._signature(target))
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._compare_uncached(source, target)
+            self._cache[key] = cached
+        return cached
+
+    def _compare_uncached(self, source, target) -> PropertyComparison:
+        outcomes = {}
+        scores = {}
+
+        outcomes["type"] = type_strength(source.type_name, target.type_name)
+        scores["type"] = type_similarity(source.type_name, target.type_name)
+
+        if self.config.compare_order:
+            outcomes["order"] = self._order_strength(source, target)
+            scores["order"] = _strength_score(
+                outcomes["order"], self.config.relaxed_credit
+            )
+
+        outcomes["min_occurs"] = self._occurs_strength(
+            source.min_occurs, target.min_occurs
+        )
+        scores["min_occurs"] = _strength_score(
+            outcomes["min_occurs"], self.config.relaxed_credit
+        )
+        outcomes["max_occurs"] = self._occurs_strength(
+            source.max_occurs, target.max_occurs
+        )
+        scores["max_occurs"] = _strength_score(
+            outcomes["max_occurs"], self.config.relaxed_credit
+        )
+
+        outcomes["kind"] = (
+            MatchStrength.EXACT if source.kind is target.kind
+            else MatchStrength.RELAXED
+        )
+        scores["kind"] = _strength_score(outcomes["kind"], self.config.relaxed_credit)
+
+        weights = self.config.weights
+        total_weight = sum(weights.get(name, 0.0) for name in scores)
+        if total_weight <= 0:
+            raise ValueError("property weights sum to zero for compared properties")
+        score = sum(
+            weights.get(name, 0.0) * value for name, value in scores.items()
+        ) / total_weight
+        return PropertyComparison(
+            score=score,
+            strength=consensus(outcomes.values()),
+            per_property=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _order_strength(source, target) -> MatchStrength:
+        """Sibling order: exact when equal, relaxed otherwise (paper rule).
+
+        Roots (order ``None``) compare exact against roots, relaxed
+        against positioned nodes.
+        """
+        if source.order == target.order:
+            return MatchStrength.EXACT
+        return MatchStrength.RELAXED
+
+    @staticmethod
+    def _occurs_strength(source_value, target_value) -> MatchStrength:
+        """Occurrence constraint: exact when equal, relaxed otherwise.
+
+        Any two occurrence values relate by generalization (the smaller
+        ``minOccurs`` / the larger ``maxOccurs`` is the generalization --
+        the paper's ``minOccurs=0`` generalizes ``minOccurs=1`` example),
+        so a differing value is a relaxed match, never a failed one.
+        """
+        if source_value == target_value:
+            return MatchStrength.EXACT
+        return MatchStrength.RELAXED
+
+
+def _strength_score(strength, relaxed_credit) -> float:
+    if strength is MatchStrength.EXACT:
+        return 1.0
+    if strength is MatchStrength.RELAXED:
+        return relaxed_credit
+    return 0.0
+
+
+def occurs_range_overlaps(min_a, max_a, min_b, max_b) -> bool:
+    """Whether two occurrence ranges overlap (``UNBOUNDED`` = infinity).
+
+    Utility used by tests and the structural matcher's leaf comparison.
+    """
+    upper_a = float("inf") if max_a == UNBOUNDED else max_a
+    upper_b = float("inf") if max_b == UNBOUNDED else max_b
+    return min_a <= upper_b and min_b <= upper_a

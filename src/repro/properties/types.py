@@ -1,0 +1,193 @@
+"""The XSD built-in type lattice.
+
+XML Schema Part 2 defines a derivation hierarchy over the built-in simple
+types (``byte`` derives from ``short`` derives from ``int`` ... derives
+from ``decimal``).  The paper's relaxed property match relies on it: a
+type property matches *relaxed* "if the property value of the source is a
+generalization or a specialization of the target property".
+
+This module encodes that hierarchy and derives three queries from it:
+
+- :func:`type_distance` -- derivation steps between two types along
+  ancestor chains (``None`` when unrelated);
+- :func:`type_strength` -- the exact / relaxed / none classification;
+- :func:`type_similarity` -- a numeric score in ``[0, 1]``.
+
+Types outside the hierarchy (user-defined names) compare by string
+equality, with ``None`` (no declared type, i.e. ``anyType``) acting as
+the top of the lattice.
+"""
+
+from __future__ import annotations
+
+from repro.matching.classes import MatchStrength
+
+#: child -> parent in the XSD Part 2 derivation hierarchy.
+_PARENT = {
+    "anySimpleType": "anyType",
+    # string branch
+    "string": "anySimpleType",
+    "normalizedString": "string",
+    "token": "normalizedString",
+    "language": "token",
+    "NMTOKEN": "token",
+    "NMTOKENS": "NMTOKEN",
+    "Name": "token",
+    "NCName": "Name",
+    "ID": "NCName",
+    "IDREF": "NCName",
+    "IDREFS": "IDREF",
+    "ENTITY": "NCName",
+    "ENTITIES": "ENTITY",
+    # numeric branch
+    "decimal": "anySimpleType",
+    "integer": "decimal",
+    "nonPositiveInteger": "integer",
+    "negativeInteger": "nonPositiveInteger",
+    "long": "integer",
+    "int": "long",
+    "short": "int",
+    "byte": "short",
+    "nonNegativeInteger": "integer",
+    "unsignedLong": "nonNegativeInteger",
+    "unsignedInt": "unsignedLong",
+    "unsignedShort": "unsignedInt",
+    "unsignedByte": "unsignedShort",
+    "positiveInteger": "nonNegativeInteger",
+    # other primitives
+    "float": "anySimpleType",
+    "double": "anySimpleType",
+    "boolean": "anySimpleType",
+    "duration": "anySimpleType",
+    "dateTime": "anySimpleType",
+    "time": "anySimpleType",
+    "date": "anySimpleType",
+    "gYearMonth": "anySimpleType",
+    "gYear": "anySimpleType",
+    "gMonthDay": "anySimpleType",
+    "gDay": "anySimpleType",
+    "gMonth": "anySimpleType",
+    "hexBinary": "anySimpleType",
+    "base64Binary": "anySimpleType",
+    "anyURI": "anySimpleType",
+    "QName": "anySimpleType",
+    "NOTATION": "anySimpleType",
+}
+
+#: Loose families: types in the same family that are not lattice-related
+#: (float vs decimal, date vs dateTime) still score a weak similarity.
+TYPE_FAMILIES = {
+    "numeric": frozenset({
+        "decimal", "integer", "nonPositiveInteger", "negativeInteger",
+        "long", "int", "short", "byte", "nonNegativeInteger",
+        "unsignedLong", "unsignedInt", "unsignedShort", "unsignedByte",
+        "positiveInteger", "float", "double",
+    }),
+    "textual": frozenset({
+        "string", "normalizedString", "token", "language", "NMTOKEN",
+        "NMTOKENS", "Name", "NCName", "ID", "IDREF", "IDREFS", "ENTITY",
+        "ENTITIES", "anyURI", "QName",
+    }),
+    "temporal": frozenset({
+        "duration", "dateTime", "time", "date", "gYearMonth", "gYear",
+        "gMonthDay", "gDay", "gMonth",
+    }),
+    "binary": frozenset({"hexBinary", "base64Binary"}),
+}
+
+_FAMILY_OF = {
+    type_name: family
+    for family, members in TYPE_FAMILIES.items()
+    for type_name in members
+}
+
+#: Score for a direct lattice relationship, decayed per extra step.
+_LATTICE_BASE = 0.8
+_LATTICE_DECAY = 0.1
+#: Score for same-family-but-unrelated types.
+_FAMILY_SCORE = 0.5
+#: Score for comparisons where one side has no declared type (anyType).
+_ANY_SCORE = 0.5
+
+
+def is_builtin(type_name) -> bool:
+    """True when the name is an XSD built-in simple (or any) type."""
+    return type_name in _PARENT or type_name == "anyType"
+
+
+def _ancestors(type_name):
+    """The chain from ``type_name`` (exclusive) up to ``anyType``."""
+    chain = []
+    current = _PARENT.get(type_name)
+    while current is not None:
+        chain.append(current)
+        current = _PARENT.get(current)
+    return chain
+
+
+def type_family(type_name):
+    """The loose family of a built-in type, or ``None``."""
+    return _FAMILY_OF.get(type_name)
+
+
+def type_distance(left, right):
+    """Derivation steps between two built-in types, or ``None``.
+
+    0 for identical types, 1 for parent/child, 2 for grandparent or two
+    children of one parent counted through their meet, and so on.  Only
+    ancestor-chain relationships count: the distance is the number of
+    steps from the more derived type up to the other (``int`` ->
+    ``decimal`` is 2).  Unrelated or unknown types give ``None``.
+    """
+    if left == right:
+        return 0
+    if not is_builtin(left) or not is_builtin(right):
+        return None
+    left_chain = _ancestors(left)
+    if right in left_chain:
+        return left_chain.index(right) + 1
+    right_chain = _ancestors(right)
+    if left in right_chain:
+        return right_chain.index(left) + 1
+    return None
+
+
+def type_strength(left, right) -> MatchStrength:
+    """Exact / relaxed / none classification of a type pair.
+
+    - equal names (or both undeclared) -> EXACT;
+    - one side undeclared (``anyType``) -> RELAXED (anyType generalizes
+      everything);
+    - lattice ancestor/descendant -> RELAXED;
+    - same loose family -> RELAXED;
+    - otherwise NONE.
+    """
+    if left == right:
+        return MatchStrength.EXACT
+    if left is None or right is None or "anyType" in (left, right):
+        return MatchStrength.RELAXED
+    distance = type_distance(left, right)
+    if distance is not None:
+        return MatchStrength.RELAXED
+    if type_family(left) is not None and type_family(left) == type_family(right):
+        return MatchStrength.RELAXED
+    return MatchStrength.NONE
+
+
+def type_similarity(left, right) -> float:
+    """Numeric type similarity in ``[0, 1]``.
+
+    1.0 for equal types; lattice relatives score ``0.8`` minus ``0.1``
+    per extra derivation step (floored at the family score); same-family
+    types score 0.5; anything else 0.
+    """
+    if left == right:
+        return 1.0
+    if left is None or right is None or "anyType" in (left, right):
+        return _ANY_SCORE
+    distance = type_distance(left, right)
+    if distance is not None:
+        return max(_LATTICE_BASE - _LATTICE_DECAY * (distance - 1), _FAMILY_SCORE)
+    if type_family(left) is not None and type_family(left) == type_family(right):
+        return _FAMILY_SCORE
+    return 0.0

@@ -1,0 +1,29 @@
+"""Structural substrate: label-blind schema matchers.
+
+The paper's *structural algorithm* baseline decides matches purely from
+schema shape -- leaf data types, subtree leaf overlap, arity and depth --
+with no access to labels.  Two implementations:
+
+- :mod:`repro.structural.matcher` -- a Cupid-ssim-flavoured bottom-up
+  matcher (the baseline used in the paper's experiments);
+- :mod:`repro.structural.tree_edit` -- Zhang-Shasha tree edit distance,
+  the Nierman-Jagadish [15] style structural similarity, offered as a
+  second baseline.
+"""
+
+from repro.structural.matcher import StructuralConfig, StructuralMatcher
+from repro.structural.tree_edit import (
+    TreeEditConfig,
+    TreeEditMatcher,
+    tree_edit_distance,
+    tree_edit_similarity,
+)
+
+__all__ = [
+    "StructuralConfig",
+    "StructuralMatcher",
+    "TreeEditConfig",
+    "TreeEditMatcher",
+    "tree_edit_distance",
+    "tree_edit_similarity",
+]

@@ -1,0 +1,137 @@
+"""Similarity flooding (Melnik, Garcia-Molina, Rahm -- ICDE 2002).
+
+A graph-propagation structural matcher from the same related-work family
+the paper surveys.  The two schema trees induce a *pairwise connectivity
+graph* whose nodes are (source node, target node) pairs; two pair-nodes
+are connected when their components are connected by the same edge label
+on both sides (here: ``child`` and its inverse ``parent``).  Similarity
+"floods" across this graph from an initial string-similarity seed until
+a fixpoint::
+
+    sigma_{i+1} = normalize( sigma_0 + sigma_i + propagate(sigma_i) )
+
+which is the basic fixpoint formula of the original paper.  Propagation
+coefficients split each pair-node's contribution equally over its
+out-neighbours per edge label.
+
+The iteration is a sparse matrix-vector product (scipy), so the
+paper-scale protein pair floods in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.linguistic.tokenizer import normalize as normalize_label
+from repro.linguistic.string_metrics import blended_similarity
+from repro.matching.base import Matcher
+from repro.matching.result import ScoreMatrix
+from repro.xsd.model import SchemaTree
+
+
+@dataclass(frozen=True)
+class FloodingConfig:
+    """Fixpoint parameters.
+
+    Iteration stops when the residual (max absolute change after
+    normalization) drops below ``epsilon`` or after ``max_iterations``.
+    """
+
+    epsilon: float = 1e-4
+    max_iterations: int = 100
+
+    def __post_init__(self):
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+
+
+class SimilarityFloodingMatcher(Matcher):
+    """The basic similarity-flooding fixpoint over two schema trees."""
+
+    name = "flooding"
+
+    def __init__(self, config=None):
+        self.config = config or FloodingConfig()
+        #: Iterations the last :meth:`score_matrix` call took (for tests
+        #: and reports).
+        self.last_iterations = 0
+
+    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
+        s_nodes = list(source.root.iter_preorder())
+        t_nodes = list(target.root.iter_preorder())
+        n, m = len(s_nodes), len(t_nodes)
+        s_index = {id(node): i for i, node in enumerate(s_nodes)}
+        t_index = {id(node): j for j, node in enumerate(t_nodes)}
+
+        def pair_id(i, j):
+            return i * m + j
+
+        # Initial similarity: cheap label string similarity (the
+        # original seeds from string matching; thesaurus knowledge is
+        # deliberately not used -- flooding is the structural engine).
+        sigma0 = np.empty(n * m, dtype=np.float64)
+        t_norms = [normalize_label(node.name) for node in t_nodes]
+        for i, s_node in enumerate(s_nodes):
+            s_norm = normalize_label(s_node.name)
+            base = i * m
+            for j in range(m):
+                sigma0[base + j] = blended_similarity(s_norm, t_norms[j])
+
+        # Propagation graph: pair (s, t) sends weight to (s_child,
+        # t_child) along 'child' and to parents along 'parent'.  Each
+        # edge label's outgoing weight from a pair-node splits equally
+        # over its out-neighbours (the original's coefficient scheme).
+        rows, cols, data = [], [], []
+        for s_node in s_nodes:
+            i = s_index[id(s_node)]
+            for t_node in t_nodes:
+                j = t_index[id(t_node)]
+                this = pair_id(i, j)
+                # child edges
+                child_pairs = [
+                    pair_id(s_index[id(sc)], t_index[id(tc)])
+                    for sc in s_node.children
+                    for tc in t_node.children
+                ]
+                if child_pairs:
+                    weight = 1.0 / len(child_pairs)
+                    for neighbour in child_pairs:
+                        rows.append(neighbour)
+                        cols.append(this)
+                        data.append(weight)
+                # parent edge (unique when both nodes have parents)
+                if s_node.parent is not None and t_node.parent is not None:
+                    neighbour = pair_id(
+                        s_index[id(s_node.parent)], t_index[id(t_node.parent)]
+                    )
+                    rows.append(neighbour)
+                    cols.append(this)
+                    data.append(1.0)
+        propagation = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n * m, n * m)
+        )
+
+        sigma = sigma0.copy()
+        self.last_iterations = 0
+        for _ in range(self.config.max_iterations):
+            updated = sigma0 + sigma + propagation.dot(sigma)
+            peak = updated.max()
+            if peak > 0:
+                updated /= peak
+            residual = np.abs(updated - sigma).max()
+            sigma = updated
+            self.last_iterations += 1
+            if residual < self.config.epsilon:
+                break
+
+        matrix = ScoreMatrix(source, target)
+        for i, s_node in enumerate(s_nodes):
+            base = i * m
+            for j, t_node in enumerate(t_nodes):
+                matrix.set(s_node, t_node, float(sigma[base + j]))
+        return matrix

@@ -1,0 +1,47 @@
+"""XML Schema substrate: tree model, XSD parser, serializer and generators.
+
+The QMatch paper operates on *schema trees*: every XML-Schema element or
+attribute becomes a node carrying a label, a property set (type, order,
+minOccurs, maxOccurs, ...), its children and its nesting level.  This
+package provides that representation plus everything needed to obtain it:
+
+- :mod:`repro.xsd.model` -- the :class:`SchemaNode` / :class:`SchemaTree`
+  data model used by every matcher in the library.
+- :mod:`repro.xsd.parser` -- an XSD parser built on the standard library's
+  ``xml.etree`` (``lxml`` is deliberately not required).
+- :mod:`repro.xsd.serializer` -- writes trees back to XSD and to a compact
+  indented text format used in tests and CLI output.
+- :mod:`repro.xsd.builder` -- a small fluent builder for constructing
+  trees programmatically.
+- :mod:`repro.xsd.generator` / :mod:`repro.xsd.mutations` -- deterministic
+  synthetic schema generation and controlled mutation (rename, restructure,
+  prune, retype) used for the protein-scale experiments.
+"""
+
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.errors import SchemaParseError, SchemaValidationError
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+from repro.xsd.model import NodeKind, SchemaNode, SchemaTree
+from repro.xsd.mutations import MutationConfig, SchemaMutator
+from repro.xsd.parser import parse_xsd, parse_xsd_file
+from repro.xsd.serializer import to_compact_text, to_xsd
+
+__all__ = [
+    "GeneratorConfig",
+    "MutationConfig",
+    "NodeKind",
+    "SchemaGenerator",
+    "SchemaMutator",
+    "SchemaNode",
+    "SchemaParseError",
+    "SchemaTree",
+    "SchemaValidationError",
+    "TreeBuilder",
+    "attribute",
+    "element",
+    "parse_xsd",
+    "parse_xsd_file",
+    "to_compact_text",
+    "to_xsd",
+    "tree",
+]

@@ -1,0 +1,128 @@
+"""Fluent construction of schema trees.
+
+Two styles are supported.  The functional style nests calls::
+
+    po = tree(
+        element("PO",
+            element("OrderNo", type_name="integer"),
+            element("PurchaseInfo",
+                element("BillingAddr", type_name="string"),
+            ),
+        ),
+        domain="purchase-order",
+    )
+
+The imperative :class:`TreeBuilder` style keeps a cursor::
+
+    builder = TreeBuilder("PO")
+    builder.leaf("OrderNo", type_name="integer")
+    with builder.node("PurchaseInfo"):
+        builder.leaf("BillingAddr", type_name="string")
+    po = builder.build(domain="purchase-order")
+
+Both produce fully linked :class:`repro.xsd.model.SchemaTree` objects with
+sibling order and levels already assigned.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.xsd.model import NodeKind, SchemaNode, SchemaTree
+
+
+def element(name, *children, type_name=None, min_occurs=1, max_occurs=1, **properties):
+    """Create an element node with nested ``children`` nodes."""
+    return SchemaNode(
+        name,
+        kind=NodeKind.ELEMENT,
+        type_name=type_name,
+        min_occurs=min_occurs,
+        max_occurs=max_occurs,
+        properties=properties or None,
+        children=children,
+    )
+
+
+def attribute(name, type_name="string", required=False, **properties):
+    """Create an attribute node (always a leaf).
+
+    ``required`` maps to the XSD ``use="required"`` semantics: a required
+    attribute has ``min_occurs = 1``, an optional one ``min_occurs = 0``.
+    """
+    props = {"use": "required" if required else "optional"}
+    props.update(properties)
+    return SchemaNode(
+        name,
+        kind=NodeKind.ATTRIBUTE,
+        type_name=type_name,
+        min_occurs=1 if required else 0,
+        max_occurs=1,
+        properties=props,
+    )
+
+
+def tree(root, name=None, domain=None, target_namespace=None):
+    """Wrap a root node into a validated :class:`SchemaTree`."""
+    return SchemaTree(
+        root, name=name, domain=domain, target_namespace=target_namespace
+    ).validate()
+
+
+class TreeBuilder:
+    """Imperative schema-tree builder with a cursor.
+
+    The builder starts positioned at the root.  :meth:`leaf` adds a leaf
+    under the cursor; :meth:`node` adds an interior node and (used as a
+    context manager) moves the cursor into it for the duration of the
+    ``with`` block.
+    """
+
+    def __init__(self, root_name, type_name=None, **properties):
+        self._root = SchemaNode(
+            root_name, type_name=type_name, properties=properties or None
+        )
+        self._cursor = self._root
+
+    def leaf(self, name, type_name="string", kind=NodeKind.ELEMENT,
+             min_occurs=1, max_occurs=1, **properties):
+        """Add a leaf element under the cursor and return it."""
+        child = SchemaNode(
+            name,
+            kind=kind,
+            type_name=type_name,
+            min_occurs=min_occurs,
+            max_occurs=max_occurs,
+            properties=properties or None,
+        )
+        self._cursor.add_child(child)
+        return child
+
+    def attr(self, name, type_name="string", required=False, **properties):
+        """Add an attribute under the cursor and return it."""
+        child = attribute(name, type_name=type_name, required=required, **properties)
+        self._cursor.add_child(child)
+        return child
+
+    @contextlib.contextmanager
+    def node(self, name, type_name=None, min_occurs=1, max_occurs=1, **properties):
+        """Add an interior element and move the cursor into it."""
+        child = SchemaNode(
+            name,
+            type_name=type_name,
+            min_occurs=min_occurs,
+            max_occurs=max_occurs,
+            properties=properties or None,
+        )
+        self._cursor.add_child(child)
+        previous, self._cursor = self._cursor, child
+        try:
+            yield child
+        finally:
+            self._cursor = previous
+
+    def build(self, name=None, domain=None, target_namespace=None) -> SchemaTree:
+        """Finish and return the validated tree."""
+        return tree(
+            self._root, name=name, domain=domain, target_namespace=target_namespace
+        )

@@ -1,0 +1,157 @@
+"""Schema diff: what changed between two versions of one schema.
+
+Matching handles *different* schemas; evolution handles *versions* of
+the same one.  :func:`diff_schemas` classifies every node of the new
+version against the old:
+
+- **unchanged** -- same path, same subtree fingerprint, same level;
+- **modified** -- same path, but properties or descendants changed;
+- **renamed** -- no node at the path, but a removed sibling under the
+  same parent matches linguistically and structurally (type and child
+  count agree and the labels relate);
+- **added** / **removed** -- everything else.
+
+The rename heuristic keeps evolution diffs readable (a pure
+added+removed pair for every rename buries the signal) and feeds
+:func:`repro.matching.incremental.incremental_qmatch`'s consumers with
+a change log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.matching.incremental import node_fingerprint
+from repro.xsd.model import SchemaNode, SchemaTree
+
+#: Label similarity needed to call a same-parent add/remove pair a rename.
+RENAME_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class SchemaDiff:
+    """Classified changes from ``old`` to ``new``."""
+
+    unchanged: tuple
+    modified: tuple
+    #: (old_path, new_path) pairs
+    renamed: tuple
+    added: tuple
+    removed: tuple
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.modified or self.renamed or self.added or self.removed)
+
+    def render(self) -> str:
+        if self.is_empty:
+            return "no changes"
+        lines = []
+        for path in self.added:
+            lines.append(f"+ {path}")
+        for path in self.removed:
+            lines.append(f"- {path}")
+        for old_path, new_path in self.renamed:
+            lines.append(f"~ {old_path} -> {new_path}")
+        for path in self.modified:
+            lines.append(f"* {path} (modified)")
+        return "\n".join(lines)
+
+
+def diff_schemas(old: SchemaTree, new: SchemaTree,
+                 linguistic: LinguisticMatcher = None) -> SchemaDiff:
+    """Classify every change between two versions of a schema."""
+    linguistic = linguistic or LinguisticMatcher()
+    old_by_path = {node.path: node for node in old}
+    new_by_path = {node.path: node for node in new}
+
+    unchanged, modified = [], []
+    added_nodes, removed_nodes = [], []
+    for path, node in new_by_path.items():
+        counterpart = old_by_path.get(path)
+        if counterpart is None:
+            added_nodes.append(node)
+        elif (
+            node_fingerprint(counterpart) == node_fingerprint(node)
+            and counterpart.level == node.level
+        ):
+            unchanged.append(path)
+        else:
+            modified.append(path)
+    for path, node in old_by_path.items():
+        if path not in new_by_path:
+            removed_nodes.append(node)
+
+    renamed, added, removed = _detect_renames(
+        added_nodes, removed_nodes, linguistic
+    )
+    return SchemaDiff(
+        unchanged=tuple(sorted(unchanged)),
+        modified=tuple(sorted(_drop_rename_spines(modified, renamed))),
+        renamed=tuple(sorted(renamed)),
+        added=tuple(sorted(added)),
+        removed=tuple(sorted(removed)),
+    )
+
+
+def _parent_path(path: str) -> str:
+    return path.rpartition("/")[0]
+
+
+def _detect_renames(added_nodes, removed_nodes, linguistic):
+    """Pair same-parent added/removed nodes that look like renames."""
+    renamed = []
+    consumed_removed = set()
+    remaining_added = []
+    removed_by_parent: dict[str, list[SchemaNode]] = {}
+    for node in removed_nodes:
+        removed_by_parent.setdefault(_parent_path(node.path), []).append(node)
+
+    for node in added_nodes:
+        candidates = removed_by_parent.get(_parent_path(node.path), [])
+        best, best_score = None, 0.0
+        for candidate in candidates:
+            if candidate.path in consumed_removed:
+                continue
+            if candidate.kind is not node.kind:
+                continue
+            if candidate.is_leaf != node.is_leaf:
+                continue
+            if candidate.is_leaf and candidate.type_name != node.type_name:
+                continue
+            score = linguistic.compare_labels(candidate.name, node.name).score
+            if score >= RENAME_THRESHOLD and score > best_score:
+                best, best_score = candidate, score
+        if best is not None:
+            consumed_removed.add(best.path)
+            renamed.append((best.path, node.path))
+        else:
+            remaining_added.append(node.path)
+
+    remaining_removed = [
+        node.path for node in removed_nodes
+        if node.path not in consumed_removed
+    ]
+
+    # A renamed interior node drags its whole subtree into added/removed
+    # by path; fold descendants of renamed pairs out of those lists.
+    renamed_old_prefixes = tuple(old + "/" for old, _ in renamed)
+    renamed_new_prefixes = tuple(new + "/" for _, new in renamed)
+    remaining_added = [
+        path for path in remaining_added
+        if not path.startswith(renamed_new_prefixes)
+    ]
+    remaining_removed = [
+        path for path in remaining_removed
+        if not path.startswith(renamed_old_prefixes)
+    ]
+    return renamed, remaining_added, remaining_removed
+
+
+def _drop_rename_spines(modified, renamed):
+    """Ancestors of a rename show as modified (fingerprint changed);
+    keep them -- their content genuinely changed -- but drop exact
+    duplicates of rename endpoints."""
+    rename_paths = {new for _, new in renamed}
+    return [path for path in modified if path not in rename_paths]

@@ -1,0 +1,405 @@
+"""DTD parser: Document Type Definitions -> :class:`SchemaTree`.
+
+Half the schemas on the 2005-era web were DTDs, not XML Schemas, so a
+matcher release needs a DTD front end.  Supported declarations:
+
+- ``<!ELEMENT name (content-model)>`` with sequences (``,``), choices
+  (``|``), nested groups, the occurrence suffixes ``?`` / ``*`` / ``+``,
+  ``#PCDATA`` (also in mixed content), ``EMPTY`` and ``ANY``;
+- ``<!ATTLIST name attr TYPE DEFAULT ...>`` with CDATA / ID / IDREF /
+  IDREFS / NMTOKEN(S) / ENTITY / enumerated types and ``#REQUIRED`` /
+  ``#IMPLIED`` / ``#FIXED "v"`` / literal defaults;
+- comments.
+
+Parameter entities and notations are not expanded (rarely relevant for
+matching; a :class:`SchemaParseError` names the construct when hit).
+
+Element types become node types: pure ``#PCDATA`` content maps to
+``string``; attribute DTD types map onto the XSD lattice (CDATA ->
+string, ID -> ID, ...).  Recursive element references are cut off the
+same way the XSD parser cuts recursive types.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.xsd.errors import SchemaParseError
+from repro.xsd.model import NodeKind, SchemaNode, SchemaTree, UNBOUNDED
+
+_COMMENT = re.compile(r"<!--.*?-->", re.DOTALL)
+_DECLARATION = re.compile(r"<!(ELEMENT|ATTLIST|ENTITY|NOTATION)\s+(.*?)>",
+                          re.DOTALL)
+_NAME = r"[A-Za-z_:][\w.\-:]*"
+
+_ATTR_TYPE_MAP = {
+    "CDATA": "string",
+    "ID": "ID",
+    "IDREF": "IDREF",
+    "IDREFS": "IDREFS",
+    "NMTOKEN": "NMTOKEN",
+    "NMTOKENS": "NMTOKENS",
+    "ENTITY": "ENTITY",
+    "ENTITIES": "ENTITIES",
+}
+
+#: Occurrence suffix -> (min factor, max factor).
+_SUFFIX_OCCURS = {
+    "?": (0, 1),
+    "*": (0, UNBOUNDED),
+    "+": (1, UNBOUNDED),
+    "": (1, 1),
+}
+
+
+class _ElementDecl:
+    def __init__(self, name, content):
+        self.name = name
+        self.content = content  # parsed content model or "EMPTY"/"ANY"/"PCDATA"
+        self.attributes: list[tuple] = []
+
+
+class _Particle:
+    """One parsed content-model item: a name or a group."""
+
+    def __init__(self, kind, value, min_occurs=1, max_occurs=1, separator=None):
+        self.kind = kind          # "name" | "group" | "pcdata"
+        self.value = value        # element name, or list of particles
+        self.min_occurs = min_occurs
+        self.max_occurs = max_occurs
+        self.separator = separator  # "," or "|" for groups
+
+
+class _ContentModelParser:
+    """Recursive-descent parser for DTD content models."""
+
+    _TOKEN = re.compile(
+        rf"\s*(\(|\)|,|\||\?|\*|\+|#PCDATA|{_NAME})"
+    )
+
+    def __init__(self, text, element_name):
+        self.tokens = self._tokenize(text, element_name)
+        self.position = 0
+        self.element_name = element_name
+
+    def _tokenize(self, text, element_name):
+        tokens = []
+        position = 0
+        while position < len(text):
+            if text[position].isspace():
+                position += 1
+                continue
+            matched = self._TOKEN.match(text, position)
+            if not matched:
+                raise SchemaParseError(
+                    f"cannot tokenize content model of {element_name!r} "
+                    f"at ...{text[position:position + 20]!r}"
+                )
+            tokens.append(matched.group(1))
+            position = matched.end()
+        return tokens
+
+    def _peek(self):
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise SchemaParseError(
+                f"unexpected end of content model in {self.element_name!r}"
+            )
+        self.position += 1
+        return token
+
+    def parse(self) -> _Particle:
+        particle = self._parse_particle()
+        if self._peek() is not None:
+            raise SchemaParseError(
+                f"trailing tokens in content model of {self.element_name!r}: "
+                f"{self.tokens[self.position:]}"
+            )
+        return particle
+
+    def _parse_particle(self) -> _Particle:
+        token = self._next()
+        if token == "(":
+            particle = self._parse_group()
+        elif token == "#PCDATA":
+            particle = _Particle("pcdata", None)
+        else:
+            particle = _Particle("name", token)
+        return self._apply_suffix(particle)
+
+    def _parse_group(self) -> _Particle:
+        members = [self._parse_particle()]
+        separator = None
+        while True:
+            token = self._next()
+            if token == ")":
+                break
+            if token in (",", "|"):
+                if separator is None:
+                    separator = token
+                elif separator != token:
+                    raise SchemaParseError(
+                        f"mixed ',' and '|' in one group of "
+                        f"{self.element_name!r}"
+                    )
+                members.append(self._parse_particle())
+            else:
+                raise SchemaParseError(
+                    f"unexpected {token!r} in content model of "
+                    f"{self.element_name!r}"
+                )
+        return _Particle("group", members, separator=separator or ",")
+
+    def _apply_suffix(self, particle) -> _Particle:
+        if self._peek() in ("?", "*", "+"):
+            suffix = self._next()
+            particle.min_occurs, particle.max_occurs = _SUFFIX_OCCURS[suffix]
+        return particle
+
+
+class DtdParser:
+    """Stateful parser for one DTD document."""
+
+    def __init__(self, max_recursion=1):
+        self.max_recursion = max_recursion
+        self._elements: dict[str, _ElementDecl] = {}
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def parse(self, text, root_element=None, name=None, domain=None) -> SchemaTree:
+        text = _COMMENT.sub(" ", text)
+        self._collect(text)
+        if not self._elements:
+            raise SchemaParseError("DTD declares no elements")
+        root_name = root_element or self._infer_root()
+        declaration = self._elements.get(root_name)
+        if declaration is None:
+            raise SchemaParseError(
+                f"no element named {root_name!r}; "
+                f"available: {sorted(self._elements)}"
+            )
+        root = self._build(declaration)
+        tree = SchemaTree(root, name=name or root_name, domain=domain)
+        return tree.validate()
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, text):
+        for matched in _DECLARATION.finditer(text):
+            kind, body = matched.group(1), matched.group(2).strip()
+            if kind == "ELEMENT":
+                self._collect_element(body)
+            elif kind == "ATTLIST":
+                self._collect_attlist(body)
+            elif kind in ("ENTITY", "NOTATION"):
+                raise SchemaParseError(
+                    f"unsupported DTD construct <!{kind} ...> "
+                    "(parameter entities are not expanded)"
+                )
+
+    def _collect_element(self, body):
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise SchemaParseError(f"malformed ELEMENT declaration: {body!r}")
+        element_name, model_text = parts
+        model_text = model_text.strip()
+        existing = self._elements.get(element_name)
+        if existing is not None and existing.content is not None:
+            raise SchemaParseError(f"duplicate element {element_name!r}")
+        if model_text == "EMPTY":
+            content = "EMPTY"
+        elif model_text == "ANY":
+            content = "ANY"
+        else:
+            particle = _ContentModelParser(model_text, element_name).parse()
+            content = particle
+        if existing is not None:
+            existing.content = content  # upgrade an ATTLIST placeholder
+        else:
+            self._elements[element_name] = _ElementDecl(element_name, content)
+
+    _ATTDEF = re.compile(
+        rf"({_NAME})\s+"                       # attribute name
+        rf"(CDATA|IDREFS|IDREF|ID|ENTITY|ENTITIES|NMTOKENS|NMTOKEN"
+        rf"|\([^)]*\))\s+"                     # type or enumeration
+        r"(#REQUIRED|#IMPLIED|#FIXED\s+(?:\"[^\"]*\"|'[^']*')"
+        r"|\"[^\"]*\"|'[^']*')",               # default
+        re.DOTALL,
+    )
+
+    def _collect_attlist(self, body):
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise SchemaParseError(f"malformed ATTLIST declaration: {body!r}")
+        element_name, defs = parts
+        declaration = self._elements.get(element_name)
+        if declaration is None:
+            # DTDs may put ATTLIST before ELEMENT; create a placeholder
+            # that the later ELEMENT declaration upgrades.
+            declaration = _ElementDecl(element_name, None)
+            self._elements[element_name] = declaration
+        position = 0
+        defs = defs.strip()
+        while position < len(defs):
+            matched = self._ATTDEF.match(defs, position)
+            if not matched:
+                raise SchemaParseError(
+                    f"malformed attribute definition for {element_name!r} "
+                    f"at ...{defs[position:position + 30]!r}"
+                )
+            declaration.attributes.append(
+                (matched.group(1), matched.group(2), matched.group(3))
+            )
+            position = matched.end()
+            while position < len(defs) and defs[position].isspace():
+                position += 1
+
+    # ------------------------------------------------------------------
+
+    def _infer_root(self) -> str:
+        """The element no other element references (first declared wins)."""
+        referenced = set()
+        for declaration in self._elements.values():
+            if isinstance(declaration.content, _Particle):
+                _collect_names(declaration.content, referenced)
+        for element_name in self._elements:
+            if element_name not in referenced:
+                return element_name
+        # Fully cyclic DTD: fall back to the first declaration.
+        return next(iter(self._elements))
+
+    def _build(self, declaration: _ElementDecl) -> SchemaNode:
+        node = SchemaNode(declaration.name, kind=NodeKind.ELEMENT)
+        content = declaration.content
+        if content is None:
+            content = "EMPTY"  # ATTLIST without ELEMENT declaration
+        if content == "ANY":
+            node.properties["any_element"] = True
+        elif content == "EMPTY":
+            pass
+        elif isinstance(content, _Particle):
+            if content.kind == "pcdata":
+                node.type_name = "string"
+            else:
+                self._attach_particle(node, content, 1, 1, in_choice=False)
+                if _contains_pcdata(content):
+                    node.properties["mixed"] = True
+                    node.type_name = "string"
+        for attr_name, attr_type, default in declaration.attributes:
+            node.add_child(self._build_attribute(attr_name, attr_type, default))
+        if node.is_leaf and node.type_name is None and content == "EMPTY":
+            node.type_name = "string"
+        return node
+
+    def _attach_particle(self, parent, particle, outer_min, outer_max,
+                         in_choice):
+        if particle.kind == "pcdata":
+            return
+        if particle.kind == "name":
+            target = self._elements.get(particle.value)
+            depth = self._stack.count(particle.value)
+            if target is not None and depth <= self.max_recursion:
+                self._stack.append(particle.value)
+                try:
+                    child = self._build(target)
+                finally:
+                    self._stack.pop()
+            else:
+                child = SchemaNode(particle.value)
+                if target is not None:
+                    child.properties["recursive"] = True
+            child.min_occurs = (
+                0 if in_choice else particle.min_occurs * outer_min
+            )
+            child.max_occurs = _multiply(particle.max_occurs, outer_max)
+            if in_choice:
+                child.properties["in_choice"] = True
+            parent.add_child(child)
+            return
+        # group
+        group_min = particle.min_occurs * outer_min
+        group_max = _multiply(particle.max_occurs, outer_max)
+        choice = particle.separator == "|"
+        parent.properties.setdefault(
+            "compositor", "choice" if choice else "sequence"
+        )
+        for member in particle.value:
+            self._attach_particle(
+                parent, member, group_min, group_max,
+                in_choice=in_choice or choice,
+            )
+
+    @staticmethod
+    def _build_attribute(attr_name, attr_type, default) -> SchemaNode:
+        properties = {}
+        if attr_type.startswith("("):
+            type_name = "string"
+            values = [value.strip() for value in attr_type[1:-1].split("|")]
+            properties["facets"] = {"enumeration": values}
+        else:
+            type_name = _ATTR_TYPE_MAP.get(attr_type, "string")
+        default = default.strip()
+        if default == "#REQUIRED":
+            use, min_occurs = "required", 1
+        elif default == "#IMPLIED":
+            use, min_occurs = "optional", 0
+        elif default.startswith("#FIXED"):
+            use, min_occurs = "optional", 0
+            properties["fixed"] = default.split(None, 1)[1].strip("\"'")
+        else:
+            use, min_occurs = "optional", 0
+            properties["default"] = default.strip("\"'")
+        properties["use"] = use
+        return SchemaNode(
+            attr_name,
+            kind=NodeKind.ATTRIBUTE,
+            type_name=type_name,
+            min_occurs=min_occurs,
+            max_occurs=1,
+            properties=properties,
+        )
+
+
+def _collect_names(particle: _Particle, into: set):
+    if particle.kind == "name":
+        into.add(particle.value)
+    elif particle.kind == "group":
+        for member in particle.value:
+            _collect_names(member, into)
+
+
+def _contains_pcdata(particle: _Particle) -> bool:
+    if particle.kind == "pcdata":
+        return True
+    if particle.kind == "group":
+        return any(_contains_pcdata(member) for member in particle.value)
+    return False
+
+
+def _multiply(left, right):
+    if left == UNBOUNDED or right == UNBOUNDED:
+        return UNBOUNDED
+    return left * right
+
+
+def parse_dtd(text, root_element=None, name=None, domain=None,
+              max_recursion=1) -> SchemaTree:
+    """Parse DTD source text into a :class:`SchemaTree`."""
+    parser = DtdParser(max_recursion=max_recursion)
+    return parser.parse(text, root_element=root_element, name=name,
+                        domain=domain)
+
+
+def parse_dtd_file(path, root_element=None, name=None, domain=None,
+                   max_recursion=1) -> SchemaTree:
+    """Parse a DTD file into a :class:`SchemaTree`."""
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_dtd(
+        text, root_element=root_element, name=name or Path(path).stem,
+        domain=domain, max_recursion=max_recursion,
+    )

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the XSD substrate."""
+
+
+class SchemaError(Exception):
+    """Base class for every error raised by :mod:`repro.xsd`."""
+
+
+class SchemaParseError(SchemaError):
+    """Raised when an XSD document cannot be parsed into a schema tree.
+
+    Carries an optional ``location`` describing where in the document the
+    problem was found (an element path such as ``schema/complexType[2]``).
+    """
+
+    def __init__(self, message, location=None):
+        self.location = location
+        if location:
+            message = f"{message} (at {location})"
+        super().__init__(message)
+
+
+class SchemaValidationError(SchemaError):
+    """Raised when a schema tree violates a structural invariant.
+
+    Examples: a node that is its own ancestor, an attribute node with
+    children, or an occurrence range with ``min_occurs > max_occurs``.
+    """

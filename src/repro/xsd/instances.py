@@ -1,0 +1,232 @@
+"""XML instances: generate sample documents from a schema tree and
+validate documents against one.
+
+Matching is a means to an end -- querying and translating the actual
+XML documents (the paper's introduction).  This module provides the
+document side:
+
+- :func:`generate_instance` -- a seeded sample document conforming to a
+  schema tree: occurrence constraints respected (unbounded capped at a
+  configurable repeat count), attributes emitted, and leaf values
+  synthesized from the XSD type (and honoring enumeration facets);
+- :func:`validate_instance` -- structural validation of an element tree
+  against a schema tree: element names and order-agnostic membership,
+  occurrence counts, required attributes, and value/type shape checks
+  for the common built-in types.  Returns the list of violations
+  (empty = valid).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+from repro.xsd.model import NodeKind, SchemaNode, SchemaTree, UNBOUNDED, xml_name
+
+#: Words used when synthesizing string values.
+_SAMPLE_WORDS = (
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+    "hotel", "india", "juliet", "kilo", "lima",
+)
+
+_TYPE_PATTERNS = {
+    "integer": re.compile(r"^[+-]?\d+$"),
+    "int": re.compile(r"^[+-]?\d+$"),
+    "long": re.compile(r"^[+-]?\d+$"),
+    "short": re.compile(r"^[+-]?\d+$"),
+    "byte": re.compile(r"^[+-]?\d+$"),
+    "nonNegativeInteger": re.compile(r"^\+?\d+$"),
+    "positiveInteger": re.compile(r"^\+?\d+$"),
+    "decimal": re.compile(r"^[+-]?\d+(\.\d+)?$"),
+    "float": re.compile(r"^[+-]?\d+(\.\d+)?([eE][+-]?\d+)?$"),
+    "double": re.compile(r"^[+-]?\d+(\.\d+)?([eE][+-]?\d+)?$"),
+    "boolean": re.compile(r"^(true|false|0|1)$"),
+    "date": re.compile(r"^\d{4}-\d{2}-\d{2}$"),
+    "dateTime": re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}"),
+    "time": re.compile(r"^\d{2}:\d{2}:\d{2}"),
+    "gYear": re.compile(r"^\d{4}$"),
+    "anyURI": re.compile(r"^\S+$"),
+}
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """Generation knobs."""
+
+    seed: int = 0
+    #: Repeats used for ``maxOccurs='unbounded'`` (and caps large maxima).
+    max_repeats: int = 3
+    #: Probability that an optional particle (minOccurs=0) is emitted.
+    optional_probability: float = 0.7
+
+
+def generate_instance(tree: SchemaTree, config: InstanceConfig = None) -> ET.Element:
+    """Build a sample :class:`xml.etree.ElementTree.Element` for ``tree``."""
+    config = config or InstanceConfig()
+    rng = random.Random(config.seed)
+    return _build_element(tree.root, rng, config)
+
+
+def generate_instance_text(tree: SchemaTree, config: InstanceConfig = None) -> str:
+    """The sample document as an indented XML string."""
+    element = generate_instance(tree, config)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _build_element(node: SchemaNode, rng, config) -> ET.Element:
+    element = ET.Element(xml_name(node.name))
+    attributes = [c for c in node.children if c.is_attribute]
+    children = [c for c in node.children if not c.is_attribute]
+    for attribute in attributes:
+        required = attribute.properties.get("use") == "required"
+        if required or rng.random() < config.optional_probability:
+            element.set(xml_name(attribute.name), _sample_value(attribute, rng))
+    if not children:
+        element.text = _sample_value(node, rng)
+        return element
+    for child in children:
+        for _ in range(_repeat_count(child, rng, config)):
+            element.append(_build_element(child, rng, config))
+    return element
+
+
+def _repeat_count(node: SchemaNode, rng, config) -> int:
+    minimum = max(0, node.min_occurs)
+    maximum = node.max_occurs
+    if maximum == UNBOUNDED:
+        maximum = max(minimum, config.max_repeats)
+    maximum = min(maximum, max(minimum, config.max_repeats))
+    if minimum == 0 and rng.random() >= config.optional_probability:
+        return 0
+    if maximum <= minimum:
+        return minimum
+    return rng.randint(max(minimum, 1), maximum)
+
+
+def _sample_value(node: SchemaNode, rng) -> str:
+    facets = node.properties.get("facets") or {}
+    enumeration = facets.get("enumeration")
+    if enumeration:
+        return rng.choice(enumeration)
+    type_name = node.type_name or "string"
+    if type_name in ("integer", "int", "long", "short", "byte"):
+        return str(rng.randint(1, 9999))
+    if type_name in ("nonNegativeInteger", "positiveInteger"):
+        return str(rng.randint(1, 9999))
+    if type_name == "decimal":
+        return f"{rng.randint(1, 999)}.{rng.randint(0, 99):02d}"
+    if type_name in ("float", "double"):
+        return f"{rng.uniform(0, 1000):.4f}"
+    if type_name == "boolean":
+        return rng.choice(("true", "false"))
+    if type_name == "date":
+        return f"{rng.randint(2000, 2026)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+    if type_name == "dateTime":
+        return (
+            f"{rng.randint(2000, 2026)}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}T{rng.randint(0, 23):02d}:"
+            f"{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+        )
+    if type_name == "time":
+        return f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:00"
+    if type_name == "gYear":
+        return str(rng.randint(1980, 2026))
+    if type_name == "anyURI":
+        return f"https://example.org/{rng.choice(_SAMPLE_WORDS)}"
+    if type_name == "ID":
+        return f"id{rng.randint(1000, 9999)}"
+    if type_name == "language":
+        return rng.choice(("en", "de", "fr", "th"))
+    return f"{rng.choice(_SAMPLE_WORDS)} {rng.choice(_SAMPLE_WORDS)}"
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+def validate_instance(tree: SchemaTree, element: ET.Element) -> list[str]:
+    """Check ``element`` against ``tree``; returns violation messages."""
+    violations = []
+    if element.tag != xml_name(tree.root.name):
+        violations.append(
+            f"root element is <{element.tag}>, "
+            f"expected <{xml_name(tree.root.name)}>"
+        )
+        return violations
+    _validate_element(tree.root, element, violations)
+    return violations
+
+
+def is_valid_instance(tree: SchemaTree, element: ET.Element) -> bool:
+    return not validate_instance(tree, element)
+
+
+def _validate_element(node: SchemaNode, element: ET.Element, violations):
+    path = node.path
+    attributes = {xml_name(c.name): c for c in node.children if c.is_attribute}
+    children = {xml_name(c.name): c for c in node.children if not c.is_attribute}
+
+    # Attributes.
+    for attr_name, attr_node in attributes.items():
+        if attr_node.properties.get("use") == "required" and \
+                attr_name not in element.attrib:
+            violations.append(f"{path}: missing required attribute {attr_name!r}")
+    for attr_name, value in element.attrib.items():
+        attr_node = attributes.get(attr_name)
+        if attr_node is None:
+            violations.append(f"{path}: unexpected attribute {attr_name!r}")
+        else:
+            _validate_value(attr_node, value, violations)
+
+    if not children:
+        if len(element) > 0:
+            violations.append(
+                f"{path}: leaf element has {len(element)} child elements"
+            )
+        else:
+            _validate_value(node, element.text or "", violations)
+        return
+
+    # Child occurrence counts.
+    counts = {name: 0 for name in children}
+    for child_element in element:
+        child_node = children.get(child_element.tag)
+        if child_node is None:
+            violations.append(
+                f"{path}: unexpected child <{child_element.tag}>"
+            )
+            continue
+        counts[child_element.tag] += 1
+        _validate_element(child_node, child_element, violations)
+    for name, child_node in children.items():
+        count = counts[name]
+        if count < child_node.min_occurs:
+            violations.append(
+                f"{path}: <{name}> occurs {count} time(s), "
+                f"minOccurs is {child_node.min_occurs}"
+            )
+        maximum = child_node.max_occurs
+        if maximum != UNBOUNDED and count > maximum:
+            violations.append(
+                f"{path}: <{name}> occurs {count} time(s), "
+                f"maxOccurs is {maximum}"
+            )
+
+
+def _validate_value(node: SchemaNode, value: str, violations):
+    facets = node.properties.get("facets") or {}
+    enumeration = facets.get("enumeration")
+    if enumeration and value not in enumeration:
+        violations.append(
+            f"{node.path}: value {value!r} not in enumeration {enumeration}"
+        )
+        return
+    pattern = _TYPE_PATTERNS.get(node.type_name or "string")
+    if pattern is not None and not pattern.match(value.strip()):
+        violations.append(
+            f"{node.path}: value {value!r} does not look like "
+            f"{node.type_name}"
+        )

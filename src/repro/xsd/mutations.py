@@ -1,0 +1,205 @@
+"""Controlled schema mutation with gold-mapping tracking.
+
+Evaluating a matcher needs a *gold standard*: the set of real
+correspondences between the two input schemas.  For synthetic workloads
+we obtain one for free by deriving the target schema from the source
+through controlled mutations, recording which target node each source
+node became.
+
+Supported mutations (each applied independently, probability-driven from
+a seeded RNG):
+
+- **rename** -- replace a node's label using a caller-supplied rename
+  function (the datasets wire in synonym / abbreviation / acronym
+  renames from the bundled thesaurus) or a random-suffix fallback;
+- **retype** -- replace a leaf's type with a related type (via the
+  property lattice's notion of generalization) or a random one;
+- **drop** -- delete a leaf (the source node then has no gold image);
+- **add** -- insert a fresh noise leaf (the target node has no gold
+  pre-image);
+- **shuffle** -- permute the children of an interior node (perturbs the
+  ``order`` property and sibling positions);
+- **wrap** -- push an interior node's element children one level down
+  under a fresh intermediate node (perturbs the level axis, like
+  ``PurchaseInfo`` in the paper's PO example).
+
+:meth:`SchemaMutator.mutate` returns the mutated tree *and* the gold
+mapping as ``(source_path, target_path)`` pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xsd.model import NodeKind, SchemaNode, SchemaTree
+
+
+@dataclass
+class MutationConfig:
+    """Mutation probabilities; all default to "off" except renames."""
+
+    seed: int = 0
+    rename_probability: float = 0.3
+    retype_probability: float = 0.0
+    drop_probability: float = 0.0
+    add_probability: float = 0.0
+    shuffle_probability: float = 0.0
+    wrap_probability: float = 0.0
+
+
+class SchemaMutator:
+    """Applies a :class:`MutationConfig` to a tree, tracking the gold map.
+
+    Parameters
+    ----------
+    config:
+        The mutation probabilities and RNG seed.
+    rename:
+        Optional ``rename(name, rng) -> str`` callable used for the
+        rename mutation.  When omitted, names get a ``Alt`` suffix --
+        enough to exercise relaxed label matches via string metrics.
+    type_pool:
+        Types used by the retype and add mutations.
+    """
+
+    def __init__(self, config: MutationConfig, rename=None, type_pool=None):
+        self.config = config
+        self._rename = rename or _default_rename
+        self._type_pool = tuple(type_pool or ("string", "integer", "decimal", "date"))
+
+    def mutate(self, tree: SchemaTree, name=None):
+        """Return ``(mutated_tree, gold_pairs)``.
+
+        ``gold_pairs`` is a list of ``(source_path, target_path)`` tuples
+        covering every source node that survived into the target.
+        """
+        rng = random.Random(self.config.seed)
+        clone_of = {}
+        clone_root = _copy_with_memo(tree.root, clone_of)
+        mutated = SchemaTree(
+            clone_root,
+            name=name or f"{tree.name}-mutated",
+            domain=tree.domain,
+            target_namespace=tree.target_namespace,
+        )
+
+        dropped = self._apply_drops(mutated, rng)
+        self._apply_renames(mutated, rng)
+        self._apply_retypes(mutated, rng)
+        self._apply_shuffles(mutated, rng)
+        self._apply_wraps(mutated, rng)
+        self._apply_adds(mutated, rng)
+        _ensure_unique_siblings(mutated.root)
+        mutated.validate()
+
+        gold = []
+        for source in tree.root.iter_preorder():
+            clone = clone_of[id(source)]
+            if id(clone) in dropped:
+                continue
+            gold.append((source.path, clone.path))
+        return mutated, gold
+
+    # ------------------------------------------------------------------
+
+    def _apply_drops(self, mutated, rng):
+        dropped = set()
+        if self.config.drop_probability <= 0:
+            return dropped
+        for node in list(mutated.root.iter_preorder()):
+            if node.parent is None or not node.is_leaf:
+                continue
+            if len(node.parent.children) <= 1:
+                continue  # keep interior nodes interior
+            if rng.random() < self.config.drop_probability:
+                node.parent.remove_child(node)
+                dropped.add(id(node))
+        return dropped
+
+    def _apply_renames(self, mutated, rng):
+        if self.config.rename_probability <= 0:
+            return
+        for node in mutated.root.iter_preorder():
+            if rng.random() < self.config.rename_probability:
+                node.name = self._rename(node.name, rng)
+
+    def _apply_retypes(self, mutated, rng):
+        if self.config.retype_probability <= 0:
+            return
+        for node in mutated.root.iter_preorder():
+            if not node.is_leaf or node.type_name is None:
+                continue
+            if rng.random() < self.config.retype_probability:
+                choices = [t for t in self._type_pool if t != node.type_name]
+                node.type_name = rng.choice(choices)
+
+    def _apply_shuffles(self, mutated, rng):
+        if self.config.shuffle_probability <= 0:
+            return
+        for node in mutated.root.iter_preorder():
+            if len(node.children) > 1 and rng.random() < self.config.shuffle_probability:
+                order = list(node.children)
+                rng.shuffle(order)
+                node.children[:] = order
+                node._renumber_children()
+
+    def _apply_wraps(self, mutated, rng):
+        if self.config.wrap_probability <= 0:
+            return
+        for node in list(mutated.root.iter_preorder()):
+            elements = [c for c in node.children if not c.is_attribute]
+            if len(elements) < 2 or rng.random() >= self.config.wrap_probability:
+                continue
+            wrapper = SchemaNode(f"{node.name}Info", kind=NodeKind.ELEMENT)
+            for child in elements:
+                node.remove_child(child)
+            node.add_child(wrapper)
+            for child in elements:
+                wrapper.add_child(child)
+
+    def _apply_adds(self, mutated, rng):
+        if self.config.add_probability <= 0:
+            return
+        counter = 0
+        for node in list(mutated.root.iter_preorder()):
+            if node.is_attribute or node.is_leaf:
+                continue
+            if rng.random() < self.config.add_probability:
+                counter += 1
+                node.add_child(SchemaNode(
+                    f"extra{counter}",
+                    type_name=rng.choice(self._type_pool),
+                ))
+
+
+def _copy_with_memo(node, memo) -> SchemaNode:
+    clone = SchemaNode(node.name, kind=node.kind, properties=dict(node.properties))
+    clone.properties["order"] = None
+    memo[id(node)] = clone
+    for child in node.children:
+        clone.add_child(_copy_with_memo(child, memo))
+    return clone
+
+
+def _ensure_unique_siblings(root):
+    """Disambiguate sibling name collisions a rename may have created.
+
+    Node paths are the identity scheme of the whole matching layer, so
+    sibling labels must stay unique; colliding names get a numeric
+    suffix.
+    """
+    for node in root.iter_preorder():
+        seen = set()
+        for child in node.children:
+            if child.name in seen:
+                suffix = 2
+                while f"{child.name}{suffix}" in seen:
+                    suffix += 1
+                child.name = f"{child.name}{suffix}"
+            seen.add(child.name)
+
+
+def _default_rename(name, rng):
+    suffixes = ("Alt", "2", "X", "Info")
+    return name + rng.choice(suffixes)

@@ -1,0 +1,597 @@
+"""XSD parser: W3C XML Schema documents -> :class:`SchemaTree`.
+
+Built entirely on the standard library's :mod:`xml.etree.ElementTree`
+(``lxml`` is intentionally not a dependency).  The parser supports the
+subset of XML Schema that schema matchers care about:
+
+- global and local ``xs:element`` declarations, ``ref=`` references;
+- named and anonymous ``xs:complexType``, including ``complexContent``
+  extension/restriction of a base type and ``simpleContent`` extension;
+- named and anonymous ``xs:simpleType`` (restriction, list, union) --
+  restrictions contribute their base type and facets as node properties;
+- the compositors ``xs:sequence``, ``xs:choice`` and ``xs:all``
+  (recorded in the parent's ``compositor`` property; compositor
+  occurrence constraints are folded into each particle's occurrence);
+- ``xs:attribute`` (local and global), ``xs:attributeGroup`` and
+  ``xs:group`` definitions and references;
+- ``xs:annotation``/``xs:documentation`` text (kept in the
+  ``documentation`` property);
+- recursive type definitions, cut off at a configurable depth with the
+  ``recursive`` marker property.
+
+The output is the label/properties/children/level view of the schema that
+the QMatch taxonomy (paper Section 2.1) is defined over.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.xsd.errors import SchemaParseError
+from repro.xsd.model import (
+    NodeKind,
+    SchemaNode,
+    SchemaTree,
+    occurs_from_str,
+)
+
+XSD_NAMESPACE = "http://www.w3.org/2001/XMLSchema"
+
+#: Maximum times a single named type may appear on the expansion stack
+#: before recursion is cut off.
+DEFAULT_MAX_TYPE_RECURSION = 1
+
+
+def _tag(local_name):
+    return f"{{{XSD_NAMESPACE}}}{local_name}"
+
+
+def _local(qname):
+    """Strip a namespace prefix / Clark-notation namespace from a QName."""
+    if qname is None:
+        return None
+    if qname.startswith("{"):
+        return qname.rpartition("}")[2]
+    return qname.rpartition(":")[2]
+
+
+class _SymbolTable:
+    """Global named definitions of one schema document."""
+
+    def __init__(self):
+        self.elements = {}
+        self.complex_types = {}
+        self.simple_types = {}
+        self.groups = {}
+        self.attribute_groups = {}
+        self.attributes = {}
+
+    def collect(self, schema_element):
+        handlers = {
+            _tag("element"): self.elements,
+            _tag("complexType"): self.complex_types,
+            _tag("simpleType"): self.simple_types,
+            _tag("group"): self.groups,
+            _tag("attributeGroup"): self.attribute_groups,
+            _tag("attribute"): self.attributes,
+        }
+        for child in schema_element:
+            table = handlers.get(child.tag)
+            if table is None:
+                continue
+            name = child.get("name")
+            if name is None:
+                raise SchemaParseError(
+                    f"global {_local(child.tag)} is missing a name"
+                )
+            if name in table:
+                raise SchemaParseError(
+                    f"duplicate global {_local(child.tag)} {name!r}"
+                )
+            table[name] = child
+
+
+class XsdParser:
+    """Stateful parser for one XSD document.
+
+    Parameters
+    ----------
+    max_type_recursion:
+        How many times a named type may recursively contain itself before
+        expansion stops (the node is then marked ``recursive=True``).
+    resolver:
+        Optional ``resolver(schema_location) -> str`` callable returning
+        the source text of an ``xs:include`` / ``xs:import`` target.
+        When parsing from a file, a resolver reading siblings of that
+        file is installed automatically; without a resolver, include /
+        import directives raise.
+    """
+
+    def __init__(self, max_type_recursion=DEFAULT_MAX_TYPE_RECURSION,
+                 resolver=None):
+        self.max_type_recursion = max_type_recursion
+        self.resolver = resolver
+        self._symbols = _SymbolTable()
+        self._type_stack = []
+        self._included_locations: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse(self, text, root_element=None, name=None, domain=None,
+              location=None) -> SchemaTree:
+        """Parse XSD source ``text`` into a schema tree.
+
+        ``root_element`` selects which global element to use as the tree
+        root; by default the first global element is used.  ``location``
+        is the document's own schemaLocation, registered up front so
+        mutually-including schemas terminate.
+        """
+        try:
+            document = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise SchemaParseError(f"not well-formed XML: {exc}") from exc
+        if document.tag != _tag("schema"):
+            raise SchemaParseError(
+                f"document root is {document.tag!r}, expected xs:schema"
+            )
+        self._symbols = _SymbolTable()
+        self._included_locations = set()
+        if location is not None:
+            self._included_locations.add(location)
+        self._collect_with_includes(document)
+        self._build_substitution_index()
+        if not self._symbols.elements:
+            raise SchemaParseError("schema declares no global elements")
+        if root_element is None:
+            declaration = next(iter(self._symbols.elements.values()))
+        else:
+            declaration = self._symbols.elements.get(root_element)
+            if declaration is None:
+                raise SchemaParseError(
+                    f"no global element named {root_element!r}; "
+                    f"available: {sorted(self._symbols.elements)}"
+                )
+        root = self._parse_element(declaration)
+        tree = SchemaTree(
+            root,
+            name=name or root.name,
+            domain=domain,
+            target_namespace=document.get("targetNamespace"),
+        )
+        return tree.validate()
+
+    def _collect_with_includes(self, document):
+        """Collect this document's globals, resolving includes first.
+
+        ``xs:include`` and ``xs:import`` are treated alike: the target
+        document's global definitions join this document's symbol table
+        (matching cares about the combined vocabulary, not namespace
+        plumbing).  Each location resolves once, so mutually-including
+        schemas terminate.
+        """
+        for directive in document:
+            if directive.tag not in (_tag("include"), _tag("import")):
+                continue
+            location = directive.get("schemaLocation")
+            if location is None:
+                continue  # namespace-only import: nothing to load
+            if location in self._included_locations:
+                continue
+            self._included_locations.add(location)
+            if self.resolver is None:
+                raise SchemaParseError(
+                    f"schema includes {location!r} but no resolver is "
+                    "configured (parse from a file, or pass resolver=)"
+                )
+            try:
+                text = self.resolver(location)
+            except OSError as exc:
+                raise SchemaParseError(
+                    f"cannot resolve included schema {location!r}: {exc}"
+                ) from exc
+            try:
+                included = ET.fromstring(text)
+            except ET.ParseError as exc:
+                raise SchemaParseError(
+                    f"included schema {location!r} is not well-formed: {exc}"
+                ) from exc
+            if included.tag != _tag("schema"):
+                raise SchemaParseError(
+                    f"included document {location!r} is not an xs:schema"
+                )
+            self._collect_with_includes(included)
+        self._symbols.collect(document)
+
+    def _build_substitution_index(self):
+        """head element name -> member declarations (transitive).
+
+        Global elements may declare ``substitutionGroup="Head"``: in any
+        content model referencing ``Head``, a member may appear instead.
+        Members are surfaced as optional siblings of the head (flagged
+        ``in_substitution``), which is the view a matcher needs.
+        """
+        direct: dict[str, list] = {}
+        for name, declaration in self._symbols.elements.items():
+            head = _local(declaration.get("substitutionGroup"))
+            if head is not None:
+                direct.setdefault(head, []).append(name)
+
+        self._substitutions: dict[str, list] = {}
+        for head in direct:
+            members: list = []
+            queue = list(direct[head])
+            seen = set()
+            while queue:
+                member = queue.pop()
+                if member in seen:
+                    continue
+                seen.add(member)
+                members.append(self._symbols.elements[member])
+                queue.extend(direct.get(member, ()))
+            self._substitutions[head] = members
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+
+    def _parse_element(self, declaration) -> SchemaNode:
+        ref = declaration.get("ref")
+        if ref is not None:
+            target = self._symbols.elements.get(_local(ref))
+            if target is None:
+                raise SchemaParseError(f"unresolved element ref {ref!r}")
+            node = self._parse_element(target)
+            self._apply_occurs(node, declaration)
+            return node
+
+        element_name = declaration.get("name")
+        if element_name is None:
+            raise SchemaParseError("element declaration without name or ref")
+        node = SchemaNode(element_name, kind=NodeKind.ELEMENT)
+        self._apply_occurs(node, declaration)
+        if declaration.get("abstract") == "true":
+            node.properties["abstract"] = True
+        if declaration.get("nillable") == "true":
+            node.properties["nillable"] = True
+        if declaration.get("default") is not None:
+            node.properties["default"] = declaration.get("default")
+        if declaration.get("fixed") is not None:
+            node.properties["fixed"] = declaration.get("fixed")
+        self._attach_documentation(node, declaration)
+
+        type_ref = _local(declaration.get("type"))
+        inline_complex = declaration.find(_tag("complexType"))
+        inline_simple = declaration.find(_tag("simpleType"))
+
+        if type_ref is not None:
+            self._resolve_type_reference(node, type_ref)
+        elif inline_complex is not None:
+            self._parse_complex_type(node, inline_complex)
+        elif inline_simple is not None:
+            self._parse_simple_type(node, inline_simple)
+        else:
+            node.type_name = None  # anyType
+        return node
+
+    def _apply_occurs(self, node, declaration):
+        if declaration.get("minOccurs") is not None:
+            node.min_occurs = occurs_from_str(declaration.get("minOccurs"))
+        if declaration.get("maxOccurs") is not None:
+            node.max_occurs = occurs_from_str(declaration.get("maxOccurs"))
+
+    def _attach_documentation(self, node, declaration):
+        annotation = declaration.find(_tag("annotation"))
+        if annotation is None:
+            return
+        docs = [
+            (doc.text or "").strip()
+            for doc in annotation.findall(_tag("documentation"))
+        ]
+        text = " ".join(part for part in docs if part)
+        if text:
+            node.properties["documentation"] = text
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def _resolve_type_reference(self, node, type_name):
+        if type_name in self._symbols.complex_types:
+            depth = self._type_stack.count(type_name)
+            if depth > self.max_type_recursion:
+                node.type_name = type_name
+                node.properties["recursive"] = True
+                return
+            self._type_stack.append(type_name)
+            try:
+                self._parse_complex_type(
+                    node, self._symbols.complex_types[type_name]
+                )
+                node.type_name = type_name
+            finally:
+                self._type_stack.pop()
+        elif type_name in self._symbols.simple_types:
+            self._parse_simple_type(node, self._symbols.simple_types[type_name])
+            node.properties.setdefault("type_alias", type_name)
+        else:
+            # Built-in XSD type (string, integer, date, ...).
+            node.type_name = type_name
+
+    def _parse_complex_type(self, node, definition):
+        node.type_name = definition.get("name") or node.type_name
+        if definition.get("mixed") == "true":
+            node.properties["mixed"] = True
+        for child in definition:
+            if child.tag in (_tag("sequence"), _tag("choice"), _tag("all")):
+                self._parse_compositor(node, child)
+            elif child.tag == _tag("attribute"):
+                node.add_child(self._parse_attribute(child))
+            elif child.tag == _tag("attributeGroup"):
+                self._expand_attribute_group(node, child)
+            elif child.tag == _tag("group"):
+                self._expand_group(node, child)
+            elif child.tag == _tag("complexContent"):
+                self._parse_complex_content(node, child)
+            elif child.tag == _tag("simpleContent"):
+                self._parse_simple_content(node, child)
+            elif child.tag == _tag("annotation"):
+                self._attach_documentation(node, definition)
+            elif child.tag == _tag("anyAttribute"):
+                node.properties["any_attribute"] = True
+            else:
+                raise SchemaParseError(
+                    f"unsupported construct {_local(child.tag)!r} in "
+                    f"complexType of {node.name!r}"
+                )
+
+    def _parse_complex_content(self, node, content):
+        extension = content.find(_tag("extension"))
+        restriction = content.find(_tag("restriction"))
+        body = extension if extension is not None else restriction
+        if body is None:
+            raise SchemaParseError(
+                f"complexContent of {node.name!r} has neither extension "
+                "nor restriction"
+            )
+        base = _local(body.get("base"))
+        if base is None:
+            raise SchemaParseError(
+                f"complexContent derivation in {node.name!r} is missing base"
+            )
+        if extension is not None and base in self._symbols.complex_types:
+            # Extension: base particles first, then the extension's own.
+            depth = self._type_stack.count(base)
+            if depth <= self.max_type_recursion:
+                self._type_stack.append(base)
+                try:
+                    self._parse_complex_type(
+                        node, self._symbols.complex_types[base]
+                    )
+                finally:
+                    self._type_stack.pop()
+        node.properties["base_type"] = base
+        node.properties["derivation"] = (
+            "extension" if extension is not None else "restriction"
+        )
+        if restriction is not None:
+            # Restriction redefines the content model from scratch.
+            for child in list(node.children):
+                node.remove_child(child)
+        for child in body:
+            if child.tag in (_tag("sequence"), _tag("choice"), _tag("all")):
+                self._parse_compositor(node, child)
+            elif child.tag == _tag("attribute"):
+                node.add_child(self._parse_attribute(child))
+            elif child.tag == _tag("attributeGroup"):
+                self._expand_attribute_group(node, child)
+            elif child.tag == _tag("group"):
+                self._expand_group(node, child)
+
+    def _parse_simple_content(self, node, content):
+        body = content.find(_tag("extension"))
+        if body is None:
+            body = content.find(_tag("restriction"))
+        if body is None:
+            raise SchemaParseError(
+                f"simpleContent of {node.name!r} has neither extension "
+                "nor restriction"
+            )
+        node.type_name = _local(body.get("base"))
+        for child in body:
+            if child.tag == _tag("attribute"):
+                node.add_child(self._parse_attribute(child))
+            elif child.tag == _tag("attributeGroup"):
+                self._expand_attribute_group(node, child)
+
+    def _parse_simple_type(self, node, definition):
+        restriction = definition.find(_tag("restriction"))
+        union = definition.find(_tag("union"))
+        list_def = definition.find(_tag("list"))
+        if restriction is not None:
+            node.type_name = _local(restriction.get("base"))
+            facets = {}
+            for facet in restriction:
+                facet_name = _local(facet.tag)
+                if facet_name == "enumeration":
+                    facets.setdefault("enumeration", []).append(facet.get("value"))
+                elif facet.get("value") is not None:
+                    facets[facet_name] = facet.get("value")
+            if facets:
+                node.properties["facets"] = facets
+        elif union is not None:
+            members = union.get("memberTypes", "")
+            node.type_name = "union"
+            node.properties["member_types"] = [
+                _local(member) for member in members.split() if member
+            ]
+        elif list_def is not None:
+            node.type_name = "list"
+            node.properties["item_type"] = _local(list_def.get("itemType"))
+        else:
+            raise SchemaParseError(
+                f"simpleType of {node.name!r} has no restriction/union/list"
+            )
+
+    # ------------------------------------------------------------------
+    # Particles
+    # ------------------------------------------------------------------
+
+    def _parse_compositor(self, node, compositor, outer_min=1, outer_max=1):
+        node.properties.setdefault("compositor", _local(compositor.tag))
+        comp_min = occurs_from_str(compositor.get("minOccurs", "1")) * outer_min
+        comp_max = _multiply_occurs(
+            occurs_from_str(compositor.get("maxOccurs", "1")), outer_max
+        )
+        is_choice = compositor.tag == _tag("choice")
+        for particle in compositor:
+            if particle.tag == _tag("element"):
+                child = self._parse_element(particle)
+                child.min_occurs = (
+                    0 if is_choice else child.min_occurs * comp_min
+                )
+                child.max_occurs = _multiply_occurs(child.max_occurs, comp_max)
+                if is_choice:
+                    child.properties["in_choice"] = True
+                node.add_child(child)
+                # Substitution-group members may stand in for a
+                # referenced head element; surface them as optional
+                # siblings so matchers see the real vocabulary.
+                head = _local(particle.get("ref"))
+                for member in getattr(self, "_substitutions", {}).get(
+                    head, ()
+                ):
+                    member_node = self._parse_element(member)
+                    member_node.min_occurs = 0
+                    # A member stands in at the head's cardinality.
+                    member_node.max_occurs = child.max_occurs
+                    member_node.properties["in_substitution"] = head
+                    node.add_child(member_node)
+            elif particle.tag in (_tag("sequence"), _tag("choice"), _tag("all")):
+                self._parse_compositor(node, particle, comp_min, comp_max)
+            elif particle.tag == _tag("group"):
+                self._expand_group(node, particle)
+            elif particle.tag == _tag("any"):
+                node.properties["any_element"] = True
+            elif particle.tag == _tag("annotation"):
+                continue
+            else:
+                raise SchemaParseError(
+                    f"unsupported particle {_local(particle.tag)!r} under "
+                    f"{node.name!r}"
+                )
+
+    def _expand_group(self, node, reference):
+        ref = _local(reference.get("ref"))
+        if ref is None:
+            raise SchemaParseError(f"group under {node.name!r} lacks ref")
+        definition = self._symbols.groups.get(ref)
+        if definition is None:
+            raise SchemaParseError(f"unresolved group ref {ref!r}")
+        for child in definition:
+            if child.tag in (_tag("sequence"), _tag("choice"), _tag("all")):
+                self._parse_compositor(node, child)
+
+    def _expand_attribute_group(self, node, reference):
+        ref = _local(reference.get("ref"))
+        if ref is None:
+            raise SchemaParseError(f"attributeGroup under {node.name!r} lacks ref")
+        definition = self._symbols.attribute_groups.get(ref)
+        if definition is None:
+            raise SchemaParseError(f"unresolved attributeGroup ref {ref!r}")
+        for child in definition:
+            if child.tag == _tag("attribute"):
+                node.add_child(self._parse_attribute(child))
+            elif child.tag == _tag("attributeGroup"):
+                self._expand_attribute_group(node, child)
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def _parse_attribute(self, declaration) -> SchemaNode:
+        ref = declaration.get("ref")
+        if ref is not None:
+            target = self._symbols.attributes.get(_local(ref))
+            if target is None:
+                raise SchemaParseError(f"unresolved attribute ref {ref!r}")
+            node = self._parse_attribute(target)
+        else:
+            attr_name = declaration.get("name")
+            if attr_name is None:
+                raise SchemaParseError("attribute declaration without name or ref")
+            node = SchemaNode(attr_name, kind=NodeKind.ATTRIBUTE)
+            type_ref = _local(declaration.get("type"))
+            inline_simple = declaration.find(_tag("simpleType"))
+            if type_ref is not None:
+                if type_ref in self._symbols.simple_types:
+                    self._parse_simple_type(
+                        node, self._symbols.simple_types[type_ref]
+                    )
+                    node.properties.setdefault("type_alias", type_ref)
+                else:
+                    node.type_name = type_ref
+            elif inline_simple is not None:
+                self._parse_simple_type(node, inline_simple)
+            else:
+                node.type_name = "string"
+            self._attach_documentation(node, declaration)
+        use = declaration.get("use", "optional")
+        node.properties["use"] = use
+        node.min_occurs = 1 if use == "required" else 0
+        node.max_occurs = 1
+        if declaration.get("default") is not None:
+            node.properties["default"] = declaration.get("default")
+        if declaration.get("fixed") is not None:
+            node.properties["fixed"] = declaration.get("fixed")
+        return node
+
+
+def _multiply_occurs(left, right):
+    from repro.xsd.model import UNBOUNDED
+
+    if left == UNBOUNDED or right == UNBOUNDED:
+        return UNBOUNDED
+    return left * right
+
+
+def parse_xsd(text, root_element=None, name=None, domain=None,
+              max_type_recursion=DEFAULT_MAX_TYPE_RECURSION,
+              resolver=None, location=None) -> SchemaTree:
+    """Parse XSD source text into a :class:`SchemaTree`.
+
+    See :class:`XsdParser` for the supported XSD subset; ``resolver``
+    supplies the text of ``xs:include`` / ``xs:import`` targets and
+    ``location`` names this document (cycle detection).
+    """
+    parser = XsdParser(max_type_recursion=max_type_recursion,
+                       resolver=resolver)
+    return parser.parse(text, root_element=root_element, name=name,
+                        domain=domain, location=location)
+
+
+def parse_xsd_file(path, root_element=None, name=None, domain=None,
+                   max_type_recursion=DEFAULT_MAX_TYPE_RECURSION) -> SchemaTree:
+    """Parse an XSD file into a :class:`SchemaTree`.
+
+    ``xs:include`` / ``xs:import`` locations resolve relative to the
+    file's directory.
+    """
+    path = Path(path)
+    base_dir = path.parent
+
+    def resolver(location):
+        return (base_dir / location).read_text(encoding="utf-8")
+
+    text = path.read_text(encoding="utf-8")
+    return parse_xsd(
+        text,
+        root_element=root_element,
+        name=name or path.stem,
+        domain=domain,
+        max_type_recursion=max_type_recursion,
+        resolver=resolver,
+        location=path.name,
+    )

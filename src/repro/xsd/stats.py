@@ -1,0 +1,118 @@
+"""Schema statistics and profiling.
+
+The Table 1 view of a schema -- element counts, depth -- plus the richer
+profile an integrator wants before matching: per-kind counts, depth and
+fan-out distributions, type usage, and naming-convention hints.  Used by
+the Table 1 benchmark and the ``qmatch stats`` CLI command.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.linguistic.tokenizer import tokenize
+from repro.xsd.model import SchemaTree
+
+
+@dataclass(frozen=True)
+class SchemaStats:
+    """A full profile of one schema tree."""
+
+    name: str
+    total_nodes: int
+    element_count: int
+    attribute_count: int
+    leaf_count: int
+    inner_count: int
+    max_depth: int
+    #: depth -> node count
+    depth_histogram: dict = field(default_factory=dict)
+    #: children-per-inner-node distribution summary
+    min_fanout: int = 0
+    max_fanout: int = 0
+    mean_fanout: float = 0.0
+    #: type name -> leaf count (None key for untyped leaves)
+    type_histogram: dict = field(default_factory=dict)
+    #: tokens per label distribution summary
+    mean_label_tokens: float = 0.0
+    distinct_labels: int = 0
+    repeatable_nodes: int = 0
+    optional_nodes: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"schema          : {self.name}",
+            f"nodes           : {self.total_nodes} "
+            f"({self.element_count} elements, {self.attribute_count} attributes)",
+            f"leaves / inner  : {self.leaf_count} / {self.inner_count}",
+            f"max depth       : {self.max_depth}",
+            f"fan-out         : min {self.min_fanout}, "
+            f"mean {self.mean_fanout:.1f}, max {self.max_fanout}",
+            f"distinct labels : {self.distinct_labels} "
+            f"(mean {self.mean_label_tokens:.1f} tokens per label)",
+            f"repeatable      : {self.repeatable_nodes} "
+            f"(maxOccurs > 1), optional: {self.optional_nodes} (minOccurs = 0)",
+            "depth histogram : " + ", ".join(
+                f"{depth}:{count}" for depth, count in sorted(
+                    self.depth_histogram.items()
+                )
+            ),
+            "types           : " + ", ".join(
+                f"{type_name or '(none)'}:{count}"
+                for type_name, count in sorted(
+                    self.type_histogram.items(),
+                    key=lambda item: (-item[1], str(item[0])),
+                )
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def schema_stats(tree: SchemaTree) -> SchemaStats:
+    """Profile ``tree``."""
+    depth_histogram: Counter = Counter()
+    type_histogram: Counter = Counter()
+    labels = set()
+    token_total = 0
+    element_count = attribute_count = leaf_count = 0
+    fanouts = []
+    repeatable = optional = 0
+
+    for node in tree:
+        depth_histogram[node.level] += 1
+        labels.add(node.name)
+        token_total += len(tokenize(node.name))
+        if node.is_attribute:
+            attribute_count += 1
+        else:
+            element_count += 1
+        if node.is_leaf:
+            leaf_count += 1
+            type_histogram[node.type_name] += 1
+        else:
+            fanouts.append(len(node.children))
+        if node.max_occurs != 1:
+            repeatable += 1
+        if node.min_occurs == 0:
+            optional += 1
+
+    total = tree.size
+    return SchemaStats(
+        name=tree.name,
+        total_nodes=total,
+        element_count=element_count,
+        attribute_count=attribute_count,
+        leaf_count=leaf_count,
+        inner_count=total - leaf_count,
+        max_depth=tree.max_depth,
+        depth_histogram=dict(depth_histogram),
+        min_fanout=min(fanouts) if fanouts else 0,
+        max_fanout=max(fanouts) if fanouts else 0,
+        mean_fanout=sum(fanouts) / len(fanouts) if fanouts else 0.0,
+        type_histogram=dict(type_histogram),
+        mean_label_tokens=token_total / total if total else 0.0,
+        distinct_labels=len(labels),
+        repeatable_nodes=repeatable,
+        optional_nodes=optional,
+    )

@@ -1,0 +1,117 @@
+"""Shared fixtures: paper schemas, matchers and small handmade trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qmatch import QMatchMatcher
+from repro.datasets import (
+    article,
+    book,
+    dcmd_item,
+    dcmd_order,
+    gold_article_book,
+    gold_dcmd,
+    gold_po,
+    human,
+    library,
+    po1,
+    po2,
+)
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.structural.matcher import StructuralMatcher
+from repro.xsd.builder import TreeBuilder, element, tree
+
+
+@pytest.fixture(scope="session")
+def po1_tree():
+    return po1()
+
+
+@pytest.fixture(scope="session")
+def po2_tree():
+    return po2()
+
+
+@pytest.fixture(scope="session")
+def po_gold():
+    return gold_po()
+
+
+@pytest.fixture(scope="session")
+def article_tree():
+    return article()
+
+
+@pytest.fixture(scope="session")
+def book_tree():
+    return book()
+
+
+@pytest.fixture(scope="session")
+def book_gold():
+    return gold_article_book()
+
+
+@pytest.fixture(scope="session")
+def dcmd_item_tree():
+    return dcmd_item()
+
+
+@pytest.fixture(scope="session")
+def dcmd_order_tree():
+    return dcmd_order()
+
+
+@pytest.fixture(scope="session")
+def dcmd_gold():
+    return gold_dcmd()
+
+
+@pytest.fixture(scope="session")
+def library_tree():
+    return library()
+
+
+@pytest.fixture(scope="session")
+def human_tree():
+    return human()
+
+
+@pytest.fixture(scope="session")
+def linguistic_matcher():
+    return LinguisticMatcher()
+
+
+@pytest.fixture(scope="session")
+def structural_matcher():
+    return StructuralMatcher()
+
+
+@pytest.fixture()
+def qmatch_matcher():
+    return QMatchMatcher()
+
+
+@pytest.fixture()
+def tiny_tree():
+    """Root with two leaves -- the smallest interesting schema."""
+    return tree(
+        element(
+            "Root",
+            element("A", type_name="string"),
+            element("B", type_name="integer"),
+        )
+    )
+
+
+@pytest.fixture()
+def nested_tree():
+    """Three-level tree used by traversal and level tests."""
+    builder = TreeBuilder("R")
+    builder.leaf("a", type_name="string")
+    with builder.node("group"):
+        builder.leaf("x", type_name="integer")
+        with builder.node("inner"):
+            builder.leaf("deep", type_name="date")
+    return builder.build()

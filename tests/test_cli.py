@@ -1,0 +1,239 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import po1
+from repro.xsd.serializer import to_xsd
+
+
+@pytest.fixture()
+def po_files(tmp_path, po1_tree, po2_tree):
+    source = tmp_path / "po1.xsd"
+    target = tmp_path / "po2.xsd"
+    source.write_text(to_xsd(po1_tree), encoding="utf-8")
+    target.write_text(to_xsd(po2_tree), encoding="utf-8")
+    return str(source), str(target)
+
+
+class TestMatchCommand:
+    def test_text_output(self, po_files, capsys):
+        assert main(["match", *po_files]) == 0
+        output = capsys.readouterr().out
+        assert "algorithm: qmatch" in output
+        assert "tree QoM" in output
+        assert "OrderNo" in output
+
+    def test_tsv_output(self, po_files, capsys):
+        main(["match", *po_files, "--format", "tsv"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(len(line.split("\t")) == 4 for line in lines)
+
+    def test_json_output(self, po_files, capsys):
+        main(["match", *po_files, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "qmatch"
+        assert 0.0 <= payload["tree_qom"] <= 1.0
+        assert payload["correspondences"]
+
+    @pytest.mark.parametrize("algorithm", ["linguistic", "structural", "tree-edit"])
+    def test_other_algorithms(self, po_files, capsys, algorithm):
+        assert main(["match", *po_files, "--algorithm", algorithm]) == 0
+        assert f"algorithm: {algorithm}" in capsys.readouterr().out
+
+    def test_custom_weights(self, po_files, capsys):
+        assert main(["match", *po_files, "--weights", "1,1,1,1"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_weights_normalized(self, po_files, capsys):
+        # 3,2,1,4 normalizes to the paper's weights.
+        main(["match", *po_files, "--weights", "3,2,1,4"])
+        normalized = capsys.readouterr().out
+        main(["match", *po_files, "--weights", "0.3,0.2,0.1,0.4"])
+        explicit = capsys.readouterr().out
+        assert normalized == explicit
+
+    def test_bad_weights_rejected(self, po_files):
+        with pytest.raises(SystemExit):
+            main(["match", *po_files, "--weights", "1,2"])
+        with pytest.raises(SystemExit):
+            main(["match", *po_files, "--weights", "a,b,c,d"])
+
+    def test_weights_require_qmatch(self, po_files):
+        with pytest.raises(SystemExit, match="only applies"):
+            main(["match", *po_files, "--algorithm", "linguistic",
+                  "--weights", "1,1,1,1"])
+
+    def test_threshold_flag(self, po_files, capsys):
+        main(["match", *po_files, "--threshold", "0.99"])
+        strict = capsys.readouterr().out
+        main(["match", *po_files, "--threshold", "0.1"])
+        lenient = capsys.readouterr().out
+        assert strict.count("<->") < lenient.count("<->")
+
+    def test_strategy_flag(self, po_files, capsys):
+        assert main(["match", *po_files, "--strategy", "stable"]) == 0
+
+
+class TestShowCommand:
+    def test_shows_tree(self, po_files, capsys):
+        assert main(["show", po_files[0]]) == 0
+        output = capsys.readouterr().out
+        assert "10 nodes" in output
+        assert "OrderNo : integer" in output
+
+    def test_properties_flag(self, po_files, capsys):
+        main(["show", po_files[0], "--properties"])
+        assert "compositor=sequence" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_default_tasks(self, capsys):
+        assert main(["evaluate", "--task", "PO"]) == 0
+        output = capsys.readouterr().out
+        assert "linguistic" in output
+        assert "structural" in output
+        assert "qmatch" in output
+        assert "precision" in output
+
+
+class TestGenerateCommand:
+    def test_generates_valid_sample(self, po_files, capsys):
+        import xml.etree.ElementTree as ET
+
+        from repro.xsd.instances import validate_instance
+        from repro.xsd.parser import parse_xsd_file
+
+        assert main(["generate", po_files[0]]) == 0
+        output = capsys.readouterr().out
+        document = ET.fromstring(output)
+        schema = parse_xsd_file(po_files[0])
+        assert validate_instance(schema, document) == []
+
+    def test_seed_reproducible(self, po_files, capsys):
+        main(["generate", po_files[0], "--seed", "4"])
+        first = capsys.readouterr().out
+        main(["generate", po_files[0], "--seed", "4"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestTranslateCommand:
+    def test_translates_generated_sample(self, po_files, capsys):
+        import xml.etree.ElementTree as ET
+
+        from repro.xsd.instances import validate_instance
+        from repro.xsd.parser import parse_xsd_file
+
+        assert main(["translate", *po_files]) == 0
+        output = capsys.readouterr().out
+        document = ET.fromstring(output)
+        target = parse_xsd_file(po_files[1])
+        assert document.tag == target.root.name
+        assert validate_instance(target, document) == []
+
+    def test_translates_given_document(self, po_files, tmp_path, capsys):
+        main(["generate", po_files[0]])
+        sample = capsys.readouterr().out
+        document_path = tmp_path / "doc.xml"
+        document_path.write_text(sample, encoding="utf-8")
+        assert main(["translate", *po_files, str(document_path)]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("<")
+
+    def test_warns_on_nonconforming_document(self, po_files, tmp_path, capsys):
+        document_path = tmp_path / "bad.xml"
+        document_path.write_text("<PO><Smuggled/></PO>", encoding="utf-8")
+        main(["translate", *po_files, str(document_path)])
+        captured = capsys.readouterr()
+        assert "does not fully conform" in captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_algorithm_rejected(self, po_files):
+        with pytest.raises(SystemExit):
+            main(["match", *po_files, "--algorithm", "psychic"])
+
+    def test_extension_algorithms_available(self, po_files, capsys):
+        for algorithm in ("cupid", "flooding"):
+            assert main(["match", *po_files, "--algorithm", algorithm]) == 0
+            assert f"algorithm: {algorithm}" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_profiles_schema(self, po_files, capsys):
+        assert main(["stats", po_files[0]]) == 0
+        output = capsys.readouterr().out
+        assert "max depth       : 3" in output
+        assert "integer" in output
+
+
+class TestDiffCommand:
+    def test_save_then_diff_identical(self, po_files, tmp_path, capsys):
+        saved = tmp_path / "result.json"
+        main(["match", *po_files, "--save", str(saved)])
+        capsys.readouterr()
+        assert main(["diff", str(saved), str(saved)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_diff_detects_change(self, po_files, tmp_path, capsys):
+        loose = tmp_path / "loose.json"
+        strict = tmp_path / "strict.json"
+        main(["match", *po_files, "--save", str(loose)])
+        main(["match", *po_files, "--threshold", "0.95", "--save", str(strict)])
+        capsys.readouterr()
+        assert main(["diff", str(loose), str(strict)]) == 1
+        assert "- " in capsys.readouterr().out
+
+
+class TestEvaluateMarkdown:
+    def test_markdown_format(self, capsys):
+        assert main(["evaluate", "--task", "PO", "--format", "markdown"]) == 0
+        output = capsys.readouterr().out
+        assert "| task | algorithm |" in output
+        assert "### Winners" in output
+
+
+class TestSdiffCommand:
+    def test_identical_schemas(self, po_files, capsys):
+        assert main(["sdiff", po_files[0], po_files[0]]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+    def test_changed_schemas(self, po_files, capsys):
+        assert main(["sdiff", po_files[0], po_files[1]]) == 1
+        assert capsys.readouterr().out.strip()
+
+
+class TestComplexFlag:
+    def test_complex_scan_reported(self, tmp_path, capsys):
+        from repro.xsd.builder import TreeBuilder
+        from repro.xsd.serializer import to_xsd
+
+        builder = TreeBuilder("Customer")
+        builder.leaf("ShippingAddress", type_name="string")
+        source = builder.build()
+        builder = TreeBuilder("Client")
+        builder.leaf("ShippingStreet", type_name="string")
+        builder.leaf("ShippingCity", type_name="string")
+        target = builder.build()
+        source_path = tmp_path / "s.xsd"
+        target_path = tmp_path / "t.xsd"
+        source_path.write_text(to_xsd(source), encoding="utf-8")
+        target_path.write_text(to_xsd(target), encoding="utf-8")
+        assert main(["match", str(source_path), str(target_path),
+                     "--complex"]) == 0
+        output = capsys.readouterr().out
+        assert "complex (1:n) proposals" in output
+        assert "[1:2]" in output
+
+    def test_no_proposals_message(self, po_files, capsys):
+        main(["match", *po_files, "--complex"])
+        output = capsys.readouterr().out
+        assert "no complex (1:n) proposals" in output or \
+            "complex (1:n) proposals" in output

@@ -1,0 +1,116 @@
+"""Unit tests for complex (1:n) correspondence detection."""
+
+import pytest
+
+import repro
+from repro.matching.complex import (
+    ComplexCorrespondence,
+    find_complex_correspondences,
+)
+from repro.xsd.builder import TreeBuilder
+
+
+@pytest.fixture()
+def split_address_pair():
+    """Source stores one address string; target splits it into fields."""
+    builder = TreeBuilder("Customer")
+    builder.leaf("CustomerName", type_name="string")
+    builder.leaf("ShippingAddress", type_name="string")
+    source = builder.build()
+
+    builder = TreeBuilder("Client")
+    builder.leaf("ClientName", type_name="string")
+    with builder.node("Shipping"):
+        builder.leaf("ShippingStreet", type_name="string")
+        builder.leaf("ShippingCity", type_name="string")
+        builder.leaf("PostalCode", type_name="string")
+    target = builder.build()
+    return source, target
+
+
+def best_for_source(proposals, source_path):
+    for proposal in proposals:
+        if proposal.source_paths == (source_path,):
+            return proposal
+    return None
+
+
+class TestOneToMany:
+    def test_split_detected(self, split_address_pair):
+        source, target = split_address_pair
+        result = repro.match(source, target)
+        proposals = find_complex_correspondences(result)
+        best = best_for_source(proposals, "Customer/ShippingAddress")
+        assert best is not None
+        assert "Client/Shipping/ShippingStreet" in best.target_paths
+        assert "Client/Shipping/ShippingCity" in best.target_paths
+        assert best.kind.startswith("1:")
+        assert best.score >= 0.55
+
+    def test_upgrade_includes_current_match(self, split_address_pair):
+        """The source's existing 1:1 partner (one fragment) joins the
+        proposed group instead of blocking it."""
+        source, target = split_address_pair
+        result = repro.match(source, target)
+        current = result.correspondence_for("Customer/ShippingAddress")
+        assert current is not None  # 1:1 grabbed one fragment
+        best = best_for_source(proposals=find_complex_correspondences(result),
+                               source_path="Customer/ShippingAddress")
+        assert current.target_path in best.target_paths
+
+    def test_taken_members_excluded(self, split_address_pair):
+        """A target already matched to a *different* source never joins."""
+        source, target = split_address_pair
+        result = repro.match(source, target)
+        name_target = result.correspondence_for(
+            "Customer/CustomerName"
+        ).target_path
+        proposals = find_complex_correspondences(result)
+        for proposal in proposals:
+            if proposal.source_paths == ("Customer/ShippingAddress",):
+                assert name_target not in proposal.target_paths
+
+    def test_member_threshold_filters(self, split_address_pair):
+        source, target = split_address_pair
+        result = repro.match(source, target)
+        assert find_complex_correspondences(result, member_threshold=0.99) == []
+
+    def test_group_size_capped(self, split_address_pair):
+        source, target = split_address_pair
+        result = repro.match(source, target)
+        proposals = find_complex_correspondences(result, max_group_size=2)
+        for proposal in proposals:
+            assert len(proposal.target_paths) <= 2
+
+    def test_n_to_one_direction(self, split_address_pair):
+        """Swapping the schemas yields the mirrored n:1 proposal."""
+        source, target = split_address_pair
+        result = repro.match(target, source)
+        proposals = [
+            p for p in find_complex_correspondences(result)
+            if p.target_paths == ("Customer/ShippingAddress",)
+        ]
+        assert proposals
+        assert len(proposals[0].source_paths) >= 2
+        assert proposals[0].kind.endswith(":1")
+
+    def test_str_rendering(self):
+        proposal = ComplexCorrespondence(
+            ("a/full",), ("b/part1", "b/part2"), 0.8
+        )
+        text = str(proposal)
+        assert "a/full" in text
+        assert "b/part1 + b/part2" in text
+        assert "[1:2]" in text
+
+    def test_unrelated_siblings_make_no_group(self):
+        builder = TreeBuilder("S")
+        builder.leaf("paymentTotal", type_name="decimal")
+        source = builder.build()
+        builder = TreeBuilder("T")
+        with builder.node("g"):
+            builder.leaf("wingspan", type_name="decimal")
+            builder.leaf("feathers", type_name="integer")
+        target = builder.build()
+        result = repro.match(source, target, threshold=0.99)
+        assert find_complex_correspondences(result) == []

@@ -1,0 +1,132 @@
+"""Unit tests for the COMA-style composite framework."""
+
+import pytest
+
+from repro.composite import (
+    CompositeMatcher,
+    NameMatcher,
+    NamePathMatcher,
+    TypeMatcher,
+    aggregate_scores,
+)
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.structural.matcher import StructuralMatcher
+
+
+class TestAggregation:
+    def test_max(self):
+        assert aggregate_scores([0.2, 0.9, 0.5], "max") == 0.9
+
+    def test_min(self):
+        assert aggregate_scores([0.2, 0.9, 0.5], "min") == 0.2
+
+    def test_average(self):
+        assert aggregate_scores([0.0, 1.0], "average") == 0.5
+
+    def test_weighted(self):
+        assert aggregate_scores([1.0, 0.0], "weighted", weights=[3, 1]) == \
+            pytest.approx(0.75)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            aggregate_scores([0.5], "median")
+
+    def test_weighted_needs_weights(self):
+        with pytest.raises(ValueError, match="one weight per score"):
+            aggregate_scores([0.5, 0.5], "weighted")
+        with pytest.raises(ValueError, match="one weight per score"):
+            aggregate_scores([0.5, 0.5], "weighted", weights=[1])
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            aggregate_scores([0.5], "weighted", weights=[0])
+
+    def test_empty_scores(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate_scores([], "max")
+
+
+class TestElementaryMatchers:
+    def test_name_matcher_matches_labels_only(self, po1_tree, po2_tree):
+        matrix = NameMatcher().score_matrix(po1_tree, po2_tree)
+        assert matrix.get_by_path("PO/OrderNo", "PurchaseOrder/OrderNo") == 1.0
+
+    def test_name_path_distinguishes_context(self, article_tree, book_tree):
+        """name-path separates Journal/Name from Author/Name."""
+        matrix = NamePathMatcher().score_matrix(article_tree, book_tree)
+        journal_name = matrix.get_by_path("Article/Journal/Name",
+                                          "Book/Author/Name")
+        author_name = matrix.get_by_path(
+            "Article/Authors/Author/LastName", "Book/Author/Name"
+        )
+        assert author_name > journal_name
+
+    def test_type_matcher_uses_lattice(self, po1_tree, po2_tree):
+        matrix = TypeMatcher().score_matrix(po1_tree, po2_tree)
+        same_type = matrix.get_by_path("PO/OrderNo", "PurchaseOrder/Items/Qty")
+        cross_type = matrix.get_by_path("PO/OrderNo", "PurchaseOrder/BillTo")
+        assert same_type == 1.0
+        assert cross_type == 0.0
+
+    def test_elementary_bounded(self, po1_tree, po2_tree):
+        for matcher in (NameMatcher(), NamePathMatcher(), TypeMatcher()):
+            for _, score in matcher.score_matrix(po1_tree, po2_tree).items():
+                assert 0.0 <= score <= 1.0, matcher.name
+
+
+class TestCompositeMatcher:
+    def test_needs_matchers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CompositeMatcher([])
+
+    def test_config_validated_eagerly(self):
+        with pytest.raises(ValueError, match="one weight per score"):
+            CompositeMatcher([NameMatcher()], aggregation="weighted")
+
+    def test_default_name(self):
+        composite = CompositeMatcher([NameMatcher(), TypeMatcher()])
+        assert composite.name == "composite(name+type)"
+
+    def test_custom_name(self):
+        composite = CompositeMatcher([NameMatcher()], name="coma")
+        assert composite.name == "coma"
+
+    def test_max_dominates_constituents(self, po1_tree, po2_tree):
+        name, kind = NameMatcher(), TypeMatcher()
+        composite = CompositeMatcher([name, kind], aggregation="max")
+        combined = composite.score_matrix(po1_tree, po2_tree)
+        name_matrix = name.score_matrix(po1_tree, po2_tree)
+        type_matrix = kind.score_matrix(po1_tree, po2_tree)
+        for (s_path, t_path), score in combined.items():
+            expected = max(
+                name_matrix.get_by_path(s_path, t_path),
+                type_matrix.get_by_path(s_path, t_path),
+            )
+            assert score == pytest.approx(expected)
+
+    def test_single_matcher_average_is_identity(self, po1_tree, po2_tree):
+        base = NameMatcher()
+        composite = CompositeMatcher([base], aggregation="average")
+        combined = composite.score_matrix(po1_tree, po2_tree)
+        original = base.score_matrix(po1_tree, po2_tree)
+        for (s_path, t_path), score in combined.items():
+            assert score == pytest.approx(original.get_by_path(s_path, t_path))
+
+    def test_weighted_biases_toward_heavy_member(self, po1_tree, po2_tree):
+        heavy_name = CompositeMatcher(
+            [NameMatcher(), TypeMatcher()],
+            aggregation="weighted", weights=[9, 1],
+        )
+        matrix = heavy_name.score_matrix(po1_tree, po2_tree)
+        # OrderNo/Qty share a type but not a name: weighted-toward-name
+        # keeps them low.
+        assert matrix.get_by_path("PO/OrderNo", "PurchaseOrder/Items/Qty") < 0.5
+
+    def test_composite_end_to_end(self, po1_tree, po2_tree, po_gold):
+        composite = CompositeMatcher(
+            [LinguisticMatcher(), StructuralMatcher(), NamePathMatcher()],
+            aggregation="average",
+        )
+        result = composite.match(po1_tree, po2_tree)
+        assert result.correspondences
+        assert result.pairs & po_gold.pairs

@@ -1,0 +1,57 @@
+"""Unit tests for leave-one-task-out threshold cross-validation."""
+
+import pytest
+
+from repro.core.qmatch import QMatchMatcher
+from repro.datasets import registry
+from repro.evaluation.crossval import cross_validate_threshold
+from repro.evaluation.harness import MatchTask
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return [registry.task(name) for name in ("PO", "Book", "Inventory")]
+
+
+@pytest.fixture(scope="module")
+def cv_result(tasks):
+    return cross_validate_threshold(QMatchMatcher(), tasks,
+                                    grid=(0.3, 0.5, 0.7, 0.9))
+
+
+class TestProtocol:
+    def test_one_fold_per_task(self, cv_result, tasks):
+        assert len(cv_result.folds) == len(tasks)
+        assert {fold.held_out for fold in cv_result.folds} == {
+            task.name for task in tasks
+        }
+
+    def test_chosen_thresholds_on_grid(self, cv_result):
+        for fold in cv_result.folds:
+            assert fold.chosen_threshold in (0.3, 0.5, 0.7, 0.9)
+
+    def test_oracle_at_least_mean_test(self, cv_result):
+        """Tuning on everything can only look better (or equal)."""
+        assert cv_result.oracle_overall >= cv_result.mean_test_overall - 1e-9
+        assert cv_result.overfit_gap >= -1e-9
+
+    def test_mean_is_mean(self, cv_result):
+        expected = sum(f.test_overall for f in cv_result.folds) / len(
+            cv_result.folds
+        )
+        assert cv_result.mean_test_overall == pytest.approx(expected)
+
+    def test_reasonable_quality(self, cv_result):
+        """The hybrid stays strong even under honest evaluation."""
+        assert cv_result.mean_test_overall > 0.4
+
+
+class TestValidation:
+    def test_needs_two_tasks(self, tasks):
+        with pytest.raises(ValueError, match="two tasks"):
+            cross_validate_threshold(QMatchMatcher(), tasks[:1])
+
+    def test_needs_gold(self, tasks):
+        no_gold = MatchTask("x", tasks[0].source, tasks[0].target, None)
+        with pytest.raises(ValueError, match="gold"):
+            cross_validate_threshold(QMatchMatcher(), [tasks[0], no_gold])

@@ -1,0 +1,108 @@
+"""Unit tests for the Cupid comparator."""
+
+import pytest
+
+from repro.cupid import CupidConfig, CupidMatcher
+from repro.xsd.builder import TreeBuilder, element, tree
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return CupidMatcher()
+
+
+class TestConfig:
+    def test_defaults_are_papers(self):
+        config = CupidConfig()
+        assert config.w_struct == 0.5
+        assert config.c_inc >= 1.0
+
+    def test_w_struct_bounds(self):
+        with pytest.raises(ValueError, match="w_struct"):
+            CupidConfig(w_struct=1.5)
+
+    def test_threshold_order(self):
+        with pytest.raises(ValueError, match="th_low"):
+            CupidConfig(th_low=0.9, th_high=0.1)
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError, match="c_inc"):
+            CupidConfig(c_inc=0.5)
+        with pytest.raises(ValueError, match="c_inc"):
+            CupidConfig(c_dec=0.0)
+
+
+class TestWsim:
+    def test_identical_trees_score_high(self, matcher, po1_tree):
+        clone = po1_tree.copy()
+        matrix = matcher.score_matrix(po1_tree, clone)
+        assert matrix.get(po1_tree.root, clone.root) >= 0.9
+
+    def test_scores_bounded(self, matcher, po1_tree, po2_tree):
+        matrix = matcher.score_matrix(po1_tree, po2_tree)
+        assert len(matrix) == po1_tree.size * po2_tree.size
+        for _, score in matrix.items():
+            assert 0.0 <= score <= 1.0
+
+    def test_w_struct_extremes(self, po1_tree, po2_tree):
+        """w_struct=0 reduces to pure linguistic, w_struct=1 to pure
+        structural evidence."""
+        linguistic_only = CupidMatcher(CupidConfig(w_struct=0.0))
+        structural_only = CupidMatcher(CupidConfig(w_struct=1.0))
+        pair = ("PO/OrderNo", "PurchaseOrder/OrderNo")
+        l_score = linguistic_only.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        s_score = structural_only.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        assert l_score == pytest.approx(1.0)   # identical names
+        assert s_score == pytest.approx(1.0)   # identical types
+
+    def test_linguistically_blind_at_w1(self, library_tree, human_tree):
+        structural_only = CupidMatcher(CupidConfig(w_struct=1.0))
+        matrix = structural_only.score_matrix(library_tree, human_tree)
+        # Structurally identical trees: strong root wsim despite labels.
+        assert matrix.get(library_tree.root, human_tree.root) > 0.8
+
+
+class TestPropagation:
+    def test_strong_parents_lift_leaves(self):
+        """Cupid's leaf-similarity increase: under a strongly matching
+        container, ambiguous leaves score higher than the same leaves
+        under a weakly matching container."""
+        source = tree(element(
+            "Order",
+            element("Items", element("code", type_name="string")),
+        ))
+        target_strong = tree(element(
+            "Order",
+            element("Items", element("ref", type_name="string")),
+        ))
+        target_weak = tree(element(
+            "Zzz",
+            element("Qqq", element("ref", type_name="string")),
+        ))
+        matcher = CupidMatcher()
+        strong = matcher.score_matrix(source, target_strong).get_by_path(
+            "Order/Items/code", "Order/Items/ref"
+        )
+        weak = matcher.score_matrix(source, target_weak).get_by_path(
+            "Order/Items/code", "Zzz/Qqq/ref"
+        )
+        assert strong > weak
+
+    def test_no_propagation_when_factors_neutral(self, po1_tree, po2_tree):
+        neutral = CupidMatcher(CupidConfig(c_inc=1.0, c_dec=1.0))
+        boosted = CupidMatcher(CupidConfig(c_inc=1.5))
+        pair = ("PO/PurchaseInfo/Lines/Quantity", "PurchaseOrder/Items/Qty")
+        neutral_score = neutral.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        boosted_score = boosted.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        assert boosted_score >= neutral_score
+
+
+class TestEndToEnd:
+    def test_po_pair_quality(self, matcher, po1_tree, po2_tree, po_gold):
+        result = matcher.match(po1_tree, po2_tree)
+        assert result.algorithm == "cupid"
+        assert po_gold.pairs & result.pairs  # finds real matches
+
+    def test_matcher_registered(self):
+        import repro
+        assert "cupid" in repro.ALGORITHMS

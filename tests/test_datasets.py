@@ -1,0 +1,180 @@
+"""Dataset reconstruction tests: Table 1 characteristics and gold validity."""
+
+import pytest
+
+from repro.datasets import (
+    TABLE1_PAPER,
+    dcmd_item,
+    dcmd_order,
+    gold_dcmd,
+    human,
+    library,
+    load_schema,
+    registry,
+    schema_names,
+)
+from repro.datasets.protein import PDB_DEPTH, PDB_SIZE, PIR_DEPTH, PIR_SIZE, pdb_with_gold, pir
+
+
+class TestTable1Characteristics:
+    """Element counts match the paper exactly; depths match except PO2,
+    whose Figure 2 contradicts its own Table 1 row (see EXPERIMENTS.md)."""
+
+    @pytest.mark.parametrize("name", ["PO1", "Article", "Book", "DCMDItem", "DCMDOrd"])
+    def test_fast_schemas(self, name):
+        schema = load_schema(name)
+        elements, depth = TABLE1_PAPER[name]
+        assert schema.size == elements
+        assert schema.max_depth == depth
+
+    def test_po2_follows_figure2(self):
+        schema = load_schema("PO2")
+        elements, _paper_depth = TABLE1_PAPER["PO2"]
+        assert schema.size == elements
+        assert schema.max_depth == 2  # the figure's shape; table says 3
+
+    def test_po_heights_differ(self):
+        """The paper's prose relies on 'the height difference between
+        the schema trees'."""
+        assert load_schema("PO1").max_depth != load_schema("PO2").max_depth
+
+
+class TestProtein:
+    def test_pir_characteristics(self):
+        schema = pir()
+        assert schema.size == PIR_SIZE == 231
+        assert schema.max_depth == PIR_DEPTH == 6
+
+    def test_pir_deterministic(self):
+        assert pir().root.structurally_equal(pir().root)
+
+    def test_pdb_characteristics_and_gold(self):
+        target, gold = pdb_with_gold()
+        assert target.size == PDB_SIZE == 3753
+        assert target.max_depth == PDB_DEPTH == 7
+        assert len(gold) == PIR_SIZE  # every PIR node survives
+        source = pir()
+        gold.verify_against(source, target)
+
+    def test_pdb_renames_are_present(self):
+        source = pir()
+        target, gold = pdb_with_gold()
+        renamed = sum(
+            1 for s, t in gold
+            if source.find(s).name != target.find(t).name
+        )
+        assert renamed > 20  # rename probability 0.35 over 231 nodes
+
+    def test_pdb_gold_leaves_stay_leaves(self):
+        """Growth must not convert mapped PIR leaves into PDB containers."""
+        source = pir()
+        target, gold = pdb_with_gold()
+        for source_path, target_path in gold:
+            if source.find(source_path).is_leaf:
+                assert target.find(target_path).is_leaf, target_path
+
+
+class TestGoldMappings:
+    def test_po_gold_valid(self, po1_tree, po2_tree, po_gold):
+        po_gold.verify_against(po1_tree, po2_tree)
+        assert len(po_gold) == 9
+
+    def test_book_gold_valid(self, article_tree, book_tree, book_gold):
+        book_gold.verify_against(article_tree, book_tree)
+        assert len(book_gold) == 6
+
+    def test_dcmd_gold_valid(self):
+        gold = gold_dcmd()
+        gold.verify_against(dcmd_item(), dcmd_order())
+        assert len(gold) == 20
+
+    def test_alternates_registered(self, po_gold, book_gold):
+        assert po_gold.alternates
+        assert book_gold.alternates
+
+
+class TestExtremeSchemas:
+    def test_same_shape(self, library_tree, human_tree):
+        """Figures 7-8: structurally identical trees."""
+        def shape(node):
+            return (len(node.children), node.type_name if node.is_leaf else None,
+                    tuple(shape(c) for c in node.children))
+        assert shape(library_tree.root) == shape(human_tree.root)
+
+    def test_disjoint_vocabulary(self, library_tree, human_tree):
+        library_names = {n.name.lower() for n in library_tree}
+        human_names = {n.name.lower() for n in human_tree}
+        assert not library_names & human_names
+
+    def test_six_nodes_each(self, library_tree, human_tree):
+        assert library_tree.size == human_tree.size == 6
+
+
+class TestInventory:
+    def test_schemas_parse_with_advanced_features(self):
+        w = load_schema("WarehouseInventory")
+        s = load_schema("StoreInventory")
+        # Named type expanded into the storage-location subtree.
+        assert w.find(
+            "Warehouse/StockItems/StockItem/StorageLocation/aisle"
+        ) is not None
+        # Attribute-group attributes attached to the root.
+        assert w.find("Warehouse/last_updated").is_attribute
+        # Attribute default survives.
+        active = s.find("Store/Products/Product/active")
+        assert active.properties["default"] == "true"
+
+    def test_gold_valid(self):
+        from repro.datasets import gold_inventory, store, warehouse
+
+        gold = gold_inventory()
+        gold.verify_against(warehouse(), store())
+        assert len(gold) == 14
+        assert gold.alternates
+
+    def test_task_registered(self):
+        task = registry.task("Inventory")
+        assert task.gold is not None
+        assert task.total_elements == 38
+
+    def test_hybrid_wins_domain(self):
+        import repro
+        from repro.evaluation import evaluate_against_gold
+
+        task = registry.task("Inventory")
+        overall = {}
+        for algorithm in ("linguistic", "structural", "qmatch"):
+            result = repro.match(task.source, task.target,
+                                 algorithm=algorithm)
+            overall[algorithm] = evaluate_against_gold(
+                result.pairs, task.gold
+            ).overall
+        assert overall["qmatch"] > overall["linguistic"]
+        assert overall["qmatch"] > overall["structural"]
+
+
+class TestRegistry:
+    def test_all_names_loadable(self):
+        for name in schema_names():
+            if name in ("PIR", "PDB"):
+                continue  # covered above; PDB is slow-ish
+            assert load_schema(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown schema"):
+            load_schema("Nope")
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError, match="unknown task"):
+            registry.task("Nope")
+
+    def test_fresh_instances(self):
+        assert load_schema("PO1") is not load_schema("PO1")
+
+    def test_figure6_tasks_exclude_protein(self):
+        names = [task.name for task in registry.figure6_tasks()]
+        assert names == ["PO", "Book", "DCMD"]
+        assert all(task.gold is not None for task in registry.figure6_tasks())
+
+    def test_extreme_task_has_no_gold(self):
+        assert registry.extreme_task().gold is None

@@ -1,0 +1,98 @@
+"""Tests for documentation-backed label evidence."""
+
+import pytest
+
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.core.taxonomy import MatchCategory
+from repro.xsd.builder import element, tree
+from repro.xsd.parser import parse_xsd
+
+
+def documented_pair():
+    """Disjoint names, near-identical documentation."""
+    source = tree(element(
+        "Zeta",
+        element("qxa", type_name="string",
+                documentation="the postal address used for billing"),
+        element("qxb", type_name="integer"),
+    ))
+    target = tree(element(
+        "Omega",
+        element("vyc", type_name="string",
+                documentation="postal address used for billing purposes"),
+        element("vyd", type_name="integer"),
+    ))
+    return source, target
+
+
+class TestDocumentationEvidence:
+    def test_off_by_default(self):
+        source, target = documented_pair()
+        matcher = QMatchMatcher()
+        matrix = matcher.score_matrix(source, target)
+        category = MatchCategory(matrix.categories[("Zeta/qxa", "Omega/vyc")])
+        assert category is MatchCategory.NO_MATCH
+
+    def test_documentation_rescues_label_axis(self):
+        source, target = documented_pair()
+        matcher = QMatchMatcher(
+            config=QMatchConfig(use_documentation=True)
+        )
+        matrix = matcher.score_matrix(source, target)
+        category = MatchCategory(matrix.categories[("Zeta/qxa", "Omega/vyc")])
+        assert category is MatchCategory.LEAF_RELAXED
+
+    def test_scores_increase_with_documentation(self):
+        source, target = documented_pair()
+        plain = QMatchMatcher().score_matrix(source, target)
+        documented = QMatchMatcher(
+            config=QMatchConfig(use_documentation=True)
+        ).score_matrix(source, target)
+        pair = ("Zeta/qxa", "Omega/vyc")
+        assert documented.get_by_path(*pair) > plain.get_by_path(*pair)
+
+    def test_never_lowers_name_evidence(self, po1_tree, po2_tree):
+        """Identical names with no documentation stay exact."""
+        matcher = QMatchMatcher(config=QMatchConfig(use_documentation=True))
+        matrix = matcher.score_matrix(po1_tree, po2_tree)
+        assert matrix.get_by_path("PO/OrderNo", "PurchaseOrder/OrderNo") == 1.0
+
+    def test_one_sided_documentation_ignored(self):
+        source, target = documented_pair()
+        target.find("Omega/vyc").properties.pop("documentation")
+        matcher = QMatchMatcher(config=QMatchConfig(use_documentation=True))
+        matrix = matcher.score_matrix(source, target)
+        category = MatchCategory(matrix.categories[("Zeta/qxa", "Omega/vyc")])
+        assert category is MatchCategory.NO_MATCH
+
+    def test_evidence_capped_by_discount(self):
+        source, target = documented_pair()
+        source.find("Zeta/qxa").properties["documentation"] = "exact words"
+        target.find("Omega/vyc").properties["documentation"] = "exact words"
+        matcher = QMatchMatcher(
+            config=QMatchConfig(use_documentation=True,
+                                documentation_discount=0.9)
+        )
+        breakdown = matcher.explain(source, target, "Zeta/qxa", "Omega/vyc")
+        assert breakdown.label_score == pytest.approx(0.9)
+        assert breakdown.label_mechanism == "documentation"
+
+    def test_parser_documentation_flows_through(self):
+        """xs:documentation captured by the parser feeds the axis."""
+        xsd = (
+            '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+            '<xs:element name="Root"><xs:complexType><xs:sequence>'
+            '<xs:element name="fld1" type="xs:string">'
+            "<xs:annotation><xs:documentation>customer shipping address"
+            "</xs:documentation></xs:annotation></xs:element>"
+            "</xs:sequence></xs:complexType></xs:element></xs:schema>"
+        )
+        source = parse_xsd(xsd)
+        target_xsd = xsd.replace("fld1", "zzz9").replace(
+            "customer shipping address", "shipping address of the customer"
+        )
+        target = parse_xsd(target_xsd)
+        matcher = QMatchMatcher(config=QMatchConfig(use_documentation=True))
+        result = matcher.match(source, target)
+        assert ("Root/fld1", "Root/zzz9") in result.pairs

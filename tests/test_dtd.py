@@ -1,0 +1,201 @@
+"""Unit tests for the DTD parser."""
+
+import pytest
+
+from repro.xsd.dtd import parse_dtd
+from repro.xsd.errors import SchemaParseError
+from repro.xsd.model import NodeKind, UNBOUNDED
+
+PO_DTD = """\
+<!-- the paper's Figure 1 schema as a DTD -->
+<!ELEMENT PO (OrderNo, PurchaseInfo, PurchaseDate)>
+<!ELEMENT OrderNo (#PCDATA)>
+<!ELEMENT PurchaseInfo (BillingAddr, ShippingAddr, Lines)>
+<!ELEMENT BillingAddr (#PCDATA)>
+<!ELEMENT ShippingAddr (#PCDATA)>
+<!ELEMENT Lines (Item, Quantity, UnitOfMeasure)>
+<!ELEMENT Item (#PCDATA)>
+<!ELEMENT Quantity (#PCDATA)>
+<!ELEMENT UnitOfMeasure (#PCDATA)>
+<!ELEMENT PurchaseDate (#PCDATA)>
+"""
+
+
+class TestBasics:
+    def test_po_structure(self):
+        tree = parse_dtd(PO_DTD)
+        assert tree.root.name == "PO"
+        assert tree.size == 10
+        assert tree.max_depth == 3
+        assert tree.find("PO/PurchaseInfo/Lines/Quantity") is not None
+
+    def test_pcdata_leaves_typed_string(self):
+        tree = parse_dtd(PO_DTD)
+        assert tree.find("PO/OrderNo").type_name == "string"
+
+    def test_order_assigned(self):
+        tree = parse_dtd(PO_DTD)
+        assert tree.find("PO/OrderNo").order == 1
+        assert tree.find("PO/PurchaseDate").order == 3
+
+    def test_root_inferred_as_unreferenced(self):
+        tree = parse_dtd(
+            "<!ELEMENT leaf (#PCDATA)>\n<!ELEMENT top (leaf)>\n"
+        )
+        assert tree.root.name == "top"
+
+    def test_explicit_root(self):
+        tree = parse_dtd(PO_DTD, root_element="Lines")
+        assert tree.root.name == "Lines"
+        assert tree.size == 4
+
+    def test_unknown_root(self):
+        with pytest.raises(SchemaParseError, match="available"):
+            parse_dtd(PO_DTD, root_element="Nope")
+
+    def test_name_and_domain(self):
+        tree = parse_dtd(PO_DTD, name="X", domain="po")
+        assert tree.name == "X"
+        assert tree.domain == "po"
+
+    def test_validates(self):
+        parse_dtd(PO_DTD).validate()
+
+
+class TestOccurrenceSuffixes:
+    DTD = """\
+<!ELEMENT list (required, optional?, many*, some+)>
+<!ELEMENT required (#PCDATA)>
+<!ELEMENT optional (#PCDATA)>
+<!ELEMENT many (#PCDATA)>
+<!ELEMENT some (#PCDATA)>
+"""
+
+    def test_suffixes(self):
+        tree = parse_dtd(self.DTD)
+        assert (tree.find("list/required").min_occurs,
+                tree.find("list/required").max_occurs) == (1, 1)
+        assert (tree.find("list/optional").min_occurs,
+                tree.find("list/optional").max_occurs) == (0, 1)
+        assert (tree.find("list/many").min_occurs,
+                tree.find("list/many").max_occurs) == (0, UNBOUNDED)
+        assert (tree.find("list/some").min_occurs,
+                tree.find("list/some").max_occurs) == (1, UNBOUNDED)
+
+    def test_group_suffix_multiplies(self):
+        tree = parse_dtd(
+            "<!ELEMENT r ((a, b)*)>\n"
+            "<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>\n"
+        )
+        assert tree.find("r/a").max_occurs == UNBOUNDED
+        assert tree.find("r/a").min_occurs == 0
+
+
+class TestChoicesAndMixed:
+    def test_choice_children_optional(self):
+        tree = parse_dtd(
+            "<!ELEMENT r (a | b)>\n"
+            "<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>\n"
+        )
+        assert tree.root.properties["compositor"] == "choice"
+        assert tree.find("r/a").min_occurs == 0
+        assert tree.find("r/a").properties["in_choice"] is True
+
+    def test_mixed_content(self):
+        tree = parse_dtd(
+            "<!ELEMENT r (#PCDATA | em)*>\n<!ELEMENT em (#PCDATA)>\n"
+        )
+        assert tree.root.properties["mixed"] is True
+        assert tree.find("r/em") is not None
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(SchemaParseError, match="mixed"):
+            parse_dtd("<!ELEMENT r (a, b | c)>\n<!ELEMENT a (#PCDATA)>\n"
+                      "<!ELEMENT b (#PCDATA)>\n<!ELEMENT c (#PCDATA)>\n")
+
+    def test_empty_and_any(self):
+        tree = parse_dtd(
+            "<!ELEMENT r (e, a)>\n<!ELEMENT e EMPTY>\n<!ELEMENT a ANY>\n"
+        )
+        assert tree.find("r/e").is_leaf
+        assert tree.find("r/a").properties["any_element"] is True
+
+
+class TestAttlist:
+    DTD = """\
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item
+    id ID #REQUIRED
+    lang CDATA #IMPLIED
+    status (open|closed) "open"
+    version CDATA #FIXED "1.0">
+"""
+
+    def test_attribute_kinds_and_types(self):
+        tree = parse_dtd(self.DTD)
+        id_attr = tree.find("item/id")
+        assert id_attr.kind is NodeKind.ATTRIBUTE
+        assert id_attr.type_name == "ID"
+        assert id_attr.min_occurs == 1
+        assert tree.find("item/lang").type_name == "string"
+        assert tree.find("item/lang").min_occurs == 0
+
+    def test_enumeration(self):
+        tree = parse_dtd(self.DTD)
+        status = tree.find("item/status")
+        assert status.properties["facets"]["enumeration"] == ["open", "closed"]
+        assert status.properties["default"] == "open"
+
+    def test_fixed(self):
+        tree = parse_dtd(self.DTD)
+        assert tree.find("item/version").properties["fixed"] == "1.0"
+
+    def test_attlist_before_element(self):
+        tree = parse_dtd(
+            "<!ATTLIST r id ID #REQUIRED>\n<!ELEMENT r (#PCDATA)>\n"
+        )
+        # Placeholder upgraded... ATTLIST-first keeps the attribute.
+        assert tree.find("r/id") is not None
+
+
+class TestRecursionAndErrors:
+    def test_recursive_elements_cut(self):
+        tree = parse_dtd(
+            "<!ELEMENT node (label, node?)>\n<!ELEMENT label (#PCDATA)>\n"
+        )
+        recursive = [n for n in tree if n.properties.get("recursive")]
+        assert recursive
+        tree.validate()
+
+    def test_undeclared_child_becomes_untyped_leaf(self):
+        tree = parse_dtd("<!ELEMENT r (ghost)>\n")
+        assert tree.find("r/ghost") is not None
+
+    def test_duplicate_element(self):
+        with pytest.raises(SchemaParseError, match="duplicate"):
+            parse_dtd("<!ELEMENT r (#PCDATA)>\n<!ELEMENT r (#PCDATA)>\n")
+
+    def test_no_elements(self):
+        with pytest.raises(SchemaParseError, match="no elements"):
+            parse_dtd("<!-- just a comment -->")
+
+    def test_entity_rejected_loudly(self):
+        with pytest.raises(SchemaParseError, match="ENTITY"):
+            parse_dtd('<!ENTITY % x "y">\n<!ELEMENT r (#PCDATA)>\n')
+
+    def test_garbage_content_model(self):
+        with pytest.raises(SchemaParseError):
+            parse_dtd("<!ELEMENT r (a,,b)>\n")
+
+
+class TestMatchingDtdAgainstXsd:
+    def test_dtd_po_matches_xsd_po2(self, po2_tree, po_gold):
+        """A DTD-sourced schema plugs straight into the matchers."""
+        import repro
+
+        source = parse_dtd(PO_DTD, name="PO-from-DTD")
+        result = repro.match(source, po2_tree)
+        # Label-level matches still found (types are all string in DTDs,
+        # so property evidence is weaker, but the label axis carries it).
+        assert ("PO/OrderNo", "PurchaseOrder/OrderNo") in result.pairs
+        assert ("PO/PurchaseInfo/Lines", "PurchaseOrder/Items") in result.pairs

@@ -1,0 +1,248 @@
+"""Edge-case tests across modules: boundary inputs, odd-but-legal
+schemas, and interactions the focused unit files do not cover."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+import repro
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.cupid import CupidConfig, CupidMatcher
+from repro.mapping import Mapping, translate_instance
+from repro.matching.selection import stable_marriage
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.dtd import parse_dtd
+from repro.xsd.instances import (
+    InstanceConfig,
+    generate_instance,
+    validate_instance,
+)
+from repro.xsd.model import SchemaNode, xml_name
+
+
+class TestSingleNodeSchemas:
+    """The degenerate but legal case: a schema that is one leaf."""
+
+    def single(self, name="Only", type_name="string"):
+        return tree(element(name, type_name=type_name))
+
+    def test_qmatch_on_single_nodes(self):
+        result = repro.match(self.single("Alpha"), self.single("Alpha"))
+        assert result.tree_qom == pytest.approx(1.0)
+        assert result.pairs == {("Alpha", "Alpha")}
+
+    def test_all_algorithms_survive_single_nodes(self):
+        for algorithm in repro.ALGORITHMS:
+            result = repro.match(self.single(), self.single(),
+                                 algorithm=algorithm)
+            assert 0.0 <= result.tree_qom <= 1.0, algorithm
+
+    def test_single_vs_large(self, po1_tree):
+        result = repro.match(self.single("OrderNo", "integer"), po1_tree)
+        assert result.correspondence_for("OrderNo").target_path == \
+            "PO/OrderNo"
+
+
+class TestDeepAndWideSchemas:
+    def test_deep_chain(self):
+        builder = TreeBuilder("L0")
+        node_context = []
+        # 12-deep chain via nested contexts.
+        import contextlib
+
+        with contextlib.ExitStack() as stack:
+            for depth in range(1, 12):
+                stack.enter_context(builder.node(f"L{depth}"))
+            builder.leaf("bottom", type_name="string")
+            deep = builder.build()
+        assert deep.max_depth == 12
+        result = repro.match(deep, deep.copy())
+        assert result.tree_qom == pytest.approx(1.0)
+
+    def test_wide_flat_schema(self):
+        builder = TreeBuilder("Wide")
+        for index in range(60):
+            builder.leaf(f"field{index:02d}", type_name="string")
+        wide = builder.build()
+        result = repro.match(wide, wide.copy())
+        assert result.tree_qom == pytest.approx(1.0)
+        assert len(result.correspondences) == wide.size
+
+
+class TestUnicodeAndOddLabels:
+    def test_unicode_labels_survive_matching(self):
+        source = tree(element("Bestellung",
+                              element("Menge", type_name="integer")))
+        target = tree(element("Bestellung",
+                              element("Menge", type_name="integer")))
+        result = repro.match(source, target)
+        assert result.tree_qom == pytest.approx(1.0)
+
+    def test_xml_name_handles_unicode(self):
+        tag = xml_name("Bestellmenge")
+        ET.fromstring(ET.tostring(ET.Element(tag)))
+
+    def test_label_with_every_delimiter(self):
+        node = SchemaNode("a_b-c.d e#f")
+        from repro.linguistic.tokenizer import tokenize
+
+        assert tokenize(node.name) == ["a", "b", "c", "d", "e", "f"]
+
+
+class TestCupidEdges:
+    def test_empty_subtree_sides(self):
+        """A leaf vs an interior node exercises the empty-leaves guard."""
+        source = tree(element("S", element("only", type_name="string")))
+        target = tree(element("T", element("g", element("x", type_name="string"))))
+        matrix = CupidMatcher().score_matrix(source, target)
+        for _, score in matrix.items():
+            assert 0.0 <= score <= 1.0
+
+    def test_propagation_caps_at_one(self, po1_tree, po2_tree):
+        aggressive = CupidMatcher(CupidConfig(c_inc=2.0, th_high=0.1,
+                                              th_low=0.05))
+        for _, score in aggressive.score_matrix(po1_tree, po2_tree).items():
+            assert score <= 1.0
+
+
+class TestStableMarriageEdges:
+    def test_unbalanced_sides(self, po1_tree, book_tree):
+        matrix = repro.LinguisticMatcher().score_matrix(po1_tree, book_tree)
+        selected = stable_marriage(matrix, threshold=0.1)
+        targets = [c.target_path for c in selected]
+        assert len(targets) == len(set(targets))
+        assert len(selected) <= min(po1_tree.size, book_tree.size)
+
+
+class TestInstanceEdges:
+    def test_optional_probability_zero_minimal_document(self, article_tree):
+        config = InstanceConfig(seed=1, optional_probability=0.0)
+        document = generate_instance(article_tree, config)
+        assert validate_instance(article_tree, document) == []
+        assert document.find("Abstract") is None  # optional, never emitted
+
+    def test_optional_probability_one_maximal_document(self, article_tree):
+        config = InstanceConfig(seed=1, optional_probability=1.0)
+        document = generate_instance(article_tree, config)
+        assert validate_instance(article_tree, document) == []
+        assert document.find("Abstract") is not None
+
+    def test_min_occurs_two_respected(self):
+        schema = tree(element(
+            "R", element("twice", type_name="string",
+                         min_occurs=2, max_occurs=5),
+        ))
+        document = generate_instance(schema, InstanceConfig(max_repeats=1))
+        # max_repeats never undercuts minOccurs.
+        assert len(document.findall("twice")) >= 2
+        assert validate_instance(schema, document) == []
+
+    def test_attribute_only_element(self):
+        schema = tree(element("E", attribute("id", required=True)))
+        document = generate_instance(schema)
+        assert document.get("id")
+        assert validate_instance(schema, document) == []
+
+
+class TestTranslationEdges:
+    def test_two_level_nested_repetition(self):
+        """Scoping holds through two levels of repeated records."""
+        builder = TreeBuilder("Orders")
+        with builder.node("Order", max_occurs=-1):
+            builder.leaf("Code", type_name="string")
+            with builder.node("Line", max_occurs=-1):
+                builder.leaf("Sku", type_name="string")
+        source_schema = builder.build()
+
+        builder = TreeBuilder("Auftraege")
+        with builder.node("Auftrag", max_occurs=-1):
+            builder.leaf("Kennung", type_name="string")
+            with builder.node("Position", max_occurs=-1):
+                builder.leaf("Artikel", type_name="string")
+        target_schema = builder.build()
+
+        mapping = Mapping([
+            ("Orders", "Auftraege"),
+            ("Orders/Order", "Auftraege/Auftrag"),
+            ("Orders/Order/Code", "Auftraege/Auftrag/Kennung"),
+            ("Orders/Order/Line", "Auftraege/Auftrag/Position"),
+            ("Orders/Order/Line/Sku", "Auftraege/Auftrag/Position/Artikel"),
+        ])
+        document = ET.fromstring(
+            "<Orders>"
+            "<Order><Code>A</Code>"
+            "<Line><Sku>a1</Sku></Line><Line><Sku>a2</Sku></Line></Order>"
+            "<Order><Code>B</Code><Line><Sku>b1</Sku></Line></Order>"
+            "</Orders>"
+        )
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        orders = output.findall("Auftrag")
+        assert [o.find("Kennung").text for o in orders] == ["A", "B"]
+        assert [p.find("Artikel").text
+                for p in orders[0].findall("Position")] == ["a1", "a2"]
+        assert [p.find("Artikel").text
+                for p in orders[1].findall("Position")] == ["b1"]
+
+    def test_document_not_matching_source_schema_yields_empty_shell(self, po1_tree, po2_tree):
+        mapping = Mapping.from_result(repro.match(po1_tree, po2_tree))
+        alien = ET.fromstring("<SomethingElse/>")
+        output = translate_instance(alien, po1_tree, po2_tree, mapping)
+        assert output.tag == "PurchaseOrder"
+        # Required leaves are emitted (empty); no values found.
+        assert all((leaf.text or "") == "" for leaf in output.iter()
+                   if len(leaf) == 0)
+
+
+class TestDtdXsdParity:
+    """The same schema expressed as DTD and XSD matches identically
+    enough for correspondences to agree (types aside)."""
+
+    DTD = (
+        "<!ELEMENT Order (Code, Items)>\n"
+        "<!ELEMENT Code (#PCDATA)>\n"
+        "<!ELEMENT Items (Item+)>\n"
+        "<!ELEMENT Item (#PCDATA)>\n"
+    )
+    XSD = (
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+        '<xs:element name="Order"><xs:complexType><xs:sequence>'
+        '<xs:element name="Code" type="xs:string"/>'
+        '<xs:element name="Items"><xs:complexType><xs:sequence>'
+        '<xs:element name="Item" type="xs:string" maxOccurs="unbounded"/>'
+        "</xs:sequence></xs:complexType></xs:element>"
+        "</xs:sequence></xs:complexType></xs:element></xs:schema>"
+    )
+
+    def test_same_paths(self):
+        from repro.xsd.parser import parse_xsd
+
+        dtd_tree = parse_dtd(self.DTD)
+        xsd_tree = parse_xsd(self.XSD)
+        assert [n.path for n in dtd_tree] == [n.path for n in xsd_tree]
+
+    def test_cross_format_match_is_perfect(self):
+        from repro.xsd.parser import parse_xsd
+
+        result = repro.match(parse_dtd(self.DTD), parse_xsd(self.XSD))
+        assert len(result.pairs) == 4  # Order, Code, Items, Item
+        assert all(s == t for s, t in result.pairs)
+
+
+class TestConfigEdges:
+    def test_structural_child_gate_validated(self):
+        with pytest.raises(ValueError, match="structural_child_gate"):
+            QMatchConfig(structural_child_gate=1.5)
+
+    def test_threshold_boundaries_accepted(self):
+        QMatchConfig(threshold=0.0)
+        QMatchConfig(threshold=1.0)
+
+    def test_gate_zero_admits_everything(self, po1_tree, po2_tree):
+        open_gate = QMatchMatcher(config=QMatchConfig(structural_child_gate=0.0))
+        closed_gate = QMatchMatcher(config=QMatchConfig(structural_child_gate=1.0))
+        pair = ("PO", "PurchaseOrder")
+        open_score = open_gate.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        closed_score = closed_gate.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        assert open_score >= closed_score

@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The slow studies (protein_scaling, schema_clustering, weight_tuning)
+are exercised by the benchmark suite's machinery instead; here we keep
+the quick examples from rotting as the API evolves.
+"""
+
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "purchase_order_integration.py",
+    "document_translation.py",
+    "custom_thesaurus.py",
+    "refinement_workflow.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, monkeypatch, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), script
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_qom(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Overall schema QoM" in output
+    assert "Lines" in output
+
+
+def test_document_translation_validates(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "document_translation.py"),
+                   run_name="__main__")
+    output = capsys.readouterr().out
+    assert "validates against the target schema" in output

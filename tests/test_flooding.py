@@ -1,0 +1,83 @@
+"""Unit tests for the similarity-flooding matcher."""
+
+import pytest
+
+from repro.structural.flooding import FloodingConfig, SimilarityFloodingMatcher
+from repro.xsd.builder import TreeBuilder, element, tree
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return SimilarityFloodingMatcher()
+
+
+class TestConfig:
+    def test_epsilon_positive(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            FloodingConfig(epsilon=0)
+
+    def test_iterations_positive(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            FloodingConfig(max_iterations=0)
+
+
+class TestFixpoint:
+    def test_scores_bounded_and_complete(self, matcher, po1_tree, po2_tree):
+        matrix = matcher.score_matrix(po1_tree, po2_tree)
+        assert len(matrix) == po1_tree.size * po2_tree.size
+        for _, score in matrix.items():
+            assert 0.0 <= score <= 1.0
+
+    def test_converges(self, po1_tree, po2_tree):
+        flooding = SimilarityFloodingMatcher(FloodingConfig(max_iterations=500))
+        flooding.score_matrix(po1_tree, po2_tree)
+        assert flooding.last_iterations < 500
+
+    def test_iteration_cap_respected(self, po1_tree, po2_tree):
+        flooding = SimilarityFloodingMatcher(
+            FloodingConfig(epsilon=1e-15, max_iterations=3)
+        )
+        flooding.score_matrix(po1_tree, po2_tree)
+        assert flooding.last_iterations == 3
+
+    def test_identical_trees_identity_wins(self, matcher, po1_tree):
+        """On a self-match, each node's best counterpart is itself."""
+        clone = po1_tree.copy()
+        matrix = matcher.score_matrix(po1_tree, clone)
+        for node in po1_tree:
+            best = matrix.best_for_source(node.path)
+            assert best is not None
+            assert matrix.get_by_path(node.path, node.path) == pytest.approx(
+                best[1]
+            ), node.path
+
+
+class TestStructuralPropagation:
+    def test_neighbours_reinforce(self, matcher):
+        """A label-ambiguous leaf is pulled toward the target whose
+        *parent* matches -- the flooding effect."""
+        source = tree(element(
+            "R",
+            element("orders", element("identifier", type_name="string")),
+            element("misc", element("note", type_name="string")),
+        ))
+        target = tree(element(
+            "R",
+            element("orders", element("identifer", type_name="string")),
+            element("other", element("identifer2", type_name="string")),
+        ))
+        matrix = matcher.score_matrix(source, target)
+        in_context = matrix.get_by_path("R/orders/identifier",
+                                        "R/orders/identifer")
+        out_of_context = matrix.get_by_path("R/orders/identifier",
+                                            "R/other/identifer2")
+        assert in_context > out_of_context
+
+    def test_end_to_end(self, matcher, po1_tree, po2_tree):
+        result = matcher.match(po1_tree, po2_tree)
+        assert result.algorithm == "flooding"
+        assert result.correspondences
+
+    def test_registered(self):
+        import repro
+        assert "flooding" in repro.ALGORITHMS

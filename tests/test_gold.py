@@ -1,0 +1,115 @@
+"""Unit tests for gold-standard mappings."""
+
+import pytest
+
+from repro.evaluation.gold import GoldMapping, GoldMappingError
+
+
+class TestBasics:
+    def test_construction_from_pairs(self):
+        mapping = GoldMapping([("a", "x"), ("b", "y")])
+        assert len(mapping) == 2
+        assert ("a", "x") in mapping
+
+    def test_iteration_sorted(self):
+        mapping = GoldMapping([("b", "y"), ("a", "x")])
+        assert list(mapping) == [("a", "x"), ("b", "y")]
+
+    def test_pairs_returns_copy(self):
+        mapping = GoldMapping([("a", "x")])
+        pairs = mapping.pairs
+        pairs.add(("q", "r"))
+        assert len(mapping) == 1
+
+    def test_source_and_target_paths(self):
+        mapping = GoldMapping([("a", "x"), ("b", "x")])
+        assert mapping.source_paths() == {"a", "b"}
+        assert mapping.target_paths() == {"x"}
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(GoldMappingError):
+            GoldMapping([("", "x")])
+
+
+class TestAlternates:
+    def test_alternate_registered(self):
+        mapping = GoldMapping([("a", "x")])
+        mapping.add_alternate(("a2", "x"), ("a", "x"))
+        assert mapping.alternates == {("a2", "x"): ("a", "x")}
+
+    def test_alternate_needs_existing_primary(self):
+        mapping = GoldMapping([("a", "x")])
+        with pytest.raises(GoldMappingError, match="unknown primary"):
+            mapping.add_alternate(("a2", "x"), ("zzz", "x"))
+
+    def test_alternate_cannot_be_primary(self):
+        mapping = GoldMapping([("a", "x"), ("b", "y")])
+        with pytest.raises(GoldMappingError, match="already a primary"):
+            mapping.add_alternate(("b", "y"), ("a", "x"))
+
+
+class TestPersistence:
+    def test_loads_pairs_and_comments(self):
+        mapping = GoldMapping.loads(
+            "# comment\n"
+            "a\tx\n"
+            "\n"
+            "b\ty\n"
+        )
+        assert mapping.pairs == {("a", "x"), ("b", "y")}
+
+    def test_hash_inside_label_preserved(self):
+        mapping = GoldMapping.loads("Items/Item#\tLines/Item\n")
+        assert ("Items/Item#", "Lines/Item") in mapping
+
+    def test_loads_alternates(self):
+        mapping = GoldMapping.loads(
+            "a\tx\n"
+            "alt\ta2\tx\ta\tx\n"
+        )
+        assert mapping.alternates == {("a2", "x"): ("a", "x")}
+
+    def test_alt_line_may_precede_primary(self):
+        mapping = GoldMapping.loads(
+            "alt\ta2\tx\ta\tx\n"
+            "a\tx\n"
+        )
+        assert mapping.alternates
+
+    def test_bad_field_count(self):
+        with pytest.raises(GoldMappingError, match=":1:"):
+            GoldMapping.loads("only-one-field\n")
+
+    def test_bad_alt_arity(self):
+        with pytest.raises(GoldMappingError, match="alt lines"):
+            GoldMapping.loads("alt\ta\tb\n")
+
+    def test_roundtrip(self, tmp_path):
+        mapping = GoldMapping([("a", "x"), ("b", "y")])
+        mapping.add_alternate(("a2", "x"), ("a", "x"))
+        path = tmp_path / "gold.tsv"
+        mapping.dump(path)
+        again = GoldMapping.load(path)
+        assert again.pairs == mapping.pairs
+        assert again.alternates == mapping.alternates
+
+
+class TestVerifyAgainst:
+    def test_valid_mapping_passes(self, po1_tree, po2_tree, po_gold):
+        assert po_gold.verify_against(po1_tree, po2_tree) is po_gold
+
+    def test_dangling_source_reported(self, po1_tree, po2_tree):
+        mapping = GoldMapping([("PO/Nope", "PurchaseOrder")])
+        with pytest.raises(GoldMappingError, match="source: PO/Nope"):
+            mapping.verify_against(po1_tree, po2_tree)
+
+    def test_dangling_target_reported(self, po1_tree, po2_tree):
+        mapping = GoldMapping([("PO", "PurchaseOrder/Nope")])
+        with pytest.raises(GoldMappingError, match="target: "):
+            mapping.verify_against(po1_tree, po2_tree)
+
+    def test_dangling_alternate_reported(self, po1_tree, po2_tree):
+        mapping = GoldMapping([("PO", "PurchaseOrder")])
+        mapping.add_alternate(("PO/Ghost", "PurchaseOrder"), ("PO", "PurchaseOrder"))
+        with pytest.raises(GoldMappingError, match="PO/Ghost"):
+            mapping.verify_against(po1_tree, po2_tree)

@@ -1,0 +1,105 @@
+"""Unit tests for the evaluation harness."""
+
+import pytest
+
+from repro.core.qmatch import QMatchMatcher
+from repro.evaluation.harness import (
+    MatchTask,
+    evaluate_all,
+    evaluate_matcher,
+    render_quality_rows,
+    render_table,
+)
+from repro.linguistic.matcher import LinguisticMatcher
+
+
+@pytest.fixture()
+def po_task(po1_tree, po2_tree, po_gold):
+    return MatchTask("PO", po1_tree, po2_tree, po_gold)
+
+
+class TestMatchTask:
+    def test_total_elements(self, po_task):
+        assert po_task.total_elements == 19
+
+    def test_gold_optional(self, po1_tree, po2_tree):
+        task = MatchTask("nogold", po1_tree, po2_tree)
+        row, result = evaluate_matcher(task, LinguisticMatcher())
+        assert row.quality is None
+        assert row.precision is None
+        assert result.correspondences
+
+
+class TestEvaluateMatcher:
+    def test_row_fields(self, po_task):
+        row, result = evaluate_matcher(po_task, QMatchMatcher())
+        assert row.task == "PO"
+        assert row.algorithm == "qmatch"
+        assert row.found == len(result.correspondences)
+        assert row.elapsed_seconds > 0
+        assert row.precision == 1.0
+        assert row.recall == 1.0
+        assert row.overall == 1.0
+
+    def test_threshold_forwarded(self, po_task):
+        lenient_row, _ = evaluate_matcher(po_task, LinguisticMatcher(),
+                                          threshold=0.1)
+        strict_row, _ = evaluate_matcher(po_task, LinguisticMatcher(),
+                                         threshold=0.99)
+        assert lenient_row.found > strict_row.found
+
+
+class TestEvaluateAll:
+    def test_cross_product(self, po_task):
+        rows = evaluate_all([po_task], [LinguisticMatcher(), QMatchMatcher()])
+        assert [(r.task, r.algorithm) for r in rows] == [
+            ("PO", "linguistic"), ("PO", "qmatch"),
+        ]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [("a", 1.23456), ("bbbb", None)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "1.235" in table
+        assert "-" in lines[3]  # None cell
+
+    def test_render_quality_rows(self, po_task):
+        rows = evaluate_all([po_task], [QMatchMatcher()])
+        text = render_quality_rows(rows)
+        assert "qmatch" in text
+        assert "precision" in text
+        assert "1.000" in text
+
+
+class TestMarkdownReport:
+    def test_table_and_winners(self, po_task):
+        from repro.core.qmatch import QMatchMatcher
+        from repro.evaluation.report import render_markdown_report
+        from repro.linguistic.matcher import LinguisticMatcher
+
+        rows = evaluate_all([po_task], [LinguisticMatcher(), QMatchMatcher()])
+        report = render_markdown_report(rows, title="Test run")
+        assert "## Test run" in report
+        assert "| task | algorithm |" in report
+        assert "### Winners" in report
+        assert "`qmatch` wins" in report
+
+    def test_none_cells_rendered(self):
+        from repro.evaluation.report import render_markdown_table
+
+        table = render_markdown_table(["a", "b"], [(None, 0.5)])
+        assert "—" in table
+        assert "0.500" in table
+
+    def test_no_gold_no_winners_section(self, po1_tree, po2_tree):
+        from repro.core.qmatch import QMatchMatcher
+        from repro.evaluation.report import render_markdown_report
+
+        rows = evaluate_all(
+            [MatchTask("nogold", po1_tree, po2_tree)], [QMatchMatcher()]
+        )
+        report = render_markdown_report(rows)
+        assert "### Winners" not in report

@@ -1,0 +1,154 @@
+"""Unit tests for incremental re-matching."""
+
+import pytest
+
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.matching.incremental import (
+    changed_source_paths,
+    incremental_qmatch,
+    node_fingerprint,
+)
+from repro.xsd.builder import TreeBuilder
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+from repro.xsd.model import SchemaNode
+
+
+def assert_matrices_equal(left, right):
+    left_scores = dict(left.items())
+    right_scores = dict(right.items())
+    assert left_scores.keys() == right_scores.keys()
+    for key in left_scores:
+        assert left_scores[key] == pytest.approx(right_scores[key]), key
+    assert left.categories == right.categories
+
+
+class TestFingerprint:
+    def test_deterministic(self, po1_tree):
+        assert node_fingerprint(po1_tree.root) == node_fingerprint(po1_tree.root)
+
+    def test_copy_has_same_fingerprint(self, po1_tree):
+        assert node_fingerprint(po1_tree.root) == \
+            node_fingerprint(po1_tree.copy().root)
+
+    def test_rename_changes_fingerprint(self, po1_tree):
+        clone = po1_tree.copy()
+        clone.find("PO/OrderNo").name = "OrderNumber"
+        assert node_fingerprint(po1_tree.root) != node_fingerprint(clone.root)
+
+    def test_property_change_changes_fingerprint(self, po1_tree):
+        clone = po1_tree.copy()
+        clone.find("PO/OrderNo").type_name = "decimal"
+        assert node_fingerprint(po1_tree.root) != node_fingerprint(clone.root)
+
+    def test_child_order_matters(self):
+        first = SchemaNode("R", children=[SchemaNode("a"), SchemaNode("b")])
+        second = SchemaNode("R", children=[SchemaNode("b"), SchemaNode("a")])
+        assert node_fingerprint(first) != node_fingerprint(second)
+
+
+class TestChangedPaths:
+    def test_identical_trees_nothing_changed(self, po1_tree):
+        assert changed_source_paths(po1_tree, po1_tree.copy()) == set()
+
+    def test_leaf_edit_marks_ancestors(self, po1_tree):
+        clone = po1_tree.copy()
+        clone.find("PO/PurchaseInfo/Lines/Quantity").type_name = "decimal"
+        changed = changed_source_paths(po1_tree, clone)
+        assert changed == {
+            "PO/PurchaseInfo/Lines/Quantity",
+            "PO/PurchaseInfo/Lines",
+            "PO/PurchaseInfo",
+            "PO",
+        }
+
+    def test_added_node_marks_itself_and_ancestors(self, po1_tree):
+        clone = po1_tree.copy()
+        clone.find("PO/PurchaseInfo").add_child(
+            SchemaNode("Notes", type_name="string")
+        )
+        changed = changed_source_paths(po1_tree, clone)
+        assert "PO/PurchaseInfo/Notes" in changed
+        assert "PO/PurchaseInfo" in changed
+        assert "PO/PurchaseInfo/Lines" not in changed
+
+
+class TestIncrementalEqualsFull:
+    @pytest.fixture()
+    def matcher(self):
+        return QMatchMatcher()
+
+    def edit_cases(self, po1_tree):
+        """A set of edits, each returning a fresh modified source."""
+        def rename_leaf():
+            clone = po1_tree.copy()
+            clone.find("PO/PurchaseInfo/Lines/Quantity").name = "Amount"
+            return clone
+
+        def retype_leaf():
+            clone = po1_tree.copy()
+            clone.find("PO/OrderNo").type_name = "string"
+            return clone
+
+        def add_subtree():
+            clone = po1_tree.copy()
+            parent = clone.find("PO/PurchaseInfo")
+            extra = SchemaNode("Remarks")
+            extra.add_child(SchemaNode("Note", type_name="string"))
+            parent.add_child(extra)
+            return clone
+
+        def drop_leaf():
+            clone = po1_tree.copy()
+            lines = clone.find("PO/PurchaseInfo/Lines")
+            lines.remove_child(clone.find("PO/PurchaseInfo/Lines/Item"))
+            return clone
+
+        return [rename_leaf, retype_leaf, add_subtree, drop_leaf]
+
+    def test_equivalence_for_every_edit(self, matcher, po1_tree, po2_tree):
+        old_matrix = matcher.score_matrix(po1_tree, po2_tree)
+        for edit in self.edit_cases(po1_tree):
+            new_source = edit()
+            incremental = incremental_qmatch(matcher, old_matrix, new_source)
+            full = matcher.score_matrix(new_source, po2_tree)
+            assert_matrices_equal(incremental, full)
+
+    def test_no_edit_reuses_everything(self, matcher, po1_tree, po2_tree):
+        old_matrix = matcher.score_matrix(po1_tree, po2_tree)
+        incremental = incremental_qmatch(
+            matcher, old_matrix, po1_tree.copy()
+        )
+        assert incremental.incremental_stats["recomputed"] == 0
+        assert incremental.incremental_stats["reused"] == po1_tree.size
+
+    def test_local_edit_recomputes_only_spine(self, matcher, po1_tree, po2_tree):
+        old_matrix = matcher.score_matrix(po1_tree, po2_tree)
+        clone = po1_tree.copy()
+        clone.find("PO/PurchaseInfo/Lines/Quantity").name = "Amount"
+        incremental = incremental_qmatch(matcher, old_matrix, clone)
+        # Quantity + Lines + PurchaseInfo + PO = 4 recomputed rows.
+        assert incremental.incremental_stats["recomputed"] == 4
+        assert incremental.incremental_stats["reused"] == po1_tree.size - 4
+
+    def test_equivalence_on_generated_schemas(self, matcher):
+        source = SchemaGenerator(
+            GeneratorConfig(n_nodes=40, max_depth=4, seed=12)
+        ).generate()
+        target = SchemaGenerator(
+            GeneratorConfig(n_nodes=35, max_depth=3, seed=13)
+        ).generate()
+        old_matrix = matcher.score_matrix(source, target)
+        edited = source.copy()
+        leaf = next(node for node in edited if node.is_leaf)
+        leaf.name = leaf.name + "Renamed"
+        incremental = incremental_qmatch(matcher, old_matrix, edited, target)
+        full = matcher.score_matrix(edited, target)
+        assert_matrices_equal(incremental, full)
+
+    def test_category_config_mismatch_rejected(self, po1_tree, po2_tree):
+        silent = QMatchMatcher(config=QMatchConfig(record_categories=False))
+        old_matrix = silent.score_matrix(po1_tree, po2_tree)
+        recording = QMatchMatcher()
+        with pytest.raises(ValueError, match="record_categories"):
+            incremental_qmatch(recording, old_matrix, po1_tree.copy())

@@ -1,0 +1,141 @@
+"""Unit tests for XML instance generation and validation."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.instances import (
+    InstanceConfig,
+    generate_instance,
+    generate_instance_text,
+    is_valid_instance,
+    validate_instance,
+)
+
+
+class TestGeneration:
+    def test_po1_instance_validates(self, po1_tree):
+        document = generate_instance(po1_tree)
+        assert validate_instance(po1_tree, document) == []
+
+    def test_article_instance_validates(self, article_tree):
+        document = generate_instance(article_tree)
+        assert validate_instance(article_tree, document) == []
+
+    def test_dcmd_instances_validate(self, dcmd_item_tree, dcmd_order_tree):
+        for schema in (dcmd_item_tree, dcmd_order_tree):
+            document = generate_instance(schema)
+            assert validate_instance(schema, document) == [], schema.name
+
+    def test_deterministic(self, po1_tree):
+        first = generate_instance_text(po1_tree, InstanceConfig(seed=5))
+        second = generate_instance_text(po1_tree, InstanceConfig(seed=5))
+        assert first == second
+
+    def test_different_seeds_differ(self, po1_tree):
+        first = generate_instance_text(po1_tree, InstanceConfig(seed=1))
+        second = generate_instance_text(po1_tree, InstanceConfig(seed=2))
+        assert first != second
+
+    def test_unbounded_capped(self, article_tree):
+        config = InstanceConfig(seed=3, max_repeats=2)
+        document = generate_instance(article_tree, config)
+        authors = document.find("Authors")
+        assert 1 <= len(authors.findall("Author")) <= 2
+
+    def test_typed_values(self, po1_tree):
+        document = generate_instance(po1_tree)
+        assert document.find("OrderNo").text.isdigit()
+        date_text = document.find("PurchaseDate").text
+        assert len(date_text.split("-")) == 3
+
+    def test_required_attributes_emitted(self):
+        schema = tree(element("E", element("child", type_name="string"),
+                              attribute("id", type_name="ID", required=True)))
+        document = generate_instance(schema)
+        assert "id" in document.attrib
+
+    def test_enumeration_respected(self):
+        schema = tree(element(
+            "E", type_name="string",
+            facets={"enumeration": ["red", "green"]},
+        ))
+        for seed in range(5):
+            document = generate_instance(schema, InstanceConfig(seed=seed))
+            assert document.text in ("red", "green")
+
+    def test_text_output_parses(self, article_tree):
+        text = generate_instance_text(article_tree)
+        parsed = ET.fromstring(text)
+        assert parsed.tag == "Article"
+
+
+class TestValidation:
+    def test_wrong_root(self, po1_tree):
+        violations = validate_instance(po1_tree, ET.Element("NotPO"))
+        assert any("root element" in v for v in violations)
+
+    def test_missing_required_child(self, po1_tree):
+        document = generate_instance(po1_tree)
+        order_no = document.find("OrderNo")
+        document.remove(order_no)
+        violations = validate_instance(po1_tree, document)
+        assert any("OrderNo" in v and "minOccurs" in v for v in violations)
+
+    def test_unexpected_child(self, po1_tree):
+        document = generate_instance(po1_tree)
+        ET.SubElement(document, "Smuggled")
+        violations = validate_instance(po1_tree, document)
+        assert any("Smuggled" in v for v in violations)
+
+    def test_too_many_occurrences(self, po1_tree):
+        document = generate_instance(po1_tree)
+        document.append(document.find("OrderNo"))
+        # append copies the reference; build a genuine second element:
+        extra = ET.SubElement(document, "OrderNo")
+        extra.text = "7"
+        violations = validate_instance(po1_tree, document)
+        assert any("maxOccurs" in v for v in violations)
+
+    def test_type_shape_checked(self, po1_tree):
+        document = generate_instance(po1_tree)
+        document.find("OrderNo").text = "not-a-number"
+        violations = validate_instance(po1_tree, document)
+        assert any("does not look like integer" in v for v in violations)
+
+    def test_missing_required_attribute(self):
+        schema = tree(element("E", element("child", type_name="string"),
+                              attribute("id", required=True)))
+        document = ET.Element("E")
+        ET.SubElement(document, "child").text = "x"
+        violations = validate_instance(schema, document)
+        assert any("required attribute" in v for v in violations)
+
+    def test_unexpected_attribute(self, po1_tree):
+        document = generate_instance(po1_tree)
+        document.set("bogus", "1")
+        violations = validate_instance(po1_tree, document)
+        assert any("unexpected attribute" in v for v in violations)
+
+    def test_enumeration_violation(self):
+        schema = tree(element(
+            "E", type_name="string",
+            facets={"enumeration": ["red", "green"]},
+        ))
+        document = ET.Element("E")
+        document.text = "blue"
+        violations = validate_instance(schema, document)
+        assert any("enumeration" in v for v in violations)
+
+    def test_leaf_with_children(self, po1_tree):
+        document = generate_instance(po1_tree)
+        ET.SubElement(document.find("OrderNo"), "nested")
+        violations = validate_instance(po1_tree, document)
+        assert any("leaf element" in v for v in violations)
+
+    def test_is_valid_helper(self, po1_tree):
+        document = generate_instance(po1_tree)
+        assert is_valid_instance(po1_tree, document)
+        document.find("OrderNo").text = "xyz"
+        assert not is_valid_instance(po1_tree, document)

@@ -1,0 +1,112 @@
+"""Cross-module integration tests.
+
+Exercise the full pipeline -- parse/serialize, match with every
+algorithm, evaluate against gold -- and pin the paper's headline claims
+on the fast evaluation pairs (the full protein-scale run lives in the
+benchmarks).
+"""
+
+import pytest
+
+import repro
+from repro.datasets import registry
+from repro.evaluation import evaluate_against_gold
+from repro.xsd.parser import parse_xsd
+from repro.xsd.serializer import to_xsd
+
+FAST_TASKS = ("PO", "Book", "DCMD")
+ALGORITHMS = ("linguistic", "structural", "qmatch")
+
+
+def overall_of(task, algorithm):
+    result = repro.match(task.source, task.target, algorithm=algorithm)
+    return evaluate_against_gold(result.pairs, task.gold).overall
+
+
+class TestHeadlineClaims:
+    """'QMatch outperforms the linguistic and structural algorithms both
+    in terms of accuracy and total matches discovered' (Section 7)."""
+
+    @pytest.mark.parametrize("task_name", FAST_TASKS)
+    def test_hybrid_beats_baselines_on_overall(self, task_name):
+        task = registry.task(task_name)
+        hybrid = overall_of(task, "qmatch")
+        linguistic = overall_of(task, "linguistic")
+        structural = overall_of(task, "structural")
+        assert hybrid > linguistic, task_name
+        assert hybrid > structural, task_name
+
+    @pytest.mark.parametrize("task_name", FAST_TASKS)
+    def test_hybrid_true_positives_at_least_baselines(self, task_name):
+        task = registry.task(task_name)
+        counts = {}
+        for algorithm in ALGORITHMS:
+            result = repro.match(task.source, task.target, algorithm=algorithm)
+            counts[algorithm] = evaluate_against_gold(
+                result.pairs, task.gold
+            ).true_positives
+        assert counts["qmatch"] >= counts["linguistic"]
+        assert counts["qmatch"] >= counts["structural"]
+
+    def test_po_pair_fully_recovered(self):
+        """On the paper's own Figure 1/2 pair QMatch finds exactly the
+        manual mapping."""
+        task = registry.task("PO")
+        result = repro.match(task.source, task.target)
+        quality = evaluate_against_gold(result.pairs, task.gold)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+
+
+class TestFigure9Claim:
+    """Structurally identical, linguistically disjoint schemas: the
+    hybrid score gravitates toward the higher (structural) score."""
+
+    def test_hybrid_gravitates_high(self):
+        task = registry.extreme_task()
+        scores = {
+            algorithm: repro.match(task.source, task.target,
+                                   algorithm=algorithm).tree_qom
+            for algorithm in ALGORITHMS
+        }
+        assert scores["linguistic"] < 0.4
+        assert scores["structural"] > 0.9
+        average = (scores["linguistic"] + scores["structural"]) / 2
+        assert scores["qmatch"] > average
+
+
+class TestPipelineRoundtrips:
+    @pytest.mark.parametrize("task_name", FAST_TASKS)
+    def test_serialize_parse_match_is_stable(self, task_name):
+        """Matching survives an XSD round-trip of both schemas."""
+        task = registry.task(task_name)
+        source = parse_xsd(to_xsd(task.source), name=task.source.name)
+        target = parse_xsd(to_xsd(task.target), name=task.target.name)
+        direct = repro.match(task.source, task.target)
+        roundtripped = repro.match(source, target)
+        assert roundtripped.pairs == direct.pairs
+
+    def test_all_algorithms_run_on_all_fast_tasks(self):
+        for task_name in FAST_TASKS:
+            task = registry.task(task_name)
+            for algorithm in ALGORITHMS + ("tree-edit",):
+                result = repro.match(task.source, task.target,
+                                     algorithm=algorithm)
+                assert result.algorithm == algorithm
+                assert 0.0 <= result.tree_qom <= 1.0
+
+
+class TestPublicApi:
+    def test_make_matcher_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            repro.make_matcher("psychic")
+
+    def test_match_accepts_kwargs(self, po1_tree, po2_tree):
+        result = repro.match(
+            po1_tree, po2_tree,
+            config=repro.QMatchConfig(threshold=0.7),
+        )
+        assert result.algorithm == "qmatch"
+
+    def test_version_exposed(self):
+        assert repro.__version__

@@ -1,0 +1,183 @@
+"""Unit tests for mapping construction and document translation."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+import repro
+from repro.mapping import Mapping, translate_instance, translate_instance_text
+from repro.mapping.mapping import MappingError
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.instances import generate_instance, validate_instance
+
+
+class TestMapping:
+    def test_bidirectional(self):
+        mapping = Mapping([("a/x", "b/y")])
+        assert mapping.target_for("a/x") == "b/y"
+        assert mapping.source_for("b/y") == "a/x"
+        assert mapping.target_for("missing") is None
+
+    def test_duplicate_source_rejected(self):
+        with pytest.raises(MappingError, match="mapped twice"):
+            Mapping([("a", "x"), ("a", "y")])
+
+    def test_duplicate_target_rejected(self):
+        with pytest.raises(MappingError, match="mapped twice"):
+            Mapping([("a", "x"), ("b", "x")])
+
+    def test_from_result(self, po1_tree, po2_tree):
+        result = repro.match(po1_tree, po2_tree)
+        mapping = Mapping.from_result(result)
+        assert len(mapping) == len(result.correspondences)
+        assert mapping.pairs == result.pairs
+
+    def test_iteration_sorted(self):
+        mapping = Mapping([("b", "y"), ("a", "x")])
+        assert list(mapping) == [("a", "x"), ("b", "y")]
+
+
+class TestPoTranslation:
+    """The flagship scenario: PO1 document -> PO2 layout via QMatch."""
+
+    @pytest.fixture()
+    def translated(self, po1_tree, po2_tree):
+        document = generate_instance(po1_tree)
+        mapping = Mapping.from_result(repro.match(po1_tree, po2_tree))
+        return document, translate_instance(document, po1_tree, po2_tree, mapping)
+
+    def test_layout_is_target_schema(self, translated, po2_tree):
+        _, output = translated
+        assert output.tag == "PurchaseOrder"
+        assert validate_instance(po2_tree, output) == []
+
+    def test_values_carried_over(self, translated):
+        source, output = translated
+        assert output.find("OrderNo").text == source.find("OrderNo").text
+        assert output.find("Date").text == source.find("PurchaseDate").text
+        assert output.find("Items/Qty").text == \
+            source.find("PurchaseInfo/Lines/Quantity").text
+
+    def test_nesting_flattened(self, translated):
+        """PO1 nests addresses under PurchaseInfo; PO2 puts them at the
+        top level -- translation must relocate the values."""
+        source, output = translated
+        assert output.find("BillTo").text == \
+            source.find("PurchaseInfo/BillingAddr").text
+        assert output.find("ShipTo").text == \
+            source.find("PurchaseInfo/ShippingAddr").text
+
+
+class TestScopedTranslation:
+    def test_repeated_records_translate_record_wise(self):
+        """Values stay inside their own record instead of flattening."""
+        source_schema = tree(element(
+            "Orders",
+            element("Order", element("Code", type_name="string"),
+                    element("Amount", type_name="integer"),
+                    max_occurs=-1),
+        ))
+        target_schema = tree(element(
+            "Bestellungen",
+            element("Bestellung", element("Kennung", type_name="string"),
+                    element("Summe", type_name="integer"),
+                    max_occurs=-1),
+        ))
+        mapping = Mapping([
+            ("Orders", "Bestellungen"),
+            ("Orders/Order", "Bestellungen/Bestellung"),
+            ("Orders/Order/Code", "Bestellungen/Bestellung/Kennung"),
+            ("Orders/Order/Amount", "Bestellungen/Bestellung/Summe"),
+        ])
+        document = ET.fromstring(
+            "<Orders>"
+            "<Order><Code>A</Code><Amount>1</Amount></Order>"
+            "<Order><Code>B</Code><Amount>2</Amount></Order>"
+            "</Orders>"
+        )
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        records = output.findall("Bestellung")
+        assert len(records) == 2
+        assert [(r.find("Kennung").text, r.find("Summe").text)
+                for r in records] == [("A", "1"), ("B", "2")]
+
+    def test_attribute_to_element(self):
+        source_schema = tree(element(
+            "Item", element("name", type_name="string"),
+            attribute("sku", type_name="string", required=True),
+        ))
+        target_schema = tree(element(
+            "Product",
+            element("code", type_name="string"),
+            element("title", type_name="string"),
+        ))
+        mapping = Mapping([
+            ("Item", "Product"),
+            ("Item/sku", "Product/code"),
+            ("Item/name", "Product/title"),
+        ])
+        document = ET.fromstring('<Item sku="X9"><name>Widget</name></Item>')
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        assert output.find("code").text == "X9"
+        assert output.find("title").text == "Widget"
+
+    def test_element_to_attribute(self):
+        source_schema = tree(element(
+            "Product",
+            element("code", type_name="string"),
+        ))
+        target_schema = tree(element(
+            "Item", element("name", type_name="string", min_occurs=0),
+            attribute("sku", type_name="string", required=True),
+        ))
+        mapping = Mapping([("Product/code", "Item/sku")])
+        document = ET.fromstring("<Product><code>X9</code></Product>")
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        assert output.get("sku") == "X9"
+
+    def test_unmapped_required_leaf_emitted_empty(self):
+        source_schema = tree(element("S", element("a", type_name="string")))
+        target_schema = tree(element(
+            "T", element("a", type_name="string"),
+            element("mandatory", type_name="string"),
+        ))
+        mapping = Mapping([("S/a", "T/a")])
+        document = ET.fromstring("<S><a>v</a></S>")
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        assert output.find("mandatory") is not None
+        assert not (output.find("mandatory").text or "")
+
+    def test_unmapped_optional_omitted(self):
+        source_schema = tree(element("S", element("a", type_name="string")))
+        target_schema = tree(element(
+            "T", element("a", type_name="string"),
+            element("extra", type_name="string", min_occurs=0),
+        ))
+        mapping = Mapping([("S/a", "T/a")])
+        document = ET.fromstring("<S><a>v</a></S>")
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        assert output.find("extra") is None
+
+    def test_max_occurs_caps_copies(self):
+        source_schema = tree(element(
+            "S", element("v", type_name="string", max_occurs=-1),
+        ))
+        target_schema = tree(element(
+            "T", element("v", type_name="string", max_occurs=2),
+        ))
+        mapping = Mapping([("S/v", "T/v")])
+        document = ET.fromstring("<S><v>1</v><v>2</v><v>3</v></S>")
+        output = translate_instance(document, source_schema, target_schema,
+                                    mapping)
+        assert len(output.findall("v")) == 2
+
+    def test_text_helper(self, po1_tree, po2_tree):
+        document = generate_instance(po1_tree)
+        mapping = Mapping.from_result(repro.match(po1_tree, po2_tree))
+        text = translate_instance_text(document, po1_tree, po2_tree, mapping)
+        assert text.startswith("<PurchaseOrder>")

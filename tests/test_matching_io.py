@@ -1,0 +1,111 @@
+"""Unit tests for match-result persistence and diffing."""
+
+import pytest
+
+import repro
+from repro.matching.io import (
+    StoredResult,
+    diff_results,
+    result_from_json,
+    result_to_json,
+)
+from repro.matching.result import Correspondence
+
+
+@pytest.fixture(scope="module")
+def po_result(po1_tree, po2_tree):
+    return repro.match(po1_tree, po2_tree)
+
+
+class TestRoundtrip:
+    def test_pairs_survive(self, po_result):
+        loaded = result_from_json(result_to_json(po_result))
+        assert loaded.pairs == po_result.pairs
+
+    def test_metadata_survives(self, po_result):
+        loaded = result_from_json(result_to_json(po_result))
+        assert loaded.algorithm == "qmatch"
+        assert loaded.tree_qom == pytest.approx(po_result.tree_qom)
+        assert loaded.source_schema == "PO1"
+        assert loaded.target_schema == "PO2"
+
+    def test_categories_survive(self, po_result):
+        loaded = result_from_json(result_to_json(po_result))
+        assert all(c.category for c in loaded.correspondences)
+
+    def test_scores_survive(self, po_result):
+        loaded = result_from_json(result_to_json(po_result))
+        original = {c.as_tuple(): c.score for c in po_result.correspondences}
+        for correspondence in loaded.correspondences:
+            assert correspondence.score == pytest.approx(
+                original[correspondence.as_tuple()]
+            )
+
+    def test_unknown_version_rejected(self, po_result):
+        text = result_to_json(po_result).replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        with pytest.raises(ValueError, match="format version"):
+            result_from_json(text)
+
+
+def stored(*correspondences):
+    return StoredResult(
+        algorithm="test", tree_qom=0.5, source_schema="S", target_schema="T",
+        correspondences=tuple(correspondences),
+    )
+
+
+class TestDiff:
+    def test_identical_is_empty(self, po_result):
+        diff = diff_results(po_result, po_result)
+        assert diff.is_empty
+        assert diff.render() == "no differences"
+
+    def test_added_and_removed(self):
+        old = stored(Correspondence("a", "x", 0.9))
+        new = stored(Correspondence("b", "y", 0.8))
+        diff = diff_results(old, new)
+        assert [c.as_tuple() for c in diff.added] == [("b", "y")]
+        assert [c.as_tuple() for c in diff.removed] == [("a", "x")]
+        assert "+ b <-> y" in diff.render()
+        assert "- a <-> x" in diff.render()
+
+    def test_rescored(self):
+        old = stored(Correspondence("a", "x", 0.9))
+        new = stored(Correspondence("a", "x", 0.7))
+        diff = diff_results(old, new)
+        assert diff.rescored == ((("a", "x"), 0.9, 0.7),)
+        assert "0.900 -> 0.700" in diff.render()
+
+    def test_tolerance_suppresses_noise(self):
+        old = stored(Correspondence("a", "x", 0.9))
+        new = stored(Correspondence("a", "x", 0.9 + 1e-9))
+        assert diff_results(old, new).is_empty
+
+    def test_mixed_result_types(self, po_result):
+        """MatchResult diffs directly against a StoredResult."""
+        loaded = result_from_json(result_to_json(po_result))
+        assert diff_results(po_result, loaded).is_empty
+
+    def test_diff_detects_config_change(self, po1_tree, po2_tree, po_result):
+        strict = repro.match(po1_tree, po2_tree, threshold=0.95)
+        diff = diff_results(po_result, strict)
+        assert diff.removed  # fewer matches under the strict threshold
+
+
+class TestTopCandidates:
+    def test_top_candidates_ranked(self, po_result):
+        candidates = po_result.matrix.top_candidates(
+            "PO/PurchaseInfo/Lines/Quantity", k=3
+        )
+        assert len(candidates) == 3
+        scores = [score for _, score in candidates]
+        assert scores == sorted(scores, reverse=True)
+        assert candidates[0][0] == "PurchaseOrder/Items/Qty"
+
+    def test_unmatched_helpers(self, po_result):
+        assert po_result.unmatched_sources() == [
+            "PO/PurchaseInfo",  # its best target is taken by the root
+        ]
+        assert "PurchaseOrder/BillTo" not in po_result.unmatched_targets()

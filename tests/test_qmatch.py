@@ -1,0 +1,262 @@
+"""Unit and behaviour tests for the QMatch hybrid algorithm.
+
+The first class turns the paper's Section 2 walk-through of the PO /
+Purchase Order schemas into executable assertions; the rest covers the
+QoM model invariants and the configuration switches.
+"""
+
+import pytest
+
+from repro.core.config import QMatchConfig
+from repro.core.qmatch import QMatchMatcher
+from repro.core.taxonomy import CoverageLevel, MatchCategory
+from repro.core.weights import AxisWeights
+from repro.xsd.builder import TreeBuilder, element, tree
+
+
+@pytest.fixture(scope="module")
+def po_matrix(po1_tree, po2_tree):
+    matcher = QMatchMatcher()
+    return matcher, matcher.score_matrix(po1_tree, po2_tree)
+
+
+def category_of(matrix, source_path, target_path):
+    return MatchCategory(matrix.categories[(source_path, target_path)])
+
+
+class TestPaperWalkthrough:
+    """Section 2.2's PO vs Purchase Order examples."""
+
+    def test_orderno_leaf_exact(self, po_matrix, po1_tree, po2_tree):
+        _, matrix = po_matrix
+        assert category_of(matrix, "PO/OrderNo", "PurchaseOrder/OrderNo") is \
+            MatchCategory.LEAF_EXACT
+        assert matrix.get_by_path("PO/OrderNo", "PurchaseOrder/OrderNo") == 1.0
+
+    def test_quantity_qty_leaf_relaxed(self, po_matrix):
+        _, matrix = po_matrix
+        assert category_of(
+            matrix, "PO/PurchaseInfo/Lines/Quantity", "PurchaseOrder/Items/Qty"
+        ) is MatchCategory.LEAF_RELAXED
+
+    def test_uom_leaf_relaxed(self, po_matrix):
+        _, matrix = po_matrix
+        assert category_of(
+            matrix, "PO/PurchaseInfo/Lines/UnitOfMeasure",
+            "PurchaseOrder/Items/UOM",
+        ) is MatchCategory.LEAF_RELAXED
+
+    def test_lines_items_total_relaxed(self, po_matrix):
+        """'the QoM of the match between Lines and Items is said to be
+        total relaxed'"""
+        _, matrix = po_matrix
+        assert category_of(
+            matrix, "PO/PurchaseInfo/Lines", "PurchaseOrder/Items"
+        ) is MatchCategory.TOTAL_RELAXED
+
+    def test_purchaseinfo_purchaseorder_total_relaxed(self, po_matrix):
+        """'the node PurchaseInfo has a total relaxed match with the node
+        Purchase Order'"""
+        _, matrix = po_matrix
+        assert category_of(
+            matrix, "PO/PurchaseInfo", "PurchaseOrder"
+        ) is MatchCategory.TOTAL_RELAXED
+
+    def test_roots_total_relaxed(self, po_matrix):
+        """'the QoM for the match between the PO and Purchase root nodes
+        is said to be total relaxed'"""
+        _, matrix = po_matrix
+        assert category_of(matrix, "PO", "PurchaseOrder") is \
+            MatchCategory.TOTAL_RELAXED
+
+    def test_lines_items_level_mismatch(self, po_matrix, po1_tree, po2_tree):
+        """Lines (level 2) and Items (level 1) 'are at different levels'."""
+        assert po1_tree.find("PO/PurchaseInfo/Lines").level == 2
+        assert po2_tree.find("PurchaseOrder/Items").level == 1
+
+    def test_explain_breakdown(self, po_matrix, po1_tree, po2_tree):
+        matcher, matrix = po_matrix
+        breakdown = matcher.explain(
+            po1_tree, po2_tree,
+            "PO/PurchaseInfo/Lines", "PurchaseOrder/Items",
+            matrix=matrix,
+        )
+        assert breakdown.coverage is CoverageLevel.TOTAL
+        assert breakdown.matched_children == 3
+        assert breakdown.total_children == 3
+        assert breakdown.level_score == 0.0
+        assert 0.0 < breakdown.qom <= 1.0
+        assert "Lines" in str(breakdown)
+
+
+class TestQoMInvariants:
+    def test_identical_trees_score_one_at_root(self, po1_tree):
+        matcher = QMatchMatcher()
+        clone = po1_tree.copy()
+        matrix = matcher.score_matrix(po1_tree, clone)
+        assert matrix.get(po1_tree.root, clone.root) == pytest.approx(1.0)
+
+    def test_identical_trees_all_self_pairs_total_exact(self, po1_tree):
+        matcher = QMatchMatcher()
+        clone = po1_tree.copy()
+        matrix = matcher.score_matrix(po1_tree, clone)
+        for node in po1_tree:
+            category = MatchCategory(matrix.categories[(node.path, node.path)])
+            assert category in (MatchCategory.TOTAL_EXACT,
+                                MatchCategory.LEAF_EXACT), node.path
+
+    def test_scores_bounded(self, po_matrix):
+        _, matrix = po_matrix
+        for _, score in matrix.items():
+            assert 0.0 <= score <= 1.0
+
+    def test_matrix_complete(self, po_matrix, po1_tree, po2_tree):
+        _, matrix = po_matrix
+        assert len(matrix) == po1_tree.size * po2_tree.size
+
+    def test_leaf_vs_inner_gets_no_children_credit(self, po_matrix):
+        _, matrix = po_matrix
+        leaf_vs_inner = matrix.get_by_path("PO/OrderNo", "PurchaseOrder/Items")
+        leaf_vs_leaf = matrix.get_by_path("PO/OrderNo", "PurchaseOrder/OrderNo")
+        assert leaf_vs_inner < leaf_vs_leaf
+
+    def test_weights_shift_the_balance(self, po1_tree, po2_tree):
+        label_heavy = QMatchMatcher(config=QMatchConfig(
+            weights=AxisWeights(label=0.7, properties=0.1, level=0.1, children=0.1)
+        ))
+        children_heavy = QMatchMatcher(config=QMatchConfig(
+            weights=AxisWeights(label=0.1, properties=0.1, level=0.1, children=0.7)
+        ))
+        pair = ("PO/PurchaseInfo/Lines", "PurchaseOrder/Items")
+        # Lines/Items: modest label match, strong children match.
+        label_score = label_heavy.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        children_score = children_heavy.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        assert children_score > label_score
+
+
+class TestChildrenAxis:
+    def test_total_coverage(self, po_matrix, po1_tree, po2_tree):
+        matcher, matrix = po_matrix
+        breakdown = matcher.explain(
+            po1_tree, po2_tree, "PO/PurchaseInfo/Lines", "PurchaseOrder/Items",
+            matrix=matrix,
+        )
+        assert breakdown.coverage is CoverageLevel.TOTAL
+
+    def test_no_coverage_for_disjoint_children(self):
+        source = tree(element("S", element("alpha", type_name="date")))
+        target = tree(element("S", element("zzz", type_name="boolean")))
+        matcher = QMatchMatcher()
+        matrix = matcher.score_matrix(source, target)
+        # identical root labels, but the children cannot match.
+        category = MatchCategory(matrix.categories[("S", "S")])
+        assert category is MatchCategory.PARTIAL_RELAXED
+
+    def test_threshold_gates_child_matches(self, po1_tree, po2_tree):
+        lenient = QMatchMatcher(config=QMatchConfig(threshold=0.1))
+        strict = QMatchMatcher(config=QMatchConfig(threshold=0.99))
+        pair = ("PO/PurchaseInfo/Lines", "PurchaseOrder/Items")
+        lenient_score = lenient.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        strict_score = strict.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+        assert lenient_score > strict_score
+
+    def test_all_pairs_mode_double_counts(self):
+        """The literal pseudo-code lets one source child contribute via
+        several target children; the best-match reading counts it once."""
+        source = tree(element(
+            "R",
+            element("writer", type_name="string"),
+            element("unrelated", type_name="boolean"),
+        ))
+        target = tree(element(
+            "R",
+            element("writer", type_name="string"),
+            element("author", type_name="string"),  # synonym of writer
+        ))
+        best = QMatchMatcher(config=QMatchConfig(children_aggregation="best_match"))
+        literal = QMatchMatcher(config=QMatchConfig(children_aggregation="all_pairs"))
+        best_score = best.score_matrix(source, target).get_by_path("R", "R")
+        literal_score = literal.score_matrix(source, target).get_by_path("R", "R")
+        assert literal_score > best_score
+
+    def test_all_pairs_mode_stays_bounded(self, po1_tree, po2_tree):
+        literal = QMatchMatcher(config=QMatchConfig(children_aggregation="all_pairs"))
+        for _, score in literal.score_matrix(po1_tree, po2_tree).items():
+            assert 0.0 <= score <= 1.0
+
+
+class TestLeafLevelModes:
+    def test_constant_mode_ignores_leaf_levels(self):
+        source = tree(element("R", element("deep", element("x", type_name="string"))))
+        target = tree(element("R", element("x", type_name="string")))
+        constant = QMatchMatcher(config=QMatchConfig(leaf_level_mode="constant"))
+        computed = QMatchMatcher(config=QMatchConfig(leaf_level_mode="computed"))
+        pair = ("R/deep/x", "R/x")  # levels 2 vs 1
+        constant_score = constant.score_matrix(source, target).get_by_path(*pair)
+        computed_score = computed.score_matrix(source, target).get_by_path(*pair)
+        assert constant_score > computed_score
+
+    def test_modes_agree_at_equal_levels(self, po1_tree, po2_tree):
+        constant = QMatchMatcher(config=QMatchConfig(leaf_level_mode="constant"))
+        computed = QMatchMatcher(config=QMatchConfig(leaf_level_mode="computed"))
+        pair = ("PO/OrderNo", "PurchaseOrder/OrderNo")  # both level 1
+        assert constant.score_matrix(po1_tree, po2_tree).get_by_path(*pair) == \
+            computed.score_matrix(po1_tree, po2_tree).get_by_path(*pair)
+
+
+class TestConfigValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            QMatchConfig(threshold=1.5)
+
+    def test_bad_aggregation(self):
+        with pytest.raises(ValueError, match="children_aggregation"):
+            QMatchConfig(children_aggregation="sometimes")
+
+    def test_bad_leaf_level_mode(self):
+        with pytest.raises(ValueError, match="leaf_level_mode"):
+            QMatchConfig(leaf_level_mode="psychic")
+
+    def test_categories_can_be_disabled(self, po1_tree, po2_tree):
+        matcher = QMatchMatcher(config=QMatchConfig(record_categories=False))
+        matrix = matcher.score_matrix(po1_tree, po2_tree)
+        assert matrix.categories is None
+        # match() still works without categories.
+        result = matcher.match(po1_tree, po2_tree)
+        assert result.correspondences
+
+
+class TestExplain:
+    def test_missing_paths_raise(self, po1_tree, po2_tree):
+        matcher = QMatchMatcher()
+        with pytest.raises(KeyError, match="source"):
+            matcher.explain(po1_tree, po2_tree, "PO/Nope", "PurchaseOrder")
+        with pytest.raises(KeyError, match="target"):
+            matcher.explain(po1_tree, po2_tree, "PO", "PurchaseOrder/Nope")
+
+    def test_recomputes_matrix_when_missing(self, po1_tree, po2_tree):
+        matcher = QMatchMatcher()
+        breakdown = matcher.explain(po1_tree, po2_tree, "PO", "PurchaseOrder")
+        assert breakdown.qom > 0
+
+    def test_label_mechanism_surfaced(self, po1_tree, po2_tree):
+        matcher = QMatchMatcher()
+        breakdown = matcher.explain(
+            po1_tree, po2_tree,
+            "PO/PurchaseInfo/Lines/UnitOfMeasure", "PurchaseOrder/Items/UOM",
+        )
+        assert breakdown.label_mechanism == "acronym"
+
+
+class TestEndToEnd:
+    def test_po_match_finds_all_gold(self, po1_tree, po2_tree, po_gold):
+        result = QMatchMatcher().match(po1_tree, po2_tree)
+        assert po_gold.pairs <= result.pairs
+
+    def test_correspondences_carry_categories(self, po1_tree, po2_tree):
+        result = QMatchMatcher().match(po1_tree, po2_tree)
+        assert all(c.category is not None for c in result.correspondences)
+
+    def test_tree_qom_is_root_score(self, po1_tree, po2_tree):
+        result = QMatchMatcher().match(po1_tree, po2_tree)
+        assert result.tree_qom == result.matrix.get_by_path("PO", "PurchaseOrder")

@@ -1,0 +1,91 @@
+"""Unit tests for feedback-driven refinement."""
+
+import pytest
+
+import repro
+from repro.matching.refine import RefinementError, refine
+
+
+@pytest.fixture(scope="module")
+def po_result(po1_tree, po2_tree):
+    return repro.match(po1_tree, po2_tree)
+
+
+class TestConstraints:
+    def test_no_feedback_reproduces_result(self, po_result):
+        refined = refine(po_result, strategy="hierarchical")
+        assert refined.pairs == po_result.pairs
+
+    def test_accepted_pair_forced(self, po_result):
+        # Force a pairing the matcher did not choose.
+        forced = ("PO/PurchaseInfo", "PurchaseOrder/Items")
+        refined = refine(po_result, accepted=[forced])
+        assert forced in refined.pairs
+        # Its endpoints are excluded from further selection.
+        assert sum(1 for s, _ in refined.pairs if s == forced[0]) == 1
+        assert sum(1 for _, t in refined.pairs if t == forced[1]) == 1
+
+    def test_accepted_pair_ignores_threshold(self, po_result):
+        forced = ("PO/OrderNo", "PurchaseOrder/Date")  # a bad pairing
+        refined = refine(po_result, accepted=[forced], threshold=0.99)
+        assert forced in refined.pairs
+
+    def test_rejected_pair_excluded(self, po_result):
+        rejected = ("PO/OrderNo", "PurchaseOrder/OrderNo")
+        refined = refine(po_result, rejected=[rejected])
+        assert rejected not in refined.pairs
+        # The freed endpoints may re-pair elsewhere, but not with each
+        # other.
+        assert all(pair != rejected for pair in refined.pairs)
+
+    def test_rejection_lets_runner_up_win(self, po_result):
+        """Rejecting the winner promotes the runner-up target."""
+        source = "PO/PurchaseInfo/Lines/Quantity"
+        winner = po_result.correspondence_for(source).target_path
+        refined = refine(po_result, rejected=[(source, winner)])
+        new = refined.correspondence_for(source)
+        if new is not None:  # a runner-up above threshold existed
+            assert new.target_path != winner
+
+    def test_algorithm_tagged(self, po_result):
+        assert refine(po_result).algorithm == "qmatch+feedback"
+
+    def test_matrix_shared_not_recomputed(self, po_result):
+        assert refine(po_result).matrix is po_result.matrix
+
+
+class TestValidation:
+    def test_accept_and_reject_same_pair(self, po_result):
+        pair = ("PO/OrderNo", "PurchaseOrder/OrderNo")
+        with pytest.raises(RefinementError, match="both accepted and rejected"):
+            refine(po_result, accepted=[pair], rejected=[pair])
+
+    def test_conflicting_accepts_source(self, po_result):
+        with pytest.raises(RefinementError, match="share source"):
+            refine(po_result, accepted=[
+                ("PO/OrderNo", "PurchaseOrder/OrderNo"),
+                ("PO/OrderNo", "PurchaseOrder/Date"),
+            ])
+
+    def test_conflicting_accepts_target(self, po_result):
+        with pytest.raises(RefinementError, match="share target"):
+            refine(po_result, accepted=[
+                ("PO/OrderNo", "PurchaseOrder/OrderNo"),
+                ("PO/PurchaseDate", "PurchaseOrder/OrderNo"),
+            ])
+
+
+class TestIterativeWorkflow:
+    def test_feedback_loop_converges_to_gold(self, po1_tree, po2_tree, po_gold):
+        """Rejecting every false pair and re-refining reaches the gold
+        mapping (there is none to reject here, so emulate with a
+        degraded first pass)."""
+        loose = repro.match(po1_tree, po2_tree, algorithm="structural")
+        rejected = [
+            pair for pair in loose.pairs if pair not in po_gold.pairs
+        ]
+        refined = refine(loose, rejected=rejected, threshold=0.5)
+        false_pairs = refined.pairs - po_gold.pairs
+        # One round of rejection strictly improves precision.
+        assert len(false_pairs) < len(rejected)
+        assert not (refined.pairs & set(rejected))

@@ -1,0 +1,152 @@
+"""Last-mile coverage: small code paths the focused suites skip."""
+
+import pytest
+
+import repro
+from repro.datasets import registry
+from repro.evaluation.tuning import TuningCase, sweep_weights
+from repro.linguistic.matcher import LinguisticConfig, LinguisticMatcher
+from repro.matching.io import result_to_json
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.errors import SchemaParseError
+
+
+class TestErrorFormatting:
+    def test_parse_error_location(self):
+        error = SchemaParseError("bad thing", location="schema/complexType[2]")
+        assert "bad thing" in str(error)
+        assert "at schema/complexType[2]" in str(error)
+        assert error.location == "schema/complexType[2]"
+
+    def test_parse_error_without_location(self):
+        error = SchemaParseError("bad thing")
+        assert str(error) == "bad thing"
+        assert error.location is None
+
+
+class TestRegistryTasks:
+    def test_domain_tasks_are_the_figure5_four(self):
+        names = [task.name for task in registry.domain_tasks()]
+        assert names == ["PO", "Book", "DCMD", "Protein"]
+
+    def test_tasks_are_cached(self):
+        assert registry.task("PO") is registry.task("PO")
+
+
+class TestLinguisticConfigEdges:
+    def test_custom_stopwords(self):
+        aggressive = LinguisticMatcher(config=LinguisticConfig(
+            stopwords=frozenset({"shipping"})
+        ))
+        default = LinguisticMatcher()
+        # With "shipping" stopped, ShippingAddress ~ Address becomes exact.
+        custom_score = aggressive.compare_labels(
+            "ShippingAddress", "Address"
+        ).score
+        default_score = default.compare_labels(
+            "ShippingAddress", "Address"
+        ).score
+        assert custom_score > default_score
+
+    def test_keep_numbers_off(self):
+        no_numbers = LinguisticMatcher(config=LinguisticConfig(
+            keep_numbers=False
+        ))
+        with_numbers = LinguisticMatcher()
+        # Without numeric tokens PO1 and PO2 collapse to the same PO
+        # acronym and score higher than when the digits discriminate.
+        assert no_numbers.compare_labels("PO1", "PO2").score > \
+            with_numbers.compare_labels("PO1", "PO2").score
+
+    def test_all_stopword_label_keeps_tokens(self):
+        matcher = LinguisticMatcher()
+        # "Of" is a stopword but the only token: it must survive.
+        comparison = matcher.compare_labels("Of", "Of")
+        assert comparison.score == 1.0
+
+
+class TestTuningEdges:
+    def test_range_of_unknown_axis(self, po1_tree, po2_tree):
+        result = sweep_weights(
+            [TuningCase("PO", po1_tree, po2_tree, 0.9)], step=0.25
+        )
+        with pytest.raises(KeyError):
+            result.range_of("momentum")
+
+
+class TestSerializerProperties:
+    def test_show_properties_lists_facets(self):
+        schema = tree(element(
+            "E", type_name="string",
+            facets={"maxLength": "5"},
+        ))
+        from repro.xsd.serializer import to_compact_text
+
+        text = to_compact_text(schema, show_properties=True)
+        assert "facets" in text
+
+    def test_unbounded_rendered_in_properties(self, article_tree):
+        from repro.xsd.serializer import to_compact_text
+
+        text = to_compact_text(article_tree, show_properties=True)
+        assert "max_occurs=unbounded" in text
+
+
+class TestIoEdges:
+    def test_compact_json(self, po1_tree, po2_tree):
+        result = repro.match(po1_tree, po2_tree)
+        compact = result_to_json(result, indent=None)
+        assert "\n" not in compact
+
+    def test_cli_json_for_extension_algorithm(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.xsd.serializer import to_xsd
+
+        source = tmp_path / "a.xsd"
+        source.write_text(to_xsd(repro.parse_dtd(
+            "<!ELEMENT r (x)>\n<!ELEMENT x (#PCDATA)>\n"
+        )), encoding="utf-8")
+        assert main(["match", str(source), str(source),
+                     "--algorithm", "cupid", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "cupid"
+
+
+class TestProteinGrowGuards:
+    def test_grow_rejects_shrinking(self):
+        from repro.datasets.protein import _grow
+        from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+
+        big = SchemaGenerator(
+            GeneratorConfig(n_nodes=50, max_depth=4, seed=1)
+        ).generate()
+        with pytest.raises(ValueError, match="more than"):
+            _grow(big, target_size=10, target_depth=4, seed=1)
+
+
+class TestStructuralAttributeChildren:
+    def test_attributes_participate_in_structure(self):
+        source = tree(element("E", element("v", type_name="string"),
+                              attribute("id", type_name="ID", required=True)))
+        target = tree(element("F", element("w", type_name="string"),
+                              attribute("key", type_name="ID", required=True)))
+        matrix = repro.StructuralMatcher().score_matrix(source, target)
+        # The ID attributes are each other's best structural partner.
+        assert matrix.get_by_path("E/id", "F/key") > \
+            matrix.get_by_path("E/id", "F/w")
+
+
+class TestClusteringTies:
+    def test_representative_tie_is_deterministic(self):
+        import networkx as nx
+
+        from repro.matching.clustering import representatives
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=0.9)
+        clusters = [["a", "b"]]
+        first = representatives(graph, clusters)
+        second = representatives(graph, clusters)
+        assert list(first) == list(second)

@@ -1,0 +1,132 @@
+"""Unit tests for mapping reuse (composition) and schema clustering."""
+
+import pytest
+
+import repro
+from repro.composite.reuse import compose_mappings, compose_results
+from repro.matching.clustering import (
+    cluster_schemas,
+    representatives,
+    similarity_graph,
+)
+from repro.matching.result import Correspondence
+from repro.xsd.builder import TreeBuilder
+
+
+def c(source, target, score):
+    return Correspondence(source, target, score)
+
+
+class TestComposition:
+    def test_basic_chain(self):
+        first = [c("a/x", "b/y", 0.9)]
+        second = [c("b/y", "c/z", 0.8)]
+        composed = compose_mappings(first, second)
+        assert len(composed) == 1
+        assert composed[0].as_tuple() == ("a/x", "c/z")
+        assert composed[0].score == pytest.approx(0.72)
+
+    def test_broken_chain_produces_nothing(self):
+        first = [c("a/x", "b/y", 0.9)]
+        second = [c("b/OTHER", "c/z", 0.8)]
+        assert compose_mappings(first, second) == []
+
+    def test_strongest_bridge_wins(self):
+        first = [c("a/x", "b/y1", 0.9), c("a/x", "b/y2", 0.5)]
+        second = [c("b/y1", "c/z", 0.5), c("b/y2", "c/z", 1.0)]
+        composed = compose_mappings(first, second)
+        assert len(composed) == 1
+        # 0.9*0.5 = 0.45 vs 0.5*1.0 = 0.5 -> the second bridge wins.
+        assert composed[0].score == pytest.approx(0.5)
+
+    def test_min_score_filters(self):
+        first = [c("a/x", "b/y", 0.6)]
+        second = [c("b/y", "c/z", 0.6)]
+        assert compose_mappings(first, second, min_score=0.5) == []
+
+    def test_sorted_output(self):
+        first = [c("a/1", "b/1", 0.5), c("a/2", "b/2", 0.9)]
+        second = [c("b/1", "c/1", 1.0), c("b/2", "c/2", 1.0)]
+        composed = compose_mappings(first, second)
+        assert [x.score for x in composed] == sorted(
+            (x.score for x in composed), reverse=True
+        )
+
+    def test_categories_dropped(self):
+        first = [Correspondence("a/x", "b/y", 0.9, category="leaf-exact")]
+        second = [Correspondence("b/y", "c/z", 0.9, category="leaf-exact")]
+        assert compose_mappings(first, second)[0].category is None
+
+    def test_compose_real_results(self, po1_tree, po2_tree):
+        """PO1 -> PO2 -> PO1 composition recovers identity-ish pairs."""
+        forward = repro.match(po1_tree, po2_tree)
+        backward = repro.match(po2_tree, po1_tree)
+        roundtrip = compose_results(forward, backward, min_score=0.25)
+        identity = [x for x in roundtrip if x.source_path == x.target_path]
+        # Most nodes come back to themselves through PO2.
+        assert len(identity) >= 7
+
+
+def small_schema(name, leaves):
+    builder = TreeBuilder(name)
+    for leaf_name, type_name in leaves:
+        builder.leaf(leaf_name, type_name=type_name)
+    return builder.build(name=name)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    order_a = small_schema("OrderA", [("OrderNo", "integer"),
+                                      ("Quantity", "integer"),
+                                      ("Price", "decimal")])
+    order_b = small_schema("OrderB", [("OrderNo", "integer"),
+                                      ("Qty", "integer"),
+                                      ("Cost", "decimal")])
+    person = small_schema("Person", [("FirstName", "string"),
+                                     ("LastName", "string"),
+                                     ("Email", "string")])
+    return [order_a, order_b, person]
+
+
+class TestClustering:
+    def test_graph_complete_and_weighted(self, corpus):
+        graph = similarity_graph(corpus)
+        assert set(graph.nodes) == {"OrderA", "OrderB", "Person"}
+        assert graph.number_of_edges() == 3
+        for _, _, data in graph.edges(data=True):
+            assert 0.0 <= data["weight"] <= 1.0
+
+    def test_similar_schemas_cluster_together(self, corpus):
+        graph = similarity_graph(corpus)
+        clusters = cluster_schemas(corpus, threshold=0.6, graph=graph)
+        by_member = {name: tuple(cluster)
+                     for cluster in clusters for name in cluster}
+        assert by_member["OrderA"] == by_member["OrderB"]
+        assert by_member["Person"] != by_member["OrderA"]
+
+    def test_threshold_one_isolates_everything(self, corpus):
+        graph = similarity_graph(corpus)
+        clusters = cluster_schemas(corpus, threshold=1.01, graph=graph)
+        assert all(len(cluster) == 1 for cluster in clusters)
+
+    def test_threshold_zero_merges_everything(self, corpus):
+        graph = similarity_graph(corpus)
+        clusters = cluster_schemas(corpus, threshold=0.0, graph=graph)
+        assert len(clusters) == 1
+
+    def test_clusters_sorted_largest_first(self, corpus):
+        clusters = cluster_schemas(corpus, threshold=0.6)
+        sizes = [len(cluster) for cluster in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_duplicate_names_rejected(self, corpus):
+        with pytest.raises(ValueError, match="unique"):
+            similarity_graph([corpus[0], corpus[0]])
+
+    def test_representatives(self, corpus):
+        graph = similarity_graph(corpus)
+        clusters = cluster_schemas(corpus, threshold=0.6, graph=graph)
+        chosen = representatives(graph, clusters)
+        assert sum(len(cluster) for cluster in chosen.values()) == 3
+        for representative, cluster in chosen.items():
+            assert representative in cluster

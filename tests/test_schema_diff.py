@@ -1,0 +1,98 @@
+"""Unit tests for the schema-evolution diff."""
+
+import pytest
+
+from repro.xsd.diff import diff_schemas
+from repro.xsd.model import SchemaNode
+
+
+class TestDiffSchemas:
+    def test_identical_versions(self, po1_tree):
+        diff = diff_schemas(po1_tree, po1_tree.copy())
+        assert diff.is_empty
+        assert len(diff.unchanged) == po1_tree.size
+        assert diff.render() == "no changes"
+
+    def test_added_leaf(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/PurchaseInfo").add_child(
+            SchemaNode("Notes", type_name="string")
+        )
+        diff = diff_schemas(po1_tree, new)
+        assert "PO/PurchaseInfo/Notes" in diff.added
+        assert not diff.removed
+        # Ancestors register as modified (their content changed).
+        assert "PO/PurchaseInfo" in diff.modified
+
+    def test_removed_leaf(self, po1_tree):
+        new = po1_tree.copy()
+        lines = new.find("PO/PurchaseInfo/Lines")
+        lines.remove_child(new.find("PO/PurchaseInfo/Lines/Item"))
+        diff = diff_schemas(po1_tree, new)
+        assert "PO/PurchaseInfo/Lines/Item" in diff.removed
+        assert not diff.added
+
+    def test_property_change_is_modified(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/OrderNo").type_name = "decimal"
+        diff = diff_schemas(po1_tree, new)
+        assert "PO/OrderNo" in diff.modified
+        assert not diff.added
+        assert not diff.removed
+
+    def test_rename_detected(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/PurchaseInfo/Lines/Quantity").name = "Qty"
+        diff = diff_schemas(po1_tree, new)
+        assert ("PO/PurchaseInfo/Lines/Quantity",
+                "PO/PurchaseInfo/Lines/Qty") in diff.renamed
+        assert not diff.added
+        assert not diff.removed
+
+    def test_unrelated_rename_is_add_plus_remove(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/OrderNo").name = "zzqq"
+        diff = diff_schemas(po1_tree, new)
+        assert not diff.renamed
+        assert "PO/zzqq" in diff.added
+        assert "PO/OrderNo" in diff.removed
+
+    def test_type_change_blocks_rename_pairing(self, po1_tree):
+        """Same-parent add/remove with incompatible leaf types is not a
+        rename."""
+        new = po1_tree.copy()
+        node = new.find("PO/OrderNo")
+        node.name = "OrderNumber"
+        node.type_name = "boolean"
+        diff = diff_schemas(po1_tree, new)
+        assert not any(old == "PO/OrderNo" for old, _ in diff.renamed)
+
+    def test_interior_rename_folds_subtree(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/PurchaseInfo/Lines").name = "LineItems"
+        diff = diff_schemas(po1_tree, new)
+        assert ("PO/PurchaseInfo/Lines",
+                "PO/PurchaseInfo/LineItems") in diff.renamed
+        # Descendants must not clutter added/removed.
+        assert not any("Lines/" in path for path in diff.removed)
+        assert not any("LineItems/" in path for path in diff.added)
+
+    def test_render_symbols(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/OrderNo").type_name = "decimal"
+        new.find("PO/PurchaseInfo").add_child(
+            SchemaNode("Extra", type_name="string")
+        )
+        text = diff_schemas(po1_tree, new).render()
+        assert "+ PO/PurchaseInfo/Extra" in text
+        assert "* PO/OrderNo (modified)" in text
+
+    def test_multiple_edits_classified_together(self, po1_tree):
+        new = po1_tree.copy()
+        new.find("PO/PurchaseDate").name = "Date"          # rename
+        new.find("PO/OrderNo").min_occurs = 0               # modify
+        new.root.add_child(SchemaNode("Currency", type_name="string"))
+        diff = diff_schemas(po1_tree, new)
+        assert ("PO/PurchaseDate", "PO/Date") in diff.renamed
+        assert "PO/OrderNo" in diff.modified
+        assert "PO/Currency" in diff.added

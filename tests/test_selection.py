@@ -1,0 +1,166 @@
+"""Unit tests for correspondence selection strategies."""
+
+import pytest
+
+from repro.matching.result import ScoreMatrix
+from repro.matching.selection import (
+    greedy_one_to_one,
+    hierarchical_greedy,
+    select_correspondences,
+    stable_marriage,
+    threshold_all_pairs,
+)
+from repro.xsd.builder import TreeBuilder
+
+
+def build(names_by_parent):
+    """Build a two-level tree: {parent: [leaves]}; parents under 'R'."""
+    builder = TreeBuilder("R")
+    for parent, leaves in names_by_parent.items():
+        if leaves is None:
+            builder.leaf(parent)
+            continue
+        with builder.node(parent):
+            for leaf in leaves:
+                builder.leaf(leaf)
+    return builder.build()
+
+
+@pytest.fixture()
+def simple_matrix():
+    source = build({"a": None, "b": None})
+    target = build({"x": None, "y": None})
+    matrix = ScoreMatrix(source, target)
+    matrix.set(source.find("R/a"), target.find("R/x"), 0.9)
+    matrix.set(source.find("R/a"), target.find("R/y"), 0.8)
+    matrix.set(source.find("R/b"), target.find("R/x"), 0.85)
+    matrix.set(source.find("R/b"), target.find("R/y"), 0.2)
+    matrix.set(source.root, target.root, 0.6)
+    return matrix
+
+
+class TestGreedy:
+    def test_one_to_one(self, simple_matrix):
+        selected = greedy_one_to_one(simple_matrix, threshold=0.5)
+        sources = [c.source_path for c in selected]
+        targets = [c.target_path for c in selected]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))
+
+    def test_highest_scores_win(self, simple_matrix):
+        selected = greedy_one_to_one(simple_matrix, threshold=0.5)
+        pairs = {c.as_tuple() for c in selected}
+        # a takes x (0.9); b then takes y but 0.2 < threshold -> b unmatched.
+        assert ("R/a", "R/x") in pairs
+        assert not any(c.source_path == "R/b" for c in selected)
+
+    def test_threshold_filters(self, simple_matrix):
+        assert greedy_one_to_one(simple_matrix, threshold=0.95) == []
+
+    def test_categories_attached(self, simple_matrix):
+        categories = {("R/a", "R/x"): "leaf-exact"}
+        selected = greedy_one_to_one(simple_matrix, threshold=0.5,
+                                     categories=categories)
+        chosen = next(c for c in selected if c.source_path == "R/a")
+        assert chosen.category == "leaf-exact"
+
+    def test_no_match_category_excluded(self, simple_matrix):
+        categories = {("R/a", "R/x"): "no-match"}
+        selected = greedy_one_to_one(simple_matrix, threshold=0.5,
+                                     categories=categories)
+        pairs = {c.as_tuple() for c in selected}
+        assert ("R/a", "R/x") not in pairs
+        # a falls back to y instead.
+        assert ("R/a", "R/y") in pairs
+
+    def test_deterministic_on_ties(self):
+        source = build({"a": None, "b": None})
+        target = build({"x": None, "y": None})
+        matrix = ScoreMatrix(source, target)
+        for s in ("R/a", "R/b"):
+            for t in ("R/x", "R/y"):
+                matrix.set(source.find(s), target.find(t), 0.7)
+        first = greedy_one_to_one(matrix, threshold=0.5)
+        second = greedy_one_to_one(matrix, threshold=0.5)
+        assert [c.as_tuple() for c in first] == [c.as_tuple() for c in second]
+        # Ties break by path order.
+        assert first[0].as_tuple() == ("R/a", "R/x")
+
+
+class TestHierarchical:
+    def test_parent_context_breaks_ties(self):
+        source = build({"authors": ["name"]})
+        target = build({"authors2": ["name"], "journal": ["name"]})
+        # Make target sibling names unique per parent; paths differ.
+        matrix = ScoreMatrix(source, target)
+        s_name = source.find("R/authors/name")
+        t_good = target.find("R/authors2/name")
+        t_bad = target.find("R/journal/name")
+        matrix.set(s_name, t_good, 0.9)
+        matrix.set(s_name, t_bad, 0.9)  # tie on leaf score
+        matrix.set(source.find("R/authors"), target.find("R/authors2"), 0.9)
+        matrix.set(source.find("R/authors"), target.find("R/journal"), 0.1)
+        selected = hierarchical_greedy(matrix, threshold=0.5)
+        chosen = next(c for c in selected if c.source_path == "R/authors/name")
+        assert chosen.target_path == "R/authors2/name"
+
+    def test_reported_score_is_original(self, simple_matrix):
+        selected = hierarchical_greedy(simple_matrix, threshold=0.5)
+        chosen = next(c for c in selected if c.source_path == "R/a")
+        assert chosen.score in (0.9, 0.8)
+
+    def test_zero_weight_equals_greedy(self, simple_matrix):
+        plain = greedy_one_to_one(simple_matrix, threshold=0.5)
+        hierarchical = hierarchical_greedy(simple_matrix, threshold=0.5,
+                                           parent_weight=0.0)
+        assert {c.as_tuple() for c in plain} == {c.as_tuple() for c in hierarchical}
+
+    def test_bad_weight_rejected(self, simple_matrix):
+        with pytest.raises(ValueError, match="parent_weight"):
+            hierarchical_greedy(simple_matrix, parent_weight=1.5)
+
+
+class TestStableMarriage:
+    def test_one_to_one(self, simple_matrix):
+        selected = stable_marriage(simple_matrix, threshold=0.1)
+        sources = [c.source_path for c in selected]
+        assert len(sources) == len(set(sources))
+
+    def test_no_blocking_pair(self, simple_matrix):
+        selected = stable_marriage(simple_matrix, threshold=0.1)
+        matched = {c.source_path: c.target_path for c in selected}
+        scores = dict(simple_matrix.items())
+        reverse = {t: s for s, t in matched.items()}
+        for (s, t), score in scores.items():
+            if matched.get(s) == t:
+                continue
+            current_s = scores.get((s, matched.get(s)), -1) if s in matched else -1
+            current_t = scores.get((reverse.get(t), t), -1) if t in reverse else -1
+            # A blocking pair prefers each other over current partners.
+            assert not (score > current_s and score > current_t), (s, t)
+
+    def test_respects_threshold(self, simple_matrix):
+        selected = stable_marriage(simple_matrix, threshold=0.95)
+        assert selected == []
+
+
+class TestThresholdAllPairs:
+    def test_many_to_many_allowed(self, simple_matrix):
+        selected = threshold_all_pairs(simple_matrix, threshold=0.5)
+        sources = [c.source_path for c in selected]
+        assert len(sources) != len(set(sources))  # a appears twice
+
+    def test_sorted_by_score(self, simple_matrix):
+        selected = threshold_all_pairs(simple_matrix, threshold=0.1)
+        scores = [c.score for c in selected]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("strategy", ["greedy", "hierarchical", "stable", "all"])
+    def test_known_strategies(self, simple_matrix, strategy):
+        select_correspondences(simple_matrix, strategy=strategy)
+
+    def test_unknown_strategy(self, simple_matrix):
+        with pytest.raises(ValueError, match="unknown selection strategy"):
+            select_correspondences(simple_matrix, strategy="psychic")

@@ -1,0 +1,100 @@
+"""Unit tests for the bootstrap significance machinery."""
+
+import pytest
+
+import repro
+from repro.datasets import registry
+from repro.evaluation.gold import GoldMapping
+from repro.evaluation.significance import (
+    bootstrap_overall,
+    compare_algorithms,
+)
+
+
+@pytest.fixture(scope="module")
+def po_predictions():
+    task = registry.task("PO")
+    return {
+        algorithm: repro.match(task.source, task.target,
+                               algorithm=algorithm).pairs
+        for algorithm in ("linguistic", "qmatch")
+    }, task.gold
+
+
+class TestBootstrapOverall:
+    def test_perfect_predictions_always_one(self):
+        gold = GoldMapping([("a", "x"), ("b", "y"), ("c", "z")])
+        summary = bootstrap_overall(gold.pairs, gold, replicates=200)
+        assert summary.point_estimate == pytest.approx(1.0)
+        assert summary.low == pytest.approx(1.0)
+        assert summary.high == pytest.approx(1.0)
+
+    def test_interval_brackets_point_estimate(self, po_predictions):
+        predictions, gold = po_predictions
+        summary = bootstrap_overall(predictions["linguistic"], gold,
+                                    replicates=300)
+        assert summary.low <= summary.point_estimate <= summary.high
+        assert summary.low < summary.high  # imperfect -> genuine spread
+
+    def test_deterministic_by_seed(self, po_predictions):
+        predictions, gold = po_predictions
+        first = bootstrap_overall(predictions["linguistic"], gold,
+                                  replicates=100, seed=7)
+        second = bootstrap_overall(predictions["linguistic"], gold,
+                                   replicates=100, seed=7)
+        assert (first.low, first.high) == (second.low, second.high)
+
+    def test_empty_gold_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            bootstrap_overall(set(), GoldMapping())
+
+    def test_alternates_count_as_coverage(self):
+        gold = GoldMapping([("a", "x"), ("b", "y")])
+        gold.add_alternate(("a2", "x"), ("a", "x"))
+        summary = bootstrap_overall({("a2", "x"), ("b", "y")}, gold,
+                                    replicates=100)
+        assert summary.point_estimate == pytest.approx(1.0)
+
+    def test_str(self, po_predictions):
+        predictions, gold = po_predictions
+        text = str(bootstrap_overall(predictions["qmatch"], gold,
+                                     replicates=50))
+        assert "reps" in text
+
+
+class TestPairedComparison:
+    def test_hybrid_beats_linguistic_consistently(self, po_predictions):
+        predictions, gold = po_predictions
+        comparison = compare_algorithms(
+            predictions["qmatch"], predictions["linguistic"], gold,
+            replicates=400,
+        )
+        # Hybrid is perfect on PO; linguistic has two misses + two FPs,
+        # so the hybrid wins in (almost) every replicate.
+        assert comparison.win_rate > 0.9
+        assert comparison.delta > 0
+        assert comparison.delta_low <= comparison.delta <= comparison.delta_high
+
+    def test_self_comparison_is_a_tie(self, po_predictions):
+        predictions, gold = po_predictions
+        comparison = compare_algorithms(
+            predictions["qmatch"], predictions["qmatch"], gold,
+            replicates=100,
+        )
+        assert comparison.win_rate == 0.0
+        assert comparison.delta == pytest.approx(0.0)
+
+    def test_paired_uses_same_resamples(self, po_predictions):
+        """Paired deltas have tighter spread than the naive difference
+        of independent intervals."""
+        predictions, gold = po_predictions
+        comparison = compare_algorithms(
+            predictions["qmatch"], predictions["linguistic"], gold,
+            replicates=400,
+        )
+        naive_spread = (
+            (comparison.first.high - comparison.first.low)
+            + (comparison.second.high - comparison.second.low)
+        )
+        paired_spread = comparison.delta_high - comparison.delta_low
+        assert paired_spread <= naive_spread + 1e-9

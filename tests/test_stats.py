@@ -1,0 +1,66 @@
+"""Unit tests for schema statistics."""
+
+import pytest
+
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.stats import schema_stats
+
+
+class TestSchemaStats:
+    def test_po1_profile(self, po1_tree):
+        stats = schema_stats(po1_tree)
+        assert stats.name == "PO1"
+        assert stats.total_nodes == 10
+        assert stats.element_count == 10
+        assert stats.attribute_count == 0
+        assert stats.leaf_count == 7
+        assert stats.inner_count == 3
+        assert stats.max_depth == 3
+
+    def test_depth_histogram(self, po1_tree):
+        stats = schema_stats(po1_tree)
+        # PO(0); OrderNo, PurchaseInfo, PurchaseDate(1);
+        # BillingAddr, ShippingAddr, Lines(2); Item, Quantity, UOM(3).
+        assert stats.depth_histogram == {0: 1, 1: 3, 2: 3, 3: 3}
+
+    def test_fanout(self, po1_tree):
+        stats = schema_stats(po1_tree)
+        assert stats.min_fanout == 3
+        assert stats.max_fanout == 3
+        assert stats.mean_fanout == pytest.approx(3.0)
+
+    def test_type_histogram(self, po1_tree):
+        stats = schema_stats(po1_tree)
+        assert stats.type_histogram["integer"] == 2
+        assert stats.type_histogram["date"] == 1
+        assert stats.type_histogram["string"] == 4
+
+    def test_attributes_counted(self):
+        schema = tree(element("E", element("child", type_name="string"),
+                              attribute("id", required=True)))
+        stats = schema_stats(schema)
+        assert stats.attribute_count == 1
+        assert stats.element_count == 2
+
+    def test_occurrence_counts(self, article_tree):
+        stats = schema_stats(article_tree)
+        assert stats.repeatable_nodes >= 2   # Author, Keyword unbounded
+        assert stats.optional_nodes >= 3     # Affiliation, Issue, Abstract, DOI
+
+    def test_label_metrics(self, po1_tree):
+        stats = schema_stats(po1_tree)
+        assert stats.distinct_labels == 10
+        assert stats.mean_label_tokens > 1.0  # PurchaseInfo etc. tokenize to 2
+
+    def test_render_mentions_key_numbers(self, po1_tree):
+        text = schema_stats(po1_tree).render()
+        assert "PO1" in text
+        assert "max depth       : 3" in text
+        assert "integer" in text
+
+    def test_single_node_schema(self):
+        stats = schema_stats(tree(element("Only", type_name="string")))
+        assert stats.total_nodes == 1
+        assert stats.leaf_count == 1
+        assert stats.min_fanout == 0
+        assert stats.mean_fanout == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for the string similarity metrics."""
+
+import pytest
+
+from repro.linguistic import string_metrics as sm
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("left,right,expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("abc", "", 3),
+        ("", "abc", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("abc", "abd", 1),
+    ])
+    def test_distance(self, left, right, expected):
+        assert sm.levenshtein_distance(left, right) == expected
+
+    def test_symmetric(self):
+        assert sm.levenshtein_distance("order", "ordre") == \
+            sm.levenshtein_distance("ordre", "order")
+
+    def test_similarity_bounds(self):
+        assert sm.levenshtein_similarity("", "") == 1.0
+        assert sm.levenshtein_similarity("abc", "abc") == 1.0
+        assert sm.levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "quantity", "qty", "quality"
+        assert sm.levenshtein_distance(a, c) <= (
+            sm.levenshtein_distance(a, b) + sm.levenshtein_distance(b, c)
+        )
+
+
+class TestJaro:
+    def test_identical(self):
+        assert sm.jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic example: MARTHA vs MARHTA = 0.944...
+        assert sm.jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert sm.jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert sm.jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        plain = sm.jaro_similarity("prefix", "prefax")
+        boosted = sm.jaro_winkler_similarity("prefix", "prefax")
+        assert boosted > plain
+
+    def test_winkler_known_value(self):
+        # MARTHA/MARHTA with p=0.1 and prefix 3 -> 0.9611
+        assert sm.jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    def test_winkler_bounds(self):
+        assert 0.0 <= sm.jaro_winkler_similarity("alpha", "omega") <= 1.0
+
+
+class TestNgram:
+    def test_identical(self):
+        assert sm.ngram_similarity("night", "night") == 1.0
+
+    def test_classic_dice(self):
+        # night vs nacht share one bigram (ht) out of 4+4.
+        assert sm.ngram_similarity("night", "nacht") == pytest.approx(0.25)
+
+    def test_short_strings_fall_back(self):
+        assert sm.ngram_similarity("a", "a") == 1.0
+        assert 0.0 <= sm.ngram_similarity("a", "b") <= 1.0
+
+    def test_symmetric(self):
+        assert sm.ngram_similarity("billing", "bill") == \
+            sm.ngram_similarity("bill", "billing")
+
+
+class TestLcs:
+    @pytest.mark.parametrize("left,right,expected", [
+        ("abcde", "ace", 3),
+        ("abc", "abc", 3),
+        ("abc", "xyz", 0),
+        ("", "abc", 0),
+    ])
+    def test_length(self, left, right, expected):
+        assert sm.longest_common_subsequence(left, right) == expected
+
+    def test_similarity_normalized(self):
+        assert sm.lcs_similarity("abcde", "ace") == pytest.approx(3 / 5)
+        assert sm.lcs_similarity("", "") == 1.0
+
+
+class TestPrefix:
+    def test_common_prefix_length(self):
+        assert sm.common_prefix_length("order", "ordinal") == 3
+        assert sm.common_prefix_length("abc", "xyz") == 0
+
+
+class TestAbbreviation:
+    @pytest.mark.parametrize("short,long,expected", [
+        ("qty", "quantity", True),
+        ("addr", "address", True),
+        ("no", "number", False),  # not a subsequence ('o' absent) -- the
+                                  # thesaurus abbreviation table covers it
+        ("num", "number", True),
+        ("desc", "description", True),
+        ("xyz", "quantity", False),     # wrong first letter
+        ("quantity", "qty", False),     # not shorter
+        ("tyq", "quantity", False),     # order broken: no y-then-q... wrong first letter too
+        ("qnty", "quantity", True),
+        ("", "quantity", False),
+    ])
+    def test_cases(self, short, long, expected):
+        assert sm.is_abbreviation_of(short, long) is expected
+
+
+class TestBlended:
+    def test_bounds(self):
+        for left, right in (("a", "b"), ("order", "ordre"), ("", "")):
+            assert 0.0 <= sm.blended_similarity(left, right) <= 1.0
+
+    def test_abbreviation_floor(self):
+        assert sm.blended_similarity("qty", "quantity") >= 0.75
+
+    def test_identical_is_one(self):
+        assert sm.blended_similarity("order", "order") == 1.0

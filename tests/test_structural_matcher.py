@@ -1,0 +1,130 @@
+"""Unit tests for the structural matcher."""
+
+import pytest
+
+from repro.structural.matcher import StructuralConfig, StructuralMatcher
+from repro.xsd.builder import TreeBuilder, element, tree
+from repro.xsd.model import NodeKind, SchemaNode
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return StructuralMatcher()
+
+
+def make_leaf(type_name="string", order=1, kind=NodeKind.ELEMENT,
+              min_occurs=1, max_occurs=1):
+    node = SchemaNode("leaf", kind=kind, type_name=type_name,
+                      min_occurs=min_occurs, max_occurs=max_occurs)
+    node.properties["order"] = order
+    return node
+
+
+class TestLeafSimilarity:
+    def test_identical_leaves_score_high(self, matcher):
+        assert matcher.leaf_similarity(make_leaf(), make_leaf()) >= 0.75
+
+    def test_same_type_beats_related_type(self, matcher):
+        same = matcher.leaf_similarity(make_leaf("integer"), make_leaf("integer"))
+        related = matcher.leaf_similarity(make_leaf("integer"), make_leaf("decimal"))
+        unrelated = matcher.leaf_similarity(make_leaf("integer"), make_leaf("string"))
+        assert same > related > unrelated
+
+    def test_equal_names_boost(self, matcher):
+        differently_named = make_leaf()
+        differently_named.name = "Other"
+        baseline = matcher.leaf_similarity(make_leaf(), differently_named)
+        assert matcher.leaf_similarity(make_leaf(), make_leaf()) > baseline
+
+    def test_order_proximity(self, matcher):
+        near = matcher.leaf_similarity(make_leaf(order=1), make_leaf(order=1))
+        far = matcher.leaf_similarity(make_leaf(order=1), make_leaf(order=5))
+        assert near > far
+
+    def test_kind_mismatch_penalized(self, matcher):
+        same = matcher.leaf_similarity(make_leaf(), make_leaf())
+        cross = matcher.leaf_similarity(
+            make_leaf(), make_leaf(kind=NodeKind.ATTRIBUTE, min_occurs=0)
+        )
+        assert cross < same
+
+    def test_bounds(self, matcher):
+        for type_b in ("string", "integer", "date"):
+            score = matcher.leaf_similarity(make_leaf("string"),
+                                            make_leaf(type_b, order=3))
+            assert 0.0 <= score <= 1.0
+
+
+class TestMatrix:
+    def test_complete(self, matcher, po1_tree, po2_tree):
+        matrix = matcher.score_matrix(po1_tree, po2_tree)
+        assert len(matrix) == po1_tree.size * po2_tree.size
+
+    def test_identical_trees_root_scores_one(self, matcher, po1_tree):
+        matrix = matcher.score_matrix(po1_tree, po1_tree.copy())
+        assert matrix.get(po1_tree.root, po1_tree.copy().root) == pytest.approx(1.0)
+
+    def test_extreme_pair_root_scores_one(self, matcher, library_tree, human_tree):
+        """Figure 7/8: structurally identical trees score 1 at the root."""
+        matrix = matcher.score_matrix(library_tree, human_tree)
+        assert matrix.get(library_tree.root, human_tree.root) == pytest.approx(1.0)
+
+    def test_label_blind_except_equality(self, matcher):
+        """Renaming every node (uniquely) must not change inner scores
+        when no names coincide either way."""
+        first = tree(element("A1", element("B1", type_name="integer"),
+                             element("C1", type_name="string")))
+        second = tree(element("A2", element("B2", type_name="integer"),
+                              element("C2", type_name="string")))
+        third = tree(element("A3", element("B3", type_name="integer"),
+                             element("C3", type_name="string")))
+        m12 = matcher.score_matrix(first, second)
+        m13 = matcher.score_matrix(first, third)
+        assert m12.get(first.root, second.root) == pytest.approx(
+            m13.get(first.root, third.root)
+        )
+
+    def test_subtree_shape_drives_inner_score(self, matcher):
+        builder = TreeBuilder("S")
+        with builder.node("g"):
+            builder.leaf("x", type_name="integer")
+            builder.leaf("y", type_name="date")
+        source = builder.build()
+
+        builder = TreeBuilder("T")
+        with builder.node("same"):
+            builder.leaf("p", type_name="integer")
+            builder.leaf("q", type_name="date")
+        with builder.node("different"):
+            builder.leaf("r", type_name="boolean")
+        target = builder.build()
+
+        matrix = matcher.score_matrix(source, target)
+        g = source.find("S/g")
+        assert matrix.get(g, target.find("T/same")) > matrix.get(
+            g, target.find("T/different")
+        )
+
+    def test_leaf_vs_inner_scores_lower_than_leaf_leaf(self, matcher, po1_tree, po2_tree):
+        matrix = matcher.score_matrix(po1_tree, po2_tree)
+        leaf = po1_tree.find("PO/OrderNo")
+        inner = po2_tree.find("PurchaseOrder/Items")
+        counterpart = po2_tree.find("PurchaseOrder/OrderNo")
+        assert matrix.get(leaf, inner) < matrix.get(leaf, counterpart)
+
+
+class TestConfig:
+    def test_blend_weights_validated(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            StructuralConfig(ssim_weight=0.9, arity_weight=0.9, height_weight=0.9)
+
+    def test_threshold_changes_strong_links(self, library_tree, human_tree):
+        lenient = StructuralMatcher(StructuralConfig(strong_link_threshold=0.1))
+        strict = StructuralMatcher(StructuralConfig(strong_link_threshold=0.999))
+        lenient_root = lenient.score_matrix(library_tree, human_tree).get(
+            library_tree.root, human_tree.root
+        )
+        strict_root = strict.score_matrix(library_tree, human_tree).get(
+            library_tree.root, human_tree.root
+        )
+        assert lenient_root > strict_root

@@ -1,0 +1,108 @@
+"""Unit tests for the XML match taxonomy (paper Section 2)."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    CoverageLevel,
+    MatchCategory,
+    classify_leaf,
+    classify_subtree,
+)
+from repro.matching.classes import MatchStrength, consensus
+
+E, R, N = MatchStrength.EXACT, MatchStrength.RELAXED, MatchStrength.NONE
+TOTAL, PARTIAL, NOCOV = (
+    CoverageLevel.TOTAL, CoverageLevel.PARTIAL, CoverageLevel.NONE
+)
+
+
+class TestMatchStrength:
+    def test_ordering(self):
+        assert N < R < E
+
+    def test_is_match(self):
+        assert E.is_match and R.is_match and not N.is_match
+
+    def test_consensus_all_exact(self):
+        assert consensus([E, E, E]) is E
+
+    def test_consensus_any_relaxed(self):
+        assert consensus([E, R, E]) is R
+
+    def test_consensus_any_none_kills(self):
+        assert consensus([E, R, N]) is N
+
+    def test_consensus_empty_is_exact(self):
+        assert consensus([]) is E
+
+    def test_str(self):
+        assert str(E) == "exact"
+
+
+class TestLeafClassification:
+    def test_exact_exact(self):
+        assert classify_leaf(E, E) is MatchCategory.LEAF_EXACT
+
+    def test_relaxed_label(self):
+        assert classify_leaf(R, E) is MatchCategory.LEAF_RELAXED
+
+    def test_relaxed_properties(self):
+        assert classify_leaf(E, R) is MatchCategory.LEAF_RELAXED
+
+    def test_both_relaxed(self):
+        assert classify_leaf(R, R) is MatchCategory.LEAF_RELAXED
+
+    def test_failed_properties_still_relaxed(self):
+        assert classify_leaf(E, N) is MatchCategory.LEAF_RELAXED
+
+    def test_no_label_is_no_match(self):
+        assert classify_leaf(N, E) is MatchCategory.NO_MATCH
+
+
+class TestSubtreeClassification:
+    def test_total_exact(self):
+        assert classify_subtree(E, E, E, TOTAL, E) is MatchCategory.TOTAL_EXACT
+
+    def test_total_relaxed_by_atomic_axis(self):
+        assert classify_subtree(R, E, E, TOTAL, E) is MatchCategory.TOTAL_RELAXED
+        assert classify_subtree(E, R, E, TOTAL, E) is MatchCategory.TOTAL_RELAXED
+        assert classify_subtree(E, E, N, TOTAL, E) is MatchCategory.TOTAL_RELAXED
+
+    def test_total_relaxed_by_children(self):
+        assert classify_subtree(E, E, E, TOTAL, R) is MatchCategory.TOTAL_RELAXED
+
+    def test_partial_exact(self):
+        assert classify_subtree(E, E, E, PARTIAL, E) is MatchCategory.PARTIAL_EXACT
+
+    def test_partial_relaxed(self):
+        assert classify_subtree(R, E, E, PARTIAL, E) is MatchCategory.PARTIAL_RELAXED
+        assert classify_subtree(E, E, E, PARTIAL, R) is MatchCategory.PARTIAL_RELAXED
+
+    def test_label_gate(self):
+        """No label evidence -> no match, regardless of coverage."""
+        assert classify_subtree(N, E, E, TOTAL, E) is MatchCategory.NO_MATCH
+        assert classify_subtree(N, E, E, PARTIAL, E) is MatchCategory.NO_MATCH
+        assert classify_subtree(N, E, E, NOCOV, N) is MatchCategory.NO_MATCH
+
+    def test_label_without_coverage_is_weakest_match(self):
+        assert classify_subtree(R, E, E, NOCOV, N) is MatchCategory.PARTIAL_RELAXED
+
+
+class TestCategoryHelpers:
+    def test_is_match(self):
+        assert MatchCategory.TOTAL_RELAXED.is_match
+        assert not MatchCategory.NO_MATCH.is_match
+
+    def test_is_exact_grades(self):
+        assert MatchCategory.LEAF_EXACT.is_exact
+        assert MatchCategory.TOTAL_EXACT.is_exact
+        assert not MatchCategory.PARTIAL_EXACT.is_exact
+        assert not MatchCategory.TOTAL_RELAXED.is_exact
+
+    def test_str_values(self):
+        assert str(MatchCategory.TOTAL_EXACT) == "total-exact"
+        assert str(CoverageLevel.PARTIAL) == "partial"
+
+    def test_roundtrip_by_value(self):
+        for category in MatchCategory:
+            assert MatchCategory(category.value) is category

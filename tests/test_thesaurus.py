@@ -1,0 +1,144 @@
+"""Unit tests for the thesaurus (the WordNet substitute)."""
+
+import pytest
+
+from repro.linguistic.thesaurus import Thesaurus, ThesaurusError
+
+
+@pytest.fixture()
+def custom():
+    thesaurus = Thesaurus()
+    thesaurus.add_synonyms(["writer", "author", "scribe"])
+    thesaurus.add_synonyms(["quantity", "amount"])
+    thesaurus.add_hypernym("book", "publication")
+    thesaurus.add_hypernym("article", "publication")
+    thesaurus.add_hypernym("publication", "document")
+    thesaurus.add_abbreviation("qty", "quantity")
+    thesaurus.add_acronym("uom", ["unit", "of", "measure"])
+    return thesaurus
+
+
+class TestSynonyms:
+    def test_word_is_its_own_synonym(self, custom):
+        assert custom.are_synonyms("writer", "writer")
+
+    def test_direct(self, custom):
+        assert custom.are_synonyms("writer", "author")
+
+    def test_transitive_within_set(self, custom):
+        assert custom.are_synonyms("author", "scribe")
+
+    def test_case_insensitive(self, custom):
+        assert custom.are_synonyms("Writer", "AUTHOR")
+
+    def test_unrelated(self, custom):
+        assert not custom.are_synonyms("writer", "book")
+
+    def test_via_abbreviation_expansion(self, custom):
+        assert custom.are_synonyms("qty", "amount")
+
+    def test_abbreviation_expansion_can_be_disabled(self, custom):
+        assert not custom.are_synonyms("qty", "amount",
+                                       expand_abbreviations=False)
+
+    def test_merging_sets(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_synonyms(["a", "b"])
+        thesaurus.add_synonyms(["b", "c"])
+        assert thesaurus.are_synonyms("a", "c")
+
+    def test_single_word_set_rejected(self):
+        with pytest.raises(ThesaurusError):
+            Thesaurus().add_synonyms(["lonely"])
+
+
+class TestHypernyms:
+    def test_direct_distance(self, custom):
+        assert custom.hypernym_distance("book", "publication") == 1
+
+    def test_reverse_direction(self, custom):
+        assert custom.hypernym_distance("publication", "book") == 1
+
+    def test_two_levels(self, custom):
+        assert custom.hypernym_distance("book", "document") == 2
+
+    def test_beyond_max_distance(self, custom):
+        assert custom.hypernym_distance("book", "document", max_distance=1) is None
+
+    def test_co_hyponyms(self, custom):
+        # article and book share the hypernym "publication" -> distance 2.
+        assert custom.hypernym_distance("article", "book") == 2
+
+    def test_unrelated(self, custom):
+        assert custom.hypernym_distance("book", "writer") is None
+
+    def test_case_insensitive(self, custom):
+        assert custom.hypernym_distance("Book", "PUBLICATION") == 1
+
+
+class TestExpansions:
+    def test_abbreviation(self, custom):
+        assert custom.expand_abbreviation("qty") == "quantity"
+        assert custom.expand_abbreviation("QTY") == "quantity"
+        assert custom.expand_abbreviation("nothere") is None
+
+    def test_acronym(self, custom):
+        assert custom.expand_acronym("uom") == ("unit", "of", "measure")
+        assert custom.expand_acronym("UOM") == ("unit", "of", "measure")
+        assert custom.expand_acronym("zzz") is None
+
+    def test_empty_acronym_rejected(self):
+        with pytest.raises(ThesaurusError):
+            Thesaurus().add_acronym("x", [])
+
+
+class TestLoading:
+    GOOD = (
+        "# comment line\n"
+        "syn\twriter\tauthor\n"
+        "hyp\tbook\tpublication\n"
+        "abbr\tqty\tquantity\n"
+        "acr\tuom\tunit of measure\n"
+        "\n"
+        "syn\talpha\tbeta\t# trailing comment\n"
+    )
+
+    def test_loads_all_record_kinds(self):
+        thesaurus = Thesaurus().loads(self.GOOD)
+        assert thesaurus.are_synonyms("writer", "author")
+        assert thesaurus.hypernym_distance("book", "publication") == 1
+        assert thesaurus.expand_abbreviation("qty") == "quantity"
+        assert thesaurus.expand_acronym("uom") == ("unit", "of", "measure")
+        assert thesaurus.are_synonyms("alpha", "beta")
+
+    def test_unknown_kind_reports_line(self):
+        with pytest.raises(ThesaurusError, match=":2:"):
+            Thesaurus().loads("syn\ta\tb\nbogus\tx\ty\n", source="f.tsv")
+
+    def test_hyp_arity_checked(self):
+        with pytest.raises(ThesaurusError, match="hyp"):
+            Thesaurus().loads("hyp\tonly\n")
+
+    def test_abbr_arity_checked(self):
+        with pytest.raises(ThesaurusError, match="abbr"):
+            Thesaurus().loads("abbr\ttoo\tmany\targs\n")
+
+
+class TestDefault:
+    def test_default_is_cached(self):
+        assert Thesaurus.default() is Thesaurus.default()
+
+    def test_default_covers_paper_vocabulary(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.expand_acronym("uom") == ("unit", "of", "measure")
+        assert thesaurus.expand_acronym("po") == ("purchase", "order")
+        assert thesaurus.expand_abbreviation("qty") == "quantity"
+        assert thesaurus.expand_abbreviation("addr") == "address"
+        assert thesaurus.are_synonyms("writer", "author")
+        assert thesaurus.hypernym_distance("line", "item") == 1
+        assert thesaurus.hypernym_distance("article", "book") == 2
+
+    def test_empty_has_no_entries(self):
+        empty = Thesaurus.empty()
+        assert not empty.are_synonyms("writer", "author")
+        assert empty.expand_acronym("uom") is None

@@ -1,0 +1,103 @@
+"""Unit tests for label tokenization."""
+
+import pytest
+
+from repro.linguistic.tokenizer import (
+    initials,
+    is_acronym_shaped,
+    normalize,
+    stem,
+    tokenize,
+)
+
+
+class TestTokenize:
+    @pytest.mark.parametrize("label,expected", [
+        ("PurchaseOrder", ["purchase", "order"]),
+        ("purchase_order", ["purchase", "order"]),
+        ("purchase-order", ["purchase", "order"]),
+        ("Purchase Order", ["purchase", "order"]),
+        ("purchase.order", ["purchase", "order"]),
+        ("Unit Of Measure", ["unit", "of", "measure"]),
+        ("UOMCode", ["uom", "code"]),
+        ("parseXMLDocument", ["parse", "xml", "document"]),
+        ("Item#", ["item"]),
+        ("PO1", ["po", "1"]),
+        ("order_no_2", ["order", "no", "2"]),
+        ("camelCase", ["camel", "case"]),
+        ("HTTPResponse", ["http", "response"]),
+        ("a", ["a"]),
+        ("first_name", ["first", "name"]),
+    ])
+    def test_cases(self, label, expected):
+        assert tokenize(label) == expected
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize(None) == []
+
+    def test_drop_numbers(self):
+        assert tokenize("PO1", keep_numbers=False) == ["po"]
+        assert tokenize("order2item", keep_numbers=False) == ["order", "item"]
+
+    def test_lowercased(self):
+        assert all(t == t.lower() for t in tokenize("MiXeD_CaSe_LaBeL"))
+
+    def test_punctuation_only(self):
+        assert tokenize("###") == []
+
+
+class TestNormalize:
+    def test_equivalent_conventions_collapse(self):
+        assert (
+            normalize("PurchaseOrder")
+            == normalize("purchase_order")
+            == normalize("Purchase Order")
+            == "purchaseorder"
+        )
+
+    def test_distinct_labels_stay_distinct(self):
+        assert normalize("PurchaseOrder") != normalize("SalesOrder")
+
+
+class TestStem:
+    @pytest.mark.parametrize("token,expected", [
+        ("lines", "line"),
+        ("items", "item"),
+        ("addresses", "address"),
+        ("billing", "bill"),
+        ("shipping", "ship"),
+        ("class", "class"),       # -ss protected
+        ("is", "is"),             # too short
+        ("categories", "category"),
+        ("status", "statu"),      # imperfect but harmless: symmetric use
+        ("name", "name"),
+    ])
+    def test_cases(self, token, expected):
+        assert stem(token) == expected
+
+    def test_idempotent_for_typical_words(self):
+        for word in ("line", "item", "address", "order", "quantity"):
+            assert stem(stem(word)) == stem(word)
+
+
+class TestAcronymHelpers:
+    @pytest.mark.parametrize("label,expected", [
+        ("UOM", True),
+        ("PO", True),
+        ("SKU", True),
+        ("PurchaseOrder", False),
+        ("Qty", True),     # all consonants
+        ("Date", False),
+        ("A", False),      # too short
+        ("ABCDEFG", False),  # too long
+    ])
+    def test_is_acronym_shaped(self, label, expected):
+        assert is_acronym_shaped(label) is expected
+
+    def test_initials(self):
+        assert initials(["unit", "of", "measure"]) == "uom"
+        assert initials(["purchase", "order"]) == "po"
+
+    def test_initials_skips_numbers(self):
+        assert initials(["order", "2", "go"]) == "og"

@@ -1,0 +1,100 @@
+"""Unit tests for thesaurus tooling."""
+
+import pytest
+
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tooling import (
+    merge_thesauri,
+    suggest_abbreviations,
+    thesaurus_to_tsv,
+)
+from repro.xsd.builder import TreeBuilder
+
+
+@pytest.fixture()
+def small_thesaurus():
+    thesaurus = Thesaurus()
+    thesaurus.add_synonyms(["writer", "author"])
+    thesaurus.add_hypernym("book", "publication")
+    thesaurus.add_abbreviation("qty", "quantity")
+    thesaurus.add_acronym("uom", ["unit", "of", "measure"])
+    return thesaurus
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_thesaurus):
+        text = thesaurus_to_tsv(small_thesaurus)
+        again = Thesaurus().loads(text)
+        assert again.are_synonyms("writer", "author")
+        assert again.hypernym_distance("book", "publication") == 1
+        assert again.expand_abbreviation("qty") == "quantity"
+        assert again.expand_acronym("uom") == ("unit", "of", "measure")
+
+    def test_empty_thesaurus(self):
+        assert thesaurus_to_tsv(Thesaurus()) == ""
+
+    def test_all_record_kinds_present(self, small_thesaurus):
+        text = thesaurus_to_tsv(small_thesaurus)
+        for kind in ("syn\t", "hyp\t", "abbr\t", "acr\t"):
+            assert kind in text, kind
+
+
+class TestMerge:
+    def test_merge_combines_knowledge(self, small_thesaurus):
+        other = Thesaurus().add_synonyms(["vendor", "supplier"])
+        merged = merge_thesauri([small_thesaurus, other])
+        assert merged.are_synonyms("writer", "author")
+        assert merged.are_synonyms("vendor", "supplier")
+
+    def test_merge_does_not_mutate_inputs(self, small_thesaurus):
+        other = Thesaurus().add_synonyms(["vendor", "supplier"])
+        merge_thesauri([small_thesaurus, other])
+        assert not small_thesaurus.are_synonyms("vendor", "supplier")
+
+    def test_merge_unions_synonym_classes(self):
+        first = Thesaurus().add_synonyms(["a1", "b1"])
+        second = Thesaurus().add_synonyms(["b1", "c1"])
+        merged = merge_thesauri([first, second])
+        assert merged.are_synonyms("a1", "c1")
+
+
+class TestSuggestions:
+    def build_schemas(self):
+        builder = TreeBuilder("Order")
+        builder.leaf("Quantity", type_name="integer")
+        builder.leaf("Description", type_name="string")
+        source = builder.build()
+
+        builder = TreeBuilder("Ord")
+        builder.leaf("Qty", type_name="integer")
+        builder.leaf("Desc", type_name="string")
+        target = builder.build()
+        return source, target
+
+    def test_finds_abbreviation_pairs(self):
+        suggestions = suggest_abbreviations(self.build_schemas())
+        assert ("qty", "quantity") in suggestions
+        assert ("desc", "description") in suggestions
+        assert ("ord", "order") in suggestions
+
+    def test_known_pairs_filtered(self):
+        known = Thesaurus().add_abbreviation("qty", "quantity")
+        suggestions = suggest_abbreviations(self.build_schemas(), known=known)
+        assert ("qty", "quantity") not in suggestions
+        assert ("desc", "description") in suggestions
+
+    def test_no_self_pairs(self):
+        suggestions = suggest_abbreviations(self.build_schemas())
+        assert all(short != long for short, long in suggestions)
+
+    def test_suggestions_feed_a_thesaurus(self):
+        """The mining -> review -> load loop works end to end."""
+        source, target = self.build_schemas()
+        thesaurus = Thesaurus()
+        for short, long in suggest_abbreviations((source, target)):
+            thesaurus.add_abbreviation(short, long)
+        import repro
+
+        matcher = repro.LinguisticMatcher(thesaurus=thesaurus)
+        comparison = matcher.compare_labels("Quantity", "Qty")
+        assert comparison.score >= 0.8

@@ -1,0 +1,128 @@
+"""Unit tests for the Zhang-Shasha tree edit distance."""
+
+import pytest
+
+from repro.structural.tree_edit import (
+    TreeEditConfig,
+    TreeEditMatcher,
+    tree_edit_distance,
+    tree_edit_similarity,
+)
+from repro.xsd.builder import TreeBuilder, element, tree
+
+
+def small(*leaf_specs, root="R"):
+    builder = TreeBuilder(root)
+    for name, type_name in leaf_specs:
+        builder.leaf(name, type_name=type_name)
+    return builder.build()
+
+
+LABEL_CONFIG = TreeEditConfig(relabel="label")
+
+
+class TestDistance:
+    def test_identical_trees_zero(self, po1_tree):
+        assert tree_edit_distance(po1_tree, po1_tree.copy(), LABEL_CONFIG) == 0.0
+
+    def test_single_rename_costs_one(self):
+        first = small(("a", "string"), ("b", "string"))
+        second = small(("a", "string"), ("c", "string"))
+        assert tree_edit_distance(first, second, LABEL_CONFIG) == 1.0
+
+    def test_single_insert_costs_one(self):
+        first = small(("a", "string"))
+        second = small(("a", "string"), ("b", "string"))
+        assert tree_edit_distance(first, second, LABEL_CONFIG) == 1.0
+
+    def test_single_delete_costs_one(self):
+        first = small(("a", "string"), ("b", "string"))
+        second = small(("a", "string"))
+        assert tree_edit_distance(first, second, LABEL_CONFIG) == 1.0
+
+    def test_completely_different_leaves(self):
+        first = small(("a", "string"), ("b", "string"))
+        second = small(("x", "string"), ("y", "string"), root="R")
+        # Root matches, two relabels.
+        assert tree_edit_distance(first, second, LABEL_CONFIG) == 2.0
+
+    def test_symmetric(self, po1_tree, po2_tree):
+        forward = tree_edit_distance(po1_tree, po2_tree, LABEL_CONFIG)
+        backward = tree_edit_distance(po2_tree, po1_tree, LABEL_CONFIG)
+        assert forward == backward
+
+    def test_nested_structure(self):
+        flat = small(("a", "string"), ("b", "string"))
+        builder = TreeBuilder("R")
+        with builder.node("wrap"):
+            builder.leaf("a", type_name="string")
+            builder.leaf("b", type_name="string")
+        nested = builder.build()
+        # One insertion (the wrap node) turns flat into nested.
+        assert tree_edit_distance(flat, nested, LABEL_CONFIG) == 1.0
+
+    def test_custom_costs(self):
+        first = small(("a", "string"))
+        second = small(("a", "string"), ("b", "string"))
+        expensive = TreeEditConfig(insert_cost=5.0, relabel="label")
+        assert tree_edit_distance(first, second, expensive) == 5.0
+
+
+class TestStructuralCostModel:
+    def test_rename_free_for_same_shape(self):
+        first = small(("a", "integer"))
+        second = small(("z", "integer"))
+        assert tree_edit_distance(first, second) == 0.0
+
+    def test_related_types_cost_half(self):
+        first = small(("a", "integer"))
+        second = small(("a", "decimal"))
+        assert tree_edit_distance(first, second) == 0.5
+
+    def test_unrelated_types_cost_one(self):
+        first = small(("a", "integer"))
+        second = small(("a", "string"))
+        assert tree_edit_distance(first, second) == 1.0
+
+    def test_extreme_pair_is_free(self, library_tree, human_tree):
+        """Figure 7/8 trees are structurally identical -> distance 0."""
+        assert tree_edit_distance(library_tree, human_tree) == 0.0
+
+
+class TestSimilarity:
+    def test_identical_is_one(self, po1_tree):
+        assert tree_edit_similarity(po1_tree, po1_tree.copy(), LABEL_CONFIG) == 1.0
+
+    def test_bounded(self, po1_tree, po2_tree):
+        assert 0.0 <= tree_edit_similarity(po1_tree, po2_tree) <= 1.0
+
+    def test_bad_relabel_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown relabel"):
+            tree_edit_distance(small(("a", "string")), small(("a", "string")),
+                               TreeEditConfig(relabel="bogus"))
+
+    def test_callable_relabel(self):
+        always_one = TreeEditConfig(relabel=lambda a, b: 1.0)
+        first = small(("a", "string"))
+        assert tree_edit_distance(first, first.copy(), always_one) == 2.0
+
+
+class TestMatcher:
+    def test_matrix_complete(self, po1_tree, po2_tree):
+        matrix = TreeEditMatcher().score_matrix(po1_tree, po2_tree)
+        assert len(matrix) == po1_tree.size * po2_tree.size
+
+    def test_identical_subtrees_score_one(self, po1_tree):
+        clone = po1_tree.copy()
+        matrix = TreeEditMatcher(LABEL_CONFIG).score_matrix(po1_tree, clone)
+        lines = po1_tree.find("PO/PurchaseInfo/Lines")
+        clone_lines = clone.find("PO/PurchaseInfo/Lines")
+        assert matrix.get(lines, clone_lines) == pytest.approx(1.0)
+
+    def test_matcher_name(self):
+        assert TreeEditMatcher().name == "tree-edit"
+
+    def test_match_end_to_end(self, po1_tree, po2_tree):
+        result = TreeEditMatcher().match(po1_tree, po2_tree)
+        assert result.algorithm == "tree-edit"
+        assert result.correspondences

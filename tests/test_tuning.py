@@ -1,0 +1,70 @@
+"""Unit tests for the weight-tuning sweep (Table 2 methodology)."""
+
+import pytest
+
+from repro.evaluation.tuning import TuningCase, sweep_weights, weight_grid
+
+
+class TestWeightGrid:
+    def test_all_points_sum_to_one(self):
+        for weights in weight_grid(step=0.2):
+            assert weights.total == pytest.approx(1.0)
+
+    def test_label_and_children_always_positive(self):
+        for weights in weight_grid(step=0.2):
+            assert weights.label > 0
+            assert weights.children > 0
+
+    def test_finer_step_more_points(self):
+        assert len(weight_grid(step=0.1)) > len(weight_grid(step=0.2))
+
+    def test_paper_weights_on_grid(self):
+        grid = weight_grid(step=0.1)
+        assert any(
+            w.as_tuple() == pytest.approx((0.3, 0.2, 0.1, 0.4)) for w in grid
+        )
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError, match="step"):
+            weight_grid(step=0.0)
+        with pytest.raises(ValueError, match="step"):
+            weight_grid(step=0.7)
+
+
+class TestTuningCase:
+    def test_expected_qom_validated(self, po1_tree, po2_tree):
+        with pytest.raises(ValueError, match="expected_qom"):
+            TuningCase("bad", po1_tree, po2_tree, expected_qom=1.5)
+
+
+class TestSweep:
+    def test_needs_cases(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep_weights([])
+
+    def test_sweep_finds_low_error(self, po1_tree, po2_tree):
+        cases = [TuningCase("PO", po1_tree, po2_tree, expected_qom=0.9)]
+        result = sweep_weights(cases, step=0.2)
+        assert result.best.mean_absolute_error <= min(
+            p.mean_absolute_error for p in result.points
+        )
+        assert result.points == tuple(
+            sorted(result.points, key=lambda p: (p.mean_absolute_error,
+                                                 p.weights.as_tuple()))
+        )
+
+    def test_good_ranges_bracket_best(self, po1_tree, po2_tree):
+        cases = [TuningCase("PO", po1_tree, po2_tree, expected_qom=0.9)]
+        result = sweep_weights(cases, step=0.2, tolerance=0.1)
+        for axis in ("label", "properties", "level", "children"):
+            low, high = result.range_of(axis)
+            assert low <= getattr(result.best.weights, axis) <= high
+
+    def test_identical_schemas_prefer_any_weights(self, po1_tree):
+        """A total-exact pair has QoM 1 under every weighting, so the
+        sweep error for expected 1.0 is ~0 everywhere."""
+        cases = [TuningCase("self", po1_tree, po1_tree.copy(), expected_qom=1.0)]
+        result = sweep_weights(cases, step=0.25)
+        assert result.best.mean_absolute_error == pytest.approx(0.0, abs=1e-9)
+        worst = max(p.mean_absolute_error for p in result.points)
+        assert worst == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,60 @@
+"""Unit tests for the axis weights."""
+
+import pytest
+
+from repro.core.weights import PAPER_WEIGHTS, UNIFORM_WEIGHTS, AxisWeights
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        """Table 2: label=0.3, properties=0.2, level=0.1, children=0.4."""
+        assert PAPER_WEIGHTS.label == 0.3
+        assert PAPER_WEIGHTS.properties == 0.2
+        assert PAPER_WEIGHTS.level == 0.1
+        assert PAPER_WEIGHTS.children == 0.4
+
+    def test_default_constructor_is_paper(self):
+        assert AxisWeights() == PAPER_WEIGHTS
+
+    def test_uniform_sums_to_one(self):
+        assert UNIFORM_WEIGHTS.total == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AxisWeights(label=0.5, properties=0.5, level=0.5, children=0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            AxisWeights(label=-0.1, properties=0.5, level=0.2, children=0.4)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_WEIGHTS.label = 0.9
+
+
+class TestConstruction:
+    def test_normalized(self):
+        weights = AxisWeights.normalized(3, 2, 1, 4)
+        assert weights == PAPER_WEIGHTS
+
+    def test_normalized_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            AxisWeights.normalized(0, 0, 0, 0)
+
+    def test_from_sequence(self):
+        assert AxisWeights.from_sequence([0.3, 0.2, 0.1, 0.4]) == PAPER_WEIGHTS
+
+    def test_from_sequence_wrong_arity(self):
+        with pytest.raises(ValueError, match="exactly 4"):
+            AxisWeights.from_sequence([0.5, 0.5])
+
+    def test_as_dict_and_tuple(self):
+        assert PAPER_WEIGHTS.as_dict() == {
+            "label": 0.3, "properties": 0.2, "level": 0.1, "children": 0.4,
+        }
+        assert PAPER_WEIGHTS.as_tuple() == (0.3, 0.2, 0.1, 0.4)
+
+    def test_str(self):
+        assert "L=0.3" in str(PAPER_WEIGHTS)

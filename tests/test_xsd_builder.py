@@ -1,0 +1,112 @@
+"""Unit tests for the tree builders."""
+
+import pytest
+
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.errors import SchemaValidationError
+from repro.xsd.model import NodeKind, UNBOUNDED
+
+
+class TestFunctionalStyle:
+    def test_element_nests_children(self):
+        root = element("R", element("a"), element("b", element("c")))
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.children[1].children[0].name == "c"
+
+    def test_element_forwards_occurs_and_properties(self):
+        node = element("X", type_name="integer", min_occurs=0, max_occurs=UNBOUNDED,
+                       documentation="a doc")
+        assert node.type_name == "integer"
+        assert node.min_occurs == 0
+        assert node.max_occurs == UNBOUNDED
+        assert node.properties["documentation"] == "a doc"
+
+    def test_attribute_is_leaf_attribute(self):
+        attr = attribute("id", type_name="ID", required=True)
+        assert attr.kind is NodeKind.ATTRIBUTE
+        assert attr.type_name == "ID"
+        assert attr.is_leaf
+
+    def test_tree_validates(self):
+        built = tree(element("R", element("a")), domain="d")
+        assert built.domain == "d"
+        assert built.size == 2
+
+    def test_tree_name_defaults_to_root(self):
+        assert tree(element("Root")).name == "Root"
+
+    def test_tree_rejects_invalid(self):
+        root = element("R", element("a"))
+        root.children[0].properties["min_occurs"] = 9
+        with pytest.raises(SchemaValidationError):
+            tree(root)
+
+
+class TestTreeBuilder:
+    def test_leaf_under_root(self):
+        builder = TreeBuilder("R")
+        builder.leaf("a", type_name="date")
+        built = builder.build()
+        assert built.find("R/a").type_name == "date"
+
+    def test_node_context_moves_cursor(self):
+        builder = TreeBuilder("R")
+        with builder.node("g"):
+            builder.leaf("x")
+        builder.leaf("y")
+        built = builder.build()
+        assert built.find("R/g/x") is not None
+        assert built.find("R/y") is not None
+        assert built.find("R/g/y") is None
+
+    def test_nested_contexts(self):
+        builder = TreeBuilder("R")
+        with builder.node("a"):
+            with builder.node("b"):
+                builder.leaf("c")
+        assert builder.build().find("R/a/b/c") is not None
+
+    def test_cursor_restored_after_exception(self):
+        builder = TreeBuilder("R")
+        with pytest.raises(RuntimeError):
+            with builder.node("g"):
+                raise RuntimeError("boom")
+        builder.leaf("after")
+        built = builder.build()
+        assert built.find("R/after") is not None
+        assert built.find("R/g/after") is None
+
+    def test_attr_helper(self):
+        builder = TreeBuilder("R")
+        builder.attr("id", required=True)
+        built = builder.build()
+        node = built.find("R/id")
+        assert node.is_attribute
+        assert node.min_occurs == 1
+
+    def test_leaf_returns_node(self):
+        builder = TreeBuilder("R")
+        leaf = builder.leaf("a")
+        assert leaf.name == "a"
+
+    def test_build_sets_metadata(self):
+        builder = TreeBuilder("R")
+        built = builder.build(name="MySchema", domain="dom",
+                              target_namespace="urn:x")
+        assert built.name == "MySchema"
+        assert built.domain == "dom"
+        assert built.target_namespace == "urn:x"
+
+    def test_root_properties(self):
+        builder = TreeBuilder("R", type_name="RootType", mixed=True)
+        built = builder.build()
+        assert built.root.type_name == "RootType"
+        assert built.root.properties["mixed"] is True
+
+    def test_sibling_order_assigned(self):
+        builder = TreeBuilder("R")
+        builder.leaf("a")
+        builder.leaf("b")
+        builder.leaf("c")
+        built = builder.build()
+        assert [c.order for c in built.root.children] == [1, 2, 3]

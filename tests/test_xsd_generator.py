@@ -1,0 +1,94 @@
+"""Unit tests for the synthetic schema generator."""
+
+import pytest
+
+from repro.xsd.errors import SchemaValidationError
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+
+
+def generate(**kwargs):
+    defaults = dict(n_nodes=50, max_depth=4, seed=7)
+    defaults.update(kwargs)
+    return SchemaGenerator(GeneratorConfig(**defaults)).generate()
+
+
+class TestExactness:
+    @pytest.mark.parametrize("n_nodes,max_depth", [
+        (10, 2), (50, 4), (231, 6), (500, 7),
+    ])
+    def test_exact_size_and_depth(self, n_nodes, max_depth):
+        generated = generate(n_nodes=n_nodes, max_depth=max_depth)
+        assert generated.size == n_nodes
+        assert generated.max_depth == max_depth
+
+    def test_minimal_tree(self):
+        generated = generate(n_nodes=3, max_depth=2)
+        assert generated.size == 3
+        assert generated.max_depth == 2
+
+    def test_tree_is_valid(self):
+        generate(n_nodes=120, max_depth=5).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        first = generate(seed=42)
+        second = generate(seed=42)
+        assert first.root.structurally_equal(second.root)
+
+    def test_different_seed_different_tree(self):
+        first = generate(seed=1)
+        second = generate(seed=2)
+        assert not first.root.structurally_equal(second.root)
+
+    def test_generator_reusable(self):
+        generator = SchemaGenerator(GeneratorConfig(n_nodes=30, max_depth=3, seed=5))
+        assert generator.generate().root.structurally_equal(
+            generator.generate().root
+        )
+
+
+class TestContent:
+    def test_leaves_have_types(self):
+        generated = generate()
+        for leaf in generated.leaves:
+            assert leaf.type_name is not None
+
+    def test_types_from_pool(self):
+        generated = generate(type_pool=("boolean",))
+        assert {leaf.type_name for leaf in generated.leaves} == {"boolean"}
+
+    def test_vocabulary_used(self):
+        generated = generate(vocabulary=("alpha", "beta"),
+                             compound_name_probability=0.0)
+        for node in generated:
+            if node is generated.root:
+                continue
+            base = node.name.rstrip("0123456789")
+            assert base in ("alpha", "beta")
+
+    def test_no_attributes_when_probability_zero(self):
+        generated = generate(attribute_probability=0.0)
+        assert all(not node.is_attribute for node in generated)
+
+    def test_root_name(self):
+        assert generate(root_name="Proteome").root.name == "Proteome"
+
+    def test_names_globally_unique(self):
+        generated = generate(n_nodes=200, max_depth=5)
+        names = [node.name for node in generated]
+        assert len(names) == len(set(names))
+
+
+class TestConfigValidation:
+    def test_too_few_nodes_for_depth(self):
+        with pytest.raises(SchemaValidationError, match="cannot fit"):
+            GeneratorConfig(n_nodes=3, max_depth=5)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(SchemaValidationError, match="max_depth"):
+            GeneratorConfig(n_nodes=10, max_depth=0)
+
+    def test_children_range_checked(self):
+        with pytest.raises(SchemaValidationError, match="min_children"):
+            GeneratorConfig(n_nodes=10, max_depth=2, min_children=5, max_children=2)

@@ -1,0 +1,142 @@
+"""Unit tests for the mutation engine and its gold-mapping tracking."""
+
+import pytest
+
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+from repro.xsd.mutations import MutationConfig, SchemaMutator
+from repro.xsd.builder import TreeBuilder
+
+
+@pytest.fixture()
+def base_tree():
+    return SchemaGenerator(
+        GeneratorConfig(n_nodes=60, max_depth=4, seed=3)
+    ).generate()
+
+
+def mutate(base, **kwargs):
+    config_kwargs = {"seed": 9}
+    config_kwargs.update(kwargs)
+    return SchemaMutator(MutationConfig(**config_kwargs)).mutate(base)
+
+
+class TestGoldTracking:
+    def test_identity_without_mutations(self, base_tree):
+        mutated, gold = mutate(base_tree, rename_probability=0.0)
+        assert len(gold) == base_tree.size
+        for source_path, target_path in gold:
+            assert source_path == target_path
+
+    def test_gold_paths_exist(self, base_tree):
+        mutated, gold = mutate(base_tree, rename_probability=0.5,
+                               shuffle_probability=0.3)
+        for source_path, target_path in gold:
+            assert base_tree.find(source_path) is not None, source_path
+            assert mutated.find(target_path) is not None, target_path
+
+    def test_renames_tracked(self, base_tree):
+        mutated, gold = mutate(base_tree, rename_probability=1.0)
+        renamed = [
+            (s, t) for s, t in gold
+            if s.rpartition("/")[2] != t.rpartition("/")[2]
+        ]
+        assert renamed, "expected renames at probability 1.0"
+
+    def test_drops_removed_from_gold(self, base_tree):
+        mutated, gold = mutate(base_tree, drop_probability=0.5)
+        assert mutated.size < base_tree.size
+        assert len(gold) == mutated.size  # no additions, only drops
+
+    def test_adds_absent_from_gold(self, base_tree):
+        mutated, gold = mutate(base_tree, rename_probability=0.0,
+                               add_probability=0.8)
+        assert mutated.size > base_tree.size
+        target_paths = {t for _, t in gold}
+        extra = [
+            node.path for node in mutated
+            if node.path not in target_paths
+        ]
+        assert all("extra" in path.rpartition("/")[2] for path in extra)
+
+    def test_source_tree_untouched(self, base_tree):
+        before = base_tree.root.copy()
+        mutate(base_tree, rename_probability=1.0, drop_probability=0.3,
+               shuffle_probability=0.5, wrap_probability=0.3)
+        assert base_tree.root.structurally_equal(before)
+
+
+class TestIndividualMutations:
+    def test_shuffle_preserves_size(self, base_tree):
+        mutated, _ = mutate(base_tree, rename_probability=0.0,
+                            shuffle_probability=1.0)
+        assert mutated.size == base_tree.size
+
+    def test_shuffle_changes_some_order(self, base_tree):
+        mutated, gold = mutate(base_tree, rename_probability=0.0,
+                               shuffle_probability=1.0)
+        changed = 0
+        for source_path, target_path in gold:
+            source = base_tree.find(source_path)
+            target = mutated.find(target_path)
+            if source.order != target.order:
+                changed += 1
+        assert changed > 0
+
+    def test_wrap_increases_depth_somewhere(self, base_tree):
+        mutated, _ = mutate(base_tree, rename_probability=0.0,
+                            wrap_probability=1.0)
+        assert mutated.max_depth > base_tree.max_depth
+
+    def test_retype_changes_leaf_types(self, base_tree):
+        mutated, gold = mutate(base_tree, rename_probability=0.0,
+                               retype_probability=1.0)
+        changed = sum(
+            1 for s, t in gold
+            if base_tree.find(s).is_leaf
+            and base_tree.find(s).type_name != mutated.find(t).type_name
+        )
+        assert changed > 0
+
+    def test_mutated_tree_is_valid(self, base_tree):
+        mutated, _ = mutate(base_tree, rename_probability=0.7,
+                            drop_probability=0.2, add_probability=0.2,
+                            shuffle_probability=0.5, wrap_probability=0.2)
+        mutated.validate()
+
+    def test_determinism(self, base_tree):
+        first, gold_first = mutate(base_tree, rename_probability=0.6,
+                                   shuffle_probability=0.4)
+        second, gold_second = mutate(base_tree, rename_probability=0.6,
+                                     shuffle_probability=0.4)
+        assert first.root.structurally_equal(second.root)
+        assert gold_first == gold_second
+
+
+class TestSiblingUniqueness:
+    def test_colliding_renames_disambiguated(self):
+        builder = TreeBuilder("R")
+        builder.leaf("alpha")
+        builder.leaf("beta")
+        base = builder.build()
+        mutator = SchemaMutator(
+            MutationConfig(seed=1, rename_probability=1.0),
+            rename=lambda name, rng: "same",
+        )
+        mutated, gold = mutator.mutate(base)
+        names = [c.name for c in mutated.root.children]
+        assert len(names) == len(set(names))
+        # Gold still resolves after disambiguation.
+        for _, target_path in gold:
+            assert mutated.find(target_path) is not None
+
+    def test_custom_rename_function_used(self):
+        builder = TreeBuilder("R")
+        builder.leaf("alpha")
+        base = builder.build()
+        mutator = SchemaMutator(
+            MutationConfig(seed=1, rename_probability=1.0),
+            rename=lambda name, rng: name.upper(),
+        )
+        mutated, _ = mutator.mutate(base)
+        assert mutated.root.name == "R".upper()
+        assert mutated.root.children[0].name == "ALPHA"

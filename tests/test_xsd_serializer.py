@@ -1,0 +1,107 @@
+"""Unit tests for XSD serialization and the compact text format."""
+
+import pytest
+
+from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.model import UNBOUNDED
+from repro.xsd.parser import parse_xsd
+from repro.xsd.serializer import to_compact_text, to_xsd
+
+
+def roundtrip(schema_tree):
+    return parse_xsd(to_xsd(schema_tree), name=schema_tree.name)
+
+
+class TestToXsd:
+    def test_roundtrip_preserves_shape(self, po1_tree):
+        again = roundtrip(po1_tree)
+        assert again.size == po1_tree.size
+        assert again.max_depth == po1_tree.max_depth
+        assert [n.path for n in again] == [n.path for n in po1_tree]
+
+    def test_roundtrip_preserves_types(self, po1_tree):
+        again = roundtrip(po1_tree)
+        for node, clone in zip(po1_tree, again):
+            assert node.type_name == clone.type_name, node.path
+
+    def test_roundtrip_preserves_occurs(self, article_tree):
+        again = roundtrip(article_tree)
+        author = again.find("Article/Authors/Author")
+        assert author.max_occurs == UNBOUNDED
+        assert again.find("Article/Abstract").min_occurs == 0
+
+    def test_attributes_serialized(self):
+        schema = tree(element("E", element("child", type_name="string"),
+                              attribute("id", type_name="ID", required=True)))
+        again = roundtrip(schema)
+        attr = again.find("E/id")
+        assert attr.is_attribute
+        assert attr.min_occurs == 1
+
+    def test_documentation_serialized(self):
+        schema = tree(element("E", type_name="string",
+                              documentation="the docs"))
+        assert roundtrip(schema).root.properties["documentation"] == "the docs"
+
+    def test_facets_serialized(self):
+        schema = tree(element(
+            "E", type_name="integer",
+            facets={"minInclusive": "0", "enumeration": ["1", "2"]},
+        ))
+        again = roundtrip(schema)
+        assert again.root.properties["facets"]["minInclusive"] == "0"
+        assert again.root.properties["facets"]["enumeration"] == ["1", "2"]
+
+    def test_custom_leaf_type_stays_parseable(self):
+        schema = tree(element("E", type_name="MyCustomThing"))
+        # Custom types are rendered as anonymous string restrictions so
+        # the output stays self-contained.
+        again = roundtrip(schema)
+        assert again.root.type_name == "string"
+
+    def test_target_namespace_emitted(self):
+        schema = tree(element("E", type_name="string"),
+                      target_namespace="urn:x")
+        assert roundtrip(schema).target_namespace == "urn:x"
+
+    def test_pretty_output_is_indented(self, po1_tree):
+        text = to_xsd(po1_tree, pretty=True)
+        assert "\n" in text
+        assert "  <" in text
+
+    def test_compact_output_single_line_elements(self, po1_tree):
+        text = to_xsd(po1_tree, pretty=False)
+        assert text.count("\n") == 0
+
+    def test_choice_compositor_preserved(self):
+        schema = tree(element("E", element("a", type_name="string"),
+                              compositor="choice"))
+        assert "choice" in to_xsd(schema)
+
+
+class TestCompactText:
+    def test_one_line_per_node(self, po1_tree):
+        text = to_compact_text(po1_tree)
+        assert len(text.splitlines()) == po1_tree.size
+
+    def test_indentation_tracks_depth(self, po1_tree):
+        lines = to_compact_text(po1_tree).splitlines()
+        assert lines[0].startswith("PO")
+        quantity_line = next(l for l in lines if "Quantity" in l)
+        assert quantity_line.startswith("      ")  # level 3
+
+    def test_types_shown(self, po1_tree):
+        text = to_compact_text(po1_tree)
+        assert "OrderNo : integer" in text
+
+    def test_attribute_marker(self):
+        schema = tree(element("E", attribute("id")))
+        assert "@id" in to_compact_text(schema)
+
+    def test_properties_hidden_by_default(self, article_tree):
+        assert "min_occurs" not in to_compact_text(article_tree)
+
+    def test_properties_shown_on_request(self, article_tree):
+        text = to_compact_text(article_tree, show_properties=True)
+        assert "min_occurs=0" in text
+        assert "max_occurs=unbounded" in text
