@@ -12,7 +12,6 @@ choices this reproduction had to make:
 - axis weights (paper's Table 2 vs uniform vs single-axis-heavy).
 """
 
-import pytest
 
 from repro.core.config import QMatchConfig
 from repro.core.qmatch import QMatchMatcher

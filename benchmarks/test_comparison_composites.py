@@ -21,7 +21,6 @@ composite beats its weakest constituent.
 
 import time
 
-import pytest
 
 import repro
 from repro.composite import CompositeMatcher, NameMatcher, NamePathMatcher, TypeMatcher

@@ -14,7 +14,6 @@ survives), and at full intensity -- where renames defeat the thesaurus
 phenomenon in sweep form.
 """
 
-import pytest
 
 import repro
 from repro.datasets.protein import (

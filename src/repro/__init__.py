@@ -13,9 +13,10 @@ Quickstart::
 
 Main entry points:
 
-- :func:`match` / :func:`make_matcher` -- run any of the three
-  algorithms (``"qmatch"``, ``"linguistic"``, ``"structural"``, plus the
-  ``"tree-edit"`` extra baseline);
+- :func:`match` / :func:`make_matcher` -- run any registered algorithm
+  by name (``"qmatch"``, ``"linguistic"``, ``"structural"``, the
+  related-work baselines, ... -- see :data:`ALGORITHMS`); names resolve
+  through :data:`repro.engine.DEFAULT_REGISTRY`;
 - :class:`QMatchMatcher`, :class:`QMatchConfig`, :class:`AxisWeights` --
   the configurable hybrid algorithm;
 - :func:`parse_xsd` / :func:`parse_xsd_file` and the builder helpers --
@@ -26,6 +27,14 @@ Main entry points:
 
 from repro.composite.combine import CompositeMatcher
 from repro.core.config import QMatchConfig
+from repro.engine.context import MatchContext
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    MatcherRegistry,
+    MatcherSpec,
+    register_default_matchers,
+)
+from repro.engine.stats import EngineStats
 from repro.cupid.matcher import CupidConfig, CupidMatcher
 from repro.core.qmatch import AxisBreakdown, QMatchMatcher
 from repro.core.taxonomy import CoverageLevel, MatchCategory
@@ -48,32 +57,17 @@ from repro.xsd.serializer import to_compact_text, to_xsd
 __version__ = "1.0.0"
 
 #: Registered algorithm names for :func:`make_matcher` / the CLI.
-ALGORITHMS = (
-    "qmatch", "linguistic", "structural", "tree-edit", "cupid", "flooding",
-)
+ALGORITHMS = DEFAULT_REGISTRY.names()
 
 
 def make_matcher(algorithm: str = "qmatch", **kwargs) -> Matcher:
     """Instantiate a matcher by algorithm name.
 
-    ``kwargs`` are forwarded to the matcher constructor (e.g.
+    Resolution goes through :data:`repro.engine.DEFAULT_REGISTRY`;
+    ``kwargs`` are forwarded to the registered factory (e.g.
     ``config=QMatchConfig(...)`` or ``thesaurus=...``).
     """
-    if algorithm == "qmatch":
-        return QMatchMatcher(**kwargs)
-    if algorithm == "linguistic":
-        return LinguisticMatcher(**kwargs)
-    if algorithm == "structural":
-        return StructuralMatcher(**kwargs)
-    if algorithm == "tree-edit":
-        return TreeEditMatcher(**kwargs)
-    if algorithm == "cupid":
-        return CupidMatcher(**kwargs)
-    if algorithm == "flooding":
-        return SimilarityFloodingMatcher(**kwargs)
-    raise ValueError(
-        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-    )
+    return DEFAULT_REGISTRY.create(algorithm, **kwargs)
 
 
 def match(source: SchemaTree, target: SchemaTree, algorithm: str = "qmatch",
@@ -96,7 +90,13 @@ __all__ = [
     "CompositeMatcher",
     "CupidConfig",
     "CupidMatcher",
+    "DEFAULT_REGISTRY",
+    "EngineStats",
+    "MatchContext",
+    "MatcherRegistry",
+    "MatcherSpec",
     "SimilarityFloodingMatcher",
+    "register_default_matchers",
     "AxisWeights",
     "Correspondence",
     "CoverageLevel",

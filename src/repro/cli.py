@@ -5,6 +5,7 @@ Subcommands::
     qmatch match a.xsd b.xsd [--algorithm qmatch] [--threshold 0.5]
                              [--weights 0.3,0.2,0.1,0.4]
                              [--format text|tsv|json] [--save out.json]
+                             [--stats]
     qmatch show a.xsd [--properties]
     qmatch stats a.xsd
     qmatch evaluate [--task PO Book DCMD Inventory] [--format markdown]
@@ -79,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--complex", action="store_true", dest="find_complex",
         help="also scan for 1:n / n:1 split correspondences",
     )
+    match_parser.add_argument(
+        "--stats", action="store_true", dest="show_stats",
+        help="print engine instrumentation (per-stage wall time, pair "
+             "counts, cache hit rates) to stderr",
+    )
 
     show_parser = subparsers.add_parser(
         "show", help="parse an XSD file and print the schema tree"
@@ -98,7 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="tasks to run: PO Book DCMD Inventory Protein "
              "(default: the fast four)",
     )
+    evaluate_parser.add_argument(
+        "--algorithm", nargs="*", choices=ALGORITHMS,
+        default=["linguistic", "structural", "qmatch"],
+        help="algorithms to evaluate, by registry name "
+             "(default: the paper's three)",
+    )
     evaluate_parser.add_argument("--threshold", type=float, default=0.5)
+    evaluate_parser.add_argument(
+        "--share-context", action="store_true",
+        help="run all algorithms of a task against one shared engine "
+             "context (label analysis computed once per task)",
+    )
     evaluate_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text",
         dest="output_format", help="report format (default: text)",
@@ -171,6 +188,8 @@ def _command_match(args) -> int:
     result = matcher.match(
         source, target, threshold=args.threshold, strategy=args.strategy
     )
+    if args.show_stats and result.stats is not None:
+        print(result.stats.render(), file=sys.stderr)
     if args.save:
         from pathlib import Path
 
@@ -224,12 +243,12 @@ def _command_evaluate(args) -> int:
     from repro.datasets import registry  # heavy import kept local
 
     tasks = [registry.task(name) for name in args.task]
-    matchers = [
-        make_matcher("linguistic"),
-        make_matcher("structural"),
-        make_matcher("qmatch"),
-    ]
-    rows = evaluate_all(tasks, matchers, threshold=args.threshold)
+    # Algorithm names go straight to the harness, which resolves them
+    # through the engine registry.
+    rows = evaluate_all(
+        tasks, args.algorithm, threshold=args.threshold,
+        share_context=args.share_context,
+    )
     if args.output_format == "markdown":
         from repro.evaluation.report import render_markdown_report
 
@@ -316,7 +335,11 @@ def main(argv=None) -> int:
         "diff": _command_diff,
         "sdiff": _command_sdiff,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except Exception as exc:  # noqa: BLE001 -- CLI boundary: no tracebacks
+        print(f"qmatch: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -21,7 +21,6 @@ from typing import Optional, Sequence
 
 from repro.matching.base import Matcher
 from repro.matching.result import ScoreMatrix
-from repro.xsd.model import SchemaTree
 
 
 def _aggregate_max(scores, weights):
@@ -100,13 +99,20 @@ class CompositeMatcher(Matcher):
             "composite(" + "+".join(m.name for m in self.matchers) + ")"
         )
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrices = [
-            matcher.score_matrix(source, target) for matcher in self.matchers
-        ]
-        combined = ScoreMatrix(source, target)
-        t_nodes = list(target.root.iter_preorder())
-        for s_node in source.root.iter_preorder():
+    def match_context(self, ctx) -> ScoreMatrix:
+        """Run every constituent under the *shared* context.
+
+        Constituents reuse one :class:`MatchContext`, so a label pair
+        analysed by one matcher is a cache hit for the next -- the
+        composite pays the linguistic bill once, not once per member.
+        """
+        matrices = []
+        for matcher in self.matchers:
+            with ctx.stats.stage(f"composite:{matcher.name}"):
+                matrices.append(matcher.score_with_context(ctx))
+        combined = ScoreMatrix(ctx.source, ctx.target)
+        t_nodes = ctx.target_preorder
+        for s_node in ctx.source_preorder:
             for t_node in t_nodes:
                 scores = [matrix.get(s_node, t_node) for matrix in matrices]
                 combined.set(

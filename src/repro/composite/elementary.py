@@ -11,7 +11,6 @@ from repro.linguistic.matcher import LinguisticMatcher
 from repro.matching.base import Matcher
 from repro.matching.result import ScoreMatrix
 from repro.properties.types import type_similarity
-from repro.xsd.model import SchemaTree
 
 
 class NameMatcher(Matcher):
@@ -23,14 +22,22 @@ class NameMatcher(Matcher):
     def __init__(self, linguistic=None):
         self.linguistic = linguistic or LinguisticMatcher()
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
-        t_nodes = list(target.root.iter_preorder())
-        for s_node in source.root.iter_preorder():
+    def make_context(self, source, target, stats=None, cache_enabled=True):
+        from repro.engine.context import MatchContext
+
+        return MatchContext(
+            source, target, linguistic=self.linguistic,
+            stats=stats, cache_enabled=cache_enabled,
+        )
+
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
+        t_nodes = ctx.target_preorder
+        for s_node in ctx.source_preorder:
             for t_node in t_nodes:
                 matrix.set(
                     s_node, t_node,
-                    self.linguistic.compare_labels(s_node.name, t_node.name).score,
+                    ctx.label_score(s_node.name, t_node.name),
                 )
         return matrix
 
@@ -51,18 +58,24 @@ class NamePathMatcher(Matcher):
     def __init__(self, linguistic=None):
         self.linguistic = linguistic or LinguisticMatcher()
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
-        t_nodes = list(target.root.iter_preorder())
-        for s_node in source.root.iter_preorder():
+    def make_context(self, source, target, stats=None, cache_enabled=True):
+        from repro.engine.context import MatchContext
+
+        return MatchContext(
+            source, target, linguistic=self.linguistic,
+            stats=stats, cache_enabled=cache_enabled,
+        )
+
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
+        t_nodes = ctx.target_preorder
+        for s_node in ctx.source_preorder:
             s_path_label = s_node.path.replace("/", " ")
             for t_node in t_nodes:
                 t_path_label = t_node.path.replace("/", " ")
                 matrix.set(
                     s_node, t_node,
-                    self.linguistic.compare_labels(
-                        s_path_label, t_path_label
-                    ).score,
+                    ctx.label_score(s_path_label, t_path_label),
                 )
         return matrix
 
@@ -78,10 +91,10 @@ class TypeMatcher(Matcher):
 
     name = "type"
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
-        t_nodes = list(target.root.iter_preorder())
-        for s_node in source.root.iter_preorder():
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
+        t_nodes = ctx.target_preorder
+        for s_node in ctx.source_preorder:
             for t_node in t_nodes:
                 matrix.set(
                     s_node, t_node,

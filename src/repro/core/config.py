@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.weights import AxisWeights, PAPER_WEIGHTS
 
@@ -69,6 +69,30 @@ class QMatchConfig:
     documentation_discount: float = 0.9
 
     def __post_init__(self):
+        # Coerce / validate the weights eagerly so a bad model surfaces
+        # here as a clear ValueError, not deep inside a match run.  A
+        # 4-sequence is accepted for convenience and converted; anything
+        # weight-shaped is re-validated through the AxisWeights
+        # constructor (non-negative, summing to ~1).
+        weights = self.weights
+        if not isinstance(weights, AxisWeights):
+            try:
+                weights = AxisWeights.from_sequence(weights)
+            except TypeError:
+                try:
+                    weights = AxisWeights(
+                        label=weights.label,
+                        properties=weights.properties,
+                        level=weights.level,
+                        children=weights.children,
+                    )
+                except AttributeError:
+                    raise ValueError(
+                        f"weights must be an AxisWeights or a 4-sequence "
+                        f"(label, properties, level, children), "
+                        f"got {self.weights!r}"
+                    ) from None
+            object.__setattr__(self, "weights", weights)
         if not 0.0 <= self.threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
         if not 0.0 <= self.structural_child_gate <= 1.0:

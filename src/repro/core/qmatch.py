@@ -101,19 +101,34 @@ class QMatchMatcher(Matcher):
     # Matcher protocol
     # ------------------------------------------------------------------
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
+    def make_context(self, source, target, stats=None, cache_enabled=True):
+        """Inject this matcher's configured services into the context."""
+        from repro.engine.context import MatchContext
+
+        return MatchContext(
+            source, target,
+            linguistic=self.linguistic,
+            property_matcher=self.property_matcher,
+            stats=stats,
+            cache_enabled=cache_enabled,
+        )
+
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
         categories: Optional[dict] = (
             {} if self.config.record_categories else None
         )
-        t_nodes = list(target.root.iter_postorder())
-        for s_node in source.root.iter_postorder():
+        t_nodes = ctx.target_postorder
+        for s_node in ctx.source_postorder:
             for t_node in t_nodes:
-                qom, category = self._pair_qom(s_node, t_node, matrix, categories)
+                qom, category = self._pair_qom(
+                    s_node, t_node, matrix, categories, ctx
+                )
                 matrix.set(s_node, t_node, qom)
                 if categories is not None:
                     categories[(s_node.path, t_node.path)] = category.value
         matrix.categories = categories
+        ctx.stats.count("qmatch.pairs", len(matrix))
         return matrix
 
     def categories(self, matrix: ScoreMatrix):
@@ -124,15 +139,19 @@ class QMatchMatcher(Matcher):
     # ------------------------------------------------------------------
 
     def _pair_qom(self, s_node: SchemaNode, t_node: SchemaNode,
-                  matrix: ScoreMatrix, categories):
+                  matrix: ScoreMatrix, categories, ctx=None):
         """QoM and taxonomy category of one pair.
 
         Child pairs are guaranteed to be in ``matrix`` already because
-        both trees are iterated in postorder.
+        both trees are iterated in postorder.  ``ctx`` carries the
+        engine's memoized label/property comparisons; legacy callers may
+        omit it and a throwaway context is built.
         """
+        if ctx is None:
+            ctx = self.make_context(matrix.source, matrix.target)
         weights = self.config.weights
-        label = self._label_evidence(s_node, t_node)
-        props = self.property_matcher.compare(s_node, t_node)
+        label = self._label_evidence(s_node, t_node, ctx)
+        props = ctx.property_comparison(s_node, t_node)
         level_strength = (
             MatchStrength.EXACT if s_node.level == t_node.level
             else MatchStrength.NONE
@@ -169,7 +188,7 @@ class QMatchMatcher(Matcher):
             return qom, category
 
         children_score, coverage, matched, children_strength = (
-            self._children_axis(s_node, t_node, matrix, categories)
+            self._children_axis(s_node, t_node, matrix, categories, ctx)
         )
         qom = (
             weights.label * label.score
@@ -183,7 +202,7 @@ class QMatchMatcher(Matcher):
         )
         return qom, category
 
-    def _label_evidence(self, s_node, t_node):
+    def _label_evidence(self, s_node, t_node, ctx):
         """Label-axis evidence: names, optionally backed by documentation.
 
         With ``use_documentation`` on and both nodes carrying
@@ -192,14 +211,14 @@ class QMatchMatcher(Matcher):
         would fail -- it never lowers the name-based score, and
         doc-mediated evidence is at best relaxed.
         """
-        label = self.linguistic.compare_labels(s_node.name, t_node.name)
+        label = ctx.label_comparison(s_node.name, t_node.name)
         if not self.config.use_documentation:
             return label
         s_doc = s_node.properties.get("documentation")
         t_doc = t_node.properties.get("documentation")
         if not s_doc or not t_doc:
             return label
-        doc = self.linguistic.compare_labels(s_doc, t_doc)
+        doc = ctx.label_comparison(s_doc, t_doc)
         doc_score = doc.score * self.config.documentation_discount
         if doc_score <= label.score:
             return label
@@ -210,7 +229,7 @@ class QMatchMatcher(Matcher):
             strength = MatchStrength.RELAXED
         return LabelComparison(doc_score, strength, "documentation")
 
-    def _children_axis(self, s_node, t_node, matrix, categories):
+    def _children_axis(self, s_node, t_node, matrix, categories, ctx):
         """Eqs. 3-5: (QoM_C, coverage, matched count, children strength).
 
         A child pair only counts when it is a genuine match: its label
@@ -237,10 +256,10 @@ class QMatchMatcher(Matcher):
         children_all_exact = True
 
         def is_child_match(s_child, t_child):
-            label = self.linguistic.compare_labels(s_child.name, t_child.name)
+            label = ctx.label_comparison(s_child.name, t_child.name)
             if label.strength is not MatchStrength.NONE:
                 return True
-            props = self.property_matcher.compare(s_child, t_child)
+            props = ctx.property_comparison(s_child, t_child)
             return props.score >= self.config.structural_child_gate
 
         if self.config.children_aggregation == "best_match":
@@ -324,12 +343,13 @@ class QMatchMatcher(Matcher):
             raise KeyError(f"no node {source_path!r} in source schema")
         if t_node is None:
             raise KeyError(f"no node {target_path!r} in target schema")
+        ctx = self.make_context(source, target)
         if matrix is None:
-            matrix = self.score_matrix(source, target)
+            matrix = self.match_context(ctx)
         categories = getattr(matrix, "categories", None)
 
-        label = self._label_evidence(s_node, t_node)
-        props = self.property_matcher.compare(s_node, t_node)
+        label = self._label_evidence(s_node, t_node, ctx)
+        props = ctx.property_comparison(s_node, t_node)
         level_score = 1.0 if s_node.level == t_node.level else 0.0
         if s_node.is_leaf and t_node.is_leaf:
             children_score, coverage = 1.0, CoverageLevel.TOTAL
@@ -341,7 +361,7 @@ class QMatchMatcher(Matcher):
             matched, total = 0, len(s_node.children)
         else:
             children_score, coverage, matched, _ = self._children_axis(
-                s_node, t_node, matrix, categories
+                s_node, t_node, matrix, categories, ctx
             )
             total = len(s_node.children)
         qom = matrix.get(s_node, t_node)
@@ -351,7 +371,7 @@ class QMatchMatcher(Matcher):
         if category_value is not None:
             category = MatchCategory(category_value)
         else:
-            _, category = self._pair_qom(s_node, t_node, matrix, None)
+            _, category = self._pair_qom(s_node, t_node, matrix, None, ctx)
         return AxisBreakdown(
             source_path=s_node.path,
             target_path=t_node.path,

@@ -32,7 +32,6 @@ from repro.linguistic.matcher import LinguisticMatcher
 from repro.matching.base import Matcher
 from repro.matching.result import ScoreMatrix
 from repro.properties.types import type_similarity
-from repro.xsd.model import SchemaTree
 
 
 @dataclass(frozen=True)
@@ -72,23 +71,30 @@ class CupidMatcher(Matcher):
         self.config = config or CupidConfig()
         self.linguistic = linguistic or LinguisticMatcher()
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
+    def make_context(self, source, target, stats=None, cache_enabled=True):
+        from repro.engine.context import MatchContext
+
+        return MatchContext(
+            source, target, linguistic=self.linguistic,
+            stats=stats, cache_enabled=cache_enabled,
+        )
+
+    def match_context(self, ctx) -> ScoreMatrix:
         config = self.config
-        s_nodes = list(source.root.iter_postorder())
-        t_nodes = list(target.root.iter_postorder())
-        s_leaf_lists = {id(n): list(n.iter_leaves()) for n in s_nodes}
-        t_leaf_lists = {id(n): list(n.iter_leaves()) for n in t_nodes}
+        source, target = ctx.source, ctx.target
+        s_nodes = ctx.source_postorder
+        t_nodes = ctx.target_postorder
 
         # Mutable leaf-pair structural similarity, subject to propagation.
         leaf_ssim: dict[tuple[int, int], float] = {}
-        for s_leaf in s_leaf_lists[id(source.root)]:
-            for t_leaf in t_leaf_lists[id(target.root)]:
+        for s_leaf in ctx.leaves(source.root):
+            for t_leaf in ctx.leaves(target.root):
                 leaf_ssim[(id(s_leaf), id(t_leaf))] = type_similarity(
                     s_leaf.type_name, t_leaf.type_name
                 )
 
         def lsim(s_node, t_node):
-            return self.linguistic.compare_labels(s_node.name, t_node.name).score
+            return ctx.label_score(s_node.name, t_node.name)
 
         def leaf_wsim(s_leaf, t_leaf):
             return (
@@ -98,9 +104,9 @@ class CupidMatcher(Matcher):
 
         matrix = ScoreMatrix(source, target)
         for s_node in s_nodes:
-            s_leaves = s_leaf_lists[id(s_node)]
+            s_leaves = ctx.leaves(s_node)
             for t_node in t_nodes:
-                t_leaves = t_leaf_lists[id(t_node)]
+                t_leaves = ctx.leaves(t_node)
                 if s_node.is_leaf and t_node.is_leaf:
                     wsim = leaf_wsim(s_node, t_node)
                     matrix.set(s_node, t_node, min(1.0, wsim))
@@ -117,9 +123,10 @@ class CupidMatcher(Matcher):
         # Mapping generation reads post-propagation leaf similarities
         # (the inner-pair walk above has been mutating leaf_ssim), so
         # refresh every leaf pair's final wsim.
-        for s_leaf in s_leaf_lists[id(source.root)]:
-            for t_leaf in t_leaf_lists[id(target.root)]:
+        for s_leaf in ctx.leaves(source.root):
+            for t_leaf in ctx.leaves(target.root):
                 matrix.set(s_leaf, t_leaf, min(1.0, leaf_wsim(s_leaf, t_leaf)))
+        ctx.stats.count("cupid.pairs", len(matrix))
         return matrix
 
     # ------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""The unified match-engine layer.
+
+Three pieces every matcher in the library plugs into:
+
+- :class:`MatchContext` -- built once per (source, target) schema pair;
+  precomputes and caches per-node state (postorder, depths, leaf sets,
+  tokenized labels, property signatures) and memoizes pairwise
+  linguistic/property comparisons so the O(n*m) hot loops never redo
+  per-node work;
+- :class:`MatcherRegistry` / :data:`DEFAULT_REGISTRY` -- matchers
+  register by name behind a uniform construction interface; the CLI,
+  :func:`repro.make_matcher` and the evaluation harness resolve
+  algorithms exclusively through it;
+- :class:`EngineStats` -- per-stage wall time, pair counts and cache
+  hit/miss counters, threaded through the context and surfaced on
+  :class:`~repro.matching.result.MatchResult` and the CLI ``--stats``
+  flag.
+
+See DESIGN.md's "Engine architecture" section for the lifecycle.
+"""
+
+from repro.engine.context import LABEL_CACHE, PROPERTY_CACHE, MatchContext
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    MatcherRegistry,
+    MatcherSpec,
+    register_default_matchers,
+)
+from repro.engine.stats import CacheStats, EngineStats, StageStats
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_REGISTRY",
+    "EngineStats",
+    "LABEL_CACHE",
+    "MatchContext",
+    "MatcherRegistry",
+    "MatcherSpec",
+    "PROPERTY_CACHE",
+    "register_default_matchers",
+    "StageStats",
+]

@@ -1,0 +1,210 @@
+"""The shared per-pair match context.
+
+A :class:`MatchContext` is built once per (source, target) schema pair
+and handed to every matcher that scores the pair.  It owns:
+
+- the **shared services**: one :class:`LinguisticMatcher` and one
+  :class:`PropertyMatcher` instance used by every matcher running under
+  the context, so tokenization, thesaurus lookups and property
+  comparisons happen once per distinct input instead of once per
+  matcher;
+- the **per-node precomputation**: postorder/preorder node lists, leaf
+  sets, depths, tokenized labels and property signatures -- everything
+  the paper's O(n*m) bound assumes is not redone inside the hot loop;
+- the **pairwise memo**: label comparisons and property comparisons
+  keyed by their actual inputs (label text / property signature), with
+  hit/miss accounting in :class:`EngineStats`;
+- the **instrumentation**: an :class:`EngineStats` collecting per-stage
+  wall time, pair counts and cache counters for the whole run.
+
+Matchers receive the context through
+:meth:`repro.matching.base.Matcher.match_context`; a matcher run
+standalone builds its own context (injecting its configured services via
+:meth:`Matcher.make_context`), while a composite or harness run builds
+one context and shares it across all constituent matchers.
+
+``cache_enabled=False`` turns the pairwise memo off (every lookup
+recomputes through the underlying services); the property-based
+equivalence tests use it to prove cached and cold runs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.stats import EngineStats
+from repro.linguistic.matcher import LabelComparison, LinguisticMatcher
+from repro.properties.matcher import PropertyComparison, PropertyMatcher
+from repro.xsd.model import SchemaNode, SchemaTree
+
+#: Names of the engine-level caches (as they appear in ``EngineStats``).
+LABEL_CACHE = "context.labels"
+PROPERTY_CACHE = "context.properties"
+
+
+class MatchContext:
+    """Precomputed, cached state for matching one (source, target) pair."""
+
+    def __init__(
+        self,
+        source: SchemaTree,
+        target: SchemaTree,
+        linguistic: Optional[LinguisticMatcher] = None,
+        property_matcher: Optional[PropertyMatcher] = None,
+        stats: Optional[EngineStats] = None,
+        cache_enabled: bool = True,
+    ):
+        self.source = source
+        self.target = target
+        self.linguistic = linguistic or LinguisticMatcher()
+        self.property_matcher = property_matcher or PropertyMatcher()
+        self.stats = stats if stats is not None else EngineStats()
+        self.cache_enabled = cache_enabled
+
+        # Node-list precomputation is lazy: cheap matchers (tree-edit,
+        # flooding) walk the trees themselves and never pay for it.
+        self._source_postorder: Optional[list[SchemaNode]] = None
+        self._target_postorder: Optional[list[SchemaNode]] = None
+        self._source_preorder: Optional[list[SchemaNode]] = None
+        self._target_preorder: Optional[list[SchemaNode]] = None
+        self._leaf_lists: dict[int, list[SchemaNode]] = {}
+
+        # Pairwise memos.
+        self._label_memo: dict[tuple[str, str], LabelComparison] = {}
+        self._property_memo: dict[tuple, PropertyComparison] = {}
+
+    # ------------------------------------------------------------------
+    # Per-node precomputed state
+    # ------------------------------------------------------------------
+
+    @property
+    def source_postorder(self) -> list[SchemaNode]:
+        """Source nodes, children before parents (computed once)."""
+        if self._source_postorder is None:
+            self._source_postorder = list(self.source.root.iter_postorder())
+        return self._source_postorder
+
+    @property
+    def target_postorder(self) -> list[SchemaNode]:
+        """Target nodes, children before parents (computed once)."""
+        if self._target_postorder is None:
+            self._target_postorder = list(self.target.root.iter_postorder())
+        return self._target_postorder
+
+    @property
+    def source_preorder(self) -> list[SchemaNode]:
+        if self._source_preorder is None:
+            self._source_preorder = list(self.source.root.iter_preorder())
+        return self._source_preorder
+
+    @property
+    def target_preorder(self) -> list[SchemaNode]:
+        if self._target_preorder is None:
+            self._target_preorder = list(self.target.root.iter_preorder())
+        return self._target_preorder
+
+    @property
+    def pair_count(self) -> int:
+        """Size of the full pair grid (``n * m``)."""
+        return len(self.source_postorder) * len(self.target_postorder)
+
+    def leaves(self, node: SchemaNode) -> list[SchemaNode]:
+        """The leaf set of ``node``'s subtree, computed once per node."""
+        cached = self._leaf_lists.get(id(node))
+        if cached is None:
+            cached = list(node.iter_leaves())
+            self._leaf_lists[id(node)] = cached
+        return cached
+
+    def depth(self, node: SchemaNode) -> int:
+        """Nesting depth of ``node`` (the model caches this per node)."""
+        return node.level
+
+    def prepared_tokens(self, label: str) -> list[str]:
+        """Tokenized, stop-word-filtered form of ``label``.
+
+        Delegates to the shared linguistic matcher's per-label token
+        cache, so a label is tokenized at most once per context.
+        """
+        return self.linguistic._prepare_tokens(label)
+
+    def property_signature(self, node: SchemaNode) -> tuple:
+        """The node's property tuple (type, order, occurs, kind)."""
+        return self.property_matcher.signature(node)
+
+    def warm(self) -> "MatchContext":
+        """Eagerly precompute all per-node state (the context build step
+        the tentpole describes).  Optional: everything also fills in
+        lazily on first use."""
+        with self.stats.stage("context.warm"):
+            for node in self.source_postorder:
+                self.prepared_tokens(node.name)
+            for node in self.target_postorder:
+                self.prepared_tokens(node.name)
+            self.leaves(self.source.root)
+            self.leaves(self.target.root)
+        return self
+
+    # ------------------------------------------------------------------
+    # Memoized pairwise scores
+    # ------------------------------------------------------------------
+
+    def label_comparison(self, left: str, right: str) -> LabelComparison:
+        """Linguistic comparison of two labels, memoized per text pair.
+
+        This is the single entry point for label evidence inside the
+        engine: QMatch's label axis, Cupid's lsim, the linguistic
+        baseline's matrix and documentation-text comparisons all route
+        through here, so any label pair is analysed once per context no
+        matter how many matchers ask.
+        """
+        if not self.cache_enabled:
+            return self.linguistic.compare_labels(left, right)
+        key = (left, right)
+        cached = self._label_memo.get(key)
+        if cached is None:
+            self.stats.record_miss(LABEL_CACHE)
+            cached = self.linguistic.compare_labels(left, right)
+            self._label_memo[key] = cached
+            self._label_memo[(right, left)] = cached  # symmetric
+        else:
+            self.stats.record_hit(LABEL_CACHE)
+        return cached
+
+    def label_score(self, left: str, right: str) -> float:
+        return self.label_comparison(left, right).score
+
+    def property_comparison(
+        self, source: SchemaNode, target: SchemaNode
+    ) -> PropertyComparison:
+        """Properties-axis comparison, memoized per signature pair.
+
+        Two node pairs with identical (type, order, occurs, kind)
+        signatures share one comparison -- schema vocabularies repeat
+        these heavily, so the memo collapses the O(n*m) property work to
+        the number of distinct signature pairs.
+        """
+        if not self.cache_enabled:
+            return self.property_matcher.compare(source, target)
+        key = (
+            self.property_matcher.signature(source),
+            self.property_matcher.signature(target),
+        )
+        cached = self._property_memo.get(key)
+        if cached is None:
+            self.stats.record_miss(PROPERTY_CACHE)
+            cached = self.property_matcher.compare(source, target)
+            self._property_memo[key] = cached
+        else:
+            self.stats.record_hit(PROPERTY_CACHE)
+        return cached
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self):
+        return (
+            f"<MatchContext {self.source.name!r} x {self.target.name!r} "
+            f"cache={'on' if self.cache_enabled else 'off'} "
+            f"labels={len(self._label_memo)} props={len(self._property_memo)}>"
+        )

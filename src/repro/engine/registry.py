@@ -1,0 +1,178 @@
+"""The matcher registry: every match algorithm, constructible by name.
+
+The XML-matcher survey literature frames matchers as interchangeable
+components behind one pipeline interface; this module is that interface's
+catalog.  A :class:`MatcherRegistry` maps a short algorithm name to a
+factory producing a configured :class:`~repro.matching.base.Matcher`;
+the CLI, the evaluation harness and :func:`repro.make_matcher` all
+resolve algorithms exclusively through it, so adding an algorithm is one
+``register`` call -- no constructor wiring spread across entry points.
+
+:data:`DEFAULT_REGISTRY` ships with every matcher family in the library
+registered: the paper's three algorithms (``qmatch``, ``linguistic``,
+``structural``), the related-work baselines (``tree-edit``, ``cupid``,
+``flooding``), the single-axis ``properties`` matcher, the COMA-style
+``composite`` and its elementary members (``name``, ``name-path``,
+``type``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class MatcherSpec:
+    """One registry entry: the factory plus display metadata."""
+
+    name: str
+    factory: Callable
+    description: str = ""
+
+
+class MatcherRegistry:
+    """Name -> matcher-factory registry with a uniform ``create`` call."""
+
+    def __init__(self):
+        self._specs: dict[str, MatcherSpec] = {}
+
+    def register(self, name: str, factory: Optional[Callable] = None,
+                 description: str = "", replace: bool = False):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("x", XMatcher)``) or as a
+        class decorator (``@registry.register("x")``).  Re-registering a
+        taken name raises unless ``replace=True``.
+        """
+        def _add(target: Callable):
+            if name in self._specs and not replace:
+                raise ValueError(
+                    f"matcher name {name!r} is already registered; "
+                    "pass replace=True to override"
+                )
+            self._specs[name] = MatcherSpec(
+                name=name, factory=target, description=description
+            )
+            return target
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    def create(self, name: str, **kwargs):
+        """Instantiate the matcher registered under ``name``.
+
+        ``kwargs`` are forwarded to the factory (e.g.
+        ``config=QMatchConfig(...)`` or ``thesaurus=...``).
+        """
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown algorithm {name!r}; expected one of {self.names()}"
+            )
+        return spec.factory(**kwargs)
+
+    def spec(self, name: str) -> MatcherSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown algorithm {name!r}; expected one of {self.names()}"
+            )
+        return spec
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+def _default_composite(matchers=None, aggregation: str = "max",
+                       weights=None, name=None):
+    """Factory for the registry's ``composite`` entry.
+
+    With no explicit members it builds COMA's classic complementary
+    pair -- linguistic + structural under ``max`` aggregation.
+    """
+    from repro.composite.combine import CompositeMatcher
+    from repro.linguistic.matcher import LinguisticMatcher
+    from repro.structural.matcher import StructuralMatcher
+
+    if matchers is None:
+        matchers = [LinguisticMatcher(), StructuralMatcher()]
+    return CompositeMatcher(
+        matchers, aggregation=aggregation, weights=weights, name=name
+    )
+
+
+def register_default_matchers(registry: MatcherRegistry) -> MatcherRegistry:
+    """Register every matcher family the library ships into ``registry``."""
+    from repro.composite.elementary import (
+        NameMatcher,
+        NamePathMatcher,
+        TypeMatcher,
+    )
+    from repro.core.qmatch import QMatchMatcher
+    from repro.cupid.matcher import CupidMatcher
+    from repro.linguistic.matcher import LinguisticMatcher
+    from repro.properties.matcher import PropertiesMatcher
+    from repro.structural.flooding import SimilarityFloodingMatcher
+    from repro.structural.matcher import StructuralMatcher
+    from repro.structural.tree_edit import TreeEditMatcher
+
+    registry.register(
+        "qmatch", QMatchMatcher,
+        description="the paper's hybrid QoM algorithm (Section 4)",
+    )
+    registry.register(
+        "linguistic", LinguisticMatcher,
+        description="Cupid-style label similarity (the linguistic baseline)",
+    )
+    registry.register(
+        "structural", StructuralMatcher,
+        description="label-blind shape similarity (the structural baseline)",
+    )
+    registry.register(
+        "tree-edit", TreeEditMatcher,
+        description="Zhang-Shasha tree edit distance baseline",
+    )
+    registry.register(
+        "cupid", CupidMatcher,
+        description="Cupid's full TreeMatch (lsim + ssim + propagation)",
+    )
+    registry.register(
+        "flooding", SimilarityFloodingMatcher,
+        description="similarity-flooding fixpoint baseline",
+    )
+    registry.register(
+        "properties", PropertiesMatcher,
+        description="single-axis properties matcher (type/order/occurs/kind)",
+    )
+    registry.register(
+        "composite", _default_composite,
+        description="COMA-style combination (default: linguistic+structural, max)",
+    )
+    registry.register(
+        "name", NameMatcher,
+        description="COMA elementary: label similarity only",
+    )
+    registry.register(
+        "name-path", NamePathMatcher,
+        description="COMA elementary: root-to-node label-path similarity",
+    )
+    registry.register(
+        "type", TypeMatcher,
+        description="COMA elementary: data-type lattice compatibility",
+    )
+    return registry
+
+
+#: The process-wide registry every entry point resolves against.
+DEFAULT_REGISTRY = register_default_matchers(MatcherRegistry())

@@ -4,14 +4,24 @@ Drives any set of :class:`repro.matching.Matcher` implementations over a
 match task (source schema, target schema, gold mapping), producing the
 precision / recall / overall numbers of the paper's Section 5 plus simple
 ASCII tables for reports and benchmarks.
+
+Matchers may be passed as instances or as registry names (resolved
+through :data:`repro.engine.DEFAULT_REGISTRY` by
+:func:`resolve_matchers`), and :func:`evaluate_all` can run all matchers
+of one task against a *shared* :class:`~repro.engine.context.MatchContext`
+(``share_context=True``), so label analysis done by one matcher is a
+cache hit for the next.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
 
+from repro.engine.context import MatchContext
+from repro.engine.registry import DEFAULT_REGISTRY, MatcherRegistry
+from repro.engine.stats import EngineStats
 from repro.evaluation.gold import GoldMapping
 from repro.evaluation.metrics import MatchQuality, evaluate_against_gold
 from repro.matching.base import Matcher
@@ -59,13 +69,37 @@ class EvaluationRow:
         return self.quality.overall if self.quality else None
 
 
-def evaluate_matcher(task: MatchTask, matcher: Matcher,
-                     threshold=DEFAULT_THRESHOLD,
-                     strategy=None) -> tuple[EvaluationRow, MatchResult]:
-    """Run one matcher on one task; returns the row and the raw result."""
+def resolve_matchers(matchers: Iterable[Union[str, Matcher]],
+                     registry: Optional[MatcherRegistry] = None,
+                     ) -> list[Matcher]:
+    """Turn a mixed list of names and instances into matcher instances.
+
+    Strings resolve through ``registry`` (default:
+    :data:`~repro.engine.registry.DEFAULT_REGISTRY`); anything else is
+    assumed to already be a :class:`Matcher` and passed through.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    return [
+        registry.create(matcher) if isinstance(matcher, str) else matcher
+        for matcher in matchers
+    ]
+
+
+def evaluate_matcher(task: MatchTask, matcher: Union[str, Matcher],
+                     threshold=DEFAULT_THRESHOLD, strategy=None,
+                     context: Optional[MatchContext] = None,
+                     ) -> tuple[EvaluationRow, MatchResult]:
+    """Run one matcher on one task; returns the row and the raw result.
+
+    ``matcher`` may be a registry name.  Pass ``context`` to score
+    against an existing :class:`MatchContext` (it must wrap the task's
+    schema pair) instead of a fresh one.
+    """
+    (matcher,) = resolve_matchers([matcher])
     started = time.perf_counter()
     result = matcher.match(
-        task.source, task.target, threshold=threshold, strategy=strategy
+        task.source, task.target, threshold=threshold, strategy=strategy,
+        context=context,
     )
     elapsed = time.perf_counter() - started
     quality = None
@@ -82,15 +116,30 @@ def evaluate_matcher(task: MatchTask, matcher: Matcher,
     return row, result
 
 
-def evaluate_all(tasks: Iterable[MatchTask], matchers: Sequence[Matcher],
-                 threshold=DEFAULT_THRESHOLD,
-                 strategy=None) -> list[EvaluationRow]:
-    """Full cross product of tasks x matchers."""
+def evaluate_all(tasks: Iterable[MatchTask],
+                 matchers: Sequence[Union[str, Matcher]],
+                 threshold=DEFAULT_THRESHOLD, strategy=None,
+                 share_context: bool = False) -> list[EvaluationRow]:
+    """Full cross product of tasks x matchers.
+
+    With ``share_context=True`` all matchers of one task run against a
+    single :class:`MatchContext`, so pairwise label / property analysis
+    is computed once per task rather than once per (task, matcher).  The
+    shared context uses default linguistic / property services; leave it
+    off when matchers carry custom thesauri or configs.
+    """
+    matchers = resolve_matchers(matchers)
     rows = []
     for task in tasks:
+        context = None
+        if share_context:
+            context = MatchContext(
+                task.source, task.target, stats=EngineStats()
+            )
         for matcher in matchers:
             row, _ = evaluate_matcher(
-                task, matcher, threshold=threshold, strategy=strategy
+                task, matcher, threshold=threshold, strategy=strategy,
+                context=context,
             )
             rows.append(row)
     return rows

@@ -16,9 +16,8 @@ ranges: label 0.25-0.4, properties/level 0.1-0.2, children 0.3-0.5).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Sequence
 
 from repro.core.config import QMatchConfig
 from repro.core.qmatch import QMatchMatcher

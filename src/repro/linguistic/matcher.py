@@ -30,7 +30,7 @@ algorithm").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.linguistic import string_metrics
 from repro.linguistic.thesaurus import Thesaurus
@@ -44,7 +44,6 @@ from repro.linguistic.tokenizer import (
 from repro.matching.base import Matcher
 from repro.matching.classes import MatchStrength
 from repro.matching.result import ScoreMatrix
-from repro.xsd.model import SchemaTree
 
 #: Tokens ignored during alignment when other tokens exist.
 DEFAULT_STOPWORDS = frozenset(
@@ -114,13 +113,24 @@ class LinguisticMatcher(Matcher):
     # Matcher protocol
     # ------------------------------------------------------------------
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
-        target_nodes = list(target.root.iter_preorder())
-        for source_node in source.root.iter_preorder():
+    def make_context(self, source, target, stats=None, cache_enabled=True):
+        from repro.engine.context import MatchContext
+
+        return MatchContext(
+            source, target, linguistic=self,
+            stats=stats, cache_enabled=cache_enabled,
+        )
+
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
+        target_nodes = ctx.target_preorder
+        for source_node in ctx.source_preorder:
             for target_node in target_nodes:
-                comparison = self.compare_labels(source_node.name, target_node.name)
+                comparison = ctx.label_comparison(
+                    source_node.name, target_node.name
+                )
                 matrix.set(source_node, target_node, comparison.score)
+        ctx.stats.count("linguistic.pairs", len(matrix))
         return matrix
 
     # ------------------------------------------------------------------

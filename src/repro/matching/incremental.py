@@ -95,6 +95,7 @@ def incremental_qmatch(matcher: QMatchMatcher, old_matrix: ScoreMatrix,
             "config wants them; rerun the full match once with "
             "record_categories=True"
         )
+    ctx = matcher.make_context(new_source, target)
     t_nodes = list(target.root.iter_postorder())
     reused = recomputed = 0
     for s_node in new_source.root.iter_postorder():
@@ -110,7 +111,9 @@ def incremental_qmatch(matcher: QMatchMatcher, old_matrix: ScoreMatrix,
             reused += 1
             continue
         for t_node in t_nodes:
-            qom, category = matcher._pair_qom(s_node, t_node, matrix, categories)
+            qom, category = matcher._pair_qom(
+                s_node, t_node, matrix, categories, ctx
+            )
             matrix.set(s_node, t_node, qom)
             if categories is not None:
                 categories[(s_node.path, t_node.path)] = category.value

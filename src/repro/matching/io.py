@@ -14,7 +14,7 @@ This module supports that loop:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.matching.result import Correspondence, MatchResult

@@ -18,7 +18,7 @@ matrix under those constraints, so no matrix recomputation is needed:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.matching.result import Correspondence, MatchResult, ScoreMatrix
 from repro.matching.selection import DEFAULT_THRESHOLD, select_correspondences

@@ -111,6 +111,10 @@ class MatchResult:
     #: Selection strategy that produced ``correspondences`` (refinement
     #: re-selects with the same one by default).
     strategy: str = "greedy"
+    #: Per-stage instrumentation of the run (wall time, pair counts,
+    #: cache hit/miss) -- an :class:`repro.engine.stats.EngineStats`
+    #: when produced through :meth:`Matcher.match`, else ``None``.
+    stats: Optional[object] = None
 
     @property
     def matched_source_paths(self) -> set[str]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from types import MappingProxyType
 
+from repro.matching.base import Matcher
 from repro.matching.classes import MatchStrength, consensus
 from repro.properties.types import type_similarity, type_strength
 from repro.xsd.model import UNBOUNDED, SchemaNode
@@ -83,15 +84,19 @@ class PropertyMatcher:
         self._cache: dict = {}
 
     @staticmethod
-    def _signature(node: SchemaNode):
+    def signature(node: SchemaNode):
+        """The node's property tuple; equal signatures compare equal."""
         return (
             node.type_name, node.order, node.min_occurs, node.max_occurs,
             node.kind,
         )
 
+    # Backwards-compatible alias (pre-engine name).
+    _signature = signature
+
     def compare(self, source: SchemaNode, target: SchemaNode) -> PropertyComparison:
         """Compare ``source`` and ``target`` along the properties axis."""
-        key = (self._signature(source), self._signature(target))
+        key = (self.signature(source), self.signature(target))
         cached = self._cache.get(key)
         if cached is None:
             cached = self._compare_uncached(source, target)
@@ -176,6 +181,43 @@ def _strength_score(strength, relaxed_credit) -> float:
     if strength is MatchStrength.RELAXED:
         return relaxed_credit
     return 0.0
+
+
+class PropertiesMatcher(Matcher):
+    """Single-axis matcher: the properties axis as a standalone algorithm.
+
+    Scores every node pair by :class:`PropertyMatcher.compare` alone --
+    weak on its own (like every single-evidence matcher) but a useful
+    registry citizen for composites and ablations, and the natural
+    "properties" family entry of the engine's matcher registry.
+    """
+
+    name = "properties"
+
+    def __init__(self, property_matcher=None, config=None):
+        self.property_matcher = property_matcher or PropertyMatcher(config=config)
+
+    def make_context(self, source, target, stats=None, cache_enabled=True):
+        from repro.engine.context import MatchContext
+
+        return MatchContext(
+            source, target, property_matcher=self.property_matcher,
+            stats=stats, cache_enabled=cache_enabled,
+        )
+
+    def match_context(self, ctx):
+        from repro.matching.result import ScoreMatrix
+
+        matrix = ScoreMatrix(ctx.source, ctx.target)
+        t_nodes = ctx.target_preorder
+        for s_node in ctx.source_preorder:
+            for t_node in t_nodes:
+                matrix.set(
+                    s_node, t_node,
+                    ctx.property_comparison(s_node, t_node).score,
+                )
+        ctx.stats.count("properties.pairs", len(matrix))
+        return matrix
 
 
 def occurs_range_overlaps(min_a, max_a, min_b, max_b) -> bool:

@@ -29,7 +29,6 @@ from repro.linguistic.tokenizer import normalize as normalize_label
 from repro.linguistic.string_metrics import blended_similarity
 from repro.matching.base import Matcher
 from repro.matching.result import ScoreMatrix
-from repro.xsd.model import SchemaTree
 
 
 @dataclass(frozen=True)
@@ -61,9 +60,10 @@ class SimilarityFloodingMatcher(Matcher):
         #: and reports).
         self.last_iterations = 0
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        s_nodes = list(source.root.iter_preorder())
-        t_nodes = list(target.root.iter_preorder())
+    def match_context(self, ctx) -> ScoreMatrix:
+        source, target = ctx.source, ctx.target
+        s_nodes = ctx.source_preorder
+        t_nodes = ctx.target_preorder
         n, m = len(s_nodes), len(t_nodes)
         s_index = {id(node): i for i, node in enumerate(s_nodes)}
         t_index = {id(node): j for j, node in enumerate(t_nodes)}
@@ -134,4 +134,6 @@ class SimilarityFloodingMatcher(Matcher):
             base = i * m
             for j, t_node in enumerate(t_nodes):
                 matrix.set(s_node, t_node, float(sigma[base + j]))
+        ctx.stats.count("flooding.pairs", len(matrix))
+        ctx.stats.count("flooding.iterations", self.last_iterations)
         return matrix

@@ -34,7 +34,7 @@ from repro.matching.result import ScoreMatrix
 from repro.properties.matcher import occurs_range_overlaps
 from repro.linguistic.tokenizer import normalize
 from repro.properties.types import type_similarity
-from repro.xsd.model import SchemaNode, SchemaTree
+from repro.xsd.model import SchemaNode
 
 
 @dataclass(frozen=True)
@@ -126,10 +126,10 @@ class StructuralMatcher(Matcher):
     # Matcher protocol
     # ------------------------------------------------------------------
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
-        s_nodes = list(source.root.iter_postorder())
-        t_nodes = list(target.root.iter_postorder())
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
+        s_nodes = ctx.source_postorder
+        t_nodes = ctx.target_postorder
         s_index = {id(node): i for i, node in enumerate(s_nodes)}
         t_index = {id(node): j for j, node in enumerate(t_nodes)}
         n, m = len(s_nodes), len(t_nodes)
@@ -215,14 +215,12 @@ class StructuralMatcher(Matcher):
                 child_cols = [linked_t[:, t_index[id(c)]] for c in t_node.children]
                 linked_t[:, j] = np.sum(child_cols, axis=0)
 
-        # Vectorized blend.
+        # Vectorized blend (leaf sets come precomputed from the context).
         s_leaf_count = np.array(
-            [sum(1 for _ in node.iter_leaves()) for node in s_nodes],
-            dtype=np.float64,
+            [len(ctx.leaves(node)) for node in s_nodes], dtype=np.float64,
         )
         t_leaf_count = np.array(
-            [sum(1 for _ in node.iter_leaves()) for node in t_nodes],
-            dtype=np.float64,
+            [len(ctx.leaves(node)) for node in t_nodes], dtype=np.float64,
         )
         ssim = (linked_s + linked_t) / (
             s_leaf_count[:, None] + t_leaf_count[None, :]
@@ -261,6 +259,7 @@ class StructuralMatcher(Matcher):
             row = scores[i]
             for j, t_node in enumerate(t_nodes):
                 matrix.set(s_node, t_node, float(row[j]))
+        ctx.stats.count("structural.pairs", len(matrix))
         return matrix
 
 

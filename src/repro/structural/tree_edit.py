@@ -25,7 +25,7 @@ only runs this baseline on small and medium inputs (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.matching.base import Matcher
@@ -177,10 +177,10 @@ class TreeEditMatcher(Matcher):
     def __init__(self, config=None):
         self.config = config or TreeEditConfig()
 
-    def score_matrix(self, source: SchemaTree, target: SchemaTree) -> ScoreMatrix:
-        matrix = ScoreMatrix(source, target)
+    def match_context(self, ctx) -> ScoreMatrix:
+        matrix = ScoreMatrix(ctx.source, ctx.target)
         treedist, s_nodes, t_nodes = _zhang_shasha(
-            source.root, target.root, self.config
+            ctx.source.root, ctx.target.root, self.config
         )
         s_sizes = [node.size for node in s_nodes]
         t_sizes = [node.size for node in t_nodes]
@@ -189,4 +189,5 @@ class TreeEditMatcher(Matcher):
                 denominator = s_sizes[i] + t_sizes[j]
                 score = max(0.0, 1.0 - treedist[i][j] / denominator)
                 matrix.set(s_node, t_node, score)
+        ctx.stats.count("tree-edit.pairs", len(matrix))
         return matrix

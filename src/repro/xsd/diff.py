@@ -19,7 +19,7 @@ a change log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.linguistic.matcher import LinguisticMatcher
 from repro.matching.incremental import node_fingerprint

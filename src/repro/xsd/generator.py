@@ -14,7 +14,7 @@ yields the same tree.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.xsd.errors import SchemaValidationError
 from repro.xsd.model import NodeKind, SchemaNode, SchemaTree

@@ -23,7 +23,7 @@ import re
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass
 
-from repro.xsd.model import NodeKind, SchemaNode, SchemaTree, UNBOUNDED, xml_name
+from repro.xsd.model import SchemaNode, SchemaTree, UNBOUNDED, xml_name
 
 #: Words used when synthesizing string values.
 _SAMPLE_WORDS = (

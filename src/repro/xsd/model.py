@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Callable, Iterator, Mapping, Optional, Sequence
+from typing import Callable, Iterator, Optional
 
 from repro.xsd.errors import SchemaValidationError
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from xml.dom import minidom
 
-from repro.xsd.model import NodeKind, SchemaNode, SchemaTree, UNBOUNDED, occurs_to_str
+from repro.xsd.model import SchemaNode, SchemaTree, UNBOUNDED, occurs_to_str
 
 _XS = "xs"
 _XSD_URI = "http://www.w3.org/2001/XMLSchema"

@@ -237,3 +237,62 @@ class TestComplexFlag:
         output = capsys.readouterr().out
         assert "no complex (1:n) proposals" in output or \
             "complex (1:n) proposals" in output
+
+
+class TestStatsFlag:
+    def test_stats_printed_to_stderr(self, po_files, capsys):
+        assert main(["match", *po_files, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "engine stats" in captured.err
+        assert "score:qmatch" in captured.err
+        assert "context.labels" in captured.err
+        # stdout stays the normal report, uncontaminated
+        assert "engine stats" not in captured.out
+        assert "algorithm: qmatch" in captured.out
+
+    def test_no_stats_by_default(self, po_files, capsys):
+        assert main(["match", *po_files]) == 0
+        assert "engine stats" not in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    def test_missing_file_exits_nonzero_without_traceback(self, capsys):
+        exit_code = main(["match", "/no/such/file.xsd", "/missing/too.xsd"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "qmatch: error:" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_unparseable_schema_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xsd"
+        bad.write_text("this is not xml at all", encoding="utf-8")
+        assert main(["match", str(bad), str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "qmatch: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_evaluate_task_exits_nonzero(self, capsys):
+        assert main(["evaluate", "--task", "NoSuchTask"]) == 2
+        assert "qmatch: error:" in capsys.readouterr().err
+
+    def test_argparse_errors_still_raise_system_exit(self, po_files):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["match", *po_files, "--algorithm", "bogus"])
+
+
+class TestEvaluateRegistryOptions:
+    def test_algorithm_selection(self, capsys):
+        assert main(["evaluate", "--task", "PO", "--algorithm",
+                     "linguistic", "name"]) == 0
+        output = capsys.readouterr().out
+        assert "linguistic" in output
+        assert "name" in output
+        assert "qmatch" not in output
+
+    def test_share_context_flag(self, capsys):
+        assert main(["evaluate", "--task", "PO", "--algorithm", "linguistic",
+                     "qmatch", "--share-context"]) == 0
+        assert "qmatch" in capsys.readouterr().out

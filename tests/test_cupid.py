@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cupid import CupidConfig, CupidMatcher
-from repro.xsd.builder import TreeBuilder, element, tree
+from repro.xsd.builder import element, tree
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,210 @@
+"""Tests for the engine layer: MatchContext caching and EngineStats.
+
+The load-bearing guarantee is cache *transparency*: a matcher run
+against a caching context must produce bit-identical scores to the same
+matcher with caching disabled -- checked property-based over random
+schema trees and exhaustively over the bundled paper datasets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.qmatch import QMatchMatcher
+from repro.cupid.matcher import CupidMatcher
+from repro.datasets import registry as datasets
+from repro.engine.context import LABEL_CACHE, PROPERTY_CACHE, MatchContext
+from repro.engine.stats import EngineStats
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.xsd.builder import element, tree
+from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+
+
+@st.composite
+def schema_trees(draw, max_nodes=30):
+    """Random schema trees via the seeded generator (as in
+    test_property_based.py)."""
+    max_depth = draw(st.integers(min_value=1, max_value=4))
+    n_nodes = draw(st.integers(min_value=max_depth + 1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    config = GeneratorConfig(n_nodes=n_nodes, max_depth=max_depth, seed=seed)
+    return SchemaGenerator(config).generate()
+
+
+def assert_identical_matrices(matcher, source, target):
+    """Cached and uncached runs must agree bit for bit."""
+    cached = matcher.match_context(
+        matcher.make_context(source, target, cache_enabled=True)
+    )
+    uncached = matcher.match_context(
+        matcher.make_context(source, target, cache_enabled=False)
+    )
+    for s_node in source.root.iter_preorder():
+        for t_node in target.root.iter_preorder():
+            assert cached.get(s_node, t_node) == uncached.get(s_node, t_node)
+
+
+class TestCacheTransparency:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(source=schema_trees(), target=schema_trees())
+    def test_qmatch_scores_identical_property_based(self, source, target):
+        assert_identical_matrices(QMatchMatcher(), source, target)
+
+    @pytest.mark.parametrize("task_name", ["PO", "Book", "DCMD", "Inventory"])
+    @pytest.mark.parametrize(
+        "matcher_factory", [QMatchMatcher, CupidMatcher, LinguisticMatcher]
+    )
+    def test_scores_identical_on_datasets(self, task_name, matcher_factory):
+        task = datasets.task(task_name)
+        assert_identical_matrices(matcher_factory(), task.source, task.target)
+
+
+class TestMatchContext:
+    @pytest.fixture()
+    def pair(self):
+        source = tree(element(
+            "PO",
+            element("OrderNo", type_name="string"),
+            element("Date", type_name="date"),
+            element("OrderNumber", type_name="string"),
+        ))
+        target = tree(element(
+            "Order",
+            element("OrderNo", type_name="string"),
+            element("ShipDate", type_name="date"),
+        ))
+        return source, target
+
+    def test_node_lists_cover_both_trees(self, pair):
+        source, target = pair
+        ctx = MatchContext(source, target)
+        assert len(ctx.source_postorder) == source.size
+        assert len(ctx.target_postorder) == target.size
+        assert set(map(id, ctx.source_preorder)) == set(
+            map(id, ctx.source_postorder)
+        )
+        assert ctx.pair_count == source.size * target.size
+
+    def test_label_comparison_is_memoized(self, pair):
+        source, target = pair
+        ctx = MatchContext(source, target, stats=EngineStats())
+        first = ctx.label_comparison("OrderNo", "OrderNo")
+        second = ctx.label_comparison("OrderNo", "OrderNo")
+        assert first is second
+        assert ctx.stats.cache(LABEL_CACHE).hits >= 1
+        assert ctx.stats.hit_rate(LABEL_CACHE) > 0.0
+
+    def test_label_comparison_is_symmetric(self, pair):
+        source, target = pair
+        ctx = MatchContext(source, target)
+        forward = ctx.label_comparison("ShipDate", "Date")
+        backward = ctx.label_comparison("Date", "ShipDate")
+        assert forward.score == backward.score
+
+    def test_repeated_labels_hit_the_cache(self, pair):
+        # "OrderNo" appears in both trees and twice as a near-duplicate
+        # on the source side, so a full pair sweep must revisit pairs.
+        source, target = pair
+        matcher = QMatchMatcher()
+        ctx = matcher.make_context(source, target)
+        matcher.match_context(ctx)
+        assert ctx.stats.cache(LABEL_CACHE).hits > 0
+        assert ctx.stats.total_cache_hit_rate() > 0.0
+
+    def test_property_comparison_memoized_by_signature(self, pair):
+        source, target = pair
+        ctx = MatchContext(source, target, stats=EngineStats())
+        s_node = source.root.children[0]
+        t_node = target.root.children[0]
+        ctx.property_comparison(s_node, t_node)
+        ctx.property_comparison(s_node, t_node)
+        assert ctx.stats.cache(PROPERTY_CACHE).hits >= 1
+
+    def test_cache_disabled_records_nothing(self, pair):
+        source, target = pair
+        ctx = MatchContext(source, target, cache_enabled=False,
+                           stats=EngineStats())
+        ctx.label_comparison("OrderNo", "OrderNo")
+        ctx.label_comparison("OrderNo", "OrderNo")
+        assert ctx.stats.cache(LABEL_CACHE).hits == 0
+
+    def test_warm_precomputes_node_state(self, pair):
+        source, target = pair
+        ctx = MatchContext(source, target)
+        ctx.warm()
+        assert "context.warm" in ctx.stats.stages
+        assert len(ctx.leaves(source.root)) == 3
+
+    def test_shared_context_across_matchers(self, pair):
+        # The second matcher's label lookups land in the first's cache.
+        source, target = pair
+        linguistic = LinguisticMatcher()
+        ctx = MatchContext(source, target, linguistic=linguistic)
+        LinguisticMatcher().match_context(ctx)
+        misses_after_first = ctx.stats.cache(LABEL_CACHE).misses
+        QMatchMatcher(linguistic=linguistic).match_context(ctx)
+        assert ctx.stats.cache(LABEL_CACHE).misses == misses_after_first
+
+
+class TestEngineStats:
+    def test_stage_timing_accumulates(self):
+        stats = EngineStats()
+        with stats.stage("phase"):
+            pass
+        with stats.stage("phase"):
+            pass
+        assert stats.stages["phase"].calls == 2
+        assert stats.stage_seconds("phase") >= 0.0
+
+    def test_counters(self):
+        stats = EngineStats()
+        stats.count("pairs", 10)
+        stats.count("pairs", 5)
+        assert stats.counters["pairs"] == 15
+
+    def test_cache_hit_rate(self):
+        stats = EngineStats()
+        stats.record_hit("c")
+        stats.record_hit("c")
+        stats.record_miss("c")
+        assert stats.cache("c").lookups == 3
+        assert stats.hit_rate("c") == pytest.approx(2 / 3)
+
+    def test_merge(self):
+        left, right = EngineStats(), EngineStats()
+        left.count("pairs", 1)
+        right.count("pairs", 2)
+        right.record_hit("c")
+        left.merge(right)
+        assert left.counters["pairs"] == 3
+        assert left.cache("c").hits == 1
+
+    def test_render_mentions_stages_and_caches(self):
+        stats = EngineStats()
+        with stats.stage("score:qmatch"):
+            pass
+        stats.record_hit("context.labels")
+        stats.record_miss("context.labels")
+        text = stats.render()
+        assert "score:qmatch" in text
+        assert "context.labels" in text
+
+    def test_as_dict_round_trip(self):
+        stats = EngineStats()
+        stats.count("pairs", 4)
+        stats.record_hit("c")
+        payload = stats.as_dict()
+        assert payload["counters"]["pairs"] == 4
+        assert payload["caches"]["c"]["hits"] == 1
+
+
+class TestMatchResultCarriesStats:
+    def test_match_populates_stats(self):
+        task = datasets.task("PO")
+        result = QMatchMatcher().match(task.source, task.target)
+        assert result.stats is not None
+        assert result.stats.stage_seconds("score:qmatch") > 0.0
+        assert result.stats.counters["qmatch.pairs"] == (
+            task.source.size * task.target.size
+        )

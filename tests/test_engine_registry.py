@@ -1,0 +1,165 @@
+"""Tests for the matcher registry and its wiring into the entry points.
+
+Every registered name must resolve to a working matcher, actually match
+a small schema pair, and round-trip through the evaluation harness --
+the registry is the single resolution path for :func:`repro.make_matcher`,
+the CLI and the harness.
+"""
+
+import pytest
+
+import repro
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    MatcherRegistry,
+    MatcherSpec,
+    register_default_matchers,
+)
+from repro.evaluation.harness import (
+    MatchTask,
+    evaluate_all,
+    evaluate_matcher,
+    resolve_matchers,
+)
+from repro.matching.base import Matcher
+from repro.matching.result import MatchResult
+from repro.xsd.builder import element, tree
+
+
+@pytest.fixture()
+def small_pair():
+    source = tree(element(
+        "PO",
+        element("OrderNo", type_name="string"),
+        element("ShipDate", type_name="date"),
+    ))
+    target = tree(element(
+        "Order",
+        element("OrderNumber", type_name="string"),
+        element("Date", type_name="date"),
+    ))
+    return source, target
+
+
+class TestDefaultRegistry:
+    def test_covers_all_matcher_families(self):
+        names = set(DEFAULT_REGISTRY.names())
+        assert {
+            "qmatch", "linguistic", "structural", "cupid", "properties",
+            "composite",
+        } <= names
+
+    @pytest.mark.parametrize("name", DEFAULT_REGISTRY.names())
+    def test_every_name_resolves_to_a_matcher(self, name):
+        matcher = DEFAULT_REGISTRY.create(name)
+        assert isinstance(matcher, Matcher)
+
+    @pytest.mark.parametrize("name", DEFAULT_REGISTRY.names())
+    def test_every_name_matches_a_small_pair(self, name, small_pair):
+        source, target = small_pair
+        result = DEFAULT_REGISTRY.create(name).match(source, target)
+        assert isinstance(result, MatchResult)
+        assert 0.0 <= result.tree_qom <= 1.0
+
+    @pytest.mark.parametrize("name", DEFAULT_REGISTRY.names())
+    def test_every_name_round_trips_through_harness(self, name, small_pair):
+        source, target = small_pair
+        task = MatchTask("small", source, target)
+        row, result = evaluate_matcher(task, name)
+        assert row.task == "small"
+        assert row.found == len(result.correspondences)
+
+    def test_specs_have_descriptions(self):
+        for name in DEFAULT_REGISTRY:
+            assert DEFAULT_REGISTRY.spec(name).description
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            DEFAULT_REGISTRY.create("no-such-matcher")
+
+    def test_kwargs_forwarded_to_factory(self):
+        from repro.core.config import QMatchConfig
+
+        config = QMatchConfig(threshold=0.7)
+        matcher = DEFAULT_REGISTRY.create("qmatch", config=config)
+        assert matcher.config.threshold == 0.7
+
+    def test_make_matcher_uses_registry(self):
+        assert repro.ALGORITHMS == DEFAULT_REGISTRY.names()
+        for name in repro.ALGORITHMS:
+            assert isinstance(repro.make_matcher(name), Matcher)
+
+
+class TestMatcherRegistry:
+    def test_register_and_create(self):
+        registry = MatcherRegistry()
+        registry.register("linguistic-copy",
+                          repro.LinguisticMatcher, description="copy")
+        assert "linguistic-copy" in registry
+        assert isinstance(registry.create("linguistic-copy"),
+                          repro.LinguisticMatcher)
+        assert registry.spec("linguistic-copy") == MatcherSpec(
+            "linguistic-copy", repro.LinguisticMatcher, "copy"
+        )
+
+    def test_register_as_decorator(self, small_pair):
+        registry = MatcherRegistry()
+
+        @registry.register("constant")
+        class ConstantMatcher(Matcher):
+            name = "constant"
+
+            def match_context(self, ctx):
+                from repro.matching.result import ScoreMatrix
+
+                matrix = ScoreMatrix(ctx.source, ctx.target)
+                for s_node in ctx.source_preorder:
+                    for t_node in ctx.target_preorder:
+                        matrix.set(s_node, t_node, 1.0)
+                return matrix
+
+        source, target = small_pair
+        result = registry.create("constant").match(source, target)
+        assert result.tree_qom == 1.0
+
+    def test_duplicate_name_rejected(self):
+        registry = MatcherRegistry()
+        registry.register("x", repro.LinguisticMatcher)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("x", repro.StructuralMatcher)
+
+    def test_replace_allows_override(self):
+        registry = MatcherRegistry()
+        registry.register("x", repro.LinguisticMatcher)
+        registry.register("x", repro.StructuralMatcher, replace=True)
+        assert isinstance(registry.create("x"), repro.StructuralMatcher)
+
+    def test_register_defaults_into_fresh_registry(self):
+        registry = register_default_matchers(MatcherRegistry())
+        assert registry.names() == DEFAULT_REGISTRY.names()
+        assert len(registry) == len(DEFAULT_REGISTRY)
+
+
+class TestHarnessRegistryWiring:
+    def test_resolve_matchers_mixes_names_and_instances(self):
+        custom = repro.StructuralMatcher()
+        resolved = resolve_matchers(["linguistic", custom])
+        assert isinstance(resolved[0], repro.LinguisticMatcher)
+        assert resolved[1] is custom
+
+    def test_evaluate_all_accepts_names(self, small_pair):
+        source, target = small_pair
+        task = MatchTask("small", source, target)
+        rows = evaluate_all([task], ["linguistic", "qmatch"])
+        assert [row.algorithm for row in rows] == ["linguistic", "qmatch"]
+
+    def test_share_context_matches_per_matcher_results(self, small_pair):
+        source, target = small_pair
+        task = MatchTask("small", source, target)
+        separate = evaluate_all([task], ["linguistic", "qmatch"])
+        shared = evaluate_all([task], ["linguistic", "qmatch"],
+                              share_context=True)
+        for lone, joint in zip(separate, shared):
+            assert lone.algorithm == joint.algorithm
+            assert lone.found == joint.found
+            assert lone.tree_qom == pytest.approx(joint.tree_qom)

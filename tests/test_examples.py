@@ -5,9 +5,7 @@ are exercised by the benchmark suite's machinery instead; here we keep
 the quick examples from rotting as the API evolves.
 """
 
-import io
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

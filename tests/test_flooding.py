@@ -3,7 +3,7 @@
 import pytest
 
 from repro.structural.flooding import FloodingConfig, SimilarityFloodingMatcher
-from repro.xsd.builder import TreeBuilder, element, tree
+from repro.xsd.builder import element, tree
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,6 @@ from repro.matching.incremental import (
     incremental_qmatch,
     node_fingerprint,
 )
-from repro.xsd.builder import TreeBuilder
 from repro.xsd.generator import GeneratorConfig, SchemaGenerator
 from repro.xsd.model import SchemaNode
 

@@ -2,9 +2,8 @@
 
 import xml.etree.ElementTree as ET
 
-import pytest
 
-from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.builder import attribute, element, tree
 from repro.xsd.instances import (
     InstanceConfig,
     generate_instance,

@@ -7,7 +7,7 @@ import pytest
 import repro
 from repro.mapping import Mapping, translate_instance, translate_instance_text
 from repro.mapping.mapping import MappingError
-from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.builder import attribute, element, tree
 from repro.xsd.instances import generate_instance, validate_instance
 
 

@@ -9,7 +9,6 @@ for every test run.
 import pytest
 
 import repro
-from repro.core.config import QMatchConfig
 from repro.core.qmatch import QMatchMatcher
 from repro.core.taxonomy import MatchCategory
 from repro.core.weights import PAPER_WEIGHTS

@@ -11,7 +11,7 @@ from repro.core.config import QMatchConfig
 from repro.core.qmatch import QMatchMatcher
 from repro.core.taxonomy import CoverageLevel, MatchCategory
 from repro.core.weights import AxisWeights
-from repro.xsd.builder import TreeBuilder, element, tree
+from repro.xsd.builder import element, tree
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ from repro.datasets import registry
 from repro.evaluation.tuning import TuningCase, sweep_weights
 from repro.linguistic.matcher import LinguisticConfig, LinguisticMatcher
 from repro.matching.io import result_to_json
-from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.builder import attribute, element, tree
 from repro.xsd.errors import SchemaParseError
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the schema-evolution diff."""
 
-import pytest
 
 from repro.xsd.diff import diff_schemas
 from repro.xsd.model import SchemaNode

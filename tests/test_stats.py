@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.builder import attribute, element, tree
 from repro.xsd.stats import schema_stats
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the XML match taxonomy (paper Section 2)."""
 
-import pytest
 
 from repro.core.taxonomy import (
     CoverageLevel,

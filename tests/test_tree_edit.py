@@ -8,7 +8,7 @@ from repro.structural.tree_edit import (
     tree_edit_distance,
     tree_edit_similarity,
 )
-from repro.xsd.builder import TreeBuilder, element, tree
+from repro.xsd.builder import TreeBuilder, tree
 
 
 def small(*leaf_specs, root="R"):

@@ -1,8 +1,7 @@
 """Unit tests for XSD serialization and the compact text format."""
 
-import pytest
 
-from repro.xsd.builder import TreeBuilder, attribute, element, tree
+from repro.xsd.builder import attribute, element, tree
 from repro.xsd.model import UNBOUNDED
 from repro.xsd.parser import parse_xsd
 from repro.xsd.serializer import to_compact_text, to_xsd
