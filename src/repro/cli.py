@@ -13,6 +13,9 @@ Subcommands::
     qmatch translate a.xsd b.xsd [doc.xml]
     qmatch diff old.json new.json
     qmatch sdiff old.xsd new.xsd
+    qmatch batch manifest.json [--workers N] [--cache-dir DIR]
+                               [--report out.json]
+    qmatch serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
 
 ``match`` matches two XSD files and prints the correspondences and the
 overall schema QoM; ``show`` / ``stats`` inspect one schema;
@@ -20,7 +23,13 @@ overall schema QoM; ``show`` / ``stats`` inspect one schema;
 pairs; ``generate`` emits a sample document; ``translate`` matches two
 schemas and reshapes a document from one into the other; ``diff``
 compares two saved match results; ``sdiff`` diffs two versions of a
-schema.
+schema; ``batch`` runs every pair in a manifest through the parallel
+:mod:`repro.service` runner with content-addressed result caching;
+``serve`` exposes the same engine as a JSON-over-HTTP job service.
+
+All user-supplied parameters (thresholds, weights, manifests) validate
+through :mod:`repro.service.validation`; a bad value prints one
+``qmatch: error:`` line to stderr and exits with status 2.
 """
 
 from __future__ import annotations
@@ -31,7 +40,6 @@ import sys
 
 from repro import ALGORITHMS, make_matcher
 from repro.core.config import QMatchConfig
-from repro.core.weights import AxisWeights
 from repro.evaluation.harness import evaluate_all, render_quality_rows
 from repro.xsd.parser import parse_xsd_file
 from repro.xsd.serializer import to_compact_text
@@ -117,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
              "context (label analysis computed once per task)",
     )
     evaluate_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="route (task, algorithm) runs through the parallel batch "
+             "runner with this many worker processes (default: 1, serial)",
+    )
+    evaluate_parser.add_argument(
         "--format", choices=("text", "markdown"), default="text",
         dest="output_format", help="report format (default: text)",
     )
@@ -160,42 +173,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sdiff_parser.add_argument("old", help="old-version XSD file")
     sdiff_parser.add_argument("new", help="new-version XSD file")
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="match every schema pair in a JSON manifest, in parallel, "
+             "with content-addressed result caching (resumable)",
+    )
+    batch_parser.add_argument(
+        "manifest", help="JSON manifest of schema pairs (see DESIGN.md §8)"
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent worker processes (default: 1, serial)",
+    )
+    batch_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=".qmatch-cache",
+        help="content-addressed result store directory "
+             "(default: .qmatch-cache); re-runs reuse stored results",
+    )
+    batch_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result store (recompute every pair)",
+    )
+    batch_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline; a job past it is killed, retried, and "
+             "finally marked timed-out (default: 300)",
+    )
+    batch_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts after a failed or timed-out run (default: 1)",
+    )
+    batch_parser.add_argument(
+        "--report", metavar="FILE",
+        help="also write the machine-readable run report as JSON",
+    )
+    batch_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable report table",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP match service (POST a schema pair, "
+             "poll job status, fetch results)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (default: 8765; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="background job threads (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="enable the content-addressed result store at DIR",
+    )
     return parser
 
 
-def _parse_weights(text: str) -> AxisWeights:
-    try:
-        values = [float(part) for part in text.split(",")]
-    except ValueError:
-        raise SystemExit(f"invalid --weights {text!r}: expected four numbers")
-    if len(values) != 4:
-        raise SystemExit(
-            f"invalid --weights {text!r}: expected exactly four numbers "
-            "(label, properties, level, children)"
-        )
-    return AxisWeights.normalized(*values)
-
-
 def _command_match(args) -> int:
-    source = parse_xsd_file(args.source)
-    target = parse_xsd_file(args.target)
+    from repro.service.validation import (
+        ValidationError,
+        validate_threshold,
+        validate_weights,
+    )
+
+    threshold = validate_threshold(args.threshold, field="--threshold")
     kwargs = {}
     if args.weights:
         if args.algorithm != "qmatch":
-            raise SystemExit("--weights only applies to the qmatch algorithm")
-        kwargs["config"] = QMatchConfig(weights=_parse_weights(args.weights))
+            raise ValidationError(
+                "--weights only applies to the qmatch algorithm"
+            )
+        weights = validate_weights(args.weights, field="--weights")
+        kwargs["config"] = QMatchConfig(weights=weights)
+    source = parse_xsd_file(args.source)
+    target = parse_xsd_file(args.target)
     matcher = make_matcher(args.algorithm, **kwargs)
     result = matcher.match(
-        source, target, threshold=args.threshold, strategy=args.strategy
+        source, target, threshold=threshold, strategy=args.strategy
     )
     if args.show_stats and result.stats is not None:
         print(result.stats.render(), file=sys.stderr)
     if args.save:
         from pathlib import Path
 
-        from repro.matching.io import result_to_json
-
-        Path(args.save).write_text(result_to_json(result), encoding="utf-8")
+        Path(args.save).write_text(result.to_json(), encoding="utf-8")
         print(f"saved result to {args.save}", file=sys.stderr)
     if args.output_format == "text":
         print(result.summary())
@@ -241,13 +307,15 @@ def _command_show(args) -> int:
 
 def _command_evaluate(args) -> int:
     from repro.datasets import registry  # heavy import kept local
+    from repro.service.validation import validate_threshold
 
+    threshold = validate_threshold(args.threshold, field="--threshold")
     tasks = [registry.task(name) for name in args.task]
     # Algorithm names go straight to the harness, which resolves them
     # through the engine registry.
     rows = evaluate_all(
-        tasks, args.algorithm, threshold=args.threshold,
-        share_context=args.share_context,
+        tasks, args.algorithm, threshold=threshold,
+        share_context=args.share_context, workers=args.workers,
     )
     if args.output_format == "markdown":
         from repro.evaluation.report import render_markdown_report
@@ -323,6 +391,52 @@ def _command_sdiff(args) -> int:
     return 0 if diff.is_empty else 1
 
 
+def _command_batch(args) -> int:
+    from pathlib import Path
+
+    from repro.service.manifest import load_manifest
+    from repro.service.runner import BatchRunner
+    from repro.service.store import ResultStore
+    from repro.service.validation import ValidationError
+
+    if args.workers < 1:
+        raise ValidationError(f"invalid --workers {args.workers}: must be >= 1")
+    if args.retries < 0:
+        raise ValidationError(f"invalid --retries {args.retries}: must be >= 0")
+    specs = load_manifest(args.manifest)
+    store = None
+    if not args.no_cache:
+        store = ResultStore(args.cache_dir)
+    runner_kwargs = {}
+    if args.timeout is not None:
+        runner_kwargs["timeout"] = args.timeout
+    runner = BatchRunner(
+        workers=args.workers, store=store, retries=args.retries,
+        **runner_kwargs,
+    )
+    report = runner.run(specs)
+    if args.report:
+        Path(args.report).write_text(
+            report.to_json(), encoding="utf-8"
+        )
+        print(f"wrote run report to {args.report}", file=sys.stderr)
+    if not args.quiet:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _command_serve(args) -> int:
+    from repro.service.server import serve
+    from repro.service.validation import ValidationError
+
+    if args.workers < 1:
+        raise ValidationError(f"invalid --workers {args.workers}: must be >= 1")
+    return serve(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -334,6 +448,8 @@ def main(argv=None) -> int:
         "stats": _command_stats,
         "diff": _command_diff,
         "sdiff": _command_sdiff,
+        "batch": _command_batch,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

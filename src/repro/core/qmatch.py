@@ -101,6 +101,20 @@ class QMatchMatcher(Matcher):
     # Matcher protocol
     # ------------------------------------------------------------------
 
+    def config_signature(self) -> dict:
+        """Expose every score-shaping knob of :class:`QMatchConfig`."""
+        config = self.config
+        return {
+            "algorithm": self.name,
+            "weights": config.weights.as_tuple(),
+            "child_threshold": config.threshold,
+            "children_aggregation": config.children_aggregation,
+            "leaf_level_mode": config.leaf_level_mode,
+            "structural_child_gate": config.structural_child_gate,
+            "use_documentation": config.use_documentation,
+            "documentation_discount": config.documentation_discount,
+        }
+
     def make_context(self, source, target, stats=None, cache_enabled=True):
         """Inject this matcher's configured services into the context."""
         from repro.engine.context import MatchContext

@@ -134,6 +134,27 @@ class EngineStats:
             self.count(name, value)
         return self
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineStats":
+        """Rebuild an instance from an :meth:`as_dict` snapshot.
+
+        The cross-process aggregation hook: batch-service workers return
+        their stats as plain dicts over a pipe, and the parent folds
+        them back into one report via ``stats.merge(EngineStats.from_dict(d))``.
+        """
+        stats = cls()
+        for name, entry in (payload.get("stages") or {}).items():
+            stage = stats.stages[name] = StageStats(name)
+            stage.calls = int(entry.get("calls", 0))
+            stage.seconds = float(entry.get("seconds", 0.0))
+        for name, entry in (payload.get("caches") or {}).items():
+            cache = stats.cache(name)
+            cache.hits = int(entry.get("hits", 0))
+            cache.misses = int(entry.get("misses", 0))
+        for name, value in (payload.get("counters") or {}).items():
+            stats.counters[name] = int(value)
+        return stats
+
     def as_dict(self) -> dict:
         """JSON-friendly snapshot of everything recorded."""
         return {

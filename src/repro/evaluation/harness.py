@@ -119,7 +119,8 @@ def evaluate_matcher(task: MatchTask, matcher: Union[str, Matcher],
 def evaluate_all(tasks: Iterable[MatchTask],
                  matchers: Sequence[Union[str, Matcher]],
                  threshold=DEFAULT_THRESHOLD, strategy=None,
-                 share_context: bool = False) -> list[EvaluationRow]:
+                 share_context: bool = False,
+                 workers: int = 1) -> list[EvaluationRow]:
     """Full cross product of tasks x matchers.
 
     With ``share_context=True`` all matchers of one task run against a
@@ -127,7 +128,25 @@ def evaluate_all(tasks: Iterable[MatchTask],
     is computed once per task rather than once per (task, matcher).  The
     shared context uses default linguistic / property services; leave it
     off when matchers carry custom thesauri or configs.
+
+    With ``workers > 1`` every (task, matcher) run is fanned out over
+    the batch service's worker-process pool instead of running serially
+    in-process (see :class:`repro.service.runner.BatchRunner`).  That
+    path requires registry *names* (specs cross a process boundary) and
+    is mutually exclusive with ``share_context`` (contexts cannot be
+    shared across processes).
     """
+    tasks = list(tasks)
+    if workers > 1:
+        if share_context:
+            raise ValueError(
+                "share_context and workers>1 are mutually exclusive: a "
+                "MatchContext cannot be shared across worker processes"
+            )
+        return _evaluate_all_parallel(
+            tasks, matchers, threshold=threshold, strategy=strategy,
+            workers=workers,
+        )
     matchers = resolve_matchers(matchers)
     rows = []
     for task in tasks:
@@ -142,6 +161,60 @@ def evaluate_all(tasks: Iterable[MatchTask],
                 context=context,
             )
             rows.append(row)
+    return rows
+
+
+def _evaluate_all_parallel(tasks, matchers, threshold, strategy,
+                           workers) -> list[EvaluationRow]:
+    """Corpus evaluation routed through the batch runner's worker pool.
+
+    A failed or timed-out job degrades to a row with no quality numbers
+    (``found=0``) rather than aborting the evaluation -- the batch
+    service's graceful-degradation contract.
+    """
+    from repro.service.jobs import MatchJobSpec
+    from repro.service.runner import BatchRunner
+    from repro.xsd.serializer import to_xsd
+
+    if not all(isinstance(matcher, str) for matcher in matchers):
+        raise ValueError(
+            "parallel evaluation requires algorithm registry names, "
+            "not matcher instances (job specs cross a process boundary)"
+        )
+    units = []
+    specs = []
+    for task in tasks:
+        source_xsd = to_xsd(task.source)
+        target_xsd = to_xsd(task.target)
+        for algorithm in matchers:
+            units.append((task, algorithm))
+            specs.append(MatchJobSpec(
+                source_xsd=source_xsd,
+                target_xsd=target_xsd,
+                algorithm=algorithm,
+                threshold=threshold,
+                strategy=strategy,
+                label=f"{task.name}:{algorithm}",
+                source_name=task.source.name,
+                target_name=task.target.name,
+            ))
+    report = BatchRunner(workers=workers).run(specs)
+    rows = []
+    for record, (task, algorithm) in zip(report.records, units):
+        payload = record.result or {}
+        correspondences = payload.get("correspondences", [])
+        quality = None
+        if task.gold is not None and record.result is not None:
+            pairs = {(c["source"], c["target"]) for c in correspondences}
+            quality = evaluate_against_gold(pairs, task.gold)
+        rows.append(EvaluationRow(
+            task=task.name,
+            algorithm=algorithm,
+            quality=quality,
+            found=len(correspondences),
+            tree_qom=payload.get("tree_qom", 0.0),
+            elapsed_seconds=record.elapsed_seconds,
+        ))
     return rows
 
 

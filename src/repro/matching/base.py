@@ -96,6 +96,35 @@ class Matcher(abc.ABC):
         """Qualitative taxonomy labels per pair; ``None`` for baselines."""
         return None
 
+    # ------------------------------------------------------------------
+    # Configuration identity
+    # ------------------------------------------------------------------
+
+    def config_signature(self) -> dict:
+        """JSON-friendly description of everything that shapes scores.
+
+        Matchers with tunable configuration (QMatch's weights and
+        fidelity switches) override this so two differently-configured
+        instances produce different :meth:`fingerprint` values; the base
+        implementation identifies the algorithm alone.
+        """
+        return {"algorithm": self.name}
+
+    def fingerprint(self, threshold=DEFAULT_THRESHOLD, strategy=None) -> str:
+        """Stable short hash of (config, threshold, selection strategy).
+
+        This is the config component of the service result-store key
+        and the ``config_fingerprint`` stamped on every
+        :class:`MatchResult`: equal fingerprints mean a re-run would
+        reproduce the stored result bit for bit.
+        """
+        from repro.matching.io import config_fingerprint
+
+        signature = self.config_signature()
+        signature["threshold"] = threshold
+        signature["strategy"] = strategy or self.default_strategy
+        return config_fingerprint(signature)
+
     def match(self, source: SchemaTree, target: SchemaTree,
               threshold=DEFAULT_THRESHOLD, strategy=None,
               context=None) -> MatchResult:
@@ -126,4 +155,5 @@ class Matcher(abc.ABC):
             tree_qom=matrix.get(source.root, target.root),
             strategy=strategy,
             stats=stats,
+            config_fingerprint=self.fingerprint(threshold, strategy),
         )

@@ -13,20 +13,44 @@ This module supports that loop:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.matching.result import Correspondence, MatchResult
 
-_FORMAT_VERSION = 1
+#: Version 2 added ``strategy`` and ``config_fingerprint`` so a saved
+#: result (or a :class:`repro.service.store.ResultStore` entry) is
+#: self-describing: it records exactly which algorithm configuration
+#: produced it.  Version-1 files still load (those fields default).
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
-def result_to_json(result: MatchResult, indent: Optional[int] = 2) -> str:
-    """Serialize a match result's correspondences to JSON text."""
-    payload = {
+def config_fingerprint(signature: dict) -> str:
+    """Short stable hash of a matcher-configuration signature.
+
+    ``signature`` is the JSON-friendly dict a matcher reports through
+    :meth:`repro.matching.base.Matcher.config_signature` (plus run
+    parameters such as threshold and strategy).  Canonical-JSON hashing
+    makes the fingerprint independent of dict ordering, so equal
+    configurations always collide -- which is what the content-addressed
+    result store keys on.
+    """
+    canonical = json.dumps(
+        signature, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def result_to_payload(result: MatchResult) -> dict:
+    """The JSON-friendly dict form of a match result (no score matrix)."""
+    return {
         "format_version": _FORMAT_VERSION,
         "algorithm": result.algorithm,
+        "strategy": result.strategy,
+        "config_fingerprint": result.config_fingerprint,
         "tree_qom": result.tree_qom,
         "source_schema": result.matrix.source.name,
         "target_schema": result.matrix.target.name,
@@ -40,7 +64,11 @@ def result_to_json(result: MatchResult, indent: Optional[int] = 2) -> str:
             for c in result.correspondences
         ],
     }
-    return json.dumps(payload, indent=indent)
+
+
+def result_to_json(result: MatchResult, indent: Optional[int] = 2) -> str:
+    """Serialize a match result's correspondences to JSON text."""
+    return json.dumps(result_to_payload(result), indent=indent)
 
 
 @dataclass(frozen=True)
@@ -52,20 +80,21 @@ class StoredResult:
     source_schema: str
     target_schema: str
     correspondences: tuple
+    strategy: Optional[str] = None
+    config_fingerprint: Optional[str] = None
 
     @property
     def pairs(self) -> set:
         return {c.as_tuple() for c in self.correspondences}
 
 
-def result_from_json(text: str) -> StoredResult:
-    """Load a result previously written by :func:`result_to_json`."""
-    payload = json.loads(text)
+def result_from_payload(payload: dict) -> StoredResult:
+    """Build a :class:`StoredResult` from an already-parsed payload."""
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported match-result format version {version!r} "
-            f"(this library writes {_FORMAT_VERSION})"
+            f"(this library reads {_READABLE_VERSIONS})"
         )
     correspondences = tuple(
         Correspondence(
@@ -80,7 +109,14 @@ def result_from_json(text: str) -> StoredResult:
         source_schema=payload.get("source_schema", ""),
         target_schema=payload.get("target_schema", ""),
         correspondences=correspondences,
+        strategy=payload.get("strategy"),
+        config_fingerprint=payload.get("config_fingerprint"),
     )
+
+
+def result_from_json(text: str) -> StoredResult:
+    """Load a result previously written by :func:`result_to_json`."""
+    return result_from_payload(json.loads(text))
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,11 @@ class MatchResult:
     #: cache hit/miss) -- an :class:`repro.engine.stats.EngineStats`
     #: when produced through :meth:`Matcher.match`, else ``None``.
     stats: Optional[object] = None
+    #: Short hash of (algorithm config, threshold, strategy) identifying
+    #: exactly which configuration produced this result -- set by
+    #: :meth:`Matcher.match`, persisted by :meth:`to_json`, and the
+    #: config component of the service result-store key.
+    config_fingerprint: Optional[str] = None
 
     @property
     def matched_source_paths(self) -> set[str]:
@@ -145,6 +150,30 @@ class MatchResult:
             node.path for node in self.matrix.target
             if node.path not in matched
         ]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Self-describing JSON form (algorithm + config fingerprint).
+
+        Round-trips through :meth:`from_json`; the payload is what
+        ``qmatch match --save`` writes, ``qmatch diff`` reads, and the
+        service's :class:`~repro.service.store.ResultStore` persists.
+        """
+        from repro.matching.io import result_to_json
+
+        return result_to_json(self, indent=indent)
+
+    @staticmethod
+    def from_json(text: str):
+        """Load a saved result as a :class:`repro.matching.io.StoredResult`.
+
+        The score matrix is intentionally not persisted, so the loaded
+        object is the lightweight stored form, not a full
+        :class:`MatchResult`; correspondences, metadata and the config
+        fingerprint survive the round trip.
+        """
+        from repro.matching.io import result_from_json
+
+        return result_from_json(text)
 
     def summary(self) -> str:
         lines = [

@@ -1,0 +1,225 @@
+"""The job model of the batch match service.
+
+A :class:`MatchJobSpec` is a fully self-contained description of one
+match run: both schemas as canonical XSD text (picklable, so the spec
+can cross a process boundary), the algorithm name and every run
+parameter.  A :class:`JobRecord` is its mutable lifecycle envelope --
+state, attempts, timing, error record, result payload -- and a
+:class:`JobQueue` is the thread-safe registry both the
+:class:`~repro.service.runner.BatchRunner` and the HTTP
+:class:`~repro.service.server.MatchService` drive records through.
+
+Job states follow the usual queue lifecycle::
+
+    pending -> running -> done
+                       -> failed      (worker error / crash, retries spent)
+                       -> timed-out   (deadline exceeded, retries spent)
+
+A failed or timed-out job never aborts its batch; it carries a
+structured ``error`` record instead.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.service.store import content_hash
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle state of one match job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TIMED_OUT = "timed-out"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.TIMED_OUT)
+
+
+@dataclass(frozen=True)
+class MatchJobSpec:
+    """Everything needed to run one match job, self-contained.
+
+    ``source_xsd`` / ``target_xsd`` are canonical XSD text (what
+    :func:`repro.xsd.serializer.to_xsd` emits), so the content hashes
+    below are stable across whitespace/formatting differences in the
+    original files.  ``weights`` only applies to the ``qmatch``
+    algorithm; ``timeout`` overrides the runner's default per-job
+    deadline.
+    """
+
+    source_xsd: str
+    target_xsd: str
+    algorithm: str = "qmatch"
+    threshold: float = 0.5
+    strategy: Optional[str] = None
+    weights: Optional[tuple] = None
+    timeout: Optional[float] = None
+    label: str = ""
+    source_name: str = ""
+    target_name: str = ""
+    source_hash: str = ""
+    target_hash: str = ""
+
+    def __post_init__(self):
+        if not self.source_hash:
+            object.__setattr__(
+                self, "source_hash", content_hash(self.source_xsd)
+            )
+        if not self.target_hash:
+            object.__setattr__(
+                self, "target_hash", content_hash(self.target_xsd)
+            )
+        if not self.label:
+            source = self.source_name or self.source_hash[:8]
+            target = self.target_name or self.target_hash[:8]
+            object.__setattr__(
+                self, "label", f"{source}~{target}:{self.algorithm}"
+            )
+
+    def matcher_kwargs(self) -> dict:
+        """Factory kwargs for :meth:`MatcherRegistry.create`."""
+        if self.weights is None:
+            return {}
+        from repro.core.config import QMatchConfig
+        from repro.core.weights import AxisWeights
+
+        return {
+            "config": QMatchConfig(
+                weights=AxisWeights.from_sequence(self.weights)
+            )
+        }
+
+
+@dataclass
+class JobRecord:
+    """Mutable lifecycle envelope of one submitted job."""
+
+    job_id: str
+    spec: MatchJobSpec
+    state: JobState = JobState.PENDING
+    #: Number of execution attempts so far (0 while pending; a cache
+    #: hit completes with 0 attempts).
+    attempts: int = 0
+    cache_hit: bool = False
+    #: Wall time of the successful attempt (or the last failed one).
+    elapsed_seconds: float = 0.0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Structured error record when state is failed/timed-out:
+    #: ``{"type": ..., "message": ..., "attempts": ...}``.
+    error: Optional[dict] = None
+    #: The stored result payload (see ``repro.matching.io``) when done.
+    result: Optional[dict] = None
+
+    def snapshot(self, include_result: bool = False) -> dict:
+        """JSON-friendly view (what the HTTP API and run report emit)."""
+        data = {
+            "job_id": self.job_id,
+            "label": self.spec.label,
+            "algorithm": self.spec.algorithm,
+            "threshold": self.spec.threshold,
+            "source": self.spec.source_name,
+            "target": self.spec.target_name,
+            "source_hash": self.spec.source_hash,
+            "target_hash": self.spec.target_hash,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error": self.error,
+        }
+        if include_result:
+            data["result"] = self.result
+        elif self.result is not None:
+            data["tree_qom"] = self.result.get("tree_qom")
+            data["found"] = len(self.result.get("correspondences", ()))
+        return data
+
+
+class JobQueue:
+    """Thread-safe job registry with sequential, deterministic ids.
+
+    Insertion order is preserved: :meth:`records` returns jobs in
+    submission order regardless of completion order, which is what
+    makes batch reports deterministic under any worker count.
+    """
+
+    def __init__(self, prefix: str = "job"):
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+
+    def submit(self, spec: MatchJobSpec) -> JobRecord:
+        with self._lock:
+            job_id = f"{self._prefix}-{next(self._ids):04d}"
+            record = JobRecord(job_id=job_id, spec=spec)
+            self._records[job_id] = record
+            return record
+
+    def submit_all(self, specs: Iterable[MatchJobSpec]) -> list[JobRecord]:
+        return [self.submit(spec) for spec in specs]
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def records(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def counts(self) -> dict:
+        """Jobs per state (every state present, zeros included)."""
+        counts = {state.value: 0 for state in JobState}
+        for record in self.records():
+            counts[record.state.value] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # State transitions (used by the runner / service under their locks)
+    # ------------------------------------------------------------------
+
+    def mark_running(self, record: JobRecord):
+        with self._lock:
+            record.state = JobState.RUNNING
+            record.attempts += 1
+            if record.started_at is None:
+                record.started_at = time.time()
+
+    def mark_done(self, record: JobRecord, result: dict,
+                  elapsed: float = 0.0, cache_hit: bool = False):
+        with self._lock:
+            record.state = JobState.DONE
+            record.result = result
+            record.elapsed_seconds = elapsed
+            record.cache_hit = cache_hit
+            record.finished_at = time.time()
+            record.error = None
+
+    def mark_failed(self, record: JobRecord, error: dict,
+                    timed_out: bool = False, elapsed: float = 0.0):
+        with self._lock:
+            record.state = (
+                JobState.TIMED_OUT if timed_out else JobState.FAILED
+            )
+            record.error = dict(error, attempts=record.attempts)
+            record.elapsed_seconds = elapsed
+            record.finished_at = time.time()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self):
+        return iter(self.records())

@@ -1,0 +1,411 @@
+"""Parallel batch runner: fan match jobs out over worker processes.
+
+:class:`BatchRunner` drives :class:`~repro.service.jobs.JobRecord`
+objects through their lifecycle:
+
+1. **Cache check** -- the content-addressed
+   :class:`~repro.service.store.ResultStore` is consulted first; a hit
+   completes the job without any worker (``cache_hit=True``, zero
+   attempts).
+2. **Isolated execution** -- each attempt runs
+   :func:`execute_job` in a fresh ``multiprocessing`` child process,
+   which gives a real per-job deadline (the child is terminated on
+   timeout) and turns a hard worker crash (segfault, ``os._exit``) into
+   a structured error record instead of a poisoned pool.
+3. **Bounded retry with backoff** -- timeouts and errors are retried up
+   to ``retries`` extra attempts with exponential backoff, then land in
+   the ``timed-out`` / ``failed`` state.  A bad pair never aborts the
+   batch.
+
+Concurrency is a thread pool of dispatchers, each managing one child
+process at a time, so ``workers=4`` means at most four concurrent
+match processes.  ``inline=True`` skips process isolation and runs
+jobs on the dispatcher thread itself -- the mode the threaded HTTP
+service uses, and the fallback where ``fork``/``spawn`` is unavailable
+(timeouts are then not enforceable).
+
+The run produces a :class:`BatchReport`: job records in deterministic
+submission order, per-state counts, store hit rates and the merged
+:class:`~repro.engine.stats.EngineStats` of every worker (worker
+processes return their stats as dicts; the parent folds them back in
+through :meth:`EngineStats.from_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.engine.registry import DEFAULT_REGISTRY
+from repro.engine.stats import EngineStats
+from repro.matching.io import result_to_payload
+from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
+from repro.service.store import ResultStore
+
+#: Default per-job deadline (seconds) when neither the spec nor the
+#: runner overrides it.  Generous: the paper's largest pair (protein,
+#: ~4k elements) matches well inside this.
+DEFAULT_TIMEOUT = 300.0
+
+
+def job_fingerprint(spec: MatchJobSpec) -> str:
+    """The config fingerprint a run of ``spec`` would stamp on its result.
+
+    Computed by instantiating the (cheap) matcher and asking it, so the
+    store key always agrees with what the worker will produce.
+    """
+    matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
+    return matcher.fingerprint(spec.threshold, spec.strategy)
+
+
+def execute_job(spec: MatchJobSpec) -> dict:
+    """Worker body: run one match job and return a picklable envelope.
+
+    Returns ``{"result": <stored payload>, "stats": <EngineStats dict>,
+    "elapsed": seconds}``.  The result payload is the self-describing
+    format of :mod:`repro.matching.io` plus the schema content hashes,
+    so a store entry alone identifies what produced it.  Deliberately
+    deterministic: no timestamps, no timings inside the payload -- a
+    warm-cache rerun must be byte-identical.
+    """
+    from repro.xsd.parser import parse_xsd
+
+    started = time.perf_counter()
+    source = parse_xsd(spec.source_xsd, name=spec.source_name or None)
+    target = parse_xsd(spec.target_xsd, name=spec.target_name or None)
+    matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
+    result = matcher.match(
+        source, target, threshold=spec.threshold, strategy=spec.strategy
+    )
+    payload = result_to_payload(result)
+    payload["source_hash"] = spec.source_hash
+    payload["target_hash"] = spec.target_hash
+    stats = result.stats.as_dict() if result.stats is not None else {}
+    return {
+        "result": payload,
+        "stats": stats,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def _process_entry(conn, worker, spec):
+    """Child-process entry: run ``worker`` and ship the outcome back."""
+    try:
+        value = worker(spec)
+        conn.send({"ok": True, "value": value})
+    except BaseException as exc:  # noqa: BLE001 -- boundary: report, don't die
+        conn.send({
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        })
+    finally:
+        conn.close()
+
+
+@dataclass
+class BatchReport:
+    """Machine-readable outcome of one batch run."""
+
+    records: list
+    workers: int
+    wall_seconds: float
+    stats: EngineStats
+
+    @property
+    def counts(self) -> dict:
+        counts = {state.value: 0 for state in JobState}
+        for record in self.records:
+            counts[record.state.value] += 1
+        return counts
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.records) if self.records else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every job completed (possibly from cache)."""
+        return all(r.state is JobState.DONE for r in self.records)
+
+    def to_dict(self, include_results: bool = False) -> dict:
+        return {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "summary": dict(
+                self.counts,
+                total=len(self.records),
+                cache_hits=self.cache_hits,
+                cache_hit_rate=self.cache_hit_rate,
+            ),
+            "jobs": [
+                record.snapshot(include_result=include_results)
+                for record in self.records
+            ],
+            "stats": self.stats.as_dict(),
+        }
+
+    def to_json(self, include_results: bool = False,
+                indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(include_results), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable report table plus the summary line."""
+        from repro.evaluation.harness import render_table
+
+        rows = []
+        for record in self.records:
+            qom = record.result.get("tree_qom") if record.result else None
+            found = (
+                len(record.result.get("correspondences", ()))
+                if record.result else None
+            )
+            note = ""
+            if record.cache_hit:
+                note = "cache"
+            elif record.error is not None:
+                note = record.error.get("message", "")[:48]
+            rows.append((
+                record.job_id, record.spec.label, record.state.value,
+                record.attempts, qom, found, record.elapsed_seconds, note,
+            ))
+        table = render_table(
+            ["job", "label", "state", "attempts", "tree QoM", "found",
+             "seconds", "note"],
+            rows,
+        )
+        counts = self.counts
+        summary = (
+            f"{len(self.records)} jobs: {counts['done']} done, "
+            f"{counts['failed']} failed, {counts['timed-out']} timed out; "
+            f"{self.cache_hits} cache hit"
+            f"{'s' if self.cache_hits != 1 else ''} "
+            f"({self.cache_hit_rate:.0%}); "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.wall_seconds:.2f}s wall"
+        )
+        return f"{table}\n{summary}"
+
+
+class BatchRunner:
+    """Run many match jobs over a bounded pool of worker processes."""
+
+    def __init__(self, workers: int = 1,
+                 store: Optional[ResultStore] = None,
+                 timeout: Optional[float] = DEFAULT_TIMEOUT,
+                 retries: int = 1,
+                 retry_backoff: float = 0.1,
+                 inline: bool = False,
+                 worker: Callable[[MatchJobSpec], dict] = execute_job,
+                 mp_context=None):
+        """``retries`` is the number of *extra* attempts after the first;
+        ``retry_backoff`` seconds double per retry.  ``worker`` is the
+        job body -- injectable so tests can simulate crashes and hangs.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.workers = workers
+        self.store = store
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.inline = inline
+        self.worker = worker
+        if mp_context is None and not inline:
+            methods = multiprocessing.get_all_start_methods()
+            # fork keeps per-job process cost near-zero (the parsed
+            # library is inherited); fall back to the default context
+            # elsewhere.
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._mp = mp_context
+        #: Aggregated over the whole batch: every worker's EngineStats
+        #: plus the store's hit/miss counters.  Guarded by a lock --
+        #: run_record is called concurrently from dispatcher threads.
+        self.stats = EngineStats()
+        self._stats_lock = threading.Lock()
+        if self.store is not None:
+            # Fold store counters into the runner's metrics object so
+            # one report covers compute and cache behaviour.
+            self.store.stats = self.stats
+
+    # ------------------------------------------------------------------
+    # Batch entry point
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable[MatchJobSpec],
+            queue: Optional[JobQueue] = None) -> BatchReport:
+        """Run every spec; returns the report in submission order."""
+        queue = queue if queue is not None else JobQueue()
+        records = queue.submit_all(specs)
+        started = time.perf_counter()
+        if self.workers == 1:
+            for record in records:
+                self.run_record(record, queue)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="qmatch-batch",
+            ) as pool:
+                futures = [
+                    pool.submit(self.run_record, record, queue)
+                    for record in records
+                ]
+                for future in futures:
+                    future.result()
+        return BatchReport(
+            records=records,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-job state machine (also driven directly by the HTTP service)
+    # ------------------------------------------------------------------
+
+    def run_record(self, record: JobRecord, queue: JobQueue):
+        """Drive one record to a terminal state.  Never raises for
+        job-level problems -- those become error records."""
+        spec = record.spec
+        try:
+            key = None
+            if self.store is not None:
+                key = self.store.key_for(
+                    spec.source_hash, spec.target_hash, job_fingerprint(spec)
+                )
+                cached = self.store.get(key)
+                if cached is not None:
+                    queue.mark_done(record, cached, cache_hit=True)
+                    return
+            self._run_attempts(record, queue, key)
+        except Exception as exc:  # noqa: BLE001 -- batch must survive
+            queue.mark_failed(
+                record,
+                {"type": type(exc).__name__, "message": str(exc)},
+            )
+
+    def _run_attempts(self, record: JobRecord, queue: JobQueue,
+                      key: Optional[str]):
+        spec = record.spec
+        timeout = spec.timeout if spec.timeout is not None else self.timeout
+        last_error = {"type": "Unknown", "message": "job never ran"}
+        timed_out = False
+        elapsed = 0.0
+        for attempt in range(self.retries + 1):
+            if attempt and self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            queue.mark_running(record)
+            started = time.perf_counter()
+            outcome, value = self._execute(spec, timeout)
+            elapsed = time.perf_counter() - started
+            if outcome == "ok":
+                payload = value["result"]
+                with self._stats_lock:
+                    self.stats.merge(
+                        EngineStats.from_dict(value.get("stats", {}))
+                    )
+                    self.stats.count("jobs.executed")
+                if self.store is not None and key is not None:
+                    self.store.put(key, payload)
+                queue.mark_done(record, payload, elapsed=value["elapsed"])
+                return
+            timed_out = outcome == "timeout"
+            last_error = value
+            with self._stats_lock:
+                self.stats.count(
+                    "jobs.timeouts" if timed_out else "jobs.errors"
+                )
+        queue.mark_failed(
+            record, last_error, timed_out=timed_out, elapsed=elapsed
+        )
+
+    # ------------------------------------------------------------------
+    # One attempt
+    # ------------------------------------------------------------------
+
+    def _execute(self, spec: MatchJobSpec,
+                 timeout: Optional[float]):
+        """One attempt.  Returns ``("ok", envelope)``,
+        ``("timeout", error)`` or ``("error", error)``."""
+        if self.inline:
+            return self._execute_inline(spec)
+        return self._execute_process(spec, timeout)
+
+    def _execute_inline(self, spec: MatchJobSpec):
+        try:
+            return "ok", self.worker(spec)
+        except Exception as exc:  # noqa: BLE001 -- job boundary
+            return "error", {
+                "type": type(exc).__name__, "message": str(exc),
+            }
+
+    def _execute_process(self, spec: MatchJobSpec,
+                         timeout: Optional[float]):
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_process_entry,
+            args=(child_conn, self.worker, spec),
+            daemon=True,
+        )
+        process.start()
+        # Close our copy of the child end so EOF propagates if the
+        # child dies without sending.
+        child_conn.close()
+        try:
+            # Wait on the pipe, not the process: a large payload blocks
+            # the child's send until we read it, so joining first would
+            # deadlock into a spurious timeout.
+            if not parent_conn.poll(timeout):
+                self._kill(process)
+                return "timeout", {
+                    "type": "JobTimeout",
+                    "message": f"job exceeded its {timeout:g}s deadline",
+                }
+            try:
+                message = parent_conn.recv()
+            except (EOFError, OSError):
+                message = None
+        finally:
+            parent_conn.close()
+        process.join(5)
+        if process.is_alive():
+            self._kill(process)
+        if message is None:
+            return "error", {
+                "type": "WorkerCrash",
+                "message": (
+                    "worker process died without a result "
+                    f"(exit code {process.exitcode})"
+                ),
+            }
+        if message["ok"]:
+            return "ok", message["value"]
+        return "error", message["error"]
+
+    @staticmethod
+    def _kill(process):
+        process.terminate()
+        process.join(5)
+        if process.is_alive():
+            process.kill()
+            process.join(5)
+
+
+def run_batch(specs: Sequence[MatchJobSpec], workers: int = 1,
+              cache_dir=None, **kwargs) -> BatchReport:
+    """Convenience one-call batch: build the store and runner, run."""
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    runner = BatchRunner(workers=workers, store=store, **kwargs)
+    return runner.run(specs)

@@ -1,0 +1,272 @@
+"""``qmatch serve``: a stdlib JSON-over-HTTP match service.
+
+:class:`MatchService` is the embeddable core: submit a schema pair,
+poll the job, fetch the result.  Jobs run on a background thread pool
+through the same per-job state machine as the batch runner
+(:meth:`BatchRunner.run_record` in inline mode), so cache behaviour,
+retry semantics and error records are identical whether a pair arrives
+via a manifest or via HTTP.
+
+:func:`create_server` wraps the service in a
+:class:`http.server.ThreadingHTTPServer`.  Endpoints::
+
+    GET  /healthz            -- liveness
+    GET  /stats              -- job counts + store hit rates + engine stats
+    GET  /jobs               -- every job record (submission order)
+    POST /jobs               -- submit {source_xsd, target_xsd, ...};
+                                202 with the job id (or 200 on cache hit)
+    GET  /jobs/<id>          -- one job's status record
+    GET  /jobs/<id>/result   -- the stored result payload (409 until done)
+    POST /match              -- synchronous convenience: submit and wait
+
+POST bodies are JSON: ``source_xsd`` / ``target_xsd`` carry XSD text,
+plus optional ``algorithm``, ``threshold``, ``strategy``, ``weights``
+(four numbers or a "L,P,H,C" string) and ``timeout``.  Validation
+errors return 400 with the same message the CLI would print.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
+from repro.service.runner import BatchRunner
+from repro.service.store import ResultStore
+from repro.service.validation import (
+    ValidationError,
+    validate_algorithm,
+    validate_positive,
+    validate_threshold,
+    validate_weights,
+)
+
+
+class MatchService:
+    """Queue + worker pool + result store behind a submit/poll API."""
+
+    def __init__(self, workers: int = 2,
+                 store: Optional[ResultStore] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 0):
+        # Inline execution: jobs run directly on the pool threads.  The
+        # service is long-lived and shares one process, so per-job
+        # process isolation (and hence hard timeouts) is traded for
+        # latency; the batch CLI keeps the isolated path.
+        self.runner = BatchRunner(
+            workers=1, store=store, timeout=timeout, retries=retries,
+            retry_backoff=0.05, inline=True,
+        )
+        self.queue = JobQueue()
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="qmatch-serve"
+        )
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self.runner.store
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def spec_from_request(self, body: dict) -> MatchJobSpec:
+        """Validate a POST body into a job spec (raises ValidationError)."""
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be a JSON object")
+        source_xsd = body.get("source_xsd")
+        target_xsd = body.get("target_xsd")
+        if not source_xsd or not target_xsd:
+            raise ValidationError(
+                "request must carry non-empty source_xsd and target_xsd"
+            )
+        from repro.xsd.parser import parse_xsd
+        from repro.xsd.serializer import to_xsd
+
+        try:
+            source = parse_xsd(source_xsd)
+            target = parse_xsd(target_xsd)
+        except Exception as exc:
+            raise ValidationError(f"unparseable schema: {exc}") from exc
+        algorithm = validate_algorithm(body.get("algorithm", "qmatch"))
+        weights = validate_weights(body.get("weights"))
+        if weights is not None and algorithm != "qmatch":
+            raise ValidationError(
+                "weights only apply to the qmatch algorithm"
+            )
+        return MatchJobSpec(
+            source_xsd=to_xsd(source),
+            target_xsd=to_xsd(target),
+            algorithm=algorithm,
+            threshold=validate_threshold(body.get("threshold", 0.5)),
+            strategy=body.get("strategy"),
+            weights=weights.as_tuple() if weights is not None else None,
+            timeout=validate_positive(
+                body.get("timeout"), "timeout", allow_none=True
+            ),
+            label=str(body.get("label", "")),
+            source_name=source.name,
+            target_name=target.name,
+        )
+
+    def submit(self, spec: MatchJobSpec) -> JobRecord:
+        """Enqueue a job; it runs on the background pool."""
+        record = self.queue.submit(spec)
+        self._pool.submit(self.runner.run_record, record, self.queue)
+        return record
+
+    def run_sync(self, spec: MatchJobSpec) -> JobRecord:
+        """Submit and wait (the POST /match convenience path)."""
+        record = self.queue.submit(spec)
+        self.runner.run_record(record, self.queue)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        store = self.store
+        return {
+            "workers": self.workers,
+            "jobs": self.queue.counts(),
+            "store": None if store is None else {
+                "root": str(store.root),
+                "entries": len(store),
+                "hits": store.hits,
+                "misses": store.misses,
+                "hit_rate": store.hit_rate,
+            },
+            "engine": self.runner.stats.as_dict(),
+        }
+
+    def shutdown(self):
+        self._pool.shutdown(wait=True)
+
+
+class MatchRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's MatchService."""
+
+    server_version = "qmatch-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    #: Set True (e.g. by the CLI) to log requests to stderr.
+    verbose = False
+
+    @property
+    def service(self) -> MatchService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict):
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValidationError("request body is empty")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from None
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 -- stdlib naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["healthz"]:
+            return self._send_json(200, {"status": "ok"})
+        if parts == ["stats"]:
+            return self._send_json(200, self.service.stats_snapshot())
+        if parts == ["jobs"]:
+            return self._send_json(200, {
+                "jobs": [
+                    record.snapshot()
+                    for record in self.service.queue.records()
+                ],
+            })
+        if len(parts) == 2 and parts[0] == "jobs":
+            record = self.service.queue.get(parts[1])
+            if record is None:
+                return self._send_json(404, {"error": f"no job {parts[1]!r}"})
+            return self._send_json(200, record.snapshot())
+        if len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "result":
+            record = self.service.queue.get(parts[1])
+            if record is None:
+                return self._send_json(404, {"error": f"no job {parts[1]!r}"})
+            if record.state is not JobState.DONE:
+                return self._send_json(409, {
+                    "error": f"job {record.job_id} is {record.state.value}",
+                    "job": record.snapshot(),
+                })
+            return self._send_json(200, record.result)
+        return self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+    def do_POST(self):  # noqa: N802 -- stdlib naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                spec = self.service.spec_from_request(self._read_body())
+                record = self.service.submit(spec)
+                return self._send_json(202, record.snapshot())
+            if parts == ["match"]:
+                spec = self.service.spec_from_request(self._read_body())
+                record = self.service.run_sync(spec)
+                if record.state is JobState.DONE:
+                    return self._send_json(
+                        200, record.snapshot(include_result=True)
+                    )
+                return self._send_json(500, record.snapshot())
+        except ValidationError as exc:
+            return self._send_json(400, {"error": str(exc)})
+        return self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+
+def create_server(service: MatchService, host: str = "127.0.0.1",
+                  port: int = 8765) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server around ``service`` (port 0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), MatchRequestHandler)
+    server.service = service
+    return server
+
+
+def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
+          cache_dir=None, verbose: bool = True) -> int:
+    """Run the service until interrupted (the ``qmatch serve`` body)."""
+    import sys
+
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    service = MatchService(workers=workers, store=store)
+    server = create_server(service, host=host, port=port)
+    MatchRequestHandler.verbose = verbose
+    cache_note = f", cache {cache_dir}" if cache_dir is not None else ""
+    print(
+        f"qmatch serve: listening on http://{host}:{server.server_address[1]} "
+        f"({workers} workers{cache_note}); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("qmatch serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.shutdown()
+    return 0

@@ -1,0 +1,159 @@
+"""Content-addressed persistence of match results.
+
+A batch over a schema corpus is dominated by recomputation of pairs
+that have not changed.  :class:`ResultStore` keys every result by
+
+    sha256(source schema content hash,
+           target schema content hash,
+           config fingerprint)
+
+where the schema hashes cover the *canonical* serialized XSD text (so
+formatting-only edits do not invalidate entries) and the config
+fingerprint covers the algorithm plus every score-shaping parameter
+(see :meth:`repro.matching.base.Matcher.fingerprint`).  Re-running a
+corpus therefore only recomputes pairs whose schemas or configuration
+actually changed; everything else is a cache hit that returns the
+stored payload byte for byte.
+
+Entries are one JSON file each under ``root/<key[:2]>/<key>.json`` --
+human-inspectable, rsync-able, and safely shared between concurrent
+writers because writes are atomic (temp file + rename) and idempotent
+(same key => same bytes).
+
+Hit/miss counters are folded into an :class:`~repro.engine.stats.EngineStats`
+instance (cache name ``result-store``), so service metrics render and
+merge exactly like the engine's own cache instrumentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.engine.stats import EngineStats
+
+#: EngineStats cache name under which hit/miss counters accumulate.
+STORE_CACHE = "result-store"
+
+
+def content_hash(text: str) -> str:
+    """sha256 of normalized text content (trailing whitespace ignored)."""
+    return hashlib.sha256(text.strip().encode("utf-8")).hexdigest()
+
+
+def schema_content_hash(tree) -> str:
+    """Content hash of a schema tree via its canonical XSD serialization."""
+    from repro.xsd.serializer import to_xsd
+
+    return content_hash(to_xsd(tree))
+
+
+def store_key(source_hash: str, target_hash: str, fingerprint: str) -> str:
+    """The content address of one (schema pair, configuration) result."""
+    material = "\0".join((source_hash, target_hash, fingerprint))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def canonical_json(payload: dict) -> str:
+    """Deterministic JSON text -- equal payloads give equal bytes."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class ResultStore:
+    """Content-addressed, JSON-on-disk match-result cache."""
+
+    def __init__(self, root, stats: Optional[EngineStats] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = stats if stats is not None else EngineStats()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def key_for(self, source_hash: str, target_hash: str,
+                fingerprint: str) -> str:
+        return store_key(source_hash, target_hash, fingerprint)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get_text(self, key: str) -> Optional[str]:
+        """The stored entry's exact bytes (as text), or ``None`` on miss."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.record_miss(STORE_CACHE)
+            return None
+        self.stats.record_hit(STORE_CACHE)
+        return text
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or ``None`` on miss (counted either way)."""
+        text = self.get_text(key)
+        if text is None:
+            return None
+        return json.loads(text)
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path.
+
+        Writes are temp-file + rename so a concurrent reader never sees
+        a half-written entry, and last-writer-wins is harmless because
+        equal keys imply equal canonical bytes.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = canonical_json(payload)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.count("result-store.writes")
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.stats.cache(STORE_CACHE).hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.cache(STORE_CACHE).misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate(STORE_CACHE)
+
+    def __repr__(self):
+        return (
+            f"<ResultStore root={str(self.root)!r} entries={len(self)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,110 @@
+"""Input validation shared by every service entry point.
+
+The CLI flags (``--threshold``, ``--weights``), the batch-manifest
+parser and the HTTP API all accept the same user-supplied knobs, and all
+must fail the same way: a :class:`ValidationError` carrying a one-line
+human message, no traceback.  The CLI maps it to exit code 2, the
+manifest parser prefixes the offending entry, the HTTP server returns a
+400 -- but the checks live here exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.weights import AxisWeights
+
+
+class ValidationError(ValueError):
+    """A user-supplied parameter failed validation (clean CLI error)."""
+
+
+def validate_threshold(value, field: str = "threshold") -> float:
+    """Coerce ``value`` to a float in [0, 1] or raise ValidationError."""
+    try:
+        threshold = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"invalid {field} {value!r}: expected a number in [0, 1]"
+        ) from None
+    if not 0.0 <= threshold <= 1.0:
+        raise ValidationError(
+            f"invalid {field} {threshold!r}: must be in [0, 1]"
+        )
+    return threshold
+
+
+def validate_weights(value: Union[str, Sequence, None],
+                     field: str = "weights") -> Optional[AxisWeights]:
+    """Parse axis weights from a CLI/manifest value.
+
+    Accepts ``None`` (pass through), a ``"L,P,H,C"`` string or a
+    4-sequence of numbers; magnitudes are normalized to sum to 1.
+    """
+    if value is None:
+        return None
+    if isinstance(value, AxisWeights):
+        return value
+    if isinstance(value, str):
+        parts = value.split(",")
+    else:
+        try:
+            parts = list(value)
+        except TypeError:
+            raise ValidationError(
+                f"invalid {field} {value!r}: expected four comma-separated "
+                "numbers (label, properties, level, children)"
+            ) from None
+    try:
+        numbers = [float(part) for part in parts]
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"invalid {field} {value!r}: expected four numbers "
+            "(label, properties, level, children)"
+        ) from None
+    if len(numbers) != 4:
+        raise ValidationError(
+            f"invalid {field} {value!r}: expected exactly four numbers "
+            f"(label, properties, level, children), got {len(numbers)}"
+        )
+    if any(number < 0 for number in numbers):
+        raise ValidationError(
+            f"invalid {field} {value!r}: weights must be non-negative"
+        )
+    if sum(numbers) <= 0:
+        raise ValidationError(
+            f"invalid {field} {value!r}: at least one weight must be positive"
+        )
+    return AxisWeights.normalized(*numbers)
+
+
+def validate_algorithm(name, registry=None,
+                       field: str = "algorithm") -> str:
+    """Check ``name`` against the matcher registry and return it."""
+    from repro.engine.registry import DEFAULT_REGISTRY
+
+    registry = registry or DEFAULT_REGISTRY
+    if not isinstance(name, str) or name not in registry:
+        raise ValidationError(
+            f"invalid {field} {name!r}: expected one of {registry.names()}"
+        )
+    return name
+
+
+def validate_positive(value, field: str, allow_none: bool = False,
+                      allow_zero: bool = False) -> Optional[float]:
+    """Coerce a positive number (timeouts, worker counts, backoffs)."""
+    if value is None and allow_none:
+        return None
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"invalid {field} {value!r}: expected a positive number"
+        ) from None
+    if number < 0 or (number == 0 and not allow_zero):
+        raise ValidationError(
+            f"invalid {field} {number!r}: must be "
+            f"{'>= 0' if allow_zero else '> 0'}"
+        )
+    return number

@@ -55,16 +55,29 @@ class TestMatchCommand:
         explicit = capsys.readouterr().out
         assert normalized == explicit
 
-    def test_bad_weights_rejected(self, po_files):
-        with pytest.raises(SystemExit):
-            main(["match", *po_files, "--weights", "1,2"])
-        with pytest.raises(SystemExit):
-            main(["match", *po_files, "--weights", "a,b,c,d"])
+    def test_bad_weights_rejected(self, po_files, capsys):
+        # Malformed --weights exits 2 with one clean error line (shared
+        # validation helper, no traceback).
+        for bad in ("1,2", "a,b,c,d", "0,0,0,0"):
+            assert main(["match", *po_files, "--weights", bad]) == 2
+            captured = capsys.readouterr()
+            assert "qmatch: error: invalid --weights" in captured.err
+            assert "Traceback" not in captured.err
+            assert captured.out == ""
 
-    def test_weights_require_qmatch(self, po_files):
-        with pytest.raises(SystemExit, match="only applies"):
-            main(["match", *po_files, "--algorithm", "linguistic",
-                  "--weights", "1,1,1,1"])
+    def test_weights_require_qmatch(self, po_files, capsys):
+        assert main(["match", *po_files, "--algorithm", "linguistic",
+                     "--weights", "1,1,1,1"]) == 2
+        assert "only applies" in capsys.readouterr().err
+
+    def test_threshold_out_of_range_rejected(self, po_files, capsys):
+        for command in ("match", "evaluate"):
+            argv = (["match", *po_files] if command == "match"
+                    else ["evaluate", "--task", "PO"])
+            assert main([*argv, "--threshold", "1.5"]) == 2
+            captured = capsys.readouterr()
+            assert "qmatch: error: invalid --threshold" in captured.err
+            assert "must be in [0, 1]" in captured.err
 
     def test_threshold_flag(self, po_files, capsys):
         main(["match", *po_files, "--threshold", "0.99"])
@@ -281,6 +294,72 @@ class TestErrorHandling:
 
         with pytest.raises(SystemExit):
             main(["match", *po_files, "--algorithm", "bogus"])
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"algorithm": "qmatch"},
+            "pairs": [
+                {"source": "builtin:PO1", "target": "builtin:PO2"},
+                {"source": "builtin:Article", "target": "builtin:Book",
+                 "algorithm": "linguistic"},
+            ],
+        }), encoding="utf-8")
+        return manifest
+
+    def test_batch_runs_manifest(self, manifest_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["batch", str(manifest_path), "--workers", "2",
+                     "--cache-dir", str(cache)]) == 0
+        output = capsys.readouterr().out
+        assert "PO1~PO2:qmatch" in output
+        assert "2 done" in output
+        assert "0 cache hits" in output
+
+    def test_batch_warm_run_reuses_store(self, manifest_path, tmp_path,
+                                         capsys):
+        cache = tmp_path / "cache"
+        main(["batch", str(manifest_path), "--cache-dir", str(cache)])
+        capsys.readouterr()
+        assert main(["batch", str(manifest_path), "--cache-dir",
+                     str(cache)]) == 0
+        assert "2 cache hits (100%)" in capsys.readouterr().out
+
+    def test_batch_writes_machine_readable_report(self, manifest_path,
+                                                  tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        assert main(["batch", str(manifest_path), "--quiet", "--no-cache",
+                     "--report", str(report_path)]) == 0
+        assert capsys.readouterr().out == ""
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["summary"]["done"] == 2
+        assert [job["state"] for job in payload["jobs"]] == ["done", "done"]
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 2
+        assert "qmatch: error:" in capsys.readouterr().err
+
+    def test_invalid_manifest_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"pairs": [
+            {"source": "builtin:PO1", "target": "builtin:PO2",
+             "threshold": 7},
+        ]}), encoding="utf-8")
+        assert main(["batch", str(bad)]) == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_bad_workers_exits_2(self, manifest_path, capsys):
+        assert main(["batch", str(manifest_path), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_bad_workers_exits_2(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
 
 
 class TestEvaluateRegistryOptions:

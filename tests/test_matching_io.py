@@ -43,10 +43,49 @@ class TestRoundtrip:
 
     def test_unknown_version_rejected(self, po_result):
         text = result_to_json(po_result).replace(
-            '"format_version": 1', '"format_version": 99'
+            '"format_version": 2', '"format_version": 99'
         )
         with pytest.raises(ValueError, match="format version"):
             result_from_json(text)
+
+    def test_version1_files_still_load(self, po_result):
+        """Pre-fingerprint (v1) files load with defaulted new fields."""
+        import json
+
+        payload = json.loads(result_to_json(po_result))
+        payload["format_version"] = 1
+        del payload["strategy"]
+        del payload["config_fingerprint"]
+        loaded = result_from_json(json.dumps(payload))
+        assert loaded.pairs == po_result.pairs
+        assert loaded.strategy is None
+        assert loaded.config_fingerprint is None
+
+    def test_fingerprint_survives_roundtrip(self, po_result):
+        """to_json/from_json keeps the payload self-describing."""
+        loaded = po_result.from_json(po_result.to_json())
+        assert loaded.algorithm == po_result.algorithm
+        assert loaded.strategy == po_result.strategy
+        assert loaded.config_fingerprint == po_result.config_fingerprint
+        assert loaded.config_fingerprint  # actually stamped
+
+    def test_fingerprint_tracks_config(self, po1_tree, po2_tree):
+        """Different thresholds / weights give different fingerprints."""
+        base = repro.match(po1_tree, po2_tree)
+        strict = repro.match(po1_tree, po2_tree, threshold=0.9)
+        assert base.config_fingerprint != strict.config_fingerprint
+        from repro.core.config import QMatchConfig
+        from repro.core.qmatch import QMatchMatcher
+        from repro.core.weights import AxisWeights
+
+        tuned = QMatchMatcher(
+            config=QMatchConfig(
+                weights=AxisWeights.normalized(1, 1, 1, 1)
+            )
+        ).match(po1_tree, po2_tree)
+        assert tuned.config_fingerprint != base.config_fingerprint
+        again = repro.match(po1_tree, po2_tree)
+        assert again.config_fingerprint == base.config_fingerprint
 
 
 def stored(*correspondences):

@@ -1,0 +1,207 @@
+"""End-to-end tests for the ``qmatch serve`` HTTP service.
+
+A real :class:`ThreadingHTTPServer` is bound to an ephemeral port and
+exercised over actual HTTP: submit-poll-fetch, the synchronous
+convenience route, cache behaviour, and the 400/404/409 error paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import po1, po2
+from repro.service.server import MatchService, create_server
+from repro.service.store import ResultStore
+from repro.xsd.serializer import to_xsd
+
+
+@pytest.fixture()
+def service(tmp_path):
+    service = MatchService(workers=2, store=ResultStore(tmp_path / "cache"))
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture()
+def server_url(service):
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    thread.join(5)
+
+
+def request(url, method="GET", body=None):
+    """(status, payload) for one JSON request; never raises on 4xx/5xx."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def po_pair_body(**extra):
+    body = {"source_xsd": to_xsd(po1()), "target_xsd": to_xsd(po2())}
+    body.update(extra)
+    return body
+
+
+def wait_for_terminal(url, job_id, deadline=10.0):
+    end = time.time() + deadline
+    while time.time() < end:
+        status, snap = request(f"{url}/jobs/{job_id}")
+        assert status == 200
+        if snap["state"] not in ("pending", "running"):
+            return snap
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestLifecycleOverHttp:
+    def test_healthz(self, server_url):
+        assert request(f"{server_url}/healthz") == (200, {"status": "ok"})
+
+    def test_submit_poll_fetch(self, server_url):
+        status, job = request(
+            f"{server_url}/jobs", "POST", po_pair_body(threshold=0.5)
+        )
+        assert status == 202
+        assert job["state"] in ("pending", "running", "done")
+        snap = wait_for_terminal(server_url, job["job_id"])
+        assert snap["state"] == "done"
+        assert snap["found"] == 9
+        status, result = request(
+            f"{server_url}/jobs/{job['job_id']}/result"
+        )
+        assert status == 200
+        assert result["algorithm"] == "qmatch"
+        assert result["config_fingerprint"]
+        assert 0.9 < result["tree_qom"] <= 1.0
+        assert len(result["correspondences"]) == 9
+
+    def test_jobs_listing(self, server_url):
+        request(f"{server_url}/jobs", "POST", po_pair_body())
+        request(f"{server_url}/jobs", "POST",
+                po_pair_body(algorithm="linguistic"))
+        status, listing = request(f"{server_url}/jobs")
+        assert status == 200
+        assert [job["job_id"] for job in listing["jobs"]] == [
+            "job-0001", "job-0002",
+        ]
+
+    def test_synchronous_match_and_cache(self, server_url):
+        status, first = request(
+            f"{server_url}/match", "POST", po_pair_body()
+        )
+        assert status == 200
+        assert first["state"] == "done"
+        assert not first["cache_hit"]
+        status, second = request(
+            f"{server_url}/match", "POST", po_pair_body()
+        )
+        assert second["cache_hit"]
+        assert second["result"] == first["result"]
+        status, stats = request(f"{server_url}/stats")
+        assert stats["store"]["hits"] == 1
+        assert stats["store"]["entries"] == 1
+        assert stats["jobs"]["done"] == 2
+
+    def test_custom_parameters_accepted(self, server_url):
+        status, record = request(
+            f"{server_url}/match", "POST",
+            po_pair_body(algorithm="qmatch", threshold=0.7,
+                         weights="1,1,1,1", strategy="greedy"),
+        )
+        assert status == 200
+        assert record["state"] == "done"
+
+
+class TestErrorPaths:
+    def test_unknown_job_404(self, server_url):
+        assert request(f"{server_url}/jobs/job-9999")[0] == 404
+        assert request(f"{server_url}/jobs/job-9999/result")[0] == 404
+
+    def test_unknown_route_404(self, server_url):
+        assert request(f"{server_url}/nope")[0] == 404
+        assert request(f"{server_url}/nope", "POST", {})[0] == 404
+
+    def test_result_before_done_409(self, service, server_url):
+        block = threading.Event()
+        original_worker = service.runner.worker
+
+        def gated_worker(spec):
+            block.wait(10)
+            return original_worker(spec)
+
+        service.runner.worker = gated_worker
+        try:
+            _, job = request(f"{server_url}/jobs", "POST", po_pair_body())
+            status, payload = request(
+                f"{server_url}/jobs/{job['job_id']}/result"
+            )
+            assert status == 409
+            assert payload["job"]["state"] in ("pending", "running")
+        finally:
+            block.set()
+        assert wait_for_terminal(server_url, job["job_id"])["state"] == "done"
+
+    @pytest.mark.parametrize("body, message", [
+        ({}, "non-empty source_xsd"),
+        ({"source_xsd": "<broken", "target_xsd": "<broken"},
+         "unparseable schema"),
+    ])
+    def test_bad_submissions_400(self, server_url, body, message):
+        status, payload = request(f"{server_url}/jobs", "POST", body)
+        assert status == 400
+        assert message in payload["error"]
+
+    def test_invalid_json_body_400(self, server_url):
+        req = urllib.request.Request(
+            f"{server_url}/jobs", data=b"{ nope", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+        assert "not valid JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_bad_threshold_400(self, server_url):
+        status, payload = request(
+            f"{server_url}/jobs", "POST", po_pair_body(threshold=1.5)
+        )
+        assert status == 400
+        assert "must be in [0, 1]" in payload["error"]
+
+    def test_weights_require_qmatch_400(self, server_url):
+        status, payload = request(
+            f"{server_url}/jobs", "POST",
+            po_pair_body(algorithm="linguistic", weights="1,1,1,1"),
+        )
+        assert status == 400
+        assert "only apply to the qmatch" in payload["error"]
+
+
+class TestServiceWithoutStore:
+    def test_service_runs_cacheless(self):
+        service = MatchService(workers=1, store=None)
+        try:
+            record = service.run_sync(
+                service.spec_from_request(po_pair_body())
+            )
+            assert record.state.value == "done"
+            assert not record.cache_hit
+            assert service.stats_snapshot()["store"] is None
+        finally:
+            service.shutdown()
