@@ -16,6 +16,11 @@ Subcommands::
     qmatch batch manifest.json [--workers N] [--cache-dir DIR]
                                [--report out.json]
     qmatch serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
+                 [--inline] [--timeout S] [--retries N] [--corpus DIR]
+    qmatch index build DIR [schemas...] [--builtins]
+    qmatch index add DIR schemas...
+    qmatch index info DIR
+    qmatch search DIR query.xsd [--k N] [--candidates N] [--no-rerank]
 
 ``match`` matches two XSD files and prints the correspondences and the
 overall schema QoM; ``show`` / ``stats`` inspect one schema;
@@ -25,7 +30,11 @@ schemas and reshapes a document from one into the other; ``diff``
 compares two saved match results; ``sdiff`` diffs two versions of a
 schema; ``batch`` runs every pair in a manifest through the parallel
 :mod:`repro.service` runner with content-addressed result caching;
-``serve`` exposes the same engine as a JSON-over-HTTP job service.
+``serve`` exposes the same engine as a JSON-over-HTTP job service
+(jobs run in isolated worker processes unless ``--inline``);
+``index`` manages an on-disk schema corpus and its blocking indexes;
+``search`` ranks a corpus against a query schema by retrieving a
+candidate shortlist from the indexes and reranking it with QMatch.
 
 All user-supplied parameters (thresholds, weights, manifests) validate
 through :mod:`repro.service.validation`; a bad value prints one
@@ -41,7 +50,7 @@ import sys
 from repro import ALGORITHMS, make_matcher
 from repro.core.config import QMatchConfig
 from repro.evaluation.harness import evaluate_all, render_quality_rows
-from repro.xsd.parser import parse_xsd_file
+from repro.xsd.parser import parse_xsd, parse_xsd_file
 from repro.xsd.serializer import to_compact_text
 
 
@@ -73,8 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     match_parser.add_argument(
         "--weights", metavar="L,P,H,C",
-        help="QMatch axis weights as four comma-separated numbers "
-             "(label, properties, level, children); normalized to sum 1",
+        help="QMatch axis weights: four comma-separated numbers "
+             "(label, properties, level, children) or named "
+             "label=..,properties=..,level=..,children=.. entries; "
+             "normalized to sum 1",
     )
     match_parser.add_argument(
         "--format", choices=("text", "tsv", "json"), default="text",
@@ -225,11 +236,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--workers", type=int, default=2,
-        help="background job threads (default: 2)",
+        help="concurrent jobs; each runs in its own worker process "
+             "(default: 2)",
     )
     serve_parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="enable the content-addressed result store at DIR",
+    )
+    serve_parser.add_argument(
+        "--inline", action="store_true",
+        help="run jobs on the service threads instead of isolated "
+             "worker processes (lower latency; no hard timeouts)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline in isolated mode (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts after a failed or timed-out job (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="serve POST /search over the indexed schema corpus at DIR "
+             "(see qmatch index)",
+    )
+
+    index_parser = subparsers.add_parser(
+        "index",
+        help="manage an on-disk schema corpus and its search indexes",
+    )
+    index_sub = index_parser.add_subparsers(dest="index_command",
+                                            required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="add schemas to a corpus and (re)build its search index",
+    )
+    index_build.add_argument("corpus", help="corpus directory")
+    index_build.add_argument(
+        "schemas", nargs="*",
+        help="XSD files or builtin:<Name> references to add",
+    )
+    index_build.add_argument(
+        "--builtins", action="store_true",
+        help="also add every bundled paper schema",
+    )
+    index_build.add_argument(
+        "--num-perm", type=int, default=64,
+        help="MinHash permutations (default: 64)",
+    )
+    index_build.add_argument(
+        "--bands", type=int, default=16,
+        help="LSH bands; must divide --num-perm (default: 16)",
+    )
+    index_build.add_argument(
+        "--no-thesaurus", action="store_true",
+        help="index surface tokens only (no abbreviation/acronym expansion)",
+    )
+    index_add = index_sub.add_parser(
+        "add", help="add schemas to an existing corpus and refresh its index"
+    )
+    index_add.add_argument("corpus", help="corpus directory")
+    index_add.add_argument(
+        "schemas", nargs="+",
+        help="XSD files or builtin:<Name> references to add",
+    )
+    index_info = index_sub.add_parser(
+        "info", help="show corpus entries, index coverage and fingerprints"
+    )
+    index_info.add_argument("corpus", help="corpus directory")
+
+    search_parser = subparsers.add_parser(
+        "search",
+        help="top-k schemas of an indexed corpus for a query schema "
+             "(index retrieval + QMatch rerank)",
+    )
+    search_parser.add_argument("corpus", help="corpus directory")
+    search_parser.add_argument(
+        "query", help="query XSD file (or builtin:<Name>)"
+    )
+    search_parser.add_argument(
+        "--k", type=int, default=10,
+        help="number of hits to return (default: 10)",
+    )
+    search_parser.add_argument(
+        "--candidates", type=int, default=None,
+        help="candidate-shortlist budget for the QMatch rerank "
+             "(default: max(3*k, 20))",
+    )
+    search_parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="correspondence threshold for the rerank (default: 0.5)",
+    )
+    search_parser.add_argument(
+        "--no-rerank", action="store_true",
+        help="return the raw index ranking without running QMatch",
+    )
+    search_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="rerank worker processes (default: 1, inline)",
+    )
+    search_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result store for rerank results",
+    )
+    search_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="output format (default: text)",
+    )
+    search_parser.add_argument(
+        "--stats", action="store_true", dest="show_stats",
+        help="print per-stage search instrumentation to stderr",
     )
     return parser
 
@@ -431,10 +548,131 @@ def _command_serve(args) -> int:
 
     if args.workers < 1:
         raise ValidationError(f"invalid --workers {args.workers}: must be >= 1")
+    if args.retries < 0:
+        raise ValidationError(f"invalid --retries {args.retries}: must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        raise ValidationError(f"invalid --timeout {args.timeout}: must be > 0")
     return serve(
         host=args.host, port=args.port, workers=args.workers,
         cache_dir=args.cache_dir,
+        isolate=not args.inline,
+        timeout=args.timeout,
+        retries=args.retries,
+        corpus_dir=args.corpus,
     )
+
+
+def _corpus_add_refs(corpus, refs, add_builtins=False):
+    """Add schema refs (file paths or ``builtin:<Name>``) to ``corpus``.
+
+    Returns the entries that were actually new.
+    """
+    from pathlib import Path
+
+    from repro.datasets.registry import schema_names
+    from repro.service.manifest import BUILTIN_PREFIX, _load_schema_text
+
+    refs = list(refs)
+    if add_builtins:
+        refs.extend(f"{BUILTIN_PREFIX}{name}" for name in schema_names())
+    added = []
+    for ref in refs:
+        before = len(corpus)
+        text, name = _load_schema_text(ref, Path.cwd())
+        entry = corpus.add(parse_xsd(text, name=name))
+        if len(corpus) > before:
+            added.append(entry)
+    return added
+
+
+def _command_index(args) -> int:
+    from repro.corpus.corpus import SchemaCorpus
+    from repro.corpus.indexes import INDEX_NAME, CorpusIndex, IndexConfig
+    from repro.service.validation import ValidationError
+
+    corpus = SchemaCorpus(args.corpus)
+    index_path = corpus.root / INDEX_NAME
+
+    if args.index_command == "info":
+        index = (
+            CorpusIndex.load(index_path) if index_path.exists() else None
+        )
+        print(f"corpus: {corpus.root}")
+        print(f"schemas: {len(corpus)}")
+        for entry in corpus.entries():
+            print(f"  {entry.hash[:12]}  {entry.name}  "
+                  f"({entry.nodes} nodes, depth {entry.max_depth})")
+        print(f"fingerprint: {corpus.fingerprint()[:16]}")
+        if index is None:
+            print("index: none (run qmatch index build)")
+        else:
+            state = "STALE" if index.stale_for(corpus) else "fresh"
+            print(f"index: {len(index.inverted.document_ids())} documents, "
+                  f"config {index.config.fingerprint()}, {state}")
+        return 0
+
+    if args.index_command == "build":
+        if not args.schemas and not args.builtins and len(corpus) == 0:
+            raise ValidationError(
+                "nothing to index: pass schema files, builtin:<Name> refs "
+                "or --builtins"
+            )
+        config = IndexConfig(
+            num_perm=args.num_perm,
+            bands=args.bands,
+            use_thesaurus=not args.no_thesaurus,
+        )
+        added = _corpus_add_refs(
+            corpus, args.schemas, add_builtins=args.builtins
+        )
+        index = CorpusIndex.build(corpus, config=config)
+    else:  # add
+        added = _corpus_add_refs(corpus, args.schemas)
+        if index_path.exists():
+            index = CorpusIndex.load(index_path)
+            index.refresh(corpus)
+        else:
+            index = CorpusIndex.build(corpus)
+    index.save(index_path)
+    print(f"{len(added)} schema{'s' if len(added) != 1 else ''} added; "
+          f"{len(corpus)} in corpus; index covers "
+          f"{len(index.inverted.document_ids())} documents")
+    return 0
+
+
+def _command_search(args) -> int:
+    from pathlib import Path
+
+    from repro.service.manifest import _load_schema_text
+    from repro.service.server import build_searcher
+    from repro.service.validation import ValidationError, validate_threshold
+
+    if args.k < 1:
+        raise ValidationError(f"invalid --k {args.k}: must be >= 1")
+    if args.candidates is not None and args.candidates < 1:
+        raise ValidationError(
+            f"invalid --candidates {args.candidates}: must be >= 1"
+        )
+    if args.workers < 1:
+        raise ValidationError(f"invalid --workers {args.workers}: must be >= 1")
+    threshold = validate_threshold(args.threshold, field="--threshold")
+    searcher = build_searcher(
+        args.corpus, cache_dir=args.cache_dir, workers=args.workers,
+    )
+    searcher.threshold = threshold
+    text, name = _load_schema_text(args.query, Path.cwd())
+    query_tree = parse_xsd(text, name=name)
+    result = searcher.search(
+        query_tree, k=args.k, candidates=args.candidates,
+        rerank=not args.no_rerank,
+    )
+    if args.show_stats:
+        print(result.stats.render(), file=sys.stderr)
+    if args.output_format == "json":
+        print(result.to_json())
+    else:
+        print(result.render())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -450,6 +688,8 @@ def main(argv=None) -> int:
         "sdiff": _command_sdiff,
         "batch": _command_batch,
         "serve": _command_serve,
+        "index": _command_index,
+        "search": _command_search,
     }
     try:
         return handlers[args.command](args)

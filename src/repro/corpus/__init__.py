@@ -1,0 +1,47 @@
+"""Schema corpus: persistent schema collections with top-k search.
+
+The pairwise QMatch engine is ``O(n*m)`` per schema pair, which makes
+matching one query schema against a repository of thousands of schemas
+quadratic in practice.  This subpackage adds the repository layer that
+prunes candidate pairs before the expensive hybrid match runs:
+
+- :class:`~repro.corpus.corpus.SchemaCorpus` -- a versioned on-disk
+  collection of canonical XSD documents keyed by content hash, with an
+  atomically-updated manifest;
+- :class:`~repro.corpus.indexes.CorpusIndex` -- an inverted index over
+  normalized label tokens (IDF-weighted) plus a MinHash/LSH index over
+  node-label shingles for structural blocking;
+- :class:`~repro.corpus.search.CorpusSearcher` -- two-stage top-k
+  search: cheap index retrieval to a candidate shortlist, then a full
+  QMatch rerank of the shortlist through the batch runner.
+
+The CLI front ends are ``qmatch index build/add/info`` and
+``qmatch search``; the HTTP front end is ``POST /search`` on
+``qmatch serve --corpus``.  See DESIGN.md §9.
+"""
+
+from repro.corpus.corpus import CorpusEntry, CorpusError, SchemaCorpus
+from repro.corpus.indexes import (
+    CorpusIndex,
+    IndexConfig,
+    InvertedIndex,
+    MinHashIndex,
+    schema_shingles,
+    schema_tokens,
+)
+from repro.corpus.search import CorpusSearcher, SearchHit, SearchResult
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusIndex",
+    "CorpusSearcher",
+    "IndexConfig",
+    "InvertedIndex",
+    "MinHashIndex",
+    "SchemaCorpus",
+    "SearchHit",
+    "SearchResult",
+    "schema_shingles",
+    "schema_tokens",
+]

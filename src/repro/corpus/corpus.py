@@ -1,0 +1,268 @@
+"""Persistent, content-addressed schema collections.
+
+A :class:`SchemaCorpus` is a directory of canonical XSD documents plus
+one manifest::
+
+    <root>/
+      manifest.json                  -- version, entries by content hash
+      schemas/<hh>/<hash>.xsd        -- canonical serialization, sharded
+                                        by the first two hash characters
+
+Every schema is stored by the content hash of its *canonical* XSD text
+(the same :func:`repro.service.store.content_hash` the batch service
+keys results on), so formatting-only variants of a schema collapse to
+one entry, corpus entries line up with result-store keys, and adding
+the same schema twice is a no-op.
+
+The manifest is deterministic -- canonical JSON, no timestamps, entries
+keyed by hash -- so two corpora built from the same schemas in any
+order are byte-identical, and it is updated atomically (temp file +
+rename), so a crash mid-add never leaves a corrupt manifest.  Schema
+names must be unique within a corpus: they are the human handle
+``qmatch search`` results and ``remove`` calls use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.service.store import atomic_write_text, canonical_json, content_hash
+from repro.xsd.model import SchemaTree
+
+#: Manifest format version (bumped on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+SCHEMAS_DIR = "schemas"
+
+
+class CorpusError(ValueError):
+    """A corpus operation failed (missing entry, name clash, bad layout)."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One manifest row: the identity and shape of a stored schema."""
+
+    hash: str
+    name: str
+    nodes: int
+    max_depth: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "max_depth": self.max_depth,
+        }
+
+
+class SchemaCorpus:
+    """A versioned on-disk collection of parsed schemas.
+
+    Opening a path loads the manifest when present and starts an empty
+    corpus otherwise; every mutation persists the manifest atomically
+    before returning.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._entries: dict[str, CorpusEntry] = {}
+        manifest_path = self.manifest_path
+        if manifest_path.exists():
+            self._load_manifest(manifest_path)
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def schema_path(self, schema_hash: str) -> Path:
+        return self.root / SCHEMAS_DIR / schema_hash[:2] / f"{schema_hash}.xsd"
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[CorpusEntry]:
+        """Every entry, sorted by (name, hash) -- a deterministic listing."""
+        return sorted(
+            self._entries.values(), key=lambda entry: (entry.name, entry.hash)
+        )
+
+    def entry(self, ref: str) -> CorpusEntry:
+        """Look an entry up by content hash or by schema name."""
+        found = self._entries.get(ref)
+        if found is not None:
+            return found
+        for candidate in self._entries.values():
+            if candidate.name == ref:
+                return candidate
+        raise CorpusError(
+            f"no schema {ref!r} in corpus {str(self.root)!r} "
+            f"({len(self._entries)} entries)"
+        )
+
+    def text(self, ref: str) -> str:
+        """The stored canonical XSD text of one entry."""
+        entry = self.entry(ref)
+        path = self.schema_path(entry.hash)
+        try:
+            return path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise CorpusError(
+                f"corpus entry {entry.name!r} is missing its schema file "
+                f"{str(path)!r} (manifest and schema dir out of sync)"
+            ) from None
+
+    def load(self, ref: str) -> SchemaTree:
+        """Parse one stored schema back into a tree."""
+        from repro.xsd.parser import parse_xsd
+
+        entry = self.entry(ref)
+        return parse_xsd(self.text(entry.hash), name=entry.name)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the whole corpus.
+
+        The sha256 over the sorted entry hashes: equal fingerprints mean
+        equal schema *content*, regardless of insertion order or names.
+        The search index stamps this to detect staleness.
+        """
+        material = "\n".join(sorted(self._entries))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def __contains__(self, ref: str) -> bool:
+        if ref in self._entries:
+            return True
+        return any(entry.name == ref for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.entries())
+
+    def __repr__(self):
+        return (
+            f"<SchemaCorpus root={str(self.root)!r} "
+            f"entries={len(self._entries)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, schema: Union[SchemaTree, str],
+            name: Optional[str] = None) -> CorpusEntry:
+        """Add a schema (tree or XSD text); returns its entry.
+
+        The schema is canonicalized before hashing, so re-adding a
+        reformatted copy of a stored schema is a no-op returning the
+        existing entry.  A *different* schema under an already-used name
+        is rejected -- names are the corpus's human-facing handle.
+        """
+        from repro.xsd.parser import parse_xsd
+        from repro.xsd.serializer import to_xsd
+
+        if isinstance(schema, SchemaTree):
+            tree = schema
+        else:
+            tree = parse_xsd(schema, name=name)
+        text = to_xsd(tree)
+        schema_hash = content_hash(text)
+        entry_name = name or tree.name
+        existing = self._entries.get(schema_hash)
+        if existing is not None:
+            return existing
+        for other in self._entries.values():
+            if other.name == entry_name:
+                raise CorpusError(
+                    f"corpus already has a different schema named "
+                    f"{entry_name!r} (hash {other.hash[:12]}); remove it "
+                    "first or add under another name"
+                )
+        entry = CorpusEntry(
+            hash=schema_hash,
+            name=entry_name,
+            nodes=tree.size,
+            max_depth=tree.max_depth,
+        )
+        atomic_write_text(self.schema_path(schema_hash), text)
+        self._entries[schema_hash] = entry
+        self._write_manifest()
+        return entry
+
+    def add_file(self, path: Union[str, Path],
+                 name: Optional[str] = None) -> CorpusEntry:
+        """Parse an XSD file and add it."""
+        from repro.xsd.parser import parse_xsd_file
+
+        return self.add(parse_xsd_file(path), name=name)
+
+    def remove(self, ref: str) -> CorpusEntry:
+        """Remove one entry (by hash or name); returns what was removed."""
+        entry = self.entry(ref)
+        del self._entries[entry.hash]
+        self._write_manifest()
+        path = self.schema_path(entry.hash)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        return entry
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+
+    def manifest_payload(self) -> dict:
+        """The JSON-friendly manifest (deterministic for equal corpora)."""
+        return {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint(),
+            "schemas": {
+                entry.hash: entry.as_dict()
+                for entry in self._entries.values()
+            },
+        }
+
+    def _write_manifest(self):
+        atomic_write_text(
+            self.manifest_path, canonical_json(self.manifest_payload())
+        )
+
+    def _load_manifest(self, path: Path):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise CorpusError(
+                f"corpus manifest {str(path)!r} is not valid JSON: {exc}"
+            ) from None
+        version = data.get("version")
+        if version != MANIFEST_VERSION:
+            raise CorpusError(
+                f"corpus manifest {str(path)!r} has version {version!r}; "
+                f"this build reads version {MANIFEST_VERSION}"
+            )
+        schemas = data.get("schemas")
+        if not isinstance(schemas, dict):
+            raise CorpusError(
+                f'corpus manifest {str(path)!r} must carry a "schemas" object'
+            )
+        for schema_hash, meta in schemas.items():
+            self._entries[schema_hash] = CorpusEntry(
+                hash=schema_hash,
+                name=str(meta.get("name", schema_hash[:12])),
+                nodes=int(meta.get("nodes", 0)),
+                max_depth=int(meta.get("max_depth", 0)),
+            )

@@ -1,0 +1,553 @@
+"""Blocking indexes over a schema corpus.
+
+Two complementary cheap signals stand in for the expensive pairwise
+match during candidate retrieval:
+
+- :class:`InvertedIndex` -- a classic IDF-weighted inverted index over
+  *normalized label tokens*.  Tokens come from the same tokenizer the
+  linguistic matcher uses (camelCase/snake/delimiter splitting, light
+  stemming) and are expanded through the thesaurus (abbreviations and
+  acronyms), so ``qty``-labelled schemas still block against
+  ``Quantity``-labelled ones.  Scoring is cosine similarity over
+  log-tf * idf vectors.
+- :class:`MinHashIndex` -- MinHash signatures over *node-label
+  shingles* (normalized labels plus parent>child label bigrams) with
+  LSH banding.  Two schemas land in a shared band bucket when their
+  shingle sets are likely similar, which catches structural
+  near-duplicates whose token frequencies alone are unremarkable.
+
+Everything here is deterministic: MinHash permutations come from a
+seeded RNG over fixed 64-bit blake2b shingle hashes (never Python's
+salted ``hash``), and the persisted payload is canonical JSON, so
+rebuilding an index over the same corpus with the same
+:class:`IndexConfig` is byte-identical -- the property the CLI's
+staleness check and the result-store keys both lean on.
+
+:class:`CorpusIndex` bundles both indexes with their config and the
+corpus fingerprint they were built from, and handles (de)serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tokenizer import normalize, stem, tokenize
+from repro.service.store import atomic_write_text, canonical_json
+
+#: Modulus for the universal-hash permutations (Mersenne prime 2^61-1).
+_MERSENNE = (1 << 61) - 1
+
+#: Index format version (bumped on incompatible payload changes).
+INDEX_VERSION = 1
+
+INDEX_NAME = "index.json"
+
+
+class IndexError_(ValueError):
+    """An index payload or configuration is unusable."""
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Everything that shapes index content and therefore blocking.
+
+    ``num_perm`` MinHash permutations are split into ``bands`` bands of
+    ``num_perm // bands`` rows; two schemas become LSH candidates when
+    at least one band of their signatures agrees exactly.  With the
+    defaults (64 permutations, 16 bands of 4 rows) the candidate
+    probability crosses 50% around Jaccard ~0.5 -- permissive blocking,
+    sharp enough to prune unrelated schemas.
+    """
+
+    num_perm: int = 64
+    bands: int = 16
+    seed: int = 2005
+    keep_numbers: bool = True
+    use_stemming: bool = True
+    use_thesaurus: bool = True
+    structural_shingles: bool = True
+
+    def __post_init__(self):
+        if self.num_perm < 1:
+            raise IndexError_(f"num_perm must be >= 1, got {self.num_perm}")
+        if self.bands < 1 or self.num_perm % self.bands:
+            raise IndexError_(
+                f"bands must divide num_perm ({self.num_perm}), "
+                f"got {self.bands}"
+            )
+
+    @property
+    def rows(self) -> int:
+        return self.num_perm // self.bands
+
+    def signature(self) -> dict:
+        """JSON-friendly config identity (what the fingerprint hashes)."""
+        return {
+            "num_perm": self.num_perm,
+            "bands": self.bands,
+            "seed": self.seed,
+            "keep_numbers": self.keep_numbers,
+            "use_stemming": self.use_stemming,
+            "use_thesaurus": self.use_thesaurus,
+            "structural_shingles": self.structural_shingles,
+        }
+
+    def fingerprint(self) -> str:
+        from repro.matching.io import config_fingerprint
+
+        return config_fingerprint(dict(self.signature(), kind="corpus-index"))
+
+    @classmethod
+    def from_signature(cls, payload: dict) -> "IndexConfig":
+        known = {name for name in cls.__dataclass_fields__}
+        return cls(**{
+            key: value for key, value in payload.items() if key in known
+        })
+
+
+# ----------------------------------------------------------------------
+# Feature extraction
+# ----------------------------------------------------------------------
+
+def label_tokens(label: str, config: IndexConfig,
+                 thesaurus: Optional[Thesaurus] = None) -> list[str]:
+    """Index tokens of one label: split, stem, thesaurus-expand.
+
+    Expansions are *added* alongside the surface token (``qty`` indexes
+    as both ``qty`` and ``quantity``), so queries match from either
+    side without the index needing query-time expansion.
+    """
+    tokens = tokenize(label, keep_numbers=config.keep_numbers)
+    out = []
+    for token in tokens:
+        out.append(stem(token) if config.use_stemming else token)
+        if thesaurus is None or not config.use_thesaurus:
+            continue
+        expansion = thesaurus.expand_abbreviation(token)
+        if expansion:
+            out.append(stem(expansion) if config.use_stemming else expansion)
+        acronym_words = thesaurus.expand_acronym(token)
+        if acronym_words:
+            out.extend(
+                stem(word) if config.use_stemming else word
+                for word in acronym_words
+            )
+    return out
+
+
+def schema_tokens(tree, config: IndexConfig,
+                  thesaurus: Optional[Thesaurus] = None) -> Counter:
+    """The token multiset of a whole schema (one document)."""
+    tokens: Counter = Counter()
+    for node in tree.root.iter_preorder():
+        tokens.update(label_tokens(node.name, config, thesaurus))
+    return tokens
+
+
+def schema_shingles(tree, config: IndexConfig) -> frozenset:
+    """Node-label shingles: normalized labels + parent>child bigrams.
+
+    The bigrams carry the structural signal -- two schemas sharing many
+    parent/child label pairs have similar shapes even when label
+    *frequencies* differ.
+    """
+    shingles = set()
+    for node in tree.root.iter_preorder():
+        label = normalize(node.name)
+        shingles.add(label)
+        if config.structural_shingles and node.parent is not None:
+            shingles.add(f"{normalize(node.parent.name)}>{label}")
+    return frozenset(shingles)
+
+
+def _shingle_hash(shingle: str) -> int:
+    """Stable 64-bit hash of one shingle (blake2b; never ``hash()``)."""
+    return int.from_bytes(
+        blake2b(shingle.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+# ----------------------------------------------------------------------
+# Inverted token index
+# ----------------------------------------------------------------------
+
+class InvertedIndex:
+    """IDF-weighted inverted index over label tokens.
+
+    Documents are schema content hashes; scoring is cosine similarity
+    of ``(1 + log tf) * idf`` vectors.  Documents with no tokens (all
+    labels empty after filtering) are tracked for the document count
+    but can never score.
+    """
+
+    def __init__(self):
+        #: doc id -> token multiset (the source of truth).
+        self._documents: dict[str, Counter] = {}
+        #: token -> {doc id: tf} (derived; kept in sync incrementally).
+        self._postings: dict[str, dict[str, int]] = {}
+
+    def add(self, doc_id: str, tokens: Mapping[str, int]):
+        if doc_id in self._documents:
+            self.remove(doc_id)
+        counts = Counter(
+            {token: int(tf) for token, tf in tokens.items() if tf > 0}
+        )
+        self._documents[doc_id] = counts
+        for token, tf in counts.items():
+            self._postings.setdefault(token, {})[doc_id] = tf
+
+    def remove(self, doc_id: str):
+        counts = self._documents.pop(doc_id, None)
+        if counts is None:
+            return
+        for token in counts:
+            docs = self._postings.get(token)
+            if docs is not None:
+                docs.pop(doc_id, None)
+                if not docs:
+                    del self._postings[token]
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    @property
+    def token_count(self) -> int:
+        return len(self._postings)
+
+    def document_ids(self) -> set:
+        return set(self._documents)
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(token, ()))
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency (always > 0)."""
+        df = self.document_frequency(token)
+        return math.log((1 + self.document_count) / (1 + df)) + 1.0
+
+    def _weight(self, tf: int, idf: float) -> float:
+        return (1.0 + math.log(tf)) * idf
+
+    def _document_norm(self, doc_id: str) -> float:
+        counts = self._documents.get(doc_id)
+        if not counts:
+            return 0.0
+        return math.sqrt(sum(
+            self._weight(tf, self.idf(token)) ** 2
+            for token, tf in counts.items()
+        ))
+
+    def scores(self, query_tokens: Mapping[str, int]) -> dict[str, float]:
+        """Cosine similarity of the query against every candidate doc.
+
+        Only documents sharing at least one token appear in the result
+        -- the inverted structure never touches the rest of the corpus.
+        """
+        accumulator: dict[str, float] = {}
+        query_norm_sq = 0.0
+        for token, qtf in query_tokens.items():
+            if qtf <= 0:
+                continue
+            idf = self.idf(token)
+            q_weight = self._weight(qtf, idf)
+            query_norm_sq += q_weight ** 2
+            for doc_id, tf in self._postings.get(token, {}).items():
+                accumulator[doc_id] = (
+                    accumulator.get(doc_id, 0.0)
+                    + q_weight * self._weight(tf, idf)
+                )
+        if not accumulator or query_norm_sq <= 0.0:
+            return {}
+        query_norm = math.sqrt(query_norm_sq)
+        scores = {}
+        for doc_id, dot in accumulator.items():
+            doc_norm = self._document_norm(doc_id)
+            if doc_norm > 0.0:
+                scores[doc_id] = dot / (query_norm * doc_norm)
+        return scores
+
+    def to_payload(self) -> dict:
+        return {
+            "documents": {
+                doc_id: dict(sorted(counts.items()))
+                for doc_id, counts in self._documents.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "InvertedIndex":
+        index = cls()
+        for doc_id, counts in (payload.get("documents") or {}).items():
+            index.add(doc_id, counts)
+        return index
+
+
+# ----------------------------------------------------------------------
+# MinHash / LSH structural index
+# ----------------------------------------------------------------------
+
+class MinHashIndex:
+    """MinHash signatures with LSH banding over shingle sets."""
+
+    def __init__(self, num_perm: int = 64, bands: int = 16,
+                 seed: int = 2005):
+        if num_perm < 1 or bands < 1 or num_perm % bands:
+            raise IndexError_(
+                f"bands ({bands}) must divide num_perm ({num_perm})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        rng = random.Random(seed)
+        #: (a, b) per permutation for h(x) = (a*x + b) mod p.
+        self._params = [
+            (rng.randrange(1, _MERSENNE), rng.randrange(0, _MERSENNE))
+            for _ in range(num_perm)
+        ]
+        self._signatures: dict[str, tuple] = {}
+        #: (band index, band values) -> set of doc ids.
+        self._buckets: dict[tuple, set] = {}
+
+    def signature(self, shingles) -> tuple:
+        """The MinHash signature of a shingle set (deterministic)."""
+        hashes = [_shingle_hash(shingle) for shingle in shingles]
+        if not hashes:
+            # Empty documents get the identity-free max signature; they
+            # collide only with other empty documents.
+            return tuple([_MERSENNE] * self.num_perm)
+        return tuple(
+            min((a * value + b) % _MERSENNE for value in hashes)
+            for a, b in self._params
+        )
+
+    def _band_keys(self, signature: tuple):
+        for band in range(self.bands):
+            start = band * self.rows
+            yield (band, signature[start:start + self.rows])
+
+    def add(self, doc_id: str, signature: tuple):
+        if doc_id in self._signatures:
+            self.remove(doc_id)
+        signature = tuple(signature)
+        if len(signature) != self.num_perm:
+            raise IndexError_(
+                f"signature length {len(signature)} != num_perm "
+                f"{self.num_perm}"
+            )
+        self._signatures[doc_id] = signature
+        for key in self._band_keys(signature):
+            self._buckets.setdefault(key, set()).add(doc_id)
+
+    def remove(self, doc_id: str):
+        signature = self._signatures.pop(doc_id, None)
+        if signature is None:
+            return
+        for key in self._band_keys(signature):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._buckets[key]
+
+    @property
+    def document_count(self) -> int:
+        return len(self._signatures)
+
+    def candidates(self, signature: tuple) -> set:
+        """Doc ids sharing at least one LSH band with ``signature``."""
+        found: set = set()
+        for key in self._band_keys(tuple(signature)):
+            found.update(self._buckets.get(key, ()))
+        return found
+
+    def estimate(self, signature: tuple, doc_id: str) -> float:
+        """Estimated Jaccard similarity against a stored document."""
+        stored = self._signatures.get(doc_id)
+        if stored is None:
+            return 0.0
+        signature = tuple(signature)
+        agree = sum(1 for a, b in zip(signature, stored) if a == b)
+        return agree / self.num_perm
+
+    def to_payload(self) -> dict:
+        return {
+            "signatures": {
+                doc_id: list(signature)
+                for doc_id, signature in self._signatures.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, num_perm: int, bands: int,
+                     seed: int) -> "MinHashIndex":
+        index = cls(num_perm=num_perm, bands=bands, seed=seed)
+        for doc_id, signature in (payload.get("signatures") or {}).items():
+            index.add(doc_id, tuple(signature))
+        return index
+
+
+# ----------------------------------------------------------------------
+# The bundled corpus index
+# ----------------------------------------------------------------------
+
+class CorpusIndex:
+    """Inverted + MinHash indexes over one corpus, persistable as JSON.
+
+    The saved payload stamps both the config fingerprint (what blocking
+    behaviour produced it) and the corpus fingerprint (what content it
+    covers); :meth:`stale_for` compares the latter against a live
+    corpus so callers know when a rebuild is due.
+    """
+
+    def __init__(self, config: Optional[IndexConfig] = None,
+                 thesaurus: Optional[Thesaurus] = None):
+        self.config = config if config is not None else IndexConfig()
+        if thesaurus is not None:
+            self.thesaurus = thesaurus
+        elif self.config.use_thesaurus:
+            self.thesaurus = Thesaurus.default()
+        else:
+            self.thesaurus = Thesaurus.empty()
+        self.inverted = InvertedIndex()
+        self.minhash = MinHashIndex(
+            num_perm=self.config.num_perm,
+            bands=self.config.bands,
+            seed=self.config.seed,
+        )
+        #: Fingerprint of the corpus content this index reflects.
+        self.corpus_fingerprint = ""
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add_tree(self, doc_id: str, tree):
+        """Index one schema under ``doc_id`` (its content hash)."""
+        self.inverted.add(doc_id, schema_tokens(tree, self.config,
+                                                self.thesaurus))
+        self.minhash.add(
+            doc_id, self.minhash.signature(schema_shingles(tree, self.config))
+        )
+
+    def remove(self, doc_id: str):
+        self.inverted.remove(doc_id)
+        self.minhash.remove(doc_id)
+
+    @property
+    def document_count(self) -> int:
+        return self.inverted.document_count
+
+    @classmethod
+    def build(cls, corpus, config: Optional[IndexConfig] = None,
+              thesaurus: Optional[Thesaurus] = None) -> "CorpusIndex":
+        """Index every entry of ``corpus`` from scratch."""
+        index = cls(config=config, thesaurus=thesaurus)
+        for entry in corpus.entries():
+            index.add_tree(entry.hash, corpus.load(entry.hash))
+        index.corpus_fingerprint = corpus.fingerprint()
+        return index
+
+    def refresh(self, corpus) -> tuple[int, int]:
+        """Bring the index up to date with ``corpus`` incrementally.
+
+        Indexes entries the corpus has that the index lacks and drops
+        indexed documents the corpus no longer contains; returns
+        ``(added, removed)``.  Because document features are independent
+        and the payload is canonical, an incrementally refreshed index
+        serializes byte-identically to a full rebuild.
+        """
+        corpus_hashes = {entry.hash for entry in corpus.entries()}
+        indexed = self.inverted.document_ids()
+        added = removed = 0
+        for doc_id in indexed - corpus_hashes:
+            self.remove(doc_id)
+            removed += 1
+        for entry in corpus.entries():
+            if entry.hash not in indexed:
+                self.add_tree(entry.hash, corpus.load(entry.hash))
+                added += 1
+        self.corpus_fingerprint = corpus.fingerprint()
+        return added, removed
+
+    def stale_for(self, corpus) -> bool:
+        """True when the corpus content changed since this index was built."""
+        return self.corpus_fingerprint != corpus.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Query-side feature extraction
+    # ------------------------------------------------------------------
+
+    def query_tokens(self, tree) -> Counter:
+        return schema_tokens(tree, self.config, self.thesaurus)
+
+    def query_signature(self, tree) -> tuple:
+        return self.minhash.signature(schema_shingles(tree, self.config))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "version": INDEX_VERSION,
+            "config": self.config.signature(),
+            "config_fingerprint": self.config.fingerprint(),
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "inverted": self.inverted.to_payload(),
+            "minhash": self.minhash.to_payload(),
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the canonical index payload atomically."""
+        return atomic_write_text(path, canonical_json(self.to_payload()))
+
+    @classmethod
+    def from_payload(cls, payload: dict,
+                     thesaurus: Optional[Thesaurus] = None) -> "CorpusIndex":
+        version = payload.get("version")
+        if version != INDEX_VERSION:
+            raise IndexError_(
+                f"index payload has version {version!r}; this build reads "
+                f"version {INDEX_VERSION}"
+            )
+        config = IndexConfig.from_signature(payload.get("config") or {})
+        index = cls(config=config, thesaurus=thesaurus)
+        index.inverted = InvertedIndex.from_payload(
+            payload.get("inverted") or {}
+        )
+        index.minhash = MinHashIndex.from_payload(
+            payload.get("minhash") or {},
+            num_perm=config.num_perm, bands=config.bands, seed=config.seed,
+        )
+        index.corpus_fingerprint = str(payload.get("corpus_fingerprint", ""))
+        return index
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             thesaurus: Optional[Thesaurus] = None) -> "CorpusIndex":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise IndexError_(f"no index at {str(path)!r}") from None
+        except json.JSONDecodeError as exc:
+            raise IndexError_(
+                f"index {str(path)!r} is not valid JSON: {exc}"
+            ) from None
+        return cls.from_payload(payload, thesaurus=thesaurus)
+
+    def __repr__(self):
+        return (
+            f"<CorpusIndex docs={self.document_count} "
+            f"tokens={self.inverted.token_count} "
+            f"config={self.config.fingerprint()}>"
+        )

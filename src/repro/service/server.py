@@ -18,11 +18,20 @@ via a manifest or via HTTP.
     GET  /jobs/<id>          -- one job's status record
     GET  /jobs/<id>/result   -- the stored result payload (409 until done)
     POST /match              -- synchronous convenience: submit and wait
+    POST /search             -- top-k corpus search (needs --corpus)
 
 POST bodies are JSON: ``source_xsd`` / ``target_xsd`` carry XSD text,
 plus optional ``algorithm``, ``threshold``, ``strategy``, ``weights``
-(four numbers or a "L,P,H,C" string) and ``timeout``.  Validation
-errors return 400 with the same message the CLI would print.
+(four numbers or a "L,P,H,C" string) and ``timeout``.  ``/search``
+takes ``query_xsd`` plus optional ``k``, ``candidates``, ``rerank``.
+Validation errors return 400 with the same message the CLI would print.
+
+With ``isolate=True`` (the ``qmatch serve`` default) every job attempt
+runs in a forked worker process through the batch runner's standard
+retry/timeout path, so a hung or crashing match is killed at its
+deadline and reported as a structured error instead of wedging a
+service thread; ``isolate=False`` keeps the low-latency inline mode
+(no hard timeouts) for embedded use.
 """
 
 from __future__ import annotations
@@ -33,7 +42,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
-from repro.service.runner import BatchRunner
+from repro.service.runner import DEFAULT_TIMEOUT, BatchRunner, execute_job
 from repro.service.store import ResultStore
 from repro.service.validation import (
     ValidationError,
@@ -50,17 +59,30 @@ class MatchService:
     def __init__(self, workers: int = 2,
                  store: Optional[ResultStore] = None,
                  timeout: Optional[float] = None,
-                 retries: int = 0):
-        # Inline execution: jobs run directly on the pool threads.  The
-        # service is long-lived and shares one process, so per-job
-        # process isolation (and hence hard timeouts) is traded for
-        # latency; the batch CLI keeps the isolated path.
+                 retries: int = 0,
+                 isolate: bool = False,
+                 searcher=None,
+                 worker=execute_job):
+        # The service's concurrency is a thread pool; each pool thread
+        # drives one job at a time through the batch runner's per-job
+        # state machine.  ``isolate=False`` (embedded default) executes
+        # on the thread itself -- lowest latency, no hard timeouts.
+        # ``isolate=True`` (the ``qmatch serve`` default) forks one
+        # worker process per attempt, which buys real deadlines and
+        # crash containment at ~ms fork cost.  ``worker`` is the job
+        # body, injectable for tests.
+        self.isolate = isolate
+        if timeout is None and isolate:
+            timeout = DEFAULT_TIMEOUT
         self.runner = BatchRunner(
             workers=1, store=store, timeout=timeout, retries=retries,
-            retry_backoff=0.05, inline=True,
+            retry_backoff=0.05, inline=not isolate, worker=worker,
         )
         self.queue = JobQueue()
         self.workers = workers
+        #: Optional :class:`~repro.corpus.search.CorpusSearcher` behind
+        #: ``POST /search``; ``None`` means no corpus is configured.
+        self.searcher = searcher
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="qmatch-serve"
         )
@@ -125,13 +147,58 @@ class MatchService:
         return record
 
     # ------------------------------------------------------------------
+    # Corpus search
+    # ------------------------------------------------------------------
+
+    def search_from_request(self, body: dict) -> dict:
+        """Validate a POST /search body and run the two-stage search."""
+        if self.searcher is None:
+            raise ValidationError(
+                "no corpus configured; start the service with "
+                "qmatch serve --corpus DIR"
+            )
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be a JSON object")
+        query_xsd = body.get("query_xsd")
+        if not query_xsd:
+            raise ValidationError("request must carry non-empty query_xsd")
+        from repro.xsd.parser import parse_xsd
+
+        try:
+            query = parse_xsd(query_xsd)
+        except Exception as exc:
+            raise ValidationError(f"unparseable query schema: {exc}") from exc
+        k = validate_positive(body.get("k", 10), "k")
+        candidates = validate_positive(
+            body.get("candidates"), "candidates", allow_none=True
+        )
+        rerank = body.get("rerank", True)
+        if not isinstance(rerank, bool):
+            raise ValidationError(
+                f"invalid rerank {rerank!r}: expected true or false"
+            )
+        result = self.searcher.search(
+            query, k=int(k),
+            candidates=int(candidates) if candidates is not None else None,
+            rerank=rerank,
+        )
+        return result.as_dict()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def stats_snapshot(self) -> dict:
         store = self.store
+        searcher = self.searcher
         return {
             "workers": self.workers,
+            "mode": "isolated" if self.isolate else "inline",
+            "corpus": None if searcher is None else {
+                "root": str(searcher.corpus.root),
+                "entries": len(searcher.corpus),
+                "indexed": searcher.index.document_count,
+            },
             "jobs": self.queue.counts(),
             "store": None if store is None else {
                 "root": str(store.root),
@@ -234,6 +301,9 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
                         200, record.snapshot(include_result=True)
                     )
                 return self._send_json(500, record.snapshot())
+            if parts == ["search"]:
+                payload = self.service.search_from_request(self._read_body())
+                return self._send_json(200, payload)
         except ValidationError as exc:
             return self._send_json(400, {"error": str(exc)})
         return self._send_json(404, {"error": f"no route for {self.path!r}"})
@@ -247,19 +317,69 @@ def create_server(service: MatchService, host: str = "127.0.0.1",
     return server
 
 
+def build_searcher(corpus_dir, cache_dir=None, workers: int = 1):
+    """Open a corpus directory (with its saved index) as a searcher.
+
+    Shared by ``qmatch serve --corpus`` and ``qmatch search``.  Raises
+    a clean error when the corpus or its index is missing; a *stale*
+    index (corpus content changed since the last build) is reported by
+    the caller, not rejected -- search still works, it just cannot see
+    the un-indexed schemas.
+    """
+    from repro.corpus.corpus import CorpusError, SchemaCorpus
+    from repro.corpus.indexes import INDEX_NAME, CorpusIndex
+    from repro.corpus.search import CorpusSearcher
+
+    corpus = SchemaCorpus(corpus_dir)
+    if not len(corpus):
+        raise CorpusError(
+            f"corpus {str(corpus_dir)!r} is empty; build it with "
+            "qmatch index build"
+        )
+    index_path = corpus.root / INDEX_NAME
+    if not index_path.exists():
+        raise CorpusError(
+            f"corpus {str(corpus_dir)!r} has no index; build it with "
+            "qmatch index build"
+        )
+    index = CorpusIndex.load(index_path)
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    return CorpusSearcher(corpus, index, workers=workers, store=store)
+
+
 def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
-          cache_dir=None, verbose: bool = True) -> int:
+          cache_dir=None, verbose: bool = True, isolate: bool = True,
+          timeout=None, retries: int = 1, corpus_dir=None) -> int:
     """Run the service until interrupted (the ``qmatch serve`` body)."""
     import sys
 
     store = ResultStore(cache_dir) if cache_dir is not None else None
-    service = MatchService(workers=workers, store=store)
+    searcher = None
+    if corpus_dir is not None:
+        searcher = build_searcher(corpus_dir, cache_dir=cache_dir)
+        if searcher.index.stale_for(searcher.corpus):
+            print(
+                "qmatch serve: warning: corpus index is stale (corpus "
+                "content changed since the last build); run qmatch index "
+                "build to refresh",
+                file=sys.stderr,
+            )
+    service = MatchService(
+        workers=workers, store=store, timeout=timeout, retries=retries,
+        isolate=isolate, searcher=searcher,
+    )
     server = create_server(service, host=host, port=port)
     MatchRequestHandler.verbose = verbose
     cache_note = f", cache {cache_dir}" if cache_dir is not None else ""
+    corpus_note = (
+        f", corpus {corpus_dir} ({len(searcher.corpus)} schemas)"
+        if searcher is not None else ""
+    )
+    mode_note = "isolated" if isolate else "inline"
     print(
         f"qmatch serve: listening on http://{host}:{server.server_address[1]} "
-        f"({workers} workers{cache_note}); Ctrl-C to stop",
+        f"({workers} {mode_note} workers{cache_note}{corpus_note}); "
+        "Ctrl-C to stop",
         file=sys.stderr,
     )
     try:

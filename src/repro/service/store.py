@@ -63,6 +63,30 @@ def canonical_json(payload: dict) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    A concurrent reader sees either the previous content or the new
+    content, never a partial write.  Parent directories are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=path.suffix
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 class ResultStore:
     """Content-addressed, JSON-on-disk match-result cache."""
 
@@ -111,22 +135,7 @@ class ResultStore:
         a half-written entry, and last-writer-wins is harmless because
         equal keys imply equal canonical bytes.
         """
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = canonical_json(payload)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        path = atomic_write_text(self.path_for(key), canonical_json(payload))
         self.stats.count("result-store.writes")
         return path
 

@@ -34,19 +34,104 @@ def validate_threshold(value, field: str = "threshold") -> float:
     return threshold
 
 
-def validate_weights(value: Union[str, Sequence, None],
-                     field: str = "weights") -> Optional[AxisWeights]:
-    """Parse axis weights from a CLI/manifest value.
+#: Canonical axis order and the aliases the named weight forms accept.
+AXIS_ORDER = ("label", "properties", "level", "children")
+_AXIS_ALIASES = {
+    "label": "label", "l": "label",
+    "properties": "properties", "props": "properties", "p": "properties",
+    "level": "level", "h": "level",
+    "children": "children", "c": "children",
+}
 
-    Accepts ``None`` (pass through), a ``"L,P,H,C"`` string or a
-    4-sequence of numbers; magnitudes are normalized to sum to 1.
+
+def _axis_key(raw, field, value) -> str:
+    key = str(raw).strip().lower()
+    axis = _AXIS_ALIASES.get(key)
+    if axis is None:
+        raise ValidationError(
+            f"invalid {field} {value!r}: unknown axis key {raw!r} "
+            f"(expected one of {', '.join(AXIS_ORDER)})"
+        )
+    return axis
+
+
+def _named_weights(pairs, field, value) -> AxisWeights:
+    """Build weights from (key, number) pairs; duplicates rejected."""
+    named: dict[str, float] = {}
+    for raw_key, raw_number in pairs:
+        axis = _axis_key(raw_key, field, value)
+        if axis in named:
+            raise ValidationError(
+                f"invalid {field} {value!r}: duplicate axis key "
+                f"{str(raw_key).strip()!r} ({axis} was already given)"
+            )
+        try:
+            named[axis] = float(raw_number)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"invalid {field} {value!r}: {axis} must be a number, "
+                f"got {raw_number!r}"
+            ) from None
+    missing = [axis for axis in AXIS_ORDER if axis not in named]
+    if missing:
+        raise ValidationError(
+            f"invalid {field} {value!r}: missing axis "
+            f"key{'s' if len(missing) > 1 else ''} {', '.join(missing)}"
+        )
+    numbers = [named[axis] for axis in AXIS_ORDER]
+    if any(number < 0 for number in numbers):
+        raise ValidationError(
+            f"invalid {field} {value!r}: weights must be non-negative"
+        )
+    if sum(numbers) <= 0:
+        raise ValidationError(
+            f"invalid {field} {value!r}: at least one weight must be positive"
+        )
+    return AxisWeights.normalized(*numbers)
+
+
+def validate_weights(value: Union[str, Sequence, dict, None],
+                     field: str = "weights") -> Optional[AxisWeights]:
+    """Parse axis weights from a CLI/manifest/HTTP value.
+
+    Accepts ``None`` (pass through), a positional ``"L,P,H,C"`` string,
+    a named ``"label=3,properties=2,level=1,children=4"`` string
+    (single-letter aliases L/P/H/C work too), a 4-sequence of numbers,
+    or a mapping carrying exactly the four axis keys; magnitudes are
+    normalized to sum to 1.  Malformed input -- trailing commas, empty
+    entries, duplicate or unknown axis keys -- is rejected with a
+    precise message rather than silently coerced.
     """
     if value is None:
         return None
     if isinstance(value, AxisWeights):
         return value
+    if isinstance(value, dict):
+        return _named_weights(value.items(), field, value)
     if isinstance(value, str):
+        if not value.strip():
+            raise ValidationError(
+                f"invalid {field} {value!r}: empty "
+                "(expected four comma-separated values)"
+            )
         parts = value.split(",")
+        if any(not part.strip() for part in parts):
+            where = (
+                "trailing comma" if not parts[-1].strip() else "empty entry"
+            )
+            raise ValidationError(
+                f"invalid {field} {value!r}: {where} "
+                "(expected four comma-separated values)"
+            )
+        if any("=" in part for part in parts):
+            if not all("=" in part for part in parts):
+                raise ValidationError(
+                    f"invalid {field} {value!r}: mixes named (key=value) "
+                    "and positional entries"
+                )
+            return _named_weights(
+                (part.split("=", 1) for part in parts), field, value
+            )
     else:
         try:
             parts = list(value)

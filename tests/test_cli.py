@@ -58,12 +58,21 @@ class TestMatchCommand:
     def test_bad_weights_rejected(self, po_files, capsys):
         # Malformed --weights exits 2 with one clean error line (shared
         # validation helper, no traceback).
-        for bad in ("1,2", "a,b,c,d", "0,0,0,0"):
+        for bad in ("1,2", "a,b,c,d", "0,0,0,0", "3,2,1,4,", "3,,1,4",
+                    "label=3,label=2,level=1,children=4"):
             assert main(["match", *po_files, "--weights", bad]) == 2
             captured = capsys.readouterr()
             assert "qmatch: error: invalid --weights" in captured.err
             assert "Traceback" not in captured.err
             assert captured.out == ""
+
+    def test_named_weights_equal_positional(self, po_files, capsys):
+        main(["match", *po_files, "--weights", "3,2,1,4"])
+        positional = capsys.readouterr().out
+        main(["match", *po_files, "--weights",
+              "label=3,properties=2,level=1,children=4"])
+        named = capsys.readouterr().out
+        assert named == positional
 
     def test_weights_require_qmatch(self, po_files, capsys):
         assert main(["match", *po_files, "--algorithm", "linguistic",
@@ -375,3 +384,69 @@ class TestEvaluateRegistryOptions:
         assert main(["evaluate", "--task", "PO", "--algorithm", "linguistic",
                      "qmatch", "--share-context"]) == 0
         assert "qmatch" in capsys.readouterr().out
+
+
+class TestIndexAndSearchCommands:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        return str(tmp_path / "corpus")
+
+    def test_build_info_search_round_trip(self, corpus_dir, capsys):
+        assert main(["index", "build", corpus_dir,
+                     "builtin:PO1", "builtin:PO2", "builtin:Book"]) == 0
+        assert "3 schemas added" in capsys.readouterr().out
+
+        assert main(["index", "info", corpus_dir]) == 0
+        info = capsys.readouterr().out
+        assert "schemas: 3" in info
+        assert "fresh" in info
+
+        assert main(["search", corpus_dir, "builtin:PO1", "--k", "2"]) == 0
+        table = capsys.readouterr().out
+        # Header, separator, then the rank-1 row.
+        assert table.splitlines()[2].split()[1] == "PO1"
+        assert "reranked with QMatch" in table
+
+    def test_add_refreshes_index(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1"])
+        capsys.readouterr()
+        assert main(["index", "add", corpus_dir, "builtin:Book"]) == 0
+        assert "2 in corpus" in capsys.readouterr().out
+        assert main(["index", "info", corpus_dir]) == 0
+        assert "fresh" in capsys.readouterr().out
+
+    def test_search_json_no_rerank(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1", "builtin:PO2"])
+        capsys.readouterr()
+        assert main(["search", corpus_dir, "builtin:PO1",
+                     "--no-rerank", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"] == "PO1"
+        assert payload["examined"] == 0
+        assert payload["hits"][0]["name"] == "PO1"
+
+    def test_search_from_xsd_file(self, corpus_dir, po_files, capsys):
+        main(["index", "build", corpus_dir, "--builtins"])
+        capsys.readouterr()
+        source, _ = po_files
+        assert main(["search", corpus_dir, source, "--k", "1"]) == 0
+        assert "PO1" in capsys.readouterr().out
+
+    def test_empty_build_rejected(self, corpus_dir, capsys):
+        assert main(["index", "build", corpus_dir]) == 2
+        assert "nothing to index" in capsys.readouterr().err
+
+    def test_search_without_index_rejected(self, corpus_dir, tmp_path,
+                                           po_files, capsys):
+        source, _ = po_files
+        assert main(["search", str(tmp_path / "nowhere"), source]) == 2
+        assert "qmatch: error:" in capsys.readouterr().err
+
+    def test_bad_search_arguments(self, corpus_dir, po_files, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1"])
+        capsys.readouterr()
+        assert main(["search", corpus_dir, "builtin:PO1", "--k", "0"]) == 2
+        assert "invalid --k" in capsys.readouterr().err
+        assert main(["search", corpus_dir, "builtin:PO1",
+                     "--candidates", "0"]) == 2
+        assert "invalid --candidates" in capsys.readouterr().err

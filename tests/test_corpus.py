@@ -1,0 +1,155 @@
+"""Tests for the on-disk schema corpus (repro.corpus.corpus)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import CorpusError, SchemaCorpus
+from repro.corpus.corpus import MANIFEST_NAME
+from repro.service.store import content_hash
+from repro.xsd.serializer import to_xsd
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    return SchemaCorpus(tmp_path / "corpus")
+
+
+class TestAddRemove:
+    def test_add_tree(self, corpus, po1_tree):
+        entry = corpus.add(po1_tree)
+        assert entry.name == "PO1"
+        assert entry.hash == content_hash(to_xsd(po1_tree))
+        assert len(corpus) == 1
+        assert entry.hash in corpus
+
+    def test_add_is_idempotent(self, corpus, po1_tree):
+        first = corpus.add(po1_tree)
+        again = corpus.add(po1_tree)
+        assert first == again
+        assert len(corpus) == 1
+
+    def test_reformatted_copy_is_same_entry(self, corpus, po1_tree):
+        first = corpus.add(po1_tree)
+        # XSD text with extra whitespace canonicalizes to the same hash.
+        respaced = to_xsd(po1_tree) + "\n\n\n"
+        again = corpus.add(respaced, name="PO1")
+        assert again.hash == first.hash
+        assert len(corpus) == 1
+
+    def test_name_collision_rejected(self, corpus, po1_tree, po2_tree):
+        corpus.add(po1_tree)
+        with pytest.raises(CorpusError, match="PO1"):
+            corpus.add(po2_tree, name="PO1")
+
+    def test_add_file(self, corpus, tmp_path, book_tree):
+        path = tmp_path / "Book.xsd"
+        path.write_text(to_xsd(book_tree), encoding="utf-8")
+        entry = corpus.add_file(path)
+        assert entry.name == "Book"
+
+    def test_remove(self, corpus, po1_tree, po2_tree):
+        entry = corpus.add(po1_tree)
+        corpus.add(po2_tree)
+        corpus.remove(entry.hash)
+        assert len(corpus) == 1
+        assert entry.hash not in corpus
+        # The schema file itself is gone too.
+        assert not list(corpus.root.joinpath("schemas").rglob(
+            f"{entry.hash}.xsd"
+        ))
+
+    def test_remove_by_name(self, corpus, po1_tree):
+        corpus.add(po1_tree)
+        corpus.remove("PO1")
+        assert len(corpus) == 0
+
+    def test_remove_unknown_raises(self, corpus):
+        with pytest.raises(CorpusError, match="unknown"):
+            corpus.remove("nope")
+
+
+class TestLookup:
+    def test_entry_by_hash_and_name(self, corpus, po1_tree):
+        added = corpus.add(po1_tree)
+        assert corpus.entry(added.hash) == added
+        assert corpus.entry("PO1") == added
+
+    def test_entry_unknown_raises(self, corpus):
+        with pytest.raises(CorpusError):
+            corpus.entry("missing")
+
+    def test_load_round_trips(self, corpus, po1_tree):
+        entry = corpus.add(po1_tree)
+        loaded = corpus.load(entry.hash)
+        assert loaded.name == "PO1"
+        assert to_xsd(loaded) == to_xsd(po1_tree)
+
+    def test_entries_sorted(self, corpus, po1_tree, po2_tree, book_tree):
+        for tree in (po2_tree, book_tree, po1_tree):
+            corpus.add(tree)
+        assert [e.name for e in corpus.entries()] == ["Book", "PO1", "PO2"]
+
+
+class TestPersistence:
+    def test_reopen_sees_same_entries(self, corpus, po1_tree, po2_tree):
+        corpus.add(po1_tree)
+        corpus.add(po2_tree)
+        reopened = SchemaCorpus(corpus.root)
+        assert [e.hash for e in reopened.entries()] == [
+            e.hash for e in corpus.entries()
+        ]
+        assert reopened.fingerprint() == corpus.fingerprint()
+
+    def test_manifest_is_canonical_json(self, corpus, po1_tree):
+        corpus.add(po1_tree)
+        manifest = corpus.root / MANIFEST_NAME
+        text = manifest.read_text(encoding="utf-8")
+        payload = json.loads(text)
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert payload["version"] == 1
+
+    def test_manifest_deterministic_across_insert_order(
+            self, tmp_path, po1_tree, po2_tree, book_tree):
+        a = SchemaCorpus(tmp_path / "a")
+        b = SchemaCorpus(tmp_path / "b")
+        for tree in (po1_tree, po2_tree, book_tree):
+            a.add(tree)
+        for tree in (book_tree, po2_tree, po1_tree):
+            b.add(tree)
+        assert (
+            (a.root / MANIFEST_NAME).read_bytes()
+            == (b.root / MANIFEST_NAME).read_bytes()
+        )
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "bad"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{}", encoding="utf-8")
+        with pytest.raises(CorpusError):
+            SchemaCorpus(root)
+
+    def test_no_leftover_temp_files(self, corpus, po1_tree):
+        corpus.add(po1_tree)
+        assert not list(corpus.root.rglob(".tmp-*"))
+
+
+class TestFingerprint:
+    def test_changes_with_content(self, corpus, po1_tree, po2_tree):
+        empty = corpus.fingerprint()
+        corpus.add(po1_tree)
+        one = corpus.fingerprint()
+        corpus.add(po2_tree)
+        two = corpus.fingerprint()
+        assert len({empty, one, two}) == 3
+
+    def test_insensitive_to_order(self, tmp_path, po1_tree, po2_tree):
+        a = SchemaCorpus(tmp_path / "a")
+        b = SchemaCorpus(tmp_path / "b")
+        a.add(po1_tree)
+        a.add(po2_tree)
+        b.add(po2_tree)
+        b.add(po1_tree)
+        assert a.fingerprint() == b.fingerprint()

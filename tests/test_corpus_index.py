@@ -1,0 +1,264 @@
+"""Tests for the blocking indexes (repro.corpus.indexes)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.corpus import SchemaCorpus
+from repro.corpus.indexes import (
+    INDEX_NAME,
+    CorpusIndex,
+    IndexConfig,
+    IndexError_,
+    InvertedIndex,
+    MinHashIndex,
+    label_tokens,
+    schema_shingles,
+    schema_tokens,
+)
+from repro.linguistic.thesaurus import Thesaurus
+
+
+@pytest.fixture()
+def config():
+    return IndexConfig()
+
+
+@pytest.fixture()
+def thesaurus():
+    return Thesaurus.default()
+
+
+class TestIndexConfig:
+    def test_bands_must_divide_num_perm(self):
+        with pytest.raises(IndexError_, match="divide"):
+            IndexConfig(num_perm=64, bands=7)
+
+    def test_rows(self):
+        assert IndexConfig(num_perm=64, bands=16).rows == 4
+
+    def test_fingerprint_tracks_options(self):
+        assert (
+            IndexConfig().fingerprint()
+            != IndexConfig(use_thesaurus=False).fingerprint()
+        )
+        assert IndexConfig().fingerprint() == IndexConfig().fingerprint()
+
+    def test_signature_round_trip(self):
+        config = IndexConfig(num_perm=32, bands=8, use_stemming=False)
+        assert IndexConfig.from_signature(config.signature()) == config
+
+
+class TestFeatureExtraction:
+    def test_thesaurus_expansion_indexed_alongside_surface(
+            self, config, thesaurus):
+        tokens = label_tokens("Qty", config, thesaurus)
+        assert "qty" in tokens
+        # The abbreviation expands to (stemmed) quantity.
+        assert any(token.startswith("quantit") for token in tokens)
+
+    def test_acronym_expansion(self, config, thesaurus):
+        tokens = label_tokens("PO", config, thesaurus)
+        assert "purchas" in tokens or "purchase" in tokens
+
+    def test_schema_tokens_counts_all_nodes(self, config, po1_tree):
+        tokens = schema_tokens(po1_tree, config)
+        assert sum(tokens.values()) > 0
+        assert "order" in tokens
+
+    def test_shingles_include_parent_child_bigrams(self, config, po1_tree):
+        shingles = schema_shingles(po1_tree, config)
+        assert any(">" in shingle for shingle in shingles)
+
+    def test_shingles_without_structure(self, po1_tree):
+        config = IndexConfig(structural_shingles=False)
+        shingles = schema_shingles(po1_tree, config)
+        assert not any(">" in shingle for shingle in shingles)
+
+
+class TestInvertedIndex:
+    def test_scores_only_sharing_documents(self):
+        index = InvertedIndex()
+        index.add("a", {"order": 2, "item": 1})
+        index.add("b", {"protein": 3})
+        scores = index.scores(Counter({"order": 1}))
+        assert "a" in scores and "b" not in scores
+        assert 0.0 < scores["a"] <= 1.0
+
+    def test_identical_document_scores_highest(self):
+        index = InvertedIndex()
+        index.add("same", {"order": 2, "item": 1})
+        index.add("other", {"order": 1, "shipping": 4})
+        scores = index.scores(Counter({"order": 2, "item": 1}))
+        assert scores["same"] > scores["other"]
+        assert scores["same"] == pytest.approx(1.0)
+
+    def test_readd_replaces(self):
+        index = InvertedIndex()
+        index.add("a", {"order": 1})
+        index.add("a", {"item": 1})
+        assert index.document_count == 1
+        assert not index.scores(Counter({"order": 1}))
+        assert index.scores(Counter({"item": 1}))
+
+    def test_remove_cleans_postings(self):
+        index = InvertedIndex()
+        index.add("a", {"order": 1})
+        index.remove("a")
+        assert index.document_count == 0
+        assert index.token_count == 0
+
+    def test_idf_favours_rare_tokens(self):
+        index = InvertedIndex()
+        for i in range(5):
+            index.add(f"doc{i}", {"common": 1})
+        index.add("doc5", {"common": 1, "rare": 1})
+        assert index.idf("rare") > index.idf("common") > 0.0
+
+    def test_empty_query(self):
+        index = InvertedIndex()
+        index.add("a", {"order": 1})
+        assert index.scores(Counter()) == {}
+
+
+class TestMinHashIndex:
+    def test_signature_deterministic(self):
+        a = MinHashIndex(seed=7)
+        b = MinHashIndex(seed=7)
+        shingles = frozenset({"order", "item", "order>item"})
+        assert a.signature(shingles) == b.signature(shingles)
+        assert a.signature(shingles) != MinHashIndex(seed=8).signature(shingles)
+
+    def test_estimate_tracks_jaccard(self):
+        index = MinHashIndex(num_perm=128, bands=32)
+        base = frozenset(f"token{i}" for i in range(40))
+        near = frozenset(sorted(base)[:36]) | {"x1", "x2", "x3", "x4"}
+        far = frozenset(f"other{i}" for i in range(40))
+        index.add("near", index.signature(near))
+        index.add("far", index.signature(far))
+        query = index.signature(base)
+        assert index.estimate(query, "near") > 0.5
+        assert index.estimate(query, "far") < 0.2
+
+    def test_candidates_via_banding(self):
+        index = MinHashIndex()
+        base = frozenset(f"token{i}" for i in range(30))
+        index.add("identical", index.signature(base))
+        index.add("unrelated",
+                  index.signature(frozenset(f"x{i}" for i in range(30))))
+        candidates = index.candidates(index.signature(base))
+        assert "identical" in candidates
+        assert "unrelated" not in candidates
+
+    def test_remove(self):
+        index = MinHashIndex()
+        shingles = frozenset({"a", "b"})
+        index.add("doc", index.signature(shingles))
+        index.remove("doc")
+        assert index.document_count == 0
+        assert index.candidates(index.signature(shingles)) == set()
+
+    def test_signature_length_checked(self):
+        index = MinHashIndex(num_perm=16, bands=4)
+        with pytest.raises(IndexError_, match="length"):
+            index.add("doc", (1, 2, 3))
+
+    def test_empty_shingles_collide_only_with_empty(self):
+        index = MinHashIndex()
+        empty_sig = index.signature(frozenset())
+        index.add("empty", empty_sig)
+        assert index.estimate(empty_sig, "empty") == 1.0
+
+
+@pytest.fixture()
+def builtin_corpus(tmp_path, po1_tree, po2_tree, book_tree, article_tree):
+    corpus = SchemaCorpus(tmp_path / "corpus")
+    for tree in (po1_tree, po2_tree, book_tree, article_tree):
+        corpus.add(tree)
+    return corpus
+
+
+class TestCorpusIndex:
+    def test_build_covers_corpus(self, builtin_corpus):
+        index = CorpusIndex.build(builtin_corpus)
+        assert index.document_count == len(builtin_corpus)
+        assert not index.stale_for(builtin_corpus)
+
+    def test_save_load_round_trip(self, builtin_corpus, tmp_path):
+        index = CorpusIndex.build(builtin_corpus)
+        path = tmp_path / INDEX_NAME
+        index.save(path)
+        loaded = CorpusIndex.load(path)
+        assert loaded.to_payload() == index.to_payload()
+        assert loaded.save(tmp_path / "again.json").read_bytes() == \
+            path.read_bytes()
+
+    def test_rebuild_is_byte_identical(self, builtin_corpus, tmp_path):
+        CorpusIndex.build(builtin_corpus).save(tmp_path / "a.json")
+        CorpusIndex.build(builtin_corpus).save(tmp_path / "b.json")
+        assert (tmp_path / "a.json").read_bytes() == \
+            (tmp_path / "b.json").read_bytes()
+
+    def test_refresh_equals_rebuild(self, builtin_corpus, tmp_path,
+                                    human_tree, library_tree):
+        index = CorpusIndex.build(builtin_corpus)
+        builtin_corpus.add(human_tree)
+        builtin_corpus.add(library_tree)
+        builtin_corpus.remove("PO2")
+        assert index.stale_for(builtin_corpus)
+        added, removed = index.refresh(builtin_corpus)
+        assert (added, removed) == (2, 1)
+        assert not index.stale_for(builtin_corpus)
+        index.save(tmp_path / "refreshed.json")
+        CorpusIndex.build(builtin_corpus).save(tmp_path / "rebuilt.json")
+        assert (tmp_path / "refreshed.json").read_bytes() == \
+            (tmp_path / "rebuilt.json").read_bytes()
+
+    def test_version_mismatch_rejected(self, builtin_corpus):
+        payload = CorpusIndex.build(builtin_corpus).to_payload()
+        payload["version"] = 99
+        with pytest.raises(IndexError_, match="version"):
+            CorpusIndex.from_payload(payload)
+
+    def test_load_missing_path(self, tmp_path):
+        with pytest.raises(IndexError_, match="no index"):
+            CorpusIndex.load(tmp_path / "absent.json")
+
+    def test_no_thesaurus_config_uses_empty_thesaurus(self):
+        index = CorpusIndex(IndexConfig(use_thesaurus=False))
+        assert index.thesaurus.expand_abbreviation("qty") is None
+
+
+class TestIndexingEdgeCaseLabels:
+    """Schemas with awkward labels must index and retrieve cleanly."""
+
+    @pytest.fixture()
+    def odd_tree(self):
+        from repro.xsd.builder import element, tree
+
+        return tree(element(
+            "Straße",
+            element("addr2", type_name="string"),
+            element("x", type_name="string"),
+            element("café", type_name="string"),
+        ))
+
+    def test_tokens_and_shingles_total(self, config, odd_tree):
+        tokens = schema_tokens(odd_tree, config)
+        assert tokens["straße"] == 1
+        assert tokens["addr"] == 1 and tokens["2"] == 1
+        assert tokens["x"] == 1
+        shingles = schema_shingles(odd_tree, config)
+        assert "straße>addr2" in shingles
+
+    def test_self_retrieval(self, tmp_path, odd_tree):
+        corpus = SchemaCorpus(tmp_path / "odd")
+        entry = corpus.add(odd_tree, name="Odd")
+        index = CorpusIndex.build(corpus)
+        scores = index.inverted.scores(index.query_tokens(odd_tree))
+        assert scores[entry.hash] == pytest.approx(1.0)
+        assert entry.hash in index.minhash.candidates(
+            index.query_signature(odd_tree)
+        )

@@ -96,6 +96,42 @@ class TestValidation:
             with pytest.raises(ValidationError):
                 validate_weights(bad)
 
+    def test_weights_trailing_comma_rejected(self):
+        with pytest.raises(ValidationError, match="trailing comma"):
+            validate_weights("3,2,1,4,")
+        with pytest.raises(ValidationError, match="empty entry"):
+            validate_weights("3,,1,4")
+        with pytest.raises(ValidationError, match="empty"):
+            validate_weights("")
+
+    def test_weights_named_form(self):
+        named = validate_weights("label=3,properties=2,level=1,children=4")
+        assert named.as_tuple() == pytest.approx((0.3, 0.2, 0.1, 0.4))
+        # Single-letter aliases and any order.
+        aliased = validate_weights("c=4,l=3,p=2,h=1")
+        assert aliased.as_tuple() == named.as_tuple()
+        mapped = validate_weights(
+            {"label": 3, "properties": 2, "level": 1, "children": 4}
+        )
+        assert mapped.as_tuple() == pytest.approx(named.as_tuple())
+
+    def test_weights_duplicate_axis_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate axis"):
+            validate_weights("label=3,label=2,level=1,children=4")
+        with pytest.raises(ValidationError, match="duplicate axis"):
+            # Alias and full name collide on the same axis.
+            validate_weights("l=3,label=2,level=1,children=4")
+
+    def test_weights_named_form_errors(self):
+        with pytest.raises(ValidationError, match="unknown axis"):
+            validate_weights("label=3,props2=2,level=1,children=4")
+        with pytest.raises(ValidationError, match="missing axis"):
+            validate_weights("label=3,properties=2,level=1")
+        with pytest.raises(ValidationError, match="mixes named"):
+            validate_weights("label=3,2,1,4")
+        with pytest.raises(ValidationError, match="must be a number"):
+            validate_weights("label=x,properties=2,level=1,children=4")
+
     def test_algorithm(self):
         assert validate_algorithm("qmatch") == "qmatch"
         with pytest.raises(ValidationError, match="psychic"):

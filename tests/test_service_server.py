@@ -205,3 +205,114 @@ class TestServiceWithoutStore:
             assert service.stats_snapshot()["store"] is None
         finally:
             service.shutdown()
+
+
+class TestIsolatedMode:
+    """``serve`` default: jobs run in worker processes, not in-thread."""
+
+    def test_isolated_service_completes_jobs(self, tmp_path):
+        service = MatchService(
+            workers=2, store=ResultStore(tmp_path / "cache"), isolate=True,
+        )
+        try:
+            record = service.run_sync(
+                service.spec_from_request(po_pair_body())
+            )
+            assert record.state.value == "done"
+            assert record.result["tree_qom"] > 0.9
+            assert service.stats_snapshot()["mode"] == "isolated"
+        finally:
+            service.shutdown()
+
+    def test_isolated_mode_survives_worker_crash(self):
+        import os
+
+        def crashing_worker(spec):
+            os._exit(13)
+
+        service = MatchService(
+            workers=1, isolate=True, retries=0, worker=crashing_worker,
+            timeout=30.0,
+        )
+        try:
+            record = service.run_sync(
+                service.spec_from_request(po_pair_body())
+            )
+            assert record.state.value == "failed"
+            assert "crash" in record.error["message"].lower() or \
+                record.error["type"]
+        finally:
+            service.shutdown()
+
+    def test_inline_is_the_embedded_default(self, service):
+        assert service.stats_snapshot()["mode"] == "inline"
+
+
+class TestSearchEndpoint:
+    @pytest.fixture()
+    def corpus_service(self, tmp_path):
+        from repro.corpus import CorpusIndex, CorpusSearcher, SchemaCorpus
+        from repro.datasets import registry
+
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        for name in ("PO1", "PO2", "Book", "Article", "Library"):
+            corpus.add(registry.load_schema(name))
+        searcher = CorpusSearcher(corpus, CorpusIndex.build(corpus))
+        service = MatchService(workers=1, searcher=searcher)
+        yield service
+        service.shutdown()
+
+    @pytest.fixture()
+    def corpus_url(self, corpus_service):
+        server = create_server(corpus_service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+        server.shutdown()
+        server.server_close()
+        thread.join(5)
+
+    def test_search_returns_ranking(self, corpus_url):
+        status, payload = request(
+            f"{corpus_url}/search", "POST",
+            {"query_xsd": to_xsd(po1()), "k": 3},
+        )
+        assert status == 200
+        assert payload["corpus_size"] == 5
+        assert payload["hits"][0]["name"] == "PO1"
+        assert payload["hits"][0]["qom"] == pytest.approx(1.0)
+        assert payload["examined"] > 0
+
+    def test_search_no_rerank(self, corpus_url):
+        status, payload = request(
+            f"{corpus_url}/search", "POST",
+            {"query_xsd": to_xsd(po1()), "k": 2, "rerank": False},
+        )
+        assert status == 200
+        assert payload["examined"] == 0
+        assert all(hit["qom"] is None for hit in payload["hits"])
+
+    def test_search_stats_exposed(self, corpus_url):
+        request(f"{corpus_url}/search", "POST",
+                {"query_xsd": to_xsd(po1())})
+        status, stats = request(f"{corpus_url}/stats")
+        assert status == 200
+        assert stats["corpus"]["entries"] == 5
+        assert stats["corpus"]["indexed"] == 5
+
+    def test_search_validation_errors_400(self, corpus_url):
+        status, payload = request(f"{corpus_url}/search", "POST", {})
+        assert status == 400
+        assert "query_xsd" in payload["error"]
+        status, payload = request(
+            f"{corpus_url}/search", "POST",
+            {"query_xsd": to_xsd(po1()), "k": 0},
+        )
+        assert status == 400
+
+    def test_search_without_corpus_400(self, server_url):
+        status, payload = request(
+            f"{server_url}/search", "POST", {"query_xsd": to_xsd(po1())},
+        )
+        assert status == 400
+        assert "no corpus configured" in payload["error"]

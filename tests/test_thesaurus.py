@@ -142,3 +142,24 @@ class TestDefault:
         empty = Thesaurus.empty()
         assert not empty.are_synonyms("writer", "author")
         assert empty.expand_acronym("uom") is None
+
+
+class TestIndexingEdgeCases:
+    """Lookups the corpus indexer performs for every token."""
+
+    def test_empty_and_single_char_lookups_are_none(self):
+        thesaurus = Thesaurus.default()
+        for token in ("", "x", "q"):
+            assert thesaurus.expand_abbreviation(token) is None
+            assert thesaurus.expand_acronym(token) is None
+
+    def test_unicode_tokens_lookup_cleanly(self):
+        thesaurus = Thesaurus.default()
+        for token in ("straße", "café", "адрес"):
+            assert thesaurus.expand_abbreviation(token) is None
+            assert thesaurus.expand_acronym(token) is None
+
+    def test_digit_tokens_lookup_cleanly(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.expand_abbreviation("2") is None
+        assert thesaurus.expand_acronym("2") is None

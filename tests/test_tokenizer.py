@@ -101,3 +101,44 @@ class TestAcronymHelpers:
 
     def test_initials_skips_numbers(self):
         assert initials(["order", "2", "go"]) == "og"
+
+
+class TestIndexingEdgeCases:
+    """Labels the corpus indexer feeds through the tokenizer.
+
+    Blocking indexes tokenize *every* node label of every schema, so
+    the tokenizer must stay total: unicode, digit-embedded names,
+    single characters and empty labels all come through real-world
+    schemas (satellite coverage for repro.corpus).
+    """
+
+    @pytest.mark.parametrize("label,expected", [
+        ("addr2", ["addr", "2"]),            # digit-embedded name
+        ("order_no_2", ["order", "no", "2"]),
+        ("A1B2", ["a", "1", "b", "2"]),
+        ("x", ["x"]),                        # single-char token
+        ("Straße", ["straße"]),              # unicode survives lowercasing
+        ("café", ["café"]),
+        ("naïveField", ["naïve", "field"]),  # camel split across accents
+        ("ítem_número", ["ítem", "número"]),
+        ("Адрес", ["адрес"]),                # non-latin scripts intact
+    ])
+    def test_unicode_and_digits(self, label, expected):
+        assert tokenize(label) == expected
+
+    def test_digit_embedded_drop_numbers(self):
+        assert tokenize("addr2", keep_numbers=False) == ["addr"]
+
+    @pytest.mark.parametrize("label", ["", "   ", None, "###", "___"])
+    def test_degenerate_labels_yield_nothing(self, label):
+        assert tokenize(label) == []
+
+    def test_single_char_stems_unchanged(self):
+        for char in ("x", "a", "é"):
+            assert stem(char) == char
+
+    def test_normalize_total_on_edge_labels(self):
+        assert normalize("") == ""
+        assert normalize("   ") == ""
+        assert normalize("Straße") == "straße"
+        assert normalize("addr2") == "addr2"
