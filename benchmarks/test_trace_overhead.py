@@ -1,0 +1,129 @@
+"""Trace overhead benchmark: the per-pair guard must stay free.
+
+The observability layer injects exactly one branch into the QMatch pair
+loop (``if tracer.enabled``).  This module prices that branch on the
+builtin PO pair three ways:
+
+- **baseline** -- the scoring loop exactly as it ran before the trace
+  branch existed (``_pair_qom`` driven directly over the postorder
+  grid, no guard);
+- **disabled** -- the shipping ``match_context`` with the default
+  ``NULL_TRACER`` (the guard is present but never taken);
+- **traced** -- the same run with a live :class:`TraceRecorder`
+  (every pair records a full span with axis contributions).
+
+The contract: disabled tracing costs at most 5% over the pre-PR
+baseline, and full tracing at most 2x.  Timings are best-of-N means so
+one scheduler hiccup cannot fail the build.
+"""
+
+import math
+import time
+
+from repro.core.qmatch import QMatchMatcher
+from repro.datasets import registry
+from repro.matching.result import ScoreMatrix
+from repro.obs.trace import TraceRecorder
+
+from conftest import write_result
+
+#: Best-of ROUNDS, each round averaging ITERATIONS full matches.
+ROUNDS = 7
+ITERATIONS = 15
+
+#: The guard may cost at most this factor over the unguarded loop.
+DISABLED_BUDGET = 1.05
+
+#: Recording full spans may cost at most this factor over baseline.
+TRACED_BUDGET = 2.0
+
+
+def _pre_pr_loop(matcher, ctx) -> ScoreMatrix:
+    """The pair loop as it was before tracing: no per-pair branch."""
+    matrix = ScoreMatrix(ctx.source, ctx.target)
+    categories = {} if matcher.config.record_categories else None
+    t_nodes = ctx.target_postorder
+    for s_node in ctx.source_postorder:
+        for t_node in t_nodes:
+            qom, category = matcher._pair_qom(
+                s_node, t_node, matrix, categories, ctx
+            )
+            matrix.set(s_node, t_node, qom)
+            if categories is not None:
+                categories[(s_node.path, t_node.path)] = category.value
+    matrix.categories = categories
+    return matrix
+
+
+def _best_of(fn, rounds=ROUNDS, iterations=ITERATIONS) -> float:
+    best = math.inf
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - started) / iterations)
+    return best
+
+
+def test_trace_guard_overhead(benchmark):
+    task = registry.task("PO")
+    matcher = QMatchMatcher()
+    source, target = task.source, task.target
+
+    # Fresh context per match, as every production entry point does --
+    # a warmed context would shrink the per-pair work and overstate the
+    # guard's relative cost.
+    def baseline():
+        _pre_pr_loop(matcher, matcher.make_context(source, target))
+
+    def disabled():
+        matcher.match_context(matcher.make_context(source, target))
+
+    def traced():
+        recorder = TraceRecorder(run_id="bench")
+        matcher.match_context(
+            matcher.make_context(source, target, tracer=recorder)
+        )
+
+    benchmark.pedantic(disabled, rounds=3, iterations=1)
+
+    baseline_s = _best_of(baseline)
+    disabled_s = _best_of(disabled)
+    traced_s = _best_of(traced)
+
+    write_result(
+        "trace_overhead",
+        "Trace overhead: PO pair, best-of-7 mean of 15 matches (seconds)",
+        "\n".join([
+            f"pre-PR baseline (no guard) : {baseline_s:.6f}",
+            f"tracing disabled (guard)   : {disabled_s:.6f}"
+            f"  ({disabled_s / baseline_s:.3f}x, budget "
+            f"{DISABLED_BUDGET:.2f}x)",
+            f"tracing enabled (spans)    : {traced_s:.6f}"
+            f"  ({traced_s / baseline_s:.3f}x, budget "
+            f"{TRACED_BUDGET:.2f}x)",
+        ]),
+    )
+
+    assert disabled_s <= baseline_s * DISABLED_BUDGET, (
+        f"disabled tracing {disabled_s:.6f}s exceeds "
+        f"{DISABLED_BUDGET:.2f}x the pre-PR baseline {baseline_s:.6f}s"
+    )
+    assert traced_s <= baseline_s * TRACED_BUDGET, (
+        f"enabled tracing {traced_s:.6f}s exceeds "
+        f"{TRACED_BUDGET:.2f}x the pre-PR baseline {baseline_s:.6f}s"
+    )
+
+
+def test_guarded_loop_matches_pre_pr_scores():
+    """The refactored loop must be a pure superset: identical scores."""
+    task = registry.task("PO")
+    matcher = QMatchMatcher()
+    before = _pre_pr_loop(
+        matcher, matcher.make_context(task.source, task.target)
+    )
+    after = matcher.match_context(
+        matcher.make_context(task.source, task.target)
+    )
+    assert dict(before.items()) == dict(after.items())
+    assert before.categories == after.categories

@@ -22,7 +22,10 @@ Main entry points:
 - :func:`parse_xsd` / :func:`parse_xsd_file` and the builder helpers --
   getting schema trees in;
 - :mod:`repro.datasets` -- the paper's evaluation schemas;
-- :mod:`repro.evaluation` -- precision / recall / overall harness.
+- :mod:`repro.evaluation` -- precision / recall / overall harness;
+- :mod:`repro.obs` -- observability: per-pair decision traces
+  (:class:`TraceRecorder`, ``qmatch explain``), the Prometheus-style
+  :class:`MetricsRegistry`, structured :class:`EventLogger` logs.
 """
 
 from repro.composite.combine import CompositeMatcher
@@ -43,6 +46,9 @@ from repro.linguistic.matcher import LinguisticConfig, LinguisticMatcher
 from repro.linguistic.thesaurus import Thesaurus
 from repro.matching.base import Matcher
 from repro.matching.result import Correspondence, MatchResult, ScoreMatrix
+from repro.obs.log import NULL_LOGGER, EventLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Trace, TraceRecorder, load_trace
 from repro.matching.selection import DEFAULT_THRESHOLD
 from repro.structural.matcher import StructuralConfig, StructuralMatcher
 from repro.structural.flooding import SimilarityFloodingMatcher
@@ -104,8 +110,12 @@ __all__ = [
     "LinguisticConfig",
     "LinguisticMatcher",
     "MatchCategory",
+    "EventLogger",
     "MatchResult",
     "Matcher",
+    "MetricsRegistry",
+    "NULL_LOGGER",
+    "NULL_TRACER",
     "NodeKind",
     "PAPER_WEIGHTS",
     "QMatchConfig",
@@ -116,6 +126,8 @@ __all__ = [
     "StructuralConfig",
     "StructuralMatcher",
     "Thesaurus",
+    "Trace",
+    "TraceRecorder",
     "TreeBuilder",
     "TreeEditMatcher",
     "attribute",
@@ -127,6 +139,7 @@ __all__ = [
     "parse_dtd_file",
     "parse_xsd",
     "parse_xsd_file",
+    "load_trace",
     "schema_stats",
     "to_compact_text",
     "to_xsd",

@@ -5,7 +5,8 @@ Subcommands::
     qmatch match a.xsd b.xsd [--algorithm qmatch] [--threshold 0.5]
                              [--weights 0.3,0.2,0.1,0.4]
                              [--format text|tsv|json] [--save out.json]
-                             [--stats]
+                             [--stats] [--trace t.jsonl] [--quiet]
+    qmatch explain t.jsonl [--path SOURCE_PATH] [--target TARGET_PATH]
     qmatch show a.xsd [--properties]
     qmatch stats a.xsd
     qmatch evaluate [--task PO Book DCMD Inventory] [--format markdown]
@@ -23,7 +24,9 @@ Subcommands::
     qmatch search DIR query.xsd [--k N] [--candidates N] [--no-rerank]
 
 ``match`` matches two XSD files and prints the correspondences and the
-overall schema QoM; ``show`` / ``stats`` inspect one schema;
+overall schema QoM (``--trace`` records every pair's per-axis decision
+record as JSON lines); ``explain`` renders such a trace as a
+human-readable breakdown; ``show`` / ``stats`` inspect one schema;
 ``evaluate`` runs the three paper algorithms on the built-in evaluation
 pairs; ``generate`` emits a sample document; ``translate`` matches two
 schemas and reshapes a document from one into the other; ``diff``
@@ -47,7 +50,7 @@ import argparse
 import json
 import sys
 
-from repro import ALGORITHMS, make_matcher
+from repro import ALGORITHMS, __version__, make_matcher
 from repro.core.config import QMatchConfig
 from repro.evaluation.harness import evaluate_all, render_quality_rows
 from repro.xsd.parser import parse_xsd, parse_xsd_file
@@ -58,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qmatch",
         description="QMatch: hybrid XML-Schema matching (ICDE 2005).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"qmatch {__version__}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -102,7 +108,44 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument(
         "--stats", action="store_true", dest="show_stats",
         help="print engine instrumentation (per-stage wall time, pair "
-             "counts, cache hit rates) to stderr",
+             "counts, cache hit rates) to stderr; with --format json the "
+             "stats are machine-readable JSON",
+    )
+    match_parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a per-pair decision trace (JSON lines) to FILE; "
+             "inspect it with `qmatch explain FILE --path ...`",
+    )
+    match_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress non-error output (explicit --stats still prints)",
+    )
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="render the per-axis decision breakdown recorded by "
+             "`qmatch match --trace`",
+    )
+    explain_parser.add_argument(
+        "trace", help="trace file written by `qmatch match --trace`"
+    )
+    explain_parser.add_argument(
+        "--path", metavar="SOURCE_PATH", default=None,
+        help="source node path (or unambiguous path suffix) to explain; "
+             "omitted: print the run summary with the top accepted pairs",
+    )
+    explain_parser.add_argument(
+        "--target", metavar="TARGET_PATH", default=None,
+        help="pin the explanation to one exact (source, target) pair",
+    )
+    explain_parser.add_argument(
+        "--top", type=int, default=10,
+        help="accepted pairs shown in summary mode (default: 10)",
+    )
+    explain_parser.add_argument(
+        "--alternatives", type=int, default=5,
+        help="losing target candidates listed per explanation "
+             "(default: 5)",
     )
 
     show_parser = subparsers.add_parser(
@@ -221,7 +264,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--quiet", action="store_true",
-        help="suppress the human-readable report table",
+        help="suppress non-error output",
+    )
+    batch_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format",
+        help="report format on stdout (default: text)",
+    )
+    batch_parser.add_argument(
+        "--stats", action="store_true", dest="show_stats",
+        help="print the merged engine instrumentation of all workers to "
+             "stderr; with --format json the stats are machine-readable "
+             "JSON",
+    )
+    batch_parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="record a per-pair decision trace for every job and write "
+             "them to DIR/<job_id>.jsonl (inspect with qmatch explain)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -346,9 +405,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search_parser.add_argument(
         "--stats", action="store_true", dest="show_stats",
-        help="print per-stage search instrumentation to stderr",
+        help="print per-stage search instrumentation to stderr; with "
+             "--format json the stats are machine-readable JSON",
+    )
+    search_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress non-error output (explicit --stats still prints)",
     )
     return parser
+
+
+def _emit_stats(stats, output_format: str):
+    """Engine stats to stderr: rendered table, or JSON under --format json."""
+    if stats is None:
+        return
+    if output_format == "json":
+        print(stats.to_json(indent=2), file=sys.stderr)
+    else:
+        print(stats.render(), file=sys.stderr)
 
 
 def _command_match(args) -> int:
@@ -370,16 +444,43 @@ def _command_match(args) -> int:
     source = parse_xsd_file(args.source)
     target = parse_xsd_file(args.target)
     matcher = make_matcher(args.algorithm, **kwargs)
+    tracer = None
+    context = None
+    if args.trace:
+        from repro.obs.trace import TraceRecorder, trace_run_id
+        from repro.service.store import content_hash
+        from repro.xsd.serializer import to_xsd
+
+        # Same run-ID recipe as the batch worker (content hashes +
+        # config fingerprint), so the trace of `qmatch match --trace`
+        # is byte-identical to the one a traced batch job records for
+        # the same pair and configuration.
+        tracer = TraceRecorder(run_id=trace_run_id(
+            content_hash(to_xsd(source)), content_hash(to_xsd(target)),
+            matcher.fingerprint(threshold, args.strategy),
+        ))
+        context = matcher.make_context(source, target, tracer=tracer)
     result = matcher.match(
-        source, target, threshold=threshold, strategy=args.strategy
+        source, target, threshold=threshold, strategy=args.strategy,
+        context=context,
     )
-    if args.show_stats and result.stats is not None:
-        print(result.stats.render(), file=sys.stderr)
+    if args.show_stats:
+        _emit_stats(result.stats, args.output_format)
+    if args.trace:
+        tracer.write(args.trace)
+        if not args.quiet:
+            print(
+                f"wrote trace ({len(tracer.spans)} spans) to {args.trace}",
+                file=sys.stderr,
+            )
     if args.save:
         from pathlib import Path
 
         Path(args.save).write_text(result.to_json(), encoding="utf-8")
-        print(f"saved result to {args.save}", file=sys.stderr)
+        if not args.quiet:
+            print(f"saved result to {args.save}", file=sys.stderr)
+    if args.quiet:
+        return 0
     if args.output_format == "text":
         print(result.summary())
     elif args.output_format == "tsv":
@@ -412,6 +513,24 @@ def _command_match(args) -> int:
                 print(f"  {proposal}")
         else:
             print("\nno complex (1:n) proposals found")
+    return 0
+
+
+def _command_explain(args) -> int:
+    from repro.obs.explain import (
+        render_pair_explanation,
+        render_trace_summary,
+    )
+    from repro.obs.trace import load_trace
+
+    trace = load_trace(args.trace)
+    if args.path:
+        print(render_pair_explanation(
+            trace, args.path, target_path=args.target,
+            alternatives=args.alternatives,
+        ))
+    else:
+        print(render_trace_summary(trace, top=args.top))
     return 0
 
 
@@ -521,6 +640,14 @@ def _command_batch(args) -> int:
     if args.retries < 0:
         raise ValidationError(f"invalid --retries {args.retries}: must be >= 0")
     specs = load_manifest(args.manifest)
+    if args.trace_dir:
+        # Tracing rides in the worker envelope, so cached results can
+        # never satisfy a traced job; dropping the store keeps the
+        # promise that every job in the run produces a trace.
+        from dataclasses import replace
+
+        specs = [replace(spec, trace=True) for spec in specs]
+        args.no_cache = True
     store = None
     if not args.no_cache:
         store = ResultStore(args.cache_dir)
@@ -532,13 +659,35 @@ def _command_batch(args) -> int:
         **runner_kwargs,
     )
     report = runner.run(specs)
+    if args.show_stats:
+        _emit_stats(report.stats, args.output_format)
+    if args.trace_dir:
+        from repro.obs.trace import TraceRecorder
+
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        for job_id, snapshot in report.traces.items():
+            TraceRecorder.from_dict(snapshot).write(
+                trace_dir / f"{job_id}.jsonl"
+            )
+        if not args.quiet:
+            print(
+                f"wrote {len(report.traces)} trace"
+                f"{'s' if len(report.traces) != 1 else ''} to "
+                f"{trace_dir}",
+                file=sys.stderr,
+            )
     if args.report:
         Path(args.report).write_text(
             report.to_json(), encoding="utf-8"
         )
-        print(f"wrote run report to {args.report}", file=sys.stderr)
+        if not args.quiet:
+            print(f"wrote run report to {args.report}", file=sys.stderr)
     if not args.quiet:
-        print(report.render())
+        if args.output_format == "json":
+            print(report.to_json())
+        else:
+            print(report.render())
     return 0 if report.ok else 1
 
 
@@ -667,7 +816,9 @@ def _command_search(args) -> int:
         rerank=not args.no_rerank,
     )
     if args.show_stats:
-        print(result.stats.render(), file=sys.stderr)
+        _emit_stats(result.stats, args.output_format)
+    if args.quiet:
+        return 0
     if args.output_format == "json":
         print(result.to_json())
     else:
@@ -679,6 +830,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "match": _command_match,
+        "explain": _command_explain,
         "show": _command_show,
         "evaluate": _command_evaluate,
         "generate": _command_generate,

@@ -115,7 +115,8 @@ class QMatchMatcher(Matcher):
             "documentation_discount": config.documentation_discount,
         }
 
-    def make_context(self, source, target, stats=None, cache_enabled=True):
+    def make_context(self, source, target, stats=None, cache_enabled=True,
+                     tracer=None):
         """Inject this matcher's configured services into the context."""
         from repro.engine.context import MatchContext
 
@@ -125,6 +126,7 @@ class QMatchMatcher(Matcher):
             property_matcher=self.property_matcher,
             stats=stats,
             cache_enabled=cache_enabled,
+            tracer=tracer,
         )
 
     def match_context(self, ctx) -> ScoreMatrix:
@@ -132,18 +134,105 @@ class QMatchMatcher(Matcher):
         categories: Optional[dict] = (
             {} if self.config.record_categories else None
         )
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.begin_run(
+                algorithm=self.name,
+                source=ctx.source.name,
+                target=ctx.target.name,
+                weights=self.config.weights.as_dict(),
+                threshold=self.config.threshold,
+                config=self.config_signature(),
+            )
         t_nodes = ctx.target_postorder
         for s_node in ctx.source_postorder:
             for t_node in t_nodes:
-                qom, category = self._pair_qom(
-                    s_node, t_node, matrix, categories, ctx
-                )
+                # Zero-cost when disabled: this is the single per-pair
+                # trace branch the observability layer is allowed.
+                if tracer.enabled:
+                    qom, category = self._traced_pair(
+                        s_node, t_node, matrix, categories, ctx, tracer
+                    )
+                else:
+                    qom, category = self._pair_qom(
+                        s_node, t_node, matrix, categories, ctx
+                    )
                 matrix.set(s_node, t_node, qom)
                 if categories is not None:
                     categories[(s_node.path, t_node.path)] = category.value
         matrix.categories = categories
         ctx.stats.count("qmatch.pairs", len(matrix))
         return matrix
+
+    def _traced_pair(self, s_node, t_node, matrix, categories, ctx, tracer):
+        """Score one pair with full span recording (the traced path).
+
+        Cache provenance is probed *before* the comparisons run (a
+        memoized lookup afterwards would always report a hit).
+        """
+        detail = {
+            "label_cache": (
+                "hit" if ctx.label_cached(s_node.name, t_node.name)
+                else ("miss" if ctx.cache_enabled else "off")
+            ),
+            "property_cache": (
+                "hit" if ctx.property_cached(s_node, t_node)
+                else ("miss" if ctx.cache_enabled else "off")
+            ),
+        }
+        qom, category = self._pair_qom(
+            s_node, t_node, matrix, categories, ctx, trace_out=detail
+        )
+        weights = self.config.weights
+        label = detail["label"]
+        props = detail["properties"]
+        axes = {
+            "label": {
+                "score": label.score,
+                "weight": weights.label,
+                "contribution": weights.label * label.score,
+                "strength": str(label.strength),
+                "mechanism": label.mechanism,
+                "cache": detail["label_cache"],
+            },
+            "properties": {
+                "score": props.score,
+                "weight": weights.properties,
+                "contribution": weights.properties * props.score,
+                "strength": str(props.strength),
+                "cache": detail["property_cache"],
+            },
+            "level": {
+                "score": detail["level_score"],
+                "weight": weights.level,
+                "contribution": weights.level * detail["level_score"],
+            },
+            "children": {
+                "score": detail["children_score"],
+                "weight": detail["children_weight"],
+                "contribution": (
+                    detail["children_weight"] * detail["children_score"]
+                ),
+                "coverage": str(detail["coverage"]),
+                "matched": detail["matched_children"],
+                "total": detail["total_children"],
+            },
+        }
+        children_spans = []
+        for source_path, target_path in detail["matched_pairs"] or ():
+            span_id = tracer.span_id(source_path, target_path)
+            if span_id is not None:
+                children_spans.append(span_id)
+        tracer.record_pair(
+            s_node.path, t_node.path,
+            qom=qom,
+            category=str(category),
+            threshold=self.config.threshold,
+            accepted=qom >= self.config.threshold,
+            axes=axes,
+            children_spans=children_spans,
+        )
+        return qom, category
 
     def categories(self, matrix: ScoreMatrix):
         return getattr(matrix, "categories", None)
@@ -153,13 +242,17 @@ class QMatchMatcher(Matcher):
     # ------------------------------------------------------------------
 
     def _pair_qom(self, s_node: SchemaNode, t_node: SchemaNode,
-                  matrix: ScoreMatrix, categories, ctx=None):
+                  matrix: ScoreMatrix, categories, ctx=None,
+                  trace_out: Optional[dict] = None):
         """QoM and taxonomy category of one pair.
 
         Child pairs are guaranteed to be in ``matrix`` already because
         both trees are iterated in postorder.  ``ctx`` carries the
         engine's memoized label/property comparisons; legacy callers may
-        omit it and a throwaway context is built.
+        omit it and a throwaway context is built.  ``trace_out`` (only
+        passed on the traced path) receives the per-axis evidence the
+        span recorder serializes; the numeric result is identical with
+        or without it.
         """
         if ctx is None:
             ctx = self.make_context(matrix.source, matrix.target)
@@ -171,6 +264,7 @@ class QMatchMatcher(Matcher):
             else MatchStrength.NONE
         )
         level_score = 1.0 if level_strength is MatchStrength.EXACT else 0.0
+        matched_pairs = [] if trace_out is not None else None
 
         if s_node.is_leaf and t_node.is_leaf:
             if self.config.leaf_level_mode == "constant":
@@ -178,42 +272,55 @@ class QMatchMatcher(Matcher):
                 effective_level = 1.0
             else:
                 effective_level = level_score
-            qom = (
-                weights.label * label.score
-                + weights.properties * props.score
-                + weights.level * effective_level
-                + weights.children * 1.0
-            )
+            children_score, children_weight = 1.0, weights.children
+            coverage, matched, total = CoverageLevel.TOTAL, 0, 0
             category = classify_leaf(label.strength, props.strength)
-            return qom, category
-
-        if s_node.is_leaf != t_node.is_leaf:
+        elif s_node.is_leaf != t_node.is_leaf:
             # Leaf vs interior: no children-axis credit (footnote 1 of
             # the paper -- comparable by altering the level axis).
-            qom = (
-                weights.label * label.score
-                + weights.properties * props.score
-                + weights.level * level_score
-            )
+            effective_level = level_score
+            children_score, children_weight = 0.0, 0.0
+            coverage, matched = CoverageLevel.NONE, 0
+            total = len(s_node.children)
             category = classify_subtree(
                 label.strength, props.strength, level_strength,
                 CoverageLevel.NONE, MatchStrength.NONE,
             )
-            return qom, category
-
-        children_score, coverage, matched, children_strength = (
-            self._children_axis(s_node, t_node, matrix, categories, ctx)
-        )
+        else:
+            effective_level = level_score
+            children_score, coverage, matched, children_strength = (
+                self._children_axis(
+                    s_node, t_node, matrix, categories, ctx,
+                    matched_pairs=matched_pairs,
+                )
+            )
+            children_weight = weights.children
+            total = len(s_node.children)
+            category = classify_subtree(
+                label.strength, props.strength, level_strength,
+                coverage, children_strength,
+            )
+        # One formula for all three shapes: the leaf case fixes the
+        # children axis at 1.0, the mixed case zeroes its weight, so the
+        # sum is bit-identical to the per-branch formulas it replaces.
         qom = (
             weights.label * label.score
             + weights.properties * props.score
-            + weights.level * level_score
-            + weights.children * children_score
+            + weights.level * effective_level
+            + children_weight * children_score
         )
-        category = classify_subtree(
-            label.strength, props.strength, level_strength,
-            coverage, children_strength,
-        )
+        if trace_out is not None:
+            trace_out.update(
+                label=label,
+                properties=props,
+                level_score=effective_level,
+                children_score=children_score,
+                children_weight=children_weight,
+                coverage=coverage,
+                matched_children=matched,
+                total_children=total,
+                matched_pairs=matched_pairs,
+            )
         return qom, category
 
     def _label_evidence(self, s_node, t_node, ctx):
@@ -243,8 +350,13 @@ class QMatchMatcher(Matcher):
             strength = MatchStrength.RELAXED
         return LabelComparison(doc_score, strength, "documentation")
 
-    def _children_axis(self, s_node, t_node, matrix, categories, ctx):
+    def _children_axis(self, s_node, t_node, matrix, categories, ctx,
+                       matched_pairs=None):
         """Eqs. 3-5: (QoM_C, coverage, matched count, children strength).
+
+        ``matched_pairs`` (traced path only) collects the
+        ``(source_path, target_path)`` child pairs that counted toward
+        the axis, so spans can link to their contributing child spans.
 
         A child pair only counts when it is a genuine match: its label
         axis matched at least relaxed, *or* its properties axis agrees
@@ -292,6 +404,10 @@ class QMatchMatcher(Matcher):
                 if best_qom >= threshold:
                     matched += 1
                     qom_sum += best_qom
+                    if matched_pairs is not None and best_target is not None:
+                        matched_pairs.append(
+                            (s_child.path, best_target.path)
+                        )
                     if categories is not None and best_target is not None:
                         child_category = categories.get(
                             (s_child.path, best_target.path)
@@ -313,6 +429,10 @@ class QMatchMatcher(Matcher):
                         s_child, t_child
                     ):
                         qom_sum += child_qom
+                        if matched_pairs is not None:
+                            matched_pairs.append(
+                                (s_child.path, t_child.path)
+                            )
                         matched_sources.add(id(s_child))
                         if child_qom < 1.0:
                             children_all_exact = False

@@ -30,6 +30,7 @@ from typing import Optional
 from repro.corpus.corpus import SchemaCorpus
 from repro.corpus.indexes import CorpusIndex
 from repro.engine.stats import EngineStats
+from repro.obs.log import NULL_LOGGER
 from repro.service.jobs import MatchJobSpec
 from repro.service.runner import BatchRunner
 from repro.service.store import ResultStore, content_hash
@@ -149,11 +150,15 @@ class CorpusSearcher:
                  weights=None,
                  lexical_weight: float = 0.7,
                  workers: int = 1,
-                 store: Optional[ResultStore] = None):
+                 store: Optional[ResultStore] = None,
+                 log=NULL_LOGGER):
         """``lexical_weight`` blends the stage-1 signals:
         ``score = lw * cosine + (1 - lw) * jaccard``.  ``workers`` > 1
         fans the rerank over that many processes; ``store`` makes
-        reranks content-addressed-cacheable across searches.
+        reranks content-addressed-cacheable across searches.  ``log``
+        is an :class:`~repro.obs.log.EventLogger` that receives
+        ``search.retrieve`` / ``search.rerank`` stage events (disabled
+        by default).
         """
         if not 0.0 <= lexical_weight <= 1.0:
             raise ValueError(
@@ -167,6 +172,7 @@ class CorpusSearcher:
         self.lexical_weight = lexical_weight
         self.workers = workers
         self.store = store
+        self.log = log
 
     # ------------------------------------------------------------------
     # Stage 1: index retrieval
@@ -235,6 +241,7 @@ class CorpusSearcher:
             store=self.store,
             retries=0,
             inline=self.workers == 1,
+            log=self.log.child(stage="rerank"),
         )
         with stats.stage("search:rerank"):
             report = runner.run(specs)
@@ -299,6 +306,19 @@ class CorpusSearcher:
         stats.count("search.corpus-size", len(self.corpus))
         stats.count("search.candidates", len(ranked))
         stats.count("search.pruned", pruned)
+        retrieve_stage = stats.stages.get("search:retrieve")
+        self.log.event(
+            "search.retrieve",
+            query=query_tree.name,
+            corpus_size=len(self.corpus),
+            candidates=len(ranked),
+            shortlist=len(shortlist),
+            pruned=pruned,
+            seconds=(
+                round(retrieve_stage.seconds, 6)
+                if retrieve_stage is not None else None
+            ),
+        )
         result = SearchResult(
             query_name=query_tree.name,
             k=k,
@@ -315,6 +335,17 @@ class CorpusSearcher:
             )
             result.examined = len(shortlist)
             stats.count("search.reranked", len(shortlist))
+            rerank_stage = stats.stages.get("search:rerank")
+            self.log.event(
+                "search.rerank",
+                query=query_tree.name,
+                examined=len(shortlist),
+                errors=sum(1 for hit in shortlist if hit.error),
+                seconds=(
+                    round(rerank_stage.seconds, 6)
+                    if rerank_stage is not None else None
+                ),
+            )
             shortlist.sort(
                 key=lambda hit: (-(hit.qom if hit.qom is not None else -1.0),
                                  -hit.retrieval_score, hit.name, hit.hash)

@@ -71,12 +71,13 @@ class CupidMatcher(Matcher):
         self.config = config or CupidConfig()
         self.linguistic = linguistic or LinguisticMatcher()
 
-    def make_context(self, source, target, stats=None, cache_enabled=True):
+    def make_context(self, source, target, stats=None, cache_enabled=True,
+                     tracer=None):
         from repro.engine.context import MatchContext
 
         return MatchContext(
             source, target, linguistic=self.linguistic,
-            stats=stats, cache_enabled=cache_enabled,
+            stats=stats, cache_enabled=cache_enabled, tracer=tracer,
         )
 
     def match_context(self, ctx) -> ScoreMatrix:

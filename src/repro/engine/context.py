@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.engine.stats import EngineStats
 from repro.linguistic.matcher import LabelComparison, LinguisticMatcher
+from repro.obs.trace import NULL_TRACER
 from repro.properties.matcher import PropertyComparison, PropertyMatcher
 from repro.xsd.model import SchemaNode, SchemaTree
 
@@ -54,6 +55,7 @@ class MatchContext:
         property_matcher: Optional[PropertyMatcher] = None,
         stats: Optional[EngineStats] = None,
         cache_enabled: bool = True,
+        tracer=None,
     ):
         self.source = source
         self.target = target
@@ -61,6 +63,10 @@ class MatchContext:
         self.property_matcher = property_matcher or PropertyMatcher()
         self.stats = stats if stats is not None else EngineStats()
         self.cache_enabled = cache_enabled
+        #: Decision-trace recorder (see :mod:`repro.obs.trace`).  The
+        #: default :data:`NULL_TRACER` is falsy-``enabled``, so matchers
+        #: pay exactly one branch per pair when tracing is off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         # Node-list precomputation is lazy: cheap matchers (tree-edit,
         # flooding) walk the trees themselves and never pay for it.
@@ -174,6 +180,22 @@ class MatchContext:
 
     def label_score(self, left: str, right: str) -> float:
         return self.label_comparison(left, right).score
+
+    def label_cached(self, left: str, right: str) -> bool:
+        """Whether the label memo already holds this pair (trace
+        provenance: checked *before* the comparison runs)."""
+        return self.cache_enabled and (left, right) in self._label_memo
+
+    def property_cached(self, source: SchemaNode,
+                        target: SchemaNode) -> bool:
+        """Whether the property memo already holds this signature pair."""
+        if not self.cache_enabled:
+            return False
+        key = (
+            self.property_matcher.signature(source),
+            self.property_matcher.signature(target),
+        )
+        return key in self._property_memo
 
     def property_comparison(
         self, source: SchemaNode, target: SchemaNode

@@ -15,9 +15,11 @@ readable ("how long did selection take?") without building a profiler.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -71,16 +73,20 @@ class EngineStats:
 
     @contextmanager
     def stage(self, name: str):
-        """Time a block of work under ``name`` (re-entrant per name)."""
+        """Time a block of work under ``name`` (re-entrant per name).
+
+        The stage is registered on *entry*, so reports render stages in
+        pipeline order (an outer stage appears before the inner stages
+        it wraps) rather than completion order.
+        """
+        stage = self.stages.get(name)
+        if stage is None:
+            stage = self.stages[name] = StageStats(name)
         started = time.perf_counter()
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - started
-            stage = self.stages.get(name)
-            if stage is None:
-                stage = self.stages[name] = StageStats(name)
-            stage.add(elapsed)
+            stage.add(time.perf_counter() - started)
 
     def count(self, name: str, amount: int = 1):
         """Bump a free-form counter (pair counts, node counts, ...)."""
@@ -172,6 +178,14 @@ class EngineStats:
             },
             "counters": dict(self.counters),
         }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Machine-readable snapshot (``--stats --format json``)."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def pretty(self) -> str:
+        """Human-readable report, stages in pipeline (insertion) order."""
+        return self.render()
 
     def render(self) -> str:
         """Human-readable report (what ``qmatch match --stats`` prints)."""

@@ -113,12 +113,13 @@ class LinguisticMatcher(Matcher):
     # Matcher protocol
     # ------------------------------------------------------------------
 
-    def make_context(self, source, target, stats=None, cache_enabled=True):
+    def make_context(self, source, target, stats=None, cache_enabled=True,
+                     tracer=None):
         from repro.engine.context import MatchContext
 
         return MatchContext(
             source, target, linguistic=self,
-            stats=stats, cache_enabled=cache_enabled,
+            stats=stats, cache_enabled=cache_enabled, tracer=tracer,
         )
 
     def match_context(self, ctx) -> ScoreMatrix:

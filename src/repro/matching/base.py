@@ -44,17 +44,20 @@ class Matcher(abc.ABC):
     # ------------------------------------------------------------------
 
     def make_context(self, source: SchemaTree, target: SchemaTree,
-                     stats=None, cache_enabled: bool = True):
+                     stats=None, cache_enabled: bool = True, tracer=None):
         """Build the :class:`MatchContext` a standalone run uses.
 
         Matchers carrying configured services (a custom thesaurus, a
         tuned property config) override this to inject them, so the
-        context's shared caches serve *their* comparisons.
+        context's shared caches serve *their* comparisons.  ``tracer``
+        (a :class:`repro.obs.trace.TraceRecorder`) turns on per-pair
+        decision tracing for matchers that support it.
         """
         from repro.engine.context import MatchContext
 
         return MatchContext(
-            source, target, stats=stats, cache_enabled=cache_enabled
+            source, target, stats=stats, cache_enabled=cache_enabled,
+            tracer=tracer,
         )
 
     def match_context(self, context) -> ScoreMatrix:
@@ -156,4 +159,5 @@ class Matcher(abc.ABC):
             strategy=strategy,
             stats=stats,
             config_fingerprint=self.fingerprint(threshold, strategy),
+            trace=ctx.tracer if ctx.tracer.enabled else None,
         )

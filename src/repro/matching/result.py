@@ -120,6 +120,12 @@ class MatchResult:
     #: :meth:`Matcher.match`, persisted by :meth:`to_json`, and the
     #: config component of the service result-store key.
     config_fingerprint: Optional[str] = None
+    #: The :class:`repro.obs.trace.TraceRecorder` that captured this
+    #: run's per-pair decision spans -- only set when the run's context
+    #: carried an enabled tracer (``qmatch match --trace``), else
+    #: ``None``.  Not persisted by :meth:`to_json`; traces have their
+    #: own JSON-lines format.
+    trace: Optional[object] = None
 
     @property
     def matched_source_paths(self) -> set[str]:

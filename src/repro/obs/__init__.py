@@ -1,0 +1,52 @@
+"""Observability: decision traces, metrics exposition, structured logs.
+
+The three pillars, each deliberately stdlib-only and mergeable across
+the fork boundary the batch service runs jobs behind:
+
+- :mod:`repro.obs.trace` -- hierarchical per-pair **decision traces** of
+  a QMatch run (per-axis contributions, taxonomy category, threshold
+  decision, cache provenance, child-span links), serialized as
+  JSON-lines with a stable schema version and a run ID.  Zero-cost when
+  disabled: matchers guard on one ``tracer.enabled`` branch per pair.
+- :mod:`repro.obs.metrics` -- a **metrics registry** (counters, gauges,
+  fixed-bucket histograms) rendered in Prometheus text exposition
+  format; :func:`~repro.obs.metrics.engine_stats_metrics` absorbs an
+  :class:`~repro.engine.stats.EngineStats` snapshot so one ``/metrics``
+  scrape covers HTTP traffic *and* engine internals.
+- :mod:`repro.obs.log` -- **structured event logging**: run-ID-stamped
+  JSON records on a stream, replacing ad-hoc stderr prints in the
+  service and search layers.
+
+:mod:`repro.obs.explain` renders a recorded trace back into the
+human-readable per-axis decision breakdown behind ``qmatch explain``.
+"""
+
+from repro.obs.log import NULL_LOGGER, EventLogger, new_run_id
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    engine_stats_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    Trace,
+    TraceRecorder,
+    load_trace,
+    trace_run_id,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "EventLogger",
+    "MetricsRegistry",
+    "NULL_LOGGER",
+    "NULL_TRACER",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceRecorder",
+    "engine_stats_metrics",
+    "load_trace",
+    "new_run_id",
+    "trace_run_id",
+]

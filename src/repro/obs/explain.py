@@ -1,0 +1,159 @@
+"""Render a recorded trace as a human-readable decision breakdown.
+
+The body of ``qmatch explain``: given a :class:`~repro.obs.trace.Trace`
+and a node path, show the winning pair's per-axis contributions
+(summing to the reported QoM under the configured weights), the child
+pairs that carried the children axis, and which alternative target
+candidates lost -- the debugging loop the paper's hybrid model needs in
+practice.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Trace
+
+#: Fixed display order of the QoM axes, with the paper's letters.
+_AXES = ("label", "properties", "level", "children")
+_AXIS_LETTERS = {
+    "label": "L", "properties": "P", "level": "H", "children": "C",
+}
+
+
+def _axis_note(name: str, axis: dict) -> str:
+    parts = []
+    if axis.get("strength"):
+        parts.append(str(axis["strength"]))
+    if name == "label" and axis.get("mechanism"):
+        parts.append(f"via {axis['mechanism']}")
+    if name == "children" and axis.get("coverage") is not None:
+        parts.append(
+            f"{axis['coverage']}, "
+            f"{axis.get('matched', 0)}/{axis.get('total', 0)} matched"
+        )
+    if axis.get("cache"):
+        parts.append(f"cache {axis['cache']}")
+    return ", ".join(parts)
+
+
+def render_span(trace: Trace, span: dict,
+                show_children: bool = True,
+                alternatives: int = 5) -> str:
+    """One pair's full decision record as indented text."""
+    decision = "accepted" if span["accepted"] else "rejected"
+    lines = [
+        f"{span['source']} <-> {span['target']}",
+        f"  QoM {span['qom']:.4f}  [{span['category']}]  "
+        f"{decision} (threshold {span['threshold']:g})",
+        f"  {'axis':<12} {'score':>7} {'weight':>8} {'contribution':>13}"
+        f"  notes",
+    ]
+    total = 0.0
+    for name in _AXES:
+        axis = span["axes"].get(name)
+        if axis is None:
+            continue
+        total += axis["contribution"]
+        note = _axis_note(name, axis)
+        lines.append(
+            f"  {name:<12} {axis['score']:>7.4f} {axis['weight']:>8.3f} "
+            f"{axis['contribution']:>13.4f}  {note}"
+        )
+    lines.append(f"  {'sum':<12} {'':>7} {'':>8} {total:>13.4f}")
+    if show_children:
+        children = trace.children_of(span)
+        if children:
+            lines.append("  matched children:")
+            for child in children:
+                lines.append(
+                    f"    {child['source']} <-> {child['target']} "
+                    f"({child['qom']:.4f} [{child['category']}])"
+                )
+    if alternatives:
+        losers = [
+            other for other in trace.spans_for_source(span["source"])
+            if other["id"] != span["id"]
+        ]
+        if losers:
+            lines.append(
+                f"  alternatives for {span['source']} (lost):"
+            )
+            for other in losers[:alternatives]:
+                marker = "accepted" if other["accepted"] else "below threshold"
+                lines.append(
+                    f"    {other['target']:<40} {other['qom']:.4f} "
+                    f"[{other['category']}]  {marker}"
+                )
+    return "\n".join(lines)
+
+
+def render_header(trace: Trace) -> str:
+    """The run banner: schema names, algorithm, weights, threshold."""
+    weights = trace.meta("weights")
+    weight_note = ""
+    if isinstance(weights, dict):
+        weight_note = "  weights " + " ".join(
+            f"{_AXIS_LETTERS.get(axis, axis)}={weights[axis]:g}"
+            for axis in _AXES if axis in weights
+        )
+    return (
+        f"trace {trace.run_id or '(no run id)'}: "
+        f"{trace.meta('algorithm', '?')} "
+        f"{trace.meta('source', '?')} ~ {trace.meta('target', '?')}, "
+        f"{len(trace)} spans, threshold "
+        f"{trace.meta('threshold', '?')}{weight_note}"
+    )
+
+
+def render_pair_explanation(trace: Trace, source_path: str,
+                            target_path=None,
+                            show_children: bool = True,
+                            alternatives: int = 5) -> str:
+    """Explain one source path (or one exact pair) from a trace.
+
+    Raises ``ValueError`` when the path is not in the trace -- the CLI
+    surfaces that as a clean ``qmatch: error:`` line.
+    """
+    if target_path is not None:
+        spans = trace.spans_for_pair(source_path, target_path)
+        if not spans:
+            raise ValueError(
+                f"no span for pair {source_path!r} <-> {target_path!r} "
+                "in this trace"
+            )
+        span = spans[0]
+    else:
+        span = trace.best_for_source(source_path)
+        if span is None:
+            known = sorted({s["source"] for s in trace.spans})
+            hint = ", ".join(known[:8])
+            raise ValueError(
+                f"no span with source path {source_path!r} in this trace "
+                f"(known source paths include: {hint})"
+            )
+    return "\n".join([
+        render_header(trace),
+        render_span(trace, span, show_children=show_children,
+                    alternatives=alternatives),
+    ])
+
+
+def render_trace_summary(trace: Trace, top: int = 10) -> str:
+    """No-path mode: the run banner plus the top accepted pairs."""
+    lines = [render_header(trace)]
+    accepted = trace.accepted()
+    lines.append(
+        f"{len(accepted)} of {len(trace)} pairs passed the threshold; "
+        f"top {min(top, len(accepted))}:"
+    )
+    for span in accepted[:top]:
+        lines.append(
+            f"  {span['source']} <-> {span['target']}  "
+            f"{span['qom']:.4f} [{span['category']}]"
+        )
+    if not accepted:
+        lines.append("  (none)")
+    lines.append(
+        "use --path SOURCE_PATH [--target TARGET_PATH] for a per-axis "
+        "breakdown"
+    )
+    return "\n".join(lines)

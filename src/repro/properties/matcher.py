@@ -197,12 +197,13 @@ class PropertiesMatcher(Matcher):
     def __init__(self, property_matcher=None, config=None):
         self.property_matcher = property_matcher or PropertyMatcher(config=config)
 
-    def make_context(self, source, target, stats=None, cache_enabled=True):
+    def make_context(self, source, target, stats=None, cache_enabled=True,
+                     tracer=None):
         from repro.engine.context import MatchContext
 
         return MatchContext(
             source, target, property_matcher=self.property_matcher,
-            stats=stats, cache_enabled=cache_enabled,
+            stats=stats, cache_enabled=cache_enabled, tracer=tracer,
         )
 
     def match_context(self, ctx):

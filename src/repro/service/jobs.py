@@ -64,6 +64,11 @@ class MatchJobSpec:
     strategy: Optional[str] = None
     weights: Optional[tuple] = None
     timeout: Optional[float] = None
+    #: Record a per-pair decision trace (see :mod:`repro.obs.trace`).
+    #: The trace travels back to the parent in the worker envelope, not
+    #: in the stored result payload, so it never affects the
+    #: content-addressed store key or cached bytes.
+    trace: bool = False
     label: str = ""
     source_name: str = ""
     target_name: str = ""

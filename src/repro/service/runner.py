@@ -38,12 +38,14 @@ import multiprocessing
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.engine.registry import DEFAULT_REGISTRY
 from repro.engine.stats import EngineStats
 from repro.matching.io import result_to_payload
+from repro.obs.log import NULL_LOGGER
+from repro.obs.trace import TraceRecorder, trace_run_id
 from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
 from repro.service.store import ResultStore
 
@@ -72,6 +74,13 @@ def execute_job(spec: MatchJobSpec) -> dict:
     so a store entry alone identifies what produced it.  Deliberately
     deterministic: no timestamps, no timings inside the payload -- a
     warm-cache rerun must be byte-identical.
+
+    With ``spec.trace`` set, a :class:`~repro.obs.trace.TraceRecorder`
+    rides through the match and comes back as ``envelope["trace"]``
+    (an :meth:`~repro.obs.trace.TraceRecorder.as_dict` snapshot).  Its
+    run ID derives from the spec's content hashes and the matcher
+    fingerprint, so the trace of a forked worker is byte-identical to
+    the same job run inline or via ``qmatch match --trace``.
     """
     from repro.xsd.parser import parse_xsd
 
@@ -79,18 +88,29 @@ def execute_job(spec: MatchJobSpec) -> dict:
     source = parse_xsd(spec.source_xsd, name=spec.source_name or None)
     target = parse_xsd(spec.target_xsd, name=spec.target_name or None)
     matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
+    tracer = None
+    if spec.trace:
+        tracer = TraceRecorder(run_id=trace_run_id(
+            spec.source_hash, spec.target_hash,
+            matcher.fingerprint(spec.threshold, spec.strategy),
+        ))
+    context = matcher.make_context(source, target, tracer=tracer)
     result = matcher.match(
-        source, target, threshold=spec.threshold, strategy=spec.strategy
+        source, target, threshold=spec.threshold, strategy=spec.strategy,
+        context=context,
     )
     payload = result_to_payload(result)
     payload["source_hash"] = spec.source_hash
     payload["target_hash"] = spec.target_hash
     stats = result.stats.as_dict() if result.stats is not None else {}
-    return {
+    envelope = {
         "result": payload,
         "stats": stats,
         "elapsed": time.perf_counter() - started,
     }
+    if tracer is not None:
+        envelope["trace"] = tracer.as_dict()
+    return envelope
 
 
 def _process_entry(conn, worker, spec):
@@ -115,6 +135,9 @@ class BatchReport:
     workers: int
     wall_seconds: float
     stats: EngineStats
+    #: job_id -> trace snapshot (:meth:`TraceRecorder.as_dict`) for the
+    #: jobs that requested tracing and completed via a worker.
+    traces: dict = field(default_factory=dict)
 
     @property
     def counts(self) -> dict:
@@ -205,10 +228,16 @@ class BatchRunner:
                  retry_backoff: float = 0.1,
                  inline: bool = False,
                  worker: Callable[[MatchJobSpec], dict] = execute_job,
-                 mp_context=None):
+                 mp_context=None,
+                 log=NULL_LOGGER,
+                 metrics=None):
         """``retries`` is the number of *extra* attempts after the first;
         ``retry_backoff`` seconds double per retry.  ``worker`` is the
         job body -- injectable so tests can simulate crashes and hangs.
+        ``log`` is an :class:`~repro.obs.log.EventLogger` (disabled by
+        default); ``metrics`` an optional
+        :class:`~repro.obs.metrics.MetricsRegistry` fed per-job
+        counters/latency histograms.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -221,6 +250,11 @@ class BatchRunner:
         self.retry_backoff = retry_backoff
         self.inline = inline
         self.worker = worker
+        self.log = log
+        self.metrics = metrics
+        #: job_id -> trace snapshot for traced jobs, collected from the
+        #: worker envelopes (guarded by the stats lock).
+        self.traces: dict[str, dict] = {}
         if mp_context is None and not inline:
             methods = multiprocessing.get_all_start_methods()
             # fork keeps per-job process cost near-zero (the parsed
@@ -249,6 +283,10 @@ class BatchRunner:
         """Run every spec; returns the report in submission order."""
         queue = queue if queue is not None else JobQueue()
         records = queue.submit_all(specs)
+        self.log.event(
+            "batch.start", jobs=len(records), workers=self.workers,
+            inline=self.inline,
+        )
         started = time.perf_counter()
         if self.workers == 1:
             for record in records:
@@ -264,12 +302,22 @@ class BatchRunner:
                 ]
                 for future in futures:
                     future.result()
-        return BatchReport(
+        report = BatchReport(
             records=records,
             workers=self.workers,
             wall_seconds=time.perf_counter() - started,
             stats=self.stats,
+            traces={
+                record.job_id: self.traces[record.job_id]
+                for record in records if record.job_id in self.traces
+            },
         )
+        self.log.event(
+            "batch.done", wall_seconds=round(report.wall_seconds, 6),
+            jobs=len(records), counts=report.counts,
+            cache_hits=report.cache_hits,
+        )
+        return report
 
     # ------------------------------------------------------------------
     # Per-job state machine (also driven directly by the HTTP service)
@@ -288,6 +336,7 @@ class BatchRunner:
                 cached = self.store.get(key)
                 if cached is not None:
                     queue.mark_done(record, cached, cache_hit=True)
+                    self._observe_job(record, "cached", 0.0)
                     return
             self._run_attempts(record, queue, key)
         except Exception as exc:  # noqa: BLE001 -- batch must survive
@@ -295,6 +344,32 @@ class BatchRunner:
                 record,
                 {"type": type(exc).__name__, "message": str(exc)},
             )
+            self._observe_job(record, "failed", 0.0, error=str(exc))
+
+    def _observe_job(self, record: JobRecord, state: str, elapsed: float,
+                     error: Optional[str] = None):
+        """One terminal-job observation: a log event + metric samples."""
+        fields = {
+            "job_id": record.job_id, "label": record.spec.label,
+            "state": state, "attempts": record.attempts,
+            "elapsed_seconds": round(elapsed, 6),
+        }
+        if error is not None:
+            fields["error"] = error
+        self.log.event(
+            "job.done" if state in ("done", "cached") else "job.failed",
+            **fields,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_jobs_total", "Match jobs by terminal state.",
+                {"state": state},
+            ).inc()
+            if state != "cached":
+                self.metrics.histogram(
+                    "service_job_seconds",
+                    "Wall time of executed match job attempts.",
+                ).observe(elapsed)
 
     def _run_attempts(self, record: JobRecord, queue: JobQueue,
                       key: Optional[str]):
@@ -312,14 +387,18 @@ class BatchRunner:
             elapsed = time.perf_counter() - started
             if outcome == "ok":
                 payload = value["result"]
+                trace = value.get("trace")
                 with self._stats_lock:
                     self.stats.merge(
                         EngineStats.from_dict(value.get("stats", {}))
                     )
                     self.stats.count("jobs.executed")
+                    if trace is not None:
+                        self.traces[record.job_id] = trace
                 if self.store is not None and key is not None:
                     self.store.put(key, payload)
                 queue.mark_done(record, payload, elapsed=value["elapsed"])
+                self._observe_job(record, "done", value["elapsed"])
                 return
             timed_out = outcome == "timeout"
             last_error = value
@@ -329,6 +408,10 @@ class BatchRunner:
                 )
         queue.mark_failed(
             record, last_error, timed_out=timed_out, elapsed=elapsed
+        )
+        self._observe_job(
+            record, "timed-out" if timed_out else "failed", elapsed,
+            error=last_error.get("message"),
         )
 
     # ------------------------------------------------------------------

@@ -37,10 +37,13 @@ service thread; ``isolate=False`` keeps the low-latency inline mode
 from __future__ import annotations
 
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.obs.log import NULL_LOGGER, EventLogger
+from repro.obs.metrics import MetricsRegistry, engine_stats_metrics
 from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
 from repro.service.runner import DEFAULT_TIMEOUT, BatchRunner, execute_job
 from repro.service.store import ResultStore
@@ -62,7 +65,8 @@ class MatchService:
                  retries: int = 0,
                  isolate: bool = False,
                  searcher=None,
-                 worker=execute_job):
+                 worker=execute_job,
+                 log=NULL_LOGGER):
         # The service's concurrency is a thread pool; each pool thread
         # drives one job at a time through the batch runner's per-job
         # state machine.  ``isolate=False`` (embedded default) executes
@@ -72,11 +76,17 @@ class MatchService:
         # crash containment at ~ms fork cost.  ``worker`` is the job
         # body, injectable for tests.
         self.isolate = isolate
+        self.log = log
+        #: Long-lived HTTP/job metrics (the engine side is projected in
+        #: fresh per scrape -- see :meth:`metrics_text`).
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
         if timeout is None and isolate:
             timeout = DEFAULT_TIMEOUT
         self.runner = BatchRunner(
             workers=1, store=store, timeout=timeout, retries=retries,
             retry_backoff=0.05, inline=not isolate, worker=worker,
+            log=log, metrics=self.metrics,
         )
         self.queue = JobQueue()
         self.workers = workers
@@ -119,6 +129,11 @@ class MatchService:
             raise ValidationError(
                 "weights only apply to the qmatch algorithm"
             )
+        trace = body.get("trace", False)
+        if not isinstance(trace, bool):
+            raise ValidationError(
+                f"invalid trace {trace!r}: expected true or false"
+            )
         return MatchJobSpec(
             source_xsd=to_xsd(source),
             target_xsd=to_xsd(target),
@@ -129,6 +144,7 @@ class MatchService:
             timeout=validate_positive(
                 body.get("timeout"), "timeout", allow_none=True
             ),
+            trace=trace,
             label=str(body.get("label", "")),
             source_name=source.name,
             target_name=target.name,
@@ -188,12 +204,41 @@ class MatchService:
     # Introspection
     # ------------------------------------------------------------------
 
+    def trace_for(self, job_id: str) -> Optional[dict]:
+        """The collected trace snapshot of one traced, finished job."""
+        return self.runner.traces.get(job_id)
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text format 0.0.4.
+
+        A fresh snapshot registry per scrape: the long-lived HTTP/job
+        samples are merged in, the engine stats are projected (absolute
+        totals -- never folded into a long-lived registry), and the
+        uptime gauge is set last.
+        """
+        snapshot = MetricsRegistry()
+        snapshot.merge(self.metrics)
+        engine_stats_metrics(self.runner.stats, registry=snapshot)
+        snapshot.gauge(
+            "service_uptime_seconds",
+            "Seconds since the service started.",
+        ).set(time.time() - self.started_at)
+        return snapshot.render()
+
     def stats_snapshot(self) -> dict:
         store = self.store
         searcher = self.searcher
+        routes = {
+            route: int(total)
+            for route, total in sorted(
+                self.metrics.sum_by("http_requests_total", "route").items()
+            )
+        }
         return {
             "workers": self.workers,
             "mode": "isolated" if self.isolate else "inline",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "routes": routes,
             "corpus": None if searcher is None else {
                 "root": str(searcher.corpus.root),
                 "entries": len(searcher.corpus),
@@ -235,12 +280,60 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def _send_json(self, status: int, payload: dict):
+        self._status = status
         body = json.dumps(payload, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4"):
+        self._status = status
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _record(self, method: str, route: str, status: int,
+                elapsed: float):
+        """One request's samples in the service's metrics registry."""
+        metrics = self.service.metrics
+        metrics.counter(
+            "http_requests_total",
+            "HTTP requests by method, route and status.",
+            {"method": method, "route": route, "status": str(status)},
+        ).inc()
+        metrics.histogram(
+            "http_request_seconds",
+            "HTTP request latency by route.",
+            {"route": route},
+        ).observe(elapsed)
+        self._recorded = True
+
+    @staticmethod
+    def _route_label(parts: list) -> str:
+        """Normalized route template for metric labels.
+
+        Job ids collapse to ``{id}`` and unknown paths collapse to one
+        bucket, so label cardinality stays bounded no matter what
+        clients request.
+        """
+        if not parts:
+            return "/"
+        if parts[0] == "jobs" and len(parts) == 2:
+            return "/jobs/{id}"
+        if (parts[0] == "jobs" and len(parts) == 3
+                and parts[2] in ("result", "trace")):
+            return "/jobs/{id}/" + parts[2]
+        if len(parts) == 1 and parts[0] in (
+            "healthz", "stats", "metrics", "jobs", "match", "search",
+        ):
+            return "/" + parts[0]
+        return "(unknown)"
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -257,11 +350,42 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self):  # noqa: N802 -- stdlib naming
+        self._handle("GET")
+
+    def do_POST(self):  # noqa: N802 -- stdlib naming
+        self._handle("POST")
+
+    def _handle(self, method: str):
+        """Dispatch one request, recording per-route metrics."""
+        started = time.perf_counter()
+        self._status = 0
+        self._recorded = False
         parts = [part for part in self.path.split("?")[0].split("/") if part]
+        route = self._route_label(parts)
+        if method == "GET":
+            self._get(parts, route, started)
+        else:
+            self._post(parts)
+        if not self._recorded:
+            self._record(
+                method, route, self._status,
+                time.perf_counter() - started,
+            )
+
+    def _get(self, parts: list, route: str, started: float):
         if parts == ["healthz"]:
             return self._send_json(200, {"status": "ok"})
         if parts == ["stats"]:
             return self._send_json(200, self.service.stats_snapshot())
+        if parts == ["metrics"]:
+            # Record the in-flight scrape *before* rendering, so the
+            # body always carries at least one HTTP counter and one
+            # latency histogram sample -- even on the very first
+            # request a scraper makes.
+            self._record(
+                "GET", route, 200, time.perf_counter() - started,
+            )
+            return self._send_text(200, self.service.metrics_text())
         if parts == ["jobs"]:
             return self._send_json(200, {
                 "jobs": [
@@ -284,10 +408,23 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
                     "job": record.snapshot(),
                 })
             return self._send_json(200, record.result)
+        if len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "trace":
+            record = self.service.queue.get(parts[1])
+            if record is None:
+                return self._send_json(404, {"error": f"no job {parts[1]!r}"})
+            trace = self.service.trace_for(parts[1])
+            if trace is None:
+                return self._send_json(404, {
+                    "error": (
+                        f"job {record.job_id} has no trace (submit with "
+                        '"trace": true; cache hits carry no trace)'
+                    ),
+                    "job": record.snapshot(),
+                })
+            return self._send_json(200, trace)
         return self._send_json(404, {"error": f"no route for {self.path!r}"})
 
-    def do_POST(self):  # noqa: N802 -- stdlib naming
-        parts = [part for part in self.path.split("?")[0].split("/") if part]
+    def _post(self, parts: list):
         try:
             if parts == ["jobs"]:
                 spec = self.service.spec_from_request(self._read_body())
@@ -317,7 +454,8 @@ def create_server(service: MatchService, host: str = "127.0.0.1",
     return server
 
 
-def build_searcher(corpus_dir, cache_dir=None, workers: int = 1):
+def build_searcher(corpus_dir, cache_dir=None, workers: int = 1,
+                   log=NULL_LOGGER):
     """Open a corpus directory (with its saved index) as a searcher.
 
     Shared by ``qmatch serve --corpus`` and ``qmatch search``.  Raises
@@ -344,48 +482,54 @@ def build_searcher(corpus_dir, cache_dir=None, workers: int = 1):
         )
     index = CorpusIndex.load(index_path)
     store = ResultStore(cache_dir) if cache_dir is not None else None
-    return CorpusSearcher(corpus, index, workers=workers, store=store)
+    return CorpusSearcher(
+        corpus, index, workers=workers, store=store, log=log,
+    )
 
 
 def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
           cache_dir=None, verbose: bool = True, isolate: bool = True,
-          timeout=None, retries: int = 1, corpus_dir=None) -> int:
-    """Run the service until interrupted (the ``qmatch serve`` body)."""
-    import sys
+          timeout=None, retries: int = 1, corpus_dir=None,
+          log: Optional[EventLogger] = None) -> int:
+    """Run the service until interrupted (the ``qmatch serve`` body).
 
+    Lifecycle output is structured: one JSON event record per line on
+    stderr (``serve.start``, ``serve.stale_index``, ``serve.stop``),
+    all stamped with the same run ID the job/batch events carry.
+    """
+    log = log if log is not None else EventLogger()
     store = ResultStore(cache_dir) if cache_dir is not None else None
     searcher = None
     if corpus_dir is not None:
-        searcher = build_searcher(corpus_dir, cache_dir=cache_dir)
+        searcher = build_searcher(corpus_dir, cache_dir=cache_dir, log=log)
         if searcher.index.stale_for(searcher.corpus):
-            print(
-                "qmatch serve: warning: corpus index is stale (corpus "
-                "content changed since the last build); run qmatch index "
-                "build to refresh",
-                file=sys.stderr,
+            log.event(
+                "serve.stale_index",
+                corpus=str(corpus_dir),
+                message=(
+                    "corpus index is stale (corpus content changed since "
+                    "the last build); run qmatch index build to refresh"
+                ),
             )
     service = MatchService(
         workers=workers, store=store, timeout=timeout, retries=retries,
-        isolate=isolate, searcher=searcher,
+        isolate=isolate, searcher=searcher, log=log,
     )
     server = create_server(service, host=host, port=port)
     MatchRequestHandler.verbose = verbose
-    cache_note = f", cache {cache_dir}" if cache_dir is not None else ""
-    corpus_note = (
-        f", corpus {corpus_dir} ({len(searcher.corpus)} schemas)"
-        if searcher is not None else ""
-    )
-    mode_note = "isolated" if isolate else "inline"
-    print(
-        f"qmatch serve: listening on http://{host}:{server.server_address[1]} "
-        f"({workers} {mode_note} workers{cache_note}{corpus_note}); "
-        "Ctrl-C to stop",
-        file=sys.stderr,
+    log.event(
+        "serve.start",
+        url=f"http://{host}:{server.server_address[1]}",
+        workers=workers,
+        mode="isolated" if isolate else "inline",
+        cache=str(cache_dir) if cache_dir is not None else None,
+        corpus=str(corpus_dir) if corpus_dir is not None else None,
+        corpus_schemas=len(searcher.corpus) if searcher is not None else None,
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("qmatch serve: shutting down", file=sys.stderr)
+        log.event("serve.stop", reason="interrupt")
     finally:
         server.server_close()
         service.shutdown()

@@ -450,3 +450,142 @@ class TestIndexAndSearchCommands:
         assert main(["search", corpus_dir, "builtin:PO1",
                      "--candidates", "0"]) == 2
         assert "invalid --candidates" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"qmatch {__version__}"
+
+
+class TestTraceAndExplain:
+    def test_trace_then_explain_round_trip(self, po_files, tmp_path,
+                                           capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["match", *po_files, "--trace", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote trace" in captured.err
+        assert trace_path.exists()
+
+        # Summary mode: run banner + top accepted pairs.
+        assert main(["explain", str(trace_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "spans, threshold" in summary
+        assert "passed the threshold" in summary
+
+        # Per-pair mode: the axis table sums to the reported QoM.
+        assert main(["explain", str(trace_path),
+                     "--path", "BillingAddr"]) == 0
+        explanation = capsys.readouterr().out
+        assert "BillingAddr" in explanation
+        for axis in ("label", "properties", "level", "children"):
+            assert axis in explanation
+        lines = [
+            line.split() for line in explanation.splitlines()
+            if line.strip().startswith(("label", "properties",
+                                        "level", "children", "QoM", "sum"))
+        ]
+        qom = float(next(l for l in lines if l[0] == "QoM")[1])
+        total = float(next(l for l in lines if l[0] == "sum")[1])
+        contributions = sum(
+            float(l[3]) for l in lines
+            if l[0] in ("label", "properties", "level", "children")
+        )
+        assert total == pytest.approx(qom, abs=5e-4)
+        assert contributions == pytest.approx(qom, abs=5e-4)
+
+    def test_explain_exact_pair(self, po_files, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        main(["match", *po_files, "--trace", str(trace_path), "--quiet"])
+        capsys.readouterr()
+        assert main(["explain", str(trace_path), "--path", "OrderNo",
+                     "--target", "OrderNo"]) == 0
+        assert "<->" in capsys.readouterr().out
+
+    def test_explain_unknown_path_exits_2(self, po_files, tmp_path,
+                                          capsys):
+        trace_path = tmp_path / "t.jsonl"
+        main(["match", *po_files, "--trace", str(trace_path), "--quiet"])
+        capsys.readouterr()
+        assert main(["explain", str(trace_path),
+                     "--path", "NoSuchNode"]) == 2
+        err = capsys.readouterr().err
+        assert "qmatch: error:" in err
+        assert "known source paths include" in err
+
+    def test_explain_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "missing.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestQuietAndStats:
+    def test_match_quiet_suppresses_output(self, po_files, capsys):
+        assert main(["match", *po_files, "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_match_quiet_keeps_explicit_stats(self, po_files, capsys):
+        assert main(["match", *po_files, "--quiet", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "engine stats" in captured.err
+
+    def test_match_stats_json(self, po_files, capsys):
+        assert main(["match", *po_files, "--stats",
+                     "--format", "json", "--quiet"]) == 0
+        stats = json.loads(capsys.readouterr().err)
+        assert "stages" in stats and "caches" in stats
+        assert "score:qmatch" in stats["stages"]
+
+    def test_search_quiet_and_stats_json(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        main(["index", "build", corpus_dir, "builtin:PO1", "builtin:PO2"])
+        capsys.readouterr()
+        assert main(["search", corpus_dir, "builtin:PO1", "--quiet",
+                     "--stats", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        stats = json.loads(captured.err)
+        assert "search:retrieve" in stats["stages"]
+
+
+class TestBatchObservability:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "pairs": [
+                {"source": "builtin:PO1", "target": "builtin:PO2"},
+            ],
+        }), encoding="utf-8")
+        return manifest
+
+    def test_batch_stats_json(self, manifest_path, capsys):
+        assert main(["batch", str(manifest_path), "--no-cache", "--quiet",
+                     "--stats", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        stats = json.loads(captured.err)
+        assert stats["counters"]["jobs.executed"] == 1
+
+    def test_batch_report_json_on_stdout(self, manifest_path, capsys):
+        assert main(["batch", str(manifest_path), "--no-cache",
+                     "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["done"] == 1
+
+    def test_batch_trace_dir(self, manifest_path, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main(["batch", str(manifest_path), "--quiet",
+                     "--trace-dir", str(trace_dir)]) == 0
+        traces = sorted(trace_dir.glob("*.jsonl"))
+        assert len(traces) == 1
+        # The written file is a loadable trace a later `qmatch explain`
+        # can consume.
+        assert main(["explain", str(traces[0])]) == 0
+        assert "passed the threshold" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Structured event logging: record shape, binding, the disabled default."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.log import NULL_LOGGER, EventLogger, new_run_id
+
+
+def lines(stream: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines() if line
+    ]
+
+
+class TestEventLogger:
+    def test_one_json_line_per_event(self):
+        stream = io.StringIO()
+        log = EventLogger(stream=stream, run_id="r1", clock=lambda: 5.0)
+        log.event("batch.start", jobs=3)
+        log.event("batch.done", jobs=3, wall_seconds=0.5)
+        records = lines(stream)
+        assert records == [
+            {"event": "batch.start", "run_id": "r1", "ts": 5.0, "jobs": 3},
+            {"event": "batch.done", "run_id": "r1", "ts": 5.0, "jobs": 3,
+             "wall_seconds": 0.5},
+        ]
+
+    def test_child_binds_fields(self):
+        stream = io.StringIO()
+        log = EventLogger(stream=stream, run_id="r1", clock=lambda: 1.0)
+        child = log.child(job_id="job-0001")
+        child.event("job.done", state="done")
+        (record,) = lines(stream)
+        assert record["job_id"] == "job-0001"
+        assert record["run_id"] == "r1"
+        # Event fields win over bound fields on collision.
+        child.event("job.done", job_id="override")
+        assert lines(stream)[-1]["job_id"] == "override"
+
+    def test_non_json_values_stringified(self):
+        stream = io.StringIO()
+        log = EventLogger(stream=stream, run_id="r1")
+        log.event("serve.start", where=object())
+        (record,) = lines(stream)
+        assert isinstance(record["where"], str)
+
+    def test_disabled_logger_writes_nothing(self):
+        stream = io.StringIO()
+        log = EventLogger(stream=stream, enabled=False)
+        log.event("anything", x=1)
+        assert stream.getvalue() == ""
+
+    def test_null_logger_is_disabled(self):
+        assert NULL_LOGGER.enabled is False
+        NULL_LOGGER.event("noop")  # must not raise or write
+
+    def test_null_logger_child_stays_disabled(self):
+        assert NULL_LOGGER.child(job_id="x").enabled is False
+
+    def test_default_stream_is_stderr(self, capsys):
+        EventLogger(run_id="r1").event("ping")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert json.loads(captured.err)["event"] == "ping"
+
+
+class TestRunId:
+    def test_shape(self):
+        run_id = new_run_id()
+        assert len(run_id) == 12
+        int(run_id, 16)  # hex
+
+    def test_unique(self):
+        assert new_run_id() != new_run_id()

@@ -1,0 +1,213 @@
+"""Metrics registry: samples, merge semantics, Prometheus rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.stats import EngineStats
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    engine_stats_metrics,
+)
+
+
+class TestSamples:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc()
+        registry.counter("events_total").inc(2.5)
+        assert registry.value("events_total") == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("events_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc(0.5)
+        assert registry.value("depth") == 3.5
+
+    def test_labels_separate_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", labels={"route": "/a"}).inc()
+        registry.counter("requests_total", labels={"route": "/b"}).inc(2)
+        assert registry.value("requests_total", {"route": "/a"}) == 1
+        assert registry.value("requests_total", {"route": "/b"}) == 2
+        assert registry.value("requests_total", {"route": "/c"}) == 0
+
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_histogram_buckets(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.cumulative() == [1, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.25)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(buckets=(1.0, 0.1))
+
+    def test_sum_by(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", labels={"route": "/a", "status": "200"}
+        ).inc(2)
+        registry.counter(
+            "requests_total", labels={"route": "/a", "status": "404"}
+        ).inc()
+        registry.counter(
+            "requests_total", labels={"route": "/b", "status": "200"}
+        ).inc()
+        assert registry.sum_by("requests_total", "route") == {
+            "/a": 3.0, "/b": 1.0,
+        }
+        assert registry.sum_by("missing", "route") == {}
+
+
+class TestMergeAcrossProcesses:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", labels={"state": "done"}).inc(3)
+        registry.gauge("uptime_seconds").set(7.0)
+        registry.histogram(
+            "job_seconds", buckets=(0.1, 1.0)
+        ).observe(0.4)
+        return registry
+
+    def test_round_trip(self):
+        registry = self.build()
+        clone = MetricsRegistry.from_dict(registry.as_dict())
+        assert clone.render() == registry.render()
+
+    def test_merge_adds_counters_and_histograms(self):
+        merged = self.build().merge(self.build())
+        assert merged.value("jobs_total", {"state": "done"}) == 6
+        histogram = merged.histogram("job_seconds", buckets=(0.1, 1.0))
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(0.8)
+        # Gauges take the incoming value rather than summing.
+        assert merged.value("uptime_seconds") == 7.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        registry = self.build()
+        payload = registry.as_dict()
+        payload["families"]["job_seconds"]["samples"][0]["counts"] = [1]
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            MetricsRegistry().merge_dict(payload)
+
+
+class TestRender:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", "Total requests.", {"route": "/a"}
+        ).inc(2)
+        registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        text = registry.render()
+        assert "# HELP qmatch_requests_total Total requests." in text
+        assert "# TYPE qmatch_requests_total counter" in text
+        assert 'qmatch_requests_total{route="/a"} 2' in text
+        assert "# TYPE qmatch_latency_seconds histogram" in text
+        assert 'qmatch_latency_seconds_bucket{le="0.1"} 0' in text
+        assert 'qmatch_latency_seconds_bucket{le="1"} 1' in text
+        assert 'qmatch_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "qmatch_latency_seconds_sum 0.5" in text
+        assert "qmatch_latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "events_total", labels={"path": 'a"b\\c\nd'}
+        ).inc()
+        text = registry.render()
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_deterministic_ordering(self):
+        first = MetricsRegistry()
+        first.counter("b_total").inc()
+        first.counter("a_total").inc()
+        second = MetricsRegistry()
+        second.counter("a_total").inc()
+        second.counter("b_total").inc()
+        assert first.render() == second.render()
+        assert first.render().index("qmatch_a_total") < (
+            first.render().index("qmatch_b_total")
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestEngineStatsProjection:
+    def test_projection(self):
+        stats = EngineStats()
+        with stats.stage("score:qmatch"):
+            pass
+        stats.cache("context.labels").hits += 1
+        stats.cache("context.labels").misses += 1
+        stats.count("qmatch.pairs", 90)
+        registry = engine_stats_metrics(stats)
+        assert registry.value(
+            "engine_stage_calls_total", {"stage": "score:qmatch"}
+        ) == 1
+        assert registry.value(
+            "engine_cache_lookups_total",
+            {"cache": "context.labels", "outcome": "hit"},
+        ) == 1
+        assert registry.value(
+            "engine_events_total", {"event": "qmatch.pairs"}
+        ) == 90
+
+    def test_projection_into_existing_registry(self):
+        stats = EngineStats()
+        stats.count("qmatch.pairs", 1)
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc()
+        out = engine_stats_metrics(stats, registry=registry)
+        assert out is registry
+        assert registry.value("requests_total") == 1
+        assert registry.value(
+            "engine_events_total", {"event": "qmatch.pairs"}
+        ) == 1
+
+
+class TestEngineStatsReporting:
+    def test_stage_timings_render_in_pipeline_order(self):
+        stats = EngineStats()
+        with stats.stage("outer"):
+            with stats.stage("inner:a"):
+                pass
+            with stats.stage("inner:b"):
+                pass
+        rendered = stats.render()
+        assert rendered.index("outer") < rendered.index("inner:a")
+        assert rendered.index("inner:a") < rendered.index("inner:b")
+
+    def test_to_json(self):
+        import json
+
+        stats = EngineStats()
+        stats.count("qmatch.pairs", 3)
+        compact = stats.to_json()
+        assert "\n" not in compact
+        payload = json.loads(stats.to_json(indent=2))
+        assert payload == stats.as_dict()
+        assert EngineStats.from_dict(payload).counters["qmatch.pairs"] == 3
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -316,3 +316,128 @@ class TestSearchEndpoint:
         )
         assert status == 400
         assert "no corpus configured" in payload["error"]
+
+
+def request_text(url):
+    """(status, raw text body) for one GET; never raises on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+class TestObservabilityEndpoints:
+    def test_first_metrics_scrape_has_samples(self, server_url):
+        """A fresh service's very first scrape already carries at least
+        one counter and one histogram (the in-flight request itself)."""
+        status, text = request_text(f"{server_url}/metrics")
+        assert status == 200
+        assert "# TYPE qmatch_http_requests_total counter" in text
+        assert ('qmatch_http_requests_total{method="GET",'
+                'route="/metrics",status="200"} 1') in text
+        assert "# TYPE qmatch_http_request_seconds histogram" in text
+        assert ('qmatch_http_request_seconds_bucket'
+                '{route="/metrics",le="+Inf"} 1') in text
+        assert "qmatch_service_uptime_seconds" in text
+
+    def test_metrics_text_is_valid_exposition(self, server_url):
+        request(f"{server_url}/match", "POST", po_pair_body())
+        status, text = request_text(f"{server_url}/metrics")
+        assert status == 200
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+        # Engine internals and job outcomes are projected in.
+        assert 'qmatch_engine_stage_seconds_total{stage="score:qmatch"}' in text
+        assert 'qmatch_service_jobs_total{state="done"} 1' in text
+        assert "qmatch_service_job_seconds_count 1" in text
+
+    def test_metrics_scrapes_do_not_double_count_engine_stats(self, server_url):
+        request(f"{server_url}/match", "POST", po_pair_body())
+        _, first = request_text(f"{server_url}/metrics")
+        _, second = request_text(f"{server_url}/metrics")
+
+        def stage_calls(text):
+            for line in text.splitlines():
+                if line.startswith(
+                    'qmatch_engine_stage_calls_total{stage="score:qmatch"}'
+                ):
+                    return float(line.split()[-1])
+            raise AssertionError("stage sample missing")
+
+        assert stage_calls(first) == stage_calls(second) == 1
+
+    def test_stats_gains_uptime_and_routes(self, server_url):
+        request(f"{server_url}/healthz")
+        status, stats = request(f"{server_url}/stats")
+        assert status == 200
+        # The pre-PR keys survive unchanged...
+        for key in ("workers", "mode", "corpus", "jobs", "store", "engine"):
+            assert key in stats
+        # ...plus uptime and per-route request counts.
+        assert stats["uptime_seconds"] >= 0
+        assert stats["routes"]["/healthz"] == 1
+
+    def test_unknown_routes_share_one_label(self, server_url):
+        request(f"{server_url}/definitely/not/a/route")
+        request(f"{server_url}/also-nothing")
+        _, stats = request(f"{server_url}/stats")
+        assert stats["routes"]["(unknown)"] == 2
+
+    def test_job_ids_collapse_in_route_labels(self, server_url):
+        status, record = request(
+            f"{server_url}/match", "POST", po_pair_body()
+        )
+        assert status == 200
+        request(f"{server_url}/jobs/{record['job_id']}")
+        request(f"{server_url}/jobs/{record['job_id']}/result")
+        _, stats = request(f"{server_url}/stats")
+        assert stats["routes"]["/jobs/{id}"] == 1
+        assert stats["routes"]["/jobs/{id}/result"] == 1
+
+    def test_error_statuses_are_labeled(self, server_url):
+        request(f"{server_url}/jobs/job-9999")
+        _, text = request_text(f"{server_url}/metrics")
+        assert ('qmatch_http_requests_total{method="GET",'
+                'route="/jobs/{id}",status="404"} 1') in text
+
+
+class TestTracedJobsOverHttp:
+    def test_traced_sync_match_exposes_the_trace(self, server_url):
+        status, record = request(
+            f"{server_url}/match", "POST", po_pair_body(trace=True)
+        )
+        assert status == 200
+        status, trace = request(
+            f"{server_url}/jobs/{record['job_id']}/trace"
+        )
+        assert status == 200
+        assert trace["schema"] == "qmatch-trace/1"
+        assert trace["spans"]
+        contributions = sum(
+            axis["contribution"]
+            for axis in trace["spans"][0]["axes"].values()
+        )
+        assert contributions == pytest.approx(trace["spans"][0]["qom"])
+
+    def test_untraced_job_404s_on_trace(self, server_url):
+        status, record = request(
+            f"{server_url}/match", "POST", po_pair_body()
+        )
+        assert status == 200
+        status, payload = request(
+            f"{server_url}/jobs/{record['job_id']}/trace"
+        )
+        assert status == 404
+        assert "no trace" in payload["error"]
+
+    def test_trace_of_unknown_job_404s(self, server_url):
+        status, payload = request(f"{server_url}/jobs/job-9999/trace")
+        assert status == 404
+
+    def test_trace_flag_validated(self, server_url):
+        status, payload = request(
+            f"{server_url}/match", "POST", po_pair_body(trace="yes")
+        )
+        assert status == 400
+        assert "trace" in payload["error"]
