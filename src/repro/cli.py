@@ -17,11 +17,14 @@ Subcommands::
     qmatch batch manifest.json [--workers N] [--cache-dir DIR]
                                [--report out.json]
     qmatch serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
-                 [--inline] [--timeout S] [--retries N] [--corpus DIR]
+                 [--mode pool|fork|inline] [--timeout S] [--retries N]
+                 [--corpus DIR] [--scorer cosine|bm25] [--max-pending N]
+                 [--max-body-bytes N] [--max-jobs N] [--drain-timeout S]
     qmatch index build DIR [schemas...] [--builtins]
     qmatch index add DIR schemas...
     qmatch index info DIR
     qmatch search DIR query.xsd [--k N] [--candidates N] [--no-rerank]
+                                [--scorer cosine|bm25]
 
 ``match`` matches two XSD files and prints the correspondences and the
 overall schema QoM (``--trace`` records every pair's per-axis decision
@@ -34,7 +37,9 @@ compares two saved match results; ``sdiff`` diffs two versions of a
 schema; ``batch`` runs every pair in a manifest through the parallel
 :mod:`repro.service` runner with content-addressed result caching;
 ``serve`` exposes the same engine as a JSON-over-HTTP job service
-(jobs run in isolated worker processes unless ``--inline``);
+(jobs run on a persistent pre-warmed worker pool by default; ``--mode
+fork`` forks per attempt, ``--mode inline`` runs on the service
+threads);
 ``index`` manages an on-disk schema corpus and its blocking indexes;
 ``search`` ranks a corpus against a query schema by retrieving a
 candidate shortlist from the indexes and reranking it with QMatch.
@@ -303,13 +308,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the content-addressed result store at DIR",
     )
     serve_parser.add_argument(
+        "--mode", choices=("pool", "fork", "inline"), default="pool",
+        help="job execution backend: a persistent pre-warmed worker "
+             "pool (default), a fresh fork per attempt, or inline on "
+             "the service threads (lowest latency; no hard timeouts)",
+    )
+    serve_parser.add_argument(
         "--inline", action="store_true",
-        help="run jobs on the service threads instead of isolated "
-             "worker processes (lower latency; no hard timeouts)",
+        help="alias for --mode inline (kept for compatibility)",
     )
     serve_parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-job deadline in isolated mode (default: 300)",
+        help="per-job deadline in pool/fork mode (default: 300)",
     )
     serve_parser.add_argument(
         "--retries", type=int, default=1,
@@ -318,7 +328,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--corpus", metavar="DIR", default=None,
         help="serve POST /search over the indexed schema corpus at DIR "
-             "(see qmatch index)",
+             "(see qmatch index); in pool mode the corpus stays "
+             "resident in every worker",
+    )
+    serve_parser.add_argument(
+        "--scorer", choices=("cosine", "bm25"), default="cosine",
+        help="lexical retrieval scorer for POST /search (default: cosine)",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission limit: answer 429 + Retry-After once N jobs "
+             "are pending or running (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--max-body-bytes", type=int, default=None, metavar="N",
+        help="reject request bodies larger than N bytes with 413 "
+             "(default: 10485760)",
+    )
+    serve_parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="bound the in-memory job registry: evict the oldest "
+             "finished records past N (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to this long for in-flight "
+             "jobs before shutting down (default: 30)",
     )
 
     index_parser = subparsers.add_parser(
@@ -390,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument(
         "--no-rerank", action="store_true",
         help="return the raw index ranking without running QMatch",
+    )
+    search_parser.add_argument(
+        "--scorer", choices=("cosine", "bm25"), default="cosine",
+        help="lexical retrieval scorer (default: cosine)",
     )
     search_parser.add_argument(
         "--workers", type=int, default=1,
@@ -701,13 +740,37 @@ def _command_serve(args) -> int:
         raise ValidationError(f"invalid --retries {args.retries}: must be >= 0")
     if args.timeout is not None and args.timeout <= 0:
         raise ValidationError(f"invalid --timeout {args.timeout}: must be > 0")
+    if args.max_pending is not None and args.max_pending < 1:
+        raise ValidationError(
+            f"invalid --max-pending {args.max_pending}: must be >= 1"
+        )
+    if args.max_body_bytes is not None and args.max_body_bytes < 1:
+        raise ValidationError(
+            f"invalid --max-body-bytes {args.max_body_bytes}: must be >= 1"
+        )
+    if args.max_jobs is not None and args.max_jobs < 1:
+        raise ValidationError(
+            f"invalid --max-jobs {args.max_jobs}: must be >= 1"
+        )
+    if args.drain_timeout is not None and args.drain_timeout < 0:
+        raise ValidationError(
+            f"invalid --drain-timeout {args.drain_timeout}: must be >= 0"
+        )
+    kwargs = {}
+    if args.max_body_bytes is not None:
+        kwargs["max_body_bytes"] = args.max_body_bytes
     return serve(
         host=args.host, port=args.port, workers=args.workers,
         cache_dir=args.cache_dir,
-        isolate=not args.inline,
+        mode="inline" if args.inline else args.mode,
         timeout=args.timeout,
         retries=args.retries,
         corpus_dir=args.corpus,
+        scorer=args.scorer,
+        max_pending=args.max_pending,
+        max_jobs=args.max_jobs,
+        drain_timeout=args.drain_timeout,
+        **kwargs,
     )
 
 
@@ -807,6 +870,7 @@ def _command_search(args) -> int:
     threshold = validate_threshold(args.threshold, field="--threshold")
     searcher = build_searcher(
         args.corpus, cache_dir=args.cache_dir, workers=args.workers,
+        scorer=args.scorer,
     )
     searcher.threshold = threshold
     text, name = _load_schema_text(args.query, Path.cwd())

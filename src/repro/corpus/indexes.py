@@ -179,13 +179,25 @@ def _shingle_hash(shingle: str) -> int:
 # Inverted token index
 # ----------------------------------------------------------------------
 
+#: Lexical scoring functions :meth:`InvertedIndex.scores` dispatches on.
+LEXICAL_SCORERS = ("cosine", "bm25")
+
+#: Standard BM25 shape parameters: ``k1`` caps term-frequency
+#: saturation, ``b`` scales document-length normalization.
+BM25_K1 = 1.5
+BM25_B = 0.75
+
+
 class InvertedIndex:
     """IDF-weighted inverted index over label tokens.
 
-    Documents are schema content hashes; scoring is cosine similarity
-    of ``(1 + log tf) * idf`` vectors.  Documents with no tokens (all
-    labels empty after filtering) are tracked for the document count
-    but can never score.
+    Documents are schema content hashes.  Two scorers share the same
+    postings: ``cosine`` (similarity of ``(1 + log tf) * idf`` vectors,
+    the default) and ``bm25`` (Okapi BM25 with document-length
+    normalization, max-normalized into [0, 1] so it blends with the
+    structural Jaccard estimate exactly like cosine does).  Documents
+    with no tokens (all labels empty after filtering) are tracked for
+    the document count but can never score.
     """
 
     def __init__(self):
@@ -193,6 +205,9 @@ class InvertedIndex:
         self._documents: dict[str, Counter] = {}
         #: token -> {doc id: tf} (derived; kept in sync incrementally).
         self._postings: dict[str, dict[str, int]] = {}
+        #: doc id -> total token count (BM25 length normalization).
+        self._lengths: dict[str, int] = {}
+        self._total_length = 0
 
     def add(self, doc_id: str, tokens: Mapping[str, int]):
         if doc_id in self._documents:
@@ -203,6 +218,9 @@ class InvertedIndex:
         self._documents[doc_id] = counts
         for token, tf in counts.items():
             self._postings.setdefault(token, {})[doc_id] = tf
+        length = sum(counts.values())
+        self._lengths[doc_id] = length
+        self._total_length += length
 
     def remove(self, doc_id: str):
         counts = self._documents.pop(doc_id, None)
@@ -214,6 +232,7 @@ class InvertedIndex:
                 docs.pop(doc_id, None)
                 if not docs:
                     del self._postings[token]
+        self._total_length -= self._lengths.pop(doc_id, 0)
 
     @property
     def document_count(self) -> int:
@@ -246,12 +265,34 @@ class InvertedIndex:
             for token, tf in counts.items()
         ))
 
-    def scores(self, query_tokens: Mapping[str, int]) -> dict[str, float]:
-        """Cosine similarity of the query against every candidate doc.
+    @property
+    def average_length(self) -> float:
+        if not self._lengths:
+            return 0.0
+        return self._total_length / len(self._lengths)
 
+    def scores(self, query_tokens: Mapping[str, int],
+               scorer: str = "cosine") -> dict[str, float]:
+        """Lexical scores of the query against every candidate doc.
+
+        Dispatches on ``scorer`` (one of :data:`LEXICAL_SCORERS`).
         Only documents sharing at least one token appear in the result
-        -- the inverted structure never touches the rest of the corpus.
+        -- the inverted structure never touches the rest of the corpus
+        under either scorer.
         """
+        if scorer == "cosine":
+            return self.cosine_scores(query_tokens)
+        if scorer == "bm25":
+            return self.bm25_scores(query_tokens)
+        raise IndexError_(
+            f"unknown scorer {scorer!r}: expected one of "
+            f"{', '.join(LEXICAL_SCORERS)}"
+        )
+
+    def cosine_scores(
+        self, query_tokens: Mapping[str, int]
+    ) -> dict[str, float]:
+        """Cosine similarity of ``(1 + log tf) * idf`` vectors."""
         accumulator: dict[str, float] = {}
         query_norm_sq = 0.0
         for token, qtf in query_tokens.items():
@@ -274,6 +315,51 @@ class InvertedIndex:
             if doc_norm > 0.0:
                 scores[doc_id] = dot / (query_norm * doc_norm)
         return scores
+
+    def bm25_scores(self, query_tokens: Mapping[str, int],
+                    k1: float = BM25_K1, b: float = BM25_B,
+                    ) -> dict[str, float]:
+        """Okapi BM25, max-normalized into [0, 1].
+
+        Raw BM25 is unbounded, which would let the lexical term swamp
+        the [0, 1] structural Jaccard estimate in the retrieval blend;
+        dividing by the best document's score preserves the BM25
+        *ranking* exactly while keeping the blend's two signals on the
+        same scale.  The Robertson/Sparck-Jones idf is floored at a
+        small positive epsilon so tokens present in every document
+        still contribute (matters on tiny corpora, where df == N is
+        common).
+        """
+        n = self.document_count
+        avgdl = self.average_length
+        accumulator: dict[str, float] = {}
+        for token, qtf in query_tokens.items():
+            if qtf <= 0:
+                continue
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            df = len(postings)
+            idf = max(
+                math.log(1.0 + (n - df + 0.5) / (df + 0.5)), 1e-6
+            )
+            for doc_id, tf in postings.items():
+                dl = self._lengths.get(doc_id, 0)
+                norm = (
+                    1.0 - b + b * (dl / avgdl) if avgdl > 0.0 else 1.0
+                )
+                accumulator[doc_id] = (
+                    accumulator.get(doc_id, 0.0)
+                    + qtf * idf * (tf * (k1 + 1.0)) / (tf + k1 * norm)
+                )
+        if not accumulator:
+            return {}
+        best = max(accumulator.values())
+        if best <= 0.0:
+            return {}
+        return {
+            doc_id: score / best for doc_id, score in accumulator.items()
+        }
 
     def to_payload(self) -> dict:
         return {

@@ -149,20 +149,31 @@ class CorpusSearcher:
                  threshold: float = 0.5,
                  weights=None,
                  lexical_weight: float = 0.7,
+                 scorer: str = "cosine",
                  workers: int = 1,
                  store: Optional[ResultStore] = None,
                  log=NULL_LOGGER):
         """``lexical_weight`` blends the stage-1 signals:
-        ``score = lw * cosine + (1 - lw) * jaccard``.  ``workers`` > 1
-        fans the rerank over that many processes; ``store`` makes
-        reranks content-addressed-cacheable across searches.  ``log``
-        is an :class:`~repro.obs.log.EventLogger` that receives
+        ``score = lw * lexical + (1 - lw) * jaccard``, where the
+        lexical side is ``scorer`` -- ``cosine`` (default) or ``bm25``
+        (see :data:`~repro.corpus.indexes.LEXICAL_SCORERS`; both live
+        in [0, 1]).  ``workers`` > 1 fans the rerank over that many
+        processes; ``store`` makes reranks content-addressed-cacheable
+        across searches.  ``log`` is an
+        :class:`~repro.obs.log.EventLogger` that receives
         ``search.retrieve`` / ``search.rerank`` stage events (disabled
         by default).
         """
+        from repro.corpus.indexes import LEXICAL_SCORERS
+
         if not 0.0 <= lexical_weight <= 1.0:
             raise ValueError(
                 f"lexical_weight must be in [0, 1], got {lexical_weight}"
+            )
+        if scorer not in LEXICAL_SCORERS:
+            raise ValueError(
+                f"unknown scorer {scorer!r}: expected one of "
+                f"{', '.join(LEXICAL_SCORERS)}"
             )
         self.corpus = corpus
         self.index = index
@@ -170,6 +181,7 @@ class CorpusSearcher:
         self.threshold = threshold
         self.weights = weights
         self.lexical_weight = lexical_weight
+        self.scorer = scorer
         self.workers = workers
         self.store = store
         self.log = log
@@ -190,7 +202,7 @@ class CorpusSearcher:
         with stats.stage("search:retrieve"):
             tokens = self.index.query_tokens(query_tree)
             signature = self.index.query_signature(query_tree)
-            lexical = self.index.inverted.scores(tokens)
+            lexical = self.index.inverted.scores(tokens, scorer=self.scorer)
             structural_candidates = self.index.minhash.candidates(signature)
             candidates = set(lexical) | structural_candidates
             hits = []

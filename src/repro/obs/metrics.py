@@ -30,6 +30,14 @@ DEFAULT_BUCKETS = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Buckets for queue/dispatch waits (seconds).  Checkout of an idle
+#: pre-warmed worker is sub-millisecond when the pool is not saturated,
+#: so the ladder needs resolution well below DEFAULT_BUCKETS' 5ms floor
+#: to distinguish "free worker" from "queued behind a running job".
+QUEUE_WAIT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
 _TYPES = ("counter", "gauge", "histogram")
 
 
@@ -348,6 +356,35 @@ class MetricsRegistry:
             f"<MetricsRegistry {self.namespace!r} "
             f"families={len(self._families)}>"
         )
+
+
+def pool_depth_metrics(registry: MetricsRegistry, size: int, idle: int,
+                       respawns: Optional[int] = None):
+    """Set the worker-pool depth gauges in ``registry``.
+
+    ``service_pool_workers{state=idle|busy}`` plus the total
+    ``service_pool_size`` gauge; optionally the monotonic respawn
+    counter is brought up to ``respawns`` (counters only move forward,
+    so the caller passes the pool's absolute total).
+    """
+    registry.gauge(
+        "service_pool_size", "Configured worker-pool size.",
+    ).set(size)
+    registry.gauge(
+        "service_pool_workers", "Pool workers by state.",
+        {"state": "idle"},
+    ).set(idle)
+    registry.gauge(
+        "service_pool_workers", "Pool workers by state.",
+        {"state": "busy"},
+    ).set(size - idle)
+    if respawns is not None:
+        counter = registry.counter(
+            "service_pool_respawns_total",
+            "Pool workers respawned after a crash or timeout kill.",
+        )
+        if respawns > counter.value:
+            counter.inc(respawns - counter.value)
 
 
 def engine_stats_metrics(stats: EngineStats,

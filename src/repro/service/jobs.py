@@ -158,19 +158,51 @@ class JobQueue:
     Insertion order is preserved: :meth:`records` returns jobs in
     submission order regardless of completion order, which is what
     makes batch reports deterministic under any worker count.
+
+    With ``max_records`` set, the queue is **bounded**: once the record
+    count passes the cap, the oldest *terminal* records (done, failed,
+    timed-out) are evicted so a long-lived server's memory stays flat.
+    Pending/running jobs are never evicted.  Evicted jobs stay visible
+    in :meth:`counts` through per-state archive counters, so ``/stats``
+    totals remain monotonic even after their full records are gone.
     """
 
-    def __init__(self, prefix: str = "job"):
+    def __init__(self, prefix: str = "job",
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {max_records}"
+            )
         self._prefix = prefix
         self._lock = threading.Lock()
         self._records: dict[str, JobRecord] = {}
         self._ids = itertools.count(1)
+        self.max_records = max_records
+        #: Jobs not in pending/running state -- the admission-control
+        #: signal, maintained incrementally (never an O(n) scan).
+        self._active = 0
+        self._evicted: dict[str, int] = {}
+
+    def _evict_overflow_locked(self):
+        if self.max_records is None or len(self._records) <= self.max_records:
+            return
+        overflow = len(self._records) - self.max_records
+        evictable = [
+            job_id for job_id, record in self._records.items()
+            if record.state.is_terminal
+        ]
+        for job_id in evictable[:overflow]:
+            record = self._records.pop(job_id)
+            state = record.state.value
+            self._evicted[state] = self._evicted.get(state, 0) + 1
 
     def submit(self, spec: MatchJobSpec) -> JobRecord:
         with self._lock:
             job_id = f"{self._prefix}-{next(self._ids):04d}"
             record = JobRecord(job_id=job_id, spec=spec)
             self._records[job_id] = record
+            self._active += 1
+            self._evict_overflow_locked()
             return record
 
     def submit_all(self, specs: Iterable[MatchJobSpec]) -> list[JobRecord]:
@@ -185,11 +217,39 @@ class JobQueue:
             return list(self._records.values())
 
     def counts(self) -> dict:
-        """Jobs per state (every state present, zeros included)."""
+        """Jobs per state (every state present, zeros included).
+
+        Evicted records stay counted under their terminal state, plus
+        an explicit ``evicted`` total, so the view is monotonic over a
+        bounded queue's lifetime.
+        """
         counts = {state.value: 0 for state in JobState}
         for record in self.records():
             counts[record.state.value] += 1
+        with self._lock:
+            evicted = dict(self._evicted)
+        for state, total in evicted.items():
+            counts[state] += total
+        counts["evicted"] = sum(evicted.values())
         return counts
+
+    @property
+    def active(self) -> int:
+        """Jobs currently pending or running (the admission signal)."""
+        with self._lock:
+            return self._active
+
+    def page(self, offset: int = 0,
+             limit: Optional[int] = None) -> tuple[list[JobRecord], int]:
+        """One page of records in submission order: ``(records, total)``."""
+        with self._lock:
+            records = list(self._records.values())
+        total = len(records)
+        if offset:
+            records = records[offset:]
+        if limit is not None:
+            records = records[:limit]
+        return records, total
 
     # ------------------------------------------------------------------
     # State transitions (used by the runner / service under their locks)
@@ -205,6 +265,8 @@ class JobQueue:
     def mark_done(self, record: JobRecord, result: dict,
                   elapsed: float = 0.0, cache_hit: bool = False):
         with self._lock:
+            if not record.state.is_terminal:
+                self._active -= 1
             record.state = JobState.DONE
             record.result = result
             record.elapsed_seconds = elapsed
@@ -215,6 +277,8 @@ class JobQueue:
     def mark_failed(self, record: JobRecord, error: dict,
                     timed_out: bool = False, elapsed: float = 0.0):
         with self._lock:
+            if not record.state.is_terminal:
+                self._active -= 1
             record.state = (
                 JobState.TIMED_OUT if timed_out else JobState.FAILED
             )

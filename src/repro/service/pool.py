@@ -1,0 +1,575 @@
+"""Persistent pre-warmed worker pool: the interactive serving backend.
+
+:class:`~repro.service.runner.BatchRunner` forks a fresh process per
+job attempt -- perfect isolation, but every request pays process
+creation, module imports, thesaurus load and schema parsing before any
+matching happens.  Fine for batch; fatal for interactive latency.
+
+:class:`WorkerPool` keeps ``workers`` long-lived child processes, each
+**pre-warmed** before the pool reports ready:
+
+- the default thesaurus is parsed once and stays resident;
+- parsed schema trees are kept in a per-worker LRU keyed by content
+  hash, so repeated requests over the same schemas skip XSD parsing
+  entirely (matching never mutates trees -- all memoization lives in
+  ``MatchContext`` -- which is what makes the cache safe);
+- with a corpus configured, the :class:`~repro.corpus.search.CorpusSearcher`
+  (corpus + inverted/MinHash indexes) loads once per worker and serves
+  ``POST /search`` without ever re-reading the index from disk.
+
+Jobs travel over a duplex pipe: the parent checks an idle worker out
+of a queue, sends the :class:`~repro.service.jobs.MatchJobSpec`, and
+waits for the reply envelope with the job's deadline.  A worker that
+crashes (EOF on the pipe) or overruns its deadline is killed and
+**respawned** -- the pool never shrinks -- and the failure surfaces as
+the same structured error/timeout record :class:`BatchRunner`
+produces, because both backends share
+:class:`~repro.service.runner.JobExecutionCore`'s state machine.
+Retry then naturally lands on a fresh (or different) worker.
+
+Instrumentation: ``service_pool_workers{state=idle|busy}`` gauges,
+``service_pool_queue_wait_seconds`` (time a job waited for a free
+worker -- the serving backpressure signal), and
+``service_pool_respawns_total``.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional
+
+from repro.obs.log import NULL_LOGGER
+from repro.obs.metrics import QUEUE_WAIT_BUCKETS, pool_depth_metrics
+from repro.service.jobs import JobQueue, MatchJobSpec
+from repro.service.runner import (
+    DEFAULT_TIMEOUT,
+    BatchReport,
+    JobExecutionCore,
+    execute_job,
+)
+from repro.service.store import ResultStore
+
+#: Seconds the pool waits for a worker to finish warming before giving
+#: up on it.  Warm-up parses the thesaurus and (optionally) loads a
+#: corpus index; generous but bounded.
+DEFAULT_SPAWN_TIMEOUT = 60.0
+
+#: Parsed schema trees kept resident per worker.
+DEFAULT_TREE_CACHE = 128
+
+
+class PoolError(RuntimeError):
+    """The pool cannot execute requests (failed spawn, closed, ...)."""
+
+
+class PoolWarmup:
+    """Builds the resident state inside a freshly spawned worker.
+
+    Picklable (plain attributes, module-level class) so it crosses the
+    process boundary under any multiprocessing start method.  The
+    returned state dict is what :func:`execute_job_resident` and the
+    resident search path read.
+    """
+
+    def __init__(self, corpus_dir=None, cache_dir=None,
+                 scorer: str = "cosine", tree_cache: int = DEFAULT_TREE_CACHE):
+        self.corpus_dir = str(corpus_dir) if corpus_dir is not None else None
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.scorer = scorer
+        self.tree_cache = tree_cache
+
+    def __call__(self) -> dict:
+        from repro.linguistic.thesaurus import Thesaurus
+
+        state = {
+            "thesaurus": Thesaurus.default(),
+            "trees": OrderedDict(),
+            "tree_cache": self.tree_cache,
+            "searcher": None,
+        }
+        if self.corpus_dir is not None:
+            from repro.service.server import build_searcher
+
+            state["searcher"] = build_searcher(
+                self.corpus_dir, cache_dir=self.cache_dir,
+                scorer=self.scorer,
+            )
+        return state
+
+
+def _resident_tree(state: Optional[dict], xsd_text: str, content_hash: str,
+                   name: Optional[str]):
+    """Parse ``xsd_text`` through the worker's resident LRU tree cache."""
+    from repro.xsd.parser import parse_xsd
+
+    if state is None:
+        return parse_xsd(xsd_text, name=name)
+    trees: OrderedDict = state["trees"]
+    key = (content_hash, name)
+    tree = trees.get(key)
+    if tree is None:
+        tree = parse_xsd(xsd_text, name=name)
+        trees[key] = tree
+        if len(trees) > state.get("tree_cache", DEFAULT_TREE_CACHE):
+            trees.popitem(last=False)
+    else:
+        trees.move_to_end(key)
+    return tree
+
+
+def execute_job_resident(spec: MatchJobSpec, state: Optional[dict]) -> dict:
+    """Worker body with resident state: :func:`execute_job` semantics,
+    byte-identical result payloads, but schema parsing is served from
+    the per-worker tree cache when the pair was seen before."""
+    from repro.engine.registry import DEFAULT_REGISTRY
+    from repro.matching.io import result_to_payload
+    from repro.obs.trace import TraceRecorder, trace_run_id
+
+    started = time.perf_counter()
+    source = _resident_tree(
+        state, spec.source_xsd, spec.source_hash, spec.source_name or None
+    )
+    target = _resident_tree(
+        state, spec.target_xsd, spec.target_hash, spec.target_name or None
+    )
+    matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
+    tracer = None
+    if spec.trace:
+        tracer = TraceRecorder(run_id=trace_run_id(
+            spec.source_hash, spec.target_hash,
+            matcher.fingerprint(spec.threshold, spec.strategy),
+        ))
+    context = matcher.make_context(source, target, tracer=tracer)
+    result = matcher.match(
+        source, target, threshold=spec.threshold, strategy=spec.strategy,
+        context=context,
+    )
+    payload = result_to_payload(result)
+    payload["source_hash"] = spec.source_hash
+    payload["target_hash"] = spec.target_hash
+    stats = result.stats.as_dict() if result.stats is not None else {}
+    envelope = {
+        "result": payload,
+        "stats": stats,
+        "elapsed": time.perf_counter() - started,
+    }
+    if tracer is not None:
+        envelope["trace"] = tracer.as_dict()
+    return envelope
+
+
+class _StatelessBody:
+    """Adapts a ``(spec) -> envelope`` body to the pool's
+    ``(spec, state)`` signature -- lets tests reuse the BatchRunner
+    worker injection points unchanged."""
+
+    def __init__(self, body=execute_job):
+        self.body = body
+
+    def __call__(self, spec, state):
+        return self.body(spec)
+
+
+def _search_resident(request: dict, state: Optional[dict]) -> dict:
+    """In-worker ``POST /search``: the resident searcher answers."""
+    searcher = (state or {}).get("searcher")
+    if searcher is None:
+        raise PoolError("worker has no resident corpus searcher")
+    from repro.xsd.parser import parse_xsd
+
+    query = parse_xsd(request["query_xsd"])
+    result = searcher.search(
+        query,
+        k=int(request.get("k", 10)),
+        candidates=(
+            int(request["candidates"])
+            if request.get("candidates") is not None else None
+        ),
+        rerank=bool(request.get("rerank", True)),
+    )
+    return result.as_dict()
+
+
+def _pool_worker_main(conn, warm, worker_body):
+    """Child-process loop: warm once, then serve requests until EOF.
+
+    Every reply is sent in one message; any exception in a request
+    becomes a structured error reply instead of a worker death, so only
+    genuine crashes (``os._exit``, segfaults, kills) cost a respawn.
+    """
+    try:
+        state = warm() if warm is not None else None
+    except BaseException as exc:  # noqa: BLE001 -- report the warm failure
+        try:
+            conn.send({"ready": False, "error": {
+                "type": type(exc).__name__, "message": str(exc),
+            }})
+        finally:
+            conn.close()
+        return
+    conn.send({
+        "ready": True,
+        "corpus": bool(state and state.get("searcher") is not None),
+    })
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        kind, payload = message
+        try:
+            if kind == "job":
+                value = worker_body(payload, state)
+            elif kind == "search":
+                value = _search_resident(payload, state)
+            else:
+                raise PoolError(f"unknown pool request kind {kind!r}")
+            reply = {"ok": True, "value": value}
+        except BaseException as exc:  # noqa: BLE001 -- request boundary
+            reply = {
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side view of one pool worker."""
+
+    __slots__ = ("process", "conn", "jobs")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.jobs = 0
+
+
+class WorkerPool(JobExecutionCore):
+    """N persistent pre-warmed workers behind the shared job core."""
+
+    mode = "pool"
+
+    def __init__(self, workers: int = 2,
+                 store: Optional[ResultStore] = None,
+                 timeout: Optional[float] = DEFAULT_TIMEOUT,
+                 retries: int = 1,
+                 retry_backoff: float = 0.1,
+                 worker=execute_job_resident,
+                 warm=None,
+                 corpus_dir=None,
+                 cache_dir=None,
+                 scorer: str = "cosine",
+                 mp_context=None,
+                 log=NULL_LOGGER,
+                 metrics=None,
+                 spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT):
+        """``worker`` is the resident job body ``(spec, state) ->
+        envelope`` (wrap a plain ``(spec)`` body with
+        :class:`_StatelessBody`); ``warm`` overrides the default
+        :class:`PoolWarmup` built from ``corpus_dir``/``cache_dir``/
+        ``scorer``.  The constructor blocks until every worker finished
+        warming (or ``spawn_timeout`` expires), so the first request
+        never pays cold-start cost.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        super().__init__(
+            store=store, timeout=timeout, retries=retries,
+            retry_backoff=retry_backoff, log=log, metrics=metrics,
+        )
+        self.workers = workers
+        self.worker = worker
+        self.warm = warm if warm is not None else PoolWarmup(
+            corpus_dir=corpus_dir, cache_dir=cache_dir, scorer=scorer,
+        )
+        self.spawn_timeout = spawn_timeout
+        if mp_context is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._mp = mp_context
+        self._idle: queue_module.Queue = queue_module.Queue()
+        self._handles: list[_WorkerHandle] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self.respawns = 0
+        self.has_corpus = False
+        for _ in range(workers):
+            self._checkin(self._spawn())
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self) -> _WorkerHandle:
+        """Start one worker and wait for its pre-warm to complete."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self.warm, self.worker),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(process, parent_conn)
+        try:
+            if not parent_conn.poll(self.spawn_timeout):
+                raise PoolError(
+                    f"pool worker did not warm up within "
+                    f"{self.spawn_timeout:g}s"
+                )
+            ready = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            self._kill(handle)
+            raise PoolError(
+                f"pool worker died during warm-up: {exc}"
+            ) from None
+        if not ready.get("ready"):
+            error = ready.get("error") or {}
+            self._kill(handle)
+            raise PoolError(
+                "pool worker failed to warm up: "
+                f"{error.get('type', 'Error')}: {error.get('message', '?')}"
+            )
+        self.has_corpus = bool(ready.get("corpus"))
+        with self._pool_lock:
+            self._handles.append(handle)
+        self.log.event(
+            "pool.worker_ready", pid=process.pid, corpus=self.has_corpus,
+        )
+        return handle
+
+    def _kill(self, handle: _WorkerHandle):
+        with self._pool_lock:
+            if handle in self._handles:
+                self._handles.remove(handle)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.terminate()
+        handle.process.join(5)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(5)
+
+    def _respawn(self, handle: _WorkerHandle, reason: str):
+        """Replace a dead/hung worker so the pool never shrinks."""
+        self._kill(handle)
+        self.respawns += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_pool_respawns_total",
+                "Pool workers respawned after a crash or timeout kill.",
+            ).inc()
+        self.log.event(
+            "pool.respawn", reason=reason, respawns=self.respawns,
+        )
+        self._checkin(self._spawn())
+
+    # ------------------------------------------------------------------
+    # Checkout / checkin
+    # ------------------------------------------------------------------
+
+    def _checkout(self) -> _WorkerHandle:
+        if self._closed:
+            raise PoolError("worker pool is shut down")
+        waited_from = time.perf_counter()
+        handle = self._idle.get()
+        waited = time.perf_counter() - waited_from
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "service_pool_queue_wait_seconds",
+                "Time a request waited for a free pool worker.",
+                buckets=QUEUE_WAIT_BUCKETS,
+            ).observe(waited)
+            self._set_depth_gauges()
+        return handle
+
+    def _checkin(self, handle: _WorkerHandle):
+        self._idle.put(handle)
+        if self.metrics is not None:
+            self._set_depth_gauges()
+
+    def _set_depth_gauges(self):
+        pool_depth_metrics(
+            self.metrics, size=self.size, idle=self._idle.qsize(),
+        )
+
+    @property
+    def size(self) -> int:
+        with self._pool_lock:
+            return len(self._handles)
+
+    @property
+    def idle_count(self) -> int:
+        return self._idle.qsize()
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    def _request(self, kind: str, payload, timeout: Optional[float]):
+        """One round trip to a worker; kills + respawns on trouble."""
+        handle = self._checkout()
+        keep = True
+        try:
+            try:
+                handle.conn.send((kind, payload))
+            except (BrokenPipeError, OSError):
+                keep = False
+                self._respawn(handle, "send-failed")
+                return "error", {
+                    "type": "WorkerCrash",
+                    "message": "pool worker pipe closed before dispatch",
+                }
+            if not handle.conn.poll(timeout):
+                keep = False
+                self._respawn(handle, "timeout")
+                return "timeout", {
+                    "type": "JobTimeout",
+                    "message": f"job exceeded its {timeout:g}s deadline",
+                }
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                keep = False
+                exitcode = handle.process.exitcode
+                self._respawn(handle, "crash")
+                return "error", {
+                    "type": "WorkerCrash",
+                    "message": (
+                        "pool worker died without a result "
+                        f"(exit code {exitcode})"
+                    ),
+                }
+            handle.jobs += 1
+            if message["ok"]:
+                return "ok", message["value"]
+            return "error", message["error"]
+        finally:
+            if keep:
+                self._checkin(handle)
+
+    def _execute(self, spec: MatchJobSpec, timeout: Optional[float]):
+        return self._request("job", spec, timeout)
+
+    def search(self, request: dict, timeout: Optional[float] = None) -> dict:
+        """Run one search on a resident-searcher worker; raises on error."""
+        timeout = timeout if timeout is not None else self.timeout
+        outcome, value = self._request("search", request, timeout)
+        if outcome == "ok":
+            return value
+        raise PoolError(
+            f"{value.get('type', 'Error')}: "
+            f"{value.get('message', 'search failed')}"
+        )
+
+    # ------------------------------------------------------------------
+    # Batch entry point (parity with BatchRunner.run)
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable[MatchJobSpec],
+            queue: Optional[JobQueue] = None) -> BatchReport:
+        """Run every spec over the pool; report in submission order."""
+        queue = queue if queue is not None else JobQueue()
+        records = queue.submit_all(specs)
+        self.log.event(
+            "batch.start", jobs=len(records), workers=self.workers,
+            mode="pool",
+        )
+        started = time.perf_counter()
+        if self.workers == 1:
+            for record in records:
+                self.run_record(record, queue)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="qmatch-pool",
+            ) as dispatchers:
+                futures = [
+                    dispatchers.submit(self.run_record, record, queue)
+                    for record in records
+                ]
+                for future in futures:
+                    future.result()
+        report = BatchReport(
+            records=records,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started,
+            stats=self.stats,
+            traces={
+                record.job_id: self.traces[record.job_id]
+                for record in records if record.job_id in self.traces
+            },
+        )
+        self.log.event(
+            "batch.done", wall_seconds=round(report.wall_seconds, 6),
+            jobs=len(records), counts=report.counts,
+            cache_hits=report.cache_hits,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True):
+        """Stop every worker.  With ``wait`` the idle queue is drained
+        first, so workers finish their in-flight job before the
+        sentinel lands; without it, workers are terminated."""
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            # Claim every worker slot: each claim returns only when that
+            # worker is idle again, i.e. its in-flight request finished.
+            claimed = []
+            for _ in range(self.size):
+                try:
+                    claimed.append(self._idle.get(timeout=self.spawn_timeout))
+                except queue_module.Empty:
+                    break
+        with self._pool_lock:
+            handles = list(self._handles)
+            self._handles.clear()
+        for handle in handles:
+            try:
+                handle.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in handles:
+            handle.process.join(5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(5)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.log.event("pool.shutdown", respawns=self.respawns)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+
+    def __repr__(self):
+        return (
+            f"<WorkerPool workers={self.workers} idle={self.idle_count} "
+            f"respawns={self.respawns} corpus={self.has_corpus}>"
+        )

@@ -1,30 +1,52 @@
-"""Parallel batch runner: fan match jobs out over worker processes.
+"""Job execution core + the fork-per-job parallel batch runner.
 
-:class:`BatchRunner` drives :class:`~repro.service.jobs.JobRecord`
-objects through their lifecycle:
+Two layers live here, deliberately separated so every execution
+backend shares one set of semantics:
+
+:class:`JobExecutionCore` is the **per-job state machine**, backend
+agnostic.  It drives a :class:`~repro.service.jobs.JobRecord` through
+its lifecycle:
 
 1. **Cache check** -- the content-addressed
    :class:`~repro.service.store.ResultStore` is consulted first; a hit
    completes the job without any worker (``cache_hit=True``, zero
    attempts).
-2. **Isolated execution** -- each attempt runs
-   :func:`execute_job` in a fresh ``multiprocessing`` child process,
-   which gives a real per-job deadline (the child is terminated on
-   timeout) and turns a hard worker crash (segfault, ``os._exit``) into
-   a structured error record instead of a poisoned pool.
-3. **Bounded retry with backoff** -- timeouts and errors are retried up
+2. **Bounded retry with backoff** -- timeouts and errors are retried up
    to ``retries`` extra attempts with exponential backoff, then land in
    the ``timed-out`` / ``failed`` state.  A bad pair never aborts the
    batch.
+3. **Stats / trace / metrics collection** -- worker envelopes fold
+   their :class:`~repro.engine.stats.EngineStats` and trace snapshots
+   back into the core under one lock, and every terminal job emits a
+   log event plus metric samples.
 
-Concurrency is a thread pool of dispatchers, each managing one child
-process at a time, so ``workers=4`` means at most four concurrent
-match processes.  ``inline=True`` skips process isolation and runs
-jobs on the dispatcher thread itself -- the mode the threaded HTTP
-service uses, and the fallback where ``fork``/``spawn`` is unavailable
+What the core does *not* define is how one attempt actually executes:
+subclasses implement ``_execute(spec, timeout)``.  Two backends exist:
+
+- :class:`BatchRunner` (here) -- **fork-per-job**: each attempt runs
+  :func:`execute_job` in a fresh ``multiprocessing`` child process,
+  which gives a real per-job deadline (the child is terminated on
+  timeout) and turns a hard worker crash (segfault, ``os._exit``) into
+  a structured error record instead of a poisoned pool.  Best for
+  batch workloads where per-job process cost amortizes over long jobs.
+- :class:`~repro.service.pool.WorkerPool` -- **persistent pre-warmed
+  workers**: attempts dispatch over pipes to long-lived processes that
+  keep expensive state (thesaurus, parsed schemas, corpus index)
+  resident.  Best for interactive serving, where fork + re-import +
+  re-parse per request dominates latency.
+
+Because both run the *same* state machine, retry/timeout/crash
+semantics, cache behaviour, and result bytes are identical across
+backends -- asserted by the byte-identity tests.
+
+Concurrency in :class:`BatchRunner` is a thread pool of dispatchers,
+each managing one child process at a time, so ``workers=4`` means at
+most four concurrent match processes.  ``inline=True`` skips process
+isolation and runs jobs on the dispatcher thread itself -- the lowest
+latency mode, and the fallback where ``fork``/``spawn`` is unavailable
 (timeouts are then not enforceable).
 
-The run produces a :class:`BatchReport`: job records in deterministic
+A run produces a :class:`BatchReport`: job records in deterministic
 submission order, per-state counts, store hit rates and the merged
 :class:`~repro.engine.stats.EngineStats` of every worker (worker
 processes return their stats as dicts; the parent folds them back in
@@ -218,53 +240,42 @@ class BatchReport:
         return f"{table}\n{summary}"
 
 
-class BatchRunner:
-    """Run many match jobs over a bounded pool of worker processes."""
+class JobExecutionCore:
+    """The backend-agnostic per-job state machine.
 
-    def __init__(self, workers: int = 1,
-                 store: Optional[ResultStore] = None,
+    Owns cache lookup, bounded retry with backoff, stats/trace
+    aggregation and terminal-state bookkeeping.  Subclasses provide the
+    actual attempt execution via :meth:`_execute` and whatever process
+    lifecycle that requires (fork-per-job in :class:`BatchRunner`,
+    persistent pre-warmed workers in
+    :class:`~repro.service.pool.WorkerPool`).
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
                  timeout: Optional[float] = DEFAULT_TIMEOUT,
                  retries: int = 1,
                  retry_backoff: float = 0.1,
-                 inline: bool = False,
-                 worker: Callable[[MatchJobSpec], dict] = execute_job,
-                 mp_context=None,
                  log=NULL_LOGGER,
                  metrics=None):
         """``retries`` is the number of *extra* attempts after the first;
-        ``retry_backoff`` seconds double per retry.  ``worker`` is the
-        job body -- injectable so tests can simulate crashes and hangs.
-        ``log`` is an :class:`~repro.obs.log.EventLogger` (disabled by
-        default); ``metrics`` an optional
+        ``retry_backoff`` seconds double per retry.  ``log`` is an
+        :class:`~repro.obs.log.EventLogger` (disabled by default);
+        ``metrics`` an optional
         :class:`~repro.obs.metrics.MetricsRegistry` fed per-job
         counters/latency histograms.
         """
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        self.workers = workers
         self.store = store
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
-        self.inline = inline
-        self.worker = worker
         self.log = log
         self.metrics = metrics
         #: job_id -> trace snapshot for traced jobs, collected from the
         #: worker envelopes (guarded by the stats lock).
         self.traces: dict[str, dict] = {}
-        if mp_context is None and not inline:
-            methods = multiprocessing.get_all_start_methods()
-            # fork keeps per-job process cost near-zero (the parsed
-            # library is inherited); fall back to the default context
-            # elsewhere.
-            mp_context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-        self._mp = mp_context
-        #: Aggregated over the whole batch: every worker's EngineStats
+        #: Aggregated over the whole run: every worker's EngineStats
         #: plus the store's hit/miss counters.  Guarded by a lock --
         #: run_record is called concurrently from dispatcher threads.
         self.stats = EngineStats()
@@ -273,51 +284,6 @@ class BatchRunner:
             # Fold store counters into the runner's metrics object so
             # one report covers compute and cache behaviour.
             self.store.stats = self.stats
-
-    # ------------------------------------------------------------------
-    # Batch entry point
-    # ------------------------------------------------------------------
-
-    def run(self, specs: Iterable[MatchJobSpec],
-            queue: Optional[JobQueue] = None) -> BatchReport:
-        """Run every spec; returns the report in submission order."""
-        queue = queue if queue is not None else JobQueue()
-        records = queue.submit_all(specs)
-        self.log.event(
-            "batch.start", jobs=len(records), workers=self.workers,
-            inline=self.inline,
-        )
-        started = time.perf_counter()
-        if self.workers == 1:
-            for record in records:
-                self.run_record(record, queue)
-        else:
-            with ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="qmatch-batch",
-            ) as pool:
-                futures = [
-                    pool.submit(self.run_record, record, queue)
-                    for record in records
-                ]
-                for future in futures:
-                    future.result()
-        report = BatchReport(
-            records=records,
-            workers=self.workers,
-            wall_seconds=time.perf_counter() - started,
-            stats=self.stats,
-            traces={
-                record.job_id: self.traces[record.job_id]
-                for record in records if record.job_id in self.traces
-            },
-        )
-        self.log.event(
-            "batch.done", wall_seconds=round(report.wall_seconds, 6),
-            jobs=len(records), counts=report.counts,
-            cache_hits=report.cache_hits,
-        )
-        return report
 
     # ------------------------------------------------------------------
     # Per-job state machine (also driven directly by the HTTP service)
@@ -413,6 +379,102 @@ class BatchRunner:
             record, "timed-out" if timed_out else "failed", elapsed,
             error=last_error.get("message"),
         )
+
+    # ------------------------------------------------------------------
+    # One attempt (backend-specific)
+    # ------------------------------------------------------------------
+
+    def _execute(self, spec: MatchJobSpec, timeout: Optional[float]):
+        """One attempt.  Returns ``("ok", envelope)``,
+        ``("timeout", error)`` or ``("error", error)``."""
+        raise NotImplementedError
+
+
+class BatchRunner(JobExecutionCore):
+    """Run many match jobs over a bounded pool of worker processes.
+
+    The fork-per-job backend: every attempt gets a fresh child process
+    (or runs inline with ``inline=True``).  Simple, perfectly isolated,
+    and the right trade for batch workloads; the per-request fork cost
+    is what :class:`~repro.service.pool.WorkerPool` exists to remove.
+    """
+
+    def __init__(self, workers: int = 1,
+                 store: Optional[ResultStore] = None,
+                 timeout: Optional[float] = DEFAULT_TIMEOUT,
+                 retries: int = 1,
+                 retry_backoff: float = 0.1,
+                 inline: bool = False,
+                 worker: Callable[[MatchJobSpec], dict] = execute_job,
+                 mp_context=None,
+                 log=NULL_LOGGER,
+                 metrics=None):
+        """``worker`` is the job body -- injectable so tests can
+        simulate crashes and hangs; the rest is
+        :class:`JobExecutionCore`'s contract."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        super().__init__(
+            store=store, timeout=timeout, retries=retries,
+            retry_backoff=retry_backoff, log=log, metrics=metrics,
+        )
+        self.workers = workers
+        self.inline = inline
+        self.worker = worker
+        if mp_context is None and not inline:
+            methods = multiprocessing.get_all_start_methods()
+            # fork keeps per-job process cost near-zero (the parsed
+            # library is inherited); fall back to the default context
+            # elsewhere.
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._mp = mp_context
+
+    # ------------------------------------------------------------------
+    # Batch entry point
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable[MatchJobSpec],
+            queue: Optional[JobQueue] = None) -> BatchReport:
+        """Run every spec; returns the report in submission order."""
+        queue = queue if queue is not None else JobQueue()
+        records = queue.submit_all(specs)
+        self.log.event(
+            "batch.start", jobs=len(records), workers=self.workers,
+            inline=self.inline,
+        )
+        started = time.perf_counter()
+        if self.workers == 1:
+            for record in records:
+                self.run_record(record, queue)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="qmatch-batch",
+            ) as pool:
+                futures = [
+                    pool.submit(self.run_record, record, queue)
+                    for record in records
+                ]
+                for future in futures:
+                    future.result()
+        report = BatchReport(
+            records=records,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started,
+            stats=self.stats,
+            traces={
+                record.job_id: self.traces[record.job_id]
+                for record in records if record.job_id in self.traces
+            },
+        )
+        self.log.event(
+            "batch.done", wall_seconds=round(report.wall_seconds, 6),
+            jobs=len(records), counts=report.counts,
+            cache_hits=report.cache_hits,
+        )
+        return report
 
     # ------------------------------------------------------------------
     # One attempt

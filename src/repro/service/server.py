@@ -1,20 +1,31 @@
-"""``qmatch serve``: a stdlib JSON-over-HTTP match service.
+"""The embeddable match service and its threaded HTTP front-end.
 
-:class:`MatchService` is the embeddable core: submit a schema pair,
-poll the job, fetch the result.  Jobs run on a background thread pool
-through the same per-job state machine as the batch runner
-(:meth:`BatchRunner.run_record` in inline mode), so cache behaviour,
-retry semantics and error records are identical whether a pair arrives
-via a manifest or via HTTP.
+:class:`MatchService` is the core: submit a schema pair, poll the job,
+fetch the result.  Jobs run through the same per-job state machine as
+the batch runner (:class:`~repro.service.runner.JobExecutionCore`), so
+cache behaviour, retry semantics and error records are identical
+whether a pair arrives via a manifest or via HTTP.  Three execution
+modes share that state machine:
 
-:func:`create_server` wraps the service in a
-:class:`http.server.ThreadingHTTPServer`.  Endpoints::
+- ``inline``   -- on the service thread itself; lowest latency, no
+  hard timeouts (embedded default);
+- ``isolated`` -- one forked worker process per attempt; real
+  deadlines and crash containment at ~ms fork cost per job;
+- ``pool``     -- a persistent pre-warmed
+  :class:`~repro.service.pool.WorkerPool`; deadline + crash
+  containment of ``isolated`` without the per-job fork, parse or
+  thesaurus-load cost (the ``qmatch serve`` default).
+
+The HTTP API itself lives in :mod:`repro.service.http_api`; the
+:class:`MatchRequestHandler` here is the threaded transport for it
+(embedded/test use), and :mod:`repro.service.aserver` is the asyncio
+transport ``qmatch serve`` runs.  Endpoints::
 
     GET  /healthz            -- liveness
     GET  /stats              -- job counts + store hit rates + engine stats
-    GET  /jobs               -- every job record (submission order)
+    GET  /jobs               -- job records, paginated (?offset=&limit=)
     POST /jobs               -- submit {source_xsd, target_xsd, ...};
-                                202 with the job id (or 200 on cache hit)
+                                202 with the job id
     GET  /jobs/<id>          -- one job's status record
     GET  /jobs/<id>/result   -- the stored result payload (409 until done)
     POST /match              -- synchronous convenience: submit and wait
@@ -24,27 +35,32 @@ POST bodies are JSON: ``source_xsd`` / ``target_xsd`` carry XSD text,
 plus optional ``algorithm``, ``threshold``, ``strategy``, ``weights``
 (four numbers or a "L,P,H,C" string) and ``timeout``.  ``/search``
 takes ``query_xsd`` plus optional ``k``, ``candidates``, ``rerank``.
-Validation errors return 400 with the same message the CLI would print.
-
-With ``isolate=True`` (the ``qmatch serve`` default) every job attempt
-runs in a forked worker process through the batch runner's standard
-retry/timeout path, so a hung or crashing match is killed at its
-deadline and reported as a structured error instead of wedging a
-service thread; ``isolate=False`` keeps the low-latency inline mode
-(no hard timeouts) for embedded use.
+Validation errors return 400 with the same message the CLI would
+print; saturation returns 429 with ``Retry-After``; oversized bodies
+return 413; a draining service answers 503 to new work.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.obs.log import NULL_LOGGER, EventLogger
-from repro.obs.metrics import MetricsRegistry, engine_stats_metrics
-from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
+from repro.obs.metrics import (
+    MetricsRegistry,
+    engine_stats_metrics,
+    pool_depth_metrics,
+)
+from repro.service.http_api import (
+    ServiceDraining,
+    ServiceSaturated,
+    handle_api_request,
+    too_large_response,
+)
+from repro.service.jobs import JobQueue, JobRecord, MatchJobSpec
+from repro.service.pool import WorkerPool, _StatelessBody, execute_job_resident
 from repro.service.runner import DEFAULT_TIMEOUT, BatchRunner, execute_job
 from repro.service.store import ResultStore
 from repro.service.validation import (
@@ -55,43 +71,90 @@ from repro.service.validation import (
     validate_weights,
 )
 
+#: Default request-body cap: plenty for any pair of real-world XSDs,
+#: small enough that a misbehaving client cannot balloon the process.
+DEFAULT_MAX_BODY = 10 * 1024 * 1024
+
+#: Execution modes (``fork`` is accepted as an alias of ``isolated``).
+SERVICE_MODES = ("inline", "isolated", "pool")
+
 
 class MatchService:
-    """Queue + worker pool + result store behind a submit/poll API."""
+    """Queue + execution backend + result store behind a submit/poll API."""
 
     def __init__(self, workers: int = 2,
                  store: Optional[ResultStore] = None,
                  timeout: Optional[float] = None,
                  retries: int = 0,
                  isolate: bool = False,
+                 mode: Optional[str] = None,
                  searcher=None,
-                 worker=execute_job,
+                 worker=None,
+                 corpus_dir=None,
+                 cache_dir=None,
+                 scorer: str = "cosine",
+                 max_pending: Optional[int] = None,
+                 max_body_bytes: int = DEFAULT_MAX_BODY,
+                 max_jobs: Optional[int] = None,
                  log=NULL_LOGGER):
-        # The service's concurrency is a thread pool; each pool thread
-        # drives one job at a time through the batch runner's per-job
-        # state machine.  ``isolate=False`` (embedded default) executes
-        # on the thread itself -- lowest latency, no hard timeouts.
-        # ``isolate=True`` (the ``qmatch serve`` default) forks one
-        # worker process per attempt, which buys real deadlines and
-        # crash containment at ~ms fork cost.  ``worker`` is the job
-        # body, injectable for tests.
-        self.isolate = isolate
+        # ``mode`` picks the execution backend (see the module
+        # docstring); the older ``isolate`` flag keeps working for
+        # embedded callers and maps onto inline/isolated.  ``worker``
+        # is the job body, injectable for tests -- a plain ``(spec) ->
+        # envelope`` callable in every mode (the pool wraps it).
+        if mode is None:
+            mode = "isolated" if isolate else "inline"
+        if mode == "fork":
+            mode = "isolated"
+        if mode not in SERVICE_MODES:
+            raise ValidationError(
+                f"invalid mode {mode!r}: expected one of "
+                f"{', '.join(SERVICE_MODES)}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValidationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if max_body_bytes < 1:
+            raise ValidationError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        self.mode = mode
+        self.isolate = mode == "isolated"
         self.log = log
-        #: Long-lived HTTP/job metrics (the engine side is projected in
-        #: fresh per scrape -- see :meth:`metrics_text`).
+        #: Long-lived HTTP/job/pool metrics (the engine side is
+        #: projected in fresh per scrape -- see :meth:`metrics_text`).
         self.metrics = MetricsRegistry()
         self.started_at = time.time()
-        if timeout is None and isolate:
+        self.max_pending = max_pending
+        self.max_body_bytes = max_body_bytes
+        self.draining = False
+        if timeout is None and mode != "inline":
             timeout = DEFAULT_TIMEOUT
-        self.runner = BatchRunner(
-            workers=1, store=store, timeout=timeout, retries=retries,
-            retry_backoff=0.05, inline=not isolate, worker=worker,
-            log=log, metrics=self.metrics,
-        )
-        self.queue = JobQueue()
+        if mode == "pool":
+            self.runner = WorkerPool(
+                workers=workers, store=store, timeout=timeout,
+                retries=retries, retry_backoff=0.05,
+                worker=(
+                    execute_job_resident if worker is None
+                    else _StatelessBody(worker)
+                ),
+                corpus_dir=corpus_dir, cache_dir=cache_dir, scorer=scorer,
+                log=log, metrics=self.metrics,
+            )
+        else:
+            self.runner = BatchRunner(
+                workers=1, store=store, timeout=timeout, retries=retries,
+                retry_backoff=0.05, inline=(mode == "inline"),
+                worker=worker if worker is not None else execute_job,
+                log=log, metrics=self.metrics,
+            )
+        self.queue = JobQueue(max_records=max_jobs)
         self.workers = workers
         #: Optional :class:`~repro.corpus.search.CorpusSearcher` behind
-        #: ``POST /search``; ``None`` means no corpus is configured.
+        #: ``POST /search``; in pool mode the search usually runs on a
+        #: worker's *resident* searcher instead (see
+        #: :meth:`search_from_request`).
         self.searcher = searcher
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="qmatch-serve"
@@ -100,6 +163,32 @@ class MatchService:
     @property
     def store(self) -> Optional[ResultStore]:
         return self.runner.store
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def check_admission(self):
+        """Gate job-submitting routes: drain beats saturation.
+
+        Raises :class:`ServiceDraining` once :meth:`drain` started and
+        :class:`ServiceSaturated` when pending+running jobs reached
+        ``max_pending`` -- the transport turns those into 503 and
+        429 + ``Retry-After`` respectively, *before* the request body
+        is validated (a saturated service should not spend CPU parsing
+        schemas it will reject).
+        """
+        if self.draining:
+            raise ServiceDraining()
+        if self.max_pending is None:
+            return
+        active = self.queue.active
+        if active >= self.max_pending:
+            raise ServiceSaturated(
+                f"service is saturated: {active} jobs pending or running "
+                f"(limit {self.max_pending}); retry later",
+                retry_after=1,
+            )
 
     # ------------------------------------------------------------------
     # Submission
@@ -151,7 +240,7 @@ class MatchService:
         )
 
     def submit(self, spec: MatchJobSpec) -> JobRecord:
-        """Enqueue a job; it runs on the background pool."""
+        """Enqueue a job; it runs on the background dispatcher pool."""
         record = self.queue.submit(spec)
         self._pool.submit(self.runner.run_record, record, self.queue)
         return record
@@ -167,8 +256,18 @@ class MatchService:
     # ------------------------------------------------------------------
 
     def search_from_request(self, body: dict) -> dict:
-        """Validate a POST /search body and run the two-stage search."""
-        if self.searcher is None:
+        """Validate a POST /search body and run the two-stage search.
+
+        In pool mode with a corpus configured, the search is dispatched
+        to a worker's resident searcher (corpus + indexes stay loaded
+        across requests); otherwise the service's own searcher answers.
+        Validation -- including the query parse -- always happens here,
+        so malformed requests are 400s in every mode.
+        """
+        pool_search = (
+            self.mode == "pool" and getattr(self.runner, "has_corpus", False)
+        )
+        if self.searcher is None and not pool_search:
             raise ValidationError(
                 "no corpus configured; start the service with "
                 "qmatch serve --corpus DIR"
@@ -193,6 +292,15 @@ class MatchService:
             raise ValidationError(
                 f"invalid rerank {rerank!r}: expected true or false"
             )
+        if pool_search:
+            return self.runner.search({
+                "query_xsd": query_xsd,
+                "k": int(k),
+                "candidates": (
+                    int(candidates) if candidates is not None else None
+                ),
+                "rerank": rerank,
+            })
         result = self.searcher.search(
             query, k=int(k),
             candidates=int(candidates) if candidates is not None else None,
@@ -208,17 +316,38 @@ class MatchService:
         """The collected trace snapshot of one traced, finished job."""
         return self.runner.traces.get(job_id)
 
+    def record_request(self, method: str, route: str, status: int,
+                       elapsed: float):
+        """One request's samples in the long-lived metrics registry."""
+        self.metrics.counter(
+            "http_requests_total",
+            "HTTP requests by method, route and status.",
+            {"method": method, "route": route, "status": str(status)},
+        ).inc()
+        self.metrics.histogram(
+            "http_request_seconds",
+            "HTTP request latency by route.",
+            {"route": route},
+        ).observe(elapsed)
+
     def metrics_text(self) -> str:
         """The ``GET /metrics`` body: Prometheus text format 0.0.4.
 
         A fresh snapshot registry per scrape: the long-lived HTTP/job
         samples are merged in, the engine stats are projected (absolute
-        totals -- never folded into a long-lived registry), and the
-        uptime gauge is set last.
+        totals -- never folded into a long-lived registry), pool depth
+        gauges are refreshed, and the uptime gauge is set last.
         """
         snapshot = MetricsRegistry()
         snapshot.merge(self.metrics)
         engine_stats_metrics(self.runner.stats, registry=snapshot)
+        if self.mode == "pool":
+            pool_depth_metrics(
+                snapshot,
+                size=self.runner.size,
+                idle=self.runner.idle_count,
+                respawns=self.runner.respawns,
+            )
         snapshot.gauge(
             "service_uptime_seconds",
             "Seconds since the service started.",
@@ -234,10 +363,19 @@ class MatchService:
                 self.metrics.sum_by("http_requests_total", "route").items()
             )
         }
-        return {
+        snapshot = {
             "workers": self.workers,
-            "mode": "isolated" if self.isolate else "inline",
+            "mode": self.mode,
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "admission": {
+                "max_pending": self.max_pending,
+                "active": self.queue.active,
+                "draining": self.draining,
+            },
+            "limits": {
+                "max_body_bytes": self.max_body_bytes,
+                "max_jobs": self.queue.max_records,
+            },
             "routes": routes,
             "corpus": None if searcher is None else {
                 "root": str(searcher.corpus.root),
@@ -254,13 +392,58 @@ class MatchService:
             },
             "engine": self.runner.stats.as_dict(),
         }
+        if self.mode == "pool":
+            snapshot["pool"] = {
+                "size": self.runner.size,
+                "idle": self.runner.idle_count,
+                "respawns": self.runner.respawns,
+                "corpus_resident": self.runner.has_corpus,
+            }
+        return snapshot
 
-    def shutdown(self):
-        self._pool.shutdown(wait=True)
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new work, let in-flight jobs finish.
+
+        Returns True when every admitted job reached a terminal state
+        before ``timeout`` (None = wait indefinitely).  Read-only
+        routes keep answering during the drain, so clients can still
+        poll results of jobs admitted before it started.
+        """
+        self.draining = True
+        self.log.event(
+            "serve.drain", active=self.queue.active,
+            timeout=timeout,
+        )
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        while self.queue.active:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+        drained = self.queue.active == 0
+        self.shutdown(wait=drained)
+        return drained
+
+    def shutdown(self, wait: bool = True):
+        self._pool.shutdown(wait=wait)
+        if isinstance(self.runner, WorkerPool):
+            self.runner.shutdown(wait=wait)
 
 
 class MatchRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto the owning server's MatchService."""
+    """Threaded transport for the shared HTTP API router.
+
+    Reads bytes off the socket (enforcing the service's body cap
+    *before* buffering) and writes back whatever
+    :func:`~repro.service.http_api.handle_api_request` returns; all
+    routing, status codes and metrics live in the router, shared with
+    the asyncio front-end.
+    """
 
     server_version = "qmatch-serve/1.0"
     protocol_version = "HTTP/1.1"
@@ -275,80 +458,6 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         if self.verbose:
             super().log_message(format, *args)
 
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
-
-    def _send_json(self, status: int, payload: dict):
-        self._status = status
-        body = json.dumps(payload, indent=2).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_text(self, status: int, text: str,
-                   content_type: str = "text/plain; version=0.0.4"):
-        self._status = status
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _record(self, method: str, route: str, status: int,
-                elapsed: float):
-        """One request's samples in the service's metrics registry."""
-        metrics = self.service.metrics
-        metrics.counter(
-            "http_requests_total",
-            "HTTP requests by method, route and status.",
-            {"method": method, "route": route, "status": str(status)},
-        ).inc()
-        metrics.histogram(
-            "http_request_seconds",
-            "HTTP request latency by route.",
-            {"route": route},
-        ).observe(elapsed)
-        self._recorded = True
-
-    @staticmethod
-    def _route_label(parts: list) -> str:
-        """Normalized route template for metric labels.
-
-        Job ids collapse to ``{id}`` and unknown paths collapse to one
-        bucket, so label cardinality stays bounded no matter what
-        clients request.
-        """
-        if not parts:
-            return "/"
-        if parts[0] == "jobs" and len(parts) == 2:
-            return "/jobs/{id}"
-        if (parts[0] == "jobs" and len(parts) == 3
-                and parts[2] in ("result", "trace")):
-            return "/jobs/{id}/" + parts[2]
-        if len(parts) == 1 and parts[0] in (
-            "healthz", "stats", "metrics", "jobs", "match", "search",
-        ):
-            return "/" + parts[0]
-        return "(unknown)"
-
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ValidationError("request body is empty")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValidationError(f"request body is not valid JSON: {exc}") from None
-
-    # ------------------------------------------------------------------
-    # Routes
-    # ------------------------------------------------------------------
-
     def do_GET(self):  # noqa: N802 -- stdlib naming
         self._handle("GET")
 
@@ -356,94 +465,32 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         self._handle("POST")
 
     def _handle(self, method: str):
-        """Dispatch one request, recording per-route metrics."""
         started = time.perf_counter()
-        self._status = 0
-        self._recorded = False
-        parts = [part for part in self.path.split("?")[0].split("/") if part]
-        route = self._route_label(parts)
-        if method == "GET":
-            self._get(parts, route, started)
-        else:
-            self._post(parts)
-        if not self._recorded:
-            self._record(
-                method, route, self._status,
-                time.perf_counter() - started,
-            )
+        raw = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > self.service.max_body_bytes:
+                return self._send_api_response(too_large_response(
+                    self.service, method, self.path, length, started,
+                ))
+            raw = self.rfile.read(length) if length > 0 else b""
+        self._send_api_response(handle_api_request(
+            self.service, method, self.path, raw, started,
+        ))
 
-    def _get(self, parts: list, route: str, started: float):
-        if parts == ["healthz"]:
-            return self._send_json(200, {"status": "ok"})
-        if parts == ["stats"]:
-            return self._send_json(200, self.service.stats_snapshot())
-        if parts == ["metrics"]:
-            # Record the in-flight scrape *before* rendering, so the
-            # body always carries at least one HTTP counter and one
-            # latency histogram sample -- even on the very first
-            # request a scraper makes.
-            self._record(
-                "GET", route, 200, time.perf_counter() - started,
-            )
-            return self._send_text(200, self.service.metrics_text())
-        if parts == ["jobs"]:
-            return self._send_json(200, {
-                "jobs": [
-                    record.snapshot()
-                    for record in self.service.queue.records()
-                ],
-            })
-        if len(parts) == 2 and parts[0] == "jobs":
-            record = self.service.queue.get(parts[1])
-            if record is None:
-                return self._send_json(404, {"error": f"no job {parts[1]!r}"})
-            return self._send_json(200, record.snapshot())
-        if len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "result":
-            record = self.service.queue.get(parts[1])
-            if record is None:
-                return self._send_json(404, {"error": f"no job {parts[1]!r}"})
-            if record.state is not JobState.DONE:
-                return self._send_json(409, {
-                    "error": f"job {record.job_id} is {record.state.value}",
-                    "job": record.snapshot(),
-                })
-            return self._send_json(200, record.result)
-        if len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "trace":
-            record = self.service.queue.get(parts[1])
-            if record is None:
-                return self._send_json(404, {"error": f"no job {parts[1]!r}"})
-            trace = self.service.trace_for(parts[1])
-            if trace is None:
-                return self._send_json(404, {
-                    "error": (
-                        f"job {record.job_id} has no trace (submit with "
-                        '"trace": true; cache hits carry no trace)'
-                    ),
-                    "job": record.snapshot(),
-                })
-            return self._send_json(200, trace)
-        return self._send_json(404, {"error": f"no route for {self.path!r}"})
-
-    def _post(self, parts: list):
-        try:
-            if parts == ["jobs"]:
-                spec = self.service.spec_from_request(self._read_body())
-                record = self.service.submit(spec)
-                return self._send_json(202, record.snapshot())
-            if parts == ["match"]:
-                spec = self.service.spec_from_request(self._read_body())
-                record = self.service.run_sync(spec)
-                if record.state is JobState.DONE:
-                    return self._send_json(
-                        200, record.snapshot(include_result=True)
-                    )
-                return self._send_json(500, record.snapshot())
-            if parts == ["search"]:
-                payload = self.service.search_from_request(self._read_body())
-                return self._send_json(200, payload)
-        except ValidationError as exc:
-            return self._send_json(400, {"error": str(exc)})
-        return self._send_json(404, {"error": f"no route for {self.path!r}"})
+    def _send_api_response(self, response):
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        if response.close:
+            # An oversized body was never read off the socket; the
+            # connection cannot be reused.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(response.body)
 
 
 def create_server(service: MatchService, host: str = "127.0.0.1",
@@ -455,14 +502,15 @@ def create_server(service: MatchService, host: str = "127.0.0.1",
 
 
 def build_searcher(corpus_dir, cache_dir=None, workers: int = 1,
-                   log=NULL_LOGGER):
+                   scorer: str = "cosine", log=NULL_LOGGER):
     """Open a corpus directory (with its saved index) as a searcher.
 
-    Shared by ``qmatch serve --corpus`` and ``qmatch search``.  Raises
-    a clean error when the corpus or its index is missing; a *stale*
-    index (corpus content changed since the last build) is reported by
-    the caller, not rejected -- search still works, it just cannot see
-    the un-indexed schemas.
+    Shared by ``qmatch serve --corpus``, ``qmatch search`` and the
+    worker pool's resident warm-up.  Raises a clean error when the
+    corpus or its index is missing; a *stale* index (corpus content
+    changed since the last build) is reported by the caller, not
+    rejected -- search still works, it just cannot see the un-indexed
+    schemas.
     """
     from repro.corpus.corpus import CorpusError, SchemaCorpus
     from repro.corpus.indexes import INDEX_NAME, CorpusIndex
@@ -483,25 +531,38 @@ def build_searcher(corpus_dir, cache_dir=None, workers: int = 1,
     index = CorpusIndex.load(index_path)
     store = ResultStore(cache_dir) if cache_dir is not None else None
     return CorpusSearcher(
-        corpus, index, workers=workers, store=store, log=log,
+        corpus, index, scorer=scorer, workers=workers, store=store, log=log,
     )
 
 
 def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
           cache_dir=None, verbose: bool = True, isolate: bool = True,
-          timeout=None, retries: int = 1, corpus_dir=None,
+          mode: Optional[str] = None, timeout=None, retries: int = 1,
+          corpus_dir=None, scorer: str = "cosine",
+          max_pending: Optional[int] = None,
+          max_body_bytes: int = DEFAULT_MAX_BODY,
+          max_jobs: Optional[int] = None,
+          drain_timeout: Optional[float] = 30.0,
           log: Optional[EventLogger] = None) -> int:
     """Run the service until interrupted (the ``qmatch serve`` body).
 
-    Lifecycle output is structured: one JSON event record per line on
-    stderr (``serve.start``, ``serve.stale_index``, ``serve.stop``),
-    all stamped with the same run ID the job/batch events carry.
+    The listening front-end is the asyncio server in
+    :mod:`repro.service.aserver`; this wrapper builds the service
+    (store, searcher, execution backend) around it.  Lifecycle output
+    is structured: one JSON event record per line on stderr
+    (``serve.start``, ``serve.stale_index``, ``serve.drain``,
+    ``serve.stop``), all stamped with the same run ID the job/batch
+    events carry.
     """
+    from repro.service.aserver import run_async_server
+
     log = log if log is not None else EventLogger()
     store = ResultStore(cache_dir) if cache_dir is not None else None
     searcher = None
     if corpus_dir is not None:
-        searcher = build_searcher(corpus_dir, cache_dir=cache_dir, log=log)
+        searcher = build_searcher(
+            corpus_dir, cache_dir=cache_dir, scorer=scorer, log=log,
+        )
         if searcher.index.stale_for(searcher.corpus):
             log.event(
                 "serve.stale_index",
@@ -511,26 +572,24 @@ def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
                     "the last build); run qmatch index build to refresh"
                 ),
             )
+    if mode is None:
+        mode = "isolated" if isolate else "inline"
     service = MatchService(
         workers=workers, store=store, timeout=timeout, retries=retries,
-        isolate=isolate, searcher=searcher, log=log,
+        mode=mode, searcher=searcher, corpus_dir=corpus_dir,
+        cache_dir=cache_dir, scorer=scorer, max_pending=max_pending,
+        max_body_bytes=max_body_bytes, max_jobs=max_jobs, log=log,
     )
-    server = create_server(service, host=host, port=port)
-    MatchRequestHandler.verbose = verbose
-    log.event(
-        "serve.start",
-        url=f"http://{host}:{server.server_address[1]}",
-        workers=workers,
-        mode="isolated" if isolate else "inline",
-        cache=str(cache_dir) if cache_dir is not None else None,
-        corpus=str(corpus_dir) if corpus_dir is not None else None,
-        corpus_schemas=len(searcher.corpus) if searcher is not None else None,
+    return run_async_server(
+        service, host=host, port=port, verbose=verbose,
+        drain_timeout=drain_timeout, log=log,
+        start_info={
+            "workers": workers,
+            "mode": service.mode,
+            "cache": str(cache_dir) if cache_dir is not None else None,
+            "corpus": str(corpus_dir) if corpus_dir is not None else None,
+            "corpus_schemas": (
+                len(searcher.corpus) if searcher is not None else None
+            ),
+        },
     )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        log.event("serve.stop", reason="interrupt")
-    finally:
-        server.server_close()
-        service.shutdown()
-    return 0

@@ -262,3 +262,57 @@ class TestIndexingEdgeCaseLabels:
         assert entry.hash in index.minhash.candidates(
             index.query_signature(odd_tree)
         )
+
+
+class TestBM25Scoring:
+    """The second lexical scorer over the same postings."""
+
+    @pytest.fixture()
+    def index(self):
+        index = InvertedIndex()
+        index.add("short", Counter({"order": 2, "ship": 1}))
+        index.add("long", Counter({"order": 2, "book": 5, "author": 4,
+                                   "title": 4}))
+        index.add("books", Counter({"book": 3, "title": 1}))
+        return index
+
+    def test_scores_dispatch(self, index):
+        query = Counter({"order": 1})
+        assert index.scores(query, scorer="bm25") == index.bm25_scores(query)
+        assert index.scores(query) == index.cosine_scores(query)
+        with pytest.raises(IndexError_, match="unknown scorer"):
+            index.scores(query, scorer="tfidf")
+
+    def test_normalized_to_unit_interval(self, index):
+        scores = index.bm25_scores(Counter({"order": 1, "book": 1}))
+        assert scores
+        assert all(0.0 < score <= 1.0 for score in scores.values())
+        assert max(scores.values()) == pytest.approx(1.0)
+
+    def test_only_documents_with_evidence_score(self, index):
+        scores = index.bm25_scores(Counter({"order": 1}))
+        assert set(scores) == {"short", "long"}
+        assert index.bm25_scores(Counter({"nothing": 3})) == {}
+        assert index.bm25_scores(Counter()) == {}
+
+    def test_length_normalization_prefers_shorter_document(self, index):
+        # Both carry tf("order") == 2; BM25's b-term penalizes the
+        # longer document, where cosine-style tf alone would tie them.
+        scores = index.bm25_scores(Counter({"order": 1}))
+        assert scores["short"] > scores["long"]
+
+    def test_lengths_survive_add_and_remove(self, index):
+        assert index.average_length == pytest.approx((3 + 15 + 4) / 3)
+        index.remove("long")
+        assert index.average_length == pytest.approx((3 + 4) / 2)
+        index.add("long", Counter({"order": 1}))
+        assert index.average_length == pytest.approx((3 + 4 + 1) / 3)
+
+    def test_common_token_still_contributes(self):
+        # df == N floors the Robertson idf at epsilon instead of zero,
+        # so tiny corpora where every schema shares a token still rank.
+        index = InvertedIndex()
+        index.add("a", Counter({"order": 4}))
+        index.add("b", Counter({"order": 1}))
+        scores = index.bm25_scores(Counter({"order": 1}))
+        assert scores["a"] > scores["b"] > 0.0
