@@ -21,10 +21,14 @@ Subcommands::
                  [--corpus DIR] [--scorer cosine|bm25] [--max-pending N]
                  [--max-body-bytes N] [--max-jobs N] [--drain-timeout S]
     qmatch index build DIR [schemas...] [--builtins]
-    qmatch index add DIR schemas...
+    qmatch index add DIR schemas... [--data FILE]
     qmatch index info DIR
     qmatch search DIR query.xsd [--k N] [--candidates N] [--no-rerank]
-                                [--scorer cosine|bm25]
+                                [--scorer cosine|bm25] [--weights W]
+                                [--data FILE]
+    qmatch ingest schema.{xsd,sql,json} [--kind xsd|sql|json]
+                  [--emit text|xsd|json-schema|sql] [--data FILE ...]
+                  [--profiles-out FILE]
 
 ``match`` matches two XSD files and prints the correspondences and the
 overall schema QoM (``--trace`` records every pair's per-axis decision
@@ -42,7 +46,10 @@ fork`` forks per attempt, ``--mode inline`` runs on the service
 threads);
 ``index`` manages an on-disk schema corpus and its blocking indexes;
 ``search`` ranks a corpus against a query schema by retrieving a
-candidate shortlist from the indexes and reranking it with QMatch.
+candidate shortlist from the indexes and reranking it with QMatch;
+``ingest`` parses relational DDL / JSON Schema files into the engine's
+tree form and profiles instance data into the evidence the optional
+fifth (``instance``) axis weight scores.
 
 All user-supplied parameters (thresholds, weights, manifests) validate
 through :mod:`repro.service.validation`; a bad value prints one
@@ -75,8 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser = subparsers.add_parser(
         "match", help="match two XSD files and print the correspondences"
     )
-    match_parser.add_argument("source", help="source XSD file")
-    match_parser.add_argument("target", help="target XSD file")
+    match_parser.add_argument(
+        "source",
+        help="source schema file (XSD; .sql DDL and .json JSON Schema "
+             "files are ingested automatically)",
+    )
+    match_parser.add_argument(
+        "target", help="target schema file (as source)",
+    )
     match_parser.add_argument(
         "--algorithm", choices=ALGORITHMS, default="qmatch",
         help="matching algorithm (default: qmatch)",
@@ -92,11 +105,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the algorithm's own)",
     )
     match_parser.add_argument(
-        "--weights", metavar="L,P,H,C",
+        "--weights", metavar="L,P,H,C[,I]",
         help="QMatch axis weights: four comma-separated numbers "
-             "(label, properties, level, children) or named "
-             "label=..,properties=..,level=..,children=.. entries; "
-             "normalized to sum 1",
+             "(label, properties, level, children), optionally a fifth "
+             "for instance evidence, or named "
+             "label=..,properties=..,level=..,children=..[,instance=..] "
+             "entries; normalized to sum 1",
+    )
+    match_parser.add_argument(
+        "--source-profiles", metavar="FILE",
+        help="instance profiles for the source schema (JSON "
+             "{node_path: profile} map, see `qmatch ingest "
+             "--profiles-out`); scored under the instance weight",
+    )
+    match_parser.add_argument(
+        "--target-profiles", metavar="FILE",
+        help="instance profiles for the target schema (JSON map, as "
+             "--source-profiles)",
     )
     match_parser.add_argument(
         "--format", choices=("text", "tsv", "json"), default="text",
@@ -393,7 +418,13 @@ def build_parser() -> argparse.ArgumentParser:
     index_add.add_argument("corpus", help="corpus directory")
     index_add.add_argument(
         "schemas", nargs="+",
-        help="XSD files or builtin:<Name> references to add",
+        help="schema files (XSD/SQL DDL/JSON Schema by extension) or "
+             "builtin:<Name> references to add",
+    )
+    index_add.add_argument(
+        "--data", metavar="FILE", action="append", default=None,
+        help="instance data file (CSV/JSON/JSONL) to profile and store "
+             "with the schema (single schema only; repeatable)",
     )
     index_info = index_sub.add_parser(
         "info", help="show corpus entries, index coverage and fingerprints"
@@ -407,7 +438,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search_parser.add_argument("corpus", help="corpus directory")
     search_parser.add_argument(
-        "query", help="query XSD file (or builtin:<Name>)"
+        "query",
+        help="query schema file (XSD/SQL DDL/JSON Schema by extension, "
+             "or builtin:<Name>)",
+    )
+    search_parser.add_argument(
+        "--weights", metavar="L,P,H,C[,I]",
+        help="QMatch axis weights for the rerank (same syntax as "
+             "`qmatch match --weights`; a fifth/instance entry scores "
+             "attached profiles)",
+    )
+    search_parser.add_argument(
+        "--data", metavar="FILE", action="append", default=None,
+        help="instance data file (CSV/JSON/JSONL) profiled into query "
+             "instance evidence for the rerank (repeatable)",
     )
     search_parser.add_argument(
         "--k", type=int, default=10,
@@ -451,6 +495,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress non-error output (explicit --stats still prints)",
     )
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="parse a relational DDL / JSON Schema / XSD file into the "
+             "engine's schema tree, optionally profiling instance data",
+    )
+    ingest_parser.add_argument(
+        "schema", help="schema file (.sql/.ddl, .json/.schema, .xsd/.xml)"
+    )
+    ingest_parser.add_argument(
+        "--kind", choices=("xsd", "sql", "json"), default=None,
+        help="force the source kind instead of detecting it from the "
+             "extension/content",
+    )
+    ingest_parser.add_argument(
+        "--name", default=None,
+        help="schema name for the tree (default: derived from the file)",
+    )
+    ingest_parser.add_argument(
+        "--emit", choices=("text", "xsd", "json-schema", "sql"),
+        default="text",
+        help="output form: compact tree text (default), canonical XSD, "
+             "a JSON Schema document, or SQL DDL",
+    )
+    ingest_parser.add_argument(
+        "--data", metavar="FILE", action="append", default=None,
+        help="instance data file (CSV/TSV, JSON/JSONL, or XML) to "
+             "profile against the schema (repeatable)",
+    )
+    ingest_parser.add_argument(
+        "--profiles-out", metavar="FILE",
+        help="write the computed {node_path: profile} map as JSON "
+             "(feed it to `qmatch match --source-profiles`)",
+    )
+    ingest_parser.add_argument(
+        "--properties", action="store_true",
+        help="with --emit text, include non-default node properties",
+    )
     return parser
 
 
@@ -462,6 +544,56 @@ def _emit_stats(stats, output_format: str):
         print(stats.to_json(indent=2), file=sys.stderr)
     else:
         print(stats.render(), file=sys.stderr)
+
+
+def _load_schema_cli(ref, kind=None):
+    """Load a schema file of any supported kind for a CLI command.
+
+    XSD files go through :func:`parse_xsd_file` (keeping include/import
+    resolution relative to the file); ``.sql``/``.json`` files dispatch
+    to the ingestion parsers.  Returns ``(tree, kind)``.
+    """
+    from repro.ingest import detect_kind, load_schema_any
+
+    resolved = kind or detect_kind(ref)
+    if resolved == "xsd":
+        return parse_xsd_file(ref), "xsd"
+    return load_schema_any(ref, kind=resolved)
+
+
+def _load_profiles_file(path):
+    """Read a ``{node_path: profile_dict}`` JSON map (see --profiles-out)."""
+    from pathlib import Path
+
+    from repro.service.validation import ValidationError
+
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValidationError(f"profiles file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"profiles file {path} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(data, dict):
+        raise ValidationError(
+            f"profiles file {path} must hold a JSON object "
+            "{node_path: profile}"
+        )
+    return data
+
+
+def _profile_data_files(paths, tree=None):
+    """Profile data files into one merged ``{path: profile_dict}`` map."""
+    from repro.ingest.profile import profile_data_file
+
+    merged = {}
+    for path in paths or ():
+        profiles = profile_data_file(path, tree=tree)
+        merged.update({
+            key: profile.as_dict() for key, profile in profiles.items()
+        })
+    return merged
 
 
 def _command_match(args) -> int:
@@ -480,8 +612,15 @@ def _command_match(args) -> int:
             )
         weights = validate_weights(args.weights, field="--weights")
         kwargs["config"] = QMatchConfig(weights=weights)
-    source = parse_xsd_file(args.source)
-    target = parse_xsd_file(args.target)
+    source, _ = _load_schema_cli(args.source)
+    target, _ = _load_schema_cli(args.target)
+    if args.source_profiles or args.target_profiles:
+        from repro.ingest.profile import attach_profiles
+
+        if args.source_profiles:
+            attach_profiles(source, _load_profiles_file(args.source_profiles))
+        if args.target_profiles:
+            attach_profiles(target, _load_profiles_file(args.target_profiles))
     matcher = make_matcher(args.algorithm, **kwargs)
     tracer = None
     context = None
@@ -774,24 +913,41 @@ def _command_serve(args) -> int:
     )
 
 
-def _corpus_add_refs(corpus, refs, add_builtins=False):
+def _corpus_add_refs(corpus, refs, add_builtins=False, profile=None):
     """Add schema refs (file paths or ``builtin:<Name>``) to ``corpus``.
 
-    Returns the entries that were actually new.
+    File refs dispatch on extension, so ``.sql`` DDL and ``.json``
+    JSON Schema files ingest with their ``source_kind`` recorded in the
+    manifest.  ``profile`` optionally attaches an instance-evidence map
+    to the (single) added schema.  Returns the entries that were
+    actually new.
     """
     from pathlib import Path
 
     from repro.datasets.registry import schema_names
+    from repro.ingest import detect_kind
     from repro.service.manifest import BUILTIN_PREFIX, _load_schema_text
+    from repro.service.validation import ValidationError
 
     refs = list(refs)
+    if profile and (len(refs) != 1 or add_builtins):
+        raise ValidationError(
+            "--data profiles attach to exactly one added schema; pass a "
+            "single schema file with it"
+        )
     if add_builtins:
         refs.extend(f"{BUILTIN_PREFIX}{name}" for name in schema_names())
     added = []
     for ref in refs:
         before = len(corpus)
-        text, name = _load_schema_text(ref, Path.cwd())
-        entry = corpus.add(parse_xsd(text, name=name))
+        if (not ref.startswith(BUILTIN_PREFIX)
+                and detect_kind(ref) != "xsd"):
+            entry = corpus.add_file(ref, profile=profile)
+        else:
+            text, name = _load_schema_text(ref, Path.cwd())
+            entry = corpus.add(
+                parse_xsd(text, name=name), profile=profile
+            )
         if len(corpus) > before:
             added.append(entry)
     return added
@@ -812,8 +968,13 @@ def _command_index(args) -> int:
         print(f"corpus: {corpus.root}")
         print(f"schemas: {len(corpus)}")
         for entry in corpus.entries():
+            notes = ""
+            if entry.source_kind != "xsd":
+                notes += f", from {entry.source_kind}"
+            if entry.profile:
+                notes += f", {len(entry.profile)} profiled leaves"
             print(f"  {entry.hash[:12]}  {entry.name}  "
-                  f"({entry.nodes} nodes, depth {entry.max_depth})")
+                  f"({entry.nodes} nodes, depth {entry.max_depth}{notes})")
         print(f"fingerprint: {corpus.fingerprint()[:16]}")
         if index is None:
             print("index: none (run qmatch index build)")
@@ -839,7 +1000,8 @@ def _command_index(args) -> int:
         )
         index = CorpusIndex.build(corpus, config=config)
     else:  # add
-        added = _corpus_add_refs(corpus, args.schemas)
+        profile = _profile_data_files(args.data) or None
+        added = _corpus_add_refs(corpus, args.schemas, profile=profile)
         if index_path.exists():
             index = CorpusIndex.load(index_path)
             index.refresh(corpus)
@@ -855,9 +1017,13 @@ def _command_index(args) -> int:
 def _command_search(args) -> int:
     from pathlib import Path
 
-    from repro.service.manifest import _load_schema_text
+    from repro.service.manifest import BUILTIN_PREFIX, _load_schema_text
     from repro.service.server import build_searcher
-    from repro.service.validation import ValidationError, validate_threshold
+    from repro.service.validation import (
+        ValidationError,
+        validate_threshold,
+        validate_weights,
+    )
 
     if args.k < 1:
         raise ValidationError(f"invalid --k {args.k}: must be >= 1")
@@ -873,11 +1039,20 @@ def _command_search(args) -> int:
         scorer=args.scorer,
     )
     searcher.threshold = threshold
-    text, name = _load_schema_text(args.query, Path.cwd())
-    query_tree = parse_xsd(text, name=name)
+    if args.weights:
+        searcher.weights = validate_weights(
+            args.weights, field="--weights"
+        ).as_tuple()
+    if args.query.startswith(BUILTIN_PREFIX):
+        text, name = _load_schema_text(args.query, Path.cwd())
+        query_tree = parse_xsd(text, name=name)
+    else:
+        query_tree, _ = _load_schema_cli(args.query)
+    query_profiles = _profile_data_files(args.data, tree=query_tree) or None
     result = searcher.search(
         query_tree, k=args.k, candidates=args.candidates,
         rerank=not args.no_rerank,
+        query_profiles=query_profiles,
     )
     if args.show_stats:
         _emit_stats(result.stats, args.output_format)
@@ -887,6 +1062,50 @@ def _command_search(args) -> int:
         print(result.to_json())
     else:
         print(result.render())
+    return 0
+
+
+def _command_ingest(args) -> int:
+    from pathlib import Path
+
+    from repro.ingest import load_schema_any
+    from repro.ingest.profile import attach_profiles
+
+    tree, kind = load_schema_any(args.schema, kind=args.kind, name=args.name)
+    profiles = _profile_data_files(args.data, tree=tree)
+    if profiles:
+        attached = attach_profiles(tree, profiles)
+        print(
+            f"profiled {len(profiles)} columns from "
+            f"{len(args.data)} data file"
+            f"{'s' if len(args.data) != 1 else ''}; "
+            f"{attached} attached to schema nodes",
+            file=sys.stderr,
+        )
+    if args.profiles_out:
+        Path(args.profiles_out).write_text(
+            json.dumps(profiles, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote profiles to {args.profiles_out}", file=sys.stderr)
+    if args.emit == "xsd":
+        from repro.xsd.serializer import to_xsd
+
+        print(to_xsd(tree))
+    elif args.emit == "json-schema":
+        from repro.ingest.jsonschema import to_json_schema
+
+        print(to_json_schema(tree))
+    elif args.emit == "sql":
+        from repro.ingest.sql import to_sql_ddl
+
+        print(to_sql_ddl(tree))
+    else:
+        print(
+            f"# {tree.name} [{kind}]: {tree.size} nodes, "
+            f"max depth {tree.max_depth}"
+        )
+        print(to_compact_text(tree, show_properties=args.properties))
     return 0
 
 
@@ -906,6 +1125,7 @@ def main(argv=None) -> int:
         "serve": _command_serve,
         "index": _command_index,
         "search": _command_search,
+        "ingest": _command_ingest,
     }
     try:
         return handlers[args.command](args)

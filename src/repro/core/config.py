@@ -85,11 +85,12 @@ class QMatchConfig:
                         properties=weights.properties,
                         level=weights.level,
                         children=weights.children,
+                        instance=getattr(weights, "instance", 0.0),
                     )
                 except AttributeError:
                     raise ValueError(
-                        f"weights must be an AxisWeights or a 4-sequence "
-                        f"(label, properties, level, children), "
+                        f"weights must be an AxisWeights or a 4/5-sequence "
+                        f"(label, properties, level, children[, instance]), "
                         f"got {self.weights!r}"
                     ) from None
             object.__setattr__(self, "weights", weights)

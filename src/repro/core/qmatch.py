@@ -12,6 +12,11 @@ target node) pair by combining four axes::
   normalized sum of the above-threshold child-pair QoMs and ``Rs`` the
   fraction of source children with a match (Eqs. 3-5).
 
+An optional fifth term, ``WI*QoM_I``, mixes in **instance evidence**
+(value profiles attached by :mod:`repro.ingest.profile`) when the
+configured ``instance`` weight is nonzero; at the default weight of
+zero the model is exactly the paper's and the axis is never evaluated.
+
 The paper's Figure 3 presents this as a recursion from the roots; here
 it is computed as an equivalent bottom-up dynamic program over the
 postorder x postorder pair grid, so *every* subtree pair gets a QoM (the
@@ -62,6 +67,9 @@ class AxisBreakdown:
     coverage: CoverageLevel
     matched_children: int
     total_children: int
+    #: Instance-axis (value-profile) similarity; ``None`` when the
+    #: configured ``instance`` weight is zero and the axis never ran.
+    instance_score: Optional[float] = None
 
     def __str__(self):
         lines = [
@@ -74,6 +82,8 @@ class AxisBreakdown:
             f"  children : {self.children_score:.3f} ({self.coverage}, "
             f"{self.matched_children}/{self.total_children} matched)",
         ]
+        if self.instance_score is not None:
+            lines.append(f"  instance : {self.instance_score:.3f}")
         return "\n".join(lines)
 
 
@@ -180,6 +190,11 @@ class QMatchMatcher(Matcher):
                 else ("miss" if ctx.cache_enabled else "off")
             ),
         }
+        if self.config.weights.uses_instance:
+            detail["instance_cache"] = (
+                "hit" if ctx.instance_cached(s_node, t_node)
+                else ("miss" if ctx.cache_enabled else "off")
+            )
         qom, category = self._pair_qom(
             s_node, t_node, matrix, categories, ctx, trace_out=detail
         )
@@ -218,6 +233,15 @@ class QMatchMatcher(Matcher):
                 "total": detail["total_children"],
             },
         }
+        if weights.uses_instance:
+            # Only present at nonzero instance weight, so four-axis
+            # traces stay byte-identical to the pre-instance format.
+            axes["instance"] = {
+                "score": detail["instance_score"],
+                "weight": weights.instance,
+                "contribution": weights.instance * detail["instance_score"],
+                "cache": detail["instance_cache"],
+            }
         children_spans = []
         for source_path, target_path in detail["matched_pairs"] or ():
             span_id = tracer.span_id(source_path, target_path)
@@ -309,6 +333,13 @@ class QMatchMatcher(Matcher):
             + weights.level * effective_level
             + children_weight * children_score
         )
+        instance_score = None
+        if weights.uses_instance:
+            # The fifth axis only ever runs at nonzero weight: the
+            # zero-weight model touches no profile, fills no memo and
+            # adds not a single float to the sum.
+            instance_score = ctx.instance_score(s_node, t_node)
+            qom += weights.instance * instance_score
         if trace_out is not None:
             trace_out.update(
                 label=label,
@@ -320,6 +351,7 @@ class QMatchMatcher(Matcher):
                 matched_children=matched,
                 total_children=total,
                 matched_pairs=matched_pairs,
+                instance_score=instance_score,
             )
         return qom, category
 
@@ -506,6 +538,10 @@ class QMatchMatcher(Matcher):
             category = MatchCategory(category_value)
         else:
             _, category = self._pair_qom(s_node, t_node, matrix, None, ctx)
+        instance_score = (
+            ctx.instance_score(s_node, t_node)
+            if self.config.weights.uses_instance else None
+        )
         return AxisBreakdown(
             source_path=s_node.path,
             target_path=t_node.path,
@@ -521,4 +557,5 @@ class QMatchMatcher(Matcher):
             coverage=coverage,
             matched_children=matched,
             total_children=total,
+            instance_score=instance_score,
         )

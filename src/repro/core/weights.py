@@ -6,6 +6,15 @@ The paper's tuning experiment (Table 2) selected ``label=0.3``,
 ``properties=0.2``, ``level=0.1``, ``children=0.4``; those are the
 defaults here and are exposed as :data:`PAPER_WEIGHTS`.
 
+Beyond the paper's four axes there is an optional fifth one, the
+**instance axis** (Section 7's composite-evidence direction): value
+profiles computed from actual data (see :mod:`repro.ingest.profile`)
+compared per leaf pair.  Its weight defaults to ``0.0`` and every
+serialization (:meth:`AxisWeights.as_dict`, :meth:`~AxisWeights.as_tuple`)
+omits the axis at weight zero, so configurations that never touch it
+produce byte-identical fingerprints, traces and store keys to the
+four-axis model.
+
 Weights must be non-negative and sum to 1 so that a total-exact match
 always yields ``QoM = 1`` (the paper's normalization invariant).
 """
@@ -20,15 +29,20 @@ _SUM_TOLERANCE = 1e-9
 
 @dataclass(frozen=True)
 class AxisWeights:
-    """The four axis weights (label, properties, level, children)."""
+    """The axis weights (label, properties, level, children, instance).
+
+    ``instance`` is the optional fifth axis; at its default ``0.0`` the
+    model is exactly the paper's four-axis one.
+    """
 
     label: float = 0.3
     properties: float = 0.2
     level: float = 0.1
     children: float = 0.4
+    instance: float = 0.0
 
     def __post_init__(self):
-        for axis_name, value in self.as_dict().items():
+        for axis_name, value in self.as_dict(include_zero_instance=True).items():
             if value < 0:
                 raise ValueError(f"weight {axis_name} must be >= 0, got {value}")
         total = self.total
@@ -40,50 +54,93 @@ class AxisWeights:
 
     @property
     def total(self) -> float:
-        return self.label + self.properties + self.level + self.children
+        return (
+            self.label + self.properties + self.level + self.children
+            + self.instance
+        )
 
-    def as_dict(self) -> dict:
-        return {
+    @property
+    def uses_instance(self) -> bool:
+        """Whether the fifth (instance-evidence) axis carries any weight."""
+        return self.instance > 0.0
+
+    def as_dict(self, include_zero_instance: bool = False) -> dict:
+        """Axis weights by name.
+
+        The ``instance`` key appears only when its weight is nonzero
+        (or ``include_zero_instance`` forces it), which keeps dict-based
+        serializations -- trace metadata above all -- byte-identical to
+        the pre-instance-axis format for four-axis configurations.
+        """
+        weights = {
             "label": self.label,
             "properties": self.properties,
             "level": self.level,
             "children": self.children,
         }
+        if self.instance or include_zero_instance:
+            weights["instance"] = self.instance
+        return weights
 
     def as_tuple(self) -> tuple:
-        return (self.label, self.properties, self.level, self.children)
+        """The weights in canonical order.
+
+        A 4-tuple for four-axis configurations, a 5-tuple once the
+        instance axis carries weight -- so config fingerprints (which
+        hash this tuple) only change when the fifth axis is actually in
+        play.
+        """
+        base = (self.label, self.properties, self.level, self.children)
+        if self.instance:
+            return base + (self.instance,)
+        return base
 
     @classmethod
-    def normalized(cls, label, properties, level, children) -> "AxisWeights":
+    def normalized(cls, label, properties, level, children,
+                   instance=0.0) -> "AxisWeights":
         """Build weights from arbitrary non-negative magnitudes, rescaled
-        to sum to 1."""
-        total = label + properties + level + children
-        if total <= 0:
-            raise ValueError("at least one axis weight must be positive")
+        to sum to 1.
+
+        All-zero (or otherwise non-positive) magnitudes raise a clean
+        :class:`ValueError` -- never a ``ZeroDivisionError`` -- so CLI
+        and HTTP front ends can surface the message as-is.
+        """
+        total = label + properties + level + children + instance
+        if not total > 0:  # catches 0, negatives and NaN alike
+            raise ValueError(
+                "at least one axis weight must be positive "
+                f"(got label={label}, properties={properties}, "
+                f"level={level}, children={children}, instance={instance})"
+            )
         return cls(
             label=label / total,
             properties=properties / total,
             level=level / total,
             children=children / total,
+            instance=instance / total,
         )
 
     @classmethod
     def from_sequence(cls, values) -> "AxisWeights":
-        """Build from a 4-sequence in (label, properties, level, children)
-        order -- the order the paper's Table 2 uses."""
+        """Build from a 4- or 5-sequence in (label, properties, level,
+        children[, instance]) order -- the order the paper's Table 2
+        uses, with the instance axis appended."""
         values = tuple(values)
-        if len(values) != 4:
+        if len(values) not in (4, 5):
             raise ValueError(
                 f"need exactly 4 weights (label, properties, level, "
-                f"children), got {len(values)}"
+                f"children) or 5 (plus instance), got {len(values)}"
             )
         return cls(*values)
 
     def __str__(self):
-        return (
+        text = (
             f"L={self.label:g} P={self.properties:g} "
             f"H={self.level:g} C={self.children:g}"
         )
+        if self.instance:
+            text += f" I={self.instance:g}"
+        return text
 
 
 #: The weights the paper selected (Table 2).

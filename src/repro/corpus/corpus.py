@@ -46,19 +46,34 @@ class CorpusError(ValueError):
 
 @dataclass(frozen=True)
 class CorpusEntry:
-    """One manifest row: the identity and shape of a stored schema."""
+    """One manifest row: the identity and shape of a stored schema.
+
+    ``source_kind`` records what the schema was ingested from
+    (``xsd`` | ``sql`` | ``json``; the stored text is always canonical
+    XSD).  ``profile`` optionally carries the instance-evidence profiles
+    (``{node_path: profile_dict}``) computed at add time.  Both are
+    omitted from the manifest at their defaults, so a corpus of plain
+    XSD schemas serializes byte-identically to the pre-ingest format.
+    """
 
     hash: str
     name: str
     nodes: int
     max_depth: int
+    source_kind: str = "xsd"
+    profile: Optional[dict] = None
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "nodes": self.nodes,
             "max_depth": self.max_depth,
         }
+        if self.source_kind != "xsd":
+            payload["source_kind"] = self.source_kind
+        if self.profile:
+            payload["profile"] = self.profile
+        return payload
 
 
 class SchemaCorpus:
@@ -125,11 +140,21 @@ class SchemaCorpus:
             ) from None
 
     def load(self, ref: str) -> SchemaTree:
-        """Parse one stored schema back into a tree."""
+        """Parse one stored schema back into a tree.
+
+        An entry that carries instance profiles gets them re-attached to
+        the parsed tree, so corpus-loaded schemas match with the same
+        evidence they were added with.
+        """
         from repro.xsd.parser import parse_xsd
 
         entry = self.entry(ref)
-        return parse_xsd(self.text(entry.hash), name=entry.name)
+        tree = parse_xsd(self.text(entry.hash), name=entry.name)
+        if entry.profile:
+            from repro.ingest.profile import attach_profiles
+
+            attach_profiles(tree, entry.profile)
+        return tree
 
     def fingerprint(self) -> str:
         """Content fingerprint of the whole corpus.
@@ -163,13 +188,18 @@ class SchemaCorpus:
     # ------------------------------------------------------------------
 
     def add(self, schema: Union[SchemaTree, str],
-            name: Optional[str] = None) -> CorpusEntry:
+            name: Optional[str] = None,
+            source_kind: str = "xsd",
+            profile: Optional[dict] = None) -> CorpusEntry:
         """Add a schema (tree or XSD text); returns its entry.
 
         The schema is canonicalized before hashing, so re-adding a
         reformatted copy of a stored schema is a no-op returning the
         existing entry.  A *different* schema under an already-used name
         is rejected -- names are the corpus's human-facing handle.
+        ``source_kind`` records what the schema was ingested from;
+        ``profile`` optionally attaches instance-evidence profiles
+        (``{node_path: profile_dict}``) to the entry.
         """
         from repro.xsd.parser import parse_xsd
         from repro.xsd.serializer import to_xsd
@@ -196,6 +226,8 @@ class SchemaCorpus:
             name=entry_name,
             nodes=tree.size,
             max_depth=tree.max_depth,
+            source_kind=source_kind,
+            profile=profile or None,
         )
         atomic_write_text(self.schema_path(schema_hash), text)
         self._entries[schema_hash] = entry
@@ -203,11 +235,32 @@ class SchemaCorpus:
         return entry
 
     def add_file(self, path: Union[str, Path],
-                 name: Optional[str] = None) -> CorpusEntry:
-        """Parse an XSD file and add it."""
-        from repro.xsd.parser import parse_xsd_file
+                 name: Optional[str] = None,
+                 kind: Optional[str] = None,
+                 profile: Optional[dict] = None) -> CorpusEntry:
+        """Parse a schema file of any supported kind and add it.
 
-        return self.add(parse_xsd_file(path), name=name)
+        ``kind`` forces the parser (``xsd`` | ``sql`` | ``json``);
+        ``None`` detects it from the extension, defaulting to XSD --
+        the historical behaviour.  XSD files keep their include/import
+        resolution relative to the file's directory.
+        """
+        from repro.ingest import detect_kind
+
+        path = Path(path)
+        resolved = kind or detect_kind(path)
+        if resolved == "xsd":
+            from repro.xsd.parser import parse_xsd_file
+
+            return self.add(
+                parse_xsd_file(path), name=name, profile=profile
+            )
+        from repro.ingest import load_schema_any
+
+        tree, resolved = load_schema_any(path, kind=resolved, name=name)
+        return self.add(
+            tree, name=name, source_kind=resolved, profile=profile
+        )
 
     def remove(self, ref: str) -> CorpusEntry:
         """Remove one entry (by hash or name); returns what was removed."""
@@ -265,4 +318,6 @@ class SchemaCorpus:
                 name=str(meta.get("name", schema_hash[:12])),
                 nodes=int(meta.get("nodes", 0)),
                 max_depth=int(meta.get("max_depth", 0)),
+                source_kind=str(meta.get("source_kind", "xsd")),
+                profile=meta.get("profile") or None,
             )

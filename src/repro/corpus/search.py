@@ -232,7 +232,14 @@ class CorpusSearcher:
     # ------------------------------------------------------------------
 
     def _rerank(self, query_xsd: str, query_hash: str, query_name: str,
-                shortlist: list, stats: EngineStats):
+                shortlist: list, stats: EngineStats,
+                query_profiles: Optional[dict] = None):
+        def entry_profile(doc_id):
+            try:
+                return self.corpus.entry(doc_id).profile or None
+            except Exception:
+                return None
+
         specs = [
             MatchJobSpec(
                 source_xsd=query_xsd,
@@ -245,6 +252,8 @@ class CorpusSearcher:
                 target_name=hit.name,
                 source_hash=query_hash,
                 target_hash=hit.hash,
+                source_profiles=query_profiles,
+                target_profiles=entry_profile(hit.hash),
             )
             for hit in shortlist
         ]
@@ -276,12 +285,17 @@ class CorpusSearcher:
 
     def search(self, query_tree, k: int = DEFAULT_K,
                candidates: Optional[int] = None,
-               rerank: bool = True) -> SearchResult:
+               rerank: bool = True,
+               query_profiles: Optional[dict] = None) -> SearchResult:
         """Top-``k`` corpus schemas for ``query_tree``.
 
         ``candidates`` caps the expensive stage (default
         ``max(OVERSAMPLE * k, MIN_CANDIDATES)``); ``rerank=False``
         returns the pure index ranking (no QMatch runs at all).
+        ``query_profiles`` are instance-evidence profiles for the query
+        schema (``{node_path: profile_dict}``), forwarded -- together
+        with each corpus entry's stored profiles -- into the rerank jobs
+        so a nonzero ``instance`` weight can use them.
         """
         from repro.xsd.serializer import to_xsd
 
@@ -343,7 +357,7 @@ class CorpusSearcher:
             query_xsd = to_xsd(query_tree)
             self._rerank(
                 query_xsd, content_hash(query_xsd), query_tree.name,
-                shortlist, stats,
+                shortlist, stats, query_profiles=query_profiles,
             )
             result.examined = len(shortlist)
             stats.count("search.reranked", len(shortlist))

@@ -42,6 +42,7 @@ from repro.xsd.model import SchemaNode, SchemaTree
 #: Names of the engine-level caches (as they appear in ``EngineStats``).
 LABEL_CACHE = "context.labels"
 PROPERTY_CACHE = "context.properties"
+INSTANCE_CACHE = "context.instances"
 
 
 class MatchContext:
@@ -79,6 +80,7 @@ class MatchContext:
         # Pairwise memos.
         self._label_memo: dict[tuple[str, str], LabelComparison] = {}
         self._property_memo: dict[tuple, PropertyComparison] = {}
+        self._instance_memo: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     # Per-node precomputed state
@@ -220,6 +222,46 @@ class MatchContext:
             self._property_memo[key] = cached
         else:
             self.stats.record_hit(PROPERTY_CACHE)
+        return cached
+
+    def instance_cached(self, source: SchemaNode,
+                        target: SchemaNode) -> bool:
+        """Whether the instance memo already holds this node pair."""
+        return (
+            self.cache_enabled
+            and (id(source), id(target)) in self._instance_memo
+        )
+
+    def instance_score(self, source: SchemaNode,
+                       target: SchemaNode) -> float:
+        """Instance-axis (value-profile) similarity, memoized per node pair.
+
+        Profiles are attached ahead of matching (see
+        :func:`repro.ingest.profile.attach_profiles`); nodes without one
+        score by the evidence rules of
+        :func:`repro.ingest.profile.profile_similarity` (no evidence ->
+        1.0, one-sided evidence -> 0.5).  Only ever invoked when the
+        configured ``instance`` weight is nonzero, so four-axis runs pay
+        nothing -- not even an empty memo lookup -- for the fifth axis.
+        """
+        from repro.ingest.profile import PROFILE_PROPERTY, profile_similarity
+
+        if not self.cache_enabled:
+            return profile_similarity(
+                source.properties.get(PROFILE_PROPERTY),
+                target.properties.get(PROFILE_PROPERTY),
+            )
+        key = (id(source), id(target))
+        cached = self._instance_memo.get(key)
+        if cached is None:
+            self.stats.record_miss(INSTANCE_CACHE)
+            cached = profile_similarity(
+                source.properties.get(PROFILE_PROPERTY),
+                target.properties.get(PROFILE_PROPERTY),
+            )
+            self._instance_memo[key] = cached
+        else:
+            self.stats.record_hit(INSTANCE_CACHE)
         return cached
 
     # ------------------------------------------------------------------

@@ -1,0 +1,141 @@
+"""Heterogeneous schema ingestion (beyond XSD) and instance evidence.
+
+The engine's data model is the :class:`~repro.xsd.model.SchemaTree`;
+this package opens it to schemas that do not arrive as XSD, plus the
+data-level evidence the schema text alone cannot carry:
+
+- :mod:`repro.ingest.sql` -- a dependency-free SQL DDL parser:
+  ``CREATE TABLE`` statements become complex types, columns become
+  typed leaves (nullability -> ``minOccurs``, lengths -> facets),
+  PK/FK/UNIQUE constraints become node properties and refs;
+- :mod:`repro.ingest.jsonschema` -- a JSON Schema (draft-07 subset)
+  adapter: objects -> complex types, ``required``/``type``/``format``/
+  array bounds -> occurrence and datatype facets;
+- :mod:`repro.ingest.profile` -- per-leaf value profiles (length and
+  numeric distributions, null rate, distinct ratio, regex-shape
+  buckets) computed from CSV rows, JSON documents or XML instances.
+  Profiles feed the optional fifth QoM axis (the ``instance`` weight
+  of :class:`~repro.core.weights.AxisWeights`).
+
+:func:`detect_kind` / :func:`load_schema_any` are the front door: they
+dispatch a file or text blob to the right parser and report which
+source kind (``xsd`` | ``sql`` | ``json``) it was, which the corpus
+manifest records so heterogeneous corpora stay searchable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.xsd.model import SchemaTree
+
+#: The schema source kinds the ingestion layer understands.
+SOURCE_KINDS = ("xsd", "sql", "json")
+
+#: File extensions mapped to source kinds (lowercase, with dot).
+_EXTENSION_KINDS = {
+    ".xsd": "xsd",
+    ".xml": "xsd",
+    ".sql": "sql",
+    ".ddl": "sql",
+    ".json": "json",
+    ".schema": "json",
+}
+
+
+class IngestError(ValueError):
+    """A foreign schema could not be parsed into a tree."""
+
+
+def detect_kind(ref: Union[str, Path], text: Optional[str] = None) -> str:
+    """Best-effort source kind of a schema reference.
+
+    Extension first (``.xsd``/``.xml``, ``.sql``/``.ddl``,
+    ``.json``/``.schema``), then a content sniff on ``text``: XML markup
+    means XSD, a ``{`` opener means JSON Schema, a ``CREATE`` statement
+    means SQL DDL.  Defaults to ``xsd`` -- the historical behaviour for
+    every pre-ingest call site.
+    """
+    suffix = Path(str(ref)).suffix.lower()
+    kind = _EXTENSION_KINDS.get(suffix)
+    if kind is not None:
+        return kind
+    if text is not None:
+        return sniff_kind(text)
+    return "xsd"
+
+
+def sniff_kind(text: str) -> str:
+    """Source kind of a raw schema text blob (no filename available)."""
+    stripped = _strip_sql_comments(text).lstrip()
+    if stripped.startswith("<"):
+        return "xsd"
+    if stripped.startswith(("{", "[")):
+        return "json"
+    if stripped[:12].upper().startswith("CREATE"):
+        return "sql"
+    return "xsd"
+
+
+def _strip_sql_comments(text: str) -> str:
+    import re
+
+    text = re.sub(r"--[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def parse_schema_text(text: str, kind: str,
+                      name: Optional[str] = None) -> SchemaTree:
+    """Parse schema ``text`` of a known ``kind`` into a tree."""
+    if kind == "xsd":
+        from repro.xsd.parser import parse_xsd
+
+        return parse_xsd(text, name=name)
+    if kind == "sql":
+        from repro.ingest.sql import parse_sql_ddl
+
+        return parse_sql_ddl(text, name=name)
+    if kind == "json":
+        from repro.ingest.jsonschema import parse_json_schema
+
+        return parse_json_schema(text, name=name)
+    raise IngestError(
+        f"unknown schema source kind {kind!r}: "
+        f"expected one of {', '.join(SOURCE_KINDS)}"
+    )
+
+
+def load_schema_any(path: Union[str, Path],
+                    kind: Optional[str] = None,
+                    name: Optional[str] = None) -> tuple[SchemaTree, str]:
+    """Load a schema file of any supported kind.
+
+    Returns ``(tree, kind)``.  ``kind=None`` auto-detects; an explicit
+    kind overrides detection (so ``--kind sql`` can force a ``.txt``
+    dump through the DDL parser).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise IngestError(f"schema file not found: {path}") from None
+    resolved = kind or detect_kind(path, text)
+    if resolved not in SOURCE_KINDS:
+        raise IngestError(
+            f"unknown schema source kind {resolved!r}: "
+            f"expected one of {', '.join(SOURCE_KINDS)}"
+        )
+    default_name = path.stem if resolved != "xsd" else None
+    tree = parse_schema_text(text, resolved, name=name or default_name)
+    return tree, resolved
+
+
+__all__ = [
+    "IngestError",
+    "SOURCE_KINDS",
+    "detect_kind",
+    "sniff_kind",
+    "parse_schema_text",
+    "load_schema_any",
+]

@@ -1,0 +1,326 @@
+"""JSON Schema ingestion: draft-07 subset -> :class:`SchemaTree`.
+
+JSON Schema describes the same element-with-typed-children world the
+matcher's tree model captures, so the mapping is direct:
+
+- an ``object`` schema becomes a complex node, its ``properties``
+  members the children (in declaration order -- JSON objects preserve
+  it and the children axis depends on it);
+- ``required`` membership maps to ``minOccurs=1`` vs ``0``;
+- an ``array`` schema collapses onto its ``items`` child with
+  ``minItems``/``maxItems`` as the occurrence range (``maxItems``
+  absent -> ``unbounded``), matching how XSD expresses repetition;
+- scalar ``type`` + ``format`` map into the XSD simple-type vocabulary
+  (``string``/``date-time`` -> ``dateTime``), and value constraints
+  (``maxLength``, ``pattern``, ``enum``, ``minimum``/``maximum``)
+  become node facets exactly as the XSD parser stores them;
+- ``$ref`` into ``definitions``/``$defs`` is resolved inline (cycles
+  are cut by emitting a typed leaf carrying a ``ref`` property).
+
+:func:`to_json_schema` emits the inverse (tree -> draft-07 document)
+for the round-trip suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.ingest import IngestError
+from repro.xsd.model import UNBOUNDED, NodeKind, SchemaNode, SchemaTree
+
+#: (json type, format) -> XSD simple type.  ``None`` format is the
+#: fallback for the bare type.
+_TYPE_FORMAT_MAP = {
+    ("string", None): "string",
+    ("string", "date-time"): "dateTime",
+    ("string", "date"): "date",
+    ("string", "time"): "time",
+    ("string", "email"): "string",
+    ("string", "uri"): "anyURI",
+    ("string", "uuid"): "string",
+    ("string", "byte"): "base64Binary",
+    ("integer", None): "int",
+    ("integer", "int32"): "int",
+    ("integer", "int64"): "long",
+    ("number", None): "decimal",
+    ("number", "float"): "float",
+    ("number", "double"): "double",
+    ("boolean", None): "boolean",
+    ("null", None): "string",
+}
+
+#: XSD simple type -> (json type, format or None), for emission.
+_XSD_TO_JSON = {
+    "string": ("string", None),
+    "normalizedString": ("string", None),
+    "token": ("string", None),
+    "anyURI": ("string", "uri"),
+    "base64Binary": ("string", "byte"),
+    "hexBinary": ("string", None),
+    "dateTime": ("string", "date-time"),
+    "date": ("string", "date"),
+    "time": ("string", "time"),
+    "gYear": ("string", None),
+    "int": ("integer", None),
+    "integer": ("integer", None),
+    "long": ("integer", "int64"),
+    "short": ("integer", None),
+    "byte": ("integer", None),
+    "nonNegativeInteger": ("integer", None),
+    "positiveInteger": ("integer", None),
+    "decimal": ("number", None),
+    "float": ("number", "float"),
+    "double": ("number", "double"),
+    "boolean": ("boolean", None),
+}
+
+#: JSON Schema value-constraint keywords -> XSD facet names.
+_FACET_KEYWORDS = {
+    "maxLength": "maxLength",
+    "minLength": "minLength",
+    "pattern": "pattern",
+    "minimum": "minInclusive",
+    "maximum": "maxInclusive",
+    "exclusiveMinimum": "minExclusive",
+    "exclusiveMaximum": "maxExclusive",
+}
+
+_FACET_TO_KEYWORD = {facet: keyword for keyword, facet in _FACET_KEYWORDS.items()}
+
+_NUMERIC_FACETS = {
+    "minInclusive", "maxInclusive", "minExclusive", "maxExclusive",
+}
+
+
+def _scalar_type(schema: dict) -> str:
+    json_type = schema.get("type")
+    if isinstance(json_type, list):
+        # nullable union like ["string", "null"]: keep the non-null member
+        non_null = [member for member in json_type if member != "null"]
+        json_type = non_null[0] if non_null else "null"
+    schema_format = schema.get("format")
+    mapped = _TYPE_FORMAT_MAP.get((json_type, schema_format))
+    if mapped is None:
+        mapped = _TYPE_FORMAT_MAP.get((json_type, None), "string")
+    return mapped
+
+
+def _scalar_facets(schema: dict) -> dict:
+    facets: dict = {}
+    for keyword, facet_name in _FACET_KEYWORDS.items():
+        if keyword in schema:
+            facets[facet_name] = str(schema[keyword])
+    enum = schema.get("enum")
+    if enum:
+        facets["enumeration"] = [
+            "null" if value is None else
+            ("true" if value is True else "false") if isinstance(value, bool)
+            else str(value)
+            for value in enum
+        ]
+    if schema.get("format") in ("email", "uuid"):
+        facets.setdefault("format", schema["format"])
+    return facets
+
+
+class _Builder:
+    def __init__(self, document: dict):
+        self.document = document
+        self.definitions = {}
+        for section in ("definitions", "$defs"):
+            for def_name, def_schema in (document.get(section) or {}).items():
+                self.definitions[f"#/{section}/{def_name}"] = (def_name, def_schema)
+
+    def resolve(self, schema: dict, active: tuple) -> tuple[dict, tuple, Optional[str]]:
+        """Follow ``$ref`` chains; returns (schema, active-refs, ref-name)."""
+        ref_name = None
+        while isinstance(schema, dict) and "$ref" in schema:
+            ref = schema["$ref"]
+            target = self.definitions.get(ref)
+            if target is None:
+                raise IngestError(f"unresolvable $ref {ref!r} in JSON Schema")
+            if ref in active:
+                return None, active, target[0]  # cycle: caller emits a stub
+            active = active + (ref,)
+            ref_name, schema = target
+        return schema, active, ref_name
+
+    def build(self, name: str, schema, required: bool,
+              active: tuple = ()) -> SchemaNode:
+        if schema is True or schema == {}:
+            schema = {"type": "string"}
+        if not isinstance(schema, dict):
+            raise IngestError(
+                f"property {name!r} has unsupported schema {schema!r}"
+            )
+        schema, active, ref_name = self.resolve(schema, active)
+        if schema is None:
+            # Recursive $ref: typed leaf stub carrying the reference.
+            return SchemaNode(
+                name, type_name=f"{ref_name}Type",
+                min_occurs=1 if required else 0,
+                properties={"ref": ref_name},
+            )
+
+        min_occurs = 1 if required else 0
+        max_occurs = 1
+        if schema.get("type") == "array" or "items" in schema:
+            items = schema.get("items")
+            if isinstance(items, list):
+                items = items[0] if items else {}
+            min_items = int(schema.get("minItems", 0))
+            max_items = schema.get("maxItems")
+            min_occurs = max(min_occurs, min_items)
+            max_occurs = UNBOUNDED if max_items is None else int(max_items)
+            schema, active, ref_name = self.resolve(items or {}, active)
+            if schema is None:
+                return SchemaNode(
+                    name, type_name=f"{ref_name}Type",
+                    min_occurs=min_occurs, max_occurs=max_occurs,
+                    properties={"ref": ref_name},
+                )
+            if schema is True or schema == {}:
+                schema = {"type": "string"}
+
+        if schema.get("type") == "object" or "properties" in schema:
+            properties: dict = {}
+            title = schema.get("title") or ref_name
+            if title:
+                properties["type"] = f"{title}Type"
+            description = schema.get("description")
+            if description:
+                properties["documentation"] = description
+            node = SchemaNode(
+                name, kind=NodeKind.ELEMENT,
+                min_occurs=min_occurs, max_occurs=max_occurs,
+                properties=properties,
+            )
+            required_names = set(schema.get("required") or ())
+            for child_name, child_schema in (schema.get("properties") or {}).items():
+                node.add_child(self.build(
+                    child_name, child_schema,
+                    required=child_name in required_names,
+                    active=active,
+                ))
+            return node
+
+        node_properties: dict = {}
+        facets = _scalar_facets(schema)
+        if facets:
+            node_properties["facets"] = facets
+        if schema.get("description"):
+            node_properties["documentation"] = schema["description"]
+        if "default" in schema:
+            node_properties["default"] = str(schema["default"])
+        return SchemaNode(
+            name, kind=NodeKind.ELEMENT, type_name=_scalar_type(schema),
+            min_occurs=min_occurs, max_occurs=max_occurs,
+            properties=node_properties,
+        )
+
+
+def parse_json_schema(text, name: Optional[str] = None) -> SchemaTree:
+    """Parse a JSON Schema (draft-07 subset) document into a tree.
+
+    ``text`` may be the JSON text or an already-decoded dict.  The root
+    node's label comes from ``name``, the schema's ``title``, or
+    ``"document"``, in that order.
+    """
+    if isinstance(text, (str, bytes)):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise IngestError(f"invalid JSON Schema document: {error}") from None
+    else:
+        document = text
+    if not isinstance(document, dict):
+        raise IngestError(
+            f"JSON Schema document must be an object, got {type(document).__name__}"
+        )
+    root_name = name or document.get("title") or "document"
+    builder = _Builder(document)
+    root = builder.build(root_name, document, required=True)
+    if root.is_leaf and not document.get("type"):
+        raise IngestError("JSON Schema document declares no structure")
+    tree = SchemaTree(root, name=root_name, domain="json")
+    return tree.validate()
+
+
+# ----------------------------------------------------------------------
+# Emission (tree -> JSON Schema), for round-trips and interchange
+# ----------------------------------------------------------------------
+
+def _node_schema(node: SchemaNode) -> dict:
+    if node.children:
+        schema: dict = {"type": "object"}
+        type_name = node.type_name
+        if type_name and type_name.endswith("Type"):
+            schema["title"] = type_name[:-len("Type")]
+        if node.properties.get("documentation"):
+            schema["description"] = node.properties["documentation"]
+        schema["properties"] = {
+            child.name: _child_schema(child) for child in node.children
+        }
+        required = [
+            child.name for child in node.children
+            if child.min_occurs >= 1 and child.max_occurs == 1
+        ]
+        if required:
+            schema["required"] = required
+        return schema
+
+    json_type, json_format = _XSD_TO_JSON.get(
+        node.type_name or "string", ("string", None)
+    )
+    schema = {"type": json_type}
+    if json_format:
+        schema["format"] = json_format
+    facets = node.properties.get("facets") or {}
+    for facet_name, value in facets.items():
+        if facet_name == "enumeration":
+            schema["enum"] = list(value)
+        elif facet_name == "format":
+            schema["format"] = value
+        elif facet_name in _FACET_TO_KEYWORD:
+            keyword = _FACET_TO_KEYWORD[facet_name]
+            if facet_name in _NUMERIC_FACETS or keyword in (
+                "maxLength", "minLength"
+            ):
+                number = float(value)
+                schema[keyword] = int(number) if number == int(number) else number
+            else:
+                schema[keyword] = value
+    if node.properties.get("documentation"):
+        schema["description"] = node.properties["documentation"]
+    if node.properties.get("default") is not None:
+        schema["default"] = node.properties["default"]
+    return schema
+
+
+def _child_schema(node: SchemaNode) -> dict:
+    schema = _node_schema(node)
+    if node.max_occurs == 1:
+        return schema
+    wrapped: dict = {"type": "array", "items": schema}
+    if node.min_occurs > 0:
+        wrapped["minItems"] = node.min_occurs
+    if node.max_occurs != UNBOUNDED:
+        wrapped["maxItems"] = node.max_occurs
+    return wrapped
+
+
+def to_json_schema(tree: SchemaTree, indent: int = 2) -> str:
+    """Render a tree as a draft-07 JSON Schema document."""
+    document = {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "title": tree.root.name,
+    }
+    document.update(_node_schema(tree.root))
+    return json.dumps(document, indent=indent) + "\n"
+
+
+__all__ = [
+    "parse_json_schema",
+    "to_json_schema",
+]

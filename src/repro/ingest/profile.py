@@ -1,0 +1,539 @@
+"""Instance profiling: the evidence behind the fifth QoM axis.
+
+Schema text tells a matcher what a leaf is *called* and *typed*; the
+data tells it what the leaf actually *holds*.  A :class:`ValueProfile`
+summarizes an observed value column -- null rate, distinct ratio,
+length and numeric distributions, and a distribution over regex
+**shape buckets** (integer-shaped, date-shaped, email-shaped, ...) --
+and :func:`profile_similarity` turns two profiles into a [0, 1] score
+the engine mixes in as ``QoM_I`` under the ``instance`` axis weight.
+
+Profiles can be computed from three instance sources:
+
+- :func:`profile_csv` -- CSV rows (per-column profiles, header-keyed);
+- :func:`profile_json_documents` -- JSON documents (per-leaf-path
+  profiles, ``a/b/c`` keys, arrays descended transparently);
+- :func:`profile_xml_instances` -- XML documents walked against a
+  schema tree (per schema-node-path profiles, attributes included) --
+  the natural partner of :mod:`repro.xsd.instances` samples.
+
+:func:`attach_profiles` pins a profile map onto a tree's nodes (exact
+path first, unique case-insensitive leaf name as fallback), which is
+what the match context reads.  Everything here is deterministic:
+profiles of equal value multisets are equal, and :meth:`ValueProfile.as_dict`
+rounds to fixed precision so serialized profiles are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.xsd.model import SchemaNode, SchemaTree, xml_name
+
+#: Node property key a leaf's attached profile lives under.
+PROFILE_PROPERTY = "profile"
+
+#: Values treated as null/missing in instance data (case-insensitive).
+NULL_TOKENS = frozenset({"", "null", "none", "nil", "na", "n/a", "\\n"})
+
+#: Fixed decimal precision of serialized profile statistics.
+_PRECISION = 6
+
+#: Shape buckets in match order -- first hit wins, so the order goes
+#: from most to least specific.
+_SHAPE_PATTERNS = (
+    ("bool", re.compile(r"^(?:true|false|yes|no|0|1)$", re.IGNORECASE)),
+    ("int", re.compile(r"^[+-]?\d+$")),
+    ("decimal", re.compile(r"^[+-]?\d+[.,]\d+(?:[eE][+-]?\d+)?$")),
+    ("datetime", re.compile(r"^\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}")),
+    ("date", re.compile(r"^\d{4}-\d{2}-\d{2}$|^\d{2}[./-]\d{2}[./-]\d{4}$")),
+    ("time", re.compile(r"^\d{2}:\d{2}(?::\d{2})?$")),
+    ("uuid", re.compile(
+        r"^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$",
+        re.IGNORECASE,
+    )),
+    ("email", re.compile(r"^[^@\s]+@[^@\s]+\.[^@\s]+$")),
+    ("uri", re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*://\S+$")),
+    ("code", re.compile(r"^[A-Z0-9][A-Z0-9_-]*$")),
+    ("word", re.compile(r"^[A-Za-z]+$")),
+    ("text", re.compile(r".", re.DOTALL)),
+)
+
+#: Blend weights of the per-facet similarities inside
+#: :func:`profile_similarity`.  ``numeric`` weight is redistributed
+#: onto ``shape`` when neither profile is numeric.
+_SIMILARITY_WEIGHTS = {
+    "shape": 0.35,
+    "length": 0.15,
+    "numeric": 0.20,
+    "null_rate": 0.10,
+    "distinct": 0.20,
+}
+
+
+def value_shape(value: str) -> str:
+    """The shape bucket of one value (first matching pattern wins)."""
+    for bucket, pattern in _SHAPE_PATTERNS:
+        if pattern.match(value):
+            return bucket
+    return "text"
+
+
+@dataclass(frozen=True)
+class ValueProfile:
+    """Statistical summary of one observed value column.
+
+    All ratios are fractions of the relevant base (``null_rate`` of all
+    observations, the rest of the non-null ones); ``shape`` maps bucket
+    name to the fraction of non-null values landing in it.
+    """
+
+    count: int = 0
+    null_count: int = 0
+    distinct_ratio: float = 0.0
+    min_length: int = 0
+    max_length: int = 0
+    mean_length: float = 0.0
+    numeric_ratio: float = 0.0
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+    numeric_mean: Optional[float] = None
+    shape: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def null_rate(self) -> float:
+        return self.null_count / self.count if self.count else 0.0
+
+    @property
+    def non_null(self) -> int:
+        return self.count - self.null_count
+
+    @property
+    def is_numeric(self) -> bool:
+        """Mostly-numeric column (>= 90% of non-null values parse)."""
+        return self.non_null > 0 and self.numeric_ratio >= 0.9
+
+    def as_dict(self) -> dict:
+        """Byte-stable JSON form (fixed key order via sort at dump time,
+        fixed float precision here)."""
+        payload = {
+            "count": self.count,
+            "null_count": self.null_count,
+            "distinct_ratio": round(self.distinct_ratio, _PRECISION),
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "mean_length": round(self.mean_length, _PRECISION),
+            "numeric_ratio": round(self.numeric_ratio, _PRECISION),
+            "shape": {
+                bucket: round(fraction, _PRECISION)
+                for bucket, fraction in sorted(self.shape.items())
+            },
+        }
+        if self.numeric_min is not None:
+            payload["numeric_min"] = round(self.numeric_min, _PRECISION)
+            payload["numeric_max"] = round(self.numeric_max, _PRECISION)
+            payload["numeric_mean"] = round(self.numeric_mean, _PRECISION)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ValueProfile":
+        return cls(
+            count=int(payload.get("count", 0)),
+            null_count=int(payload.get("null_count", 0)),
+            distinct_ratio=float(payload.get("distinct_ratio", 0.0)),
+            min_length=int(payload.get("min_length", 0)),
+            max_length=int(payload.get("max_length", 0)),
+            mean_length=float(payload.get("mean_length", 0.0)),
+            numeric_ratio=float(payload.get("numeric_ratio", 0.0)),
+            numeric_min=_opt_float(payload.get("numeric_min")),
+            numeric_max=_opt_float(payload.get("numeric_max")),
+            numeric_mean=_opt_float(payload.get("numeric_mean")),
+            shape=dict(payload.get("shape") or {}),
+        )
+
+
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _parse_number(value: str) -> Optional[float]:
+    text = value.strip().replace(",", ".")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def profile_values(values: Iterable[Optional[str]]) -> ValueProfile:
+    """Profile one column of raw values (``None``/null tokens = missing)."""
+    count = 0
+    nulls = 0
+    lengths_total = 0
+    min_length: Optional[int] = None
+    max_length = 0
+    numeric_count = 0
+    numeric_total = 0.0
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+    distinct: set[str] = set()
+    shapes: dict[str, int] = {}
+
+    for raw in values:
+        count += 1
+        if raw is None:
+            nulls += 1
+            continue
+        text = str(raw).strip()
+        if text.lower() in NULL_TOKENS:
+            nulls += 1
+            continue
+        length = len(text)
+        lengths_total += length
+        min_length = length if min_length is None else min(min_length, length)
+        max_length = max(max_length, length)
+        distinct.add(text)
+        bucket = value_shape(text)
+        shapes[bucket] = shapes.get(bucket, 0) + 1
+        number = _parse_number(text)
+        if number is not None:
+            numeric_count += 1
+            numeric_total += number
+            numeric_min = number if numeric_min is None else min(numeric_min, number)
+            numeric_max = number if numeric_max is None else max(numeric_max, number)
+
+    non_null = count - nulls
+    return ValueProfile(
+        count=count,
+        null_count=nulls,
+        distinct_ratio=len(distinct) / non_null if non_null else 0.0,
+        min_length=min_length or 0,
+        max_length=max_length,
+        mean_length=lengths_total / non_null if non_null else 0.0,
+        numeric_ratio=numeric_count / non_null if non_null else 0.0,
+        numeric_min=numeric_min,
+        numeric_max=numeric_max,
+        numeric_mean=numeric_total / numeric_count if numeric_count else None,
+        shape={
+            bucket: hits / non_null for bucket, hits in sorted(shapes.items())
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Instance sources
+# ----------------------------------------------------------------------
+
+def profile_csv(text: str, delimiter: str = ",") -> dict[str, ValueProfile]:
+    """Per-column profiles of CSV ``text`` (first row = header)."""
+    import csv
+    import io
+
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        return {}
+    header = [column.strip() for column in rows[0]]
+    columns: dict[str, list] = {name: [] for name in header if name}
+    for row in rows[1:]:
+        if not any(cell.strip() for cell in row):
+            continue
+        for index, name in enumerate(header):
+            if not name:
+                continue
+            columns[name].append(row[index] if index < len(row) else None)
+    return {name: profile_values(values) for name, values in columns.items()}
+
+
+def _flatten_json(value, prefix: str, out: dict):
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _flatten_json(item, f"{prefix}/{key}" if prefix else str(key), out)
+    elif isinstance(value, list):
+        for item in value:
+            _flatten_json(item, prefix, out)
+    else:
+        if isinstance(value, bool):
+            text = "true" if value else "false"
+        elif value is None:
+            text = None
+        else:
+            text = str(value)
+        out.setdefault(prefix, []).append(text)
+
+
+def profile_json_documents(documents: Iterable) -> dict[str, ValueProfile]:
+    """Per-leaf-path profiles of JSON documents (dicts, or JSON text).
+
+    Paths are slash-joined object keys; arrays contribute every element
+    under the array's own path.
+    """
+    columns: dict[str, list] = {}
+    for document in documents:
+        if isinstance(document, (str, bytes)):
+            document = json.loads(document)
+        _flatten_json(document, "", columns)
+    return {path: profile_values(values) for path, values in columns.items()}
+
+
+def profile_json_lines(text: str) -> dict[str, ValueProfile]:
+    """Profiles from JSON-lines text (one document per non-empty line),
+    or a single JSON document / top-level array of documents."""
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        return profile_json_documents(json.loads(text))
+    lines = [line for line in text.splitlines() if line.strip()]
+    return profile_json_documents(json.loads(line) for line in lines)
+
+
+def profile_xml_instances(tree: SchemaTree,
+                          documents: Iterable) -> dict[str, ValueProfile]:
+    """Per schema-node-path profiles from XML instance documents.
+
+    ``documents`` are :class:`xml.etree.ElementTree.Element` roots (or
+    XML text) conforming -- at least structurally -- to ``tree``; the
+    walk aligns elements with schema nodes by tag, so extra elements
+    the schema does not know are skipped.  This is the bridge from
+    :func:`repro.xsd.instances.generate_instance` samples to profiles.
+    """
+    import xml.etree.ElementTree as ET
+
+    columns: dict[str, list] = {}
+
+    def collect(node: SchemaNode, element):
+        attributes = {
+            xml_name(child.name): child
+            for child in node.children if child.is_attribute
+        }
+        children = {
+            xml_name(child.name): child
+            for child in node.children if not child.is_attribute
+        }
+        for attr_name, attr_node in attributes.items():
+            if attr_name in element.attrib:
+                columns.setdefault(attr_node.path, []).append(
+                    element.attrib[attr_name]
+                )
+        if not children:
+            columns.setdefault(node.path, []).append(element.text or "")
+            return
+        for child_element in element:
+            child_node = children.get(child_element.tag)
+            if child_node is not None:
+                collect(child_node, child_element)
+
+    for document in documents:
+        if isinstance(document, (str, bytes)):
+            document = ET.fromstring(document)
+        if document.tag == xml_name(tree.root.name):
+            collect(tree.root, document)
+    return {path: profile_values(values) for path, values in columns.items()}
+
+
+def profile_data_file(path, tree: Optional[SchemaTree] = None,
+                      ) -> dict[str, ValueProfile]:
+    """Profiles from a data file, dispatched on its extension.
+
+    ``.csv`` / ``.tsv`` rows profile per column; ``.json`` / ``.jsonl``
+    documents profile per flattened leaf path; ``.xml`` instances need
+    ``tree`` to align elements with schema nodes.  Anything else is
+    tried as CSV -- the most forgiving format.
+    """
+    from pathlib import Path
+
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise ValueError(f"data file not found: {path}") from None
+    suffix = path.suffix.lower()
+    if suffix in (".json", ".jsonl", ".ndjson"):
+        return profile_json_lines(text)
+    if suffix == ".xml":
+        if tree is None:
+            raise ValueError(
+                "profiling XML instances needs the schema tree to align "
+                "elements against"
+            )
+        return profile_xml_instances(tree, [text])
+    delimiter = "\t" if suffix in (".tsv", ".tab") else ","
+    return profile_csv(text, delimiter=delimiter)
+
+
+# ----------------------------------------------------------------------
+# Attachment
+# ----------------------------------------------------------------------
+
+def attach_profiles(tree: SchemaTree,
+                    profiles: Mapping[str, Union[ValueProfile, Mapping]],
+                    ) -> int:
+    """Pin ``profiles`` onto ``tree``'s nodes; returns how many attached.
+
+    Keys resolve in two passes: exact node path (``PO/Lines/Item/Qty``)
+    first, then unique case-insensitive leaf *name* (``qty``) -- the
+    form CSV column profiles naturally arrive in.  Ambiguous names
+    (two leaves called ``name``) only attach via full paths.
+    """
+    resolved: dict[str, ValueProfile] = {}
+    for key, profile in profiles.items():
+        if not isinstance(profile, ValueProfile):
+            profile = ValueProfile.from_dict(profile)
+        resolved[key] = profile
+
+    by_path = {node.path: node for node in tree.root.iter_preorder()}
+    names: dict[str, list] = {}
+    for node in tree.root.iter_preorder():
+        names.setdefault(node.name.casefold(), []).append(node)
+
+    attached = 0
+    for key, profile in resolved.items():
+        node = by_path.get(key)
+        if node is None:
+            # Suffix-path tolerance: "Lines/Item/Qty" finds the one
+            # node whose path ends there.
+            suffix_hits = [
+                candidate for path, candidate in by_path.items()
+                if path.endswith("/" + key)
+            ] if "/" in key else []
+            if len(suffix_hits) == 1:
+                node = suffix_hits[0]
+        if node is None:
+            candidates = names.get(key.casefold(), ())
+            if len(candidates) == 1:
+                node = candidates[0]
+        if node is not None:
+            node.properties[PROFILE_PROPERTY] = profile
+            attached += 1
+    return attached
+
+
+def collect_profiles(tree: SchemaTree) -> dict[str, dict]:
+    """The tree's attached profiles as a ``{path: profile_dict}`` map
+    (the wire/manifest form)."""
+    collected = {}
+    for node in tree.root.iter_preorder():
+        profile = node.properties.get(PROFILE_PROPERTY)
+        if profile is None:
+            continue
+        if not isinstance(profile, ValueProfile):
+            profile = ValueProfile.from_dict(profile)
+        collected[node.path] = profile.as_dict()
+    return collected
+
+
+def strip_profiles(tree: SchemaTree) -> int:
+    """Remove every attached profile (returns how many were removed)."""
+    removed = 0
+    for node in tree.root.iter_preorder():
+        if node.properties.pop(PROFILE_PROPERTY, None) is not None:
+            removed += 1
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Similarity (QoM_I)
+# ----------------------------------------------------------------------
+
+def _ratio_similarity(a: float, b: float) -> float:
+    return 1.0 - min(1.0, abs(a - b))
+
+
+def _scale_similarity(a: float, b: float) -> float:
+    """Similarity of two non-negative magnitudes on a ratio scale."""
+    if a <= 0.0 and b <= 0.0:
+        return 1.0
+    low, high = sorted((abs(a), abs(b)))
+    if high <= 0.0:
+        return 1.0
+    return low / high
+
+
+def _range_overlap(lo_a, hi_a, lo_b, hi_b) -> float:
+    """Jaccard overlap of two closed intervals (1.0 for equal points)."""
+    lo = max(lo_a, lo_b)
+    hi = min(hi_a, hi_b)
+    if hi < lo:
+        return 0.0
+    union = max(hi_a, hi_b) - min(lo_a, lo_b)
+    if union <= 0.0:
+        return 1.0  # both degenerate on the same point
+    return (hi - lo) / union
+
+
+def _shape_similarity(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """1 minus the total-variation distance of two bucket distributions."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    buckets = set(a) | set(b)
+    distance = sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in buckets) / 2.0
+    return max(0.0, 1.0 - distance)
+
+
+def profile_similarity(a: Optional[ValueProfile],
+                       b: Optional[ValueProfile]) -> float:
+    """QoM_I of two leaves' profiles, in [0, 1].
+
+    Evidence rules mirror the level axis's "exact by default" stance:
+
+    - neither side has a profile -> ``1.0`` (no evidence against the
+      pair; keeps the total-exact-match => QoM=1 invariant when a
+      nonzero instance weight runs against profile-less schemas);
+    - exactly one side has a profile -> ``0.5`` (asymmetric evidence is
+      mildly discounted, never disqualifying);
+    - both profiled -> a weighted blend of shape-distribution, length,
+      numeric-range, null-rate and distinct-ratio similarities.
+    """
+    if a is None and b is None:
+        return 1.0
+    if a is None or b is None:
+        return 0.5
+    if not isinstance(a, ValueProfile):
+        a = ValueProfile.from_dict(a)
+    if not isinstance(b, ValueProfile):
+        b = ValueProfile.from_dict(b)
+    if a.non_null == 0 or b.non_null == 0:
+        # A column observed only as nulls says nothing about values.
+        return 0.5 if (a.non_null or b.non_null) else 1.0
+
+    weights = dict(_SIMILARITY_WEIGHTS)
+    parts = {
+        "shape": _shape_similarity(a.shape, b.shape),
+        "length": _scale_similarity(a.mean_length, b.mean_length),
+        "null_rate": _ratio_similarity(a.null_rate, b.null_rate),
+        "distinct": _ratio_similarity(a.distinct_ratio, b.distinct_ratio),
+    }
+    if a.is_numeric and b.is_numeric:
+        parts["numeric"] = _range_overlap(
+            a.numeric_min, a.numeric_max, b.numeric_min, b.numeric_max
+        )
+    elif a.is_numeric != b.is_numeric:
+        parts["numeric"] = 0.0
+    else:
+        # Neither column is numeric: the numeric facet is vacuous, its
+        # weight reinforces the shape evidence instead.
+        weights["shape"] += weights.pop("numeric")
+    total = sum(weights[name] for name in parts)
+    blended = sum(weights[name] * value for name, value in parts.items())
+    return blended / total if total else 0.0
+
+
+__all__ = [
+    "NULL_TOKENS",
+    "PROFILE_PROPERTY",
+    "ValueProfile",
+    "attach_profiles",
+    "collect_profiles",
+    "profile_csv",
+    "profile_data_file",
+    "profile_json_documents",
+    "profile_json_lines",
+    "profile_similarity",
+    "profile_values",
+    "profile_xml_instances",
+    "strip_profiles",
+    "value_shape",
+]

@@ -1,0 +1,434 @@
+"""Relational schema ingestion: SQL DDL -> :class:`SchemaTree`.
+
+A dependency-free parser for the ``CREATE TABLE`` subset that real
+database dumps are made of.  The relational model maps onto the QMatch
+tree axes naturally:
+
+- the **database** is the tree root (a synthetic complex node);
+- each **table** becomes a child element with ``maxOccurs=unbounded``
+  (rows repeat) typed ``<Table>Type``;
+- each **column** becomes a typed leaf: the SQL type maps to the XSD
+  simple-type vocabulary the matcher's :class:`PropertyMatcher` already
+  speaks (``VARCHAR -> string``, ``INTEGER -> int``, ...), ``NOT NULL``
+  maps to ``minOccurs=1`` vs ``0``, and length/precision arguments land
+  in the node's ``facets`` (``maxLength``, ``totalDigits``,
+  ``fractionDigits``) exactly as the XSD parser would have put them;
+- **PRIMARY KEY** / **UNIQUE** / **FOREIGN KEY** constraints become
+  node properties (``key``, ``unique``, ``ref``) -- extra evidence the
+  properties axis and human readers both see.
+
+:func:`to_sql_ddl` is the inverse direction (tree -> DDL-ish text) used
+by the round-trip suite; it regenerates ``CREATE TABLE`` statements
+from any tree whose shape the mapping above produces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ingest import IngestError
+from repro.xsd.model import UNBOUNDED, NodeKind, SchemaNode, SchemaTree
+
+#: SQL type families -> XSD simple-type names (the matcher's datatype
+#: vocabulary).  Longest-prefix lookup over the upper-cased base type.
+SQL_TYPE_MAP = {
+    "TINYINT": "byte",
+    "SMALLINT": "short",
+    "MEDIUMINT": "int",
+    "BIGINT": "long",
+    "INTEGER": "int",
+    "INT": "int",
+    "SERIAL": "int",
+    "DECIMAL": "decimal",
+    "NUMERIC": "decimal",
+    "NUMBER": "decimal",
+    "MONEY": "decimal",
+    "DOUBLE": "double",
+    "REAL": "float",
+    "FLOAT": "float",
+    "BOOLEAN": "boolean",
+    "BOOL": "boolean",
+    "BIT": "boolean",
+    "DATETIME": "dateTime",
+    "TIMESTAMP": "dateTime",
+    "DATE": "date",
+    "TIME": "time",
+    "YEAR": "gYear",
+    "NVARCHAR": "string",
+    "VARCHAR": "string",
+    "NCHAR": "string",
+    "CHARACTER": "string",
+    "CHAR": "string",
+    "TINYTEXT": "string",
+    "MEDIUMTEXT": "string",
+    "LONGTEXT": "string",
+    "TEXT": "string",
+    "CLOB": "string",
+    "UUID": "string",
+    "JSON": "string",
+    "XML": "string",
+    "ENUM": "string",
+    "VARBINARY": "hexBinary",
+    "BINARY": "hexBinary",
+    "BYTEA": "hexBinary",
+    "BLOB": "hexBinary",
+}
+
+#: XSD simple types -> a representative SQL type for :func:`to_sql_ddl`.
+_XSD_TO_SQL = {
+    "byte": "TINYINT",
+    "short": "SMALLINT",
+    "int": "INTEGER",
+    "integer": "INTEGER",
+    "long": "BIGINT",
+    "decimal": "DECIMAL",
+    "double": "DOUBLE",
+    "float": "FLOAT",
+    "boolean": "BOOLEAN",
+    "dateTime": "TIMESTAMP",
+    "date": "DATE",
+    "time": "TIME",
+    "gYear": "YEAR",
+    "string": "VARCHAR",
+    "hexBinary": "BLOB",
+}
+
+_CREATE_TABLE = re.compile(
+    r"CREATE\s+TABLE\s+(?:IF\s+NOT\s+EXISTS\s+)?"
+    r'(?P<name>"[^"]+"|`[^`]+`|\[[^\]]+\]|[^\s(]+)\s*\(',
+    re.IGNORECASE,
+)
+
+_CONSTRAINT_OPENERS = (
+    "PRIMARY", "FOREIGN", "UNIQUE", "CONSTRAINT", "CHECK", "KEY", "INDEX",
+    "EXCLUDE",
+)
+
+_FK_INLINE = re.compile(
+    r"REFERENCES\s+(?P<table>[^\s(]+)\s*(?:\(\s*(?P<column>[^)\s,]+)\s*\))?",
+    re.IGNORECASE,
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"--[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def _unquote(identifier: str) -> str:
+    identifier = identifier.strip()
+    if len(identifier) >= 2 and identifier[0] == identifier[-1] and identifier[0] in "`\"'":
+        return identifier[1:-1]
+    if identifier.startswith("[") and identifier.endswith("]"):
+        return identifier[1:-1]
+    # schema-qualified names: keep the last component
+    return identifier.split(".")[-1]
+
+
+def _split_top_level(body: str, separator: str = ",") -> list[str]:
+    """Split on ``separator`` at parenthesis depth 0, quote-aware."""
+    parts = []
+    depth = 0
+    quote = None
+    current = []
+    for char in body:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"`":
+            quote = char
+            current.append(char)
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == separator and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+            continue
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def map_sql_type(sql_type: str) -> tuple[str, dict]:
+    """``(xsd_type, facets)`` for one SQL type expression.
+
+    ``VARCHAR(40)`` -> ``("string", {"maxLength": "40"})``;
+    ``DECIMAL(10,2)`` -> ``("decimal", {"totalDigits": "10",
+    "fractionDigits": "2"})``.  Unknown bases map to ``string`` with the
+    original spelling kept as a ``sqlType`` facet so nothing is lost.
+    """
+    match = re.match(r"\s*([A-Za-z_][A-Za-z0-9_ ]*)\s*(?:\(([^)]*)\))?", sql_type)
+    if not match:
+        return "string", {}
+    base = match.group(1).strip().upper().split()[0]
+    arguments = [
+        argument.strip() for argument in (match.group(2) or "").split(",")
+        if argument.strip()
+    ]
+    xsd_type = None
+    for prefix, mapped in SQL_TYPE_MAP.items():
+        if base.startswith(prefix):
+            xsd_type = mapped
+            break
+    facets: dict = {}
+    if xsd_type is None:
+        return "string", {"sqlType": base}
+    if xsd_type == "string" and arguments and arguments[0].isdigit():
+        facets["maxLength"] = arguments[0]
+    elif xsd_type == "decimal" and arguments:
+        if arguments[0].isdigit():
+            facets["totalDigits"] = arguments[0]
+        if len(arguments) > 1 and arguments[1].isdigit():
+            facets["fractionDigits"] = arguments[1]
+    return xsd_type, facets
+
+
+def _parse_column(definition: str) -> Optional[SchemaNode]:
+    match = re.match(r"\s*(?P<name>\"[^\"]+\"|`[^`]+`|\[[^\]]+\]|[^\s(]+)\s+(?P<rest>.+)",
+                     definition, re.DOTALL)
+    if not match:
+        return None
+    name = _unquote(match.group("name"))
+    rest = match.group("rest").strip()
+    type_match = re.match(r"([A-Za-z_][A-Za-z0-9_]*(?:\s+(?:PRECISION|VARYING))?"
+                          r"\s*(?:\([^)]*\))?)", rest)
+    if not type_match:
+        return None
+    type_text = type_match.group(1)
+    tail = rest[type_match.end():]
+    tail_upper = " ".join(tail.upper().split())
+
+    xsd_type, facets = map_sql_type(type_text)
+    not_null = "NOT NULL" in tail_upper
+    inline_pk = "PRIMARY KEY" in tail_upper
+    inline_unique = bool(re.search(r"(?<!PRIMARY KEY )\bUNIQUE\b", tail_upper))
+    properties: dict = {}
+    if facets:
+        properties["facets"] = facets
+    if inline_pk:
+        properties["key"] = True
+    elif inline_unique:
+        properties["unique"] = True
+    default_match = re.search(
+        r"\bDEFAULT\s+('[^']*'|\"[^\"]*\"|[^\s,]+)", tail, re.IGNORECASE
+    )
+    if default_match:
+        properties["default"] = default_match.group(1).strip("'\"")
+    fk_match = _FK_INLINE.search(tail)
+    if fk_match:
+        ref = _unquote(fk_match.group("table"))
+        if fk_match.group("column"):
+            ref += "/" + _unquote(fk_match.group("column"))
+        properties["ref"] = ref
+    return SchemaNode(
+        name,
+        kind=NodeKind.ELEMENT,
+        type_name=xsd_type,
+        min_occurs=1 if (not_null or inline_pk) else 0,
+        max_occurs=1,
+        properties=properties,
+    )
+
+
+def _apply_table_constraint(table: SchemaNode, definition: str):
+    text = " ".join(definition.split())
+    upper = text.upper()
+    if upper.startswith("CONSTRAINT"):
+        # CONSTRAINT <name> <actual constraint...>
+        remainder = text.split(None, 2)
+        if len(remainder) < 3:
+            return
+        text = remainder[2]
+        upper = text.upper()
+
+    def named_columns(source: str) -> list[str]:
+        inner = re.search(r"\(([^)]*)\)", source)
+        if not inner:
+            return []
+        return [_unquote(column) for column in inner.group(1).split(",") if column.strip()]
+
+    columns_by_name = {child.name: child for child in table.children}
+    if upper.startswith("PRIMARY KEY"):
+        for column_name in named_columns(text):
+            column = columns_by_name.get(column_name)
+            if column is not None:
+                column.properties["key"] = True
+                column.min_occurs = 1
+    elif upper.startswith("UNIQUE"):
+        for column_name in named_columns(text):
+            column = columns_by_name.get(column_name)
+            if column is not None and not column.properties.get("key"):
+                column.properties["unique"] = True
+    elif upper.startswith("FOREIGN KEY"):
+        local = named_columns(text.split("REFERENCES")[0])
+        fk_match = _FK_INLINE.search(text)
+        if not fk_match or not local:
+            return
+        ref_table = _unquote(fk_match.group("table"))
+        ref_columns = (
+            [_unquote(fk_match.group("column"))] if fk_match.group("column") else []
+        )
+        for index, column_name in enumerate(local):
+            column = columns_by_name.get(column_name)
+            if column is None:
+                continue
+            ref = ref_table
+            if index < len(ref_columns):
+                ref += "/" + ref_columns[index]
+            column.properties["ref"] = ref
+
+
+def parse_sql_ddl(text: str, name: Optional[str] = None) -> SchemaTree:
+    """Parse SQL DDL into a schema tree.
+
+    Understands ``CREATE TABLE`` bodies (columns, inline and table-level
+    constraints) in the common MySQL/PostgreSQL/SQLite/standard
+    spellings; every other statement kind (``CREATE INDEX``, ``INSERT``,
+    ``ALTER`` ...) is ignored.  Raises :class:`IngestError` when no
+    table can be found.
+    """
+    cleaned = _strip_comments(text)
+    tables: list[SchemaNode] = []
+    for match in _CREATE_TABLE.finditer(cleaned):
+        table_name = _unquote(match.group("name"))
+        # Find the matching close paren of the column list.
+        depth = 1
+        position = match.end()
+        quote = None
+        while position < len(cleaned) and depth:
+            char = cleaned[position]
+            if quote:
+                if char == quote:
+                    quote = None
+            elif char in "'\"`":
+                quote = char
+            elif char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            position += 1
+        if depth:
+            raise IngestError(
+                f"unterminated CREATE TABLE {table_name!r} column list"
+            )
+        body = cleaned[match.end():position - 1]
+        table = SchemaNode(
+            table_name,
+            kind=NodeKind.ELEMENT,
+            type_name=f"{table_name}Type",
+            min_occurs=0,
+            max_occurs=UNBOUNDED,
+        )
+        constraints = []
+        for definition in _split_top_level(body):
+            first_word = definition.split("(")[0].split(None, 1)
+            opener = first_word[0].upper() if first_word else ""
+            if opener in _CONSTRAINT_OPENERS:
+                constraints.append(definition)
+                continue
+            column = _parse_column(definition)
+            if column is not None:
+                table.add_child(column)
+        for constraint in constraints:
+            _apply_table_constraint(table, constraint)
+        if table.children:
+            tables.append(table)
+    if not tables:
+        raise IngestError("no CREATE TABLE statement found in SQL DDL")
+    root_name = name or "database"
+    root = SchemaNode(root_name, kind=NodeKind.ELEMENT,
+                      type_name=f"{root_name}Type")
+    for table in tables:
+        root.add_child(table)
+    return SchemaTree(root, name=root_name, domain="relational").validate()
+
+
+# ----------------------------------------------------------------------
+# Emission (tree -> DDL-ish), for round-trips and inspection
+# ----------------------------------------------------------------------
+
+def _column_sql_type(node: SchemaNode) -> str:
+    facets = node.properties.get("facets") or {}
+    if "sqlType" in facets:
+        return facets["sqlType"]
+    base = _XSD_TO_SQL.get(node.type_name or "string", "VARCHAR")
+    if base == "VARCHAR":
+        length = facets.get("maxLength")
+        return f"VARCHAR({length})" if length else "TEXT"
+    if base == "DECIMAL":
+        total = facets.get("totalDigits")
+        fraction = facets.get("fractionDigits")
+        if total and fraction:
+            return f"DECIMAL({total},{fraction})"
+        if total:
+            return f"DECIMAL({total})"
+    return base
+
+
+def to_sql_ddl(tree: SchemaTree) -> str:
+    """Render a relational-shaped tree back to ``CREATE TABLE`` text.
+
+    Tables are the root's children; each grandchild is a column.  Nodes
+    deeper than that (a genuinely hierarchical tree) raise
+    :class:`IngestError` -- the relational emitter cannot express them.
+    """
+
+    def ident(name):
+        return name if re.fullmatch(r"\w+", name) else f'"{name}"'
+
+    statements = []
+    for table in tree.root.children:
+        lines = []
+        keys = []
+        foreign = []
+        for column in table.children:
+            if column.children:
+                raise IngestError(
+                    f"column {column.path!r} has children; "
+                    "the tree is not relational-shaped"
+                )
+            parts = [f"    {ident(column.name)} {_column_sql_type(column)}"]
+            if column.min_occurs >= 1:
+                parts.append("NOT NULL")
+            if column.properties.get("default") is not None:
+                default = column.properties["default"]
+                quoted = default if re.fullmatch(
+                    r"[+-]?\d+(?:\.\d+)?|NULL|TRUE|FALSE|CURRENT_TIMESTAMP",
+                    str(default), re.IGNORECASE,
+                ) else f"'{default}'"
+                parts.append(f"DEFAULT {quoted}")
+            if column.properties.get("unique"):
+                parts.append("UNIQUE")
+            lines.append(" ".join(parts))
+            if column.properties.get("key"):
+                keys.append(ident(column.name))
+            ref = column.properties.get("ref")
+            if ref:
+                ref_table, _, ref_column = str(ref).partition("/")
+                target = (f"{ident(ref_table)} ({ident(ref_column)})"
+                          if ref_column else ident(ref_table))
+                foreign.append(
+                    f"    FOREIGN KEY ({ident(column.name)}) REFERENCES {target}"
+                )
+        if keys:
+            lines.append(f"    PRIMARY KEY ({', '.join(keys)})")
+        lines.extend(foreign)
+        body = ",\n".join(lines)
+        statements.append(f"CREATE TABLE {ident(table.name)} (\n{body}\n);")
+    return "\n\n".join(statements) + "\n"
+
+
+__all__ = [
+    "SQL_TYPE_MAP",
+    "map_sql_type",
+    "parse_sql_ddl",
+    "to_sql_ddl",
+]

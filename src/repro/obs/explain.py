@@ -12,10 +12,13 @@ from __future__ import annotations
 
 from repro.obs.trace import Trace
 
-#: Fixed display order of the QoM axes, with the paper's letters.
-_AXES = ("label", "properties", "level", "children")
+#: Fixed display order of the QoM axes, with the paper's letters.  The
+#: optional fifth (instance-evidence) axis renders last; spans recorded
+#: without it -- every four-axis trace -- simply skip the row.
+_AXES = ("label", "properties", "level", "children", "instance")
 _AXIS_LETTERS = {
     "label": "L", "properties": "P", "level": "H", "children": "C",
+    "instance": "I",
 }
 
 

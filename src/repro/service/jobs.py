@@ -74,6 +74,13 @@ class MatchJobSpec:
     target_name: str = ""
     source_hash: str = ""
     target_hash: str = ""
+    #: Optional instance-evidence profiles (``{node_path: profile_dict}``
+    #: as :meth:`repro.ingest.profile.ValueProfile.as_dict` emits them),
+    #: attached to the parsed trees before matching.  Plain dicts so the
+    #: spec stays picklable across the process boundary; ``None`` -- the
+    #: default -- leaves every pre-profile code path untouched.
+    source_profiles: Optional[dict] = None
+    target_profiles: Optional[dict] = None
 
     def __post_init__(self):
         if not self.source_hash:

@@ -136,6 +136,19 @@ def execute_job_resident(spec: MatchJobSpec, state: Optional[dict]) -> dict:
     target = _resident_tree(
         state, spec.target_xsd, spec.target_hash, spec.target_name or None
     )
+    if spec.source_profiles or spec.target_profiles:
+        # Profiles are per-job evidence; the LRU trees are shared across
+        # jobs keyed by schema content alone, so attach to copies --
+        # mutating a resident tree would leak one job's data into the
+        # next job's match.
+        from repro.ingest.profile import attach_profiles
+
+        if spec.source_profiles:
+            source = source.copy()
+            attach_profiles(source, spec.source_profiles)
+        if spec.target_profiles:
+            target = target.copy()
+            attach_profiles(target, spec.target_profiles)
     matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
     tracer = None
     if spec.trace:

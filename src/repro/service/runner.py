@@ -81,10 +81,23 @@ def job_fingerprint(spec: MatchJobSpec) -> str:
     """The config fingerprint a run of ``spec`` would stamp on its result.
 
     Computed by instantiating the (cheap) matcher and asking it, so the
-    store key always agrees with what the worker will produce.
+    store key always agrees with what the worker will produce.  A spec
+    carrying instance profiles folds their canonical-JSON hash in --
+    different data must never share a cached result -- while a
+    profile-less spec keeps the exact pre-profile fingerprint (and thus
+    store key).
     """
     matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
-    return matcher.fingerprint(spec.threshold, spec.strategy)
+    fingerprint = matcher.fingerprint(spec.threshold, spec.strategy)
+    if spec.source_profiles or spec.target_profiles:
+        from repro.service.store import content_hash
+
+        blob = json.dumps(
+            [spec.source_profiles or {}, spec.target_profiles or {}],
+            sort_keys=True, separators=(",", ":"),
+        )
+        fingerprint = f"{fingerprint}-prof{content_hash(blob)[:16]}"
+    return fingerprint
 
 
 def execute_job(spec: MatchJobSpec) -> dict:
@@ -109,6 +122,13 @@ def execute_job(spec: MatchJobSpec) -> dict:
     started = time.perf_counter()
     source = parse_xsd(spec.source_xsd, name=spec.source_name or None)
     target = parse_xsd(spec.target_xsd, name=spec.target_name or None)
+    if spec.source_profiles or spec.target_profiles:
+        from repro.ingest.profile import attach_profiles
+
+        if spec.source_profiles:
+            attach_profiles(source, spec.source_profiles)
+        if spec.target_profiles:
+            attach_profiles(target, spec.target_profiles)
     matcher = DEFAULT_REGISTRY.create(spec.algorithm, **spec.matcher_kwargs())
     tracer = None
     if spec.trace:

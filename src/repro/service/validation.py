@@ -35,12 +35,16 @@ def validate_threshold(value, field: str = "threshold") -> float:
 
 
 #: Canonical axis order and the aliases the named weight forms accept.
+#: The four paper axes are required in named form; ``instance`` (the
+#: optional fifth, instance-evidence axis) defaults to 0 when omitted.
 AXIS_ORDER = ("label", "properties", "level", "children")
+OPTIONAL_AXES = ("instance",)
 _AXIS_ALIASES = {
     "label": "label", "l": "label",
     "properties": "properties", "props": "properties", "p": "properties",
     "level": "level", "h": "level",
     "children": "children", "c": "children",
+    "instance": "instance", "i": "instance",
 }
 
 
@@ -50,7 +54,7 @@ def _axis_key(raw, field, value) -> str:
     if axis is None:
         raise ValidationError(
             f"invalid {field} {value!r}: unknown axis key {raw!r} "
-            f"(expected one of {', '.join(AXIS_ORDER)})"
+            f"(expected one of {', '.join(AXIS_ORDER + OPTIONAL_AXES)})"
         )
     return axis
 
@@ -79,6 +83,7 @@ def _named_weights(pairs, field, value) -> AxisWeights:
             f"key{'s' if len(missing) > 1 else ''} {', '.join(missing)}"
         )
     numbers = [named[axis] for axis in AXIS_ORDER]
+    numbers.append(named.get("instance", 0.0))
     if any(number < 0 for number in numbers):
         raise ValidationError(
             f"invalid {field} {value!r}: weights must be non-negative"
@@ -94,12 +99,15 @@ def validate_weights(value: Union[str, Sequence, dict, None],
                      field: str = "weights") -> Optional[AxisWeights]:
     """Parse axis weights from a CLI/manifest/HTTP value.
 
-    Accepts ``None`` (pass through), a positional ``"L,P,H,C"`` string,
-    a named ``"label=3,properties=2,level=1,children=4"`` string
-    (single-letter aliases L/P/H/C work too), a 4-sequence of numbers,
-    or a mapping carrying exactly the four axis keys; magnitudes are
-    normalized to sum to 1.  Malformed input -- trailing commas, empty
-    entries, duplicate or unknown axis keys -- is rejected with a
+    Accepts ``None`` (pass through), a positional ``"L,P,H,C"`` string
+    (optionally ``"L,P,H,C,I"`` with the instance weight appended), a
+    named ``"label=3,properties=2,level=1,children=4"`` string
+    (single-letter aliases L/P/H/C plus ``instance``/``i`` work too), a
+    4- or 5-sequence of numbers, or a mapping carrying the four axis
+    keys (plus optionally ``instance``); magnitudes are normalized to
+    sum to 1.  The four paper axes are always required; ``instance``
+    defaults to 0 when omitted.  Malformed input -- trailing commas,
+    empty entries, duplicate or unknown axis keys -- is rejected with a
     precise message rather than silently coerced.
     """
     if value is None:
@@ -147,10 +155,11 @@ def validate_weights(value: Union[str, Sequence, dict, None],
             f"invalid {field} {value!r}: expected four numbers "
             "(label, properties, level, children)"
         ) from None
-    if len(numbers) != 4:
+    if len(numbers) not in (4, 5):
         raise ValidationError(
-            f"invalid {field} {value!r}: expected exactly four numbers "
-            f"(label, properties, level, children), got {len(numbers)}"
+            f"invalid {field} {value!r}: expected four numbers "
+            f"(label, properties, level, children) or five (plus "
+            f"instance), got {len(numbers)}"
         )
     if any(number < 0 for number in numbers):
         raise ValidationError(

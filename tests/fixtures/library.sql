@@ -1,0 +1,28 @@
+-- A small lending-library schema: the relational side of the ingest
+-- round-trip fixtures (tests + CI smoke job).
+CREATE TABLE authors (
+    author_id INTEGER NOT NULL PRIMARY KEY,
+    full_name VARCHAR(80) NOT NULL,
+    birth_year SMALLINT,
+    email VARCHAR(120) UNIQUE
+);
+
+CREATE TABLE books (
+    isbn CHAR(13) NOT NULL,
+    title VARCHAR(200) NOT NULL,
+    author_id INTEGER NOT NULL REFERENCES authors (author_id),
+    published DATE,
+    price DECIMAL(6, 2),
+    in_print BOOLEAN DEFAULT TRUE,
+    PRIMARY KEY (isbn)
+);
+
+CREATE TABLE loans (
+    loan_id INTEGER NOT NULL,
+    isbn CHAR(13) NOT NULL,
+    member_name VARCHAR(80) NOT NULL,
+    loaned_at TIMESTAMP NOT NULL,
+    returned_at TIMESTAMP,
+    CONSTRAINT pk_loans PRIMARY KEY (loan_id),
+    FOREIGN KEY (isbn) REFERENCES books (isbn)
+);

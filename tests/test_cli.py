@@ -1,6 +1,7 @@
 """End-to-end tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -589,3 +590,171 @@ class TestBatchObservability:
         # can consume.
         assert main(["explain", str(traces[0])]) == 0
         assert "passed the threshold" in capsys.readouterr().out
+
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestIngestCommand:
+    def test_text_emission(self, capsys):
+        assert main(["ingest", str(FIXTURES / "library.sql")]) == 0
+        output = capsys.readouterr().out
+        assert "[sql]" in output
+        assert "books" in output
+        assert "price : decimal" in output
+
+    def test_xsd_emission_is_parseable(self, capsys, tmp_path):
+        assert main(["ingest", str(FIXTURES / "library.sql"),
+                     "--emit", "xsd"]) == 0
+        from repro.xsd.parser import parse_xsd
+
+        emitted = capsys.readouterr().out
+        tree = parse_xsd(emitted)
+        assert [c.name for c in tree.root.children] == [
+            "authors", "books", "loans",
+        ]
+
+    def test_json_schema_emission(self, capsys):
+        assert main(["ingest", str(FIXTURES / "catalog.json"),
+                     "--emit", "json-schema"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["type"] == "object"
+
+    def test_sql_round_trip_emission(self, capsys):
+        assert main(["ingest", str(FIXTURES / "library.sql"),
+                     "--emit", "sql"]) == 0
+        assert "CREATE TABLE authors" in capsys.readouterr().out
+
+    def test_data_profiling_and_profiles_out(self, capsys, tmp_path):
+        out = tmp_path / "profiles.json"
+        assert main(["ingest", str(FIXTURES / "library.sql"),
+                     "--data", str(FIXTURES / "books.csv"),
+                     "--profiles-out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "profiled 6 columns" in captured.err
+        profiles = json.loads(out.read_text(encoding="utf-8"))
+        assert profiles["isbn"]["count"] == 8
+        assert profiles["price"]["numeric_ratio"] == 1.0
+
+    def test_forced_kind(self, capsys, tmp_path):
+        dump = tmp_path / "schema.txt"
+        dump.write_text((FIXTURES / "library.sql").read_text(),
+                        encoding="utf-8")
+        assert main(["ingest", str(dump), "--kind", "sql"]) == 0
+        assert "[sql]" in capsys.readouterr().out
+
+    def test_bad_schema_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "empty.sql"
+        bad.write_text("SELECT 1;", encoding="utf-8")
+        assert main(["ingest", str(bad)]) == 2
+        assert "qmatch: error:" in capsys.readouterr().err
+
+
+class TestCrossKindMatch:
+    def test_sql_vs_json_schema(self, capsys):
+        assert main(["match", str(FIXTURES / "library.sql"),
+                     str(FIXTURES / "catalog.json")]) == 0
+        output = capsys.readouterr().out
+        assert "tree QoM" in output
+        assert "isbn" in output
+
+    def test_five_axis_weights_accepted(self, capsys):
+        assert main(["match", str(FIXTURES / "library.sql"),
+                     str(FIXTURES / "catalog.json"),
+                     "--weights", "3,2,1,4,2"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_all_zero_five_axis_weights_exit_2(self, po_files, capsys):
+        assert main(["match", *po_files, "--weights", "0,0,0,0,0"]) == 2
+        captured = capsys.readouterr()
+        assert "qmatch: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_profile_files_change_scores(self, capsys, tmp_path):
+        profiles = tmp_path / "profiles.json"
+        assert main(["ingest", str(FIXTURES / "library.sql"),
+                     "--data", str(FIXTURES / "books.csv"),
+                     "--profiles-out", str(profiles)]) == 0
+        capsys.readouterr()
+        base_args = ["match", str(FIXTURES / "library.sql"),
+                     str(FIXTURES / "catalog.json"), "--format", "json"]
+        assert main(base_args + ["--weights", "3,2,1,4,2"]) == 0
+        without = json.loads(capsys.readouterr().out)
+        assert main(base_args + ["--weights", "3,2,1,4,2",
+                                 "--source-profiles", str(profiles)]) == 0
+        with_profiles = json.loads(capsys.readouterr().out)
+        # One-sided profiles discount unprofiled pairs: scores move.
+        assert with_profiles != without
+
+    def test_zero_instance_weight_profiles_inert(self, capsys, tmp_path):
+        profiles = tmp_path / "profiles.json"
+        main(["ingest", str(FIXTURES / "library.sql"),
+              "--data", str(FIXTURES / "books.csv"),
+              "--profiles-out", str(profiles)])
+        capsys.readouterr()
+        base_args = ["match", str(FIXTURES / "library.sql"),
+                     str(FIXTURES / "catalog.json"), "--format", "json"]
+        assert main(base_args) == 0
+        without = capsys.readouterr().out
+        assert main(base_args + ["--source-profiles", str(profiles)]) == 0
+        inert = capsys.readouterr().out
+        assert inert == without
+
+    def test_missing_profiles_file_exits_2(self, po_files, capsys):
+        assert main(["match", *po_files,
+                     "--source-profiles", "/nonexistent/p.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestHeterogeneousIndex:
+    def test_index_and_search_mixed_kinds(self, capsys, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        assert main(["index", "build", str(corpus_dir),
+                     str(FIXTURES / "catalog.json"),
+                     "--builtins"]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", str(corpus_dir)]) == 0
+        info = capsys.readouterr().out
+        assert "from json" in info
+        assert main(["search", str(corpus_dir),
+                     str(FIXTURES / "library.sql"), "--k", "13"]) == 0
+        results = capsys.readouterr().out
+        # The SQL query ranks against the whole mixed corpus; the
+        # JSON-sourced catalog (similar columns) appears in the hits.
+        assert "catalog" in results
+        assert "query 'library'" in results
+
+    def test_index_add_with_data_profiles(self, capsys, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        assert main(["index", "build", str(corpus_dir),
+                     str(FIXTURES / "catalog.json")]) == 0
+        capsys.readouterr()
+        assert main(["index", "add", str(corpus_dir),
+                     str(FIXTURES / "library.sql"),
+                     "--data", str(FIXTURES / "books.csv")]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", str(corpus_dir)]) == 0
+        info = capsys.readouterr().out
+        assert "profiled leaves" in info
+
+    def test_index_add_data_needs_single_schema(self, capsys, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        main(["index", "build", str(corpus_dir),
+              str(FIXTURES / "catalog.json")])
+        capsys.readouterr()
+        assert main(["index", "add", str(corpus_dir),
+                     str(FIXTURES / "library.sql"),
+                     "builtin:PO1",
+                     "--data", str(FIXTURES / "books.csv")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_search_with_weights_and_data(self, capsys, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        main(["index", "build", str(corpus_dir),
+              str(FIXTURES / "catalog.json")])
+        capsys.readouterr()
+        assert main(["search", str(corpus_dir),
+                     str(FIXTURES / "library.sql"), "--k", "1",
+                     "--weights", "3,2,1,4,2",
+                     "--data", str(FIXTURES / "books.csv")]) == 0
+        assert "catalog" in capsys.readouterr().out

@@ -1,0 +1,164 @@
+"""JSON Schema (draft-07 subset) ingestion and emission."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import IngestError
+from repro.ingest.jsonschema import parse_json_schema, to_json_schema
+from repro.xsd.model import UNBOUNDED
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def catalog_text():
+    return (FIXTURES / "catalog.json").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def catalog_tree(catalog_text):
+    return parse_json_schema(catalog_text)
+
+
+def _node(tree, path):
+    for node in tree.root.iter_preorder():
+        if node.path == path:
+            return node
+    raise AssertionError(f"no node {path!r}")
+
+
+class TestParse:
+    def test_title_names_root_and_type(self, catalog_tree):
+        assert catalog_tree.name == "Catalog"
+        assert catalog_tree.root.type_name == "CatalogType"
+        assert catalog_tree.domain == "json"
+
+    def test_objects_become_complex_types(self, catalog_tree):
+        writer = _node(catalog_tree, "Catalog/writers")
+        assert writer.type_name == "WriterType"
+        assert [c.name for c in writer.children] == [
+            "id", "name", "born", "contact",
+        ]
+
+    def test_required_maps_to_min_occurs(self, catalog_tree):
+        assert _node(catalog_tree, "Catalog/writers/id").min_occurs == 1
+        assert _node(catalog_tree, "Catalog/writers/born").min_occurs == 0
+        # root-level: titles required, writers not
+        assert _node(catalog_tree, "Catalog/titles").min_occurs == 1
+        assert _node(catalog_tree, "Catalog/writers").min_occurs == 0
+
+    def test_arrays_map_to_occurrence(self, catalog_tree):
+        titles = _node(catalog_tree, "Catalog/titles")
+        assert titles.max_occurs == UNBOUNDED
+        writers = _node(catalog_tree, "Catalog/writers")
+        assert writers.max_occurs == UNBOUNDED
+
+    def test_types_and_formats(self, catalog_tree):
+        assert _node(catalog_tree, "Catalog/writers/id").type_name == "int"
+        released = _node(catalog_tree, "Catalog/titles/released")
+        assert released.type_name == "date"
+        price = _node(catalog_tree, "Catalog/titles/list_price")
+        assert price.type_name == "decimal"
+
+    def test_string_facets(self, catalog_tree):
+        name = _node(catalog_tree, "Catalog/writers/name")
+        assert name.properties["facets"]["maxLength"] == "80"
+        isbn = _node(catalog_tree, "Catalog/titles/isbn")
+        assert isbn.properties["facets"]["pattern"] == "^[0-9]{13}$"
+
+    def test_enum_becomes_enumeration_facet(self):
+        tree = parse_json_schema(json.dumps({
+            "type": "object",
+            "properties": {
+                "status": {"type": "string",
+                           "enum": ["open", "closed", "void"]},
+            },
+        }), name="ticket")
+        status = _node(tree, "ticket/status")
+        assert status.properties["facets"]["enumeration"] == [
+            "open", "closed", "void",
+        ]
+
+    def test_ref_resolution(self):
+        tree = parse_json_schema(json.dumps({
+            "title": "Order",
+            "type": "object",
+            "definitions": {
+                "money": {"type": "number"},
+            },
+            "properties": {
+                "total": {"$ref": "#/definitions/money"},
+            },
+            "required": ["total"],
+        }))
+        total = _node(tree, "Order/total")
+        assert total.type_name == "decimal"
+        assert total.min_occurs == 1
+
+    def test_cyclic_ref_degrades_to_stub(self):
+        tree = parse_json_schema(json.dumps({
+            "title": "Tree",
+            "type": "object",
+            "definitions": {
+                "node": {
+                    "type": "object",
+                    "properties": {
+                        "label": {"type": "string"},
+                        "child": {"$ref": "#/definitions/node"},
+                    },
+                },
+            },
+            "properties": {"root": {"$ref": "#/definitions/node"}},
+        }))
+        # The recursion is cut, not infinite; the tree stays finite.
+        assert tree.size < 20
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(IngestError, match="JSON"):
+            parse_json_schema("{not json")
+
+    def test_non_object_raises(self):
+        with pytest.raises(IngestError):
+            parse_json_schema('"just a string"')
+
+
+class TestEmit:
+    def test_round_trip_preserves_shape(self, catalog_tree):
+        emitted = to_json_schema(catalog_tree)
+        reparsed = parse_json_schema(emitted)
+        original = {
+            (n.path, n.type_name, n.min_occurs, n.max_occurs)
+            for n in catalog_tree.root.iter_preorder()
+        }
+        recovered = {
+            (n.path, n.type_name, n.min_occurs, n.max_occurs)
+            for n in reparsed.root.iter_preorder()
+        }
+        assert recovered == original
+
+    def test_round_trip_is_stable(self, catalog_tree):
+        emitted = to_json_schema(catalog_tree)
+        assert to_json_schema(parse_json_schema(emitted)) == emitted
+
+    def test_emitted_document_is_draft07(self, catalog_tree):
+        document = json.loads(to_json_schema(catalog_tree))
+        assert document["$schema"].endswith("draft-07/schema#")
+        assert document["type"] == "object"
+        titles = document["properties"]["titles"]
+        assert titles["type"] == "array"
+        assert titles["minItems"] == 1
+        assert "isbn" in titles["items"]["properties"]
+
+    def test_facets_emit_as_keywords(self, catalog_tree):
+        document = json.loads(to_json_schema(catalog_tree))
+        writer = document["properties"]["writers"]["items"]
+        assert writer["properties"]["name"]["maxLength"] == 80
+        assert writer["properties"]["contact"]["format"] == "email"
+
+    def test_xsd_tree_emits_json_schema(self, po1_tree):
+        # Cross-kind emission: a paper XSD renders as a JSON Schema too.
+        document = json.loads(to_json_schema(po1_tree))
+        assert document["type"] == "object"
+        assert document["properties"]

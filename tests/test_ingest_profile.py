@@ -1,0 +1,196 @@
+"""Instance profiling: value profiles, attachment and similarity."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ingest.profile import (
+    PROFILE_PROPERTY,
+    ValueProfile,
+    attach_profiles,
+    collect_profiles,
+    profile_csv,
+    profile_data_file,
+    profile_json_documents,
+    profile_similarity,
+    profile_values,
+    profile_xml_instances,
+    strip_profiles,
+)
+from repro.ingest.sql import parse_sql_ddl
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestProfileValues:
+    def test_basic_stats(self):
+        profile = profile_values(["10", "20", "30", None, "20"])
+        assert profile.count == 5
+        assert profile.null_count == 1
+        assert profile.non_null == 4
+        assert profile.null_rate == pytest.approx(0.2)
+        assert profile.distinct_ratio == pytest.approx(3 / 4)
+        assert profile.numeric_ratio == 1.0
+        assert profile.numeric_min == 10.0
+        assert profile.numeric_max == 30.0
+        assert profile.is_numeric
+
+    def test_null_tokens_recognized(self):
+        profile = profile_values(["a", "", "NULL", "n/a", "b"])
+        assert profile.null_count == 3
+
+    def test_shape_buckets(self):
+        profile = profile_values(["alice@example.com", "bob@example.org"])
+        assert profile.shape == {"email": 1.0}
+        dates = profile_values(["2024-01-01", "2024-06-30"])
+        assert dates.shape == {"date": 1.0}
+
+    def test_deterministic(self):
+        a = profile_values(["x", "1", None, "y"])
+        b = profile_values(["x", "1", None, "y"])
+        assert a == b
+        assert a.as_dict() == b.as_dict()
+
+    def test_dict_round_trip(self):
+        profile = profile_values(["10", "abc", None, "20.5"])
+        recovered = ValueProfile.from_dict(profile.as_dict())
+        assert recovered.as_dict() == profile.as_dict()
+
+    def test_empty_column(self):
+        profile = profile_values([])
+        assert profile.count == 0
+        assert profile.null_rate == 0.0
+
+
+class TestSources:
+    def test_profile_csv(self):
+        profiles = profile_csv("a,b\n1,x\n2,y\n,z\n")
+        assert set(profiles) == {"a", "b"}
+        assert profiles["a"].null_count == 1
+        assert profiles["a"].is_numeric
+        assert not profiles["b"].is_numeric
+
+    def test_profile_json_documents(self):
+        profiles = profile_json_documents([
+            {"user": {"name": "ann", "age": 31}},
+            {"user": {"name": "bob", "age": 45}},
+        ])
+        assert profiles["user/name"].count == 2
+        assert profiles["user/age"].is_numeric
+
+    def test_json_arrays_descend(self):
+        profiles = profile_json_documents([
+            {"tags": ["a", "b"]}, {"tags": ["c"]},
+        ])
+        assert profiles["tags"].count == 3
+
+    def test_profile_xml_instances(self):
+        from repro.datasets import po1
+        from repro.xsd.instances import generate_instance
+
+        schema = po1()
+        documents = [generate_instance(schema) for _ in range(3)]
+        profiles = profile_xml_instances(schema, documents)
+        assert profiles
+        # Every profiled key is a real schema node path.
+        paths = {node.path for node in schema.root.iter_preorder()}
+        assert set(profiles) <= paths
+
+    def test_profile_data_file_dispatch(self, tmp_path):
+        csv_profiles = profile_data_file(FIXTURES / "books.csv")
+        assert "isbn" in csv_profiles
+        jsonl = tmp_path / "rows.jsonl"
+        jsonl.write_text('{"a": 1}\n{"a": 2}\n', encoding="utf-8")
+        assert profile_data_file(jsonl)["a"].count == 2
+        with pytest.raises(ValueError, match="not found"):
+            profile_data_file(tmp_path / "missing.csv")
+
+
+class TestAttachment:
+    @pytest.fixture()
+    def library_tree(self):
+        return parse_sql_ddl(
+            (FIXTURES / "library.sql").read_text(encoding="utf-8"),
+            name="library",
+        )
+
+    def test_attach_by_exact_path(self, library_tree):
+        profiles = {"library/books/title": profile_values(["a", "b"])}
+        assert attach_profiles(library_tree, profiles) == 1
+        node = [n for n in library_tree.root.iter_preorder()
+                if n.path == "library/books/title"][0]
+        assert isinstance(node.properties[PROFILE_PROPERTY], ValueProfile)
+
+    def test_attach_by_unique_leaf_name(self, library_tree):
+        # "price" exists once; CSV column names attach without paths.
+        attached = attach_profiles(
+            library_tree, {"price": profile_values(["9.99"])}
+        )
+        assert attached == 1
+
+    def test_ambiguous_name_skipped(self, library_tree):
+        # "isbn" is a column of both books and loans: name-based
+        # attachment must not guess.
+        attached = attach_profiles(
+            library_tree, {"isbn": profile_values(["9780131103627"])}
+        )
+        assert attached == 0
+
+    def test_suffix_path_attaches(self, library_tree):
+        attached = attach_profiles(
+            library_tree, {"books/isbn": profile_values(["9780131103627"])}
+        )
+        assert attached == 1
+
+    def test_collect_and_strip(self, library_tree):
+        attach_profiles(library_tree, {"price": profile_values(["1"])})
+        collected = collect_profiles(library_tree)
+        assert list(collected) == ["library/books/price"]
+        # Collected form is the wire form: plain JSON-able dicts.
+        json.dumps(collected)
+        assert strip_profiles(library_tree) == 1
+        assert collect_profiles(library_tree) == {}
+
+    def test_profiles_survive_from_dict_form(self, library_tree):
+        profile_dict = profile_values(["5", "6"]).as_dict()
+        assert attach_profiles(library_tree, {"price": profile_dict}) == 1
+
+
+class TestSimilarity:
+    def test_missing_both_is_neutral(self):
+        assert profile_similarity(None, None) == 1.0
+
+    def test_one_sided_is_half(self):
+        profile = profile_values(["1", "2"])
+        assert profile_similarity(profile, None) == 0.5
+        assert profile_similarity(None, profile) == 0.5
+
+    def test_identical_profiles_score_one(self):
+        profile = profile_values(["10", "20", "30"])
+        assert profile_similarity(profile, profile) == pytest.approx(1.0)
+
+    def test_disparate_profiles_score_low(self):
+        numbers = profile_values(["12.5", "88.1", "3.0"])
+        emails = profile_values([
+            "ann@example.com", "bob@example.net", "cyd@example.org",
+        ])
+        assert profile_similarity(numbers, emails) < 0.4
+
+    def test_symmetric_and_bounded(self):
+        a = profile_values(["2024-01-01", "2024-02-02"])
+        b = profile_values(["only text here", "and more text"])
+        ab, ba = profile_similarity(a, b), profile_similarity(b, a)
+        assert ab == pytest.approx(ba)
+        assert 0.0 <= ab <= 1.0
+
+    def test_similar_numeric_columns_beat_dissimilar(self):
+        ages_a = profile_values(["31", "45", "27", "52"])
+        ages_b = profile_values(["29", "41", "35", "60"])
+        years = profile_values(["1988", "1994", "2004", "2018"])
+        assert (profile_similarity(ages_a, ages_b)
+                > profile_similarity(ages_a, years))
+
+    def test_accepts_dict_form(self):
+        a = profile_values(["1", "2"]).as_dict()
+        assert profile_similarity(a, a) == pytest.approx(1.0)

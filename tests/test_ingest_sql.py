@@ -1,0 +1,191 @@
+"""SQL DDL ingestion: CREATE TABLE statements into schema trees and back."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import IngestError, detect_kind, load_schema_any, sniff_kind
+from repro.ingest.sql import map_sql_type, parse_sql_ddl, to_sql_ddl
+from repro.xsd.model import UNBOUNDED
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def library_ddl():
+    return (FIXTURES / "library.sql").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def library_tree(library_ddl):
+    return parse_sql_ddl(library_ddl, name="library")
+
+
+def _child(node, name):
+    for child in node.children:
+        if child.name == name:
+            return child
+    raise AssertionError(f"no child {name!r} under {node.path}")
+
+
+class TestParse:
+    def test_tables_become_complex_children(self, library_tree):
+        names = [child.name for child in library_tree.root.children]
+        assert names == ["authors", "books", "loans"]
+        books = _child(library_tree.root, "books")
+        assert books.type_name == "booksType"
+        assert books.min_occurs == 0
+        assert books.max_occurs == UNBOUNDED
+
+    def test_root_shape(self, library_tree):
+        assert library_tree.name == "library"
+        assert library_tree.root.type_name == "libraryType"
+        assert library_tree.domain == "relational"
+
+    def test_column_types_and_facets(self, library_tree):
+        books = _child(library_tree.root, "books")
+        title = _child(books, "title")
+        assert title.type_name == "string"
+        assert title.properties["facets"]["maxLength"] == "200"
+        price = _child(books, "price")
+        assert price.type_name == "decimal"
+        assert price.properties["facets"] == {
+            "totalDigits": "6", "fractionDigits": "2",
+        }
+        assert _child(books, "published").type_name == "date"
+        assert _child(books, "in_print").type_name == "boolean"
+
+    def test_nullability_maps_to_min_occurs(self, library_tree):
+        books = _child(library_tree.root, "books")
+        assert _child(books, "title").min_occurs == 1    # NOT NULL
+        assert _child(books, "published").min_occurs == 0  # nullable
+
+    def test_primary_keys(self, library_tree):
+        authors = _child(library_tree.root, "authors")
+        assert _child(authors, "author_id").properties.get("key") is True
+        # Table-level constraint form, named constraint form.
+        books = _child(library_tree.root, "books")
+        assert _child(books, "isbn").properties.get("key") is True
+        loans = _child(library_tree.root, "loans")
+        assert _child(loans, "loan_id").properties.get("key") is True
+
+    def test_foreign_keys_become_refs(self, library_tree):
+        books = _child(library_tree.root, "books")
+        assert _child(books, "author_id").properties["ref"] == (
+            "authors/author_id"
+        )
+        loans = _child(library_tree.root, "loans")
+        assert _child(loans, "isbn").properties["ref"] == "books/isbn"
+
+    def test_unique_and_default(self, library_tree):
+        authors = _child(library_tree.root, "authors")
+        assert _child(authors, "email").properties.get("unique") is True
+        books = _child(library_tree.root, "books")
+        assert _child(books, "in_print").properties["default"] == "TRUE"
+
+    def test_quoted_identifiers(self):
+        tree = parse_sql_ddl(
+            'CREATE TABLE "Order Items" (`item id` INT NOT NULL, '
+            "[desc] TEXT);"
+        )
+        table = tree.root.children[0]
+        assert table.name == "Order Items"
+        assert [c.name for c in table.children] == ["item id", "desc"]
+
+    def test_comments_stripped(self):
+        tree = parse_sql_ddl(
+            "-- line comment\n"
+            "CREATE TABLE t (/* block */ a INT, b TEXT -- trailing\n);"
+        )
+        assert [c.name for c in tree.root.children[0].children] == ["a", "b"]
+
+    def test_no_tables_raises(self):
+        with pytest.raises(IngestError):
+            parse_sql_ddl("SELECT 1;")
+
+    def test_validates(self, library_tree):
+        # parse_sql_ddl runs the model validator; no duplicate paths etc.
+        assert library_tree.size == 19
+
+
+class TestTypeMap:
+    @pytest.mark.parametrize("sql,expected", [
+        ("VARCHAR(40)", ("string", {"maxLength": "40"})),
+        ("DECIMAL(10,2)", ("decimal", {"totalDigits": "10",
+                                       "fractionDigits": "2"})),
+        ("INTEGER", ("int", {})),
+        ("BIGINT", ("long", {})),
+        ("TIMESTAMP", ("dateTime", {})),
+        ("DOUBLE PRECISION", ("double", {})),
+    ])
+    def test_known_types(self, sql, expected):
+        assert map_sql_type(sql) == expected
+
+    def test_unknown_type_keeps_origin(self):
+        xsd_type, facets = map_sql_type("FROBNICATE")
+        assert xsd_type == "string"
+        assert facets == {"sqlType": "FROBNICATE"}
+
+
+class TestRoundTrip:
+    def test_ddl_tree_ddl_is_stable(self, library_tree):
+        emitted = to_sql_ddl(library_tree)
+        reparsed = parse_sql_ddl(emitted, name="library")
+        assert to_sql_ddl(reparsed) == emitted
+
+    def test_round_trip_preserves_shape(self, library_tree):
+        reparsed = parse_sql_ddl(to_sql_ddl(library_tree), name="library")
+        original = {
+            (n.path, n.type_name, n.min_occurs, n.max_occurs)
+            for n in library_tree.root.iter_preorder()
+        }
+        recovered = {
+            (n.path, n.type_name, n.min_occurs, n.max_occurs)
+            for n in reparsed.root.iter_preorder()
+        }
+        assert recovered == original
+
+    def test_round_trip_preserves_constraints(self, library_tree):
+        reparsed = parse_sql_ddl(to_sql_ddl(library_tree), name="library")
+        books = _child(reparsed.root, "books")
+        assert _child(books, "isbn").properties.get("key") is True
+        assert _child(books, "author_id").properties["ref"] == (
+            "authors/author_id"
+        )
+        assert _child(books, "in_print").properties["default"] == "TRUE"
+
+    def test_non_relational_tree_rejected(self, po1_tree):
+        # A deep XSD tree has no table/column shape to emit.
+        with pytest.raises(IngestError):
+            to_sql_ddl(po1_tree)
+
+
+class TestDetection:
+    def test_extension_detection(self):
+        assert detect_kind("schema.sql") == "sql"
+        assert detect_kind("dump.DDL") == "sql"
+        assert detect_kind("schema.xsd") == "xsd"
+        assert detect_kind("schema.json") == "json"
+
+    def test_content_sniff(self, library_ddl):
+        assert sniff_kind(library_ddl) == "sql"
+        assert sniff_kind("<xs:schema/>") == "xsd"
+        assert sniff_kind('{"type": "object"}') == "json"
+
+    def test_load_schema_any(self):
+        tree, kind = load_schema_any(FIXTURES / "library.sql")
+        assert kind == "sql"
+        assert tree.name == "library"
+
+    def test_load_schema_any_missing_file(self, tmp_path):
+        with pytest.raises(IngestError, match="not found"):
+            load_schema_any(tmp_path / "nope.sql")
+
+    def test_forced_kind_overrides_extension(self, tmp_path, library_ddl):
+        dump = tmp_path / "dump.txt"
+        dump.write_text(library_ddl, encoding="utf-8")
+        tree, kind = load_schema_any(dump, kind="sql")
+        assert kind == "sql"
+        assert [c.name for c in tree.root.children] == [
+            "authors", "books", "loans",
+        ]

@@ -138,3 +138,98 @@ class TestValidation:
         assert is_valid_instance(po1_tree, document)
         document.find("OrderNo").text = "xyz"
         assert not is_valid_instance(po1_tree, document)
+
+
+class TestFacetRoundTrips:
+    """Generate -> validate round trips on facet-carrying schemas.
+
+    These pin the generator and validator to the same reading of
+    enumeration facets, unbounded occurrences and required attributes
+    -- the constructs the ingestion layer's profiling rides on.
+    """
+
+    def _schema_with_enumeration(self):
+        status = element("Status", type_name="string")
+        status.properties["facets"] = {
+            "enumeration": ["open", "closed", "void"],
+        }
+        return tree(element("Ticket", status, element("Id", type_name="int")))
+
+    def test_enumeration_values_respected(self):
+        schema = self._schema_with_enumeration()
+        for seed in range(5):
+            document = generate_instance(schema, InstanceConfig(seed=seed))
+            assert validate_instance(schema, document) == []
+            assert document.find("Status").text in ("open", "closed", "void")
+
+    def test_enumeration_violation_detected(self):
+        schema = self._schema_with_enumeration()
+        document = generate_instance(schema, InstanceConfig(seed=0))
+        document.find("Status").text = "reopened"
+        problems = validate_instance(schema, document)
+        assert problems
+        assert any("Status" in problem for problem in problems)
+
+    def test_unbounded_occurrence_round_trip(self):
+        from repro.xsd.model import UNBOUNDED
+
+        schema = tree(element(
+            "Cart",
+            element("Item", type_name="string", min_occurs=1,
+                    max_occurs=UNBOUNDED),
+        ))
+        for seed in range(5):
+            document = generate_instance(
+                schema, InstanceConfig(seed=seed, max_repeats=4)
+            )
+            assert validate_instance(schema, document) == []
+            assert 1 <= len(document.findall("Item")) <= 4
+
+    def test_min_occurs_violation_detected(self):
+        from repro.xsd.model import UNBOUNDED
+
+        schema = tree(element(
+            "Cart",
+            element("Item", type_name="string", min_occurs=2,
+                    max_occurs=UNBOUNDED),
+        ))
+        document = generate_instance(schema, InstanceConfig(seed=1))
+        assert validate_instance(schema, document) == []
+        for item in document.findall("Item")[1:]:
+            document.remove(item)
+        assert validate_instance(schema, document)
+
+    def test_required_attribute_round_trip(self):
+        schema = tree(element(
+            "Product",
+            attribute("sku", type_name="string", required=True),
+            attribute("note", type_name="string"),
+            element("Name", type_name="string"),
+        ))
+        document = generate_instance(schema, InstanceConfig(seed=2))
+        assert validate_instance(schema, document) == []
+        assert "sku" in document.attrib
+
+    def test_missing_required_attribute_detected(self):
+        schema = tree(element(
+            "Product",
+            attribute("sku", type_name="string", required=True),
+            element("Name", type_name="string"),
+        ))
+        document = generate_instance(schema, InstanceConfig(seed=2))
+        document.attrib.pop("sku", None)
+        problems = validate_instance(schema, document)
+        assert any("sku" in problem for problem in problems)
+
+    def test_generated_samples_feed_profiling(self):
+        from repro.ingest.profile import profile_xml_instances
+
+        schema = self._schema_with_enumeration()
+        documents = [
+            generate_instance(schema, InstanceConfig(seed=seed))
+            for seed in range(4)
+        ]
+        profiles = profile_xml_instances(schema, documents)
+        status = profiles["Ticket/Status"]
+        assert status.count == 4
+        assert status.null_count == 0

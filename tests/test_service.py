@@ -132,6 +132,44 @@ class TestValidation:
         with pytest.raises(ValidationError, match="must be a number"):
             validate_weights("label=x,properties=2,level=1,children=4")
 
+    def test_weights_instance_axis_named(self):
+        # Optional fifth axis: full name and single-letter alias.
+        named = validate_weights(
+            "label=3,properties=2,level=1,children=4,instance=2"
+        )
+        assert named.instance == pytest.approx(2 / 12)
+        aliased = validate_weights("l=3,p=2,h=1,c=4,i=2")
+        assert aliased.as_tuple() == named.as_tuple()
+        # The paper's four axes stay required even in named form.
+        with pytest.raises(ValidationError, match="missing axis"):
+            validate_weights("label=3,properties=2,level=1,instance=2")
+
+    def test_weights_instance_axis_positional(self):
+        five = validate_weights("3,2,1,4,2")
+        assert five.instance == pytest.approx(2 / 12)
+        assert len(five.as_tuple()) == 5
+        with pytest.raises(ValidationError, match="four .* or five"):
+            validate_weights("3,2,1,4,2,9")
+
+    def test_weights_instance_duplicate_alias_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate axis"):
+            validate_weights("l=3,p=2,h=1,c=4,i=1,instance=2")
+
+    def test_weights_unknown_axis_lists_instance(self):
+        with pytest.raises(ValidationError, match="instance"):
+            validate_weights("l=3,p=2,h=1,c=4,intsance=1")
+
+    def test_weights_all_zero_rejected_cleanly(self):
+        # The normalizer raises ValueError (not ZeroDivisionError) and
+        # validation wraps it in the uniform ValidationError envelope.
+        with pytest.raises(ValidationError):
+            validate_weights("0,0,0,0,0")
+
+    def test_weights_zero_instance_stays_four_axis(self):
+        weights = validate_weights("3,2,1,4,0")
+        assert weights.as_tuple() == pytest.approx((0.3, 0.2, 0.1, 0.4))
+        assert not weights.uses_instance
+
     def test_algorithm(self):
         assert validate_algorithm("qmatch") == "qmatch"
         with pytest.raises(ValidationError, match="psychic"):

@@ -58,3 +58,71 @@ class TestConstruction:
 
     def test_str(self):
         assert "L=0.3" in str(PAPER_WEIGHTS)
+
+
+class TestInstanceAxis:
+    def test_default_is_four_axis_model(self):
+        assert AxisWeights().instance == 0.0
+        assert not AxisWeights().uses_instance
+
+    def test_five_axis_construction(self):
+        weights = AxisWeights(label=0.25, properties=0.2, level=0.1,
+                              children=0.25, instance=0.2)
+        assert weights.total == pytest.approx(1.0)
+        assert weights.uses_instance
+
+    def test_five_axes_must_still_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AxisWeights(label=0.3, properties=0.2, level=0.1,
+                        children=0.4, instance=0.2)
+
+    def test_negative_instance_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            AxisWeights(label=0.4, properties=0.3, level=0.2,
+                        children=0.2, instance=-0.1)
+
+    def test_zero_instance_omitted_from_serializations(self):
+        # Byte-identity contract: four-axis configurations serialize
+        # exactly as they did before the fifth axis existed.
+        weights = AxisWeights(label=0.3, properties=0.2, level=0.1,
+                              children=0.4, instance=0.0)
+        assert weights.as_dict() == PAPER_WEIGHTS.as_dict()
+        assert weights.as_tuple() == (0.3, 0.2, 0.1, 0.4)
+        assert "instance" not in weights.as_dict()
+        assert str(weights) == str(PAPER_WEIGHTS)
+
+    def test_nonzero_instance_appears_in_serializations(self):
+        weights = AxisWeights(label=0.25, properties=0.2, level=0.1,
+                              children=0.25, instance=0.2)
+        assert weights.as_dict()["instance"] == 0.2
+        assert weights.as_tuple() == (0.25, 0.2, 0.1, 0.25, 0.2)
+        assert "I=0.2" in str(weights)
+
+    def test_include_zero_instance_flag(self):
+        assert AxisWeights().as_dict(include_zero_instance=True)[
+            "instance"] == 0.0
+
+    def test_normalized_with_instance(self):
+        weights = AxisWeights.normalized(3, 2, 1, 4, instance=2)
+        assert weights.total == pytest.approx(1.0)
+        assert weights.instance == pytest.approx(2 / 12)
+
+    def test_normalized_all_zero_with_instance_raises_value_error(self):
+        # A clean ValueError -- never ZeroDivisionError -- including
+        # when the instance magnitude participates.
+        with pytest.raises(ValueError, match="positive"):
+            AxisWeights.normalized(0, 0, 0, 0, instance=0)
+        with pytest.raises(ValueError, match="positive"):
+            AxisWeights.normalized(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_from_sequence_accepts_five(self):
+        weights = AxisWeights.from_sequence((0.25, 0.2, 0.1, 0.25, 0.2))
+        assert weights.instance == 0.2
+
+    def test_from_sequence_rejects_six(self):
+        with pytest.raises(ValueError):
+            AxisWeights.from_sequence([0.2, 0.2, 0.2, 0.2, 0.1, 0.1])
+
+    def test_round_trip_through_tuple(self):
+        weights = AxisWeights.normalized(1, 1, 1, 1, instance=1)
+        assert AxisWeights.from_sequence(weights.as_tuple()) == weights
