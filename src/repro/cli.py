@@ -20,12 +20,13 @@ Subcommands::
                  [--mode pool|fork|inline] [--timeout S] [--retries N]
                  [--corpus DIR] [--scorer cosine|bm25] [--max-pending N]
                  [--max-body-bytes N] [--max-jobs N] [--drain-timeout S]
-    qmatch index build DIR [schemas...] [--builtins]
-    qmatch index add DIR schemas... [--data FILE]
+    qmatch index build DIR [schemas...] [--builtins] [--segmented]
+    qmatch index add DIR schemas... [--data FILE] [--segmented]
     qmatch index info DIR
+    qmatch index compact DIR [--auto]
     qmatch search DIR query.xsd [--k N] [--candidates N] [--no-rerank]
                                 [--scorer cosine|bm25] [--weights W]
-                                [--data FILE]
+                                [--segmented] [--shards N] [--data FILE]
     qmatch ingest schema.{xsd,sql,json} [--kind xsd|sql|json]
                   [--emit text|xsd|json-schema|sql] [--data FILE ...]
                   [--profiles-out FILE]
@@ -361,6 +362,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="lexical retrieval scorer for POST /search (default: cosine)",
     )
     serve_parser.add_argument(
+        "--segmented", action="store_true",
+        help="serve --corpus through the segmented index (lazy segment "
+             "loading; build it with `qmatch index build --segmented`)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fan the segmented stage-1 scan over N segment shards "
+             "(requires --segmented; default: unsharded)",
+    )
+    serve_parser.add_argument(
         "--max-pending", type=int, default=None, metavar="N",
         help="admission limit: answer 429 + Retry-After once N jobs "
              "are pending or running (default: unbounded)",
@@ -412,6 +423,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-thesaurus", action="store_true",
         help="index surface tokens only (no abbreviation/acronym expansion)",
     )
+    index_build.add_argument(
+        "--segmented", action="store_true",
+        help="build the segmented on-disk index (immutable segments, "
+             "packed postings, lazy loading) instead of the monolithic "
+             "index.json",
+    )
+    index_build.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the progress line and summary",
+    )
     index_add = index_sub.add_parser(
         "add", help="add schemas to an existing corpus and refresh its index"
     )
@@ -426,10 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="instance data file (CSV/JSON/JSONL) to profile and store "
              "with the schema (single schema only; repeatable)",
     )
+    index_add.add_argument(
+        "--segmented", action="store_true",
+        help="refresh the segmented index: new schemas seal into one "
+             "new segment, existing segments stay untouched",
+    )
+    index_add.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the progress line and summary",
+    )
     index_info = index_sub.add_parser(
         "info", help="show corpus entries, index coverage and fingerprints"
     )
     index_info.add_argument("corpus", help="corpus directory")
+    index_compact = index_sub.add_parser(
+        "compact",
+        help="fold the segmented index's segments together and drop "
+             "tombstoned documents",
+    )
+    index_compact.add_argument("corpus", help="corpus directory")
+    index_compact.add_argument(
+        "--auto", action="store_true",
+        help="apply the size-tiered policy only (what `index add` "
+             "triggers automatically) instead of a full merge",
+    )
 
     search_parser = subparsers.add_parser(
         "search",
@@ -473,6 +514,16 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument(
         "--scorer", choices=("cosine", "bm25"), default="cosine",
         help="lexical retrieval scorer (default: cosine)",
+    )
+    search_parser.add_argument(
+        "--segmented", action="store_true",
+        help="search the segmented index (build it with "
+             "`qmatch index build --segmented`)",
+    )
+    search_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fan the segmented stage-1 scan over N segment shards "
+             "(requires --segmented; default: unsharded)",
     )
     search_parser.add_argument(
         "--workers", type=int, default=1,
@@ -895,6 +946,12 @@ def _command_serve(args) -> int:
         raise ValidationError(
             f"invalid --drain-timeout {args.drain_timeout}: must be >= 0"
         )
+    if args.shards is not None and not args.segmented:
+        raise ValidationError("--shards requires --segmented")
+    if args.shards is not None and args.shards < 1:
+        raise ValidationError(
+            f"invalid --shards {args.shards}: must be >= 1"
+        )
     kwargs = {}
     if args.max_body_bytes is not None:
         kwargs["max_body_bytes"] = args.max_body_bytes
@@ -906,6 +963,8 @@ def _command_serve(args) -> int:
         retries=args.retries,
         corpus_dir=args.corpus,
         scorer=args.scorer,
+        segmented=args.segmented,
+        shards=args.shards,
         max_pending=args.max_pending,
         max_jobs=args.max_jobs,
         drain_timeout=args.drain_timeout,
@@ -913,14 +972,19 @@ def _command_serve(args) -> int:
     )
 
 
-def _corpus_add_refs(corpus, refs, add_builtins=False, profile=None):
+def _corpus_add_refs(corpus, refs, add_builtins=False, profile=None,
+                     progress=None, batch_size=500):
     """Add schema refs (file paths or ``builtin:<Name>``) to ``corpus``.
 
     File refs dispatch on extension, so ``.sql`` DDL and ``.json``
     JSON Schema files ingest with their ``source_kind`` recorded in the
     manifest.  ``profile`` optionally attaches an instance-evidence map
-    to the (single) added schema.  Returns the entries that were
-    actually new.
+    to the (single) added schema.  XSD/builtin refs batch through
+    :meth:`~repro.corpus.corpus.SchemaCorpus.add_many` in chunks of
+    ``batch_size`` -- one manifest write per chunk instead of per
+    schema, which is what keeps bulk ``index build`` linear.
+    ``progress`` (``(done, total) -> None``) is called after every ref.
+    Returns the entries that were actually new.
     """
     from pathlib import Path
 
@@ -938,28 +1002,72 @@ def _corpus_add_refs(corpus, refs, add_builtins=False, profile=None):
     if add_builtins:
         refs.extend(f"{BUILTIN_PREFIX}{name}" for name in schema_names())
     added = []
+    total = len(refs)
+    done = 0
+    pending = []
+
+    def flush():
+        nonlocal pending
+        if pending:
+            added.extend(corpus.add_many(pending))
+            pending = []
+
     for ref in refs:
-        before = len(corpus)
-        if (not ref.startswith(BUILTIN_PREFIX)
-                and detect_kind(ref) != "xsd"):
-            entry = corpus.add_file(ref, profile=profile)
+        is_file_kind = (
+            not ref.startswith(BUILTIN_PREFIX) and detect_kind(ref) != "xsd"
+        )
+        if profile:
+            # Single-schema path: profiles attach at add time, so this
+            # stays on the per-entry API.
+            before = len(corpus)
+            if is_file_kind:
+                entry = corpus.add_file(ref, profile=profile)
+            else:
+                text, name = _load_schema_text(ref, Path.cwd())
+                entry = corpus.add(
+                    parse_xsd(text, name=name), profile=profile
+                )
+            if len(corpus) > before:
+                added.append(entry)
+        elif is_file_kind:
+            flush()
+            before = len(corpus)
+            entry = corpus.add_file(ref)
+            if len(corpus) > before:
+                added.append(entry)
         else:
             text, name = _load_schema_text(ref, Path.cwd())
-            entry = corpus.add(
-                parse_xsd(text, name=name), profile=profile
-            )
-        if len(corpus) > before:
-            added.append(entry)
+            pending.append(parse_xsd(text, name=name))
+            if len(pending) >= batch_size:
+                flush()
+        done += 1
+        if progress is not None:
+            progress(done, total)
+    flush()
     return added
 
 
 def _command_index(args) -> int:
     from repro.corpus.corpus import SchemaCorpus
     from repro.corpus.indexes import INDEX_NAME, CorpusIndex, IndexConfig
+    from repro.corpus.segments import (
+        SEGMENT_MANIFEST_NAME,
+        SEGMENTS_DIR,
+        SegmentedCorpusIndex,
+    )
     from repro.service.validation import ValidationError
 
     corpus = SchemaCorpus(args.corpus)
     index_path = corpus.root / INDEX_NAME
+    segments_root = corpus.root / SEGMENTS_DIR
+    has_segments = (segments_root / SEGMENT_MANIFEST_NAME).exists()
+    quiet = getattr(args, "quiet", False)
+
+    def progress(done, total):
+        if not quiet and total >= 10 and sys.stderr.isatty():
+            end = "\n" if done == total else "\r"
+            print(f"  adding schemas: {done}/{total}",
+                  end=end, file=sys.stderr, flush=True)
 
     if args.index_command == "info":
         index = (
@@ -982,6 +1090,36 @@ def _command_index(args) -> int:
             state = "STALE" if index.stale_for(corpus) else "fresh"
             print(f"index: {len(index.inverted.document_ids())} documents, "
                   f"config {index.config.fingerprint()}, {state}")
+        if has_segments:
+            seg = SegmentedCorpusIndex.open(segments_root)
+            info = seg.info()
+            state = "STALE" if seg.stale_for(corpus) else "fresh"
+            print(f"segmented index: {info['docs']} documents in "
+                  f"{info['segments']} segment"
+                  f"{'s' if info['segments'] != 1 else ''}, "
+                  f"{info['tombstones']} tombstone"
+                  f"{'s' if info['tombstones'] != 1 else ''}, "
+                  f"{info['payload_bytes']} payload bytes "
+                  f"({info['postings_bytes_loaded']} loaded), "
+                  f"config {info['config_fingerprint']}, {state}")
+        elif index is not None:
+            print("segmented index: none "
+                  "(run qmatch index build --segmented)")
+        return 0
+
+    if args.index_command == "compact":
+        if not has_segments:
+            raise ValidationError(
+                f"corpus {str(corpus.root)!r} has no segmented index to "
+                "compact; build one with qmatch index build --segmented"
+            )
+        seg = SegmentedCorpusIndex.open(segments_root)
+        before = seg.segment_count
+        outcome = seg.compact(full=not args.auto)
+        print(f"compacted {before} segment{'s' if before != 1 else ''} "
+              f"-> {outcome['segments']}; dropped {outcome['dropped']} "
+              f"tombstoned document"
+              f"{'s' if outcome['dropped'] != 1 else ''}")
         return 0
 
     if args.index_command == "build":
@@ -996,21 +1134,37 @@ def _command_index(args) -> int:
             use_thesaurus=not args.no_thesaurus,
         )
         added = _corpus_add_refs(
-            corpus, args.schemas, add_builtins=args.builtins
+            corpus, args.schemas, add_builtins=args.builtins,
+            progress=progress,
         )
-        index = CorpusIndex.build(corpus, config=config)
+        if args.segmented:
+            index = SegmentedCorpusIndex.build(corpus, config=config)
+        else:
+            index = CorpusIndex.build(corpus, config=config)
+            index.save(index_path)
     else:  # add
         profile = _profile_data_files(args.data) or None
-        added = _corpus_add_refs(corpus, args.schemas, profile=profile)
-        if index_path.exists():
+        added = _corpus_add_refs(
+            corpus, args.schemas, profile=profile, progress=progress,
+        )
+        if args.segmented:
+            if has_segments:
+                index = SegmentedCorpusIndex.open(segments_root)
+                index.refresh(corpus)
+            else:
+                index = SegmentedCorpusIndex.build(corpus)
+        elif index_path.exists():
             index = CorpusIndex.load(index_path)
             index.refresh(corpus)
+            index.save(index_path)
         else:
             index = CorpusIndex.build(corpus)
-    index.save(index_path)
-    print(f"{len(added)} schema{'s' if len(added) != 1 else ''} added; "
-          f"{len(corpus)} in corpus; index covers "
-          f"{len(index.inverted.document_ids())} documents")
+            index.save(index_path)
+    if not quiet:
+        kind = "segmented index" if args.segmented else "index"
+        print(f"{len(added)} schema{'s' if len(added) != 1 else ''} added; "
+              f"{len(corpus)} in corpus; {kind} covers "
+              f"{index.document_count} documents")
     return 0
 
 
@@ -1033,10 +1187,16 @@ def _command_search(args) -> int:
         )
     if args.workers < 1:
         raise ValidationError(f"invalid --workers {args.workers}: must be >= 1")
+    if args.shards is not None and not args.segmented:
+        raise ValidationError("--shards requires --segmented")
+    if args.shards is not None and args.shards < 1:
+        raise ValidationError(
+            f"invalid --shards {args.shards}: must be >= 1"
+        )
     threshold = validate_threshold(args.threshold, field="--threshold")
     searcher = build_searcher(
         args.corpus, cache_dir=args.cache_dir, workers=args.workers,
-        scorer=args.scorer,
+        scorer=args.scorer, segmented=args.segmented, shards=args.shards,
     )
     searcher.threshold = threshold
     if args.weights:

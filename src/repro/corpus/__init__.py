@@ -13,11 +13,18 @@ prunes candidate pairs before the expensive hybrid match runs:
   node-label shingles for structural blocking;
 - :class:`~repro.corpus.search.CorpusSearcher` -- two-stage top-k
   search: cheap index retrieval to a candidate shortlist, then a full
-  QMatch rerank of the shortlist through the batch runner.
+  QMatch rerank of the shortlist through the batch runner;
+- :class:`~repro.corpus.segments.SegmentedCorpusIndex` -- the
+  scale-out storage backend: immutable on-disk segments with packed
+  postings, tombstoned removals and size-tiered compaction, presenting
+  the same retrieve surface with byte-identical scores;
+- :class:`~repro.corpus.shard.ShardedCorpusSearcher` -- stage-1 scan
+  fan-out over deterministic segment shards, composing with the
+  process-parallel rerank.
 
-The CLI front ends are ``qmatch index build/add/info`` and
+The CLI front ends are ``qmatch index build/add/info/compact`` and
 ``qmatch search``; the HTTP front end is ``POST /search`` on
-``qmatch serve --corpus``.  See DESIGN.md §9.
+``qmatch serve --corpus``.  See DESIGN.md §9 and §13.
 """
 
 from repro.corpus.corpus import CorpusEntry, CorpusError, SchemaCorpus
@@ -30,6 +37,12 @@ from repro.corpus.indexes import (
     schema_tokens,
 )
 from repro.corpus.search import CorpusSearcher, SearchHit, SearchResult
+from repro.corpus.segments import (
+    Segment,
+    SegmentedCorpusIndex,
+    SegmentError,
+)
+from repro.corpus.shard import ShardedCorpusSearcher
 
 __all__ = [
     "CorpusEntry",
@@ -42,6 +55,10 @@ __all__ = [
     "SchemaCorpus",
     "SearchHit",
     "SearchResult",
+    "Segment",
+    "SegmentError",
+    "SegmentedCorpusIndex",
+    "ShardedCorpusSearcher",
     "schema_shingles",
     "schema_tokens",
 ]

@@ -28,7 +28,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.service.store import atomic_write_text, canonical_json, content_hash
 from repro.xsd.model import SchemaTree
@@ -233,6 +233,56 @@ class SchemaCorpus:
         self._entries[schema_hash] = entry
         self._write_manifest()
         return entry
+
+    def add_many(self, schemas: Iterable[Union[SchemaTree, str]],
+                 source_kind: str = "xsd") -> list[CorpusEntry]:
+        """Add a batch of schemas with ONE manifest write at the end.
+
+        :meth:`add` rewrites the full manifest per schema, which makes
+        bulk ingest O(n²) in manifest bytes; batching commits the whole
+        batch atomically instead, so ingesting schema 100 001 costs the
+        same as schema 1.  Returns the entries that were actually new
+        (duplicates are skipped, as in :meth:`add`).  If an item fails
+        (e.g. a name conflict), the schemas already staged are still
+        committed before the error propagates -- the manifest never
+        references a schema file that was not written.
+        """
+        from repro.xsd.parser import parse_xsd
+        from repro.xsd.serializer import to_xsd
+
+        added: list[CorpusEntry] = []
+        try:
+            for schema in schemas:
+                if isinstance(schema, SchemaTree):
+                    tree = schema
+                else:
+                    tree = parse_xsd(schema)
+                text = to_xsd(tree)
+                schema_hash = content_hash(text)
+                if schema_hash in self._entries:
+                    continue
+                entry_name = tree.name
+                for other in self._entries.values():
+                    if other.name == entry_name:
+                        raise CorpusError(
+                            f"corpus already has a different schema named "
+                            f"{entry_name!r} (hash {other.hash[:12]}); "
+                            "remove it first or add under another name"
+                        )
+                entry = CorpusEntry(
+                    hash=schema_hash,
+                    name=entry_name,
+                    nodes=tree.size,
+                    max_depth=tree.max_depth,
+                    source_kind=source_kind,
+                )
+                atomic_write_text(self.schema_path(schema_hash), text)
+                self._entries[schema_hash] = entry
+                added.append(entry)
+        finally:
+            if added:
+                self._write_manifest()
+        return added
 
     def add_file(self, path: Union[str, Path],
                  name: Optional[str] = None,

@@ -415,10 +415,19 @@ class MinHashIndex:
             for a, b in self._params
         )
 
-    def _band_keys(self, signature: tuple):
+    def band_keys(self, signature: tuple):
+        """The LSH bucket keys of a signature, one per band.
+
+        Public so the segmented index can build per-segment bucket
+        tables from stored signatures with the exact banding this
+        configuration uses.
+        """
         for band in range(self.bands):
             start = band * self.rows
             yield (band, signature[start:start + self.rows])
+
+    # Internal alias kept for the historical private name.
+    _band_keys = band_keys
 
     def add(self, doc_id: str, signature: tuple):
         if doc_id in self._signatures:
@@ -567,6 +576,23 @@ class CorpusIndex:
     def stale_for(self, corpus) -> bool:
         """True when the corpus content changed since this index was built."""
         return self.corpus_fingerprint != corpus.fingerprint()
+
+    def info(self) -> dict:
+        """Index shape summary, shared with the segmented index.
+
+        A monolithic index is one fully-resident structure: no
+        segments, no tombstones, and nothing lazily loaded -- the
+        zeros here make the corpus gauges meaningful across both
+        index kinds.
+        """
+        return {
+            "kind": "monolithic",
+            "segments": 0,
+            "docs": self.document_count,
+            "tombstones": 0,
+            "postings_bytes_loaded": 0,
+            "config_fingerprint": self.config.fingerprint(),
+        }
 
     # ------------------------------------------------------------------
     # Query-side feature extraction

@@ -190,6 +190,22 @@ class CorpusSearcher:
     # Stage 1: index retrieval
     # ------------------------------------------------------------------
 
+    def _stage1(self, tokens, signature) -> tuple:
+        """Raw stage-1 signals: ``(lexical_scores, structural_candidates)``.
+
+        The extension seam the sharded searcher overrides to fan the
+        scan.  Indexes exposing a combined ``retrieve_scores`` (the
+        segmented index, which shares admission state between the two
+        signals) are preferred over the two facade calls.
+        """
+        combined = getattr(self.index, "retrieve_scores", None)
+        if combined is not None:
+            return combined(tokens, signature, scorer=self.scorer)
+        return (
+            self.index.inverted.scores(tokens, scorer=self.scorer),
+            self.index.minhash.candidates(signature),
+        )
+
     def retrieve(self, query_tree, stats: Optional[EngineStats] = None,
                  ) -> list[SearchHit]:
         """Every candidate with index evidence, best-first.
@@ -202,8 +218,7 @@ class CorpusSearcher:
         with stats.stage("search:retrieve"):
             tokens = self.index.query_tokens(query_tree)
             signature = self.index.query_signature(query_tree)
-            lexical = self.index.inverted.scores(tokens, scorer=self.scorer)
-            structural_candidates = self.index.minhash.candidates(signature)
+            lexical, structural_candidates = self._stage1(tokens, signature)
             candidates = set(lexical) | structural_candidates
             hits = []
             for doc_id in candidates:

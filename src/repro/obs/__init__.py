@@ -25,6 +25,7 @@ from repro.obs.log import NULL_LOGGER, EventLogger, new_run_id
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
+    corpus_index_metrics,
     engine_stats_metrics,
 )
 from repro.obs.trace import (
@@ -45,6 +46,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "Trace",
     "TraceRecorder",
+    "corpus_index_metrics",
     "engine_stats_metrics",
     "load_trace",
     "new_run_id",

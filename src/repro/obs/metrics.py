@@ -387,6 +387,33 @@ def pool_depth_metrics(registry: MetricsRegistry, size: int, idle: int,
             counter.inc(respawns - counter.value)
 
 
+def corpus_index_metrics(registry: MetricsRegistry, info: dict):
+    """Set the corpus-index shape gauges from an ``index.info()`` dict.
+
+    Works for both index kinds: a monolithic index reports zero
+    segments/tombstones and zero lazily-loaded bytes, a segmented one
+    reports its real shape -- the ``kind`` label tells dashboards which
+    backend is serving.  Rendered names are ``qmatch_corpus_segments``,
+    ``qmatch_corpus_docs``, ``qmatch_corpus_tombstones`` and
+    ``qmatch_corpus_postings_loaded_bytes``.
+    """
+    kind = {"kind": str(info.get("kind", "unknown"))}
+    registry.gauge(
+        "corpus_segments", "Live index segments (0 for monolithic).", kind,
+    ).set(info.get("segments", 0))
+    registry.gauge(
+        "corpus_docs", "Live (non-tombstoned) indexed documents.", kind,
+    ).set(info.get("docs", 0))
+    registry.gauge(
+        "corpus_tombstones",
+        "Removed documents awaiting compaction.", kind,
+    ).set(info.get("tombstones", 0))
+    registry.gauge(
+        "corpus_postings_loaded_bytes",
+        "Packed segment payload bytes lazily loaded into memory.", kind,
+    ).set(info.get("postings_bytes_loaded", 0))
+
+
 def engine_stats_metrics(stats: EngineStats,
                          registry: Optional[MetricsRegistry] = None,
                          ) -> MetricsRegistry:

@@ -76,11 +76,14 @@ class PoolWarmup:
     """
 
     def __init__(self, corpus_dir=None, cache_dir=None,
-                 scorer: str = "cosine", tree_cache: int = DEFAULT_TREE_CACHE):
+                 scorer: str = "cosine", tree_cache: int = DEFAULT_TREE_CACHE,
+                 segmented: bool = False, shards=None):
         self.corpus_dir = str(corpus_dir) if corpus_dir is not None else None
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.scorer = scorer
         self.tree_cache = tree_cache
+        self.segmented = segmented
+        self.shards = shards
 
     def __call__(self) -> dict:
         from repro.linguistic.thesaurus import Thesaurus
@@ -96,7 +99,8 @@ class PoolWarmup:
 
             state["searcher"] = build_searcher(
                 self.corpus_dir, cache_dir=self.cache_dir,
-                scorer=self.scorer,
+                scorer=self.scorer, segmented=self.segmented,
+                shards=self.shards,
             )
         return state
 
@@ -282,6 +286,8 @@ class WorkerPool(JobExecutionCore):
                  corpus_dir=None,
                  cache_dir=None,
                  scorer: str = "cosine",
+                 segmented: bool = False,
+                 shards=None,
                  mp_context=None,
                  log=NULL_LOGGER,
                  metrics=None,
@@ -304,6 +310,7 @@ class WorkerPool(JobExecutionCore):
         self.worker = worker
         self.warm = warm if warm is not None else PoolWarmup(
             corpus_dir=corpus_dir, cache_dir=cache_dir, scorer=scorer,
+            segmented=segmented, shards=shards,
         )
         self.spawn_timeout = spawn_timeout
         if mp_context is None:

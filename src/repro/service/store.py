@@ -69,14 +69,23 @@ def atomic_write_text(path, text: str) -> Path:
     A concurrent reader sees either the previous content or the new
     content, never a partial write.  Parent directories are created.
     """
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_bytes(path, blob: bytes) -> Path:
+    """Write ``blob`` to ``path`` atomically (temp file + rename).
+
+    The binary twin of :func:`atomic_write_text`; the packed corpus
+    segment files (postings, MinHash signatures) go through this.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=".tmp-", suffix=path.suffix
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -8,16 +8,35 @@ experiments (Figure 4/5) run on inputs with the paper's reported
 characteristics.
 
 Generation is reproducible: the same :class:`GeneratorConfig` always
-yields the same tree.
+yields the same tree.  For *corpus-scale* generation (the segmented
+index benchmarks index 100k synthetic schemas), :func:`derive_seed`
+expands one master seed into per-schema seeds via blake2b -- so the
+whole corpus is byte-for-byte reproducible from a single published
+integer -- and :func:`synthetic_corpus_configs` builds the per-schema
+configs, each drawing its name vocabulary from a shared pool sized
+``~sqrt(count)`` (:func:`vocabulary_pool`).  The pool scaling grows
+the *label* space with the corpus: since LSH shingles are whole
+normalized labels, MinHash buckets stay sparse as the corpus grows
+(a 23-word shared vocabulary would put every schema in every bucket).
+Index *tokens*, by contrast, split compound labels into their base
+stems, so posting lists stay dense at any scale -- which is exactly
+the regime the segmented index's candidate-admission budget
+(``max_candidates``) is built for.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import random
 from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.xsd.errors import SchemaValidationError
 from repro.xsd.model import NodeKind, SchemaNode, SchemaTree
+
+#: Master seed the committed benchmark corpora are derived from.
+CORPUS_MASTER_SEED = 2005
 
 #: Default name vocabulary -- deliberately generic; domain datasets pass
 #: their own (see :mod:`repro.datasets.protein`).
@@ -169,3 +188,85 @@ class SchemaGenerator:
         for node in root.iter_preorder():
             if node.is_leaf and node.type_name is None:
                 node.type_name = self._rng.choice(self.config.type_pool)
+
+
+# ----------------------------------------------------------------------
+# Corpus-scale generation: one master seed -> N reproducible schemas
+# ----------------------------------------------------------------------
+
+def derive_seed(master_seed: int, index: int, label: str = "schema") -> int:
+    """A per-item seed derived from one master seed, stable forever.
+
+    blake2b over ``label:master_seed:index`` rather than e.g.
+    ``master_seed + index`` so derived streams never overlap (schema 1
+    of seed 7 is unrelated to schema 0 of seed 8) and never depend on
+    Python's salted :func:`hash`.
+    """
+    material = f"{label}:{master_seed}:{index}".encode("utf-8")
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def vocabulary_pool(size: int, master_seed: int = CORPUS_MASTER_SEED,
+                    ) -> tuple:
+    """A deterministic pool of ``size`` distinct compound names.
+
+    Words pair two base-vocabulary stems (camelCase, as real schema
+    labels compound) and disambiguate with a numeric suffix once the
+    pair space is exhausted; the pairing order is a seeded shuffle so
+    different master seeds give different (but reproducible) pools.
+    """
+    rng = random.Random(derive_seed(master_seed, 0, label="vocab"))
+    base = list(DEFAULT_VOCABULARY)
+    pairs = [
+        first + second.capitalize()
+        for first in base for second in base if first != second
+    ]
+    rng.shuffle(pairs)
+    words = []
+    suffix = 0
+    while len(words) < size:
+        chunk = pairs if suffix == 0 else [
+            f"{pair}{suffix + 1}" for pair in pairs
+        ]
+        words.extend(chunk[:size - len(words)])
+        suffix += 1
+    return tuple(words)
+
+
+def synthetic_corpus_configs(count: int,
+                             master_seed: int = CORPUS_MASTER_SEED,
+                             n_nodes: int = 24,
+                             max_depth: int = 4,
+                             schema_vocab: int = 24,
+                             pool: Optional[tuple] = None,
+                             ) -> Iterator[GeneratorConfig]:
+    """Per-schema configs for a reproducible ``count``-schema corpus.
+
+    Every config is a pure function of ``(master_seed, index)``:
+    the schema seed comes from :func:`derive_seed` and its vocabulary
+    is a seeded sample of ``schema_vocab`` words from a shared pool
+    sized ``max(64, 8 * sqrt(count))`` (unless an explicit ``pool`` is
+    given).  Generating the corpus twice -- on different machines, in
+    CI -- yields byte-identical schemas for equal indexes; pass an
+    explicit ``pool`` to also keep a smaller count a byte-identical
+    prefix of a larger one (the default pool scales with ``count``).
+    """
+    if pool is None:
+        pool = vocabulary_pool(
+            max(64, int(8 * math.sqrt(count))), master_seed
+        )
+    for index in range(count):
+        seed = derive_seed(master_seed, index)
+        vocab_rng = random.Random(derive_seed(master_seed, index,
+                                              label="pick"))
+        vocabulary = tuple(
+            vocab_rng.sample(pool, min(schema_vocab, len(pool)))
+        )
+        yield GeneratorConfig(
+            n_nodes=n_nodes,
+            max_depth=max_depth,
+            seed=seed,
+            vocabulary=vocabulary,
+            root_name=f"Synth{index:06d}",
+        )

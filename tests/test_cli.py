@@ -758,3 +758,99 @@ class TestHeterogeneousIndex:
                      "--weights", "3,2,1,4,2",
                      "--data", str(FIXTURES / "books.csv")]) == 0
         assert "catalog" in capsys.readouterr().out
+
+
+class TestSegmentedIndexCommands:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        return str(tmp_path / "corpus")
+
+    def test_build_segmented_and_info(self, corpus_dir, capsys):
+        assert main(["index", "build", corpus_dir, "builtin:PO1",
+                     "builtin:PO2", "--segmented"]) == 0
+        output = capsys.readouterr().out
+        assert "segmented index covers 2 documents" in output
+        assert main(["index", "info", corpus_dir]) == 0
+        info = capsys.readouterr().out
+        assert "segmented index: 2 documents in 1 segment" in info
+        assert "fresh" in info
+        assert Path(corpus_dir, "segments", "manifest.json").exists()
+
+    def test_info_reports_stale_segments(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1", "--segmented"])
+        capsys.readouterr()
+        # Mutate the corpus behind the segmented index's back: the
+        # monolithic index refreshes, the segmented one goes STALE.
+        main(["index", "add", corpus_dir, "builtin:Book"])
+        assert main(["index", "info", corpus_dir]) == 0
+        info = capsys.readouterr().out
+        assert "segmented index:" in info
+        assert "STALE" in info
+
+    def test_add_segmented_refreshes(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1", "--segmented"])
+        capsys.readouterr()
+        assert main(["index", "add", corpus_dir, "builtin:Book",
+                     "--segmented"]) == 0
+        assert "segmented index covers 2 documents" in \
+            capsys.readouterr().out
+        assert main(["index", "info", corpus_dir]) == 0
+        assert "2 documents in 2 segments" in capsys.readouterr().out
+
+    def test_compact_folds_segments(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1", "--segmented"])
+        main(["index", "add", corpus_dir, "builtin:Book", "--segmented"])
+        capsys.readouterr()
+        assert main(["index", "compact", corpus_dir]) == 0
+        assert "compacted 2 segments -> 1; dropped 0" in \
+            capsys.readouterr().out
+        assert main(["index", "info", corpus_dir]) == 0
+        assert "2 documents in 1 segment" in capsys.readouterr().out
+
+    def test_compact_without_segments_rejected(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1"])
+        capsys.readouterr()
+        assert main(["index", "compact", corpus_dir]) == 2
+        assert "no segmented index" in capsys.readouterr().err
+
+    def test_quiet_build_prints_nothing(self, corpus_dir, capsys):
+        assert main(["index", "build", corpus_dir, "builtin:PO1",
+                     "--segmented", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_segmented_search_matches_monolithic(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1", "builtin:PO2",
+              "builtin:Book"])
+        main(["index", "build", corpus_dir, "--segmented"])
+        capsys.readouterr()
+        assert main(["search", corpus_dir, "builtin:PO1", "--k", "2",
+                     "--no-rerank"]) == 0
+        monolithic = capsys.readouterr().out
+        assert main(["search", corpus_dir, "builtin:PO1", "--k", "2",
+                     "--no-rerank", "--segmented"]) == 0
+        assert capsys.readouterr().out == monolithic
+        assert main(["search", corpus_dir, "builtin:PO1", "--k", "2",
+                     "--no-rerank", "--segmented", "--shards", "2"]) == 0
+        assert capsys.readouterr().out == monolithic
+
+    def test_shards_require_segmented(self, corpus_dir, capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1"])
+        capsys.readouterr()
+        assert main(["search", corpus_dir, "builtin:PO1",
+                     "--shards", "2"]) == 2
+        assert "--shards requires --segmented" in capsys.readouterr().err
+
+    def test_serve_shards_require_segmented(self, corpus_dir, capsys):
+        assert main(["serve", "--corpus", corpus_dir, "--shards", "2"]) == 2
+        assert "--shards requires --segmented" in capsys.readouterr().err
+        assert main(["serve", "--corpus", corpus_dir, "--segmented",
+                     "--shards", "0"]) == 2
+        assert "invalid --shards 0" in capsys.readouterr().err
+
+    def test_segmented_search_without_segments_rejected(self, corpus_dir,
+                                                        capsys):
+        main(["index", "build", corpus_dir, "builtin:PO1"])
+        capsys.readouterr()
+        assert main(["search", corpus_dir, "builtin:PO1",
+                     "--segmented"]) == 2
+        assert "qmatch index build --segmented" in capsys.readouterr().err

@@ -71,6 +71,58 @@ class TestAddRemove:
             corpus.remove("nope")
 
 
+class TestAddMany:
+    def test_batch_adds_all(self, corpus, po1_tree, po2_tree, book_tree):
+        entries = corpus.add_many([po1_tree, po2_tree, book_tree])
+        assert [entry.name for entry in entries] == ["PO1", "PO2", "Book"]
+        assert len(corpus) == 3
+
+    def test_single_manifest_write(self, corpus, po1_tree, po2_tree,
+                                   book_tree, monkeypatch):
+        # The point of the batch API: one atomic commit for N schemas
+        # instead of N full manifest rewrites.
+        original = SchemaCorpus._write_manifest
+        writes = []
+        monkeypatch.setattr(
+            SchemaCorpus, "_write_manifest",
+            lambda self: (writes.append(1), original(self))[1],
+        )
+        corpus.add_many([po1_tree, po2_tree, book_tree])
+        assert len(writes) == 1
+
+    def test_equivalent_to_sequential_adds(self, tmp_path, po1_tree,
+                                           po2_tree, book_tree):
+        batched = SchemaCorpus(tmp_path / "batched")
+        batched.add_many([po1_tree, po2_tree, book_tree])
+        sequential = SchemaCorpus(tmp_path / "sequential")
+        for tree in (po1_tree, po2_tree, book_tree):
+            sequential.add(tree)
+        assert (batched.root / MANIFEST_NAME).read_bytes() \
+            == (sequential.root / MANIFEST_NAME).read_bytes()
+
+    def test_duplicates_skipped(self, corpus, po1_tree):
+        corpus.add(po1_tree)
+        assert corpus.add_many([po1_tree, po1_tree]) == []
+        assert len(corpus) == 1
+
+    def test_accepts_xsd_text(self, corpus, po1_tree):
+        entries = corpus.add_many([to_xsd(po1_tree)])
+        # Text input takes its name from the parsed root, as add() does.
+        assert [entry.hash for entry in entries] \
+            == [content_hash(to_xsd(po1_tree))]
+        assert len(corpus) == 1
+
+    def test_name_conflict_still_commits_staged(self, corpus, po1_tree,
+                                                po2_tree, book_tree):
+        corpus.add(po2_tree, name="Book")
+        with pytest.raises(CorpusError, match="Book"):
+            corpus.add_many([po1_tree, book_tree])
+        # PO1 was staged before the conflict and must not be lost.
+        reopened = SchemaCorpus(corpus.root)
+        assert "PO1" in reopened
+        assert len(reopened) == 2
+
+
 class TestLookup:
     def test_entry_by_hash_and_name(self, corpus, po1_tree):
         added = corpus.add(po1_tree)

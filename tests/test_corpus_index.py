@@ -216,6 +216,35 @@ class TestCorpusIndex:
         assert (tmp_path / "refreshed.json").read_bytes() == \
             (tmp_path / "rebuilt.json").read_bytes()
 
+    def test_refresh_after_removal_only(self, builtin_corpus):
+        index = CorpusIndex.build(builtin_corpus)
+        removed = builtin_corpus.entry("PO2").hash
+        builtin_corpus.remove("PO2")
+        assert index.stale_for(builtin_corpus)
+        assert index.refresh(builtin_corpus) == (0, 1)
+        assert not index.stale_for(builtin_corpus)
+        assert removed not in index.inverted.document_ids()
+        # Removal shifts N and every df: post-refresh scores must match
+        # a from-scratch build over the remaining documents.
+        tree = builtin_corpus.load("PO1")
+        tokens = index.query_tokens(tree)
+        fresh = CorpusIndex.build(builtin_corpus)
+        assert index.inverted.scores(tokens) \
+            == fresh.inverted.scores(tokens)
+
+    def test_refresh_after_remove_and_readd_same_name(self, builtin_corpus,
+                                                      po2_tree):
+        index = CorpusIndex.build(builtin_corpus)
+        old_hash = builtin_corpus.entry("PO2").hash
+        builtin_corpus.remove("PO2")
+        index.refresh(builtin_corpus)
+        builtin_corpus.add(po2_tree)
+        assert index.stale_for(builtin_corpus)
+        assert index.refresh(builtin_corpus) == (1, 0)
+        assert not index.stale_for(builtin_corpus)
+        assert old_hash in index.inverted.document_ids()
+        assert index.document_count == len(builtin_corpus)
+
     def test_version_mismatch_rejected(self, builtin_corpus):
         payload = CorpusIndex.build(builtin_corpus).to_payload()
         payload["version"] = 99

@@ -1,0 +1,582 @@
+"""Segmented corpus index: packed payloads, score parity, tombstones,
+compaction, lazy loading (repro.corpus.segments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    CorpusIndex,
+    CorpusSearcher,
+    SchemaCorpus,
+    Segment,
+    SegmentedCorpusIndex,
+    SegmentError,
+)
+from repro.corpus.indexes import MinHashIndex
+from repro.corpus.segments import (
+    SEGMENT_META_NAME,
+    SEGMENTS_DIR,
+    pack_postings,
+    pack_signatures,
+    unpack_postings,
+    unpack_signatures,
+)
+from repro.datasets.registry import load_schema, schema_names
+from repro.xsd.generator import SchemaGenerator, synthetic_corpus_configs
+
+
+def synth_trees(count, n_nodes=8, max_depth=2):
+    """Small deterministic trees for shape-sensitive segment tests."""
+    return [
+        SchemaGenerator(config).generate()
+        for config in synthetic_corpus_configs(
+            count, n_nodes=n_nodes, max_depth=max_depth, schema_vocab=12
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Packed payload codecs
+# ----------------------------------------------------------------------
+
+class TestPacking:
+    def test_postings_round_trip_preserves_order(self):
+        docs = [
+            [("beta", 3), ("alpha", 1), ("gamma", 2)],
+            [],
+            [("alpha", 7)],
+        ]
+        assert unpack_postings(pack_postings(docs)) == docs
+
+    def test_postings_handle_non_ascii_tokens(self):
+        docs = [[("protéine", 2), ("感情", 1)]]
+        assert unpack_postings(pack_postings(docs)) == docs
+
+    def test_postings_bad_magic_rejected(self):
+        with pytest.raises(SegmentError, match="magic"):
+            unpack_postings(b"XXXX" + b"\x00" * 16)
+
+    def test_signatures_round_trip(self):
+        signatures = [(1, 2, 3, 2 ** 61 - 2), (0, 0, 0, 0)]
+        packed = pack_signatures(signatures, num_perm=4)
+        assert unpack_signatures(packed) == (signatures, 4)
+
+    def test_signatures_length_mismatch_rejected(self):
+        with pytest.raises(SegmentError, match="num_perm"):
+            pack_signatures([(1, 2)], num_perm=3)
+
+    def test_signatures_bad_magic_rejected(self):
+        with pytest.raises(SegmentError, match="magic"):
+            unpack_signatures(b"NOPE" + b"\x00" * 16)
+
+
+# ----------------------------------------------------------------------
+# One segment
+# ----------------------------------------------------------------------
+
+class TestSegment:
+    DOCS = [
+        ("doc-a", [("alpha", 2), ("beta", 1)], (1, 2, 3, 4)),
+        ("doc-b", [("beta", 5)], (5, 6, 7, 8)),
+    ]
+
+    def test_write_then_open_is_lazy(self, tmp_path):
+        segment = Segment.write(tmp_path / "seg", "seg-000001",
+                                self.DOCS, num_perm=4)
+        reopened = Segment(tmp_path / "seg")
+        assert reopened.seg_id == "seg-000001"
+        assert reopened.doc_ids == ["doc-a", "doc-b"]
+        assert reopened.doc_count == 2
+        assert not reopened.loaded
+        assert reopened.bytes_loaded == 0
+        assert reopened.payload_bytes == segment.payload_bytes > 0
+
+    def test_load_materializes_payloads(self, tmp_path):
+        Segment.write(tmp_path / "seg", "seg-000001", self.DOCS, num_perm=4)
+        segment = Segment(tmp_path / "seg")
+        hasher = MinHashIndex(num_perm=4, bands=2)
+        segment.load(hasher)
+        assert segment.loaded
+        assert segment.bytes_loaded == segment.payload_bytes
+        assert segment.items_of(0) == [("alpha", 2), ("beta", 1)]
+        assert segment.map_of(1) == {"beta": 5}
+        assert segment.length_of(0) == 3
+        assert segment.signature_of(1) == (5, 6, 7, 8)
+        assert segment.postings["beta"] == [(0, 1), (1, 5)]
+
+    def test_load_is_idempotent(self, tmp_path):
+        Segment.write(tmp_path / "seg", "seg-000001", self.DOCS, num_perm=4)
+        segment = Segment(tmp_path / "seg")
+        hasher = MinHashIndex(num_perm=4, bands=2)
+        first = segment.load(hasher).postings
+        assert segment.load(hasher).postings is first
+
+    def test_missing_meta_rejected(self, tmp_path):
+        with pytest.raises(SegmentError, match=SEGMENT_META_NAME):
+            Segment(tmp_path / "absent")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        Segment.write(tmp_path / "seg", "seg-000001", self.DOCS, num_perm=4)
+        meta = tmp_path / "seg" / SEGMENT_META_NAME
+        meta.write_text(
+            meta.read_text(encoding="utf-8").replace(
+                '"version": 1', '"version": 99'
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(SegmentError, match="version"):
+            Segment(tmp_path / "seg")
+
+
+# ----------------------------------------------------------------------
+# Score parity with the monolithic index (the acceptance assertion)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def full_corpus(tmp_path_factory):
+    """Every builtin schema in one corpus (the acceptance fixture)."""
+    corpus = SchemaCorpus(tmp_path_factory.mktemp("segments") / "corpus")
+    corpus.add_many([load_schema(name) for name in schema_names()])
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def mono_index(full_corpus):
+    # Freshly built (not save/load round-tripped): the monolithic JSON
+    # payload sorts each document's token vector, so a *loaded* index
+    # accumulates norms in sorted order while builds (segmented and
+    # monolithic alike) use extraction order.  Parity is defined against
+    # the build.
+    return CorpusIndex.build(full_corpus)
+
+
+@pytest.fixture(scope="module")
+def seg_index(full_corpus):
+    return SegmentedCorpusIndex.build(full_corpus)
+
+
+@pytest.fixture(scope="module")
+def multi_seg_index(full_corpus, tmp_path_factory):
+    """The same documents sealed three at a time into many segments."""
+    index = SegmentedCorpusIndex(
+        tmp_path_factory.mktemp("multi") / "segments", auto_compact=False
+    )
+    entries = full_corpus.entries()
+    for start in range(0, len(entries), 3):
+        index.add_batch(
+            (entry.hash, full_corpus.load(entry.hash))
+            for entry in entries[start:start + 3]
+        )
+    return index
+
+
+class TestMonolithicParity:
+    @pytest.mark.parametrize("scorer", ["cosine", "bm25"])
+    def test_lexical_scores_byte_identical(self, full_corpus, mono_index,
+                                           seg_index, scorer):
+        for entry in full_corpus.entries():
+            tree = full_corpus.load(entry.hash)
+            tokens = mono_index.query_tokens(tree)
+            expected = mono_index.inverted.scores(tokens, scorer=scorer)
+            assert seg_index._lexical_scores(tokens, scorer=scorer) \
+                == expected
+
+    @pytest.mark.parametrize("scorer", ["cosine", "bm25"])
+    def test_multi_segment_scores_byte_identical(self, full_corpus,
+                                                 mono_index,
+                                                 multi_seg_index, scorer):
+        # Splitting the corpus across segments must not move a single
+        # bit: IDF and norms come from the merged statistics.
+        for entry in full_corpus.entries():
+            tree = full_corpus.load(entry.hash)
+            tokens = mono_index.query_tokens(tree)
+            expected = mono_index.inverted.scores(tokens, scorer=scorer)
+            assert multi_seg_index._lexical_scores(tokens, scorer=scorer) \
+                == expected
+
+    def test_structural_candidates_identical(self, full_corpus, mono_index,
+                                             multi_seg_index):
+        for entry in full_corpus.entries():
+            tree = full_corpus.load(entry.hash)
+            signature = mono_index.query_signature(tree)
+            assert multi_seg_index.minhash.candidates(signature) \
+                == mono_index.minhash.candidates(signature)
+
+    def test_jaccard_estimates_identical(self, full_corpus, mono_index,
+                                         multi_seg_index):
+        tree = full_corpus.load("PO1")
+        signature = mono_index.query_signature(tree)
+        for entry in full_corpus.entries():
+            assert multi_seg_index.minhash.estimate(signature, entry.hash) \
+                == mono_index.minhash.estimate(signature, entry.hash)
+
+    @pytest.mark.parametrize("scorer", ["cosine", "bm25"])
+    def test_top_k_ids_and_scores_identical(self, full_corpus, mono_index,
+                                            seg_index, scorer):
+        # The acceptance check: segmented retrieval returns the same
+        # ranked ids with the same floats as the monolithic index.
+        mono = CorpusSearcher(full_corpus, mono_index, scorer=scorer)
+        segmented = CorpusSearcher(full_corpus, seg_index, scorer=scorer)
+        for entry in full_corpus.entries():
+            tree = full_corpus.load(entry.hash)
+            expected = mono.search(tree, k=10, rerank=False)
+            got = segmented.search(tree, k=10, rerank=False)
+            assert [
+                (hit.hash, hit.retrieval_score, hit.lexical_score,
+                 hit.structural_score)
+                for hit in got.hits
+            ] == [
+                (hit.hash, hit.retrieval_score, hit.lexical_score,
+                 hit.structural_score)
+                for hit in expected.hits
+            ]
+
+    def test_reopened_index_scores_identical(self, full_corpus, mono_index,
+                                             seg_index):
+        reopened = SegmentedCorpusIndex.open(
+            full_corpus.root / SEGMENTS_DIR
+        )
+        tree = full_corpus.load("Book")
+        tokens = mono_index.query_tokens(tree)
+        assert reopened._lexical_scores(tokens) \
+            == mono_index.inverted.scores(tokens)
+
+    def test_document_counts_agree(self, full_corpus, mono_index,
+                                   seg_index, multi_seg_index):
+        assert seg_index.document_count == mono_index.document_count
+        assert multi_seg_index.document_count == mono_index.document_count
+        assert seg_index.inverted.document_ids() \
+            == mono_index.inverted.document_ids()
+
+    def test_unknown_scorer_rejected(self, seg_index):
+        with pytest.raises(SegmentError, match="unknown scorer"):
+            seg_index._lexical_scores({"a": 1}, scorer="tfidf")
+
+
+class TestLazyLoading:
+    def test_open_reads_only_meta(self, full_corpus, seg_index):
+        reopened = SegmentedCorpusIndex.open(
+            full_corpus.root / SEGMENTS_DIR
+        )
+        assert reopened.document_count == len(full_corpus)
+        assert reopened.live_doc_ids() == seg_index.live_doc_ids()
+        assert all(not segment.loaded for segment in reopened.segments())
+        assert reopened.info()["postings_bytes_loaded"] == 0
+
+    def test_first_search_loads_payloads(self, full_corpus):
+        reopened = SegmentedCorpusIndex.open(
+            full_corpus.root / SEGMENTS_DIR
+        )
+        tree = full_corpus.load("PO1")
+        reopened._lexical_scores(reopened.query_tokens(tree))
+        info = reopened.info()
+        assert info["postings_bytes_loaded"] > 0
+        assert info["postings_bytes_loaded"] == info["payload_bytes"]
+
+    def test_add_batch_leaves_sealed_segments_cold(self, tmp_path):
+        # The constant-memory property: indexing batch N+1 neither
+        # loads nor rewrites segments 1..N.
+        trees = synth_trees(6)
+        index = SegmentedCorpusIndex(
+            tmp_path / "segments", auto_compact=False
+        )
+        assert index.add_batch(
+            (tree.name, tree) for tree in trees[:3]
+        ) == 3
+        first = index.segments()[0]
+        assert index.add_batch(
+            (tree.name, tree) for tree in trees[3:]
+        ) == 3
+        assert not first.loaded
+        assert index.segment_count == 2
+        assert index.document_count == 6
+
+    def test_add_batch_skips_live_documents(self, tmp_path):
+        trees = synth_trees(3)
+        index = SegmentedCorpusIndex(
+            tmp_path / "segments", auto_compact=False
+        )
+        index.add_batch((tree.name, tree) for tree in trees)
+        assert index.add_batch((tree.name, tree) for tree in trees) == 0
+        assert index.segment_count == 1
+
+
+class TestBuildDeterminism:
+    def test_build_twice_is_byte_identical(self, tmp_path, po1_tree,
+                                           po2_tree, book_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add_many([po1_tree, po2_tree, book_tree])
+        first = SegmentedCorpusIndex.build(corpus, root=tmp_path / "a")
+        second = SegmentedCorpusIndex.build(corpus, root=tmp_path / "b")
+        files_a = sorted(
+            path.relative_to(first.root)
+            for path in first.root.rglob("*") if path.is_file()
+        )
+        files_b = sorted(
+            path.relative_to(second.root)
+            for path in second.root.rglob("*") if path.is_file()
+        )
+        assert files_a == files_b
+        for relative in files_a:
+            assert (first.root / relative).read_bytes() \
+                == (second.root / relative).read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Tombstones, refresh, staleness
+# ----------------------------------------------------------------------
+
+class TestTombstones:
+    @pytest.fixture()
+    def corpus(self, tmp_path, po1_tree, po2_tree, book_tree, article_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add_many([po1_tree, po2_tree, book_tree, article_tree])
+        return corpus
+
+    def test_remove_tombstones_without_rewriting(self, corpus):
+        index = SegmentedCorpusIndex.build(corpus)
+        segment_root = index.segments()[0].root
+        before = sorted(
+            (path.name, path.read_bytes())
+            for path in segment_root.iterdir()
+        )
+        doomed = corpus.entry("PO2").hash
+        assert index.remove(doomed)
+        assert doomed not in index.live_doc_ids()
+        assert index.document_count == 3
+        assert index.tombstone_count == 1
+        # The segment payload is untouched -- only the manifest moved.
+        assert before == sorted(
+            (path.name, path.read_bytes())
+            for path in segment_root.iterdir()
+        )
+
+    def test_remove_unknown_returns_false(self, corpus):
+        index = SegmentedCorpusIndex.build(corpus)
+        assert not index.remove("not-a-doc")
+        assert index.tombstone_count == 0
+
+    def test_tombstoned_scores_match_shrunken_monolithic(self, corpus):
+        index = SegmentedCorpusIndex.build(corpus)
+        index.remove(corpus.entry("PO2").hash)
+        corpus.remove("PO2")
+        fresh = CorpusIndex.build(corpus)
+        tree = corpus.load("PO1")
+        tokens = fresh.query_tokens(tree)
+        # Removal changes N and df, hence every idf: parity must hold
+        # against a monolithic build over the remaining documents.
+        assert index._lexical_scores(tokens) \
+            == fresh.inverted.scores(tokens)
+
+    def test_tombstones_survive_reopen(self, corpus):
+        index = SegmentedCorpusIndex.build(corpus)
+        doomed = corpus.entry("Book").hash
+        index.remove(doomed)
+        reopened = SegmentedCorpusIndex.open(index.root)
+        assert reopened.tombstone_count == 1
+        assert doomed not in reopened.live_doc_ids()
+
+    def test_fully_dead_segment_is_dropped(self, corpus, human_tree):
+        index = SegmentedCorpusIndex.build(corpus, auto_compact=False)
+        index.add_batch([("extra", human_tree)])
+        assert index.segment_count == 2
+        extra_root = index.segments()[1].root
+        index.remove("extra")
+        assert index.segment_count == 1
+        assert index.tombstone_count == 0
+        assert not extra_root.exists()
+
+    def test_remove_then_readd_same_name(self, corpus):
+        index = SegmentedCorpusIndex.build(corpus, auto_compact=False)
+        readded = corpus.load("PO1")
+        doomed = corpus.entry("PO1").hash
+        corpus.remove("PO1")
+        assert index.refresh(corpus) == (0, 1)
+        assert doomed not in index.live_doc_ids()
+        corpus.add(readded)
+        assert index.stale_for(corpus)
+        assert index.refresh(corpus) == (1, 0)
+        # The doc id now exists twice on disk -- tombstoned in the old
+        # segment, live in the new one -- but counts exactly once.
+        assert doomed in index.live_doc_ids()
+        assert index.document_count == 4
+        fresh = CorpusIndex.build(corpus)
+        tokens = fresh.query_tokens(readded)
+        assert index._lexical_scores(tokens) \
+            == fresh.inverted.scores(tokens)
+
+
+class TestRefreshAndStale:
+    def test_refresh_adds_and_removes_incrementally(
+            self, tmp_path, po1_tree, po2_tree, book_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add_many([po1_tree, po2_tree])
+        index = SegmentedCorpusIndex.build(corpus)
+        assert not index.stale_for(corpus)
+        corpus.add(book_tree)
+        assert index.stale_for(corpus)
+        assert index.refresh(corpus) == (1, 0)
+        assert not index.stale_for(corpus)
+        corpus.remove("PO2")
+        assert index.stale_for(corpus)
+        assert index.refresh(corpus) == (0, 1)
+        assert not index.stale_for(corpus)
+        assert index.live_doc_ids() \
+            == {entry.hash for entry in corpus.entries()}
+
+    def test_refresh_is_one_new_segment(self, tmp_path, po1_tree, po2_tree,
+                                        book_tree, article_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add_many([po1_tree, po2_tree])
+        index = SegmentedCorpusIndex.build(corpus, auto_compact=False)
+        corpus.add_many([book_tree, article_tree])
+        assert index.refresh(corpus) == (2, 0)
+        assert index.segment_count == 2
+
+    def test_reopened_staleness_matches(self, tmp_path, po1_tree, po2_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add(po1_tree)
+        index = SegmentedCorpusIndex.build(corpus)
+        reopened = SegmentedCorpusIndex.open(index.root)
+        assert not reopened.stale_for(corpus)
+        corpus.add(po2_tree)
+        assert reopened.stale_for(corpus)
+
+    def test_open_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(SegmentError, match="qmatch index build"):
+            SegmentedCorpusIndex.open(tmp_path / "nothing")
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "segments"
+        root.mkdir()
+        (root / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(SegmentError, match="JSON"):
+            SegmentedCorpusIndex.open(root)
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+
+class TestCompaction:
+    def test_full_compact_folds_everything(self, tmp_path):
+        trees = synth_trees(6)
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add_many(trees)
+        index = SegmentedCorpusIndex(
+            tmp_path / "segments", auto_compact=False
+        )
+        for start in (0, 2, 4):
+            index.add_batch(
+                (tree.name, tree) for tree in trees[start:start + 2]
+            )
+        index.remove(trees[0].name)
+        outcome = index.compact(full=True)
+        assert outcome == {"merged": 3, "dropped": 1, "segments": 1}
+        assert index.tombstone_count == 0
+        assert index.document_count == 5
+        assert trees[0].name not in index.live_doc_ids()
+
+    def test_compact_is_idempotent(self, tmp_path, po1_tree, po2_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        corpus.add_many([po1_tree, po2_tree])
+        index = SegmentedCorpusIndex.build(corpus)
+        assert index.compact(full=True)["merged"] == 0
+
+    def test_tombstone_survives_partial_compaction(self, tmp_path):
+        # One 8-doc segment plus four singletons.  Size-tiered
+        # compaction folds the singleton tier only; a tombstone in the
+        # big (unmerged) segment must keep excluding its doc across the
+        # compaction boundary, and a later full compact drops it.
+        trees = synth_trees(12)
+        index = SegmentedCorpusIndex(
+            tmp_path / "segments", auto_compact=False, compact_trigger=4
+        )
+        index.add_batch((tree.name, tree) for tree in trees[:8])
+        for tree in trees[8:]:
+            index.add_batch([(tree.name, tree)])
+        assert index.segment_count == 5
+        doomed = trees[2].name
+        index.remove(doomed)
+        assert index.tombstone_count == 1
+        outcome = index.compact(full=False)
+        assert outcome["merged"] == 4
+        assert outcome["dropped"] == 0
+        assert index.segment_count == 2
+        assert index.tombstone_count == 1
+        assert doomed not in index.live_doc_ids()
+        assert index.document_count == 11
+        outcome = index.compact(full=True)
+        assert outcome["dropped"] == 1
+        assert index.tombstone_count == 0
+        assert doomed not in index.live_doc_ids()
+
+    def test_auto_compaction_bounds_segment_count(self, tmp_path):
+        trees = synth_trees(8)
+        index = SegmentedCorpusIndex(
+            tmp_path / "segments", compact_trigger=2
+        )
+        for tree in trees:
+            index.add_batch([(tree.name, tree)])
+        assert index.document_count == 8
+        assert index.segment_count < 4
+
+    def test_compaction_preserves_scores(self, tmp_path, po1_tree, po2_tree,
+                                         book_tree, article_tree,
+                                         library_tree, human_tree):
+        corpus = SchemaCorpus(tmp_path / "corpus")
+        trees = [po1_tree, po2_tree, book_tree,
+                 article_tree, library_tree, human_tree]
+        corpus.add_many(trees)
+        index = SegmentedCorpusIndex(
+            tmp_path / "segments", auto_compact=False
+        )
+        entries = corpus.entries()
+        for start in (0, 2, 4):
+            index.add_batch(
+                (entry.hash, corpus.load(entry.hash))
+                for entry in entries[start:start + 2]
+            )
+        fresh = CorpusIndex.build(corpus)
+        tokens = fresh.query_tokens(po1_tree)
+        expected = fresh.inverted.scores(tokens)
+        assert index._lexical_scores(tokens) == expected
+        index.compact(full=True)
+        assert index.segment_count == 1
+        assert index._lexical_scores(tokens) == expected
+
+
+# ----------------------------------------------------------------------
+# Budget mode (max_candidates)
+# ----------------------------------------------------------------------
+
+class TestBudgetMode:
+    def test_budgeted_scores_are_exact_subset(self, full_corpus, mono_index):
+        budgeted = SegmentedCorpusIndex.open(
+            full_corpus.root / SEGMENTS_DIR, max_candidates=6
+        )
+        for name in ("PO1", "Book", "Library"):
+            tree = full_corpus.load(name)
+            tokens = mono_index.query_tokens(tree)
+            signature = mono_index.query_signature(tree)
+            full = mono_index.inverted.scores(tokens)
+            lexical, _ = budgeted.retrieve_scores(tokens, signature)
+            assert lexical
+            # Admission may prune candidates, but never perturbs the
+            # score of anything admitted.
+            for doc_id, score in lexical.items():
+                assert score == full[doc_id]
+            # The query's own document is LSH-admitted and stays top.
+            self_hash = full_corpus.entry(name).hash
+            assert max(lexical, key=lexical.get) == self_hash
+            assert budgeted.last_scan["budget"] == 6
+
+    def test_scan_telemetry_recorded(self, full_corpus, seg_index):
+        tree = full_corpus.load("PO1")
+        seg_index._lexical_scores(seg_index.query_tokens(tree))
+        scan = seg_index.last_scan
+        assert scan["live_docs"] == len(full_corpus)
+        assert scan["docs_scored"] > 0
+        assert scan["postings_walked"] > 0
+        assert scan["budget"] is None

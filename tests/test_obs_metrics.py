@@ -211,3 +211,32 @@ class TestEngineStatsReporting:
 
     def test_default_buckets_are_ascending(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestCorpusIndexMetrics:
+    def test_gauges_follow_index_info(self):
+        from repro.obs.metrics import corpus_index_metrics
+
+        registry = MetricsRegistry()
+        corpus_index_metrics(registry, {
+            "kind": "segmented", "segments": 3, "docs": 120,
+            "tombstones": 2, "postings_bytes_loaded": 4096,
+        })
+        labels = {"kind": "segmented"}
+        assert registry.value("corpus_segments", labels) == 3
+        assert registry.value("corpus_docs", labels) == 120
+        assert registry.value("corpus_tombstones", labels) == 2
+        assert registry.value("corpus_postings_loaded_bytes", labels) == 4096
+        text = registry.render()
+        assert 'qmatch_corpus_docs{kind="segmented"} 120' in text
+        assert 'qmatch_corpus_segments{kind="segmented"} 3' in text
+
+    def test_monolithic_info_renders_zeros(self):
+        from repro.obs.metrics import corpus_index_metrics
+
+        registry = MetricsRegistry()
+        corpus_index_metrics(registry, {"kind": "monolithic", "docs": 7})
+        labels = {"kind": "monolithic"}
+        assert registry.value("corpus_docs", labels) == 7
+        assert registry.value("corpus_segments", labels) == 0
+        assert registry.value("corpus_tombstones", labels) == 0

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.xsd.errors import SchemaValidationError
-from repro.xsd.generator import GeneratorConfig, SchemaGenerator
+from repro.xsd.generator import (
+    CORPUS_MASTER_SEED,
+    GeneratorConfig,
+    SchemaGenerator,
+    derive_seed,
+    synthetic_corpus_configs,
+    vocabulary_pool,
+)
+from repro.xsd.serializer import to_xsd
 
 
 def generate(**kwargs):
@@ -78,6 +86,63 @@ class TestContent:
         generated = generate(n_nodes=200, max_depth=5)
         names = [node.name for node in generated]
         assert len(names) == len(set(names))
+
+
+class TestCorpusScaleDerivation:
+    """One master seed -> a byte-for-byte reproducible corpus."""
+
+    def test_derive_seed_stable_and_separated(self):
+        assert derive_seed(2005, 0) == derive_seed(2005, 0)
+        assert derive_seed(2005, 0) != derive_seed(2005, 1)
+        assert derive_seed(2005, 0) != derive_seed(2006, 0)
+        assert derive_seed(2005, 0, label="pick") != derive_seed(2005, 0)
+        assert 0 <= derive_seed(2005, 123456) < 2 ** 64
+
+    def test_vocabulary_pool_is_deterministic_prefix(self):
+        small = vocabulary_pool(10)
+        large = vocabulary_pool(50)
+        assert small == large[:10]
+        assert len(set(large)) == 50
+        assert vocabulary_pool(10, master_seed=1) \
+            != vocabulary_pool(10, master_seed=2)
+
+    def test_corpus_is_reproducible(self):
+        first = [
+            SchemaGenerator(config).generate()
+            for config in synthetic_corpus_configs(3)
+        ]
+        second = [
+            SchemaGenerator(config).generate()
+            for config in synthetic_corpus_configs(3)
+        ]
+        assert [to_xsd(tree) for tree in first] \
+            == [to_xsd(tree) for tree in second]
+        assert [tree.name for tree in first] \
+            == ["Synth000000", "Synth000001", "Synth000002"]
+
+    def test_schemas_are_distinct(self):
+        trees = [
+            SchemaGenerator(config).generate()
+            for config in synthetic_corpus_configs(4, n_nodes=12,
+                                                   max_depth=3)
+        ]
+        assert len({to_xsd(tree) for tree in trees}) == 4
+
+    def test_explicit_pool_keeps_counts_prefix_stable(self):
+        pool = vocabulary_pool(64, CORPUS_MASTER_SEED)
+        small = list(synthetic_corpus_configs(2, pool=pool))
+        large = list(synthetic_corpus_configs(5, pool=pool))[:2]
+        assert small == large
+
+    def test_default_pool_scales_with_count(self):
+        # sqrt scaling keeps the label space (and so the LSH shingle
+        # space) growing with the corpus.
+        few = {
+            word
+            for config in synthetic_corpus_configs(2)
+            for word in config.vocabulary
+        }
+        assert len(few) <= 64
 
 
 class TestConfigValidation:
