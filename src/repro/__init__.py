@@ -23,12 +23,26 @@ Main entry points:
   getting schema trees in;
 - :mod:`repro.datasets` -- the paper's evaluation schemas;
 - :mod:`repro.evaluation` -- precision / recall / overall harness;
+- :mod:`repro.constraints` -- the declarative match-constraint DSL:
+  parse a JSON/YAML criteria file (:func:`load_constraint_file`),
+  evaluate it against a result (:func:`evaluate_constraint` over
+  :class:`MatchEvidence`) and gate on the verdict (``qmatch check`` /
+  ``--require``);
 - :mod:`repro.obs` -- observability: per-pair decision traces
   (:class:`TraceRecorder`, ``qmatch explain``), the Prometheus-style
   :class:`MetricsRegistry`, structured :class:`EventLogger` logs.
 """
 
 from repro.composite.combine import CompositeMatcher
+from repro.constraints import (
+    Constraint,
+    ConstraintError,
+    ConstraintReport,
+    MatchEvidence,
+    evaluate_constraint,
+    load_constraint_file,
+    parse_constraint,
+)
 from repro.core.config import QMatchConfig
 from repro.engine.context import MatchContext
 from repro.engine.registry import (
@@ -94,6 +108,9 @@ __all__ = [
     "ALGORITHMS",
     "AxisBreakdown",
     "CompositeMatcher",
+    "Constraint",
+    "ConstraintError",
+    "ConstraintReport",
     "CupidConfig",
     "CupidMatcher",
     "DEFAULT_REGISTRY",
@@ -110,6 +127,7 @@ __all__ = [
     "LinguisticConfig",
     "LinguisticMatcher",
     "MatchCategory",
+    "MatchEvidence",
     "EventLogger",
     "MatchResult",
     "Matcher",
@@ -133,8 +151,11 @@ __all__ = [
     "attribute",
     "element",
     "SchemaStats",
+    "evaluate_constraint",
+    "load_constraint_file",
     "make_matcher",
     "match",
+    "parse_constraint",
     "parse_dtd",
     "parse_dtd_file",
     "parse_xsd",

@@ -6,7 +6,11 @@ Subcommands::
                              [--weights 0.3,0.2,0.1,0.4]
                              [--format text|tsv|json] [--save out.json]
                              [--stats] [--trace t.jsonl] [--quiet]
+                             [--require constraints.json]
+    qmatch check constraints.{json,yaml} a.xsd b.xsd
+                 [--algorithm qmatch] [--threshold 0.5] [--format text|json]
     qmatch explain t.jsonl [--path SOURCE_PATH] [--target TARGET_PATH]
+                           [--require constraints.json]
     qmatch show a.xsd [--properties]
     qmatch stats a.xsd
     qmatch evaluate [--task PO Book DCMD Inventory] [--format markdown]
@@ -16,6 +20,7 @@ Subcommands::
     qmatch sdiff old.xsd new.xsd
     qmatch batch manifest.json [--workers N] [--cache-dir DIR]
                                [--report out.json]
+                               [--require constraints.json]
     qmatch serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
                  [--mode pool|fork|inline] [--timeout S] [--retries N]
                  [--corpus DIR] [--scorer cosine|bm25] [--max-pending N]
@@ -27,13 +32,18 @@ Subcommands::
     qmatch search DIR query.xsd [--k N] [--candidates N] [--no-rerank]
                                 [--scorer cosine|bm25] [--weights W]
                                 [--segmented] [--shards N] [--data FILE]
+                                [--require constraints.json]
     qmatch ingest schema.{xsd,sql,json} [--kind xsd|sql|json]
                   [--emit text|xsd|json-schema|sql] [--data FILE ...]
                   [--profiles-out FILE]
 
 ``match`` matches two XSD files and prints the correspondences and the
 overall schema QoM (``--trace`` records every pair's per-axis decision
-record as JSON lines); ``explain`` renders such a trace as a
+record as JSON lines); ``check`` matches two schemas and gates on a
+declarative match-constraint file (JSON/YAML, see
+:mod:`repro.constraints`) -- exit 0 when the constraints hold, 1 when
+violated; the same files drive ``--require`` on ``match``, ``batch``,
+``search`` and ``explain``; ``explain`` renders a trace as a
 human-readable breakdown; ``show`` / ``stats`` inspect one schema;
 ``evaluate`` runs the three paper algorithms on the built-in evaluation
 pairs; ``generate`` emits a sample document; ``translate`` matches two
@@ -151,6 +161,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress non-error output (explicit --stats still prints)",
     )
+    match_parser.add_argument(
+        "--require", metavar="FILE", default=None,
+        help="evaluate the match against a JSON/YAML constraint file "
+             "and exit 1 when it is violated (see DESIGN.md §14)",
+    )
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="match two schemas and gate the result on a declarative "
+             "constraint file (exit 0: pass, 1: violated, 2: bad input)",
+    )
+    check_parser.add_argument(
+        "constraints",
+        help="JSON/YAML constraint file (see examples/constraints/)",
+    )
+    check_parser.add_argument(
+        "source",
+        help="source schema file (XSD; .sql DDL and .json JSON Schema "
+             "files are ingested automatically)",
+    )
+    check_parser.add_argument(
+        "target", help="target schema file (as source)",
+    )
+    check_parser.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="qmatch",
+        help="matching algorithm (default: qmatch)",
+    )
+    check_parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="correspondence acceptance threshold (default: 0.5)",
+    )
+    check_parser.add_argument(
+        "--strategy", choices=("greedy", "hierarchical", "stable", "all"),
+        default=None,
+        help="correspondence selection strategy "
+             "(default: the algorithm's own)",
+    )
+    check_parser.add_argument(
+        "--weights", metavar="L,P,H,C[,I]",
+        help="QMatch axis weights (same syntax as `qmatch match --weights`)",
+    )
+    check_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format",
+        help="report format: rendered verdict tree or the canonical "
+             "ConstraintReport JSON (default: text)",
+    )
+    check_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the report; the exit code carries the verdict",
+    )
 
     explain_parser = subparsers.add_parser(
         "explain",
@@ -177,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--alternatives", type=int, default=5,
         help="losing target candidates listed per explanation "
              "(default: 5)",
+    )
+    explain_parser.add_argument(
+        "--require", metavar="FILE", default=None,
+        help="also evaluate a JSON/YAML constraint file against the "
+             "trace's accepted pairs and exit 1 when it is violated "
+             "(structural predicates need the schemas and report so)",
     )
 
     show_parser = subparsers.add_parser(
@@ -312,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", metavar="DIR", default=None,
         help="record a per-pair decision trace for every job and write "
              "them to DIR/<job_id>.jsonl (inspect with qmatch explain)",
+    )
+    batch_parser.add_argument(
+        "--require", metavar="FILE", default=None,
+        help="evaluate every finished job against a JSON/YAML "
+             "constraint file; any violation fails the run (exit 1) "
+             "and is listed with its blame path",
     )
 
     serve_parser = subparsers.add_parser(
@@ -546,6 +619,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress non-error output (explicit --stats still prints)",
     )
+    search_parser.add_argument(
+        "--require", metavar="FILE", default=None,
+        help="admit only hits whose rerank evidence satisfies the "
+             "JSON/YAML constraint file (needs the rerank; "
+             "incompatible with --no-rerank)",
+    )
 
     ingest_parser = subparsers.add_parser(
         "ingest",
@@ -647,6 +726,28 @@ def _profile_data_files(paths, tree=None):
     return merged
 
 
+def _require_report(require_path, result, source, target, matcher,
+                    context=None):
+    """Evaluate the ``--require`` constraint file against a live result.
+
+    Goes through :meth:`MatchEvidence.from_result`, i.e. the canonical
+    payload form, so the verdict (and its canonical JSON) is identical
+    to what ``qmatch batch --require`` or the HTTP service computes for
+    the same pair and configuration.
+    """
+    from repro.constraints import (
+        MatchEvidence,
+        evaluate_constraint,
+        load_constraint_file,
+    )
+
+    constraint = load_constraint_file(require_path)
+    evidence = MatchEvidence.from_result(
+        result, source, target, matcher=matcher, context=context,
+    )
+    return evaluate_constraint(constraint, evidence)
+
+
 def _command_match(args) -> int:
     from repro.service.validation import (
         ValidationError,
@@ -708,14 +809,27 @@ def _command_match(args) -> int:
         Path(args.save).write_text(result.to_json(), encoding="utf-8")
         if not args.quiet:
             print(f"saved result to {args.save}", file=sys.stderr)
+    report = None
+    if args.require:
+        report = _require_report(
+            args.require, result, source, target, matcher, context=context,
+        )
+    status = 0 if report is None or report.passed else 1
     if args.quiet:
-        return 0
+        return status
     if args.output_format == "text":
         print(result.summary())
+        if report is not None:
+            print()
+            print(report.render())
     elif args.output_format == "tsv":
         for c in result.correspondences:
             category = c.category or ""
             print(f"{c.source_path}\t{c.target_path}\t{c.score:.4f}\t{category}")
+        if report is not None:
+            # Keep stdout machine-parsable rows; the verdict goes to
+            # stderr (the exit code already carries pass/fail).
+            print(report.render(), file=sys.stderr)
     else:
         payload = {
             "algorithm": result.algorithm,
@@ -730,6 +844,8 @@ def _command_match(args) -> int:
                 for c in result.correspondences
             ],
         }
+        if report is not None:
+            payload["constraint"] = report.as_dict()
         json.dump(payload, sys.stdout, indent=2)
         print()
     if args.find_complex:
@@ -742,7 +858,47 @@ def _command_match(args) -> int:
                 print(f"  {proposal}")
         else:
             print("\nno complex (1:n) proposals found")
-    return 0
+    return status
+
+
+def _command_check(args) -> int:
+    from repro.constraints import (
+        MatchEvidence,
+        evaluate_constraint,
+        load_constraint_file,
+    )
+    from repro.service.validation import (
+        ValidationError,
+        validate_threshold,
+        validate_weights,
+    )
+
+    constraint = load_constraint_file(args.constraints)
+    threshold = validate_threshold(args.threshold, field="--threshold")
+    kwargs = {}
+    if args.weights:
+        if args.algorithm != "qmatch":
+            raise ValidationError(
+                "--weights only applies to the qmatch algorithm"
+            )
+        weights = validate_weights(args.weights, field="--weights")
+        kwargs["config"] = QMatchConfig(weights=weights)
+    source, _ = _load_schema_cli(args.source)
+    target, _ = _load_schema_cli(args.target)
+    matcher = make_matcher(args.algorithm, **kwargs)
+    result = matcher.match(
+        source, target, threshold=threshold, strategy=args.strategy,
+    )
+    evidence = MatchEvidence.from_result(
+        result, source, target, matcher=matcher,
+    )
+    report = evaluate_constraint(constraint, evidence)
+    if not args.quiet:
+        if args.output_format == "json":
+            print(report.to_json())
+        else:
+            print(report.render())
+    return 0 if report.passed else 1
 
 
 def _command_explain(args) -> int:
@@ -760,6 +916,20 @@ def _command_explain(args) -> int:
         ))
     else:
         print(render_trace_summary(trace, top=args.top))
+    if args.require:
+        from repro.constraints import (
+            MatchEvidence,
+            evaluate_constraint,
+            load_constraint_file,
+        )
+
+        constraint = load_constraint_file(args.require)
+        report = evaluate_constraint(
+            constraint, MatchEvidence.from_trace(trace.spans),
+        )
+        print()
+        print(report.render())
+        return 0 if report.passed else 1
     return 0
 
 
@@ -877,6 +1047,11 @@ def _command_batch(args) -> int:
 
         specs = [replace(spec, trace=True) for spec in specs]
         args.no_cache = True
+    constraint = None
+    if args.require:
+        from repro.constraints import load_constraint_file
+
+        constraint = load_constraint_file(args.require)
     store = None
     if not args.no_cache:
         store = ResultStore(args.cache_dir)
@@ -885,6 +1060,7 @@ def _command_batch(args) -> int:
         runner_kwargs["timeout"] = args.timeout
     runner = BatchRunner(
         workers=args.workers, store=store, retries=args.retries,
+        constraint=constraint,
         **runner_kwargs,
     )
     report = runner.run(specs)
@@ -917,7 +1093,7 @@ def _command_batch(args) -> int:
             print(report.to_json())
         else:
             print(report.render())
-    return 0 if report.ok else 1
+    return 0 if report.ok and report.constraints_ok else 1
 
 
 def _command_serve(args) -> int:
@@ -1175,16 +1351,15 @@ def _command_search(args) -> int:
     from repro.service.server import build_searcher
     from repro.service.validation import (
         ValidationError,
+        validate_search_budget,
         validate_threshold,
         validate_weights,
     )
 
-    if args.k < 1:
-        raise ValidationError(f"invalid --k {args.k}: must be >= 1")
-    if args.candidates is not None and args.candidates < 1:
-        raise ValidationError(
-            f"invalid --candidates {args.candidates}: must be >= 1"
-        )
+    k_value, candidates = validate_search_budget(
+        args.k, args.candidates,
+        k_field="--k", candidates_field="--candidates",
+    )
     if args.workers < 1:
         raise ValidationError(f"invalid --workers {args.workers}: must be >= 1")
     if args.shards is not None and not args.segmented:
@@ -1209,10 +1384,16 @@ def _command_search(args) -> int:
     else:
         query_tree, _ = _load_schema_cli(args.query)
     query_profiles = _profile_data_files(args.data, tree=query_tree) or None
+    constraint = None
+    if args.require:
+        from repro.constraints import load_constraint_file
+
+        constraint = load_constraint_file(args.require)
     result = searcher.search(
-        query_tree, k=args.k, candidates=args.candidates,
+        query_tree, k=k_value, candidates=candidates,
         rerank=not args.no_rerank,
         query_profiles=query_profiles,
+        constraint=constraint,
     )
     if args.show_stats:
         _emit_stats(result.stats, args.output_format)
@@ -1273,6 +1454,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "match": _command_match,
+        "check": _command_check,
         "explain": _command_explain,
         "show": _command_show,
         "evaluate": _command_evaluate,

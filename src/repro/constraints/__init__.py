@@ -1,0 +1,36 @@
+"""Declarative match-constraint DSL: parse, evaluate, report.
+
+The subsystem splits cleanly in three:
+
+* :mod:`~repro.constraints.language` -- the JSON/YAML grammar and strict
+  parser (:func:`parse_constraint`, :func:`load_constraint_file`).
+* :mod:`~repro.constraints.evidence` -- :class:`MatchEvidence`, the
+  payload-derived view of a match that evaluation reads.
+* :mod:`~repro.constraints.evaluate` -- the deterministic evaluator
+  producing a canonical :class:`ConstraintReport`.
+
+Used by ``qmatch match/batch/search/check/explain --require``, the
+service's ``POST /jobs`` / ``POST /search`` ``constraints`` objects, and
+``CorpusSearcher`` post-rerank filtering.
+"""
+
+from .evaluate import ConstraintReport, evaluate_constraint
+from .evidence import MatchEvidence, attach_result_axes, breakdown_axes
+from .language import (
+    Constraint,
+    ConstraintError,
+    load_constraint_file,
+    parse_constraint,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintError",
+    "ConstraintReport",
+    "MatchEvidence",
+    "attach_result_axes",
+    "breakdown_axes",
+    "evaluate_constraint",
+    "load_constraint_file",
+    "parse_constraint",
+]

@@ -1,0 +1,406 @@
+"""Deterministic constraint evaluation over match evidence.
+
+The evaluator walks a parsed :class:`~repro.constraints.language.Constraint`
+tree against a :class:`~repro.constraints.evidence.MatchEvidence` and
+produces a :class:`ConstraintReport`: per-node pass/fail with the evidence
+that decided each predicate, aggregate predicate counts, and a *blame
+path* pointing at the first failing conjunct (e.g.
+``all[1] > element-mapped(path=PO/OrderNo, min_qom=0.9)``).
+
+Semantics worth knowing:
+
+* Combinators evaluate **all** children -- no short-circuiting -- so a
+  report always covers the whole tree and is stable regardless of child
+  ordering cost.
+* A predicate that cannot be decided (missing path, no axis evidence, no
+  schema tree in scope) **fails with a reason** instead of raising; a
+  gate should not pass because its evidence went missing.
+* Reports serialize canonically (sorted keys, fixed separators) so the
+  same payload yields byte-identical report JSON on every backend.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.matching.classes import MatchStrength
+from repro.properties.types import type_strength
+from repro.xsd.model import UNBOUNDED, occurs_to_str
+
+from .evidence import MatchEvidence
+from .language import Constraint
+
+__all__ = ["ConstraintReport", "evaluate_constraint"]
+
+
+def _compare(value: float, op: str, bound: float) -> bool:
+    if op == ">=":
+        return value >= bound
+    if op == ">":
+        return value > bound
+    if op == "<=":
+        return value <= bound
+    if op == "<":
+        return value < bound
+    if op == "==":
+        return value == bound
+    return value != bound
+
+
+def _resolve_source(evidence: MatchEvidence, path: str):
+    """Resolve a user-supplied path against the source schema.
+
+    Accepts absolute paths (``PO/PurchaseInfo``), bare element names, or
+    path suffixes (``Lines/Item``).  Returns ``(resolved_path, node,
+    reason)``; ``reason`` explains failure or ambiguity.  Without a
+    source tree (trace-derived evidence) only correspondence source
+    paths can anchor the lookup.
+    """
+    tree = evidence.source_tree
+    if tree is not None:
+        node = tree.find(path)
+        if node is not None:
+            return node.path, node, None
+        matches = [n for n in tree if n.path.endswith("/" + path) or n.name == path]
+        if len(matches) == 1:
+            return matches[0].path, matches[0], None
+        if matches:
+            shown = ", ".join(sorted(n.path for n in matches)[:4])
+            return None, None, f"path '{path}' is ambiguous in the source schema ({shown})"
+        return None, None, f"no node '{path}' in the source schema"
+    candidates = [p for p in evidence.by_source if p == path or p.endswith("/" + path)]
+    if len(candidates) == 1:
+        return candidates[0], None, None
+    if len(candidates) > 1:
+        return None, None, f"path '{path}' is ambiguous in the recorded correspondences"
+    return None, None, f"no correspondence evidence for '{path}' (source schema unavailable)"
+
+
+def _eval_element_mapped(node: Constraint, ev: MatchEvidence):
+    path = node.arg("path")
+    min_qom = node.arg("min_qom")
+    resolved, _, reason = _resolve_source(ev, path)
+    if resolved is None:
+        return False, reason, None
+    entry = ev.by_source.get(resolved)
+    if entry is None:
+        return False, f"source node '{resolved}' is unmapped", {"path": resolved}
+    score = float(entry.get("score", 0.0))
+    evidence = {"path": resolved, "target": entry.get("target"), "score": score}
+    if min_qom is not None and score < min_qom:
+        return (
+            False,
+            f"'{resolved}' maps to '{entry.get('target')}' with QoM {score:.4f} < min_qom {min_qom:g}",
+            evidence,
+        )
+    return True, f"'{resolved}' maps to '{entry.get('target')}' (QoM {score:.4f})", evidence
+
+
+def _eval_subtree_covered(node: Constraint, ev: MatchEvidence):
+    path = node.arg("path")
+    fraction = node.arg("fraction")
+    if ev.source_tree is None:
+        return False, "subtree-covered needs the source schema tree (unavailable here)", None
+    resolved, anchor, reason = _resolve_source(ev, path)
+    if anchor is None:
+        return False, reason or f"no node '{path}' in the source schema", None
+    nodes = list(anchor.iter_preorder())
+    mapped = sum(1 for n in nodes if n.path in ev.by_source)
+    coverage = mapped / len(nodes)
+    evidence = {"path": resolved, "mapped": mapped, "total": len(nodes), "coverage": coverage}
+    if coverage + 1e-9 < fraction:
+        return (
+            False,
+            f"{mapped}/{len(nodes)} nodes under '{resolved}' mapped "
+            f"({coverage:.0%} < required {fraction:.0%})",
+            evidence,
+        )
+    return (
+        True,
+        f"{mapped}/{len(nodes)} nodes under '{resolved}' mapped ({coverage:.0%})",
+        evidence,
+    )
+
+
+def _mapped_pair(node: Constraint, ev: MatchEvidence, predicate: str):
+    """Shared lookup for predicates comparing a mapped source/target node pair."""
+    path = node.arg("path")
+    if ev.source_tree is None or ev.target_tree is None:
+        return None, f"{predicate} needs both schema trees (unavailable here)"
+    resolved, source_node, reason = _resolve_source(ev, path)
+    if source_node is None:
+        return None, reason or f"no node '{path}' in the source schema"
+    entry = ev.by_source.get(resolved)
+    if entry is None:
+        return None, f"source node '{resolved}' is unmapped"
+    target_path = entry.get("target", "")
+    target_node = ev.target_tree.find(target_path)
+    if target_node is None:
+        return None, f"mapped target '{target_path}' not found in the target schema"
+    return (resolved, source_node, target_path, target_node), None
+
+
+def _eval_datatype_compatible(node: Constraint, ev: MatchEvidence):
+    level = node.arg("level")
+    pair, reason = _mapped_pair(node, ev, "datatype-compatible")
+    if pair is None:
+        return False, reason, None
+    resolved, source_node, target_path, target_node = pair
+    strength = type_strength(source_node.type_name, target_node.type_name)
+    required = MatchStrength.EXACT if level == "exact" else MatchStrength.RELAXED
+    source_type = source_node.type_name or "anyType"
+    target_type = target_node.type_name or "anyType"
+    evidence = {
+        "path": resolved,
+        "target": target_path,
+        "source_type": source_type,
+        "target_type": target_type,
+        "strength": str(strength),
+    }
+    if strength < required:
+        return (
+            False,
+            f"'{resolved}' ({source_type}) vs '{target_path}' ({target_type}): "
+            f"type match is {strength}, need {level}",
+            evidence,
+        )
+    return True, f"{source_type} ~ {target_type} ({strength})", evidence
+
+
+def _eval_cardinality_preserved(node: Constraint, ev: MatchEvidence):
+    pair, reason = _mapped_pair(node, ev, "cardinality-preserved")
+    if pair is None:
+        return False, reason, None
+    resolved, source_node, target_path, target_node = pair
+    source_range = f"[{source_node.min_occurs}..{occurs_to_str(source_node.max_occurs)}]"
+    target_range = f"[{target_node.min_occurs}..{occurs_to_str(target_node.max_occurs)}]"
+    preserved = target_node.min_occurs <= source_node.min_occurs and (
+        target_node.max_occurs == UNBOUNDED
+        or (source_node.max_occurs != UNBOUNDED and target_node.max_occurs >= source_node.max_occurs)
+    )
+    evidence = {
+        "path": resolved,
+        "target": target_path,
+        "source_occurs": source_range,
+        "target_occurs": target_range,
+    }
+    if not preserved:
+        return (
+            False,
+            f"target occurrence {target_range} cannot hold every instance of "
+            f"'{resolved}' {source_range}",
+            evidence,
+        )
+    return True, f"{source_range} fits within {target_range}", evidence
+
+
+def _eval_axis_score(node: Constraint, ev: MatchEvidence):
+    axis = node.arg("axis")
+    op = node.arg("op")
+    value = node.arg("value")
+    path = node.arg("path")
+    if path is None:
+        axes = ev.root_axes
+        subject = "root pair"
+        if axes is None:
+            return (
+                False,
+                "no root axis breakdown recorded (axis evidence requires the qmatch algorithm)",
+                None,
+            )
+    else:
+        resolved, _, reason = _resolve_source(ev, path)
+        if resolved is None:
+            return False, reason, None
+        entry = ev.by_source.get(resolved)
+        if entry is None:
+            return False, f"source node '{resolved}' is unmapped", {"path": resolved}
+        axes = entry.get("axes")
+        subject = f"'{resolved}'"
+        if not axes:
+            return (
+                False,
+                f"no axis breakdown recorded for {subject} "
+                "(axis evidence requires the qmatch algorithm)",
+                None,
+            )
+    score = axes.get(axis)
+    if score is None:
+        return False, f"axis '{axis}' was not scored for {subject}", {"axes": dict(axes)}
+    score = float(score)
+    evidence = {"axis": axis, "score": score}
+    if path is not None:
+        evidence["path"] = path
+    if not _compare(score, op, value):
+        return False, f"{subject} {axis}={score:.4f} violates {op} {value:g}", evidence
+    return True, f"{subject} {axis}={score:.4f} satisfies {op} {value:g}", evidence
+
+
+def _eval_unmapped_count(node: Constraint, ev: MatchEvidence):
+    op = node.arg("op")
+    value = node.arg("value")
+    if ev.source_tree is None:
+        return False, "unmapped-count needs the source schema tree (unavailable here)", None
+    unmapped = sorted(n.path for n in ev.source_tree if n.path not in ev.by_source)
+    count = len(unmapped)
+    evidence = {"count": count, "sample": unmapped[:5]}
+    if not _compare(count, op, value):
+        return False, f"{count} unmapped source node(s) violates {op} {value:g}", evidence
+    return True, f"{count} unmapped source node(s) satisfies {op} {value:g}", evidence
+
+
+def _eval_tree_qom(node: Constraint, ev: MatchEvidence):
+    op = node.arg("op")
+    value = node.arg("value")
+    if ev.tree_qom is None:
+        return False, "no tree QoM recorded", None
+    qom = float(ev.tree_qom)
+    evidence = {"tree_qom": qom}
+    if not _compare(qom, op, value):
+        return False, f"tree QoM {qom:.4f} violates {op} {value:g}", evidence
+    return True, f"tree QoM {qom:.4f} satisfies {op} {value:g}", evidence
+
+
+_EVALUATORS = {
+    "element-mapped": _eval_element_mapped,
+    "subtree-covered": _eval_subtree_covered,
+    "datatype-compatible": _eval_datatype_compatible,
+    "cardinality-preserved": _eval_cardinality_preserved,
+    "axis-score": _eval_axis_score,
+    "unmapped-count": _eval_unmapped_count,
+    "tree-qom": _eval_tree_qom,
+}
+
+
+def _eval_node(node: Constraint, ev: MatchEvidence, counts: dict) -> dict:
+    detail = node.describe()
+    if node.kind == "predicate":
+        counts["evaluated"] += 1
+        passed, reason, evidence = _EVALUATORS[node.predicate](node, ev)
+        if not passed:
+            counts["failed"] += 1
+        return {
+            "kind": "predicate",
+            "detail": detail,
+            "passed": passed,
+            "reason": reason,
+            "evidence": evidence,
+        }
+    children = [_eval_node(child, ev, counts) for child in node.children]
+    succeeded = sum(1 for child in children if child["passed"])
+    if node.kind == "all":
+        passed = succeeded == len(children)
+    elif node.kind == "any":
+        passed = succeeded > 0
+    elif node.kind == "at_least":
+        passed = succeeded >= node.count
+    else:  # not
+        passed = not children[0]["passed"]
+    return {
+        "kind": node.kind,
+        "detail": detail,
+        "passed": passed,
+        "children": children,
+    }
+
+
+def _blame(report: dict) -> Optional[str]:
+    """Path to the first failing conjunct, for error messages and CI logs."""
+    if report["passed"]:
+        return None
+    parts = []
+    current = report
+    while True:
+        children = current.get("children")
+        if current["kind"] in ("predicate", "not") or not children:
+            parts.append(current["detail"])
+            break
+        failing = [(i, c) for i, c in enumerate(children) if not c["passed"]]
+        if not failing:
+            parts.append(current["detail"])
+            break
+        index, child = failing[0]
+        parts.append(f"{current['kind']}[{index}]")
+        current = child
+    return " > ".join(parts)
+
+
+@dataclass
+class ConstraintReport:
+    """The structured outcome of evaluating one constraint."""
+
+    passed: bool
+    root: dict
+    blame: Optional[str]
+    evaluated: int
+    failed: int
+    name: str = ""
+    description: str = ""
+
+    @property
+    def predicates_passed(self) -> int:
+        return self.evaluated - self.failed
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "blame": self.blame,
+            "counts": {
+                "evaluated": self.evaluated,
+                "passed": self.predicates_passed,
+                "failed": self.failed,
+            },
+            "report": self.root,
+        }
+
+    def to_canonical_json(self) -> str:
+        """Byte-stable serialization (sorted keys, fixed separators)."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable verdict tree (one row per constraint node)."""
+        lines = []
+        title = self.name or self.root["detail"]
+        lines.append(f"constraint: {title}")
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        lines.append(
+            f"predicates: {self.predicates_passed}/{self.evaluated} passed"
+        )
+        if self.blame:
+            lines.append(f"blame: {self.blame}")
+
+        def walk(node: dict, depth: int):
+            mark = "PASS" if node["passed"] else "FAIL"
+            row = f"{'  ' * depth}[{mark}] {node['detail']}"
+            reason = node.get("reason")
+            if reason:
+                row += f" -- {reason}"
+            lines.append(row)
+            for child in node.get("children", ()):
+                walk(child, depth + 1)
+
+        walk(self.root, 1)
+        return "\n".join(lines)
+
+
+def evaluate_constraint(constraint: Constraint, evidence: MatchEvidence) -> ConstraintReport:
+    """Evaluate ``constraint`` against ``evidence`` (never raises on content)."""
+    counts = {"evaluated": 0, "failed": 0}
+    root = _eval_node(constraint, evidence, counts)
+    return ConstraintReport(
+        passed=root["passed"],
+        root=root,
+        blame=_blame(root),
+        evaluated=counts["evaluated"],
+        failed=counts["failed"],
+        name=constraint.name,
+        description=constraint.description,
+    )

@@ -1,0 +1,345 @@
+"""The match-constraint language: grammar, strict parser, file loading.
+
+A constraint is a small declarative tree expressed in JSON (or YAML when
+PyYAML is available).  Every node is a single-key object: either a
+combinator over child constraints or a typed predicate over match
+evidence::
+
+    {"all": [                                   # and / or / not / at_least
+        {"element-mapped": {"path": "PO/OrderNo", "min_qom": 0.6}},
+        {"at_least": {"count": 2, "of": [
+            {"subtree-covered": {"path": "PO/PurchaseInfo", "fraction": 0.8}},
+            {"datatype-compatible": {"path": "PO/OrderNo"}},
+            {"axis-score": {"axis": "label", "op": ">=", "value": 0.5}}
+        ]}}
+    ]}
+
+A constraint *file* may either be a bare node or a wrapper object with
+optional metadata::
+
+    {"name": "migration-gate", "description": "...", "require": {...}}
+
+The parser is strict: unknown combinators, unknown predicates, unknown or
+missing arguments, and malformed values all raise :class:`ConstraintError`
+with a message naming the offending key.  ``{"include": "other.json"}``
+splices another constraint file in place (relative to the including file);
+cyclic includes are detected and rejected.  Parsing is pure -- evaluation
+lives in :mod:`repro.constraints.evaluate`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+__all__ = [
+    "COMBINATORS",
+    "Constraint",
+    "ConstraintError",
+    "OPS",
+    "PREDICATES",
+    "load_constraint_file",
+    "parse_constraint",
+]
+
+
+class ConstraintError(ValueError):
+    """A malformed constraint document (bad syntax, unknown predicate...)."""
+
+
+#: Comparison operators accepted by ``op`` arguments.
+OPS = (">=", ">", "<=", "<", "==", "!=")
+
+_OP_ALIASES = {"ge": ">=", "gt": ">", "le": "<=", "lt": "<", "eq": "==", "ne": "!="}
+
+#: Axis names accepted by ``axis-score``.
+AXES = ("label", "properties", "level", "children", "instance")
+
+_LEVELS = ("relaxed", "exact")
+
+COMBINATORS = ("all", "any", "not", "at_least", "include")
+
+_COMBINATOR_ALIASES = {"and": "all", "or": "any"}
+
+
+@dataclass(frozen=True)
+class _Arg:
+    name: str
+    kind: str  # "str" | "number" | "int" | "op" | "axis" | "level"
+    required: bool = True
+    default: object = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+
+#: Predicate signatures: name -> ordered argument specs.
+PREDICATES: dict[str, tuple[_Arg, ...]] = {
+    "element-mapped": (
+        _Arg("path", "str"),
+        _Arg("min_qom", "number", required=False, default=None, low=0.0, high=1.0),
+    ),
+    "subtree-covered": (
+        _Arg("path", "str"),
+        _Arg("fraction", "number", required=False, default=1.0, low=0.0, high=1.0),
+    ),
+    "datatype-compatible": (
+        _Arg("path", "str"),
+        _Arg("level", "level", required=False, default="relaxed"),
+    ),
+    "cardinality-preserved": (_Arg("path", "str"),),
+    "axis-score": (
+        _Arg("axis", "axis"),
+        _Arg("op", "op"),
+        _Arg("value", "number", low=0.0, high=1.0),
+        _Arg("path", "str", required=False, default=None),
+    ),
+    "unmapped-count": (
+        _Arg("op", "op"),
+        _Arg("value", "int", low=0),
+    ),
+    "tree-qom": (
+        _Arg("op", "op"),
+        _Arg("value", "number", low=0.0, high=1.0),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One parsed constraint node (combinator or predicate).
+
+    ``kind`` is ``"all"``, ``"any"``, ``"not"``, ``"at_least"`` or
+    ``"predicate"``.  Predicate arguments are stored as an ordered tuple
+    of ``(name, value)`` pairs in signature order so :meth:`describe` is
+    deterministic regardless of the JSON key order the author used.
+    """
+
+    kind: str
+    children: tuple["Constraint", ...] = ()
+    count: int = 0
+    predicate: str = ""
+    args: tuple[tuple[str, object], ...] = ()
+    name: str = ""
+    description: str = ""
+
+    def arg(self, key: str, default: object = None) -> object:
+        for name, value in self.args:
+            if name == key:
+                return value
+        return default
+
+    def describe(self) -> str:
+        """A stable one-line rendering, used in reports and blame paths."""
+        if self.kind == "predicate":
+            shown = []
+            for name, value in self.args:
+                if value is None:
+                    continue
+                shown.append(f"{name}={value}")
+            return f"{self.predicate}({', '.join(shown)})"
+        if self.kind == "not":
+            return "not"
+        if self.kind == "at_least":
+            return f"at_least {self.count} of {len(self.children)}"
+        return f"{self.kind} of {len(self.children)}"
+
+    def as_dict(self) -> dict:
+        """The normalized JSON form (aliases resolved, defaults explicit)."""
+        if self.kind == "predicate":
+            return {self.predicate: {name: value for name, value in self.args if value is not None}}
+        if self.kind == "not":
+            return {"not": self.children[0].as_dict()}
+        if self.kind == "at_least":
+            return {"at_least": {"count": self.count, "of": [c.as_dict() for c in self.children]}}
+        return {self.kind: [c.as_dict() for c in self.children]}
+
+
+def _check_arg(predicate: str, spec: _Arg, value: object) -> object:
+    where = f"{predicate}.{spec.name}"
+    if spec.kind == "str":
+        if not isinstance(value, str) or not value:
+            raise ConstraintError(f"{where} must be a non-empty string")
+        return value
+    if spec.kind == "op":
+        if isinstance(value, str):
+            op = _OP_ALIASES.get(value, value)
+            if op in OPS:
+                return op
+        raise ConstraintError(f"{where} must be one of {', '.join(OPS)}")
+    if spec.kind == "axis":
+        if not isinstance(value, str) or value not in AXES:
+            raise ConstraintError(f"{where} must be one of {', '.join(AXES)}")
+        return value
+    if spec.kind == "level":
+        if not isinstance(value, str) or value not in _LEVELS:
+            raise ConstraintError(f"{where} must be one of {', '.join(_LEVELS)}")
+        return value
+    # numeric kinds
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConstraintError(f"{where} must be a number")
+    if spec.kind == "int":
+        if isinstance(value, float) and not value.is_integer():
+            raise ConstraintError(f"{where} must be an integer")
+        value = int(value)
+    else:
+        value = float(value)
+    if spec.low is not None and value < spec.low:
+        raise ConstraintError(f"{where} must be >= {spec.low:g}")
+    if spec.high is not None and value > spec.high:
+        raise ConstraintError(f"{where} must be <= {spec.high:g}")
+    return value
+
+
+def _parse_predicate(name: str, raw: object) -> Constraint:
+    specs = PREDICATES[name]
+    if not isinstance(raw, Mapping):
+        raise ConstraintError(f"{name} arguments must be an object, got {type(raw).__name__}")
+    known = {spec.name for spec in specs}
+    extra = sorted(set(raw) - known)
+    if extra:
+        raise ConstraintError(
+            f"{name} got unexpected argument(s) {', '.join(extra)}; "
+            f"accepted: {', '.join(spec.name for spec in specs)}"
+        )
+    args = []
+    for spec in specs:
+        if spec.name in raw:
+            args.append((spec.name, _check_arg(name, spec, raw[spec.name])))
+        elif spec.required:
+            raise ConstraintError(f"{name} requires argument '{spec.name}'")
+        else:
+            args.append((spec.name, spec.default))
+    return Constraint(kind="predicate", predicate=name, args=tuple(args))
+
+
+def _parse_children(kind: str, raw: object, base_dir: Optional[Path], stack: tuple) -> tuple:
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise ConstraintError(f"'{kind}' takes a list of constraints")
+    if not raw:
+        raise ConstraintError(f"'{kind}' requires at least one child constraint")
+    return tuple(_parse_node(item, base_dir, stack) for item in raw)
+
+
+def _parse_node(data: object, base_dir: Optional[Path], stack: tuple) -> Constraint:
+    if not isinstance(data, Mapping):
+        raise ConstraintError(
+            f"constraint node must be an object with exactly one key, got {type(data).__name__}"
+        )
+    if len(data) != 1:
+        keys = ", ".join(sorted(str(k) for k in data)) or "(empty)"
+        raise ConstraintError(f"constraint node must have exactly one key, got: {keys}")
+    ((key, value),) = data.items()
+    kind = _COMBINATOR_ALIASES.get(key, key)
+    if kind in ("all", "any"):
+        return Constraint(kind=kind, children=_parse_children(key, value, base_dir, stack))
+    if kind == "not":
+        return Constraint(kind="not", children=(_parse_node(value, base_dir, stack),))
+    if kind == "at_least":
+        if not isinstance(value, Mapping):
+            raise ConstraintError("at_least takes an object {count, of}")
+        raw = dict(value)
+        if "k" in raw and "count" not in raw:
+            raw["count"] = raw.pop("k")
+        extra = sorted(set(raw) - {"count", "of"})
+        if extra:
+            raise ConstraintError(f"at_least got unexpected key(s): {', '.join(extra)}")
+        if "count" not in raw or "of" not in raw:
+            raise ConstraintError("at_least requires both 'count' and 'of'")
+        count = raw["count"]
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            raise ConstraintError("at_least.count must be a positive integer")
+        children = _parse_children("at_least", raw["of"], base_dir, stack)
+        if count > len(children):
+            raise ConstraintError(
+                f"at_least.count is {count} but only {len(children)} constraints given"
+            )
+        return Constraint(kind="at_least", count=count, children=children)
+    if kind == "include":
+        return _parse_include(value, base_dir, stack)
+    if kind in PREDICATES:
+        return _parse_predicate(kind, value)
+    known = ", ".join(list(COMBINATORS) + sorted(PREDICATES))
+    raise ConstraintError(f"unknown constraint '{key}'; expected one of: {known}")
+
+
+def _parse_include(value: object, base_dir: Optional[Path], stack: tuple) -> Constraint:
+    if not isinstance(value, str) or not value:
+        raise ConstraintError("include takes a file path string")
+    if base_dir is None:
+        raise ConstraintError(
+            "include is only supported when loading constraints from a file"
+        )
+    path = (base_dir / value).resolve()
+    if str(path) in stack:
+        chain = " -> ".join([Path(p).name for p in stack] + [path.name])
+        raise ConstraintError(f"cyclic include: {chain}")
+    return _load_file(path, stack)
+
+
+def _parse_text(text: str, path: Path) -> object:
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - PyYAML is normally present
+            raise ConstraintError(
+                f"cannot read {path.name}: PyYAML is not installed "
+                "(use a .json constraint file instead)"
+            ) from None
+        try:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ConstraintError(f"invalid YAML in {path.name}: {exc}") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConstraintError(f"invalid JSON in {path.name}: {exc}") from None
+
+
+def _parse_document(data: object, base_dir: Optional[Path], stack: tuple) -> Constraint:
+    if isinstance(data, Mapping) and "require" in data:
+        extra = sorted(set(data) - {"require", "name", "description"})
+        if extra:
+            raise ConstraintError(
+                f"unknown top-level key(s): {', '.join(extra)}; "
+                "a constraint document takes name, description and require"
+            )
+        name = data.get("name", "")
+        description = data.get("description", "")
+        if not isinstance(name, str) or not isinstance(description, str):
+            raise ConstraintError("name and description must be strings")
+        node = _parse_node(data["require"], base_dir, stack)
+        return replace(node, name=name, description=description)
+    return _parse_node(data, base_dir, stack)
+
+
+def _load_file(path: Path, stack: tuple) -> Constraint:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConstraintError(f"cannot read constraint file {path}: {exc}") from None
+    data = _parse_text(text, path)
+    return _parse_document(data, path.parent, stack + (str(path),))
+
+
+def parse_constraint(data: object, base_dir=None) -> Constraint:
+    """Parse an in-memory constraint document (bare node or wrapper form).
+
+    ``include`` nodes are only honoured when ``base_dir`` is given; inline
+    documents (e.g. from an HTTP request body) may not touch the
+    filesystem.
+    """
+    base = Path(base_dir) if base_dir is not None else None
+    return _parse_document(data, base, ())
+
+
+def load_constraint_file(path) -> Constraint:
+    """Load and strictly parse a ``.json``/``.yaml`` constraint file."""
+    resolved = Path(path).resolve()
+    if not resolved.is_file():
+        raise ConstraintError(f"constraint file not found: {path}")
+    constraint = _load_file(resolved, ())
+    if not constraint.name:
+        constraint = replace(constraint, name=resolved.stem)
+    return constraint

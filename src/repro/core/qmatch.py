@@ -496,12 +496,16 @@ class QMatchMatcher(Matcher):
 
     def explain(self, source: SchemaTree, target: SchemaTree,
                 source_path: str, target_path: str,
-                matrix: Optional[ScoreMatrix] = None) -> AxisBreakdown:
+                matrix: Optional[ScoreMatrix] = None,
+                context=None) -> AxisBreakdown:
         """Full per-axis breakdown for one pair.
 
         When ``matrix`` is omitted the matcher recomputes it (fine for
         paper-sized schemas; pass the matrix from a previous
-        :meth:`match` for large ones).
+        :meth:`match` for large ones).  Passing the ``context`` of that
+        run as well reuses its memoized per-pair comparisons instead of
+        rebuilding them -- the service layer does this when attaching
+        axis evidence to every correspondence of a result.
         """
         s_node = source.find(source_path)
         t_node = target.find(target_path)
@@ -509,7 +513,7 @@ class QMatchMatcher(Matcher):
             raise KeyError(f"no node {source_path!r} in source schema")
         if t_node is None:
             raise KeyError(f"no node {target_path!r} in target schema")
-        ctx = self.make_context(source, target)
+        ctx = context if context is not None else self.make_context(source, target)
         if matrix is None:
             matrix = self.match_context(ctx)
         categories = getattr(matrix, "categories", None)

@@ -60,6 +60,13 @@ class SearchHit:
     correspondences: Optional[int] = None
     reranked: bool = False
     error: Optional[str] = None
+    #: Root-pair axis breakdown of the rerank (label/properties/level/
+    #: children[/instance] floats); ``None`` when not reranked or the
+    #: algorithm cannot explain itself.
+    axes: Optional[dict] = None
+    #: The full rerank result payload -- kept so constraint filtering can
+    #: evaluate against complete evidence.  Deliberately not serialized.
+    payload: Optional[dict] = None
 
     @property
     def score(self) -> float:
@@ -75,6 +82,7 @@ class SearchHit:
             "lexical_score": self.lexical_score,
             "structural_score": self.structural_score,
             "qom": self.qom,
+            "axes": self.axes,
             "correspondences": self.correspondences,
             "reranked": self.reranked,
             "error": self.error,
@@ -95,6 +103,9 @@ class SearchResult:
     pruned: int = 0
     #: Full QMatch runs actually performed.
     examined: int = 0
+    #: Constraint-filtering counters (``{"evaluated", "admitted",
+    #: "filtered"}``) when a constraint was applied, else ``None``.
+    constraints: Optional[dict] = None
     stats: EngineStats = field(default_factory=EngineStats)
 
     def as_dict(self, include_stats: bool = True) -> dict:
@@ -107,6 +118,8 @@ class SearchResult:
             "examined": self.examined,
             "hits": [hit.as_dict() for hit in self.hits],
         }
+        if self.constraints is not None:
+            payload["constraints"] = self.constraints
         if include_stats:
             payload["stats"] = self.stats.as_dict()
         return payload
@@ -138,6 +151,11 @@ class SearchResult:
             f"over {self.corpus_size} schemas; {self.candidates} candidates, "
             f"{self.pruned} pruned, {self.examined} reranked with QMatch"
         )
+        if self.constraints is not None:
+            summary += (
+                f"; constraints: {self.constraints['admitted']} admitted, "
+                f"{self.constraints['filtered']} filtered"
+            )
         return f"{table}\n{summary}"
 
 
@@ -285,7 +303,9 @@ class CorpusSearcher:
         for hit, record in zip(shortlist, report.records):
             hit.reranked = True
             if record.result is not None:
+                hit.payload = record.result
                 hit.qom = record.result.get("tree_qom")
+                hit.axes = record.result.get("root_axes")
                 hit.correspondences = len(
                     record.result.get("correspondences", ())
                 )
@@ -301,7 +321,8 @@ class CorpusSearcher:
     def search(self, query_tree, k: int = DEFAULT_K,
                candidates: Optional[int] = None,
                rerank: bool = True,
-               query_profiles: Optional[dict] = None) -> SearchResult:
+               query_profiles: Optional[dict] = None,
+               constraint=None) -> SearchResult:
         """Top-``k`` corpus schemas for ``query_tree``.
 
         ``candidates`` caps the expensive stage (default
@@ -310,7 +331,11 @@ class CorpusSearcher:
         ``query_profiles`` are instance-evidence profiles for the query
         schema (``{node_path: profile_dict}``), forwarded -- together
         with each corpus entry's stored profiles -- into the rerank jobs
-        so a nonzero ``instance`` weight can use them.
+        so a nonzero ``instance`` weight can use them.  ``constraint``
+        (a parsed :class:`repro.constraints.Constraint`) filters the
+        reranked shortlist *before* the top-``k`` cut: only hits whose
+        full match evidence satisfies it are admitted, so the result may
+        legitimately hold fewer than ``k`` hits.
         """
         from repro.xsd.serializer import to_xsd
 
@@ -318,6 +343,11 @@ class CorpusSearcher:
             raise ValueError(f"k must be >= 1, got {k}")
         if candidates is not None and candidates < 1:
             raise ValueError(f"candidates must be >= 1, got {candidates}")
+        if constraint is not None and not rerank:
+            raise ValueError(
+                "constraint filtering needs rerank evidence; "
+                "drop --no-rerank or the constraint"
+            )
         stats = EngineStats()
         budget = (
             candidates if candidates is not None
@@ -391,5 +421,51 @@ class CorpusSearcher:
                 key=lambda hit: (-(hit.qom if hit.qom is not None else -1.0),
                                  -hit.retrieval_score, hit.name, hit.hash)
             )
+            if constraint is not None:
+                shortlist = self._constrain(
+                    query_tree, shortlist, constraint, result, stats
+                )
         result.hits = shortlist[:k]
         return result
+
+    def _constrain(self, query_tree, shortlist: list, constraint,
+                   result: SearchResult, stats: EngineStats) -> list:
+        """Admit only reranked hits whose evidence satisfies ``constraint``.
+
+        Hits whose rerank errored carry no evidence and are filtered --
+        a gate must not admit what it cannot verify.
+        """
+        from repro.constraints import MatchEvidence, evaluate_constraint
+        from repro.xsd.parser import parse_xsd
+
+        admitted = []
+        filtered = 0
+        with stats.stage("search:constrain"):
+            for hit in shortlist:
+                if hit.payload is None:
+                    filtered += 1
+                    continue
+                target_tree = parse_xsd(
+                    self.corpus.text(hit.hash), name=hit.name
+                )
+                evidence = MatchEvidence.from_payload(
+                    hit.payload, source_tree=query_tree,
+                    target_tree=target_tree,
+                )
+                if evaluate_constraint(constraint, evidence).passed:
+                    admitted.append(hit)
+                else:
+                    filtered += 1
+        stats.count("search.constraint_admitted", len(admitted))
+        stats.count("search.constraint_filtered", filtered)
+        result.constraints = {
+            "evaluated": len(shortlist),
+            "admitted": len(admitted),
+            "filtered": filtered,
+        }
+        self.log.event(
+            "search.constrain", query=query_tree.name,
+            evaluated=len(shortlist), admitted=len(admitted),
+            filtered=filtered,
+        )
+        return admitted

@@ -289,13 +289,15 @@ def _post(service, parts: list, route: str,
           raw_body: Optional[bytes]) -> ApiResponse:
     if parts == ["jobs"]:
         service.check_admission()
-        spec = service.spec_from_request(parse_body(raw_body))
-        record = service.submit(spec)
+        body = parse_body(raw_body)
+        spec = service.spec_from_request(body)
+        record = service.submit(spec, service.constraint_from_request(body))
         return json_response(202, record.snapshot(), route=route)
     if parts == ["match"]:
         service.check_admission()
-        spec = service.spec_from_request(parse_body(raw_body))
-        record = service.run_sync(spec)
+        body = parse_body(raw_body)
+        spec = service.spec_from_request(body)
+        record = service.run_sync(spec, service.constraint_from_request(body))
         if record.state is JobState.DONE:
             return json_response(
                 200, record.snapshot(include_result=True), route=route,

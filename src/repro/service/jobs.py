@@ -133,6 +133,13 @@ class JobRecord:
     error: Optional[dict] = None
     #: The stored result payload (see ``repro.matching.io``) when done.
     result: Optional[dict] = None
+    #: A parsed :class:`repro.constraints.Constraint` to evaluate once the
+    #: job completes (set per-record by the CLI/service; never part of the
+    #: spec, so store keys and cached bytes are unaffected).
+    constraint: Optional[object] = None
+    #: The :meth:`ConstraintReport.as_dict` verdict, set by the runner
+    #: after a successful run when a constraint was attached.
+    constraint_report: Optional[dict] = None
 
     def snapshot(self, include_result: bool = False) -> dict:
         """JSON-friendly view (what the HTTP API and run report emit)."""
@@ -156,6 +163,15 @@ class JobRecord:
         elif self.result is not None:
             data["tree_qom"] = self.result.get("tree_qom")
             data["found"] = len(self.result.get("correspondences", ()))
+        if self.constraint_report is not None:
+            if include_result:
+                data["constraint"] = self.constraint_report
+            else:
+                data["constraint"] = {
+                    "name": self.constraint_report.get("name"),
+                    "passed": self.constraint_report.get("passed"),
+                    "blame": self.constraint_report.get("blame"),
+                }
         return data
 
 

@@ -42,6 +42,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional
 
+from repro.constraints.evidence import attach_result_axes
 from repro.obs.log import NULL_LOGGER
 from repro.obs.metrics import QUEUE_WAIT_BUCKETS, pool_depth_metrics
 from repro.service.jobs import JobQueue, MatchJobSpec
@@ -166,6 +167,7 @@ def execute_job_resident(spec: MatchJobSpec, state: Optional[dict]) -> dict:
         context=context,
     )
     payload = result_to_payload(result)
+    attach_result_axes(payload, result, matcher, source, target, context=context)
     payload["source_hash"] = spec.source_hash
     payload["target_hash"] = spec.target_hash
     stats = result.stats.as_dict() if result.stats is not None else {}
@@ -198,6 +200,13 @@ def _search_resident(request: dict, state: Optional[dict]) -> dict:
         raise PoolError("worker has no resident corpus searcher")
     from repro.xsd.parser import parse_xsd
 
+    constraint = None
+    if request.get("constraints") is not None:
+        from repro.constraints import parse_constraint
+
+        # Re-parse inside the worker: Constraint objects are picklable,
+        # but shipping the raw dict keeps the pipe protocol plain data.
+        constraint = parse_constraint(request["constraints"])
     query = parse_xsd(request["query_xsd"])
     result = searcher.search(
         query,
@@ -207,6 +216,7 @@ def _search_resident(request: dict, state: Optional[dict]) -> dict:
             if request.get("candidates") is not None else None
         ),
         rerank=bool(request.get("rerank", True)),
+        constraint=constraint,
     )
     return result.as_dict()
 
@@ -291,6 +301,7 @@ class WorkerPool(JobExecutionCore):
                  mp_context=None,
                  log=NULL_LOGGER,
                  metrics=None,
+                 constraint=None,
                  spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT):
         """``worker`` is the resident job body ``(spec, state) ->
         envelope`` (wrap a plain ``(spec)`` body with
@@ -305,6 +316,7 @@ class WorkerPool(JobExecutionCore):
         super().__init__(
             store=store, timeout=timeout, retries=retries,
             retry_backoff=retry_backoff, log=log, metrics=metrics,
+            constraint=constraint,
         )
         self.workers = workers
         self.worker = worker

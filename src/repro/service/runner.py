@@ -63,6 +63,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.constraints.evidence import attach_result_axes
 from repro.engine.registry import DEFAULT_REGISTRY
 from repro.engine.stats import EngineStats
 from repro.matching.io import result_to_payload
@@ -142,6 +143,7 @@ def execute_job(spec: MatchJobSpec) -> dict:
         context=context,
     )
     payload = result_to_payload(result)
+    attach_result_axes(payload, result, matcher, source, target, context=context)
     payload["source_hash"] = spec.source_hash
     payload["target_hash"] = spec.target_hash
     stats = result.stats.as_dict() if result.stats is not None else {}
@@ -201,8 +203,22 @@ class BatchReport:
         """True when every job completed (possibly from cache)."""
         return all(r.state is JobState.DONE for r in self.records)
 
+    @property
+    def constraint_failures(self) -> list:
+        """Records whose constraint verdict (if any) is a FAIL."""
+        return [
+            record for record in self.records
+            if record.constraint_report is not None
+            and not record.constraint_report.get("passed")
+        ]
+
+    @property
+    def constraints_ok(self) -> bool:
+        """True when no evaluated constraint failed (vacuously true)."""
+        return not self.constraint_failures
+
     def to_dict(self, include_results: bool = False) -> dict:
-        return {
+        data = {
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "summary": dict(
@@ -217,6 +233,18 @@ class BatchReport:
             ],
             "stats": self.stats.as_dict(),
         }
+        evaluated = [
+            record for record in self.records
+            if record.constraint_report is not None
+        ]
+        if evaluated:
+            failed = len(self.constraint_failures)
+            data["summary"]["constraints"] = {
+                "evaluated": len(evaluated),
+                "passed": len(evaluated) - failed,
+                "failed": failed,
+            }
+        return data
 
     def to_json(self, include_results: bool = False,
                 indent: Optional[int] = 2) -> str:
@@ -238,6 +266,10 @@ class BatchReport:
                 note = "cache"
             elif record.error is not None:
                 note = record.error.get("message", "")[:48]
+            verdict = record.constraint_report
+            if verdict is not None:
+                mark = "PASS" if verdict.get("passed") else "FAIL"
+                note = f"constraint {mark}" + (f"; {note}" if note else "")
             rows.append((
                 record.job_id, record.spec.label, record.state.value,
                 record.attempts, qom, found, record.elapsed_seconds, note,
@@ -257,7 +289,13 @@ class BatchReport:
             f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
             f"{self.wall_seconds:.2f}s wall"
         )
-        return f"{table}\n{summary}"
+        lines = [table, summary]
+        for record in self.constraint_failures:
+            blame = record.constraint_report.get("blame") or "constraint failed"
+            lines.append(
+                f"constraint FAIL {record.job_id} ({record.spec.label}): {blame}"
+            )
+        return "\n".join(lines)
 
 
 class JobExecutionCore:
@@ -276,13 +314,17 @@ class JobExecutionCore:
                  retries: int = 1,
                  retry_backoff: float = 0.1,
                  log=NULL_LOGGER,
-                 metrics=None):
+                 metrics=None,
+                 constraint=None):
         """``retries`` is the number of *extra* attempts after the first;
         ``retry_backoff`` seconds double per retry.  ``log`` is an
         :class:`~repro.obs.log.EventLogger` (disabled by default);
         ``metrics`` an optional
         :class:`~repro.obs.metrics.MetricsRegistry` fed per-job
-        counters/latency histograms.
+        counters/latency histograms.  ``constraint`` is an optional
+        default :class:`repro.constraints.Constraint` evaluated against
+        every completed job (a record's own ``constraint`` field takes
+        precedence); verdicts land on ``record.constraint_report``.
         """
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -292,6 +334,7 @@ class JobExecutionCore:
         self.retry_backoff = retry_backoff
         self.log = log
         self.metrics = metrics
+        self.constraint = constraint
         #: job_id -> trace snapshot for traced jobs, collected from the
         #: worker envelopes (guarded by the stats lock).
         self.traces: dict[str, dict] = {}
@@ -323,6 +366,7 @@ class JobExecutionCore:
                 if cached is not None:
                     queue.mark_done(record, cached, cache_hit=True)
                     self._observe_job(record, "cached", 0.0)
+                    self._apply_constraint(record)
                     return
             self._run_attempts(record, queue, key)
         except Exception as exc:  # noqa: BLE001 -- batch must survive
@@ -331,6 +375,54 @@ class JobExecutionCore:
                 {"type": type(exc).__name__, "message": str(exc)},
             )
             self._observe_job(record, "failed", 0.0, error=str(exc))
+        self._apply_constraint(record)
+
+    def _apply_constraint(self, record: JobRecord):
+        """Evaluate the record's (or the core's default) constraint.
+
+        Always runs in the parent process over the completed result
+        payload plus trees re-parsed from the spec's canonical XSD text
+        -- never inside a worker -- so the report bytes cannot depend on
+        which backend executed the job.  Jobs that failed outright get
+        no verdict (their error record already fails the batch).
+        """
+        constraint = (
+            record.constraint if record.constraint is not None
+            else self.constraint
+        )
+        if constraint is None or record.constraint_report is not None:
+            return
+        if record.state is not JobState.DONE or record.result is None:
+            return
+        from repro.constraints import MatchEvidence, evaluate_constraint
+        from repro.xsd.parser import parse_xsd
+
+        spec = record.spec
+        source = parse_xsd(spec.source_xsd, name=spec.source_name or None)
+        target = parse_xsd(spec.target_xsd, name=spec.target_name or None)
+        evidence = MatchEvidence.from_payload(
+            record.result, source_tree=source, target_tree=target
+        )
+        report = evaluate_constraint(constraint, evidence)
+        record.constraint_report = report.as_dict()
+        with self._stats_lock:
+            self.stats.count("constraints.evaluated")
+            self.stats.count(
+                "constraints.passed" if report.passed else "constraints.failed"
+            )
+        self.log.event(
+            "constraint.evaluated", job_id=record.job_id,
+            label=spec.label, passed=report.passed, blame=report.blame,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "constraints_evaluated",
+                "Constraint reports evaluated against match results.",
+            ).inc()
+            self.metrics.counter(
+                "constraints_passed" if report.passed else "constraints_failed",
+                "Constraint verdicts by outcome.",
+            ).inc()
 
     def _observe_job(self, record: JobRecord, state: str, elapsed: float,
                      error: Optional[str] = None):
@@ -428,7 +520,8 @@ class BatchRunner(JobExecutionCore):
                  worker: Callable[[MatchJobSpec], dict] = execute_job,
                  mp_context=None,
                  log=NULL_LOGGER,
-                 metrics=None):
+                 metrics=None,
+                 constraint=None):
         """``worker`` is the job body -- injectable so tests can
         simulate crashes and hangs; the rest is
         :class:`JobExecutionCore`'s contract."""
@@ -437,6 +530,7 @@ class BatchRunner(JobExecutionCore):
         super().__init__(
             store=store, timeout=timeout, retries=retries,
             retry_backoff=retry_backoff, log=log, metrics=metrics,
+            constraint=constraint,
         )
         self.workers = workers
         self.inline = inline

@@ -68,6 +68,7 @@ from repro.service.validation import (
     ValidationError,
     validate_algorithm,
     validate_positive,
+    validate_search_budget,
     validate_threshold,
     validate_weights,
 )
@@ -243,15 +244,34 @@ class MatchService:
             target_name=target.name,
         )
 
-    def submit(self, spec: MatchJobSpec) -> JobRecord:
+    def constraint_from_request(self, body: dict):
+        """Parse the optional inline ``constraints`` object of a POST body.
+
+        Returns a parsed :class:`repro.constraints.Constraint` or
+        ``None``; malformed documents become 400s (``include`` is
+        rejected outright -- inline requests may not touch the server's
+        filesystem).
+        """
+        if not isinstance(body, dict) or body.get("constraints") is None:
+            return None
+        from repro.constraints import ConstraintError, parse_constraint
+
+        try:
+            return parse_constraint(body["constraints"])
+        except ConstraintError as exc:
+            raise ValidationError(f"invalid constraints: {exc}") from None
+
+    def submit(self, spec: MatchJobSpec, constraint=None) -> JobRecord:
         """Enqueue a job; it runs on the background dispatcher pool."""
         record = self.queue.submit(spec)
+        record.constraint = constraint
         self._pool.submit(self.runner.run_record, record, self.queue)
         return record
 
-    def run_sync(self, spec: MatchJobSpec) -> JobRecord:
+    def run_sync(self, spec: MatchJobSpec, constraint=None) -> JobRecord:
         """Submit and wait (the POST /match convenience path)."""
         record = self.queue.submit(spec)
+        record.constraint = constraint
         self.runner.run_record(record, self.queue)
         return record
 
@@ -287,30 +307,61 @@ class MatchService:
             query = parse_xsd(query_xsd)
         except Exception as exc:
             raise ValidationError(f"unparseable query schema: {exc}") from exc
-        k = validate_positive(body.get("k", 10), "k")
-        candidates = validate_positive(
-            body.get("candidates"), "candidates", allow_none=True
+        k, candidates = validate_search_budget(
+            body.get("k", 10), body.get("candidates")
         )
         rerank = body.get("rerank", True)
         if not isinstance(rerank, bool):
             raise ValidationError(
                 f"invalid rerank {rerank!r}: expected true or false"
             )
+        constraint = self.constraint_from_request(body)
+        if constraint is not None and not rerank:
+            raise ValidationError(
+                "constraints need rerank evidence; drop rerank=false "
+                "or the constraints object"
+            )
         if pool_search:
-            return self.runner.search({
+            payload = self.runner.search({
                 "query_xsd": query_xsd,
-                "k": int(k),
-                "candidates": (
-                    int(candidates) if candidates is not None else None
-                ),
+                "k": k,
+                "candidates": candidates,
                 "rerank": rerank,
+                # The raw (already validated) document: the worker
+                # re-parses it, keeping the pipe protocol plain data.
+                "constraints": (
+                    body["constraints"] if constraint is not None else None
+                ),
             })
-        result = self.searcher.search(
-            query, k=int(k),
-            candidates=int(candidates) if candidates is not None else None,
-            rerank=rerank,
-        )
-        return result.as_dict()
+        else:
+            result = self.searcher.search(
+                query, k=k, candidates=candidates, rerank=rerank,
+                constraint=constraint,
+            )
+            payload = result.as_dict()
+        self._observe_search_constraints(payload)
+        return payload
+
+    def _observe_search_constraints(self, payload: dict):
+        """Fold a search's constraint counters into the service metrics.
+
+        Counter updates come from the result payload, not live searcher
+        state, so pool-mode searches (evaluated inside a worker process)
+        are counted exactly like inline ones.
+        """
+        counters = payload.get("constraints")
+        if not counters:
+            return
+        self.metrics.counter(
+            "constraints_evaluated",
+            "Constraint reports evaluated against match results.",
+        ).inc(int(counters.get("evaluated", 0)))
+        self.metrics.counter(
+            "constraints_passed", "Constraint verdicts by outcome.",
+        ).inc(int(counters.get("admitted", 0)))
+        self.metrics.counter(
+            "constraints_failed", "Constraint verdicts by outcome.",
+        ).inc(int(counters.get("filtered", 0)))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -202,3 +202,45 @@ def validate_positive(value, field: str, allow_none: bool = False,
             f"{'>= 0' if allow_zero else '> 0'}"
         )
     return number
+
+
+def validate_search_budget(k, candidates=None,
+                           k_field: str = "k",
+                           candidates_field: str = "candidates",
+                           ) -> tuple[int, Optional[int]]:
+    """Validate the top-k / candidate-budget pair of a search request.
+
+    One shared check for ``qmatch search --k/--candidates`` and the HTTP
+    ``POST /search`` body (pass ``--k``/``--candidates`` as the field
+    names for CLI-flavoured messages).  Enforces the relationship the
+    two-stage searcher silently truncated before: the rerank budget must
+    cover the requested ``k``, otherwise the top-k cut can never fill.
+    """
+    try:
+        k_value = int(k)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"invalid {k_field} {k!r}: expected a positive integer"
+        ) from None
+    if k_value < 1:
+        raise ValidationError(f"invalid {k_field} {k_value}: must be >= 1")
+    if candidates is None:
+        return k_value, None
+    try:
+        budget = int(candidates)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"invalid {candidates_field} {candidates!r}: "
+            "expected a positive integer"
+        ) from None
+    if budget < 1:
+        raise ValidationError(
+            f"invalid {candidates_field} {budget}: must be >= 1"
+        )
+    if budget < k_value:
+        raise ValidationError(
+            f"{candidates_field} ({budget}) must be >= {k_field} "
+            f"({k_value}): the rerank budget caps how many hits can be "
+            "returned"
+        )
+    return k_value, budget
