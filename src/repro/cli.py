@@ -464,6 +464,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM/SIGINT, wait up to this long for in-flight "
              "jobs before shutting down (default: 30)",
     )
+    serve_parser.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="RATE",
+        help="head-sample this fraction of requests into span traces "
+             "(0 disables tracing entirely; 1.0 traces everything)",
+    )
+    serve_parser.add_argument(
+        "--trace-seed", type=int, default=0, metavar="N",
+        help="seed for the deterministic trace sampler (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--trace-export", metavar="FILE", default=None,
+        help="append sampled span trees to FILE as OTLP-shaped JSONL "
+             "(read it back with `qmatch obs report` / `obs waterfall`)",
+    )
+    serve_parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="track a service-level objective, e.g. "
+             "'name=search-fast,route=/search,threshold=0.5,target=0.99' "
+             "(latency) or 'name=avail,kind=availability,target=0.999'; "
+             "repeatable; replaces the built-in defaults",
+    )
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="inspect exported span traces (tail the stream, render a "
+             "per-stage latency report, draw a trace waterfall)",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_tail = obs_sub.add_parser(
+        "tail",
+        help="print the most recent span lines from a --trace-export file",
+    )
+    obs_tail.add_argument("span_file", metavar="FILE")
+    obs_tail.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show the last N span lines (default: 20)",
+    )
+    obs_tail.add_argument(
+        "--follow", action="store_true",
+        help="keep the file open and stream new spans as they land",
+    )
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="per-stage latency table (count, total, p50/p95/p99, max) "
+             "aggregated over every span in the file",
+    )
+    obs_report.add_argument("span_file", metavar="FILE")
+    obs_waterfall = obs_sub.add_parser(
+        "waterfall",
+        help="render one trace as an indented waterfall of span bars",
+    )
+    obs_waterfall.add_argument("span_file", metavar="FILE")
+    obs_waterfall.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace to draw (default: the last trace in the file)",
+    )
 
     index_parser = subparsers.add_parser(
         "index",
@@ -1128,6 +1184,14 @@ def _command_serve(args) -> int:
         raise ValidationError(
             f"invalid --shards {args.shards}: must be >= 1"
         )
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise ValidationError(
+            f"invalid --trace-sample {args.trace_sample}: must be in [0, 1]"
+        )
+    slos = None
+    if args.slo:
+        from repro.obs.slo import parse_slo
+        slos = [parse_slo(spec) for spec in args.slo]
     kwargs = {}
     if args.max_body_bytes is not None:
         kwargs["max_body_bytes"] = args.max_body_bytes
@@ -1144,8 +1208,67 @@ def _command_serve(args) -> int:
         max_pending=args.max_pending,
         max_jobs=args.max_jobs,
         drain_timeout=args.drain_timeout,
+        trace_sample=args.trace_sample,
+        trace_seed=args.trace_seed,
+        trace_export=args.trace_export,
+        slos=slos,
         **kwargs,
     )
+
+
+def _command_obs(args) -> int:
+    import os
+    import time as _time
+
+    from repro.obs.spans import (
+        load_span_file,
+        render_span_report,
+        render_waterfall,
+        span_report,
+    )
+    from repro.service.validation import ValidationError
+
+    if args.obs_command == "tail":
+        path = args.span_file
+        if not os.path.exists(path):
+            raise ValidationError(f"span file not found: {path}")
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle if line.strip()]
+            for line in lines[-max(0, args.limit):]:
+                print(line)
+            if args.follow:
+                # Poll rather than inotify: the exporter appends whole
+                # lines under a lock, so a short sleep loop never sees
+                # a torn record.
+                try:
+                    while True:
+                        chunk = handle.readline()
+                        if not chunk:
+                            _time.sleep(0.2)
+                            continue
+                        if chunk.strip():
+                            print(chunk.rstrip("\n"), flush=True)
+                except KeyboardInterrupt:
+                    return 0
+        return 0
+
+    spans = load_span_file(args.span_file)
+    if args.obs_command == "report":
+        print(render_span_report(span_report(spans)))
+        return 0
+    # waterfall
+    trace_id = args.trace_id
+    if trace_id is None:
+        if not spans:
+            raise ValidationError(f"no spans in {args.span_file}")
+        trace_id = spans[-1]["trace_id"]
+    selected = [span for span in spans if span["trace_id"] == trace_id]
+    if not selected:
+        raise ValidationError(
+            f"trace {trace_id} not found in {args.span_file}"
+        )
+    print(render_waterfall(selected))
+    return 0
 
 
 def _corpus_add_refs(corpus, refs, add_builtins=False, profile=None,
@@ -1465,6 +1588,7 @@ def main(argv=None) -> int:
         "sdiff": _command_sdiff,
         "batch": _command_batch,
         "serve": _command_serve,
+        "obs": _command_obs,
         "index": _command_index,
         "search": _command_search,
         "ingest": _command_ingest,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.matching.classes import MatchStrength
+from repro.obs.spans import current_tracer
 from repro.properties.types import type_strength
 from repro.xsd.model import UNBOUNDED, occurs_to_str
 
@@ -395,6 +396,15 @@ def evaluate_constraint(constraint: Constraint, evidence: MatchEvidence) -> Cons
     """Evaluate ``constraint`` against ``evidence`` (never raises on content)."""
     counts = {"evaluated": 0, "failed": 0}
     root = _eval_node(constraint, evidence, counts)
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Annotate whatever span the caller opened (the runner's
+        # ``constraints.evaluate`` / search's ``constraints.filter``)
+        # with predicate-level telemetry the caller cannot see.
+        tracer.annotate({
+            "predicates_evaluated": counts["evaluated"],
+            "predicates_failed": counts["failed"],
+        })
     return ConstraintReport(
         passed=root["passed"],
         root=root,

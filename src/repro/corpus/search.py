@@ -31,6 +31,7 @@ from repro.corpus.corpus import SchemaCorpus
 from repro.corpus.indexes import CorpusIndex
 from repro.engine.stats import EngineStats
 from repro.obs.log import NULL_LOGGER
+from repro.obs.spans import current_tracer
 from repro.service.jobs import MatchJobSpec
 from repro.service.runner import BatchRunner
 from repro.service.store import ResultStore, content_hash
@@ -353,7 +354,23 @@ class CorpusSearcher:
             candidates if candidates is not None
             else max(OVERSAMPLE * k, MIN_CANDIDATES)
         )
+        tracer = current_tracer()
+        retrieve_span = tracer.start("corpus.retrieve", {
+            "corpus_size": len(self.corpus),
+        }) if tracer.enabled else None
         ranked = self.retrieve(query_tree, stats=stats)
+        if retrieve_span is not None:
+            # ``last_scan`` is the segmented index's per-call scan
+            # telemetry (approximate under sharded fan-out, where each
+            # shard span below carries the authoritative numbers).
+            scan = getattr(self.index, "last_scan", None) or {}
+            tracer.finish(retrieve_span, attributes={
+                "candidates": len(ranked),
+                **{
+                    key: value for key, value in scan.items()
+                    if value is not None
+                },
+            })
         shortlist = ranked[:budget]
         pruned = len(ranked) - len(shortlist)
         if len(shortlist) < budget:
@@ -400,10 +417,17 @@ class CorpusSearcher:
         )
         if rerank and shortlist:
             query_xsd = to_xsd(query_tree)
+            rerank_span = tracer.start("corpus.rerank", {
+                "examined": len(shortlist),
+            }) if tracer.enabled else None
             self._rerank(
                 query_xsd, content_hash(query_xsd), query_tree.name,
                 shortlist, stats, query_profiles=query_profiles,
             )
+            if rerank_span is not None:
+                tracer.finish(rerank_span, attributes={
+                    "errors": sum(1 for hit in shortlist if hit.error),
+                })
             result.examined = len(shortlist)
             stats.count("search.reranked", len(shortlist))
             rerank_stage = stats.stages.get("search:rerank")
@@ -438,6 +462,10 @@ class CorpusSearcher:
         from repro.constraints import MatchEvidence, evaluate_constraint
         from repro.xsd.parser import parse_xsd
 
+        tracer = current_tracer()
+        constrain_span = tracer.start("constraints.filter", {
+            "evaluated": len(shortlist),
+        }) if tracer.enabled else None
         admitted = []
         filtered = 0
         with stats.stage("search:constrain"):
@@ -456,6 +484,10 @@ class CorpusSearcher:
                     admitted.append(hit)
                 else:
                     filtered += 1
+        if constrain_span is not None:
+            tracer.finish(constrain_span, attributes={
+                "admitted": len(admitted), "filtered": filtered,
+            })
         stats.count("search.constraint_admitted", len(admitted))
         stats.count("search.constraint_filtered", filtered)
         result.constraints = {

@@ -67,6 +67,7 @@ from repro.corpus.indexes import (
     schema_tokens,
 )
 from repro.linguistic.thesaurus import Thesaurus
+from repro.obs.log import NULL_LOGGER
 from repro.service.store import (
     atomic_write_bytes,
     atomic_write_text,
@@ -430,7 +431,8 @@ class SegmentedCorpusIndex:
                  compact_trigger: int = COMPACT_TRIGGER,
                  tier_factor: int = TIER_FACTOR,
                  max_candidates: Optional[int] = None,
-                 fanout_workers: Optional[int] = None):
+                 fanout_workers: Optional[int] = None,
+                 log=NULL_LOGGER):
         self.root = Path(root)
         self.config = config if config is not None else IndexConfig()
         if thesaurus is not None:
@@ -449,6 +451,8 @@ class SegmentedCorpusIndex:
         self.tier_factor = tier_factor
         self.max_candidates = max_candidates
         self.fanout_workers = fanout_workers
+        #: Structured event sink (compaction events; disabled default).
+        self.log = log
         self.corpus_fingerprint = ""
         #: Live segments by id, in manifest (creation) order.
         self._segments: dict[str, Segment] = {}
@@ -843,6 +847,13 @@ class SegmentedCorpusIndex:
                 group = candidates[0]
                 dropped += self._merge_segments(group)
                 merged += len(group)
+        if merged or dropped:
+            # No-op auto-compact probes (every add_batch) stay silent;
+            # actual merges are operationally interesting.
+            self.log.event(
+                "segments.compact", full=full, merged=merged,
+                dropped=dropped, segments=self.segment_count,
+            )
         return {
             "merged": merged,
             "dropped": dropped,

@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.corpus.search import CorpusSearcher
 from repro.corpus.segments import SegmentedCorpusIndex, SegmentError
+from repro.obs.spans import current_tracer
 
 #: Default number of stage-1 shards.
 DEFAULT_SHARDS = 4
@@ -81,12 +82,35 @@ class ShardedCorpusSearcher(CorpusSearcher):
                 max_workers=min(self.shards, len(groups)),
                 thread_name_prefix="qmatch-shard",
             )
-        futures = [
-            self._executor.submit(
-                self.index.retrieve_scores, tokens, signature,
+        # Shard spans need an explicit parent: the scans run on pool
+        # threads, where neither the contextvar nor the tracer's
+        # nesting stack is visible.  ``len(shard_lexical)`` is the
+        # per-shard docs_scored (the index's ``last_scan`` attribute is
+        # a single slot the concurrent calls would race on).
+        tracer = current_tracer()
+        parent_id = tracer.current_id() if tracer.enabled else ""
+
+        def scan_shard(shard_index: int, group: list) -> tuple:
+            span = tracer.child(
+                "retrieve.shard", parent_id=parent_id,
+                attributes={
+                    "shard": shard_index, "segments": len(group),
+                },
+            ) if tracer.enabled else None
+            shard_lexical, shard_structural = self.index.retrieve_scores(
+                tokens, signature,
                 scorer=self.scorer, segments=group, normalize=False,
             )
-            for group in groups
+            if span is not None:
+                tracer.finish(span, attributes={
+                    "docs_scored": len(shard_lexical),
+                    "structural_candidates": len(shard_structural),
+                })
+            return shard_lexical, shard_structural
+
+        futures = [
+            self._executor.submit(scan_shard, shard_index, group)
+            for shard_index, group in enumerate(groups)
         ]
         lexical: dict = {}
         structural: set = set()

@@ -19,6 +19,16 @@ the fork boundary the batch service runs jobs behind:
 
 :mod:`repro.obs.explain` renders a recorded trace back into the
 human-readable per-axis decision breakdown behind ``qmatch explain``.
+
+Two request-scoped pillars complete the picture:
+
+- :mod:`repro.obs.spans` -- **pipeline span trees**: one sampled HTTP
+  request yields a single stitched tree of monotonic-duration spans
+  across the asyncio front end, the worker pool's pipe boundary and
+  the sharded corpus scan, exported as OTLP-shaped JSONL.
+- :mod:`repro.obs.slo` -- **SLO / error-budget tracking** over the
+  existing request histograms, surfaced as ``qmatch_slo_*`` gauges
+  and ``GET /slo``.
 """
 
 from repro.obs.log import NULL_LOGGER, EventLogger, new_run_id
@@ -27,6 +37,29 @@ from repro.obs.metrics import (
     MetricsRegistry,
     corpus_index_metrics,
     engine_stats_metrics,
+)
+from repro.obs.slo import (
+    SLObjective,
+    default_slos,
+    evaluate_slos,
+    parse_slo,
+    slo_metrics,
+)
+from repro.obs.spans import (
+    NULL_SPAN_TRACER,
+    HeadSampler,
+    RequestTracing,
+    SpanFileExporter,
+    SpanStore,
+    SpanTracer,
+    current_request_id,
+    current_tracer,
+    load_span_file,
+    render_span_report,
+    render_waterfall,
+    span_report,
+    use_request_id,
+    use_tracer,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -40,15 +73,34 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "EventLogger",
+    "HeadSampler",
     "MetricsRegistry",
     "NULL_LOGGER",
+    "NULL_SPAN_TRACER",
     "NULL_TRACER",
+    "RequestTracing",
+    "SLObjective",
+    "SpanFileExporter",
+    "SpanStore",
+    "SpanTracer",
     "TRACE_SCHEMA",
     "Trace",
     "TraceRecorder",
     "corpus_index_metrics",
+    "current_request_id",
+    "current_tracer",
+    "default_slos",
     "engine_stats_metrics",
+    "evaluate_slos",
+    "load_span_file",
     "load_trace",
     "new_run_id",
+    "parse_slo",
+    "render_span_report",
+    "render_waterfall",
+    "slo_metrics",
+    "span_report",
     "trace_run_id",
+    "use_request_id",
+    "use_tracer",
 ]

@@ -14,6 +14,11 @@ keys make the stream greppable and machine-parseable at once.
 :data:`NULL_LOGGER` is the disabled instance used as the default
 everywhere, so library code can log unconditionally while embedders and
 ``--quiet`` runs pay nothing.
+
+Records emitted inside an HTTP request scope additionally carry the
+request's ``request_id`` (from :mod:`repro.obs.spans`' context), so
+log lines, spans and the ``X-Request-Id`` response header correlate
+without any caller plumbing.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ import sys
 import time
 import uuid
 from typing import Optional
+
+from repro.obs.spans import current_request_id
 
 
 def new_run_id() -> str:
@@ -66,6 +73,9 @@ class EventLogger:
             "run_id": self.run_id,
             "ts": round(self._clock(), 6),
         }
+        request_id = current_request_id()
+        if request_id:
+            record["request_id"] = request_id
         record.update(self._bound)
         record.update(fields)
         stream = self._stream if self._stream is not None else sys.stderr

@@ -217,6 +217,17 @@ class MetricsRegistry:
         sample = family["samples"].get(self._label_key(labels))
         return sample.value if sample is not None else 0.0
 
+    def samples(self, name: str) -> list:
+        """``(labels_dict, sample)`` pairs of one family (SLO reads)."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        with self._lock:
+            return [
+                (dict(labels), sample)
+                for labels, sample in family["samples"].items()
+            ]
+
     def sum_by(self, name: str, label: str) -> dict:
         """Counter/gauge totals grouped by one label's values.
 

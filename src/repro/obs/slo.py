@@ -1,0 +1,218 @@
+"""Latency / availability SLOs over the serving metrics.
+
+An :class:`SLObjective` is a declarative target over metrics the
+server already records -- no new instrumentation, no background
+threads.  Two kinds:
+
+- ``latency``: the fraction of requests (optionally one route) whose
+  latency landed at or under a threshold, read from the cumulative
+  ``http_request_seconds`` histogram buckets.  Because buckets are
+  fixed, the threshold is snapped *down* to the nearest bucket bound
+  (reported as ``effective_threshold``) -- the attainment is then
+  exact, never interpolated.
+- ``availability``: the fraction of requests (optionally one route)
+  that did not answer a 5xx, read from ``http_requests_total``.
+
+Error-budget arithmetic follows the SRE convention: with target
+``t``, the budget is ``1 - t``; the burn rate is
+``(1 - attainment) / (1 - t)`` (1.0 = spending exactly the budget,
+> 1.0 = over-spending), and the budget remaining is ``1 - burn``
+clamped at 0.  Objectives with no traffic yet report attainment 1.0
+(a vacuous SLO is met) so a freshly started server is green.
+
+Evaluations surface in two places: ``GET /slo`` returns the JSON
+records from :func:`evaluate_slos`, and ``GET /metrics`` carries them
+as ``qmatch_slo_*`` gauges via :func:`slo_metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SLObjective",
+    "parse_slo",
+    "default_slos",
+    "evaluate_slos",
+    "slo_metrics",
+]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective over the request metrics."""
+
+    name: str
+    kind: str  # "latency" | "availability"
+    target: float
+    route: Optional[str] = None  # None = all routes
+    threshold: Optional[float] = None  # seconds; latency only
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(
+                f"invalid SLO kind {self.kind!r}: expected "
+                "'latency' or 'availability'"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"invalid SLO target {self.target}: must be within "
+                "(0, 1) -- a target of exactly 1 leaves no error budget"
+            )
+        if self.kind == "latency":
+            if self.threshold is None or self.threshold <= 0:
+                raise ValueError(
+                    "latency SLOs need a positive 'threshold' in seconds"
+                )
+        elif self.threshold is not None:
+            raise ValueError("availability SLOs take no 'threshold'")
+
+
+def parse_slo(spec: str) -> SLObjective:
+    """Parse a CLI objective: ``key=value`` pairs joined by commas.
+
+    Example::
+
+        name=search-fast,kind=latency,route=/search,threshold=0.25,target=0.95
+    """
+    fields: dict = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        if not sep:
+            raise ValueError(
+                f"invalid SLO field {chunk!r}: expected key=value"
+            )
+        fields[key.strip()] = value.strip()
+    unknown = set(fields) - {"name", "kind", "route", "threshold", "target"}
+    if unknown:
+        raise ValueError(
+            f"unknown SLO field(s) {sorted(unknown)}: expected "
+            "name/kind/route/threshold/target"
+        )
+    if "name" not in fields:
+        raise ValueError(f"SLO spec {spec!r} needs a name=")
+    try:
+        target = float(fields.get("target", "0.99"))
+        threshold = (
+            float(fields["threshold"]) if "threshold" in fields else None
+        )
+    except ValueError as exc:
+        raise ValueError(f"invalid SLO number in {spec!r}: {exc}") from None
+    return SLObjective(
+        name=fields["name"],
+        kind=fields.get("kind", "latency" if threshold else "availability"),
+        target=target,
+        route=fields.get("route") or None,
+        threshold=threshold,
+    )
+
+
+def default_slos() -> list:
+    """The out-of-the-box objectives a served instance tracks."""
+    return [
+        SLObjective(name="availability", kind="availability",
+                    target=0.999),
+        SLObjective(name="latency-fast", kind="latency",
+                    target=0.95, threshold=0.25),
+    ]
+
+
+def _latency_fractions(registry: MetricsRegistry,
+                       objective: SLObjective) -> tuple:
+    """``(good, total, effective_threshold)`` from histogram buckets."""
+    good = 0
+    total = 0
+    effective = None
+    for labels, sample in registry.samples("http_request_seconds"):
+        if objective.route is not None:
+            if labels.get("route") != objective.route:
+                continue
+        bound_index = -1
+        for index, bound in enumerate(sample.buckets):
+            if bound <= objective.threshold + 1e-12:
+                bound_index = index
+            else:
+                break
+        cumulative = sample.cumulative()
+        if bound_index >= 0:
+            good += cumulative[bound_index]
+            effective = sample.buckets[bound_index]
+        else:
+            effective = 0.0
+        total += sample.count
+    return good, total, effective
+
+
+def _availability_fractions(registry: MetricsRegistry,
+                            objective: SLObjective) -> tuple:
+    good = 0.0
+    total = 0.0
+    for labels, sample in registry.samples("http_requests_total"):
+        if objective.route is not None:
+            if labels.get("route") != objective.route:
+                continue
+        total += sample.value
+        if not labels.get("status", "").startswith("5"):
+            good += sample.value
+    return good, total
+
+
+def evaluate_slos(objectives, registry: MetricsRegistry) -> list:
+    """Evaluate every objective; returns canonical JSON-ready records."""
+    results = []
+    for objective in objectives:
+        if objective.kind == "latency":
+            good, total, effective = _latency_fractions(
+                registry, objective,
+            )
+        else:
+            good, total = _availability_fractions(registry, objective)
+            effective = None
+        attainment = (good / total) if total else 1.0
+        budget = 1.0 - objective.target
+        burn = (1.0 - attainment) / budget
+        record = {
+            "name": objective.name,
+            "kind": objective.kind,
+            "route": objective.route,
+            "target": objective.target,
+            "good": good,
+            "total": total,
+            "attainment": round(attainment, 9),
+            "burn_rate": round(burn, 9),
+            "budget_remaining": round(max(0.0, 1.0 - burn), 9),
+            "met": attainment >= objective.target,
+        }
+        if objective.kind == "latency":
+            record["threshold"] = objective.threshold
+            record["effective_threshold"] = effective
+        results.append(record)
+    return results
+
+
+def slo_metrics(registry: MetricsRegistry, evaluations: list) -> None:
+    """Project evaluations as ``qmatch_slo_*`` gauges into a scrape."""
+    for record in evaluations:
+        labels = {"slo": record["name"]}
+        registry.gauge(
+            "slo_target", "Configured SLO target.", labels,
+        ).set(record["target"])
+        registry.gauge(
+            "slo_attainment", "Fraction of good requests.", labels,
+        ).set(record["attainment"])
+        registry.gauge(
+            "slo_error_budget_remaining",
+            "Remaining error budget (1 = untouched, 0 = exhausted).",
+            labels,
+        ).set(record["budget_remaining"])
+        registry.gauge(
+            "slo_burn_rate",
+            "Error budget burn rate (>1 = over budget).",
+            labels,
+        ).set(record["burn_rate"])

@@ -28,7 +28,10 @@ from typing import Optional
 from repro.obs.log import NULL_LOGGER
 from repro.service.http_api import (
     ApiResponse,
+    finish_request,
     handle_api_request,
+    open_request,
+    stamp_request_id,
     too_large_response,
 )
 
@@ -180,6 +183,11 @@ class AsyncMatchServer:
             if head is None:
                 return
             method, path, version, headers = head
+            tracer, request_id = open_request(self.service, headers)
+            root = tracer.start("http.request", {
+                "method": method, "path": path.partition("?")[0],
+                "transport": "asyncio",
+            }) if tracer.enabled else None
             keep_alive = (
                 version.upper() != "HTTP/1.0"
                 and headers.get("connection", "").lower() != "close"
@@ -197,20 +205,41 @@ class AsyncMatchServer:
                     response = too_large_response(
                         self.service, method, path, length, started,
                     )
+                    stamp_request_id(response, request_id)
+                    if root is not None:
+                        tracer.finish(root, status="ERROR",
+                                      attributes={"status": 413})
+                        finish_request(self.service, tracer)
                     writer.write(_render(response, keep_alive=False))
                     await writer.drain()
                     self._log_request(writer, method, path, response.status)
                     return
+                read_span = tracer.start("request.read") \
+                    if tracer.enabled else None
                 raw = (
                     await reader.readexactly(length) if length > 0 else b""
                 )
+                if read_span is not None:
+                    tracer.finish(read_span,
+                                  attributes={"bytes": length})
             response = await loop.run_in_executor(
                 None, handle_api_request,
                 self.service, method, path, raw, started,
+                tracer, request_id,
             )
             keep_alive = keep_alive and not response.close
+            write_span = tracer.start("response.write") \
+                if tracer.enabled else None
             writer.write(_render(response, keep_alive=keep_alive))
             await writer.drain()
+            if write_span is not None:
+                tracer.finish(write_span,
+                              attributes={"bytes": len(response.body)})
+            if root is not None:
+                tracer.finish(root, attributes={
+                    "status": response.status, "route": response.route,
+                })
+                finish_request(self.service, tracer)
             self._log_request(writer, method, path, response.status)
             if not keep_alive:
                 return

@@ -32,8 +32,18 @@ from dataclasses import dataclass, field
 from typing import Optional
 from urllib.parse import parse_qs
 
+from repro.obs.log import new_run_id
+from repro.obs.spans import (
+    NULL_SPAN_TRACER,
+    current_tracer,
+    use_request_id,
+    use_tracer,
+)
 from repro.service.jobs import JobState
 from repro.service.validation import ValidationError
+
+#: Client-supplied ``X-Request-Id`` values are trusted but bounded.
+MAX_REQUEST_ID_CHARS = 128
 
 #: Default page size of ``GET /jobs`` (override per request with
 #: ``?limit=``; capped at MAX_JOBS_PAGE).
@@ -106,10 +116,48 @@ def route_label(parts: list) -> str:
             and parts[2] in ("result", "trace")):
         return "/jobs/{id}/" + parts[2]
     if len(parts) == 1 and parts[0] in (
-        "healthz", "stats", "metrics", "jobs", "match", "search",
+        "healthz", "stats", "metrics", "jobs", "match", "search", "slo",
     ):
         return "/" + parts[0]
     return "(unknown)"
+
+
+def open_request(service, headers: Optional[dict] = None) -> tuple:
+    """Per-request identity for a transport: ``(tracer, request_id)``.
+
+    Takes the head-sampling decision (when the service has tracing
+    configured) and resolves the request id: a client-supplied
+    ``X-Request-Id`` header wins, else the id derives from the trace
+    id so log lines, spans and the response header all correlate.
+    """
+    tracing = getattr(service, "tracing", None)
+    if tracing is not None:
+        tracer, trace_id = tracing.start_request()
+    else:
+        tracer, trace_id = NULL_SPAN_TRACER, ""
+    client_id = ""
+    if headers:
+        client_id = str(
+            headers.get("x-request-id")
+            or headers.get("X-Request-Id") or ""
+        ).strip()[:MAX_REQUEST_ID_CHARS]
+    request_id = client_id or (trace_id[:16] if trace_id else new_run_id())
+    return tracer, request_id
+
+
+def finish_request(service, tracer) -> None:
+    """Flush a sampled request's span tree to the store/exporter."""
+    if not getattr(tracer, "enabled", False):
+        return
+    tracing = getattr(service, "tracing", None)
+    if tracing is not None:
+        tracing.complete(tracer)
+
+
+def stamp_request_id(response: ApiResponse, request_id: str) -> None:
+    """Attach the ``X-Request-Id`` header (every response carries one)."""
+    if request_id:
+        response.headers.append(("X-Request-Id", request_id))
 
 
 def parse_body(raw: Optional[bytes]) -> dict:
@@ -144,45 +192,72 @@ def _int_param(params: dict, name: str, default: int,
 
 def handle_api_request(service, method: str, path: str,
                        raw_body: Optional[bytes],
-                       started: Optional[float] = None) -> ApiResponse:
+                       started: Optional[float] = None,
+                       tracer=NULL_SPAN_TRACER,
+                       request_id: Optional[str] = None,
+                       request_headers: Optional[dict] = None,
+                       ) -> ApiResponse:
     """Dispatch one request against ``service`` and record its metrics.
 
     ``raw_body`` is the request body for POSTs (``None`` for GETs);
     transports enforce the byte-size cap while *reading* (so an
     oversized body is never buffered) and call
     :func:`too_large_response` instead.
+
+    ``tracer``/``request_id`` come from :func:`open_request` on the
+    transport side; both are bound into request-scoped context here --
+    deliberately *inside* the executor thread, because contextvars do
+    not cross ``run_in_executor``.  Every response leaves with an
+    ``X-Request-Id`` header (derived here when no transport supplied
+    one, e.g. for embedded/direct callers).
     """
     started = started if started is not None else time.perf_counter()
+    if request_id is None:
+        client_id = ""
+        if request_headers:
+            client_id = str(
+                request_headers.get("x-request-id") or ""
+            ).strip()[:MAX_REQUEST_ID_CHARS]
+        request_id = client_id or new_run_id()
     path, _, query = path.partition("?")
     parts = [part for part in path.split("/") if part]
     route = route_label(parts)
     params = parse_qs(query, keep_blank_values=True)
-    try:
-        if method == "GET":
-            response = _get(service, parts, route, params, started)
-        elif method == "POST":
-            response = _post(service, parts, route, raw_body)
-        else:
+    with use_tracer(tracer), use_request_id(request_id):
+        span = tracer.start("router", {"method": method}) \
+            if tracer.enabled else None
+        try:
+            if method == "GET":
+                response = _get(service, parts, route, params, started)
+            elif method == "POST":
+                response = _post(service, parts, route, raw_body)
+            else:
+                response = json_response(
+                    405, {"error": f"method {method} not allowed"},
+                    route=route,
+                )
+        except ValidationError as exc:
+            response = json_response(400, {"error": str(exc)}, route=route)
+        except ServiceDraining:
             response = json_response(
-                405, {"error": f"method {method} not allowed"}, route=route,
+                503, {"error": "service is draining; no new work accepted"},
+                route=route,
             )
-    except ValidationError as exc:
-        response = json_response(400, {"error": str(exc)}, route=route)
-    except ServiceDraining:
-        response = json_response(
-            503, {"error": "service is draining; no new work accepted"},
-            route=route,
-        )
-    except ServiceSaturated as exc:
-        response = json_response(
-            429, {"error": str(exc), "retry_after": exc.retry_after},
-            route=route,
-            headers=[("Retry-After", str(exc.retry_after))],
-        )
-    except Exception as exc:  # noqa: BLE001 -- request boundary
-        response = json_response(
-            500, {"error": f"{type(exc).__name__}: {exc}"}, route=route,
-        )
+        except ServiceSaturated as exc:
+            response = json_response(
+                429, {"error": str(exc), "retry_after": exc.retry_after},
+                route=route,
+                headers=[("Retry-After", str(exc.retry_after))],
+            )
+        except Exception as exc:  # noqa: BLE001 -- request boundary
+            response = json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}, route=route,
+            )
+        if span is not None:
+            tracer.finish(span, attributes={
+                "route": response.route, "status": response.status,
+            })
+    stamp_request_id(response, request_id)
     if route != "/metrics":
         service.record_request(
             method, route, response.status, time.perf_counter() - started,
@@ -226,9 +301,16 @@ def _get(service, parts: list, route: str, params: dict,
         return ApiResponse(
             status=200,
             body=service.metrics_text().encode("utf-8"),
-            content_type="text/plain; version=0.0.4",
+            content_type="text/plain; version=0.0.4; charset=utf-8",
             route=route,
         )
+    if parts == ["slo"]:
+        snapshot = getattr(service, "slo_snapshot", None)
+        if snapshot is None:
+            return json_response(
+                404, {"error": "this service tracks no SLOs"}, route=route,
+            )
+        return json_response(200, snapshot(), route=route)
     if parts == ["jobs"]:
         offset = _int_param(params, "offset", 0, minimum=0)
         limit = _int_param(params, "limit", DEFAULT_JOBS_PAGE, minimum=1)
@@ -288,13 +370,15 @@ def _get(service, parts: list, route: str, params: dict,
 def _post(service, parts: list, route: str,
           raw_body: Optional[bytes]) -> ApiResponse:
     if parts == ["jobs"]:
-        service.check_admission()
+        with current_tracer().span("admission"):
+            service.check_admission()
         body = parse_body(raw_body)
         spec = service.spec_from_request(body)
         record = service.submit(spec, service.constraint_from_request(body))
         return json_response(202, record.snapshot(), route=route)
     if parts == ["match"]:
-        service.check_admission()
+        with current_tracer().span("admission"):
+            service.check_admission()
         body = parse_body(raw_body)
         spec = service.spec_from_request(body)
         record = service.run_sync(spec, service.constraint_from_request(body))
@@ -304,8 +388,9 @@ def _post(service, parts: list, route: str,
             )
         return json_response(500, record.snapshot(), route=route)
     if parts == ["search"]:
-        if service.draining:
-            raise ServiceDraining()
+        with current_tracer().span("admission"):
+            if service.draining:
+                raise ServiceDraining()
         payload = service.search_from_request(parse_body(raw_body))
         return json_response(200, payload, route=route)
     return json_response(

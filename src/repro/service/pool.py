@@ -35,6 +35,7 @@ worker -- the serving backpressure signal), and
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import threading
 import time
@@ -45,6 +46,13 @@ from typing import Iterable, Optional
 from repro.constraints.evidence import attach_result_axes
 from repro.obs.log import NULL_LOGGER
 from repro.obs.metrics import QUEUE_WAIT_BUCKETS, pool_depth_metrics
+from repro.obs.spans import (
+    SpanTracer,
+    current_request_id,
+    current_tracer,
+    use_request_id,
+    use_tracer,
+)
 from repro.service.jobs import JobQueue, MatchJobSpec
 from repro.service.runner import (
     DEFAULT_TIMEOUT,
@@ -249,20 +257,47 @@ def _pool_worker_main(conn, warm, worker_body):
             break
         if message is None:
             break
-        kind, payload = message
-        try:
-            if kind == "job":
-                value = worker_body(payload, state)
-            elif kind == "search":
-                value = _search_resident(payload, state)
-            else:
-                raise PoolError(f"unknown pool request kind {kind!r}")
-            reply = {"ok": True, "value": value}
-        except BaseException as exc:  # noqa: BLE001 -- request boundary
-            reply = {
-                "ok": False,
-                "error": {"type": type(exc).__name__, "message": str(exc)},
-            }
+        # Older 2-tuple messages stay valid; the optional third slot
+        # carries the request-scoped span context and request id.
+        kind, payload, extras = (
+            message if len(message) == 3 else (*message, None)
+        )
+        tracer = None
+        if extras and extras.get("span"):
+            tracer = SpanTracer.from_context(extras["span"])
+        with use_request_id((extras or {}).get("request_id", "")), \
+                use_tracer(tracer if tracer is not None
+                           else current_tracer()):
+            span = None
+            if tracer is not None:
+                span = tracer.start(f"worker.{kind}", {"pid": os.getpid()})
+            try:
+                if kind == "job":
+                    value = worker_body(payload, state)
+                elif kind == "search":
+                    value = _search_resident(payload, state)
+                else:
+                    raise PoolError(f"unknown pool request kind {kind!r}")
+                reply = {"ok": True, "value": value}
+                if tracer is not None:
+                    tracer.finish(span)
+            except BaseException as exc:  # noqa: BLE001 -- boundary
+                reply = {
+                    "ok": False,
+                    "error": {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                    },
+                }
+                if tracer is not None:
+                    tracer.finish(span, status="ERROR", attributes={
+                        "error.type": type(exc).__name__,
+                    })
+        # Spans ride the reply envelope (a side channel), never the
+        # result value -- payload bytes stay identical with tracing
+        # on or off.
+        if tracer is not None:
+            reply["spans"] = tracer.export_spans()
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -429,6 +464,10 @@ class WorkerPool(JobExecutionCore):
                 buckets=QUEUE_WAIT_BUCKETS,
             ).observe(waited)
             self._set_depth_gauges()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record("pool.checkout", waited,
+                          {"idle": self._idle.qsize()})
         return handle
 
     def _checkin(self, handle: _WorkerHandle):
@@ -457,20 +496,44 @@ class WorkerPool(JobExecutionCore):
     def _request(self, kind: str, payload, timeout: Optional[float]):
         """One round trip to a worker; kills + respawns on trouble."""
         handle = self._checkout()
+        tracer = current_tracer()
+        span = None
+        extras = None
+        if tracer.enabled:
+            span = tracer.start("pool.execute", {
+                "kind": kind, "pid": handle.process.pid,
+            })
+            extras = {
+                "span": tracer.propagation_context(span),
+                "request_id": current_request_id(),
+            }
         keep = True
         try:
             try:
-                handle.conn.send((kind, payload))
+                handle.conn.send((kind, payload, extras))
             except (BrokenPipeError, OSError):
                 keep = False
+                self.log.event(
+                    "pool.worker_crash", kind=kind, phase="send",
+                    pid=handle.process.pid,
+                    exitcode=handle.process.exitcode,
+                )
                 self._respawn(handle, "send-failed")
+                tracer.finish(span, status="ERROR",
+                              attributes={"error.type": "WorkerCrash"})
                 return "error", {
                     "type": "WorkerCrash",
                     "message": "pool worker pipe closed before dispatch",
                 }
             if not handle.conn.poll(timeout):
                 keep = False
+                self.log.event(
+                    "pool.worker_timeout", kind=kind, timeout=timeout,
+                    pid=handle.process.pid,
+                )
                 self._respawn(handle, "timeout")
+                tracer.finish(span, status="ERROR",
+                              attributes={"error.type": "JobTimeout"})
                 return "timeout", {
                     "type": "JobTimeout",
                     "message": f"job exceeded its {timeout:g}s deadline",
@@ -480,7 +543,13 @@ class WorkerPool(JobExecutionCore):
             except (EOFError, OSError):
                 keep = False
                 exitcode = handle.process.exitcode
+                self.log.event(
+                    "pool.worker_crash", kind=kind, phase="recv",
+                    pid=handle.process.pid, exitcode=exitcode,
+                )
                 self._respawn(handle, "crash")
+                tracer.finish(span, status="ERROR",
+                              attributes={"error.type": "WorkerCrash"})
                 return "error", {
                     "type": "WorkerCrash",
                     "message": (
@@ -489,8 +558,14 @@ class WorkerPool(JobExecutionCore):
                     ),
                 }
             handle.jobs += 1
+            if span is not None:
+                tracer.adopt(message.pop("spans", None), anchor=span)
             if message["ok"]:
+                tracer.finish(span)
                 return "ok", message["value"]
+            tracer.finish(span, status="ERROR", attributes={
+                "error.type": message["error"].get("type", "Error"),
+            })
             return "error", message["error"]
         finally:
             if keep:

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -68,6 +69,13 @@ from repro.engine.registry import DEFAULT_REGISTRY
 from repro.engine.stats import EngineStats
 from repro.matching.io import result_to_payload
 from repro.obs.log import NULL_LOGGER
+from repro.obs.spans import (
+    SpanTracer,
+    current_request_id,
+    current_tracer,
+    use_request_id,
+    use_tracer,
+)
 from repro.obs.trace import TraceRecorder, trace_run_id
 from repro.service.jobs import JobQueue, JobRecord, JobState, MatchJobSpec
 from repro.service.store import ResultStore
@@ -169,6 +177,32 @@ def _process_entry(conn, worker, spec):
         })
     finally:
         conn.close()
+
+
+class _SpanWorker:
+    """Carries the request span context across the fork boundary.
+
+    A picklable wrapper (plain attributes, module-level class -- works
+    under any multiprocessing start method) that builds the worker-side
+    tracer, runs the job body under it, and rides the exported spans
+    back on the envelope.  The parent pops the ``spans`` key before the
+    result payload goes anywhere, so stored/served bytes are identical
+    with tracing on or off.
+    """
+
+    def __init__(self, body, context: dict, request_id: str):
+        self.body = body
+        self.context = context
+        self.request_id = request_id
+
+    def __call__(self, spec):
+        tracer = SpanTracer.from_context(self.context)
+        with use_request_id(self.request_id), use_tracer(tracer):
+            with tracer.span("worker.job", {"pid": os.getpid()}):
+                envelope = self.body(spec)
+        if isinstance(envelope, dict):
+            envelope["spans"] = tracer.export_spans()
+        return envelope
 
 
 @dataclass
@@ -356,17 +390,23 @@ class JobExecutionCore:
         """Drive one record to a terminal state.  Never raises for
         job-level problems -- those become error records."""
         spec = record.spec
+        tracer = current_tracer()
+        span = tracer.start(
+            "job.execute", {"job_id": record.job_id, "label": spec.label},
+        ) if tracer.enabled else None
         try:
             key = None
             if self.store is not None:
+                lookup = tracer.start("cache.lookup") \
+                    if tracer.enabled else None
                 key = self.store.key_for(
                     spec.source_hash, spec.target_hash, job_fingerprint(spec)
                 )
                 cached = self.store.get(key)
+                tracer.finish(lookup, attributes={"hit": cached is not None})
                 if cached is not None:
                     queue.mark_done(record, cached, cache_hit=True)
                     self._observe_job(record, "cached", 0.0)
-                    self._apply_constraint(record)
                     return
             self._run_attempts(record, queue, key)
         except Exception as exc:  # noqa: BLE001 -- batch must survive
@@ -375,7 +415,9 @@ class JobExecutionCore:
                 {"type": type(exc).__name__, "message": str(exc)},
             )
             self._observe_job(record, "failed", 0.0, error=str(exc))
-        self._apply_constraint(record)
+        finally:
+            self._apply_constraint(record)
+            tracer.finish(span, attributes={"state": record.state.value})
 
     def _apply_constraint(self, record: JobRecord):
         """Evaluate the record's (or the core's default) constraint.
@@ -398,6 +440,9 @@ class JobExecutionCore:
         from repro.xsd.parser import parse_xsd
 
         spec = record.spec
+        tracer = current_tracer()
+        span = tracer.start("constraints.evaluate") \
+            if tracer.enabled else None
         source = parse_xsd(spec.source_xsd, name=spec.source_name or None)
         target = parse_xsd(spec.target_xsd, name=spec.target_name or None)
         evidence = MatchEvidence.from_payload(
@@ -405,6 +450,7 @@ class JobExecutionCore:
         )
         report = evaluate_constraint(constraint, evidence)
         record.constraint_report = report.as_dict()
+        tracer.finish(span, attributes={"passed": report.passed})
         with self._stats_lock:
             self.stats.count("constraints.evaluated")
             self.stats.count(
@@ -456,12 +502,21 @@ class JobExecutionCore:
         last_error = {"type": "Unknown", "message": "job never ran"}
         timed_out = False
         elapsed = 0.0
+        tracer = current_tracer()
         for attempt in range(self.retries + 1):
             if attempt and self.retry_backoff:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
             queue.mark_running(record)
             started = time.perf_counter()
+            attempt_span = tracer.start(
+                "job.attempt", {"attempt": attempt + 1},
+            ) if tracer.enabled else None
             outcome, value = self._execute(spec, timeout)
+            tracer.finish(
+                attempt_span,
+                status="OK" if outcome == "ok" else "ERROR",
+                attributes={"outcome": outcome},
+            )
             elapsed = time.perf_counter() - started
             if outcome == "ok":
                 payload = value["result"]
@@ -612,10 +667,19 @@ class BatchRunner(JobExecutionCore):
 
     def _execute_process(self, spec: MatchJobSpec,
                          timeout: Optional[float]):
+        tracer = current_tracer()
+        worker = self.worker
+        span = None
+        if tracer.enabled:
+            span = tracer.start("fork.execute")
+            worker = _SpanWorker(
+                self.worker, tracer.propagation_context(span),
+                current_request_id(),
+            )
         parent_conn, child_conn = self._mp.Pipe(duplex=False)
         process = self._mp.Process(
             target=_process_entry,
-            args=(child_conn, self.worker, spec),
+            args=(child_conn, worker, spec),
             daemon=True,
         )
         process.start()
@@ -628,6 +692,8 @@ class BatchRunner(JobExecutionCore):
             # deadlock into a spurious timeout.
             if not parent_conn.poll(timeout):
                 self._kill(process)
+                tracer.finish(span, status="ERROR",
+                              attributes={"error.type": "JobTimeout"})
                 return "timeout", {
                     "type": "JobTimeout",
                     "message": f"job exceeded its {timeout:g}s deadline",
@@ -642,6 +708,8 @@ class BatchRunner(JobExecutionCore):
         if process.is_alive():
             self._kill(process)
         if message is None:
+            tracer.finish(span, status="ERROR",
+                          attributes={"error.type": "WorkerCrash"})
             return "error", {
                 "type": "WorkerCrash",
                 "message": (
@@ -650,7 +718,16 @@ class BatchRunner(JobExecutionCore):
                 ),
             }
         if message["ok"]:
-            return "ok", message["value"]
+            value = message["value"]
+            if span is not None and isinstance(value, dict):
+                # Pop the side channel before the envelope's payload is
+                # stored or served: result bytes never carry spans.
+                tracer.adopt(value.pop("spans", None), anchor=span)
+            tracer.finish(span)
+            return "ok", value
+        tracer.finish(span, status="ERROR", attributes={
+            "error.type": message["error"].get("type", "Error"),
+        })
         return "error", message["error"]
 
     @staticmethod

@@ -54,10 +54,15 @@ from repro.obs.metrics import (
     engine_stats_metrics,
     pool_depth_metrics,
 )
+from repro.obs.slo import default_slos, evaluate_slos, slo_metrics
+from repro.obs.spans import RequestTracing
 from repro.service.http_api import (
     ServiceDraining,
     ServiceSaturated,
+    finish_request,
     handle_api_request,
+    open_request,
+    stamp_request_id,
     too_large_response,
 )
 from repro.service.jobs import JobQueue, JobRecord, MatchJobSpec
@@ -100,6 +105,11 @@ class MatchService:
                  max_pending: Optional[int] = None,
                  max_body_bytes: int = DEFAULT_MAX_BODY,
                  max_jobs: Optional[int] = None,
+                 trace_sample: float = 0.0,
+                 trace_seed: int = 0,
+                 trace_export=None,
+                 trace_capacity: int = 512,
+                 slos=None,
                  log=NULL_LOGGER):
         # ``mode`` picks the execution backend (see the module
         # docstring); the older ``isolate`` flag keeps working for
@@ -133,6 +143,17 @@ class MatchService:
         self.max_pending = max_pending
         self.max_body_bytes = max_body_bytes
         self.draining = False
+        #: Request-scoped span tracing (None = every request untraced;
+        #: the transports then run on the NULL tracer guard).
+        self.tracing = None
+        if trace_sample and float(trace_sample) > 0.0:
+            self.tracing = RequestTracing(
+                float(trace_sample), seed=trace_seed,
+                export_path=trace_export, capacity=trace_capacity,
+            )
+        #: Service-level objectives evaluated on demand over the
+        #: long-lived request metrics (``/slo`` and ``qmatch_slo_*``).
+        self.slos = list(slos) if slos is not None else default_slos()
         if timeout is None and mode != "inline":
             timeout = DEFAULT_TIMEOUT
         if mode == "pool":
@@ -405,11 +426,21 @@ class MatchService:
             )
         if self.searcher is not None:
             corpus_index_metrics(snapshot, self.searcher.index.info())
+        if self.slos:
+            slo_metrics(snapshot, evaluate_slos(self.slos, self.metrics))
         snapshot.gauge(
             "service_uptime_seconds",
             "Seconds since the service started.",
         ).set(time.time() - self.started_at)
         return snapshot.render()
+
+    def slo_snapshot(self) -> dict:
+        """The ``GET /slo`` body: every objective's budget arithmetic."""
+        return {
+            "window": "since-start",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "objectives": evaluate_slos(self.slos, self.metrics),
+        }
 
     def stats_snapshot(self) -> dict:
         store = self.store
@@ -523,17 +554,42 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str):
         started = time.perf_counter()
+        tracer, request_id = open_request(
+            self.service,
+            {name.lower(): value for name, value in self.headers.items()},
+        )
+        root = tracer.start("http.request", {
+            "method": method, "path": self.path.partition("?")[0],
+            "transport": "threaded",
+        }) if tracer.enabled else None
         raw = None
         if method == "POST":
             length = int(self.headers.get("Content-Length") or 0)
             if length > self.service.max_body_bytes:
-                return self._send_api_response(too_large_response(
+                response = too_large_response(
                     self.service, method, self.path, length, started,
-                ))
+                )
+                stamp_request_id(response, request_id)
+                if root is not None:
+                    tracer.finish(root, status="ERROR",
+                                  attributes={"status": 413})
+                    finish_request(self.service, tracer)
+                return self._send_api_response(response)
             raw = self.rfile.read(length) if length > 0 else b""
-        self._send_api_response(handle_api_request(
+        response = handle_api_request(
             self.service, method, self.path, raw, started,
-        ))
+            tracer=tracer, request_id=request_id,
+        )
+        write_span = tracer.start("response.write") \
+            if tracer.enabled else None
+        self._send_api_response(response)
+        if root is not None:
+            tracer.finish(write_span,
+                          attributes={"bytes": len(response.body)})
+            tracer.finish(root, attributes={
+                "status": response.status, "route": response.route,
+            })
+            finish_request(self.service, tracer)
 
     def _send_api_response(self, response):
         self.send_response(response.status)
@@ -598,7 +654,7 @@ def build_searcher(corpus_dir, cache_dir=None, workers: int = 1,
                 f"corpus {str(corpus_dir)!r} has no segmented index; "
                 "build it with qmatch index build --segmented"
             )
-        index = SegmentedCorpusIndex.open(segments_root)
+        index = SegmentedCorpusIndex.open(segments_root, log=log)
         if shards is not None and shards > 1:
             return ShardedCorpusSearcher(
                 corpus, index, shards=shards, scorer=scorer,
@@ -629,6 +685,10 @@ def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
           max_body_bytes: int = DEFAULT_MAX_BODY,
           max_jobs: Optional[int] = None,
           drain_timeout: Optional[float] = 30.0,
+          trace_sample: float = 0.0,
+          trace_seed: int = 0,
+          trace_export=None,
+          slos=None,
           log: Optional[EventLogger] = None) -> int:
     """Run the service until interrupted (the ``qmatch serve`` body).
 
@@ -667,7 +727,9 @@ def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
         cache_dir=cache_dir, scorer=scorer, segmented=segmented,
         shards=shards,
         max_pending=max_pending,
-        max_body_bytes=max_body_bytes, max_jobs=max_jobs, log=log,
+        max_body_bytes=max_body_bytes, max_jobs=max_jobs,
+        trace_sample=trace_sample, trace_seed=trace_seed,
+        trace_export=trace_export, slos=slos, log=log,
     )
     return run_async_server(
         service, host=host, port=port, verbose=verbose,
@@ -680,5 +742,6 @@ def serve(host: str = "127.0.0.1", port: int = 8765, workers: int = 2,
             "corpus_schemas": (
                 len(searcher.corpus) if searcher is not None else None
             ),
+            "trace_sample": float(trace_sample) or None,
         },
     )

@@ -1,0 +1,181 @@
+"""SLO evaluation and error-budget math (repro.obs.slo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLObjective,
+    default_slos,
+    evaluate_slos,
+    parse_slo,
+    slo_metrics,
+)
+
+
+def record(registry, route="/search", status=200, elapsed=0.01, n=1):
+    for _ in range(n):
+        registry.counter(
+            "http_requests_total", "",
+            {"method": "POST", "route": route, "status": str(status)},
+        ).inc()
+        registry.histogram(
+            "http_request_seconds", "", {"route": route},
+        ).observe(elapsed)
+
+
+class TestObjectiveValidation:
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLObjective(name="x", kind="latency", target=0.9)
+
+    def test_availability_rejects_threshold(self):
+        with pytest.raises(ValueError, match="no 'threshold'"):
+            SLObjective(name="x", kind="availability", target=0.9,
+                        threshold=0.1)
+
+    def test_target_must_leave_budget(self):
+        for target in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="target"):
+                SLObjective(name="x", kind="availability", target=target)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective(name="x", kind="speed", target=0.9)
+
+
+class TestParseSlo:
+    def test_full_latency_spec(self):
+        slo = parse_slo(
+            "name=fast,kind=latency,route=/search,"
+            "threshold=0.25,target=0.95"
+        )
+        assert slo == SLObjective(
+            name="fast", kind="latency", target=0.95,
+            route="/search", threshold=0.25,
+        )
+
+    def test_kind_defaults_from_threshold(self):
+        assert parse_slo("name=a,threshold=0.1").kind == "latency"
+        assert parse_slo("name=a").kind == "availability"
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_slo("name")
+        with pytest.raises(ValueError, match="unknown SLO field"):
+            parse_slo("name=a,color=red")
+        with pytest.raises(ValueError, match="needs a name"):
+            parse_slo("target=0.9")
+        with pytest.raises(ValueError, match="invalid SLO number"):
+            parse_slo("name=a,target=abc")
+
+
+class TestEvaluation:
+    def test_vacuous_slo_is_met(self):
+        records = evaluate_slos(default_slos(), MetricsRegistry())
+        assert all(r["met"] for r in records)
+        assert all(r["attainment"] == 1.0 for r in records)
+        assert all(r["budget_remaining"] == 1.0 for r in records)
+
+    def test_availability_counts_non_5xx(self):
+        registry = MetricsRegistry()
+        record(registry, status=200, n=97)
+        record(registry, status=404, n=2)  # 4xx is "good"
+        record(registry, status=500, n=1)
+        (result,) = evaluate_slos(
+            [SLObjective(name="avail", kind="availability", target=0.9)],
+            registry,
+        )
+        assert result["good"] == 99
+        assert result["total"] == 100
+        assert result["attainment"] == pytest.approx(0.99)
+        # budget is 0.1, spent 0.01 -> burn 0.1, remaining 0.9
+        assert result["burn_rate"] == pytest.approx(0.1)
+        assert result["budget_remaining"] == pytest.approx(0.9)
+        assert result["met"]
+
+    def test_latency_threshold_snaps_down_to_bucket(self):
+        registry = MetricsRegistry()
+        record(registry, elapsed=0.02, n=9)   # under 0.025 bound
+        record(registry, elapsed=0.2, n=1)    # over it
+        (result,) = evaluate_slos(
+            [SLObjective(name="fast", kind="latency", target=0.8,
+                         threshold=0.03)],
+            registry,
+        )
+        # 0.03 is not a bucket bound; snapped down to 0.025
+        assert result["effective_threshold"] == 0.025
+        assert result["threshold"] == 0.03
+        assert result["attainment"] == pytest.approx(0.9)
+        assert result["met"]
+
+    def test_latency_route_filter(self):
+        registry = MetricsRegistry()
+        record(registry, route="/search", elapsed=0.001, n=5)
+        record(registry, route="/match", elapsed=9.0, n=5)
+        (result,) = evaluate_slos(
+            [SLObjective(name="fast", kind="latency", target=0.5,
+                         threshold=0.25, route="/search")],
+            registry,
+        )
+        assert result["total"] == 5
+        assert result["attainment"] == 1.0
+
+    def test_burned_budget_clamps_at_zero(self):
+        registry = MetricsRegistry()
+        record(registry, status=500, n=10)
+        (result,) = evaluate_slos(
+            [SLObjective(name="avail", kind="availability",
+                         target=0.999)],
+            registry,
+        )
+        assert not result["met"]
+        assert result["burn_rate"] > 1.0
+        assert result["budget_remaining"] == 0.0
+
+
+class TestSloMetrics:
+    def test_gauges_surface_in_scrape(self):
+        registry = MetricsRegistry()
+        record(registry, status=200, n=9)
+        record(registry, status=503, n=1)
+        scrape = MetricsRegistry()
+        slo_metrics(scrape, evaluate_slos(
+            [SLObjective(name="avail", kind="availability", target=0.5)],
+            registry,
+        ))
+        text = scrape.render()
+        assert 'qmatch_slo_target{slo="avail"} 0.5' in text
+        assert 'qmatch_slo_attainment{slo="avail"} 0.9' in text
+        assert 'qmatch_slo_burn_rate{slo="avail"} 0.2' in text
+        assert 'qmatch_slo_error_budget_remaining{slo="avail"} 0.8' \
+            in text
+
+    def test_service_metrics_text_includes_slo_gauges(self):
+        from repro.service.server import MatchService
+
+        service = MatchService(workers=1, mode="inline")
+        try:
+            service.record_request("GET", "/healthz", 200, 0.001)
+            text = service.metrics_text()
+            assert "qmatch_slo_attainment" in text
+            assert 'slo="availability"' in text
+            assert 'slo="latency-fast"' in text
+        finally:
+            service.shutdown()
+
+    def test_slo_snapshot_route_shape(self):
+        from repro.service.server import MatchService
+
+        service = MatchService(workers=1, mode="inline")
+        try:
+            service.record_request("POST", "/search", 200, 0.01)
+            snapshot = service.slo_snapshot()
+            assert snapshot["window"] == "since-start"
+            names = [o["name"] for o in snapshot["objectives"]]
+            assert names == ["availability", "latency-fast"]
+            for objective in snapshot["objectives"]:
+                assert 0.0 <= objective["attainment"] <= 1.0
+        finally:
+            service.shutdown()
